@@ -1,0 +1,57 @@
+// Command genmapper serves the interactive query interface of the paper's
+// Figure 6 over HTTP: query specification, annotation views, object
+// drill-down, path search, and export.
+//
+// Usage:
+//
+//	genmapper -db gam.snap -addr :8080
+//	genmapper -demo -addr :8080       # small built-in synthetic universe
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"genmapper"
+	"genmapper/internal/server"
+)
+
+func main() {
+	var (
+		dbPath = flag.String("db", "gam.snap", "database snapshot file")
+		addr   = flag.String("addr", ":8080", "listen address")
+		demo   = flag.Bool("demo", false, "serve a small synthetic universe instead of a snapshot")
+		seed   = flag.Int64("seed", 1, "demo universe seed")
+		scale  = flag.Float64("scale", 0.002, "demo universe scale")
+	)
+	flag.Parse()
+
+	var sys *genmapper.System
+	var err error
+	if *demo {
+		sys, err = genmapper.New()
+		if err == nil {
+			u := genmapper.NewUniverse(genmapper.GenConfig{Seed: *seed, Scale: *scale})
+			log.Printf("importing demo universe (seed=%d scale=%g)...", *seed, *scale)
+			_, err = sys.ImportUniverse(u, genmapper.ImportOptions{DeriveSubsumed: true}, nil)
+		}
+	} else {
+		sys, err = genmapper.LoadSnapshot(*dbPath)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "genmapper:", err)
+		os.Exit(1)
+	}
+	st, err := sys.Stats()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "genmapper:", err)
+		os.Exit(1)
+	}
+	log.Printf("serving %s on %s", st, *addr)
+	if err := http.ListenAndServe(*addr, server.New(sys)); err != nil {
+		log.Fatal(err)
+	}
+}

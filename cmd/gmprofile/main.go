@@ -1,0 +1,79 @@
+// Command gmprofile runs the §5.2 large-scale gene functional profiling
+// pipeline: probe sets of a microarray chip are mapped through UniGene and
+// LocusLink to GO, a synthetic expression study is generated, and
+// hypergeometric enrichment is computed over the whole GO taxonomy.
+//
+// Usage:
+//
+//	gmprofile -db gam.snap -chip NetAffx-HG-U133A -top 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"genmapper"
+	"genmapper/internal/profile"
+)
+
+func main() {
+	var (
+		dbPath    = flag.String("db", "gam.snap", "database snapshot file")
+		chip      = flag.String("chip", "NetAffx-HG-U133A", "microarray chip source (probe sets)")
+		geneRep   = flag.String("generep", "Unigene", "gene representation source")
+		annotator = flag.String("annotator", "LocusLink", "source providing GO annotations")
+		ontology  = flag.String("ontology", "GO", "taxonomy source")
+		seed      = flag.Int64("seed", 1, "study seed")
+		bias      = flag.Int("bias", 8, "number of GO terms with injected differential bias")
+		top       = flag.Int("top", 20, "report the top K enriched terms")
+		fdr       = flag.Float64("fdr", 0.05, "Benjamini-Hochberg false discovery rate")
+	)
+	flag.Parse()
+
+	sys, err := genmapper.LoadSnapshot(*dbPath)
+	if err != nil {
+		fail(err)
+	}
+	p, err := profile.NewPipeline(sys.Repo(), *chip, *geneRep, *annotator, *ontology)
+	if err != nil {
+		fail(err)
+	}
+
+	probes, err := p.ProbeAccessions()
+	if err != nil {
+		fail(err)
+	}
+	annotations, err := p.ProbeAnnotations()
+	if err != nil {
+		fail(err)
+	}
+	terms, err := p.TermAccessions()
+	if err != nil {
+		fail(err)
+	}
+
+	cfg := profile.DefaultStudyConfig()
+	cfg.Seed = *seed
+	cfg.BiasTerms = *bias
+	study := profile.NewStudy(cfg, probes, annotations, terms)
+	total, detected, differential := study.Counts()
+	fmt.Printf("study: %d probed genes, %d detected, %d differentially expressed\n",
+		total, detected, differential)
+	fmt.Printf("injected bias terms: %v\n\n", study.BiasedTerms)
+
+	enrichment, err := p.Run(study)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("enrichment over %d GO terms (population=%d, sample=%d):\n\n",
+		len(enrichment.Results), enrichment.PopulationSize, enrichment.SampleSize)
+	fmt.Print(enrichment.FormatTable(*top))
+	fmt.Printf("\n%d terms significant at FDR %.2g (Benjamini-Hochberg)\n",
+		enrichment.BenjaminiHochberg(*fdr), *fdr)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "gmprofile:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,117 @@
+// Command gmquery generates annotation views from an imported database
+// snapshot (the CLI counterpart of the paper's Figure 3 / Figure 6).
+//
+// Usage:
+//
+//	gmquery -db gam.snap -source LocusLink -targets Hugo,GO -mode OR
+//	gmquery -db gam.snap -source LocusLink -acc 1,2,3 -targets 'Hugo,!OMIM' -mode AND -format tsv
+//	gmquery -db gam.snap -path Unigene,GO
+//	gmquery -db gam.snap -sources
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"genmapper"
+)
+
+func main() {
+	var (
+		dbPath  = flag.String("db", "gam.snap", "database snapshot file")
+		source  = flag.String("source", "", "source to annotate")
+		accs    = flag.String("acc", "", "comma-separated source accessions (empty = whole source)")
+		targets = flag.String("targets", "", "comma-separated targets; prefix ! negates; name=acc1|acc2 restricts target objects")
+		mode    = flag.String("mode", "OR", "mapping combination: AND or OR")
+		format  = flag.String("format", "text", "output format: text, tsv, csv, json")
+		text    = flag.Bool("text", false, "include object descriptions in cells")
+		path    = flag.String("path", "", "find the shortest mapping path between two comma-separated sources")
+		via     = flag.String("via", "", "required intermediate source for -path")
+		sources = flag.Bool("sources", false, "list imported sources")
+		limit   = flag.Int("limit", 0, "print at most this many rows (0 = all)")
+	)
+	flag.Parse()
+
+	sys, err := genmapper.LoadSnapshot(*dbPath)
+	if err != nil {
+		fail(err)
+	}
+
+	switch {
+	case *sources:
+		for _, s := range sys.Sources() {
+			fmt.Printf("%-20s %-8s %-8s release=%s\n", s.Name, s.Content, s.Structure, s.Release)
+		}
+		return
+	case *path != "":
+		ends := strings.Split(*path, ",")
+		if len(ends) != 2 {
+			fail(fmt.Errorf("-path needs exactly two sources, got %q", *path))
+		}
+		var p []string
+		if *via != "" {
+			p, err = sys.FindPathVia(strings.TrimSpace(ends[0]), *via, strings.TrimSpace(ends[1]))
+		} else {
+			p, err = sys.FindPath(strings.TrimSpace(ends[0]), strings.TrimSpace(ends[1]))
+		}
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(strings.Join(p, " -> "))
+		return
+	}
+
+	if *source == "" || *targets == "" {
+		fmt.Fprintln(os.Stderr, "gmquery: -source and -targets are required (or use -sources / -path)")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	q := genmapper.Query{Source: *source, Mode: *mode, WithText: *text}
+	if *accs != "" {
+		for _, a := range strings.Split(*accs, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				q.Accessions = append(q.Accessions, a)
+			}
+		}
+	}
+	for _, spec := range strings.Split(*targets, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		t := genmapper.Target{}
+		if strings.HasPrefix(spec, "!") {
+			t.Negate = true
+			spec = spec[1:]
+		}
+		name, restrict, has := strings.Cut(spec, "=")
+		t.Source = strings.TrimSpace(name)
+		if has {
+			for _, a := range strings.Split(restrict, "|") {
+				if a = strings.TrimSpace(a); a != "" {
+					t.Accessions = append(t.Accessions, a)
+				}
+			}
+		}
+		q.Targets = append(q.Targets, t)
+	}
+
+	table, err := sys.AnnotationView(q)
+	if err != nil {
+		fail(err)
+	}
+	if *limit > 0 && len(table.Rows) > *limit {
+		table.Rows = table.Rows[:*limit]
+	}
+	if err := table.Write(os.Stdout, *format); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "gmquery:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,197 @@
+// Command gmsql is an interactive SQL shell over a GenMapper database
+// snapshot — direct access to the GAM relations (source, object,
+// source_rel, object_rel) through the embedded engine.
+//
+// Usage:
+//
+//	gmsql -db gam.snap
+//	echo "SELECT COUNT(*) FROM object" | gmsql -db gam.snap
+//
+// Meta commands: .tables, .schema <table>, .save [path], .quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"genmapper/internal/sqldb"
+)
+
+func main() {
+	var (
+		dbPath = flag.String("db", "gam.snap", "database snapshot file (created on .save when missing)")
+		quiet  = flag.Bool("q", false, "suppress the prompt (for piped input)")
+	)
+	flag.Parse()
+
+	var db *sqldb.DB
+	if _, err := os.Stat(*dbPath); err == nil {
+		loaded, err := sqldb.Load(*dbPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gmsql:", err)
+			os.Exit(1)
+		}
+		db = loaded
+		if !*quiet {
+			fmt.Printf("loaded %s (%d tables)\n", *dbPath, len(db.TableNames()))
+		}
+	} else {
+		db = sqldb.NewDB()
+		if !*quiet {
+			fmt.Printf("new empty database (will save to %s on .save)\n", *dbPath)
+		}
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var pending strings.Builder
+	prompt := func(cont bool) {
+		if *quiet {
+			return
+		}
+		if cont {
+			fmt.Print("   ...> ")
+		} else {
+			fmt.Print("gmsql> ")
+		}
+	}
+	prompt(false)
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if pending.Len() == 0 && strings.HasPrefix(trimmed, ".") {
+			if !metaCommand(db, *dbPath, trimmed) {
+				return
+			}
+			prompt(false)
+			continue
+		}
+		pending.WriteString(line)
+		pending.WriteByte('\n')
+		if !strings.Contains(line, ";") && trimmed != "" {
+			prompt(true)
+			continue
+		}
+		stmt := strings.TrimSpace(pending.String())
+		pending.Reset()
+		if stmt != "" {
+			execute(db, stmt)
+		}
+		prompt(false)
+	}
+}
+
+// metaCommand handles dot commands; it returns false to exit.
+func metaCommand(db *sqldb.DB, dbPath, cmd string) bool {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case ".quit", ".exit":
+		return false
+	case ".tables":
+		for _, name := range db.TableNames() {
+			fmt.Printf("%-24s %d rows\n", name, db.RowCount(name))
+		}
+	case ".schema":
+		if len(fields) < 2 {
+			fmt.Println("usage: .schema <table>")
+			break
+		}
+		schema := db.TableInfo(fields[1])
+		if schema == nil {
+			fmt.Printf("no such table %q\n", fields[1])
+			break
+		}
+		for _, col := range schema.Columns {
+			flags := ""
+			if col.PrimaryKey {
+				flags += " PRIMARY KEY"
+			}
+			if col.AutoIncrement {
+				flags += " AUTOINCREMENT"
+			}
+			if col.NotNull {
+				flags += " NOT NULL"
+			}
+			fmt.Printf("  %-20s %s%s\n", col.Name, col.Type, flags)
+		}
+	case ".save":
+		path := dbPath
+		if len(fields) > 1 {
+			path = fields[1]
+		}
+		if err := db.Save(path); err != nil {
+			fmt.Println("save failed:", err)
+			break
+		}
+		fmt.Println("saved", path)
+	case ".help":
+		fmt.Println("meta commands: .tables, .schema <table>, .save [path], .quit")
+	default:
+		fmt.Printf("unknown meta command %s (try .help)\n", fields[0])
+	}
+	return true
+}
+
+func execute(db *sqldb.DB, stmt string) {
+	stmt = strings.TrimSuffix(strings.TrimSpace(stmt), ";")
+	upper := strings.ToUpper(strings.TrimSpace(stmt))
+	if strings.HasPrefix(upper, "SELECT") {
+		rs, err := db.Query(stmt)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		printResult(rs)
+		return
+	}
+	res, err := db.Exec(stmt)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("ok (%d rows affected)\n", res.RowsAffected)
+}
+
+func printResult(rs *sqldb.ResultSet) {
+	widths := make([]int, len(rs.Columns))
+	for i, c := range rs.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(rs.Rows))
+	for r, row := range rs.Rows {
+		cells[r] = make([]string, len(row))
+		for i, v := range row {
+			s := sqldb.FormatValue(v)
+			cells[r][i] = s
+			if i < len(widths) && len(s) > widths[i] {
+				widths[i] = len(s)
+			}
+		}
+	}
+	line := func(parts []string) {
+		var sb strings.Builder
+		for i, p := range parts {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(p)
+			for pad := len(p); pad < widths[i]; pad++ {
+				sb.WriteByte(' ')
+			}
+		}
+		fmt.Println(strings.TrimRight(sb.String(), " "))
+	}
+	line(rs.Columns)
+	sep := make([]string, len(rs.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range cells {
+		line(row)
+	}
+	fmt.Printf("(%d rows)\n", len(rs.Rows))
+}

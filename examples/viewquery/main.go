@@ -1,0 +1,64 @@
+// Viewquery: the paper's §4.2 query pattern over a synthetic universe —
+// "Given a set of LocusLink genes, identify those that are located at some
+// given cytogenetic positions, and annotated with some given GO functions,
+// but not associated with some given OMIM diseases."
+//
+// Run with: go run ./examples/viewquery
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"genmapper"
+)
+
+func main() {
+	sys, err := genmapper.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A deterministic synthetic universe standing in for the public
+	// sources (see DESIGN.md for the substitution rationale).
+	u := genmapper.NewUniverse(genmapper.GenConfig{Seed: 7, Scale: 0.003})
+	fmt.Println("importing synthetic universe...")
+	if _, err := sys.ImportUniverse(u, genmapper.ImportOptions{DeriveSubsumed: true}, nil); err != nil {
+		log.Fatal(err)
+	}
+	stats, _ := sys.Stats()
+	fmt.Println("database:", stats)
+	fmt.Println()
+
+	// Pick query parameters from the generated accession space.
+	locations := []string{u.Accession("Location", 0), u.Accession("Location", 1)}
+	goTerms := []string{u.Accession("GO", 10), u.Accession("GO", 11), u.Accession("GO", 12)}
+	diseases := []string{u.Accession("OMIM", 0), u.Accession("OMIM", 1)}
+
+	fmt.Printf("query: loci at %v AND with GO in %v AND NOT with OMIM in %v\n\n",
+		locations, goTerms, diseases)
+
+	table, err := sys.AnnotationView(genmapper.Query{
+		Source: "LocusLink",
+		Targets: []genmapper.Target{
+			{Source: "Location", Accessions: locations},
+			{Source: "GO", Accessions: goTerms},
+			{Source: "OMIM", Accessions: diseases, Negate: true},
+		},
+		Mode: "AND",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("matched %d rows:\n\n", table.RowCount())
+	if err := table.WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// Export the same result as TSV, the download format of Figure 6.
+	fmt.Println("\nas TSV:")
+	if err := table.WriteTSV(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,431 @@
+// Package genmapper is the public API of this GenMapper reproduction: a
+// system for flexible integration of molecular-biological annotation data
+// (Do & Rahm, EDBT 2004).
+//
+// GenMapper physically integrates heterogeneous annotation sources into a
+// central database using the generic GAM data model (SOURCE, OBJECT,
+// SOURCE_REL, OBJECT_REL), exploits existing cross-references between
+// sources to combine annotation knowledge, and derives tailored annotation
+// views through high-level operators (Map, Compose, GenerateView).
+//
+// Typical usage:
+//
+//	sys, _ := genmapper.New()
+//	u := genmapper.NewUniverse(genmapper.GenConfig{Seed: 1, Scale: 0.01})
+//	sys.ImportUniverse(u, genmapper.ImportOptions{DeriveSubsumed: true}, nil)
+//	table, _ := sys.AnnotationView(genmapper.Query{
+//		Source:  "LocusLink",
+//		Targets: []genmapper.Target{{Source: "Hugo"}, {Source: "GO"}},
+//		Mode:    "OR",
+//	})
+//	table.WriteText(os.Stdout)
+package genmapper
+
+import (
+	"fmt"
+	"strings"
+
+	"genmapper/internal/eav"
+	"genmapper/internal/gam"
+	"genmapper/internal/gen"
+	"genmapper/internal/graph"
+	"genmapper/internal/importer"
+	"genmapper/internal/ops"
+	"genmapper/internal/sqldb"
+	"genmapper/internal/view"
+)
+
+// Re-exported configuration and result types, so applications only import
+// this package.
+type (
+	// SourceInfo identifies a source being imported (name + audit info).
+	SourceInfo = eav.SourceInfo
+	// Dataset is the parsed EAV staging representation of one source.
+	Dataset = eav.Dataset
+	// ImportOptions tunes the Import step.
+	ImportOptions = importer.Options
+	// ImportStats reports one import run.
+	ImportStats = importer.Stats
+	// GenConfig selects a synthetic universe (seed + scale).
+	GenConfig = gen.Config
+	// Universe generates synthetic source files and datasets.
+	Universe = gen.Universe
+	// Table is a rendered annotation view ready for export.
+	Table = view.Table
+	// Stats summarizes database content (sources, objects, mappings,
+	// associations).
+	Stats = gam.Stats
+	// Source describes one integrated data source.
+	Source = gam.Source
+	// Object is one source object (accession, text, number).
+	Object = gam.Object
+	// Mapping is a set of object associations between two sources.
+	Mapping = ops.Mapping
+)
+
+// NewUniverse scales the synthetic source catalog (1.0 reproduces the
+// paper's ~2M objects / 60+ sources / ~5M associations deployment).
+func NewUniverse(cfg GenConfig) *Universe { return gen.NewUniverse(cfg) }
+
+// System is a GenMapper instance: the central database with the GAM
+// schema, plus the source graph used for automatic mapping-path discovery.
+type System struct {
+	db    *sqldb.DB
+	repo  *gam.Repo
+	graph *graph.Graph
+}
+
+// New creates an empty in-memory GenMapper system.
+func New() (*System, error) {
+	return Open(sqldb.NewDB())
+}
+
+// Open attaches a system to an existing embedded database (creating the
+// GAM schema when missing).
+func Open(db *sqldb.DB) (*System, error) {
+	repo, err := gam.Open(db)
+	if err != nil {
+		return nil, err
+	}
+	g, err := graph.Build(repo)
+	if err != nil {
+		return nil, err
+	}
+	return &System{db: db, repo: repo, graph: g}, nil
+}
+
+// LoadSnapshot opens a system from a database snapshot file written by
+// SaveSnapshot.
+func LoadSnapshot(path string) (*System, error) {
+	db, err := sqldb.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return Open(db)
+}
+
+// SaveSnapshot persists the entire database to a file.
+func (s *System) SaveSnapshot(path string) error { return s.db.Save(path) }
+
+// DB exposes the embedded database (for direct SQL).
+func (s *System) DB() *sqldb.DB { return s.db }
+
+// Repo exposes the GAM repository (for operator-level access).
+func (s *System) Repo() *gam.Repo { return s.repo }
+
+// Graph exposes the source/mapping graph.
+func (s *System) Graph() *graph.Graph { return s.graph }
+
+// Stats returns the deployment counters (§5-style).
+func (s *System) Stats() (*Stats, error) { return s.repo.Stats() }
+
+// Sources lists all integrated sources ordered by name.
+func (s *System) Sources() []*Source { return s.repo.Sources() }
+
+// ---------------------------------------------------------------------------
+// Import
+
+// ImportDataset runs the generic Import step for one parsed dataset and
+// refreshes the source graph.
+func (s *System) ImportDataset(d *Dataset, opts ImportOptions) (*ImportStats, error) {
+	st, err := importer.Import(s.repo, d, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.RefreshGraph(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// ImportFile parses a native source file with the named format parser
+// (locuslink, obo, enzyme, tabular) and imports it.
+func (s *System) ImportFile(format, path string, info SourceInfo, opts ImportOptions) (*ImportStats, error) {
+	st, err := importer.ImportFile(s.repo, format, path, info, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.RefreshGraph(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// ImportUniverse imports every source of a synthetic universe. progress,
+// when non-nil, is called after each source.
+func (s *System) ImportUniverse(u *Universe, opts ImportOptions, progress func(*ImportStats)) ([]*ImportStats, error) {
+	var out []*ImportStats
+	for _, name := range u.Names() {
+		d, err := u.Dataset(name)
+		if err != nil {
+			return out, err
+		}
+		st, err := importer.Import(s.repo, d, opts)
+		if err != nil {
+			return out, fmt.Errorf("genmapper: import %s: %w", name, err)
+		}
+		out = append(out, st)
+		if progress != nil {
+			progress(st)
+		}
+	}
+	if err := s.RefreshGraph(); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// RefreshGraph rebuilds the source graph from the current mappings.
+func (s *System) RefreshGraph() error {
+	g, err := graph.Build(s.repo)
+	if err != nil {
+		return err
+	}
+	// Preserve saved paths across refreshes.
+	for _, name := range s.graph.SavedPathNames() {
+		if p, ok := s.graph.SavedPath(name); ok {
+			_ = g.SavePath(name, p)
+		}
+	}
+	s.graph = g
+	return nil
+}
+
+// DeriveSubsumed (re)materializes the Subsumed mapping of a network source.
+func (s *System) DeriveSubsumed(source string) (int, error) {
+	src := s.repo.SourceByName(source)
+	if src == nil {
+		return 0, fmt.Errorf("genmapper: unknown source %q", source)
+	}
+	return importer.DeriveSubsumed(s.repo, src.ID)
+}
+
+// ---------------------------------------------------------------------------
+// Paths and composition
+
+func (s *System) sourceIDs(names []string) ([]gam.SourceID, error) {
+	out := make([]gam.SourceID, len(names))
+	for i, n := range names {
+		src := s.repo.SourceByName(n)
+		if src == nil {
+			return nil, fmt.Errorf("genmapper: unknown source %q", n)
+		}
+		out[i] = src.ID
+	}
+	return out, nil
+}
+
+func (s *System) sourceNames(ids []gam.SourceID) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		if src := s.repo.SourceByID(id); src != nil {
+			out[i] = src.Name
+		}
+	}
+	return out
+}
+
+// FindPath returns the shortest mapping path between two sources as source
+// names, or an error when they are not connected (§5.1's automatic path
+// discovery).
+func (s *System) FindPath(from, to string) ([]string, error) {
+	ids, err := s.sourceIDs([]string{from, to})
+	if err != nil {
+		return nil, err
+	}
+	p := s.graph.ShortestPath(ids[0], ids[1])
+	if p == nil {
+		return nil, fmt.Errorf("genmapper: no mapping path from %s to %s", from, to)
+	}
+	return s.sourceNames(p), nil
+}
+
+// FindPathVia returns the shortest path passing through an intermediate
+// source.
+func (s *System) FindPathVia(from, via, to string) ([]string, error) {
+	ids, err := s.sourceIDs([]string{from, via, to})
+	if err != nil {
+		return nil, err
+	}
+	p := s.graph.ShortestPathVia(ids[0], ids[1], ids[2])
+	if p == nil {
+		return nil, fmt.Errorf("genmapper: no mapping path from %s via %s to %s", from, via, to)
+	}
+	return s.sourceNames(p), nil
+}
+
+// SavePath stores a user-constructed mapping path under a name.
+func (s *System) SavePath(name string, sources []string) error {
+	ids, err := s.sourceIDs(sources)
+	if err != nil {
+		return err
+	}
+	return s.graph.SavePath(name, ids)
+}
+
+// ComposePath loads and composes the mappings along a path of source
+// names, deriving a new mapping from the first to the last source.
+func (s *System) ComposePath(sources []string) (*Mapping, error) {
+	ids, err := s.sourceIDs(sources)
+	if err != nil {
+		return nil, err
+	}
+	return ops.MapPath(s.repo, ids)
+}
+
+// Materialize stores a derived mapping in the central database so that
+// later queries find it directly.
+func (s *System) Materialize(m *Mapping) error {
+	if _, err := ops.Materialize(s.repo, m); err != nil {
+		return err
+	}
+	return s.RefreshGraph()
+}
+
+// Resolver returns the mapping resolver GenerateView uses: an existing
+// mapping when available, otherwise a Compose over the shortest mapping
+// path in the source graph.
+func (s *System) Resolver() ops.Resolver {
+	return func(from, to gam.SourceID) (*ops.Mapping, error) {
+		if m, err := ops.Map(s.repo, from, to); err == nil {
+			return m, nil
+		}
+		p := s.graph.ShortestPath(from, to)
+		if p == nil {
+			return nil, fmt.Errorf("genmapper: no mapping or mapping path between sources %d and %d", from, to)
+		}
+		return ops.MapPath(s.repo, p)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Annotation views
+
+// Target specifies one annotation target of a query.
+type Target struct {
+	// Source is the target source name.
+	Source string
+	// Accessions restricts the target objects of interest (empty = all).
+	Accessions []string
+	// Negate selects source objects NOT associated with the given target
+	// objects.
+	Negate bool
+	// Via forces an explicit mapping path (source names from the query
+	// source to this target), overriding automatic path discovery.
+	Via []string
+	// MinEvidence drops computed associations whose evidence falls below
+	// the threshold; curated facts (no evidence value) always pass.
+	MinEvidence float64
+}
+
+// Query describes an annotation view request (the programmatic form of
+// Figure 6a's query specification).
+type Query struct {
+	// Source is the source whose objects are annotated.
+	Source string
+	// Accessions restricts the source objects (empty = whole source).
+	Accessions []string
+	// Targets are the annotation columns.
+	Targets []Target
+	// Mode combines the target mappings: "AND" or "OR" (default OR).
+	Mode string
+	// WithText renders cells as "accession (text)".
+	WithText bool
+}
+
+// AnnotationView runs GenerateView for the query and renders the result
+// (Figures 3 and 6b).
+func (s *System) AnnotationView(q Query) (*Table, error) {
+	src := s.repo.SourceByName(q.Source)
+	if src == nil {
+		return nil, fmt.Errorf("genmapper: unknown source %q", q.Source)
+	}
+	sSet, err := s.objectSet(src.ID, q.Accessions)
+	if err != nil {
+		return nil, err
+	}
+	var mode ops.Combine
+	switch strings.ToUpper(strings.TrimSpace(q.Mode)) {
+	case "", "OR":
+		mode = ops.CombineOR
+	case "AND":
+		mode = ops.CombineAND
+	default:
+		return nil, fmt.Errorf("genmapper: unknown combination mode %q (AND or OR)", q.Mode)
+	}
+	specs := make([]ops.TargetSpec, len(q.Targets))
+	for i, t := range q.Targets {
+		tgt := s.repo.SourceByName(t.Source)
+		if tgt == nil {
+			return nil, fmt.Errorf("genmapper: unknown target source %q", t.Source)
+		}
+		tSet, err := s.objectSet(tgt.ID, t.Accessions)
+		if err != nil {
+			return nil, err
+		}
+		spec := ops.TargetSpec{Source: tgt.ID, Restrict: tSet, Negate: t.Negate, MinEvidence: t.MinEvidence}
+		if len(t.Via) > 0 {
+			ids, err := s.sourceIDs(t.Via)
+			if err != nil {
+				return nil, err
+			}
+			spec.Path = ids
+		}
+		specs[i] = spec
+	}
+	v, err := ops.GenerateView(s.repo, src.ID, sSet, specs, mode, s.Resolver())
+	if err != nil {
+		return nil, err
+	}
+	return view.Render(s.repo, v, view.Options{WithText: q.WithText})
+}
+
+// objectSet resolves accessions to an ObjectSet (nil when accessions is
+// empty, meaning "all objects"). Unknown accessions are reported.
+func (s *System) objectSet(src gam.SourceID, accessions []string) (ops.ObjectSet, error) {
+	if len(accessions) == 0 {
+		return nil, nil
+	}
+	m, err := s.repo.LookupObjects(src, accessions)
+	if err != nil {
+		return nil, err
+	}
+	set := make(ops.ObjectSet, len(accessions))
+	var missing []string
+	for _, acc := range accessions {
+		id := m[acc]
+		if id == 0 {
+			missing = append(missing, acc)
+			continue
+		}
+		set[id] = true
+	}
+	if len(set) == 0 {
+		return nil, fmt.Errorf("genmapper: none of the %d accessions exist in the source (e.g. %s)",
+			len(accessions), strings.Join(missing[:min(3, len(missing))], ", "))
+	}
+	return set, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ObjectInfo retrieves one object by source name and accession (Figure 6c).
+func (s *System) ObjectInfo(source, accession string) (*Object, error) {
+	src := s.repo.SourceByName(source)
+	if src == nil {
+		return nil, fmt.Errorf("genmapper: unknown source %q", source)
+	}
+	id, err := s.repo.LookupObject(src.ID, accession)
+	if err != nil {
+		return nil, err
+	}
+	if id == 0 {
+		return nil, fmt.Errorf("genmapper: no object %q in source %s", accession, source)
+	}
+	return s.repo.Object(id)
+}

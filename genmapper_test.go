@@ -1,0 +1,332 @@
+package genmapper
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"genmapper/internal/eav"
+)
+
+// demoSystem builds a small system with the paper's running example:
+// LocusLink annotated by Hugo/GO/OMIM, Unigene mapped to LocusLink, and a
+// GO hierarchy.
+func demoSystem(t *testing.T) *System {
+	t.Helper()
+	sys, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := func(d *Dataset, opts ImportOptions) {
+		t.Helper()
+		if _, err := sys.ImportDataset(d, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	goData := eav.NewDataset(SourceInfo{Name: "GO", Structure: "network"})
+	goData.Add("GO:0008150", eav.TargetName, "", "biological process")
+	goData.Add("GO:0009117", eav.TargetName, "", "nucleotide metabolism")
+	goData.Add("GO:0009116", eav.TargetName, "", "nucleoside metabolism")
+	goData.Add("GO:0009117", eav.TargetIsA, "GO:0008150", "")
+	goData.Add("GO:0009116", eav.TargetIsA, "GO:0009117", "")
+	imp(goData, ImportOptions{DeriveSubsumed: true})
+
+	ll := eav.NewDataset(SourceInfo{Name: "LocusLink", Content: "gene"})
+	ll.Add("353", eav.TargetName, "", "adenine phosphoribosyltransferase")
+	ll.Add("353", "Hugo", "APRT", "")
+	ll.Add("353", "GO", "GO:0009116", "")
+	ll.Add("353", "OMIM", "102600", "")
+	ll.Add("354", eav.TargetName, "", "locus two")
+	ll.Add("354", "Hugo", "XYZ2", "")
+	ll.Add("355", eav.TargetName, "", "locus three")
+	ll.Add("355", "GO", "GO:0009117", "")
+	imp(ll, ImportOptions{})
+
+	ug := eav.NewDataset(SourceInfo{Name: "Unigene", Content: "gene"})
+	ug.Add("Hs.1", "LocusLink", "353", "")
+	ug.Add("Hs.2", "LocusLink", "354", "")
+	imp(ug, ImportOptions{})
+
+	return sys
+}
+
+func TestSystemStats(t *testing.T) {
+	sys := demoSystem(t)
+	st, err := sys.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Sources != 5 { // GO, LocusLink, Hugo, OMIM, Unigene
+		t.Errorf("sources = %d", st.Sources)
+	}
+	if st.Objects == 0 || st.Associations == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if len(sys.Sources()) != 5 {
+		t.Errorf("Sources() = %d", len(sys.Sources()))
+	}
+}
+
+func TestAnnotationViewOR(t *testing.T) {
+	sys := demoSystem(t)
+	table, err := sys.AnnotationView(Query{
+		Source:  "LocusLink",
+		Targets: []Target{{Source: "Hugo"}, {Source: "GO"}},
+		Mode:    "OR",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(table.Columns, ",") != "LocusLink,Hugo,GO" {
+		t.Fatalf("columns = %v", table.Columns)
+	}
+	if table.RowCount() != 3 {
+		t.Fatalf("rows = %d, want 3", table.RowCount())
+	}
+	// 354 has Hugo but no GO -> empty GO cell under OR.
+	for _, row := range table.Rows {
+		if row[0] == "354" && row[2] != "" {
+			t.Errorf("354 GO cell = %q", row[2])
+		}
+	}
+}
+
+func TestAnnotationViewANDWithNegation(t *testing.T) {
+	sys := demoSystem(t)
+	// The paper's canonical query shape: loci with a Hugo symbol but NOT
+	// annotated with some GO terms.
+	table, err := sys.AnnotationView(Query{
+		Source: "LocusLink",
+		Targets: []Target{
+			{Source: "Hugo"},
+			{Source: "GO", Accessions: []string{"GO:0009116"}, Negate: true},
+		},
+		Mode: "AND",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 353 has GO:0009116 -> excluded. 354 (no GO at all) and 355 (only
+	// GO:0009117) both lack a Hugo?? 354 has Hugo, 355 has no Hugo ->
+	// under AND only 354 remains.
+	if table.RowCount() != 1 || table.Rows[0][0] != "354" {
+		t.Fatalf("negated AND view = %v", table.Rows)
+	}
+}
+
+func TestAnnotationViewTransitiveTarget(t *testing.T) {
+	sys := demoSystem(t)
+	// Unigene has no direct GO mapping: the resolver must compose via
+	// LocusLink automatically.
+	table, err := sys.AnnotationView(Query{
+		Source:  "Unigene",
+		Targets: []Target{{Source: "GO"}},
+		Mode:    "OR",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hs1GO string
+	for _, row := range table.Rows {
+		if row[0] == "Hs.1" {
+			hs1GO = row[1]
+		}
+	}
+	if hs1GO != "GO:0009116" {
+		t.Fatalf("Hs.1 derived GO = %q", hs1GO)
+	}
+}
+
+func TestAnnotationViewExplicitVia(t *testing.T) {
+	sys := demoSystem(t)
+	table, err := sys.AnnotationView(Query{
+		Source:  "Unigene",
+		Targets: []Target{{Source: "GO", Via: []string{"Unigene", "LocusLink", "GO"}}},
+		Mode:    "AND",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.RowCount() != 1 || table.Rows[0][0] != "Hs.1" {
+		t.Fatalf("via view = %v", table.Rows)
+	}
+}
+
+func TestAnnotationViewRestrictedAccessions(t *testing.T) {
+	sys := demoSystem(t)
+	table, err := sys.AnnotationView(Query{
+		Source:     "LocusLink",
+		Accessions: []string{"353"},
+		Targets:    []Target{{Source: "Hugo"}},
+		WithText:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.RowCount() != 1 {
+		t.Fatalf("rows = %d", table.RowCount())
+	}
+	if !strings.Contains(table.Rows[0][0], "(adenine phosphoribosyltransferase)") {
+		t.Errorf("with-text cell = %q", table.Rows[0][0])
+	}
+}
+
+func TestAnnotationViewErrors(t *testing.T) {
+	sys := demoSystem(t)
+	cases := []Query{
+		{Source: "Nope", Targets: []Target{{Source: "GO"}}},
+		{Source: "LocusLink", Targets: []Target{{Source: "Nope"}}},
+		{Source: "LocusLink", Targets: []Target{{Source: "GO"}}, Mode: "XOR"},
+		{Source: "LocusLink", Accessions: []string{"no-such"}, Targets: []Target{{Source: "GO"}}},
+		{Source: "LocusLink"},
+	}
+	for i, q := range cases {
+		if _, err := sys.AnnotationView(q); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestFindPath(t *testing.T) {
+	sys := demoSystem(t)
+	p, err := sys.FindPath("Unigene", "GO")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(p, ">") != "Unigene>LocusLink>GO" {
+		t.Fatalf("path = %v", p)
+	}
+	pv, err := sys.FindPathVia("Unigene", "LocusLink", "Hugo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(pv, ">") != "Unigene>LocusLink>Hugo" {
+		t.Fatalf("via path = %v", pv)
+	}
+	if _, err := sys.FindPath("Unigene", "Nope"); err == nil {
+		t.Error("unknown target accepted")
+	}
+}
+
+func TestSavePathSurvivesRefresh(t *testing.T) {
+	sys := demoSystem(t)
+	if err := sys.SavePath("myPath", []string{"Unigene", "LocusLink", "GO"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RefreshGraph(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sys.Graph().SavedPath("myPath"); !ok {
+		t.Fatal("saved path lost on refresh")
+	}
+}
+
+func TestComposeAndMaterialize(t *testing.T) {
+	sys := demoSystem(t)
+	m, err := sys.ComposePath([]string{"Unigene", "LocusLink", "GO"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 1 { // Hs.1 -> GO:0009116
+		t.Fatalf("composed mapping = %d assocs", m.Len())
+	}
+	if err := sys.Materialize(m); err != nil {
+		t.Fatal(err)
+	}
+	// The direct path now exists in the graph.
+	p, err := sys.FindPath("Unigene", "GO")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 2 {
+		t.Fatalf("path after materialization = %v", p)
+	}
+}
+
+func TestObjectInfo(t *testing.T) {
+	sys := demoSystem(t)
+	obj, err := sys.ObjectInfo("LocusLink", "353")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.Text != "adenine phosphoribosyltransferase" {
+		t.Errorf("text = %q", obj.Text)
+	}
+	if _, err := sys.ObjectInfo("LocusLink", "999"); err == nil {
+		t.Error("missing accession accepted")
+	}
+	if _, err := sys.ObjectInfo("Nope", "353"); err == nil {
+		t.Error("missing source accepted")
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	sys := demoSystem(t)
+	path := filepath.Join(t.TempDir(), "system.snap")
+	if err := sys.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1, _ := sys.Stats()
+	st2, _ := loaded.Stats()
+	if st1.Objects != st2.Objects || st1.Associations != st2.Associations {
+		t.Fatalf("snapshot stats differ: %s vs %s", st1, st2)
+	}
+	// Queries work on the loaded system.
+	table, err := loaded.AnnotationView(Query{
+		Source:  "LocusLink",
+		Targets: []Target{{Source: "GO"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.RowCount() == 0 {
+		t.Fatal("no rows after snapshot load")
+	}
+}
+
+func TestImportUniverseSmall(t *testing.T) {
+	sys, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := NewUniverse(GenConfig{Seed: 1, Scale: 0.0003})
+	calls := 0
+	stats, err := sys.ImportUniverse(u, ImportOptions{DeriveSubsumed: true}, func(*ImportStats) { calls++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != len(u.Names()) || calls != len(stats) {
+		t.Fatalf("stats = %d, calls = %d, sources = %d", len(stats), calls, len(u.Names()))
+	}
+	st, _ := sys.Stats()
+	if st.Sources < 60 {
+		t.Errorf("sources = %d, want 60+", st.Sources)
+	}
+	// The functional chain of §5.2 is connected.
+	p, err := sys.FindPath("NetAffx-HG-U95A", "GO")
+	if err != nil {
+		t.Fatalf("no path from chip to GO: %v", err)
+	}
+	if len(p) < 2 {
+		t.Fatalf("path = %v", p)
+	}
+}
+
+func TestDeriveSubsumedByName(t *testing.T) {
+	sys := demoSystem(t)
+	n, err := sys.DeriveSubsumed("GO")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 { // GO:0008150->{2}, GO:0009117->{1}
+		t.Fatalf("subsumed = %d, want 3", n)
+	}
+	if _, err := sys.DeriveSubsumed("Nope"); err == nil {
+		t.Error("unknown source accepted")
+	}
+}

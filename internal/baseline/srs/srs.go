@@ -1,0 +1,173 @@
+// Package srs implements the second baseline of the paper (§1): an
+// SRS/DBGET-style retrieval system. Each source is indexed separately with
+// its queryable attributes; cross-references support link navigation from
+// one entry to another. There is no join capability and no transitive
+// composition: multi-source annotation of an object set degenerates to
+// per-object, per-target link chasing, and targets reachable only through
+// an intermediate source are simply not reachable ("join queries over
+// multiple sources are not possible. Cross-references can be utilized for
+// interactive navigation, but not for the generation and analysis of
+// annotation profiles").
+package srs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"genmapper/internal/eav"
+)
+
+// Entry is one indexed record of a source.
+type Entry struct {
+	Accession string
+	Name      string
+	// Links maps target source name -> referenced accessions.
+	Links map[string][]string
+}
+
+// sourceIndex holds one source's parsed, indexed entries.
+type sourceIndex struct {
+	name    string
+	entries map[string]*Entry
+	// keyword index: lower-cased word -> accessions.
+	words map[string][]string
+}
+
+// Index is the per-source index collection (the "replicated locally as is,
+// parsed and indexed" architecture).
+type Index struct {
+	sources map[string]*sourceIndex
+	// lookups counts entry accesses, the cost metric of the E12 ablation.
+	lookups int
+}
+
+// NewIndex creates an empty index collection.
+func NewIndex() *Index {
+	return &Index{sources: make(map[string]*sourceIndex)}
+}
+
+// AddDataset indexes one parsed source.
+func (x *Index) AddDataset(d *eav.Dataset) error {
+	if err := d.Validate(); err != nil {
+		return fmt.Errorf("srs: %w", err)
+	}
+	key := strings.ToLower(d.Source.Name)
+	si, ok := x.sources[key]
+	if !ok {
+		si = &sourceIndex{
+			name:    d.Source.Name,
+			entries: make(map[string]*Entry),
+			words:   make(map[string][]string),
+		}
+		x.sources[key] = si
+	}
+	for _, r := range d.Records {
+		e, ok := si.entries[r.Accession]
+		if !ok {
+			e = &Entry{Accession: r.Accession, Links: make(map[string][]string)}
+			si.entries[r.Accession] = e
+		}
+		switch {
+		case r.Target == eav.TargetName:
+			if e.Name == "" {
+				e.Name = r.Text
+				for _, word := range strings.Fields(strings.ToLower(r.Text)) {
+					si.words[word] = append(si.words[word], r.Accession)
+				}
+			}
+		case eav.IsPseudoTarget(r.Target):
+			// Structure is browsable per entry in SRS-like systems but not
+			// usable for closure computation; index as a link to self.
+			e.Links[d.Source.Name] = append(e.Links[d.Source.Name], r.TargetAccession)
+		default:
+			e.Links[r.Target] = append(e.Links[r.Target], r.TargetAccession)
+		}
+	}
+	return nil
+}
+
+// Sources lists indexed source names in sorted order.
+func (x *Index) Sources() []string {
+	out := make([]string, 0, len(x.sources))
+	for _, si := range x.sources {
+		out = append(out, si.name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EntryCount returns the number of entries indexed for a source.
+func (x *Index) EntryCount(source string) int {
+	si := x.sources[strings.ToLower(source)]
+	if si == nil {
+		return 0
+	}
+	return len(si.entries)
+}
+
+// Lookup retrieves one entry; it counts toward the navigation cost.
+func (x *Index) Lookup(source, accession string) *Entry {
+	x.lookups++
+	si := x.sources[strings.ToLower(source)]
+	if si == nil {
+		return nil
+	}
+	return si.entries[accession]
+}
+
+// Search runs a keyword query against one source's indexed attributes (the
+// "uniform query interface" of SRS). It returns matching accessions.
+func (x *Index) Search(source, keyword string) []string {
+	si := x.sources[strings.ToLower(source)]
+	if si == nil {
+		return nil
+	}
+	accs := si.words[strings.ToLower(keyword)]
+	out := make([]string, len(accs))
+	copy(out, accs)
+	sort.Strings(out)
+	return out
+}
+
+// Navigate follows direct cross-references from one entry to a target
+// source: one interactive link-click. Indirect targets (reachable only
+// through an intermediate source) return nothing — the system cannot
+// compose.
+func (x *Index) Navigate(source, accession, target string) []string {
+	e := x.Lookup(source, accession)
+	if e == nil {
+		return nil
+	}
+	links := e.Links[target]
+	out := make([]string, len(links))
+	copy(out, links)
+	sort.Strings(out)
+	return out
+}
+
+// AnnotateSet emulates what a user must do to build an annotation profile
+// for a set of objects with per-source indexes only: iterate objects ×
+// targets, following direct links one entry at a time. The result maps
+// accession -> target -> referenced accessions. Lookups() exposes the
+// per-entry access count for comparison with one set-oriented
+// GenerateView.
+func (x *Index) AnnotateSet(source string, accessions []string, targets []string) map[string]map[string][]string {
+	out := make(map[string]map[string][]string, len(accessions))
+	for _, acc := range accessions {
+		row := make(map[string][]string, len(targets))
+		for _, tgt := range targets {
+			if links := x.Navigate(source, acc, tgt); len(links) > 0 {
+				row[tgt] = links
+			}
+		}
+		out[acc] = row
+	}
+	return out
+}
+
+// Lookups returns the number of per-entry accesses performed so far.
+func (x *Index) Lookups() int { return x.lookups }
+
+// ResetLookups clears the access counter (between experiment phases).
+func (x *Index) ResetLookups() { x.lookups = 0 }

@@ -1,0 +1,116 @@
+package srs
+
+import (
+	"testing"
+
+	"genmapper/internal/eav"
+)
+
+func buildIndex(t *testing.T) *Index {
+	t.Helper()
+	x := NewIndex()
+	ll := eav.NewDataset(eav.SourceInfo{Name: "LocusLink"})
+	ll.Add("353", eav.TargetName, "", "adenine phosphoribosyltransferase")
+	ll.Add("353", "Hugo", "APRT", "")
+	ll.Add("353", "GO", "GO:0009116", "")
+	ll.Add("354", eav.TargetName, "", "adenine deaminase")
+	ll.Add("354", "Unigene", "Hs.2", "")
+	if err := x.AddDataset(ll); err != nil {
+		t.Fatal(err)
+	}
+	ug := eav.NewDataset(eav.SourceInfo{Name: "Unigene"})
+	ug.Add("Hs.2", eav.TargetName, "", "cluster two")
+	ug.Add("Hs.2", "LocusLink", "354", "")
+	if err := x.AddDataset(ug); err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+func TestIndexBasics(t *testing.T) {
+	x := buildIndex(t)
+	if got := x.Sources(); len(got) != 2 || got[0] != "LocusLink" {
+		t.Fatalf("sources = %v", got)
+	}
+	if x.EntryCount("LocusLink") != 2 {
+		t.Errorf("LocusLink entries = %d", x.EntryCount("LocusLink"))
+	}
+	if x.EntryCount("nope") != 0 {
+		t.Error("unknown source should count 0")
+	}
+	e := x.Lookup("LocusLink", "353")
+	if e == nil || e.Name != "adenine phosphoribosyltransferase" {
+		t.Fatalf("entry = %+v", e)
+	}
+	if x.Lookup("LocusLink", "999") != nil {
+		t.Error("missing entry found")
+	}
+	if x.Lookup("nope", "353") != nil {
+		t.Error("missing source found")
+	}
+}
+
+func TestKeywordSearch(t *testing.T) {
+	x := buildIndex(t)
+	// Both loci mention "adenine".
+	if got := x.Search("LocusLink", "adenine"); len(got) != 2 {
+		t.Fatalf("search adenine = %v", got)
+	}
+	if got := x.Search("LocusLink", "ADENINE"); len(got) != 2 {
+		t.Error("search should be case-insensitive")
+	}
+	if got := x.Search("LocusLink", "deaminase"); len(got) != 1 || got[0] != "354" {
+		t.Fatalf("search deaminase = %v", got)
+	}
+	if got := x.Search("LocusLink", "missing"); len(got) != 0 {
+		t.Fatalf("search missing = %v", got)
+	}
+}
+
+func TestNavigation(t *testing.T) {
+	x := buildIndex(t)
+	if got := x.Navigate("LocusLink", "353", "GO"); len(got) != 1 || got[0] != "GO:0009116" {
+		t.Fatalf("navigate = %v", got)
+	}
+	// No composition: Unigene entry Hs.2 has no direct GO link even though
+	// LocusLink 354 -> ... would be reachable with a join.
+	if got := x.Navigate("Unigene", "Hs.2", "GO"); len(got) != 0 {
+		t.Fatalf("SRS should not compose, got %v", got)
+	}
+}
+
+func TestAnnotateSetCountsLookups(t *testing.T) {
+	x := buildIndex(t)
+	x.ResetLookups()
+	result := x.AnnotateSet("LocusLink", []string{"353", "354"}, []string{"Hugo", "GO", "Unigene"})
+	// Per-object, per-target navigation: 2 objects x 3 targets = 6 lookups.
+	if x.Lookups() != 6 {
+		t.Fatalf("lookups = %d, want 6", x.Lookups())
+	}
+	if len(result["353"]["Hugo"]) != 1 || len(result["353"]["GO"]) != 1 {
+		t.Errorf("353 annotations = %v", result["353"])
+	}
+	if len(result["354"]["GO"]) != 0 {
+		t.Errorf("354 should have no GO link")
+	}
+}
+
+func TestAddDatasetValidation(t *testing.T) {
+	x := NewIndex()
+	bad := eav.NewDataset(eav.SourceInfo{})
+	if err := x.AddDataset(bad); err == nil {
+		t.Fatal("invalid dataset accepted")
+	}
+}
+
+func TestIncrementalIndexing(t *testing.T) {
+	x := buildIndex(t)
+	more := eav.NewDataset(eav.SourceInfo{Name: "LocusLink"})
+	more.Add("355", eav.TargetName, "", "third locus")
+	if err := x.AddDataset(more); err != nil {
+		t.Fatal(err)
+	}
+	if x.EntryCount("LocusLink") != 3 {
+		t.Fatalf("entries after increment = %d", x.EntryCount("LocusLink"))
+	}
+}

@@ -1,0 +1,247 @@
+// Package star implements the baseline GenMapper argues against (paper §1):
+// a data warehouse with an application-specific global schema. Gene
+// annotations live in a fixed star schema — a gene dimension table with one
+// column per supported annotation source plus fact tables for
+// multi-valued annotations. The schema must be known up front; integrating
+// a source or attribute the schema designers did not anticipate requires
+// DDL (schema evolution), which is the maintenance cost the generic GAM
+// representation avoids.
+package star
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"genmapper/internal/eav"
+	"genmapper/internal/sqldb"
+)
+
+// Warehouse is a fixed-schema annotation warehouse over the embedded
+// database.
+type Warehouse struct {
+	db *sqldb.DB
+	// singleValued maps supported source names to their gene-table column.
+	singleValued map[string]string
+	// multiValued maps supported source names to their fact table.
+	multiValued map[string]string
+	ddlCount    int
+}
+
+// DefaultSingleValued lists the annotation sources the schema designers
+// anticipated as single-valued gene attributes.
+var DefaultSingleValued = []string{"Hugo", "Location", "Unigene"}
+
+// DefaultMultiValued lists the anticipated multi-valued annotations, each
+// getting its own fact table.
+var DefaultMultiValued = []string{"GO", "OMIM", "Enzyme"}
+
+// Build creates the star schema for the default anticipated sources.
+func Build(db *sqldb.DB) (*Warehouse, error) {
+	w := &Warehouse{
+		db:           db,
+		singleValued: make(map[string]string),
+		multiValued:  make(map[string]string),
+	}
+	cols := []string{"accession TEXT PRIMARY KEY", "name TEXT"}
+	for _, src := range DefaultSingleValued {
+		col := columnName(src)
+		w.singleValued[strings.ToLower(src)] = col
+		cols = append(cols, col+" TEXT")
+	}
+	ddl := "CREATE TABLE gene (" + strings.Join(cols, ", ") + ")"
+	if err := w.exec(ddl); err != nil {
+		return nil, err
+	}
+	for _, src := range DefaultMultiValued {
+		if err := w.addFactTable(src); err != nil {
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+func columnName(src string) string {
+	return strings.ToLower(strings.ReplaceAll(src, "-", "_"))
+}
+
+func factTableName(src string) string {
+	return columnName(src) + "_annotation"
+}
+
+func (w *Warehouse) exec(ddl string, args ...any) error {
+	if _, err := w.db.Exec(ddl, args...); err != nil {
+		return fmt.Errorf("star: %w", err)
+	}
+	w.ddlCount++
+	return nil
+}
+
+func (w *Warehouse) addFactTable(src string) error {
+	table := factTableName(src)
+	w.multiValued[strings.ToLower(src)] = table
+	if err := w.exec(fmt.Sprintf(
+		"CREATE TABLE %s (gene_accession TEXT NOT NULL, target_accession TEXT NOT NULL, text TEXT)", table)); err != nil {
+		return err
+	}
+	return w.exec(fmt.Sprintf("CREATE INDEX idx_%s_gene ON %s (gene_accession)", table, table))
+}
+
+// DDLCount reports how many DDL statements the warehouse has needed so
+// far. This is the schema-churn metric of the E10 ablation: GAM needs zero
+// DDL to absorb a new source, the star schema needs at least one.
+func (w *Warehouse) DDLCount() int { return w.ddlCount }
+
+// Supports reports whether the warehouse can store annotations of the
+// given target source without schema evolution.
+func (w *Warehouse) Supports(target string) bool {
+	key := strings.ToLower(target)
+	if _, ok := w.singleValued[key]; ok {
+		return true
+	}
+	_, ok := w.multiValued[key]
+	return ok
+}
+
+// AddTarget evolves the schema to accept a previously unanticipated
+// annotation source (always as a multi-valued fact table). This is the
+// operation the generic model renders unnecessary.
+func (w *Warehouse) AddTarget(target string) error {
+	if w.Supports(target) {
+		return nil
+	}
+	return w.addFactTable(target)
+}
+
+// LoadDataset loads a gene dataset (e.g. parsed LocusLink) into the
+// warehouse. Annotations whose target the schema does not support are
+// counted as dropped — the warehouse silently loses what its schema cannot
+// express.
+func (w *Warehouse) LoadDataset(d *eav.Dataset) (loaded, dropped int, err error) {
+	type geneRow struct {
+		name   string
+		single map[string]string
+	}
+	genes := make(map[string]*geneRow)
+	var order []string
+	get := func(acc string) *geneRow {
+		g, ok := genes[acc]
+		if !ok {
+			g = &geneRow{single: make(map[string]string)}
+			genes[acc] = g
+			order = append(order, acc)
+		}
+		return g
+	}
+	type fact struct {
+		table, gene, target, text string
+	}
+	var facts []fact
+	for _, r := range d.Records {
+		g := get(r.Accession)
+		switch {
+		case r.Target == eav.TargetName:
+			g.name = r.Text
+		case eav.IsPseudoTarget(r.Target):
+			dropped++
+		default:
+			key := strings.ToLower(r.Target)
+			if col, ok := w.singleValued[key]; ok {
+				if _, dup := g.single[col]; !dup {
+					g.single[col] = r.TargetAccession
+					loaded++
+				}
+				continue
+			}
+			if table, ok := w.multiValued[key]; ok {
+				facts = append(facts, fact{table: table, gene: r.Accession, target: r.TargetAccession, text: r.Text})
+				loaded++
+				continue
+			}
+			dropped++
+		}
+	}
+
+	// Insert genes.
+	singleCols := make([]string, 0, len(w.singleValued))
+	for _, col := range w.singleValued {
+		singleCols = append(singleCols, col)
+	}
+	sort.Strings(singleCols)
+	colList := "accession, name"
+	placeholders := "?, ?"
+	for _, col := range singleCols {
+		colList += ", " + col
+		placeholders += ", ?"
+	}
+	insertSQL := fmt.Sprintf("INSERT INTO gene (%s) VALUES (%s)", colList, placeholders)
+	for _, acc := range order {
+		existing, err := w.db.Query("SELECT accession FROM gene WHERE accession = ?", acc)
+		if err != nil {
+			return loaded, dropped, fmt.Errorf("star: %w", err)
+		}
+		if existing.Len() > 0 {
+			continue // re-load: gene row already present
+		}
+		g := genes[acc]
+		args := []any{acc, g.name}
+		for _, col := range singleCols {
+			if v, ok := g.single[col]; ok {
+				args = append(args, v)
+			} else {
+				args = append(args, nil)
+			}
+		}
+		if _, err := w.db.Exec(insertSQL, args...); err != nil {
+			return loaded, dropped, fmt.Errorf("star: insert gene: %w", err)
+		}
+	}
+	for _, f := range facts {
+		if _, err := w.db.Exec(
+			fmt.Sprintf("INSERT INTO %s (gene_accession, target_accession, text) VALUES (?, ?, ?)", f.table),
+			f.gene, f.target, f.text); err != nil {
+			return loaded, dropped, fmt.Errorf("star: insert fact: %w", err)
+		}
+	}
+	return loaded, dropped, nil
+}
+
+// AnnotationView builds the Figure-3-style view (gene plus one column per
+// requested target) through SQL joins on the star schema. Requested
+// targets outside the schema are an error — the fixed schema cannot serve
+// them.
+func (w *Warehouse) AnnotationView(genes []string, targets []string) (*sqldb.ResultSet, error) {
+	selectCols := []string{"g.accession"}
+	fromClause := "gene g"
+	for i, tgt := range targets {
+		key := strings.ToLower(tgt)
+		if col, ok := w.singleValued[key]; ok {
+			selectCols = append(selectCols, "g."+col)
+			continue
+		}
+		table, ok := w.multiValued[key]
+		if !ok {
+			return nil, fmt.Errorf("star: schema does not support target %q", tgt)
+		}
+		alias := fmt.Sprintf("t%d", i)
+		selectCols = append(selectCols, alias+".target_accession")
+		fromClause += fmt.Sprintf(" LEFT JOIN %s %s ON g.accession = %s.gene_accession", table, alias, alias)
+	}
+	sql := "SELECT " + strings.Join(selectCols, ", ") + " FROM " + fromClause
+	var args []any
+	if len(genes) > 0 {
+		marks := make([]string, len(genes))
+		for i, g := range genes {
+			marks[i] = "?"
+			args = append(args, g)
+		}
+		sql += " WHERE g.accession IN (" + strings.Join(marks, ", ") + ")"
+	}
+	sql += " ORDER BY g.accession"
+	return w.db.Query(sql, args...)
+}
+
+// GeneCount returns the number of loaded genes.
+func (w *Warehouse) GeneCount() int {
+	return w.db.RowCount("gene")
+}

@@ -1,0 +1,141 @@
+package star
+
+import (
+	"testing"
+
+	"genmapper/internal/eav"
+	"genmapper/internal/sqldb"
+)
+
+func locusDataset() *eav.Dataset {
+	d := eav.NewDataset(eav.SourceInfo{Name: "LocusLink", Content: "gene"})
+	d.Add("353", eav.TargetName, "", "adenine phosphoribosyltransferase")
+	d.Add("353", "Hugo", "APRT", "")
+	d.Add("353", "Location", "16q24", "")
+	d.Add("353", "GO", "GO:0009116", "nucleoside metabolism")
+	d.Add("353", "GO", "GO:0016740", "transferase activity")
+	d.Add("353", "OMIM", "102600", "")
+	d.Add("354", eav.TargetName, "", "second locus")
+	d.Add("354", "Hugo", "XYZ1", "")
+	return d
+}
+
+func TestBuildAndLoad(t *testing.T) {
+	w, err := Build(sqldb.NewDB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	initialDDL := w.DDLCount()
+	if initialDDL == 0 {
+		t.Fatal("schema creation needs DDL")
+	}
+	loaded, dropped, err := w.LoadDataset(locusDataset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded != 6 || dropped != 0 {
+		t.Fatalf("loaded=%d dropped=%d", loaded, dropped)
+	}
+	if w.GeneCount() != 2 {
+		t.Fatalf("genes = %d", w.GeneCount())
+	}
+}
+
+func TestAnnotationView(t *testing.T) {
+	w, _ := Build(sqldb.NewDB())
+	if _, _, err := w.LoadDataset(locusDataset()); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := w.AnnotationView([]string{"353"}, []string{"Hugo", "GO"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 353 with two GO terms: two rows (single-valued Hugo repeats).
+	if len(rs.Rows) != 2 {
+		t.Fatalf("view rows = %d, want 2", len(rs.Rows))
+	}
+	if rs.Rows[0][1] != "APRT" {
+		t.Errorf("hugo cell = %v", rs.Rows[0][1])
+	}
+	// Whole-warehouse view (no gene restriction) includes 354 with NULL GO.
+	rs, err = w.AnnotationView(nil, []string{"GO"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found354 := false
+	for _, r := range rs.Rows {
+		if r[0] == "354" {
+			found354 = true
+			if r[1] != nil {
+				t.Errorf("354 GO = %v, want NULL", r[1])
+			}
+		}
+	}
+	if !found354 {
+		t.Error("left join lost unannotated gene")
+	}
+}
+
+func TestUnsupportedTargetRequiresDDL(t *testing.T) {
+	// The E10 schema-churn scenario: a source the schema designers did not
+	// anticipate arrives.
+	w, _ := Build(sqldb.NewDB())
+	d := eav.NewDataset(eav.SourceInfo{Name: "LocusLink"})
+	d.Add("353", "InterPro", "IPR000001", "")
+	_, dropped, err := w.LoadDataset(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 1 {
+		t.Fatalf("dropped = %d, want 1 (unsupported target lost)", dropped)
+	}
+	if w.Supports("InterPro") {
+		t.Fatal("InterPro should be unsupported initially")
+	}
+	if _, err := w.AnnotationView(nil, []string{"InterPro"}); err == nil {
+		t.Fatal("view over unsupported target must fail")
+	}
+
+	before := w.DDLCount()
+	if err := w.AddTarget("InterPro"); err != nil {
+		t.Fatal(err)
+	}
+	ddlNeeded := w.DDLCount() - before
+	if ddlNeeded < 1 {
+		t.Fatalf("schema evolution needed %d DDL statements, want >= 1", ddlNeeded)
+	}
+	if !w.Supports("InterPro") {
+		t.Fatal("AddTarget did not register the source")
+	}
+	// Idempotent.
+	before = w.DDLCount()
+	if err := w.AddTarget("InterPro"); err != nil {
+		t.Fatal(err)
+	}
+	if w.DDLCount() != before {
+		t.Error("re-adding a supported target should be free")
+	}
+	// Now the data loads.
+	loaded, dropped, err := w.LoadDataset(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = loaded
+	if dropped != 0 {
+		t.Fatalf("still dropping after evolution: %d", dropped)
+	}
+}
+
+func TestStructuralRecordsDropped(t *testing.T) {
+	// The star schema has no place for taxonomy structure.
+	w, _ := Build(sqldb.NewDB())
+	d := eav.NewDataset(eav.SourceInfo{Name: "GO"})
+	d.Add("GO:2", eav.TargetIsA, "GO:1", "")
+	_, dropped, err := w.LoadDataset(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 1 {
+		t.Fatalf("IS_A dropped = %d, want 1", dropped)
+	}
+}

@@ -1,0 +1,277 @@
+// Package eav implements the staging format produced by the Parse step of
+// GenMapper's two-phase import pipeline (paper §4.1, Table 1).
+//
+// Every parser, regardless of the source's native format, emits a Dataset:
+// a flat list of (accession, target, target-accession, text) records plus
+// audit information about the source. The Import step (package importer)
+// consumes Datasets and performs the generic EAV-to-GAM transformation.
+package eav
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Pseudo-target names carrying object metadata and intra-source structure
+// rather than cross-references. All other target values name an external
+// source being cross-referenced.
+const (
+	// TargetName carries the object's own descriptive text
+	// (e.g. "APRT" -> "adenine phosphoribosyltransferase").
+	TargetName = "NAME"
+	// TargetIsA links a term to its parent term within the same source
+	// (taxonomies such as GeneOntology or Enzyme).
+	TargetIsA = "IS_A"
+	// TargetContains links a source partition to a member object, e.g.
+	// GO's "Biological Process" sub-taxonomy containing a term.
+	TargetContains = "CONTAINS"
+	// TargetNumber carries a numeric representation of the object.
+	TargetNumber = "NUMBER"
+)
+
+// Record is one parsed annotation: the source object identified by
+// Accession is related to TargetAccession in the Target source. Text
+// carries optional descriptive text (Table 1's rightmost column).
+// Evidence, when non-zero, records the computed plausibility of the
+// association (used for Similarity mappings).
+type Record struct {
+	Accession       string
+	Target          string
+	TargetAccession string
+	Text            string
+	Evidence        float64
+}
+
+// SourceInfo identifies and audits the source a Dataset came from. Name and
+// Release participate in duplicate elimination at the source level (§4.1).
+type SourceInfo struct {
+	Name      string
+	Content   string // gene | protein | other
+	Structure string // flat | network
+	Release   string
+	Date      string // import/download date, audit info
+}
+
+// Dataset is the parse output for one source: audit info plus records.
+type Dataset struct {
+	Source  SourceInfo
+	Records []Record
+}
+
+// NewDataset creates an empty dataset for the given source.
+func NewDataset(info SourceInfo) *Dataset {
+	return &Dataset{Source: info}
+}
+
+// Add appends one record.
+func (d *Dataset) Add(accession, target, targetAccession, text string) {
+	d.Records = append(d.Records, Record{
+		Accession: accession, Target: target, TargetAccession: targetAccession, Text: text,
+	})
+}
+
+// AddEvidence appends one record carrying an evidence value.
+func (d *Dataset) AddEvidence(accession, target, targetAccession, text string, evidence float64) {
+	d.Records = append(d.Records, Record{
+		Accession: accession, Target: target, TargetAccession: targetAccession,
+		Text: text, Evidence: evidence,
+	})
+}
+
+// Len returns the number of records.
+func (d *Dataset) Len() int { return len(d.Records) }
+
+// Accessions returns the distinct object accessions in first-seen order.
+func (d *Dataset) Accessions() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, r := range d.Records {
+		if !seen[r.Accession] {
+			seen[r.Accession] = true
+			out = append(out, r.Accession)
+		}
+	}
+	return out
+}
+
+// Targets returns the distinct target names in sorted order, excluding
+// pseudo-targets.
+func (d *Dataset) Targets() []string {
+	seen := make(map[string]bool)
+	for _, r := range d.Records {
+		if IsPseudoTarget(r.Target) {
+			continue
+		}
+		seen[r.Target] = true
+	}
+	out := make([]string, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByAccession groups records by object accession, preserving record order
+// within each group. The returned keys follow first-seen order.
+func (d *Dataset) ByAccession() ([]string, map[string][]Record) {
+	groups := make(map[string][]Record)
+	keys := d.Accessions()
+	for _, r := range d.Records {
+		groups[r.Accession] = append(groups[r.Accession], r)
+	}
+	return keys, groups
+}
+
+// IsPseudoTarget reports whether the target name is one of the reserved
+// metadata/structure targets rather than an external source reference.
+func IsPseudoTarget(target string) bool {
+	switch target {
+	case TargetName, TargetIsA, TargetContains, TargetNumber:
+		return true
+	}
+	return false
+}
+
+// Validate checks structural well-formedness: non-empty accessions and
+// targets, and target accessions present where required. It returns the
+// first problem found.
+func (d *Dataset) Validate() error {
+	if d.Source.Name == "" {
+		return fmt.Errorf("eav: dataset has no source name")
+	}
+	for i, r := range d.Records {
+		if r.Accession == "" {
+			return fmt.Errorf("eav: record %d of %s: empty accession", i, d.Source.Name)
+		}
+		if r.Target == "" {
+			return fmt.Errorf("eav: record %d of %s: empty target", i, d.Source.Name)
+		}
+		switch r.Target {
+		case TargetName:
+			// Text-only record; target accession unused.
+		case TargetNumber:
+			if r.Text == "" {
+				return fmt.Errorf("eav: record %d of %s: NUMBER record without value", i, d.Source.Name)
+			}
+		default:
+			if r.TargetAccession == "" {
+				return fmt.Errorf("eav: record %d of %s: target %s without accession", i, d.Source.Name, r.Target)
+			}
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// TSV serialization: the interchange format between gmgen/parsers and
+// gmimport. Header line `#source\tname\tcontent\tstructure\trelease\tdate`
+// followed by one record per line.
+
+// WriteTSV serializes the dataset.
+func (d *Dataset) WriteTSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "#source\t%s\t%s\t%s\t%s\t%s\n",
+		escapeField(d.Source.Name), escapeField(d.Source.Content),
+		escapeField(d.Source.Structure), escapeField(d.Source.Release),
+		escapeField(d.Source.Date))
+	for _, r := range d.Records {
+		ev := ""
+		if r.Evidence != 0 {
+			ev = fmt.Sprintf("%g", r.Evidence)
+		}
+		fmt.Fprintf(bw, "%s\t%s\t%s\t%s\t%s\n",
+			escapeField(r.Accession), escapeField(r.Target),
+			escapeField(r.TargetAccession), escapeField(r.Text), ev)
+	}
+	return bw.Flush()
+}
+
+// ReadTSV parses a dataset previously written by WriteTSV.
+func ReadTSV(r io.Reader) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("eav: read header: %w", err)
+		}
+		return nil, fmt.Errorf("eav: empty input")
+	}
+	header := strings.Split(sc.Text(), "\t")
+	if len(header) != 6 || header[0] != "#source" {
+		return nil, fmt.Errorf("eav: bad header line %q", sc.Text())
+	}
+	d := NewDataset(SourceInfo{
+		Name:      unescapeField(header[1]),
+		Content:   unescapeField(header[2]),
+		Structure: unescapeField(header[3]),
+		Release:   unescapeField(header[4]),
+		Date:      unescapeField(header[5]),
+	})
+	lineNo := 1
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		parts := strings.Split(line, "\t")
+		if len(parts) != 5 {
+			return nil, fmt.Errorf("eav: line %d: expected 5 fields, got %d", lineNo, len(parts))
+		}
+		rec := Record{
+			Accession:       unescapeField(parts[0]),
+			Target:          unescapeField(parts[1]),
+			TargetAccession: unescapeField(parts[2]),
+			Text:            unescapeField(parts[3]),
+		}
+		if parts[4] != "" {
+			if _, err := fmt.Sscanf(parts[4], "%g", &rec.Evidence); err != nil {
+				return nil, fmt.Errorf("eav: line %d: bad evidence %q", lineNo, parts[4])
+			}
+		}
+		d.Records = append(d.Records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("eav: read: %w", err)
+	}
+	return d, nil
+}
+
+func escapeField(s string) string {
+	if !strings.ContainsAny(s, "\t\n\\") {
+		return s
+	}
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\t", `\t`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return s
+}
+
+func unescapeField(s string) string {
+	if !strings.Contains(s, `\`) {
+		return s
+	}
+	var sb strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] != '\\' || i == len(s)-1 {
+			sb.WriteByte(s[i])
+			continue
+		}
+		i++
+		switch s[i] {
+		case 't':
+			sb.WriteByte('\t')
+		case 'n':
+			sb.WriteByte('\n')
+		case '\\':
+			sb.WriteByte('\\')
+		default:
+			sb.WriteByte(s[i])
+		}
+	}
+	return sb.String()
+}

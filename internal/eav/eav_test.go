@@ -1,0 +1,228 @@
+package eav
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleDataset() *Dataset {
+	// The paper's Table 1: parsed annotation data for LocusLink locus 353.
+	d := NewDataset(SourceInfo{
+		Name: "LocusLink", Content: "gene", Structure: "flat",
+		Release: "2003-10", Date: "2004-01-15",
+	})
+	d.Add("353", TargetName, "", "adenine phosphoribosyltransferase")
+	d.Add("353", "Hugo", "APRT", "adenine phosphoribosyltransferase")
+	d.Add("353", "Location", "16q24", "")
+	d.Add("353", "Enzyme", "2.4.2.7", "")
+	d.Add("353", "GO", "GO:0009116", "nucleoside metabolism")
+	d.Add("354", TargetName, "", "another locus")
+	d.Add("354", "GO", "GO:0016740", "transferase activity")
+	return d
+}
+
+func TestDatasetBasics(t *testing.T) {
+	d := sampleDataset()
+	if d.Len() != 7 {
+		t.Fatalf("Len = %d, want 7", d.Len())
+	}
+	accs := d.Accessions()
+	if len(accs) != 2 || accs[0] != "353" || accs[1] != "354" {
+		t.Errorf("Accessions = %v", accs)
+	}
+	targets := d.Targets()
+	want := []string{"Enzyme", "GO", "Hugo", "Location"}
+	if strings.Join(targets, ",") != strings.Join(want, ",") {
+		t.Errorf("Targets = %v, want %v (pseudo-targets excluded)", targets, want)
+	}
+}
+
+func TestByAccession(t *testing.T) {
+	d := sampleDataset()
+	keys, groups := d.ByAccession()
+	if len(keys) != 2 {
+		t.Fatalf("keys = %v", keys)
+	}
+	if len(groups["353"]) != 5 || len(groups["354"]) != 2 {
+		t.Errorf("group sizes = %d, %d", len(groups["353"]), len(groups["354"]))
+	}
+	if groups["353"][1].Target != "Hugo" {
+		t.Errorf("record order not preserved: %v", groups["353"][1])
+	}
+}
+
+func TestIsPseudoTarget(t *testing.T) {
+	for _, p := range []string{TargetName, TargetIsA, TargetContains, TargetNumber} {
+		if !IsPseudoTarget(p) {
+			t.Errorf("%s should be a pseudo-target", p)
+		}
+	}
+	if IsPseudoTarget("GO") {
+		t.Error("GO is a real target")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	d := sampleDataset()
+	if err := d.Validate(); err != nil {
+		t.Fatalf("valid dataset rejected: %v", err)
+	}
+	bad := NewDataset(SourceInfo{})
+	if err := bad.Validate(); err == nil {
+		t.Error("missing source name not caught")
+	}
+	d2 := NewDataset(SourceInfo{Name: "X"})
+	d2.Add("", "GO", "GO:1", "")
+	if err := d2.Validate(); err == nil {
+		t.Error("empty accession not caught")
+	}
+	d3 := NewDataset(SourceInfo{Name: "X"})
+	d3.Add("a", "", "b", "")
+	if err := d3.Validate(); err == nil {
+		t.Error("empty target not caught")
+	}
+	d4 := NewDataset(SourceInfo{Name: "X"})
+	d4.Add("a", "GO", "", "")
+	if err := d4.Validate(); err == nil {
+		t.Error("missing target accession not caught")
+	}
+	d5 := NewDataset(SourceInfo{Name: "X"})
+	d5.Add("a", TargetNumber, "", "")
+	if err := d5.Validate(); err == nil {
+		t.Error("NUMBER record without value not caught")
+	}
+}
+
+func TestTSVRoundTrip(t *testing.T) {
+	d := sampleDataset()
+	d.AddEvidence("353", "Unigene", "Hs.28914", "", 0.83)
+	var buf bytes.Buffer
+	if err := d.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Source != d.Source {
+		t.Errorf("source info = %+v, want %+v", got.Source, d.Source)
+	}
+	if len(got.Records) != len(d.Records) {
+		t.Fatalf("records = %d, want %d", len(got.Records), len(d.Records))
+	}
+	for i := range d.Records {
+		if got.Records[i] != d.Records[i] {
+			t.Errorf("record %d = %+v, want %+v", i, got.Records[i], d.Records[i])
+		}
+	}
+}
+
+func TestTSVEscaping(t *testing.T) {
+	d := NewDataset(SourceInfo{Name: "Weird\tSource", Release: "a\\b"})
+	d.Add("acc\t1", "GO", "GO:1", "text with\nnewline and\ttab")
+	var buf bytes.Buffer
+	if err := d.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Source.Name != "Weird\tSource" || got.Source.Release != "a\\b" {
+		t.Errorf("escaped source info = %+v", got.Source)
+	}
+	if got.Records[0].Accession != "acc\t1" {
+		t.Errorf("accession = %q", got.Records[0].Accession)
+	}
+	if got.Records[0].Text != "text with\nnewline and\ttab" {
+		t.Errorf("text = %q", got.Records[0].Text)
+	}
+}
+
+func TestTSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"not a header\n",
+		"#source\tonly\ttwo\n",
+		"#source\tX\tgene\tflat\tr\td\nbad line with too few fields\n",
+		"#source\tX\tgene\tflat\tr\nmissing header field\n",
+	}
+	for _, in := range cases {
+		if _, err := ReadTSV(strings.NewReader(in)); err == nil {
+			t.Errorf("expected error for input %q", in)
+		}
+	}
+}
+
+func TestTSVBadEvidence(t *testing.T) {
+	in := "#source\tX\tgene\tflat\tr\td\nacc\tGO\tGO:1\t\tnot-a-number\n"
+	if _, err := ReadTSV(strings.NewReader(in)); err == nil {
+		t.Error("expected error for bad evidence field")
+	}
+}
+
+func TestTSVSkipsBlankLines(t *testing.T) {
+	in := "#source\tX\tgene\tflat\tr\td\n\nacc\tGO\tGO:1\t\t\n\n"
+	d, err := ReadTSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", d.Len())
+	}
+}
+
+func TestEscapeRoundTripProperty(t *testing.T) {
+	f := func(s string) bool {
+		// Fields cannot contain raw \r via the scanner, skip them.
+		if strings.ContainsRune(s, '\r') {
+			return true
+		}
+		return unescapeField(escapeField(s)) == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDatasetTSVRoundTripProperty(t *testing.T) {
+	f := func(accs, targets []string) bool {
+		d := NewDataset(SourceInfo{Name: "P", Content: "gene", Structure: "flat"})
+		for i := range accs {
+			a := strings.ReplaceAll(accs[i], "\r", "")
+			if a == "" {
+				a = "acc"
+			}
+			tgt := "T"
+			if i < len(targets) && targets[i] != "" {
+				tgt = strings.ReplaceAll(targets[i], "\r", "")
+				if tgt == "" {
+					tgt = "T"
+				}
+			}
+			d.Add(a, tgt, "x", "")
+		}
+		var buf bytes.Buffer
+		if err := d.WriteTSV(&buf); err != nil {
+			return false
+		}
+		got, err := ReadTSV(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got.Records) != len(d.Records) {
+			return false
+		}
+		for i := range d.Records {
+			if got.Records[i] != d.Records[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,153 @@
+package gam
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestConcurrentImportersAndReaders(t *testing.T) {
+	r := newRepo(t)
+	s, _, _ := r.EnsureSource(Source{Name: "Hub"})
+	const writers, perWriter, readers = 4, 50, 4
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				spec := ObjectSpec{Accession: fmt.Sprintf("w%d-obj%d", w, i)}
+				if _, _, err := r.EnsureObjects(s.ID, []ObjectSpec{spec}); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	for rd := 0; rd < readers; rd++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				if _, err := r.ObjectCount(s.ID); err != nil {
+					t.Errorf("reader: %v", err)
+					return
+				}
+				if _, err := r.Stats(); err != nil {
+					t.Errorf("reader stats: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	n, err := r.ObjectCount(s.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != writers*perWriter {
+		t.Fatalf("objects = %d, want %d", n, writers*perWriter)
+	}
+}
+
+func TestConcurrentSourceCreation(t *testing.T) {
+	r := newRepo(t)
+	const n = 8
+	var wg sync.WaitGroup
+	ids := make([]SourceID, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Everyone races to create the same source.
+			s, _, err := r.EnsureSource(Source{Name: "Shared"})
+			if err != nil {
+				t.Errorf("goroutine %d: %v", i, err)
+				return
+			}
+			ids[i] = s.ID
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if ids[i] != ids[0] {
+			t.Fatalf("racing EnsureSource produced different IDs: %v", ids)
+		}
+	}
+	cnt, _ := r.db.Query("SELECT COUNT(*) FROM source WHERE name = 'Shared'")
+	if cnt.Rows[0][0] != int64(1) {
+		t.Fatalf("source duplicated under race: %v", cnt.Rows[0][0])
+	}
+}
+
+func TestConcurrentAssociations(t *testing.T) {
+	r := newRepo(t)
+	a, _, _ := r.EnsureSource(Source{Name: "A"})
+	b, _, _ := r.EnsureSource(Source{Name: "B"})
+	aIDs, _, _ := r.EnsureObjects(a.ID, []ObjectSpec{{Accession: "a1"}, {Accession: "a2"}})
+	bIDs, _, _ := r.EnsureObjects(b.ID, []ObjectSpec{{Accession: "b1"}, {Accession: "b2"}})
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rel, _, err := r.EnsureSourceRel(a.ID, b.ID, RelFact)
+			if err != nil {
+				t.Errorf("worker %d: %v", w, err)
+				return
+			}
+			if _, err := r.AddAssociations(rel, []Assoc{
+				{Object1: aIDs[w%2], Object2: bIDs[(w+1)%2]},
+			}, false); err != nil {
+				t.Errorf("worker %d: %v", w, err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	// All workers used the same mapping.
+	rels, _ := r.SourceRels()
+	factCount := 0
+	for _, rel := range rels {
+		if rel.Type == RelFact {
+			factCount++
+		}
+	}
+	if factCount != 1 {
+		t.Fatalf("racing EnsureSourceRel created %d fact mappings", factCount)
+	}
+}
+
+func TestFillMissingObjectInfo(t *testing.T) {
+	r := newRepo(t)
+	s, _, _ := r.EnsureSource(Source{Name: "S"})
+	ids, _, _ := r.EnsureObjects(s.ID, []ObjectSpec{
+		{Accession: "bare"},
+		{Accession: "named", Text: "already has text"},
+	})
+	updated, err := r.FillMissingObjectInfo(s.ID, []ObjectSpec{
+		{Accession: "bare", Text: "filled in", HasNumber: true, Number: 4.5},
+		{Accession: "named", Text: "must not overwrite"},
+		{Accession: "unknown", Text: "no such object"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if updated != 1 {
+		t.Fatalf("updated = %d, want 1", updated)
+	}
+	bare, _ := r.Object(ids[0])
+	if bare.Text != "filled in" || !bare.HasNumber || bare.Number != 4.5 {
+		t.Fatalf("bare after fill = %+v", bare)
+	}
+	named, _ := r.Object(ids[1])
+	if named.Text != "already has text" {
+		t.Fatalf("named overwritten: %+v", named)
+	}
+	// No-op when nothing to fill.
+	updated, err = r.FillMissingObjectInfo(s.ID, []ObjectSpec{{Accession: "x"}})
+	if err != nil || updated != 0 {
+		t.Fatalf("empty fill = %d, %v", updated, err)
+	}
+}

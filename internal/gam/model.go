@@ -1,0 +1,142 @@
+// Package gam implements the Generic Annotation Model (GAM), the core data
+// model of the GenMapper system (paper §3, Figure 4).
+//
+// GAM represents arbitrary annotation data from heterogeneous
+// molecular-biological sources in four relations:
+//
+//	SOURCE      — data sources (public collections, ontologies, schemas)
+//	OBJECT      — source objects: accession plus optional text/number
+//	SOURCE_REL  — typed relationships between sources ("mappings")
+//	OBJECT_REL  — relationships between objects ("associations"),
+//	              optionally weighted with an evidence value
+//
+// The Repo type wraps an embedded relational database (internal/sqldb,
+// standing in for the original system's MySQL backend) with the GAM schema
+// and the lookup/ingestion operations the import pipeline and the operator
+// layer need.
+package gam
+
+import "fmt"
+
+// Content classifies a source by what its objects describe (paper §3:
+// "gene-oriented, protein-oriented and other sources").
+type Content string
+
+// Source content classes.
+const (
+	ContentGene    Content = "gene"
+	ContentProtein Content = "protein"
+	ContentOther   Content = "other"
+)
+
+// ParseContent validates a content string.
+func ParseContent(s string) (Content, error) {
+	switch Content(s) {
+	case ContentGene, ContentProtein, ContentOther:
+		return Content(s), nil
+	case "":
+		return ContentOther, nil
+	}
+	return "", fmt.Errorf("gam: unknown content class %q", s)
+}
+
+// Structure distinguishes flat object collections from network sources
+// (taxonomies, database schemas) whose objects are organized in a
+// structure.
+type Structure string
+
+// Source structure classes.
+const (
+	StructureFlat    Structure = "flat"
+	StructureNetwork Structure = "network"
+)
+
+// ParseStructure validates a structure string.
+func ParseStructure(s string) (Structure, error) {
+	switch Structure(s) {
+	case StructureFlat, StructureNetwork:
+		return Structure(s), nil
+	case "":
+		return StructureFlat, nil
+	}
+	return "", fmt.Errorf("gam: unknown structure class %q", s)
+}
+
+// RelType is the semantic type of a source-level relationship.
+type RelType string
+
+// Relationship types (paper §3). Fact and Similarity are annotation
+// relationships imported from external sources; Contains and IsA are
+// structural; Composed and Subsumed are derived by GenMapper itself.
+const (
+	RelFact       RelType = "fact"
+	RelSimilarity RelType = "similarity"
+	RelContains   RelType = "contains"
+	RelIsA        RelType = "is_a"
+	RelComposed   RelType = "composed"
+	RelSubsumed   RelType = "subsumed"
+)
+
+// ParseRelType validates a relationship type string.
+func ParseRelType(s string) (RelType, error) {
+	switch RelType(s) {
+	case RelFact, RelSimilarity, RelContains, RelIsA, RelComposed, RelSubsumed:
+		return RelType(s), nil
+	}
+	return "", fmt.Errorf("gam: unknown relationship type %q", s)
+}
+
+// IsDerived reports whether the type is computed by GenMapper rather than
+// imported from an external source.
+func (t RelType) IsDerived() bool { return t == RelComposed || t == RelSubsumed }
+
+// IsStructural reports whether the type describes intra-source structure.
+func (t RelType) IsStructural() bool { return t == RelContains || t == RelIsA }
+
+// SourceID identifies a row of SOURCE.
+type SourceID int64
+
+// ObjectID identifies a row of OBJECT.
+type ObjectID int64
+
+// SourceRelID identifies a row of SOURCE_REL (a mapping).
+type SourceRelID int64
+
+// Source is one row of the SOURCE relation.
+type Source struct {
+	ID        SourceID
+	Name      string
+	Content   Content
+	Structure Structure
+	Release   string
+	Date      string
+}
+
+// Object is one row of the OBJECT relation. Text and Number are optional
+// (paper §3: accession "often accompanied by a textual component";
+// "alternatively, an object may also have a numeric representation").
+type Object struct {
+	ID        ObjectID
+	Source    SourceID
+	Accession string
+	Text      string
+	HasNumber bool
+	Number    float64
+}
+
+// SourceRel is one row of SOURCE_REL: a typed mapping between two sources
+// (or within one source, for structural relationships).
+type SourceRel struct {
+	ID      SourceRelID
+	Source1 SourceID
+	Source2 SourceID
+	Type    RelType
+}
+
+// Assoc is one row of OBJECT_REL: an association between two objects under
+// a specific mapping, with an optional evidence value (0 means unset).
+type Assoc struct {
+	Object1  ObjectID
+	Object2  ObjectID
+	Evidence float64
+}

@@ -1,0 +1,327 @@
+package gam
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// EnsureSourceRel returns the mapping (s1, s2, typ), creating it when
+// absent. The boolean reports creation. Mappings are directional rows but
+// FindMapping searches both directions.
+func (r *Repo) EnsureSourceRel(s1, s2 SourceID, typ RelType) (SourceRelID, bool, error) {
+	if _, err := ParseRelType(string(typ)); err != nil {
+		return 0, false, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.loadRelsLocked(); err != nil {
+		return 0, false, err
+	}
+	if r.sourcesByID[s1] == nil || r.sourcesByID[s2] == nil {
+		return 0, false, fmt.Errorf("gam: source rel references unknown source (%d, %d)", s1, s2)
+	}
+	key := relKey{s1: s1, s2: s2, typ: typ}
+	if id, ok := r.rels[key]; ok {
+		return id, false, nil
+	}
+	res, err := r.db.Exec("INSERT INTO source_rel (source1_id, source2_id, type) VALUES (?, ?, ?)",
+		int64(s1), int64(s2), string(typ))
+	if err != nil {
+		return 0, false, fmt.Errorf("gam: insert source_rel: %w", err)
+	}
+	id := SourceRelID(res.LastInsertID)
+	r.rels[key] = id
+	return id, true, nil
+}
+
+func (r *Repo) loadRelsLocked() error {
+	if r.relsLoaded {
+		return nil
+	}
+	rs, err := r.db.Query("SELECT source_rel_id, source1_id, source2_id, type FROM source_rel")
+	if err != nil {
+		return fmt.Errorf("gam: load source rels: %w", err)
+	}
+	for _, row := range rs.Rows {
+		key := relKey{
+			s1:  SourceID(row[1].(int64)),
+			s2:  SourceID(row[2].(int64)),
+			typ: RelType(row[3].(string)),
+		}
+		r.rels[key] = SourceRelID(row[0].(int64))
+	}
+	r.relsLoaded = true
+	return nil
+}
+
+// SourceRelByID returns the mapping row, or nil.
+func (r *Repo) SourceRelByID(id SourceRelID) (*SourceRel, error) {
+	rs, err := r.db.Query("SELECT source_rel_id, source1_id, source2_id, type FROM source_rel WHERE source_rel_id = ?", int64(id))
+	if err != nil {
+		return nil, err
+	}
+	if len(rs.Rows) == 0 {
+		return nil, nil
+	}
+	row := rs.Rows[0]
+	return &SourceRel{
+		ID:      SourceRelID(row[0].(int64)),
+		Source1: SourceID(row[1].(int64)),
+		Source2: SourceID(row[2].(int64)),
+		Type:    RelType(row[3].(string)),
+	}, nil
+}
+
+// SourceRels returns all mappings ordered by ID.
+func (r *Repo) SourceRels() ([]*SourceRel, error) {
+	rs, err := r.db.Query("SELECT source_rel_id, source1_id, source2_id, type FROM source_rel ORDER BY source_rel_id")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*SourceRel, 0, len(rs.Rows))
+	for _, row := range rs.Rows {
+		out = append(out, &SourceRel{
+			ID:      SourceRelID(row[0].(int64)),
+			Source1: SourceID(row[1].(int64)),
+			Source2: SourceID(row[2].(int64)),
+			Type:    RelType(row[3].(string)),
+		})
+	}
+	return out, nil
+}
+
+// FindMapping locates a mapping between two sources, searching both
+// directions. The second return value reports whether the found mapping is
+// reversed (stored as s2->s1). Annotation and derived mappings are
+// preferred over structural ones; among candidates, Fact beats Similarity
+// beats Composed.
+func (r *Repo) FindMapping(s1, s2 SourceID) (*SourceRel, bool, error) {
+	r.mu.Lock()
+	if err := r.loadRelsLocked(); err != nil {
+		r.mu.Unlock()
+		return nil, false, err
+	}
+	prefs := []RelType{RelFact, RelSimilarity, RelComposed, RelSubsumed, RelIsA, RelContains}
+	var found *SourceRel
+	reversed := false
+	for _, typ := range prefs {
+		if id, ok := r.rels[relKey{s1: s1, s2: s2, typ: typ}]; ok {
+			found = &SourceRel{ID: id, Source1: s1, Source2: s2, Type: typ}
+			break
+		}
+		if id, ok := r.rels[relKey{s1: s2, s2: s1, typ: typ}]; ok {
+			found = &SourceRel{ID: id, Source1: s2, Source2: s1, Type: typ}
+			reversed = true
+			break
+		}
+	}
+	r.mu.Unlock()
+	return found, reversed, nil
+}
+
+// FindIsARel returns the intra-source IS_A mapping of a source, or 0 when
+// the source has no taxonomy structure. The boolean reports presence.
+func (r *Repo) FindIsARel(src SourceID) (SourceRelID, bool, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.loadRelsLocked(); err != nil {
+		return 0, false, err
+	}
+	id, ok := r.rels[relKey{s1: src, s2: src, typ: RelIsA}]
+	return id, ok, nil
+}
+
+// FindRel returns the mapping (s1, s2, typ) exactly as stored, or 0.
+func (r *Repo) FindRel(s1, s2 SourceID, typ RelType) (SourceRelID, bool, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.loadRelsLocked(); err != nil {
+		return 0, false, err
+	}
+	id, ok := r.rels[relKey{s1: s1, s2: s2, typ: typ}]
+	return id, ok, nil
+}
+
+// ---------------------------------------------------------------------------
+// Associations (OBJECT_REL)
+
+// AddAssociations bulk-inserts associations under a mapping. When dedup is
+// true, pairs already present in the mapping are skipped (object-level
+// duplicate elimination on re-import). It returns the number of rows
+// inserted.
+func (r *Repo) AddAssociations(rel SourceRelID, assocs []Assoc, dedup bool) (int, error) {
+	if len(assocs) == 0 {
+		return 0, nil
+	}
+	var seen map[[2]ObjectID]bool
+	if dedup {
+		existing, err := r.Associations(rel)
+		if err != nil {
+			return 0, err
+		}
+		seen = make(map[[2]ObjectID]bool, len(existing))
+		for _, a := range existing {
+			seen[[2]ObjectID{a.Object1, a.Object2}] = true
+		}
+	} else {
+		seen = make(map[[2]ObjectID]bool, len(assocs))
+	}
+
+	var pending []Assoc
+	for _, a := range assocs {
+		key := [2]ObjectID{a.Object1, a.Object2}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		pending = append(pending, a)
+	}
+
+	const chunk = 200
+	inserted := 0
+	for start := 0; start < len(pending); start += chunk {
+		end := start + chunk
+		if end > len(pending) {
+			end = len(pending)
+		}
+		batch := pending[start:end]
+		var sb strings.Builder
+		sb.WriteString("INSERT INTO object_rel (source_rel_id, object1_id, object2_id, evidence) VALUES ")
+		args := make([]any, 0, len(batch)*4)
+		for bi, a := range batch {
+			if bi > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString("(?, ?, ?, ?)")
+			var ev any
+			if a.Evidence != 0 {
+				ev = a.Evidence
+			}
+			args = append(args, int64(rel), int64(a.Object1), int64(a.Object2), ev)
+		}
+		if _, err := r.db.Exec(sb.String(), args...); err != nil {
+			return inserted, fmt.Errorf("gam: insert associations: %w", err)
+		}
+		inserted += len(batch)
+	}
+	return inserted, nil
+}
+
+// Associations returns every association of a mapping.
+func (r *Repo) Associations(rel SourceRelID) ([]Assoc, error) {
+	rs, err := r.db.Query("SELECT object1_id, object2_id, evidence FROM object_rel WHERE source_rel_id = ?", int64(rel))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Assoc, 0, len(rs.Rows))
+	for _, row := range rs.Rows {
+		a := Assoc{
+			Object1: ObjectID(row[0].(int64)),
+			Object2: ObjectID(row[1].(int64)),
+		}
+		if v, ok := row[2].(float64); ok {
+			a.Evidence = v
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// AssociationCount returns the number of associations under a mapping
+// (all mappings when rel is 0).
+func (r *Repo) AssociationCount(rel SourceRelID) (int64, error) {
+	if rel == 0 {
+		rs, err := r.db.Query("SELECT COUNT(*) FROM object_rel")
+		if err != nil {
+			return 0, err
+		}
+		return rs.Rows[0][0].(int64), nil
+	}
+	rs, err := r.db.Query("SELECT COUNT(*) FROM object_rel WHERE source_rel_id = ?", int64(rel))
+	if err != nil {
+		return 0, err
+	}
+	return rs.Rows[0][0].(int64), nil
+}
+
+// DeleteMapping removes a mapping and its associations (used to refresh
+// materialized derived mappings).
+func (r *Repo) DeleteMapping(rel SourceRelID) error {
+	if _, err := r.db.Exec("DELETE FROM object_rel WHERE source_rel_id = ?", int64(rel)); err != nil {
+		return err
+	}
+	if _, err := r.db.Exec("DELETE FROM source_rel WHERE source_rel_id = ?", int64(rel)); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	for k, id := range r.rels {
+		if id == rel {
+			delete(r.rels, k)
+		}
+	}
+	r.mu.Unlock()
+	return nil
+}
+
+// Stats summarizes database content the way the paper reports its
+// deployment figures (§5: "approx. 2 million objects of over 60 data
+// sources, and 5 million object associations organized in over 500
+// different mappings").
+type Stats struct {
+	Sources      int64
+	Objects      int64
+	Mappings     int64
+	Associations int64
+	ByType       map[RelType]int64
+}
+
+// Stats computes the summary counters.
+func (r *Repo) Stats() (*Stats, error) {
+	st := &Stats{ByType: make(map[RelType]int64)}
+	q := func(sql string) (int64, error) {
+		rs, err := r.db.Query(sql)
+		if err != nil {
+			return 0, err
+		}
+		return rs.Rows[0][0].(int64), nil
+	}
+	var err error
+	if st.Sources, err = q("SELECT COUNT(*) FROM source"); err != nil {
+		return nil, err
+	}
+	if st.Objects, err = q("SELECT COUNT(*) FROM object"); err != nil {
+		return nil, err
+	}
+	if st.Mappings, err = q("SELECT COUNT(*) FROM source_rel"); err != nil {
+		return nil, err
+	}
+	if st.Associations, err = q("SELECT COUNT(*) FROM object_rel"); err != nil {
+		return nil, err
+	}
+	rs, err := r.db.Query(`SELECT sr.type, COUNT(*) FROM object_rel o
+		JOIN source_rel sr ON o.source_rel_id = sr.source_rel_id GROUP BY sr.type`)
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rs.Rows {
+		st.ByType[RelType(row[0].(string))] = row[1].(int64)
+	}
+	return st, nil
+}
+
+// String renders the stats in a compact single line.
+func (s *Stats) String() string {
+	types := make([]string, 0, len(s.ByType))
+	for t := range s.ByType {
+		types = append(types, string(t))
+	}
+	sort.Strings(types)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "sources=%d objects=%d mappings=%d associations=%d",
+		s.Sources, s.Objects, s.Mappings, s.Associations)
+	for _, t := range types {
+		fmt.Fprintf(&sb, " %s=%d", t, s.ByType[RelType(t)])
+	}
+	return sb.String()
+}

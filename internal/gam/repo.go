@@ -1,0 +1,458 @@
+package gam
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"genmapper/internal/sqldb"
+)
+
+// Repo provides GAM-schema access over an embedded database. It maintains
+// in-memory lookup caches (source names, object accessions, mapping keys)
+// so that bulk import achieves set-at-a-time speed while the authoritative
+// data always lives in the database.
+//
+// A Repo is safe for concurrent use.
+type Repo struct {
+	db *sqldb.DB
+
+	mu          sync.Mutex
+	sources     map[string]*Source // lower(name) -> source
+	sourcesByID map[SourceID]*Source
+	objects     map[SourceID]map[string]ObjectID // accession -> id, lazily loaded
+	rels        map[relKey]SourceRelID
+	relsLoaded  bool
+}
+
+type relKey struct {
+	s1, s2 SourceID
+	typ    RelType
+}
+
+// DDL statements creating the GAM schema (Figure 4 of the paper).
+var schemaDDL = []string{
+	`CREATE TABLE IF NOT EXISTS source (
+		source_id INTEGER PRIMARY KEY AUTOINCREMENT,
+		name TEXT NOT NULL,
+		content TEXT NOT NULL,
+		structure TEXT NOT NULL,
+		release TEXT,
+		import_date TEXT
+	)`,
+	`CREATE UNIQUE INDEX IF NOT EXISTS idx_source_name ON source (name)`,
+	`CREATE TABLE IF NOT EXISTS object (
+		object_id INTEGER PRIMARY KEY AUTOINCREMENT,
+		source_id INTEGER NOT NULL,
+		accession TEXT NOT NULL,
+		text TEXT,
+		number REAL
+	)`,
+	`CREATE INDEX IF NOT EXISTS idx_object_source ON object (source_id)`,
+	`CREATE INDEX IF NOT EXISTS idx_object_accession ON object (accession)`,
+	`CREATE TABLE IF NOT EXISTS source_rel (
+		source_rel_id INTEGER PRIMARY KEY AUTOINCREMENT,
+		source1_id INTEGER NOT NULL,
+		source2_id INTEGER NOT NULL,
+		type TEXT NOT NULL
+	)`,
+	`CREATE INDEX IF NOT EXISTS idx_srcrel_s1 ON source_rel (source1_id)`,
+	`CREATE INDEX IF NOT EXISTS idx_srcrel_s2 ON source_rel (source2_id)`,
+	`CREATE TABLE IF NOT EXISTS object_rel (
+		object_rel_id INTEGER PRIMARY KEY AUTOINCREMENT,
+		source_rel_id INTEGER NOT NULL,
+		object1_id INTEGER NOT NULL,
+		object2_id INTEGER NOT NULL,
+		evidence REAL
+	)`,
+	`CREATE INDEX IF NOT EXISTS idx_objrel_rel ON object_rel (source_rel_id)`,
+	`CREATE INDEX IF NOT EXISTS idx_objrel_o1 ON object_rel (object1_id)`,
+	`CREATE INDEX IF NOT EXISTS idx_objrel_o2 ON object_rel (object2_id)`,
+}
+
+// SchemaStatementCount returns the number of DDL statements the GAM schema
+// needs, once, regardless of how many sources are later integrated (the
+// schema-churn metric of the design ablation).
+func SchemaStatementCount() int { return len(schemaDDL) }
+
+// Open creates (or adopts) the GAM schema on the given database and returns
+// a repository handle.
+func Open(db *sqldb.DB) (*Repo, error) {
+	for _, ddl := range schemaDDL {
+		if _, err := db.Exec(ddl); err != nil {
+			return nil, fmt.Errorf("gam: create schema: %w", err)
+		}
+	}
+	r := &Repo{
+		db:          db,
+		sources:     make(map[string]*Source),
+		sourcesByID: make(map[SourceID]*Source),
+		objects:     make(map[SourceID]map[string]ObjectID),
+		rels:        make(map[relKey]SourceRelID),
+	}
+	if err := r.loadSources(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// DB exposes the underlying database (for the operator layer's SQL).
+func (r *Repo) DB() *sqldb.DB { return r.db }
+
+func (r *Repo) loadSources() error {
+	rs, err := r.db.Query("SELECT source_id, name, content, structure, release, import_date FROM source")
+	if err != nil {
+		return fmt.Errorf("gam: load sources: %w", err)
+	}
+	for _, row := range rs.Rows {
+		s := rowToSource(row)
+		r.sources[strings.ToLower(s.Name)] = s
+		r.sourcesByID[s.ID] = s
+	}
+	return nil
+}
+
+func rowToSource(row []sqldb.Value) *Source {
+	s := &Source{
+		ID:        SourceID(row[0].(int64)),
+		Name:      row[1].(string),
+		Content:   Content(row[2].(string)),
+		Structure: Structure(row[3].(string)),
+	}
+	if v, ok := row[4].(string); ok {
+		s.Release = v
+	}
+	if v, ok := row[5].(string); ok {
+		s.Date = v
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------------
+// Sources
+
+// EnsureSource returns the existing source with the given name or creates
+// it. The boolean reports whether a new source was created. When the source
+// exists but release/date differ, the audit fields are updated (the paper's
+// source-level duplicate elimination compares name and audit info).
+func (r *Repo) EnsureSource(info Source) (*Source, bool, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := strings.ToLower(info.Name)
+	if s, ok := r.sources[key]; ok {
+		if info.Release != "" && info.Release != s.Release {
+			if _, err := r.db.Exec(
+				"UPDATE source SET release = ?, import_date = ? WHERE source_id = ?",
+				info.Release, info.Date, int64(s.ID)); err != nil {
+				return nil, false, fmt.Errorf("gam: update source audit: %w", err)
+			}
+			s.Release, s.Date = info.Release, info.Date
+		}
+		return s, false, nil
+	}
+	if info.Name == "" {
+		return nil, false, fmt.Errorf("gam: source name must not be empty")
+	}
+	content, err := ParseContent(string(info.Content))
+	if err != nil {
+		return nil, false, err
+	}
+	structure, err := ParseStructure(string(info.Structure))
+	if err != nil {
+		return nil, false, err
+	}
+	res, err := r.db.Exec(
+		"INSERT INTO source (name, content, structure, release, import_date) VALUES (?, ?, ?, ?, ?)",
+		info.Name, string(content), string(structure), info.Release, info.Date)
+	if err != nil {
+		return nil, false, fmt.Errorf("gam: insert source: %w", err)
+	}
+	s := &Source{
+		ID: SourceID(res.LastInsertID), Name: info.Name,
+		Content: content, Structure: structure,
+		Release: info.Release, Date: info.Date,
+	}
+	r.sources[key] = s
+	r.sourcesByID[s.ID] = s
+	return s, true, nil
+}
+
+// SourceByName returns the source with the given name (case-insensitive),
+// or nil when unknown.
+func (r *Repo) SourceByName(name string) *Source {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sources[strings.ToLower(name)]
+}
+
+// SourceByID returns the source with the given ID, or nil.
+func (r *Repo) SourceByID(id SourceID) *Source {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sourcesByID[id]
+}
+
+// Sources returns all sources ordered by name.
+func (r *Repo) Sources() []*Source {
+	rs, err := r.db.Query("SELECT source_id, name, content, structure, release, import_date FROM source ORDER BY name")
+	if err != nil {
+		return nil
+	}
+	out := make([]*Source, 0, len(rs.Rows))
+	for _, row := range rs.Rows {
+		out = append(out, rowToSource(row))
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Objects
+
+// objectCache returns the accession->ID map for a source, loading it from
+// the database on first use. Caller holds r.mu.
+func (r *Repo) objectCache(src SourceID) (map[string]ObjectID, error) {
+	if m, ok := r.objects[src]; ok {
+		return m, nil
+	}
+	rs, err := r.db.Query("SELECT object_id, accession FROM object WHERE source_id = ?", int64(src))
+	if err != nil {
+		return nil, fmt.Errorf("gam: load objects of source %d: %w", src, err)
+	}
+	m := make(map[string]ObjectID, len(rs.Rows))
+	for _, row := range rs.Rows {
+		m[row[1].(string)] = ObjectID(row[0].(int64))
+	}
+	r.objects[src] = m
+	return m, nil
+}
+
+// ObjectSpec describes an object to insert.
+type ObjectSpec struct {
+	Accession string
+	Text      string
+	HasNumber bool
+	Number    float64
+}
+
+// EnsureObject inserts the object unless an object with the same accession
+// already exists in the source (object-level duplicate elimination, §4.1).
+// It returns the object ID and whether a new row was created.
+func (r *Repo) EnsureObject(src SourceID, spec ObjectSpec) (ObjectID, bool, error) {
+	ids, created, err := r.EnsureObjects(src, []ObjectSpec{spec})
+	if err != nil {
+		return 0, false, err
+	}
+	return ids[0], created == 1, nil
+}
+
+// EnsureObjects bulk-inserts objects with duplicate elimination by
+// accession. It returns the object IDs aligned with specs and the number of
+// newly created rows. Batched multi-row INSERTs keep large imports fast.
+func (r *Repo) EnsureObjects(src SourceID, specs []ObjectSpec) ([]ObjectID, int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.sourcesByID[src] == nil {
+		return nil, 0, fmt.Errorf("gam: unknown source id %d", src)
+	}
+	cache, err := r.objectCache(src)
+	if err != nil {
+		return nil, 0, err
+	}
+
+	ids := make([]ObjectID, len(specs))
+	var newIdx []int
+	// firstSeen records the spec index of the first occurrence of each new
+	// accession; batch-internal duplicates collapse onto it (encoded as a
+	// negative placeholder patched after insertion).
+	firstSeen := make(map[string]int)
+	for i, spec := range specs {
+		if spec.Accession == "" {
+			return nil, 0, fmt.Errorf("gam: object %d has empty accession", i)
+		}
+		if id, ok := cache[spec.Accession]; ok {
+			ids[i] = id
+			continue
+		}
+		if first, dup := firstSeen[spec.Accession]; dup {
+			ids[i] = ObjectID(-int64(first) - 1)
+			continue
+		}
+		firstSeen[spec.Accession] = i
+		newIdx = append(newIdx, i)
+	}
+
+	const chunk = 200
+	for start := 0; start < len(newIdx); start += chunk {
+		end := start + chunk
+		if end > len(newIdx) {
+			end = len(newIdx)
+		}
+		batch := newIdx[start:end]
+		var sb strings.Builder
+		sb.WriteString("INSERT INTO object (source_id, accession, text, number) VALUES ")
+		args := make([]any, 0, len(batch)*4)
+		for bi, i := range batch {
+			if bi > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString("(?, ?, ?, ?)")
+			spec := specs[i]
+			var num any
+			if spec.HasNumber {
+				num = spec.Number
+			}
+			var text any
+			if spec.Text != "" {
+				text = spec.Text
+			}
+			args = append(args, int64(src), spec.Accession, text, num)
+		}
+		res, err := r.db.Exec(sb.String(), args...)
+		if err != nil {
+			return nil, 0, fmt.Errorf("gam: insert objects: %w", err)
+		}
+		// AUTOINCREMENT IDs are contiguous for a single multi-row insert.
+		firstID := res.LastInsertID - int64(len(batch)) + 1
+		for bi, i := range batch {
+			id := ObjectID(firstID + int64(bi))
+			ids[i] = id
+			cache[specs[i].Accession] = id
+		}
+	}
+	// Patch batch-internal duplicates.
+	for i := range ids {
+		if ids[i] < 0 {
+			first := int(-int64(ids[i]) - 1)
+			ids[i] = ids[first]
+		}
+	}
+	return ids, len(newIdx), nil
+}
+
+// FillMissingObjectInfo back-fills text and number on existing objects
+// that lack them. Cross-references create bare target objects before the
+// target source itself is imported; when the real source data arrives, the
+// descriptive text must land on those pre-existing rows. It returns the
+// number of updated objects.
+func (r *Repo) FillMissingObjectInfo(src SourceID, specs []ObjectSpec) (int, error) {
+	bySpec := make(map[string]ObjectSpec, len(specs))
+	for _, s := range specs {
+		if s.Text != "" || s.HasNumber {
+			bySpec[s.Accession] = s
+		}
+	}
+	if len(bySpec) == 0 {
+		return 0, nil
+	}
+	rs, err := r.db.Query(
+		"SELECT object_id, accession FROM object WHERE source_id = ? AND text IS NULL",
+		int64(src))
+	if err != nil {
+		return 0, err
+	}
+	updated := 0
+	for _, row := range rs.Rows {
+		spec, ok := bySpec[row[1].(string)]
+		if !ok {
+			continue
+		}
+		var num any
+		if spec.HasNumber {
+			num = spec.Number
+		}
+		var text any
+		if spec.Text != "" {
+			text = spec.Text
+		}
+		if _, err := r.db.Exec("UPDATE object SET text = ?, number = ? WHERE object_id = ?",
+			text, num, row[0].(int64)); err != nil {
+			return updated, err
+		}
+		updated++
+	}
+	return updated, nil
+}
+
+// LookupObject returns the ID of the object with the given accession in
+// the source, or 0 when absent.
+func (r *Repo) LookupObject(src SourceID, accession string) (ObjectID, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cache, err := r.objectCache(src)
+	if err != nil {
+		return 0, err
+	}
+	return cache[accession], nil
+}
+
+// LookupObjects resolves many accessions at once; missing accessions map
+// to 0.
+func (r *Repo) LookupObjects(src SourceID, accessions []string) (map[string]ObjectID, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cache, err := r.objectCache(src)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]ObjectID, len(accessions))
+	for _, a := range accessions {
+		out[a] = cache[a]
+	}
+	return out, nil
+}
+
+// Object returns the full object row by ID, or nil.
+func (r *Repo) Object(id ObjectID) (*Object, error) {
+	rs, err := r.db.Query("SELECT object_id, source_id, accession, text, number FROM object WHERE object_id = ?", int64(id))
+	if err != nil {
+		return nil, err
+	}
+	if len(rs.Rows) == 0 {
+		return nil, nil
+	}
+	return rowToObject(rs.Rows[0]), nil
+}
+
+// ObjectsBySource returns all objects of a source ordered by accession.
+func (r *Repo) ObjectsBySource(src SourceID) ([]*Object, error) {
+	rs, err := r.db.Query("SELECT object_id, source_id, accession, text, number FROM object WHERE source_id = ? ORDER BY accession", int64(src))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Object, 0, len(rs.Rows))
+	for _, row := range rs.Rows {
+		out = append(out, rowToObject(row))
+	}
+	return out, nil
+}
+
+// ObjectCount returns the number of objects in a source (all sources when
+// src is 0).
+func (r *Repo) ObjectCount(src SourceID) (int64, error) {
+	var rs *sqldb.ResultSet
+	var err error
+	if src == 0 {
+		rs, err = r.db.Query("SELECT COUNT(*) FROM object")
+	} else {
+		rs, err = r.db.Query("SELECT COUNT(*) FROM object WHERE source_id = ?", int64(src))
+	}
+	if err != nil {
+		return 0, err
+	}
+	return rs.Rows[0][0].(int64), nil
+}
+
+func rowToObject(row []sqldb.Value) *Object {
+	o := &Object{
+		ID:        ObjectID(row[0].(int64)),
+		Source:    SourceID(row[1].(int64)),
+		Accession: row[2].(string),
+	}
+	if v, ok := row[3].(string); ok {
+		o.Text = v
+	}
+	if v, ok := row[4].(float64); ok {
+		o.HasNumber, o.Number = true, v
+	}
+	return o
+}

@@ -1,0 +1,263 @@
+package gen
+
+// The source catalog models the landscape of public molecular-biological
+// data sources GenMapper integrated in 2004 (paper §1/§5: "more than 60
+// public sources", LocusLink, Unigene, GO, Enzyme, OMIM, Hugo, SwissProt,
+// InterPro, NetAffx sub-divisions, ...). Counts are calibrated so that a
+// scale factor of 1.0 reproduces the deployment statistics of §5: approx.
+// 2 million objects across 60+ sources and approx. 5 million associations
+// in several hundred mappings.
+
+// XRef declares that objects of a source cross-reference a target source.
+type XRef struct {
+	Target string
+	// AvgFanOut is the mean number of references per object (Poisson-like,
+	// deterministic per seed). Values below 1 leave some objects
+	// unannotated, mirroring incomplete curation.
+	AvgFanOut float64
+	// Evidence marks computed references (sequence similarity, attribute
+	// matching); they import as Similarity mappings with evidence values.
+	Evidence bool
+}
+
+// SourceSpec describes one synthetic source.
+type SourceSpec struct {
+	Name      string
+	Content   string // gene | protein | other
+	Structure string // flat | network
+	Format    string // locuslink | obo | enzyme | tabular
+	// BaseCount is the object count at scale 1.0.
+	BaseCount int
+	// AccPattern produces accessions; see accession().
+	AccPattern string
+	XRefs      []XRef
+	// Namespaces are the Contains partitions of OBO sources.
+	Namespaces []string
+}
+
+// catalog lists every synthetic source. Order is the import order used by
+// ImportAll (hubs first so cross-references resolve into existing objects
+// where possible; the importer copes either way).
+var catalog = []SourceSpec{
+	// --- Gene-oriented hub sources -------------------------------------
+	{Name: "LocusLink", Content: "gene", Structure: "flat", Format: "locuslink", BaseCount: 150000, AccPattern: "%d",
+		XRefs: []XRef{
+			{Target: "Hugo", AvgFanOut: 0.9},
+			{Target: "Location", AvgFanOut: 1.0},
+			{Target: "Enzyme", AvgFanOut: 0.25},
+			{Target: "GO", AvgFanOut: 2.4},
+			{Target: "OMIM", AvgFanOut: 0.35},
+			{Target: "Unigene", AvgFanOut: 1.0},
+			{Target: "SwissProt", AvgFanOut: 0.8},
+			{Target: "RefSeq", AvgFanOut: 1.1},
+			{Target: "PubMed", AvgFanOut: 1.5},
+		}},
+	{Name: "Unigene", Content: "gene", Structure: "flat", Format: "tabular", BaseCount: 130000, AccPattern: "Hs.%d",
+		XRefs: []XRef{
+			{Target: "LocusLink", AvgFanOut: 0.85},
+			{Target: "GenBank", AvgFanOut: 2.0},
+			{Target: "dbEST", AvgFanOut: 1.6},
+		}},
+	{Name: "Hugo", Content: "gene", Structure: "flat", Format: "tabular", BaseCount: 25000, AccPattern: "HGNC:%d",
+		XRefs: []XRef{
+			{Target: "LocusLink", AvgFanOut: 1.0},
+			{Target: "OMIM", AvgFanOut: 0.5},
+		}},
+	{Name: "OMIM", Content: "gene", Structure: "flat", Format: "tabular", BaseCount: 15000, AccPattern: "%d",
+		XRefs: []XRef{
+			{Target: "LocusLink", AvgFanOut: 0.9},
+			{Target: "PubMed", AvgFanOut: 3.0},
+		}},
+	{Name: "Location", Content: "other", Structure: "flat", Format: "tabular", BaseCount: 1000, AccPattern: "cyto%d"},
+	{Name: "RefSeq", Content: "gene", Structure: "flat", Format: "tabular", BaseCount: 100000, AccPattern: "NM_%06d",
+		XRefs: []XRef{
+			{Target: "LocusLink", AvgFanOut: 1.0},
+			{Target: "SwissProt", AvgFanOut: 0.6, Evidence: true},
+		}},
+	{Name: "Ensembl", Content: "gene", Structure: "flat", Format: "tabular", BaseCount: 110000, AccPattern: "ENSG%09d",
+		XRefs: []XRef{
+			{Target: "LocusLink", AvgFanOut: 0.8, Evidence: true},
+			{Target: "Hugo", AvgFanOut: 0.6},
+			{Target: "GO", AvgFanOut: 1.8},
+		}},
+	{Name: "GeneCards", Content: "gene", Structure: "flat", Format: "tabular", BaseCount: 60000, AccPattern: "GC%05d",
+		XRefs: []XRef{
+			{Target: "Hugo", AvgFanOut: 0.9},
+			{Target: "LocusLink", AvgFanOut: 0.9},
+		}},
+	{Name: "MGI", Content: "gene", Structure: "flat", Format: "tabular", BaseCount: 50000, AccPattern: "MGI:%d",
+		XRefs: []XRef{
+			{Target: "GO", AvgFanOut: 1.5},
+			{Target: "HomoloGene", AvgFanOut: 0.5},
+		}},
+	{Name: "RGD", Content: "gene", Structure: "flat", Format: "tabular", BaseCount: 40000, AccPattern: "RGD:%d",
+		XRefs: []XRef{{Target: "GO", AvgFanOut: 1.2}, {Target: "HomoloGene", AvgFanOut: 0.4}}},
+	{Name: "FlyBase", Content: "gene", Structure: "flat", Format: "tabular", BaseCount: 35000, AccPattern: "FBgn%07d",
+		XRefs: []XRef{{Target: "GO", AvgFanOut: 1.6}}},
+	{Name: "WormBase", Content: "gene", Structure: "flat", Format: "tabular", BaseCount: 30000, AccPattern: "WBGene%08d",
+		XRefs: []XRef{{Target: "GO", AvgFanOut: 1.4}}},
+	{Name: "SGD", Content: "gene", Structure: "flat", Format: "tabular", BaseCount: 15000, AccPattern: "SGD:S%09d",
+		XRefs: []XRef{{Target: "GO", AvgFanOut: 2.2}, {Target: "Enzyme", AvgFanOut: 0.3}}},
+	{Name: "ZFIN", Content: "gene", Structure: "flat", Format: "tabular", BaseCount: 20000, AccPattern: "ZDB-GENE-%06d",
+		XRefs: []XRef{{Target: "GO", AvgFanOut: 1.0}}},
+	{Name: "TAIR", Content: "gene", Structure: "flat", Format: "tabular", BaseCount: 28000, AccPattern: "AT%dG%05d",
+		XRefs: []XRef{{Target: "GO", AvgFanOut: 1.7}}},
+
+	// --- Ontologies and other network sources --------------------------
+	{Name: "GO", Content: "other", Structure: "network", Format: "obo", BaseCount: 16000, AccPattern: "GO:%07d",
+		Namespaces: []string{"biological_process", "molecular_function", "cellular_component"}},
+	{Name: "Enzyme", Content: "other", Structure: "network", Format: "enzyme", BaseCount: 4500, AccPattern: "",
+		XRefs: []XRef{{Target: "SwissProt", AvgFanOut: 1.2}}},
+	{Name: "KEGG", Content: "other", Structure: "network", Format: "obo", BaseCount: 8000, AccPattern: "ko%05d",
+		Namespaces: []string{"metabolism", "genetic_information", "cellular_processes"}},
+	{Name: "NCBITaxonomy", Content: "other", Structure: "network", Format: "obo", BaseCount: 60000, AccPattern: "taxon:%d",
+		Namespaces: []string{"cellular_organisms"}},
+
+	// --- Protein-oriented sources ---------------------------------------
+	{Name: "SwissProt", Content: "protein", Structure: "flat", Format: "tabular", BaseCount: 140000, AccPattern: "P%05d",
+		XRefs: []XRef{
+			{Target: "InterPro", AvgFanOut: 1.4},
+			{Target: "Pfam", AvgFanOut: 1.1},
+			{Target: "GO", AvgFanOut: 1.9},
+			{Target: "PDB", AvgFanOut: 0.25},
+			{Target: "Enzyme", AvgFanOut: 0.3},
+			{Target: "PROSITE", AvgFanOut: 0.4},
+		}},
+	{Name: "TrEMBL", Content: "protein", Structure: "flat", Format: "tabular", BaseCount: 180000, AccPattern: "Q%05d",
+		XRefs: []XRef{
+			{Target: "InterPro", AvgFanOut: 1.0, Evidence: true},
+			{Target: "SwissProt", AvgFanOut: 0.3, Evidence: true},
+		}},
+	{Name: "InterPro", Content: "protein", Structure: "flat", Format: "tabular", BaseCount: 10000, AccPattern: "IPR%06d",
+		XRefs: []XRef{
+			{Target: "GO", AvgFanOut: 0.8},
+			{Target: "Pfam", AvgFanOut: 0.9},
+			{Target: "PROSITE", AvgFanOut: 0.4},
+		}},
+	{Name: "Pfam", Content: "protein", Structure: "flat", Format: "tabular", BaseCount: 7000, AccPattern: "PF%05d",
+		XRefs: []XRef{{Target: "InterPro", AvgFanOut: 0.9}}},
+	{Name: "PDB", Content: "protein", Structure: "flat", Format: "tabular", BaseCount: 25000, AccPattern: "%04dpdb",
+		XRefs: []XRef{{Target: "SwissProt", AvgFanOut: 1.3, Evidence: true}}},
+	{Name: "PROSITE", Content: "protein", Structure: "flat", Format: "tabular", BaseCount: 2000, AccPattern: "PS%05d"},
+	{Name: "ProDom", Content: "protein", Structure: "flat", Format: "tabular", BaseCount: 4000, AccPattern: "PD%06d",
+		XRefs: []XRef{{Target: "InterPro", AvgFanOut: 0.7}}},
+	{Name: "SMART", Content: "protein", Structure: "flat", Format: "tabular", BaseCount: 1000, AccPattern: "SM%05d",
+		XRefs: []XRef{{Target: "InterPro", AvgFanOut: 0.8}}},
+	{Name: "TIGRFAMs", Content: "protein", Structure: "flat", Format: "tabular", BaseCount: 4000, AccPattern: "TIGR%05d",
+		XRefs: []XRef{{Target: "InterPro", AvgFanOut: 0.6}}},
+	{Name: "PIR", Content: "protein", Structure: "flat", Format: "tabular", BaseCount: 80000, AccPattern: "PIR:%c%05d",
+		XRefs: []XRef{{Target: "SwissProt", AvgFanOut: 0.9, Evidence: true}}},
+
+	// --- NetAffx sub-divisions (vendor annotations per chip, §1) --------
+	{Name: "NetAffx-HG-U95A", Content: "gene", Structure: "flat", Format: "tabular", BaseCount: 12000, AccPattern: "%d_at"},
+	{Name: "NetAffx-HG-U95B", Content: "gene", Structure: "flat", Format: "tabular", BaseCount: 12000, AccPattern: "%d_b_at"},
+	{Name: "NetAffx-HG-U95C", Content: "gene", Structure: "flat", Format: "tabular", BaseCount: 12000, AccPattern: "%d_c_at"},
+	{Name: "NetAffx-HG-U95D", Content: "gene", Structure: "flat", Format: "tabular", BaseCount: 12000, AccPattern: "%d_d_at"},
+	{Name: "NetAffx-HG-U95E", Content: "gene", Structure: "flat", Format: "tabular", BaseCount: 12000, AccPattern: "%d_e_at"},
+	{Name: "NetAffx-HG-U133A", Content: "gene", Structure: "flat", Format: "tabular", BaseCount: 22000, AccPattern: "%d_s_at"},
+	{Name: "NetAffx-HG-U133B", Content: "gene", Structure: "flat", Format: "tabular", BaseCount: 22000, AccPattern: "%d_x_at"},
+	{Name: "NetAffx-MG-U74A", Content: "gene", Structure: "flat", Format: "tabular", BaseCount: 12000, AccPattern: "mg%d_at"},
+	{Name: "NetAffx-MG-U74B", Content: "gene", Structure: "flat", Format: "tabular", BaseCount: 12000, AccPattern: "mg%d_b_at"},
+	{Name: "NetAffx-MG-U74C", Content: "gene", Structure: "flat", Format: "tabular", BaseCount: 12000, AccPattern: "mg%d_c_at"},
+	{Name: "NetAffx-RG-U34A", Content: "gene", Structure: "flat", Format: "tabular", BaseCount: 9000, AccPattern: "rg%d_at"},
+	{Name: "NetAffx-RG-U34B", Content: "gene", Structure: "flat", Format: "tabular", BaseCount: 9000, AccPattern: "rg%d_b_at"},
+	{Name: "NetAffx-RG-U34C", Content: "gene", Structure: "flat", Format: "tabular", BaseCount: 9000, AccPattern: "rg%d_c_at"},
+
+	// --- Other supporting sources ---------------------------------------
+	{Name: "dbSNP", Content: "other", Structure: "flat", Format: "tabular", BaseCount: 60000, AccPattern: "rs%d",
+		XRefs: []XRef{{Target: "LocusLink", AvgFanOut: 0.8}}},
+	{Name: "dbEST", Content: "other", Structure: "flat", Format: "tabular", BaseCount: 50000, AccPattern: "EST%07d"},
+	{Name: "GenBank", Content: "other", Structure: "flat", Format: "tabular", BaseCount: 40000, AccPattern: "AF%06d"},
+	{Name: "EMBL", Content: "other", Structure: "flat", Format: "tabular", BaseCount: 30000, AccPattern: "AJ%06d",
+		XRefs: []XRef{{Target: "GenBank", AvgFanOut: 0.9}}},
+	{Name: "DDBJ", Content: "other", Structure: "flat", Format: "tabular", BaseCount: 20000, AccPattern: "AB%06d",
+		XRefs: []XRef{{Target: "GenBank", AvgFanOut: 0.9}}},
+	{Name: "PubMed", Content: "other", Structure: "flat", Format: "tabular", BaseCount: 50000, AccPattern: "%d"},
+	{Name: "HomoloGene", Content: "gene", Structure: "flat", Format: "tabular", BaseCount: 20000, AccPattern: "HG:%d",
+		XRefs: []XRef{{Target: "LocusLink", AvgFanOut: 1.8, Evidence: true}}},
+	{Name: "COG", Content: "protein", Structure: "flat", Format: "tabular", BaseCount: 5000, AccPattern: "COG%04d"},
+	{Name: "CDD", Content: "protein", Structure: "flat", Format: "tabular", BaseCount: 10000, AccPattern: "CDD:%d",
+		XRefs: []XRef{{Target: "Pfam", AvgFanOut: 0.5}, {Target: "SMART", AvgFanOut: 0.2}}},
+	{Name: "BIND", Content: "protein", Structure: "flat", Format: "tabular", BaseCount: 8000, AccPattern: "BIND:%d",
+		XRefs: []XRef{{Target: "SwissProt", AvgFanOut: 1.6}}},
+	{Name: "DIP", Content: "protein", Structure: "flat", Format: "tabular", BaseCount: 5000, AccPattern: "DIP:%dN",
+		XRefs: []XRef{{Target: "SwissProt", AvgFanOut: 1.4}}},
+	{Name: "MINT", Content: "protein", Structure: "flat", Format: "tabular", BaseCount: 4000, AccPattern: "MINT-%d",
+		XRefs: []XRef{{Target: "SwissProt", AvgFanOut: 1.3}}},
+	{Name: "IntAct", Content: "protein", Structure: "flat", Format: "tabular", BaseCount: 6000, AccPattern: "EBI-%d",
+		XRefs: []XRef{{Target: "SwissProt", AvgFanOut: 1.5}}},
+	{Name: "TRANSFAC", Content: "other", Structure: "flat", Format: "tabular", BaseCount: 3000, AccPattern: "T%05d",
+		XRefs: []XRef{{Target: "LocusLink", AvgFanOut: 0.6}}},
+	{Name: "EPD", Content: "other", Structure: "flat", Format: "tabular", BaseCount: 2000, AccPattern: "EP%05d"},
+	{Name: "UTRdb", Content: "other", Structure: "flat", Format: "tabular", BaseCount: 4000, AccPattern: "UTR%06d"},
+	{Name: "GeneSNPs", Content: "gene", Structure: "flat", Format: "tabular", BaseCount: 3000, AccPattern: "GSNP%05d",
+		XRefs: []XRef{{Target: "dbSNP", AvgFanOut: 2.0}}},
+	{Name: "HGVbase", Content: "other", Structure: "flat", Format: "tabular", BaseCount: 3000, AccPattern: "HGV%06d",
+		XRefs: []XRef{{Target: "dbSNP", AvgFanOut: 1.0}}},
+	{Name: "MITOMAP", Content: "gene", Structure: "flat", Format: "tabular", BaseCount: 1000, AccPattern: "MM%04d",
+		XRefs: []XRef{{Target: "OMIM", AvgFanOut: 0.5}}},
+	{Name: "HPRD", Content: "protein", Structure: "flat", Format: "tabular", BaseCount: 6000, AccPattern: "HPRD:%05d",
+		XRefs: []XRef{{Target: "SwissProt", AvgFanOut: 1.1}, {Target: "OMIM", AvgFanOut: 0.3}}},
+}
+
+// NetAffxChips lists the NetAffx sub-division sources; every chip's probe
+// sets reference Unigene clusters with similarity evidence (the proprietary
+// probe -> Unigene step of §5.2).
+var NetAffxChips = []string{
+	"NetAffx-HG-U95A", "NetAffx-HG-U95B", "NetAffx-HG-U95C", "NetAffx-HG-U95D", "NetAffx-HG-U95E",
+	"NetAffx-HG-U133A", "NetAffx-HG-U133B",
+	"NetAffx-MG-U74A", "NetAffx-MG-U74B", "NetAffx-MG-U74C",
+	"NetAffx-RG-U34A", "NetAffx-RG-U34B", "NetAffx-RG-U34C",
+}
+
+func init() {
+	// All NetAffx chips cross-reference Unigene (computed matches), GO
+	// (vendor-curated functional annotations), plus LocusLink and RefSeq
+	// (computed probe-to-transcript matches).
+	chips := make(map[string]bool, len(NetAffxChips))
+	for _, c := range NetAffxChips {
+		chips[c] = true
+	}
+	for i := range catalog {
+		if chips[catalog[i].Name] {
+			catalog[i].XRefs = append(catalog[i].XRefs,
+				XRef{Target: "Unigene", AvgFanOut: 0.95, Evidence: true},
+				XRef{Target: "GO", AvgFanOut: 1.2},
+				XRef{Target: "LocusLink", AvgFanOut: 0.5, Evidence: true},
+				XRef{Target: "RefSeq", AvgFanOut: 0.4, Evidence: true},
+			)
+		}
+	}
+	// Literature and genome-position links are near-universal in the real
+	// source landscape: gene sources cite PubMed and map to cytogenetic
+	// locations; protein sources cite PubMed. This inter-connectivity is
+	// what pushes the mapping count toward the paper's "over 500".
+	for i := range catalog {
+		s := &catalog[i]
+		if chips[s.Name] || s.Name == "PubMed" || s.Name == "Location" {
+			continue
+		}
+		switch s.Content {
+		case "gene":
+			if !hasXRef(s, "PubMed") {
+				s.XRefs = append(s.XRefs, XRef{Target: "PubMed", AvgFanOut: 0.4})
+			}
+			if !hasXRef(s, "Location") {
+				s.XRefs = append(s.XRefs, XRef{Target: "Location", AvgFanOut: 0.5})
+			}
+		case "protein":
+			if !hasXRef(s, "PubMed") {
+				s.XRefs = append(s.XRefs, XRef{Target: "PubMed", AvgFanOut: 0.3})
+			}
+		}
+	}
+}
+
+func hasXRef(s *SourceSpec, target string) bool {
+	for _, x := range s.XRefs {
+		if x.Target == target {
+			return true
+		}
+	}
+	return false
+}

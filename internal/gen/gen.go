@@ -1,0 +1,376 @@
+// Package gen deterministically generates the synthetic universe of public
+// data sources GenMapper integrates. Real 2004 snapshots of LocusLink, GO,
+// Enzyme, NetAffx and the other sources are unavailable (and would not be
+// redistributable), so this package reproduces their *statistical shape*:
+// per-source accession schemes, native file formats, cross-reference
+// fan-out, taxonomy depth and inter-source connectivity. A scale factor of
+// 1.0 regenerates the paper's deployment volume (§5: ~2M objects, 60+
+// sources, ~5M associations, several hundred mappings); smaller factors
+// produce proportionally smaller universes for tests and benchmarks.
+//
+// Generation is fully deterministic per (Seed, Scale): every source is
+// rendered in its native format (LocusLink record dumps, OBO term files,
+// Enzyme .dat files, cross-reference tables) and parsed back through the
+// production parsers, so the same code path handles synthetic and real
+// files.
+package gen
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"genmapper/internal/eav"
+	"genmapper/internal/parser"
+)
+
+// Config selects a reproducible universe.
+type Config struct {
+	Seed  int64
+	Scale float64 // 1.0 = paper scale (~2M objects)
+}
+
+// DefaultConfig is a laptop-friendly universe (about 1/50 of paper scale).
+func DefaultConfig() Config { return Config{Seed: 1, Scale: 0.02} }
+
+// Universe generates source files and datasets on demand.
+type Universe struct {
+	cfg    Config
+	specs  []SourceSpec
+	byName map[string]*SourceSpec
+}
+
+// NewUniverse scales the source catalog by cfg.Scale.
+func NewUniverse(cfg Config) *Universe {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 0.02
+	}
+	u := &Universe{cfg: cfg, byName: make(map[string]*SourceSpec, len(catalog))}
+	for _, spec := range catalog {
+		s := spec
+		s.BaseCount = scaledCount(spec, cfg.Scale)
+		u.specs = append(u.specs, s)
+	}
+	for i := range u.specs {
+		u.byName[strings.ToLower(u.specs[i].Name)] = &u.specs[i]
+	}
+	return u
+}
+
+func scaledCount(spec SourceSpec, scale float64) int {
+	n := int(float64(spec.BaseCount) * scale)
+	min := 5
+	if spec.Structure == "network" {
+		min = 30 // keep taxonomies deep enough to be interesting
+	}
+	if n < min {
+		n = min
+	}
+	return n
+}
+
+// Names lists the universe's sources in import order.
+func (u *Universe) Names() []string {
+	out := make([]string, len(u.specs))
+	for i, s := range u.specs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// Spec returns the scaled spec of a source (nil when unknown).
+func (u *Universe) Spec(name string) *SourceSpec {
+	return u.byName[strings.ToLower(name)]
+}
+
+// Count returns the scaled object count of a source.
+func (u *Universe) Count(name string) int {
+	if s := u.Spec(name); s != nil {
+		return s.BaseCount
+	}
+	return 0
+}
+
+// Accession returns the i-th accession of a source; the same function
+// drives both object generation and cross-reference generation, keeping
+// references consistent across files.
+func (u *Universe) Accession(name string, i int) string {
+	spec := u.Spec(name)
+	if spec == nil {
+		return fmt.Sprintf("%s:%d", name, i)
+	}
+	if spec.Format == "enzyme" {
+		return ecNumber(i)
+	}
+	return accession(spec.AccPattern, i)
+}
+
+func accession(pattern string, i int) string {
+	switch strings.Count(pattern, "%") {
+	case 0:
+		return fmt.Sprintf("%s%d", pattern, i+1)
+	case 1:
+		return fmt.Sprintf(pattern, i+1)
+	default:
+		if strings.Contains(pattern, "%c") {
+			return fmt.Sprintf(pattern, 'A'+rune(i%26), i/26+1)
+		}
+		return fmt.Sprintf(pattern, 1+i%5, i+1)
+	}
+}
+
+// ecNumber enumerates unique EC numbers in mixed radix.
+func ecNumber(i int) string {
+	d := 1 + i%20
+	c := 1 + (i/20)%10
+	b := 1 + (i/200)%12
+	a := 1 + (i/2400)%6
+	return fmt.Sprintf("%d.%d.%d.%d", a, b, c, d)
+}
+
+// rng returns the deterministic random stream of one source.
+func (u *Universe) rng(name string) *rand.Rand {
+	h := fnv.New64a()
+	io.WriteString(h, name)
+	return rand.New(rand.NewSource(u.cfg.Seed*1099511628211 + int64(h.Sum64()&0x7fffffffffff)))
+}
+
+// SourceInfo builds the audit header for a source.
+func (u *Universe) SourceInfo(name string) eav.SourceInfo {
+	spec := u.Spec(name)
+	if spec == nil {
+		return eav.SourceInfo{Name: name}
+	}
+	return eav.SourceInfo{
+		Name:      spec.Name,
+		Content:   spec.Content,
+		Structure: spec.Structure,
+		Release:   fmt.Sprintf("synthetic-seed%d-scale%g", u.cfg.Seed, u.cfg.Scale),
+		Date:      "2004-03-14",
+	}
+}
+
+// Render writes the native-format file of one source.
+func (u *Universe) Render(name string, w io.Writer) error {
+	spec := u.Spec(name)
+	if spec == nil {
+		return fmt.Errorf("gen: unknown source %q", name)
+	}
+	rng := u.rng(spec.Name)
+	switch spec.Format {
+	case "locuslink":
+		return u.renderLocusLink(spec, rng, w)
+	case "obo":
+		return u.renderOBO(spec, rng, w)
+	case "enzyme":
+		return u.renderEnzyme(spec, rng, w)
+	case "tabular":
+		return u.renderTabular(spec, rng, w)
+	}
+	return fmt.Errorf("gen: source %q has unknown format %q", name, spec.Format)
+}
+
+// Dataset renders and parses one source, returning the EAV dataset exactly
+// as a real import would stage it.
+func (u *Universe) Dataset(name string) (*eav.Dataset, error) {
+	spec := u.Spec(name)
+	if spec == nil {
+		return nil, fmt.Errorf("gen: unknown source %q", name)
+	}
+	var sb strings.Builder
+	if err := u.Render(name, &sb); err != nil {
+		return nil, err
+	}
+	return parser.Parse(spec.Format, strings.NewReader(sb.String()), u.SourceInfo(name))
+}
+
+// WriteFiles renders every source into dir, one file per source, and
+// returns the file paths keyed by source name.
+func (u *Universe) WriteFiles(dir string) (map[string]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("gen: %w", err)
+	}
+	out := make(map[string]string, len(u.specs))
+	for _, spec := range u.specs {
+		path := filepath.Join(dir, fileName(spec))
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, fmt.Errorf("gen: %w", err)
+		}
+		if err := u.Render(spec.Name, f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Close(); err != nil {
+			return nil, fmt.Errorf("gen: %w", err)
+		}
+		out[spec.Name] = path
+	}
+	return out, nil
+}
+
+func fileName(spec SourceSpec) string {
+	ext := map[string]string{
+		"locuslink": ".ll", "obo": ".obo", "enzyme": ".dat", "tabular": ".tsv",
+	}[spec.Format]
+	return strings.ToLower(spec.Name) + ext
+}
+
+// ---------------------------------------------------------------------------
+// Cross-reference generation
+
+// xrefTargets picks the referenced accessions for one object under one
+// XRef declaration.
+func (u *Universe) xrefTargets(x XRef, rng *rand.Rand) []string {
+	n := int(x.AvgFanOut)
+	if rng.Float64() < x.AvgFanOut-float64(n) {
+		n++
+	}
+	if n == 0 {
+		return nil
+	}
+	count := u.Count(x.Target)
+	if count == 0 {
+		return nil
+	}
+	out := make([]string, 0, n)
+	for k := 0; k < n; k++ {
+		out = append(out, u.Accession(x.Target, rng.Intn(count)))
+	}
+	return out
+}
+
+func evidenceValue(rng *rand.Rand) float64 {
+	return float64(50+rng.Intn(50)) / 100 // 0.50 .. 0.99
+}
+
+// ---------------------------------------------------------------------------
+// Format renderers
+
+func (u *Universe) renderLocusLink(spec *SourceSpec, rng *rand.Rand, w io.Writer) error {
+	bw := newErrWriter(w)
+	for i := 0; i < spec.BaseCount; i++ {
+		bw.printf(">>%s\n", u.Accession(spec.Name, i))
+		bw.printf("NAME: %s\n", objectName(rng))
+		for _, x := range spec.XRefs {
+			for _, tgt := range u.xrefTargets(x, rng) {
+				key := strings.ToUpper(x.Target)
+				if rng.Intn(4) == 0 {
+					bw.printf("%s: %s | %s\n", key, tgt, termName(rng))
+				} else {
+					bw.printf("%s: %s\n", key, tgt)
+				}
+			}
+		}
+	}
+	return bw.err
+}
+
+func (u *Universe) renderOBO(spec *SourceSpec, rng *rand.Rand, w io.Writer) error {
+	bw := newErrWriter(w)
+	bw.printf("format-version: 1.2\nontology: %s\n\n", strings.ToLower(spec.Name))
+	namespaces := spec.Namespaces
+	if len(namespaces) == 0 {
+		namespaces = []string{"default"}
+	}
+	// Track earlier terms per namespace so is_a links stay acyclic and
+	// within a sub-taxonomy (Contains partition).
+	prev := make(map[string][]string, len(namespaces))
+	for i := 0; i < spec.BaseCount; i++ {
+		id := u.Accession(spec.Name, i)
+		ns := namespaces[i%len(namespaces)]
+		bw.printf("[Term]\nid: %s\nname: %s\nnamespace: %s\n", id, termName(rng), ns)
+		if earlier := prev[ns]; len(earlier) > 0 {
+			parent := earlier[rng.Intn(len(earlier))]
+			bw.printf("is_a: %s ! parent\n", parent)
+			// Occasional multiple inheritance (GO terms may specialize
+			// several terms).
+			if len(earlier) > 1 && rng.Intn(10) == 0 {
+				second := earlier[rng.Intn(len(earlier))]
+				if second != parent {
+					bw.printf("is_a: %s ! second parent\n", second)
+				}
+			}
+		}
+		bw.printf("\n")
+		prev[ns] = append(prev[ns], id)
+	}
+	return bw.err
+}
+
+func (u *Universe) renderEnzyme(spec *SourceSpec, rng *rand.Rand, w io.Writer) error {
+	bw := newErrWriter(w)
+	for i := 0; i < spec.BaseCount; i++ {
+		bw.printf("ID   %s\n", ecNumber(i))
+		bw.printf("DE   %s.\n", strings.Title(objectName(rng)))
+		for _, x := range spec.XRefs {
+			for _, tgt := range u.xrefTargets(x, rng) {
+				bw.printf("DR   %s, %s_HUMAN;\n", tgt, geneSymbol(rng, i))
+			}
+		}
+		bw.printf("//\n")
+	}
+	return bw.err
+}
+
+func (u *Universe) renderTabular(spec *SourceSpec, rng *rand.Rand, w io.Writer) error {
+	bw := newErrWriter(w)
+	bw.printf("#accession\tname\txrefs\n")
+	for i := 0; i < spec.BaseCount; i++ {
+		acc := u.Accession(spec.Name, i)
+		var name string
+		if spec.Name == "Hugo" {
+			name = geneSymbol(rng, i)
+		} else {
+			name = objectName(rng)
+		}
+		var refs []string
+		for _, x := range spec.XRefs {
+			for _, tgt := range u.xrefTargets(x, rng) {
+				if x.Evidence {
+					refs = append(refs, fmt.Sprintf("%s:%s|%.2f", x.Target, tgt, evidenceValue(rng)))
+				} else {
+					refs = append(refs, fmt.Sprintf("%s:%s", x.Target, tgt))
+				}
+			}
+		}
+		bw.printf("%s\t%s\t%s\n", acc, name, strings.Join(refs, ";"))
+	}
+	return bw.err
+}
+
+// errWriter folds write errors so renderers stay readable.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func newErrWriter(w io.Writer) *errWriter { return &errWriter{w: w} }
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}
+
+// ExpectedTotals estimates the number of objects across all sources (used
+// by the scale experiment harness to report target vs achieved counts).
+func (u *Universe) ExpectedTotals() (objects int) {
+	for _, s := range u.specs {
+		objects += s.BaseCount
+	}
+	return objects
+}
+
+// SortedSpecs returns specs sorted by name (for stable reporting).
+func (u *Universe) SortedSpecs() []SourceSpec {
+	out := append([]SourceSpec(nil), u.specs...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,263 @@
+package gen
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"genmapper/internal/eav"
+)
+
+func TestCatalogShape(t *testing.T) {
+	if len(catalog) < 60 {
+		t.Fatalf("catalog has %d sources, paper needs 60+", len(catalog))
+	}
+	names := make(map[string]bool)
+	base := 0
+	for _, s := range catalog {
+		if names[s.Name] {
+			t.Errorf("duplicate source %q", s.Name)
+		}
+		names[s.Name] = true
+		base += s.BaseCount
+		for _, x := range s.XRefs {
+			if x.Target == s.Name {
+				t.Errorf("source %q references itself", s.Name)
+			}
+		}
+	}
+	// Paper scale: approx. 2 million objects.
+	if base < 1_800_000 || base > 2_300_000 {
+		t.Errorf("total base objects = %d, want ~2M", base)
+	}
+	// Every xref target must exist in the catalog.
+	for _, s := range catalog {
+		for _, x := range s.XRefs {
+			if !names[x.Target] {
+				t.Errorf("source %q references unknown target %q", s.Name, x.Target)
+			}
+		}
+	}
+	// NetAffx chips present as sub-divisions.
+	for _, chip := range NetAffxChips {
+		if !names[chip] {
+			t.Errorf("missing NetAffx chip %q", chip)
+		}
+	}
+}
+
+func TestUniverseScaling(t *testing.T) {
+	small := NewUniverse(Config{Seed: 1, Scale: 0.001})
+	if small.Count("LocusLink") != 150 {
+		t.Errorf("scaled LocusLink = %d, want 150", small.Count("LocusLink"))
+	}
+	// Network sources keep a useful minimum.
+	if small.Count("GO") < 30 {
+		t.Errorf("GO scaled below minimum: %d", small.Count("GO"))
+	}
+	if small.Count("nope") != 0 {
+		t.Error("unknown source should count 0")
+	}
+	full := NewUniverse(Config{Seed: 1, Scale: 1})
+	if tot := full.ExpectedTotals(); tot < 1_800_000 {
+		t.Errorf("full-scale totals = %d", tot)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	u1 := NewUniverse(Config{Seed: 42, Scale: 0.002})
+	u2 := NewUniverse(Config{Seed: 42, Scale: 0.002})
+	for _, name := range []string{"LocusLink", "GO", "Enzyme", "Unigene"} {
+		var a, b strings.Builder
+		if err := u1.Render(name, &a); err != nil {
+			t.Fatal(err)
+		}
+		if err := u2.Render(name, &b); err != nil {
+			t.Fatal(err)
+		}
+		if a.String() != b.String() {
+			t.Errorf("source %s not deterministic", name)
+		}
+	}
+	// A different seed must change the content.
+	u3 := NewUniverse(Config{Seed: 43, Scale: 0.002})
+	var a, c strings.Builder
+	u1.Render("LocusLink", &a)
+	u3.Render("LocusLink", &c)
+	if a.String() == c.String() {
+		t.Error("different seeds produced identical output")
+	}
+}
+
+func TestDatasetsParseCleanly(t *testing.T) {
+	u := NewUniverse(Config{Seed: 7, Scale: 0.001})
+	for _, name := range u.Names() {
+		d, err := u.Dataset(name)
+		if err != nil {
+			t.Fatalf("source %s: %v", name, err)
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("source %s: invalid dataset: %v", name, err)
+		}
+		if d.Source.Name != name {
+			t.Errorf("source %s: dataset labelled %s", name, d.Source.Name)
+		}
+		if len(d.Accessions()) == 0 {
+			t.Errorf("source %s: no objects", name)
+		}
+	}
+}
+
+func TestCrossReferenceConsistency(t *testing.T) {
+	// Cross-references must point at accessions the target source actually
+	// generates, so that import connects rather than fabricates objects.
+	u := NewUniverse(Config{Seed: 3, Scale: 0.002})
+	ll, err := u.Dataset("LocusLink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	goAccs := make(map[string]bool)
+	goCount := u.Count("GO")
+	for i := 0; i < goCount; i++ {
+		goAccs[u.Accession("GO", i)] = true
+	}
+	checked := 0
+	for _, r := range ll.Records {
+		if r.Target != "GO" {
+			continue
+		}
+		checked++
+		if !goAccs[r.TargetAccession] {
+			t.Fatalf("LocusLink references GO accession %q outside the generated set", r.TargetAccession)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no GO cross-references generated")
+	}
+}
+
+func TestGOStructure(t *testing.T) {
+	u := NewUniverse(Config{Seed: 5, Scale: 0.005})
+	d, err := u.Dataset("GO")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var isa, contains int
+	namespaces := make(map[string]bool)
+	for _, r := range d.Records {
+		switch r.Target {
+		case eav.TargetIsA:
+			isa++
+		case eav.TargetContains:
+			contains++
+			namespaces[r.Accession] = true
+		}
+	}
+	if isa == 0 {
+		t.Error("GO has no is_a structure")
+	}
+	if len(namespaces) != 3 {
+		t.Errorf("GO namespaces = %v, want the 3 sub-taxonomies", namespaces)
+	}
+	if contains < u.Count("GO") {
+		t.Errorf("contains records = %d, want >= %d (every term in a partition)", contains, u.Count("GO"))
+	}
+}
+
+func TestEnzymeHierarchy(t *testing.T) {
+	u := NewUniverse(Config{Seed: 5, Scale: 0.005})
+	d, err := u.Dataset("Enzyme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundIsA := false
+	for _, r := range d.Records {
+		if r.Target == eav.TargetIsA {
+			foundIsA = true
+			break
+		}
+	}
+	if !foundIsA {
+		t.Error("Enzyme import lacks EC hierarchy")
+	}
+}
+
+func TestEvidenceGeneration(t *testing.T) {
+	u := NewUniverse(Config{Seed: 5, Scale: 0.005})
+	d, err := u.Dataset("NetAffx-HG-U133A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	withEv := 0
+	for _, r := range d.Records {
+		if r.Target == "Unigene" {
+			if r.Evidence <= 0 || r.Evidence > 1 {
+				t.Fatalf("NetAffx Unigene xref evidence = %g", r.Evidence)
+			}
+			withEv++
+		}
+	}
+	if withEv == 0 {
+		t.Error("no evidence-bearing xrefs generated for NetAffx chip")
+	}
+}
+
+func TestAccessionSchemes(t *testing.T) {
+	u := NewUniverse(DefaultConfig())
+	cases := []struct {
+		source string
+		i      int
+		want   string
+	}{
+		{"LocusLink", 0, "1"},
+		{"Unigene", 0, "Hs.1"},
+		{"GO", 0, "GO:0000001"},
+		{"SwissProt", 41, "P00042"},
+		{"Enzyme", 0, "1.1.1.1"},
+		{"Enzyme", 1, "1.1.1.2"},
+		{"Enzyme", 20, "1.1.2.1"},
+	}
+	for _, c := range cases {
+		if got := u.Accession(c.source, c.i); got != c.want {
+			t.Errorf("Accession(%s, %d) = %q, want %q", c.source, c.i, got, c.want)
+		}
+	}
+	// EC numbers must be unique across a large range.
+	seen := make(map[string]bool)
+	for i := 0; i < 5000; i++ {
+		ec := ecNumber(i)
+		if seen[ec] {
+			t.Fatalf("duplicate EC number %s at %d", ec, i)
+		}
+		seen[ec] = true
+	}
+}
+
+func TestWriteFiles(t *testing.T) {
+	u := NewUniverse(Config{Seed: 2, Scale: 0.0005})
+	dir := t.TempDir()
+	paths, err := u.WriteFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != len(u.Names()) {
+		t.Fatalf("wrote %d files, want %d", len(paths), len(u.Names()))
+	}
+	if filepath.Dir(paths["GO"]) != dir {
+		t.Errorf("GO path = %s", paths["GO"])
+	}
+	if !strings.HasSuffix(paths["GO"], ".obo") || !strings.HasSuffix(paths["LocusLink"], ".ll") {
+		t.Errorf("unexpected extensions: %s / %s", paths["GO"], paths["LocusLink"])
+	}
+}
+
+func TestRenderUnknownSource(t *testing.T) {
+	u := NewUniverse(DefaultConfig())
+	var sb strings.Builder
+	if err := u.Render("nope", &sb); err == nil {
+		t.Fatal("unknown source accepted")
+	}
+	if _, err := u.Dataset("nope"); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}

@@ -1,0 +1,76 @@
+package gen
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// Deterministic pseudo-biological vocabulary for object names. The texts
+// only need to look like curated annotation strings ("adenine
+// phosphoribosyltransferase"); they carry no semantics.
+
+var nameStems = []string{
+	"adenine", "guanine", "cytosine", "thymine", "uracil", "purine",
+	"pyrimidine", "nucleoside", "nucleotide", "ribose", "phosphate",
+	"kinase", "phosphatase", "transferase", "hydrolase", "ligase",
+	"oxidase", "reductase", "synthase", "synthetase", "isomerase",
+	"mutase", "carboxylase", "dehydrogenase", "peptidase", "protease",
+	"receptor", "channel", "transporter", "carrier", "binding",
+	"membrane", "nuclear", "ribosomal", "mitochondrial", "cytoplasmic",
+	"histone", "tubulin", "actin", "myosin", "collagen", "keratin",
+	"globin", "albumin", "ferritin", "insulin", "interferon",
+	"interleukin", "cadherin", "integrin", "laminin", "fibronectin",
+}
+
+var nameQualifiers = []string{
+	"alpha", "beta", "gamma", "delta", "epsilon", "kappa", "sigma",
+	"type I", "type II", "type III", "precursor", "isoform 1",
+	"isoform 2", "subunit A", "subunit B", "like", "associated",
+	"regulatory", "catalytic", "putative", "family member",
+}
+
+var processWords = []string{
+	"metabolism", "biosynthesis", "catabolism", "transport", "signaling",
+	"regulation", "response", "assembly", "organization", "repair",
+	"replication", "transcription", "translation", "splicing", "folding",
+	"degradation", "adhesion", "migration", "proliferation", "apoptosis",
+	"differentiation", "development", "morphogenesis", "homeostasis",
+}
+
+// objectName produces a protein/gene-product style name.
+func objectName(rng *rand.Rand) string {
+	var sb strings.Builder
+	sb.WriteString(nameStems[rng.Intn(len(nameStems))])
+	sb.WriteByte(' ')
+	sb.WriteString(nameStems[rng.Intn(len(nameStems))])
+	if rng.Intn(3) == 0 {
+		sb.WriteByte(' ')
+		sb.WriteString(nameQualifiers[rng.Intn(len(nameQualifiers))])
+	}
+	return sb.String()
+}
+
+// termName produces a GO-style process/function term name.
+func termName(rng *rand.Rand) string {
+	var sb strings.Builder
+	sb.WriteString(nameStems[rng.Intn(len(nameStems))])
+	sb.WriteByte(' ')
+	sb.WriteString(processWords[rng.Intn(len(processWords))])
+	if rng.Intn(4) == 0 {
+		sb.WriteString(", ")
+		sb.WriteString(nameQualifiers[rng.Intn(len(nameQualifiers))])
+	}
+	return sb.String()
+}
+
+// geneSymbol produces a Hugo-style short gene symbol.
+func geneSymbol(rng *rand.Rand, i int) string {
+	letters := "ABCDEFGHIKLMNPRSTVWYZ"
+	var sb strings.Builder
+	n := 3 + rng.Intn(2)
+	for j := 0; j < n; j++ {
+		sb.WriteByte(letters[rng.Intn(len(letters))])
+	}
+	sb.WriteByte('0' + byte(1+i%9))
+	return sb.String()
+}

@@ -1,0 +1,180 @@
+package graph
+
+import (
+	"testing"
+
+	"genmapper/internal/gam"
+	"genmapper/internal/sqldb"
+)
+
+// chainGraph builds 1 - 2 - 3 - 4 plus a shortcut 1 - 5 - 4.
+func chainGraph() *Graph {
+	g := New()
+	g.AddMapping(EdgeInfo{Rel: 1, From: 1, To: 2, Type: gam.RelFact})
+	g.AddMapping(EdgeInfo{Rel: 2, From: 2, To: 3, Type: gam.RelFact})
+	g.AddMapping(EdgeInfo{Rel: 3, From: 3, To: 4, Type: gam.RelFact})
+	g.AddMapping(EdgeInfo{Rel: 4, From: 1, To: 5, Type: gam.RelSimilarity})
+	g.AddMapping(EdgeInfo{Rel: 5, From: 5, To: 4, Type: gam.RelSimilarity})
+	return g
+}
+
+func pathEq(got []gam.SourceID, want ...gam.SourceID) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestShortestPath(t *testing.T) {
+	g := chainGraph()
+	if p := g.ShortestPath(1, 4); !pathEq(p, 1, 5, 4) {
+		t.Errorf("ShortestPath(1,4) = %v, want [1 5 4]", p)
+	}
+	if p := g.ShortestPath(1, 3); !pathEq(p, 1, 2, 3) {
+		t.Errorf("ShortestPath(1,3) = %v", p)
+	}
+	if p := g.ShortestPath(2, 2); !pathEq(p, 2) {
+		t.Errorf("same-source path = %v", p)
+	}
+	if p := g.ShortestPath(1, 99); p != nil {
+		t.Errorf("unreachable path = %v", p)
+	}
+}
+
+func TestShortestPathBidirectional(t *testing.T) {
+	g := chainGraph()
+	// Mappings are traversable in reverse direction.
+	if p := g.ShortestPath(4, 1); !pathEq(p, 4, 5, 1) {
+		t.Errorf("reverse path = %v", p)
+	}
+}
+
+func TestShortestPathVia(t *testing.T) {
+	g := chainGraph()
+	if p := g.ShortestPathVia(1, 2, 4); !pathEq(p, 1, 2, 3, 4) {
+		t.Errorf("via path = %v, want [1 2 3 4]", p)
+	}
+	if p := g.ShortestPathVia(1, 99, 4); p != nil {
+		t.Errorf("via unreachable = %v", p)
+	}
+}
+
+func TestStructuralAndSelfEdgesExcluded(t *testing.T) {
+	g := New()
+	g.AddMapping(EdgeInfo{Rel: 1, From: 1, To: 1, Type: gam.RelIsA})
+	g.AddMapping(EdgeInfo{Rel: 2, From: 1, To: 2, Type: gam.RelContains})
+	g.AddMapping(EdgeInfo{Rel: 3, From: 1, To: 1, Type: gam.RelFact})
+	if len(g.Sources()) != 0 {
+		t.Errorf("structural/self edges created sources: %v", g.Sources())
+	}
+	if p := g.ShortestPath(1, 2); p != nil {
+		t.Errorf("structural edge traversed: %v", p)
+	}
+}
+
+func TestNeighborsAndCounts(t *testing.T) {
+	g := chainGraph()
+	nb := g.Neighbors(1)
+	if len(nb) != 2 || nb[0] != 2 || nb[1] != 5 {
+		t.Errorf("Neighbors(1) = %v", nb)
+	}
+	if g.EdgeCount() != 5 {
+		t.Errorf("EdgeCount = %d", g.EdgeCount())
+	}
+	if len(g.Sources()) != 5 {
+		t.Errorf("Sources = %v", g.Sources())
+	}
+}
+
+func TestAllPaths(t *testing.T) {
+	g := chainGraph()
+	paths := g.AllPaths(1, 4, 3)
+	if len(paths) != 2 {
+		t.Fatalf("AllPaths = %v", paths)
+	}
+	if !pathEq(paths[0], 1, 5, 4) || !pathEq(paths[1], 1, 2, 3, 4) {
+		t.Errorf("paths = %v", paths)
+	}
+	// Length bound respected.
+	paths = g.AllPaths(1, 4, 2)
+	if len(paths) != 1 {
+		t.Errorf("bounded paths = %v", paths)
+	}
+}
+
+func TestSavedPaths(t *testing.T) {
+	g := chainGraph()
+	if err := g.SavePath("viaChain", []gam.SourceID{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	p, ok := g.SavedPath("viaChain")
+	if !ok || !pathEq(p, 1, 2, 3, 4) {
+		t.Fatalf("SavedPath = %v, %v", p, ok)
+	}
+	if names := g.SavedPathNames(); len(names) != 1 || names[0] != "viaChain" {
+		t.Errorf("names = %v", names)
+	}
+	// Unknown name.
+	if _, ok := g.SavedPath("nope"); ok {
+		t.Error("unknown saved path found")
+	}
+	// Disconnected path rejected.
+	if err := g.SavePath("broken", []gam.SourceID{1, 3}); err == nil {
+		t.Error("disconnected path accepted")
+	}
+	if err := g.SavePath("", []gam.SourceID{1, 2}); err == nil {
+		t.Error("unnamed path accepted")
+	}
+	if err := g.SavePath("short", []gam.SourceID{1}); err == nil {
+		t.Error("single-node path accepted")
+	}
+	// Returned slice is a copy.
+	p[0] = 99
+	p2, _ := g.SavedPath("viaChain")
+	if p2[0] != 1 {
+		t.Error("SavedPath leaked internal state")
+	}
+}
+
+func TestBuildFromRepo(t *testing.T) {
+	repo, err := gam.Open(sqldb.NewDB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _, _ := repo.EnsureSource(gam.Source{Name: "A"})
+	b, _, _ := repo.EnsureSource(gam.Source{Name: "B"})
+	c, _, _ := repo.EnsureSource(gam.Source{Name: "C"})
+	repo.EnsureSourceRel(a.ID, b.ID, gam.RelFact)
+	repo.EnsureSourceRel(b.ID, c.ID, gam.RelSimilarity)
+	repo.EnsureSourceRel(c.ID, c.ID, gam.RelIsA) // structural, skipped
+
+	g, err := Build(repo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := g.ShortestPath(a.ID, c.ID); !pathEq(p, a.ID, b.ID, c.ID) {
+		t.Errorf("path = %v", p)
+	}
+	if g.EdgeCount() != 2 {
+		t.Errorf("EdgeCount = %d, want 2 (structural excluded)", g.EdgeCount())
+	}
+}
+
+func TestDeterministicTieBreak(t *testing.T) {
+	// Two equal-length paths: BFS must prefer the lower source IDs.
+	g := New()
+	g.AddMapping(EdgeInfo{Rel: 1, From: 1, To: 2, Type: gam.RelFact})
+	g.AddMapping(EdgeInfo{Rel: 2, From: 1, To: 3, Type: gam.RelFact})
+	g.AddMapping(EdgeInfo{Rel: 3, From: 2, To: 4, Type: gam.RelFact})
+	g.AddMapping(EdgeInfo{Rel: 4, From: 3, To: 4, Type: gam.RelFact})
+	for i := 0; i < 10; i++ {
+		if p := g.ShortestPath(1, 4); !pathEq(p, 1, 2, 4) {
+			t.Fatalf("tie-break path = %v, want [1 2 4]", p)
+		}
+	}
+}

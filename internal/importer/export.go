@@ -1,0 +1,99 @@
+package importer
+
+import (
+	"fmt"
+	"strconv"
+
+	"genmapper/internal/eav"
+	"genmapper/internal/gam"
+)
+
+// Export reconstructs the EAV staging dataset of a source from its GAM
+// representation: the inverse of Import, restricted to data that
+// originated from the source itself (imported Fact/Similarity mappings
+// stored with the source as domain, plus IS_A/Contains structure). Derived
+// mappings (Composed, Subsumed) are GenMapper's own products and are not
+// exported.
+//
+// Import(Export(s)) is a no-op on an up-to-date database, which the test
+// suite uses as the round-trip invariant of the generic transformation.
+func Export(repo *gam.Repo, src gam.SourceID) (*eav.Dataset, error) {
+	source := repo.SourceByID(src)
+	if source == nil {
+		return nil, fmt.Errorf("importer: unknown source id %d", src)
+	}
+	d := eav.NewDataset(eav.SourceInfo{
+		Name:      source.Name,
+		Content:   string(source.Content),
+		Structure: string(source.Structure),
+		Release:   source.Release,
+		Date:      source.Date,
+	})
+
+	objs, err := repo.ObjectsBySource(src)
+	if err != nil {
+		return nil, err
+	}
+	accByID := make(map[gam.ObjectID]string, len(objs))
+	for _, o := range objs {
+		accByID[o.ID] = o.Accession
+		if o.Text != "" {
+			d.Add(o.Accession, eav.TargetName, "", o.Text)
+		}
+		if o.HasNumber {
+			d.Add(o.Accession, eav.TargetNumber, "", strconv.FormatFloat(o.Number, 'g', -1, 64))
+		}
+	}
+
+	rels, err := repo.SourceRels()
+	if err != nil {
+		return nil, err
+	}
+	for _, rel := range rels {
+		if rel.Source1 != src || rel.Type.IsDerived() {
+			continue
+		}
+		assocs, err := repo.Associations(rel.ID)
+		if err != nil {
+			return nil, err
+		}
+		switch rel.Type {
+		case gam.RelIsA, gam.RelContains:
+			target := eav.TargetIsA
+			if rel.Type == gam.RelContains {
+				target = eav.TargetContains
+			}
+			for _, a := range assocs {
+				from, to := accByID[a.Object1], accByID[a.Object2]
+				if from == "" || to == "" {
+					return nil, fmt.Errorf("importer: export: structural association references foreign object")
+				}
+				d.Add(from, target, to, "")
+			}
+		default: // fact, similarity
+			tgtSource := repo.SourceByID(rel.Source2)
+			if tgtSource == nil {
+				return nil, fmt.Errorf("importer: export: mapping %d has unknown target source", rel.ID)
+			}
+			for _, a := range assocs {
+				from := accByID[a.Object1]
+				if from == "" {
+					return nil, fmt.Errorf("importer: export: association domain outside source")
+				}
+				tgtObj, err := repo.Object(a.Object2)
+				if err != nil {
+					return nil, err
+				}
+				if tgtObj == nil {
+					return nil, fmt.Errorf("importer: export: dangling target object %d", a.Object2)
+				}
+				if a.Evidence != 0 {
+					d.AddEvidence(from, tgtSource.Name, tgtObj.Accession, "", a.Evidence)
+				} else {
+					d.Add(from, tgtSource.Name, tgtObj.Accession, "")
+				}
+			}
+		}
+	}
+	return d, nil
+}

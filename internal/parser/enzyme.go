@@ -1,0 +1,114 @@
+package parser
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"genmapper/internal/eav"
+)
+
+// ParseEnzyme parses Enzyme-nomenclature .dat files in the ExPASy line-code
+// style:
+//
+//	ID   2.4.2.7
+//	DE   Adenine phosphoribosyltransferase.
+//	DR   P07741, APT_HUMAN;
+//	//
+//
+// Each entry yields a NAME record and IS_A records reconstructing the EC
+// number hierarchy (2.4.2.7 IS_A 2.4.2.-, 2.4.2.- IS_A 2.4.-.-, ...), so
+// Enzyme imports as a Network source like the paper describes. DR lines
+// yield SwissProt cross-references.
+func ParseEnzyme(r io.Reader, info eav.SourceInfo) (*eav.Dataset, error) {
+	d := eav.NewDataset(info)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	var id string
+	classes := make(map[string]bool) // emitted class entries
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), " \t")
+		if line == "" {
+			continue
+		}
+		if line == "//" {
+			id = ""
+			continue
+		}
+		if len(line) < 2 {
+			return nil, fmt.Errorf("parser: enzyme line %d: short line %q", lineNo, line)
+		}
+		code := line[:2]
+		rest := strings.TrimSpace(line[2:])
+		switch code {
+		case "ID":
+			if rest == "" {
+				return nil, fmt.Errorf("parser: enzyme line %d: empty ID", lineNo)
+			}
+			id = rest
+			emitHierarchy(d, id, classes)
+		case "DE":
+			if id == "" {
+				return nil, fmt.Errorf("parser: enzyme line %d: DE before ID", lineNo)
+			}
+			d.Add(id, eav.TargetName, "", strings.TrimSuffix(rest, "."))
+		case "DR":
+			if id == "" {
+				return nil, fmt.Errorf("parser: enzyme line %d: DR before ID", lineNo)
+			}
+			for _, ref := range strings.Split(rest, ";") {
+				ref = strings.TrimSpace(ref)
+				if ref == "" {
+					continue
+				}
+				acc, _, _ := strings.Cut(ref, ",")
+				acc = strings.TrimSpace(acc)
+				if acc != "" {
+					d.Add(id, "SwissProt", acc, "")
+				}
+			}
+		case "CC", "CA", "AN", "CF", "PR":
+			// Comment/catalytic-activity/alternate-name lines: skipped.
+		default:
+			return nil, fmt.Errorf("parser: enzyme line %d: unknown line code %q", lineNo, code)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("parser: enzyme: %w", err)
+	}
+	return d, nil
+}
+
+// emitHierarchy adds IS_A records from an EC number up its class chain,
+// creating class pseudo-entries (with NAME) once each.
+func emitHierarchy(d *eav.Dataset, ec string, classes map[string]bool) {
+	parts := strings.Split(ec, ".")
+	if len(parts) != 4 {
+		return // malformed or already a top-level code; no hierarchy
+	}
+	child := ec
+	for level := 3; level >= 1; level-- {
+		parentParts := make([]string, 4)
+		for i := range parentParts {
+			if i < level {
+				parentParts[i] = parts[i]
+			} else {
+				parentParts[i] = "-"
+			}
+		}
+		parent := strings.Join(parentParts, ".")
+		if parent == child {
+			continue
+		}
+		d.Add(child, eav.TargetIsA, parent, "")
+		if !classes[parent] {
+			classes[parent] = true
+			d.Add(parent, eav.TargetName, "", "EC class "+parent)
+		}
+		child = parent
+	}
+}

@@ -1,0 +1,96 @@
+package parser
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"genmapper/internal/eav"
+)
+
+// ParseLocusLink parses LocusLink-style record dumps. The format mirrors
+// the LL_tmpl flat file NCBI distributed for LocusLink: records start with
+// ">>accession", followed by "KEY: value" annotation lines. Values that
+// reference another source may carry descriptive text after a "|".
+//
+//	>>353
+//	NAME: adenine phosphoribosyltransferase
+//	HUGO: APRT | adenine phosphoribosyltransferase
+//	LOCATION: 16q24
+//	ENZYME: 2.4.2.7
+//	GO: GO:0009116 | nucleoside metabolism
+//	OMIM: 102600
+//
+// Keys map to target sources: NAME becomes the object's own text, every
+// other key names the target source (case preserved per targetNames).
+func ParseLocusLink(r io.Reader, info eav.SourceInfo) (*eav.Dataset, error) {
+	d := eav.NewDataset(info)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var current string
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), " \t")
+		switch {
+		case line == "" || strings.HasPrefix(line, "#"):
+			continue
+		case strings.HasPrefix(line, ">>"):
+			current = strings.TrimSpace(line[2:])
+			if current == "" {
+				return nil, fmt.Errorf("parser: locuslink line %d: empty record accession", lineNo)
+			}
+		default:
+			if current == "" {
+				return nil, fmt.Errorf("parser: locuslink line %d: annotation before first record", lineNo)
+			}
+			key, value, ok := strings.Cut(line, ":")
+			if !ok {
+				return nil, fmt.Errorf("parser: locuslink line %d: malformed annotation %q", lineNo, line)
+			}
+			key = strings.TrimSpace(key)
+			value = strings.TrimSpace(value)
+			if key == "" || value == "" {
+				return nil, fmt.Errorf("parser: locuslink line %d: empty key or value", lineNo)
+			}
+			acc, text, _ := strings.Cut(value, "|")
+			acc = strings.TrimSpace(acc)
+			text = strings.TrimSpace(text)
+			if strings.EqualFold(key, "NAME") {
+				d.Add(current, eav.TargetName, "", value)
+				continue
+			}
+			d.Add(current, canonicalTarget(key), acc, text)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("parser: locuslink: %w", err)
+	}
+	return d, nil
+}
+
+// targetNames maps upper-cased annotation keys to canonical source names
+// matching the public sources GenMapper imports.
+var targetNames = map[string]string{
+	"HUGO":      "Hugo",
+	"LOCATION":  "Location",
+	"ENZYME":    "Enzyme",
+	"GO":        "GO",
+	"OMIM":      "OMIM",
+	"UNIGENE":   "Unigene",
+	"SWISSPROT": "SwissProt",
+	"INTERPRO":  "InterPro",
+	"REFSEQ":    "RefSeq",
+	"ENSEMBL":   "Ensembl",
+	"PUBMED":    "PubMed",
+	"ALIAS":     "Alias",
+	"CHR":       "Chromosome",
+}
+
+func canonicalTarget(key string) string {
+	if name, ok := targetNames[strings.ToUpper(key)]; ok {
+		return name
+	}
+	return key
+}

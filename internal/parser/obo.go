@@ -1,0 +1,109 @@
+package parser
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"genmapper/internal/eav"
+)
+
+// ParseOBO parses OBO-style ontology files, the format GeneOntology
+// distributes its taxonomy in:
+//
+//	[Term]
+//	id: GO:0009116
+//	name: nucleoside metabolism
+//	namespace: biological_process
+//	is_a: GO:0009117 ! nucleotide metabolism
+//
+// Each term yields a NAME record; is_a lines yield IS_A records; the
+// namespace yields a CONTAINS record linking the sub-taxonomy partition
+// (e.g. "biological_process") to the term, modelling the paper's Contains
+// relationship between GO and its sub-taxonomies.
+func ParseOBO(r io.Reader, info eav.SourceInfo) (*eav.Dataset, error) {
+	d := eav.NewDataset(info)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	var id, name, namespace string
+	var isa []string
+	inTerm := false
+	lineNo := 0
+
+	flush := func() error {
+		if !inTerm {
+			return nil
+		}
+		if id == "" {
+			return fmt.Errorf("parser: obo: term stanza without id")
+		}
+		if name != "" {
+			d.Add(id, eav.TargetName, "", name)
+		} else {
+			d.Add(id, eav.TargetName, "", id)
+		}
+		for _, parent := range isa {
+			d.Add(id, eav.TargetIsA, parent, "")
+		}
+		if namespace != "" {
+			d.Add(namespace, eav.TargetContains, id, "")
+		}
+		id, name, namespace, isa = "", "", "", nil
+		return nil
+	}
+
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || strings.HasPrefix(line, "!"):
+			continue
+		case line == "[Term]":
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			inTerm = true
+		case strings.HasPrefix(line, "["):
+			// Other stanza types ([Typedef], ...) end the current term and
+			// are skipped.
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			inTerm = false
+		default:
+			if !inTerm {
+				continue // header lines (format-version etc.)
+			}
+			key, value, ok := strings.Cut(line, ":")
+			if !ok {
+				return nil, fmt.Errorf("parser: obo line %d: malformed tag %q", lineNo, line)
+			}
+			key = strings.TrimSpace(key)
+			value = strings.TrimSpace(value)
+			switch key {
+			case "id":
+				id = value
+			case "name":
+				name = value
+			case "namespace":
+				namespace = value
+			case "is_a":
+				parent, _, _ := strings.Cut(value, "!")
+				parent = strings.TrimSpace(parent)
+				if parent == "" {
+					return nil, fmt.Errorf("parser: obo line %d: empty is_a target", lineNo)
+				}
+				isa = append(isa, parent)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("parser: obo: %w", err)
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

@@ -1,0 +1,87 @@
+// Package parser implements the Parse step of GenMapper's two-phase import
+// pipeline (paper §4.1): small pieces of source-specific code that turn a
+// source's native file format into the uniform EAV staging format of
+// package eav. Each parser corresponds to what the paper calls "a small
+// portion of source-specific code to be implemented" per source.
+//
+// Supported native formats:
+//
+//   - LocusLink-style record files (">>accession" + "KEY: value" lines)
+//   - OBO-style ontology files (GO, term stanzas with is_a links)
+//   - Enzyme-style .dat files (ID/DE/// line codes, EC-number hierarchy)
+//   - Generic tabular files (UniGene, Hugo, OMIM, NetAffx, SwissProt,
+//     InterPro and other cross-reference tables)
+package parser
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"genmapper/internal/eav"
+)
+
+// Func parses one source file into an EAV dataset. The SourceInfo carries
+// the source identity and audit data recorded during download.
+type Func func(r io.Reader, info eav.SourceInfo) (*eav.Dataset, error)
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Func{}
+)
+
+// Register adds a parser under a format name. Registering the same name
+// twice panics, mirroring database/sql driver registration.
+func Register(format string, fn Func) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	key := strings.ToLower(format)
+	if _, dup := registry[key]; dup {
+		panic(fmt.Sprintf("parser: Register called twice for format %q", format))
+	}
+	registry[key] = fn
+}
+
+// Lookup returns the parser for a format name, or nil.
+func Lookup(format string) Func {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	return registry[strings.ToLower(format)]
+}
+
+// Formats lists the registered format names in sorted order.
+func Formats() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for f := range registry {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Parse dispatches to the registered parser for the format.
+func Parse(format string, r io.Reader, info eav.SourceInfo) (*eav.Dataset, error) {
+	fn := Lookup(format)
+	if fn == nil {
+		return nil, fmt.Errorf("parser: unknown format %q (registered: %s)", format, strings.Join(Formats(), ", "))
+	}
+	d, err := fn(r, info)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("parser: %s produced invalid dataset: %w", format, err)
+	}
+	return d, nil
+}
+
+func init() {
+	Register("locuslink", ParseLocusLink)
+	Register("obo", ParseOBO)
+	Register("enzyme", ParseEnzyme)
+	Register("tabular", ParseTabular)
+}

@@ -1,0 +1,162 @@
+package profile
+
+import (
+	"testing"
+
+	"genmapper/internal/eav"
+	"genmapper/internal/gam"
+	"genmapper/internal/importer"
+	"genmapper/internal/sqldb"
+)
+
+// buildMiniWorld assembles the §5.2 mapping chain: a NetAffx chip whose
+// probes map to Unigene clusters, Unigene to LocusLink, LocusLink to GO,
+// plus a small GO IS_A hierarchy.
+func buildMiniWorld(t *testing.T) *gam.Repo {
+	t.Helper()
+	repo, err := gam.Open(sqldb.NewDB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := func(d *eav.Dataset, opts importer.Options) {
+		t.Helper()
+		if _, err := importer.Import(repo, d, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	goData := eav.NewDataset(eav.SourceInfo{Name: "GO", Structure: "network"})
+	goData.Add("GO:root", eav.TargetName, "", "biological process")
+	goData.Add("GO:meta", eav.TargetName, "", "metabolism")
+	goData.Add("GO:nuc", eav.TargetName, "", "nucleoside metabolism")
+	goData.Add("GO:sig", eav.TargetName, "", "signaling")
+	goData.Add("GO:meta", eav.TargetIsA, "GO:root", "")
+	goData.Add("GO:nuc", eav.TargetIsA, "GO:meta", "")
+	goData.Add("GO:sig", eav.TargetIsA, "GO:root", "")
+	imp(goData, importer.Options{DeriveSubsumed: true})
+
+	ll := eav.NewDataset(eav.SourceInfo{Name: "LocusLink", Content: "gene"})
+	ll.Add("1", eav.TargetName, "", "gene one")
+	ll.Add("1", "GO", "GO:nuc", "")
+	ll.Add("2", eav.TargetName, "", "gene two")
+	ll.Add("2", "GO", "GO:sig", "")
+	ll.Add("3", eav.TargetName, "", "gene three")
+	ll.Add("3", "GO", "GO:meta", "")
+	imp(ll, importer.Options{})
+
+	ug := eav.NewDataset(eav.SourceInfo{Name: "Unigene", Content: "gene"})
+	ug.Add("Hs.1", "LocusLink", "1", "")
+	ug.Add("Hs.2", "LocusLink", "2", "")
+	ug.Add("Hs.3", "LocusLink", "3", "")
+	imp(ug, importer.Options{})
+
+	chip := eav.NewDataset(eav.SourceInfo{Name: "NetAffx-HG-U95A", Content: "gene"})
+	chip.AddEvidence("100_at", "Unigene", "Hs.1", "", 0.95)
+	chip.AddEvidence("101_at", "Unigene", "Hs.2", "", 0.90)
+	chip.AddEvidence("102_at", "Unigene", "Hs.3", "", 0.85)
+	chip.AddEvidence("103_at", "Unigene", "Hs.1", "", 0.80)
+	imp(chip, importer.Options{})
+
+	return repo
+}
+
+func TestNewPipelineValidation(t *testing.T) {
+	repo := buildMiniWorld(t)
+	if _, err := NewPipeline(repo, "NetAffx-HG-U95A", "Unigene", "LocusLink", "GO"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPipeline(repo, "NoSuchChip", "Unigene", "LocusLink", "GO"); err == nil {
+		t.Fatal("unknown chip accepted")
+	}
+}
+
+func TestProbeAnnotations(t *testing.T) {
+	repo := buildMiniWorld(t)
+	p, err := NewPipeline(repo, "NetAffx-HG-U95A", "Unigene", "LocusLink", "GO")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ann, err := p.ProbeAnnotations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100_at -> Hs.1 -> locus 1 -> GO:nuc
+	if len(ann["100_at"]) != 1 || ann["100_at"][0] != "GO:nuc" {
+		t.Errorf("100_at annotations = %v", ann["100_at"])
+	}
+	if len(ann["101_at"]) != 1 || ann["101_at"][0] != "GO:sig" {
+		t.Errorf("101_at annotations = %v", ann["101_at"])
+	}
+	// Two probes share Hs.1 and therefore GO:nuc.
+	if len(ann["103_at"]) != 1 || ann["103_at"][0] != "GO:nuc" {
+		t.Errorf("103_at annotations = %v", ann["103_at"])
+	}
+}
+
+func TestPipelineRunRollsUpHierarchy(t *testing.T) {
+	repo := buildMiniWorld(t)
+	p, err := NewPipeline(repo, "NetAffx-HG-U95A", "Unigene", "LocusLink", "GO")
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes, err := p.ProbeAccessions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probes) != 4 {
+		t.Fatalf("probes = %v", probes)
+	}
+	// Deterministic study: everything detected, probes of GO:nuc genes
+	// differential.
+	study := &Study{
+		Probes:       probes,
+		Detected:     map[string]bool{"100_at": true, "101_at": true, "102_at": true, "103_at": true},
+		Differential: map[string]bool{"100_at": true, "103_at": true},
+	}
+	e, err := p.Run(study)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byTerm := make(map[string]TermResult)
+	for _, r := range e.Results {
+		byTerm[r.Term] = r
+	}
+	// GO:nuc: 2 detected (100_at, 103_at), both differential.
+	if r := byTerm["GO:nuc"]; r.Detected != 2 || r.Differential != 2 {
+		t.Errorf("GO:nuc = %+v", r)
+	}
+	// GO:meta rolls up GO:nuc plus its own direct gene (102_at): 3
+	// detected, 2 differential.
+	if r := byTerm["GO:meta"]; r.Detected != 3 || r.Differential != 2 {
+		t.Errorf("GO:meta rollup = %+v", r)
+	}
+	// The root sees all 4 probes, 2 differential.
+	if r := byTerm["GO:root"]; r.Detected != 4 || r.Differential != 2 {
+		t.Errorf("GO:root rollup = %+v", r)
+	}
+	// GO:sig: only 101_at, not differential.
+	if r := byTerm["GO:sig"]; r.Detected != 1 || r.Differential != 0 {
+		t.Errorf("GO:sig = %+v", r)
+	}
+	// Most significant should be a metabolism-branch term.
+	top := e.Results[0].Term
+	if top != "GO:nuc" && top != "GO:meta" {
+		t.Errorf("top term = %s", top)
+	}
+	// Term names carried through.
+	if byTerm["GO:nuc"].Name != "nucleoside metabolism" {
+		t.Errorf("term name = %q", byTerm["GO:nuc"].Name)
+	}
+}
+
+func TestTermAccessions(t *testing.T) {
+	repo := buildMiniWorld(t)
+	p, _ := NewPipeline(repo, "NetAffx-HG-U95A", "Unigene", "LocusLink", "GO")
+	terms, err := p.TermAccessions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(terms) != 4 {
+		t.Fatalf("terms = %v", terms)
+	}
+}

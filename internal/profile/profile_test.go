@@ -1,0 +1,180 @@
+package profile
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHypergeomTailBasics(t *testing.T) {
+	// P(X >= 0) is always 1.
+	if got := HypergeomTail(100, 10, 20, 0); got != 1 {
+		t.Errorf("k=0 tail = %g", got)
+	}
+	// Impossible k.
+	if got := HypergeomTail(100, 5, 10, 6); got != 0 {
+		t.Errorf("impossible tail = %g", got)
+	}
+	// Exhaustive tiny case: N=4, K=2, n=2.
+	// P(X=0)=C(2,0)C(2,2)/C(4,2)=1/6; P(X=1)=4/6; P(X=2)=1/6.
+	if got := HypergeomTail(4, 2, 2, 1); math.Abs(got-5.0/6.0) > 1e-12 {
+		t.Errorf("P(X>=1) = %g, want 5/6", got)
+	}
+	if got := HypergeomTail(4, 2, 2, 2); math.Abs(got-1.0/6.0) > 1e-12 {
+		t.Errorf("P(X>=2) = %g, want 1/6", got)
+	}
+}
+
+func TestHypergeomTailMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		N := 50 + int(seed%50+50)%50
+		K := N / 3
+		n := N / 4
+		prev := 1.1
+		for k := 0; k <= n; k++ {
+			p := HypergeomTail(N, K, n, k)
+			if p > prev+1e-12 {
+				return false
+			}
+			if p < 0 || p > 1 {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHypergeomPMFSumsToOne(t *testing.T) {
+	N, K, n := 60, 20, 15
+	sum := 0.0
+	for k := 0; k <= n; k++ {
+		sum += math.Exp(logHypergeomPMF(N, K, n, k))
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("PMF sums to %g", sum)
+	}
+}
+
+func makeStudyInput(n int) ([]string, map[string][]string, []string) {
+	probes := make([]string, n)
+	probeTerms := make(map[string][]string, n)
+	terms := []string{"GO:1", "GO:2", "GO:3", "GO:4", "GO:5", "GO:6", "GO:7", "GO:8", "GO:9", "GO:10"}
+	for i := range probes {
+		p := fmt.Sprintf("probe%d_at", i)
+		probes[i] = p
+		probeTerms[p] = []string{terms[i%len(terms)]}
+	}
+	return probes, probeTerms, terms
+}
+
+func TestNewStudyShape(t *testing.T) {
+	probes, probeTerms, terms := makeStudyInput(4000)
+	cfg := DefaultStudyConfig()
+	cfg.BiasTerms = 2
+	st := NewStudy(cfg, probes, probeTerms, terms)
+	total, detected, differential := st.Counts()
+	if total != 4000 {
+		t.Fatalf("total = %d", total)
+	}
+	// Detected fraction approx 0.5.
+	if detected < 1700 || detected > 2300 {
+		t.Errorf("detected = %d, want ~2000", detected)
+	}
+	// Differential is a biased fraction of detected.
+	if differential < 150 || differential > 1200 {
+		t.Errorf("differential = %d", differential)
+	}
+	if len(st.BiasedTerms) != 2 {
+		t.Errorf("biased terms = %v", st.BiasedTerms)
+	}
+	// Differential implies detected.
+	for p := range st.Differential {
+		if !st.Detected[p] {
+			t.Fatalf("differential probe %s not detected", p)
+		}
+	}
+}
+
+func TestNewStudyDeterministic(t *testing.T) {
+	probes, probeTerms, terms := makeStudyInput(500)
+	cfg := DefaultStudyConfig()
+	a := NewStudy(cfg, probes, probeTerms, terms)
+	b := NewStudy(cfg, probes, probeTerms, terms)
+	if len(a.Differential) != len(b.Differential) {
+		t.Fatal("study not deterministic")
+	}
+	for p := range a.Differential {
+		if !b.Differential[p] {
+			t.Fatal("study not deterministic in membership")
+		}
+	}
+}
+
+func TestAnalyzeFindsInjectedBias(t *testing.T) {
+	probes, probeTerms, terms := makeStudyInput(5000)
+	cfg := DefaultStudyConfig()
+	cfg.BiasTerms = 1
+	cfg.BiasBoost = 6
+	st := NewStudy(cfg, probes, probeTerms, terms)
+	biased := st.BiasedTerms[0]
+
+	// Per-term detected/differential counts (flat, no hierarchy).
+	termDet := map[string]int{}
+	termDiff := map[string]int{}
+	for p, ts := range probeTerms {
+		for _, term := range ts {
+			if st.Detected[p] {
+				termDet[term]++
+			}
+			if st.Differential[p] {
+				termDiff[term]++
+			}
+		}
+	}
+	_, det, diff := st.Counts()
+	e := Analyze(termDet, termDiff, map[string]string{biased: "the biased one"}, det, diff)
+	if len(e.Results) == 0 {
+		t.Fatal("no results")
+	}
+	if e.Results[0].Term != biased {
+		t.Fatalf("most significant term = %s (p=%.3g), want biased %s",
+			e.Results[0].Term, e.Results[0].PValue, biased)
+	}
+	if e.Results[0].FoldChange <= 1.5 {
+		t.Errorf("fold change = %g, expected clear enrichment", e.Results[0].FoldChange)
+	}
+	if e.Results[0].Name != "the biased one" {
+		t.Errorf("name lookup failed: %q", e.Results[0].Name)
+	}
+	// BH cutoff finds at least the biased term.
+	if sig := e.BenjaminiHochberg(0.05); sig < 1 {
+		t.Errorf("BH significant = %d, want >= 1", sig)
+	}
+	// The report renders.
+	if out := e.FormatTable(3); !strings.Contains(out, biased) {
+		t.Errorf("FormatTable missing biased term:\n%s", out)
+	}
+}
+
+func TestAnalyzeSkipsUndetectedTerms(t *testing.T) {
+	e := Analyze(map[string]int{"GO:1": 0, "GO:2": 5}, map[string]int{"GO:2": 1}, nil, 100, 10)
+	if len(e.Results) != 1 || e.Results[0].Term != "GO:2" {
+		t.Fatalf("results = %+v", e.Results)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	e := Analyze(map[string]int{"a": 5, "b": 5}, map[string]int{"a": 3}, nil, 100, 10)
+	if len(e.TopK(1)) != 1 {
+		t.Error("TopK(1) failed")
+	}
+	if len(e.TopK(10)) != 2 {
+		t.Error("TopK beyond length should clamp")
+	}
+}

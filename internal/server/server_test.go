@@ -1,0 +1,259 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"genmapper"
+	"genmapper/internal/eav"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	sys, err := genmapper.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ll := eav.NewDataset(genmapper.SourceInfo{Name: "LocusLink", Content: "gene"})
+	ll.Add("353", eav.TargetName, "", "adenine phosphoribosyltransferase")
+	ll.Add("353", "Hugo", "APRT", "")
+	ll.Add("353", "GO", "GO:0009116", "nucleoside metabolism")
+	ll.Add("354", eav.TargetName, "", "locus two")
+	ll.Add("354", "Hugo", "XYZ2", "")
+	if _, err := sys.ImportDataset(ll, genmapper.ImportOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(sys))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestHomePage(t *testing.T) {
+	ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	body := readBody(t, resp)
+	if !strings.Contains(body, "Query specification") {
+		t.Error("home page missing query form")
+	}
+	if !strings.Contains(body, "LocusLink") {
+		t.Error("home page missing source list")
+	}
+	// Unknown path 404s.
+	resp2, _ := http.Get(ts.URL + "/nope")
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown path status = %d", resp2.StatusCode)
+	}
+}
+
+func readBody(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return sb.String()
+}
+
+func TestQueryFlow(t *testing.T) {
+	ts := testServer(t)
+	form := url.Values{
+		"source":  {"LocusLink"},
+		"mode":    {"OR"},
+		"targets": {"Hugo\nGO"},
+	}
+	resp, err := http.PostForm(ts.URL+"/query", form)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body := readBody(t, resp)
+	if !strings.Contains(body, "Annotation view") {
+		t.Fatalf("no view in response:\n%s", body)
+	}
+	if !strings.Contains(body, "APRT") || !strings.Contains(body, "GO:0009116") {
+		t.Error("view missing annotation cells")
+	}
+}
+
+func TestQueryNegation(t *testing.T) {
+	ts := testServer(t)
+	form := url.Values{
+		"source":  {"LocusLink"},
+		"mode":    {"AND"},
+		"targets": {"!GO"},
+	}
+	resp, err := http.PostForm(ts.URL+"/query", form)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body := readBody(t, resp)
+	// 354 has no GO annotation: the negated view contains it, not 353.
+	if !strings.Contains(body, "354") {
+		t.Error("negated view missing 354")
+	}
+	if strings.Contains(body, ">353<") {
+		t.Error("negated view should exclude 353")
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	ts := testServer(t)
+	// No targets.
+	resp, err := http.PostForm(ts.URL+"/query", url.Values{"source": {"LocusLink"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readBody(t, resp)
+	resp.Body.Close()
+	if !strings.Contains(body, "no targets") {
+		t.Error("missing-targets error not shown")
+	}
+	// Unknown target source.
+	resp, err = http.PostForm(ts.URL+"/query", url.Values{
+		"source": {"LocusLink"}, "targets": {"NoSuch"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body = readBody(t, resp)
+	resp.Body.Close()
+	if !strings.Contains(body, "unknown target source") {
+		t.Error("unknown-target error not shown")
+	}
+	// GET redirects to home.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/query", nil)
+	client := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	resp, err = client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusSeeOther {
+		t.Errorf("GET /query status = %d", resp.StatusCode)
+	}
+}
+
+func TestExportFormats(t *testing.T) {
+	ts := testServer(t)
+	base := ts.URL + "/export?source=LocusLink&mode=OR&target=Hugo&target=GO"
+	cases := []struct {
+		format   string
+		wantType string
+		needle   string
+	}{
+		{"tsv", "text/tab-separated-values", "LocusLink\tHugo\tGO"},
+		{"csv", "text/csv", "LocusLink,Hugo,GO"},
+		{"json", "application/json", `"columns"`},
+	}
+	for _, c := range cases {
+		resp, err := http.Get(base + "&format=" + c.format)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := readBody(t, resp)
+		resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, c.wantType) {
+			t.Errorf("%s content type = %q", c.format, ct)
+		}
+		if !strings.Contains(body, c.needle) {
+			t.Errorf("%s export missing %q:\n%s", c.format, c.needle, body)
+		}
+	}
+	// Bad query.
+	resp, _ := http.Get(ts.URL + "/export?source=Nope&target=GO")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad export status = %d", resp.StatusCode)
+	}
+}
+
+func TestObjectEndpoint(t *testing.T) {
+	ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/object?source=LocusLink&accession=353")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got["text"] != "adenine phosphoribosyltransferase" {
+		t.Errorf("object = %v", got)
+	}
+	resp2, _ := http.Get(ts.URL + "/object?source=LocusLink&accession=999")
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Errorf("missing object status = %d", resp2.StatusCode)
+	}
+}
+
+func TestPathEndpoint(t *testing.T) {
+	ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/path?from=Hugo&to=GO")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got map[string][]string
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(got["path"], ">") != "Hugo>LocusLink>GO" {
+		t.Errorf("path = %v", got["path"])
+	}
+	resp2, _ := http.Get(ts.URL + "/path?from=Hugo&to=Nowhere")
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Errorf("no-path status = %d", resp2.StatusCode)
+	}
+}
+
+func TestAPIEndpoints(t *testing.T) {
+	ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/api/sources")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sources []map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&sources); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(sources) != 3 { // LocusLink, Hugo, GO
+		t.Errorf("sources = %v", sources)
+	}
+
+	resp, err = http.Get(ts.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats map[string]float64
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats["sources"] != 3 || stats["associations"] != 3 {
+		t.Errorf("stats = %v", stats)
+	}
+}

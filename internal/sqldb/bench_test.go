@@ -1,0 +1,198 @@
+package sqldb
+
+// Engine micro-benchmarks: the substrate costs under every GenMapper
+// experiment (point lookups, scans, hash joins, bulk inserts).
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchDB(b *testing.B, rows int) *DB {
+	b.Helper()
+	db := NewDB()
+	if _, err := db.Exec("CREATE TABLE t (id INTEGER PRIMARY KEY, k INTEGER, v TEXT)"); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := db.Exec("CREATE INDEX idx_k ON t (k)"); err != nil {
+		b.Fatal(err)
+	}
+	const chunk = 200
+	for start := 0; start < rows; start += chunk {
+		end := start + chunk
+		if end > rows {
+			end = rows
+		}
+		sql := "INSERT INTO t VALUES "
+		args := make([]any, 0, (end-start)*3)
+		for i := start; i < end; i++ {
+			if i > start {
+				sql += ", "
+			}
+			sql += "(?, ?, ?)"
+			args = append(args, i, i%100, fmt.Sprintf("val%d", i))
+		}
+		if _, err := db.Exec(sql, args...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return db
+}
+
+func BenchmarkInsertSingleRow(b *testing.B) {
+	db := NewDB()
+	if _, err := db.Exec("CREATE TABLE t (id INTEGER PRIMARY KEY AUTOINCREMENT, v TEXT)"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Exec("INSERT INTO t (v) VALUES (?)", "value"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInsertBatch200(b *testing.B) {
+	db := NewDB()
+	if _, err := db.Exec("CREATE TABLE t (id INTEGER PRIMARY KEY AUTOINCREMENT, v TEXT)"); err != nil {
+		b.Fatal(err)
+	}
+	sql := "INSERT INTO t (v) VALUES "
+	args := make([]any, 200)
+	for i := 0; i < 200; i++ {
+		if i > 0 {
+			sql += ", "
+		}
+		sql += "(?)"
+		args[i] = fmt.Sprintf("v%d", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Exec(sql, args...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPointLookupPK(b *testing.B) {
+	db := benchDB(b, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := db.Query("SELECT v FROM t WHERE id = ?", i%10000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rs.Len() != 1 {
+			b.Fatal("missing row")
+		}
+	}
+}
+
+func BenchmarkSecondaryIndexLookup(b *testing.B) {
+	db := benchDB(b, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := db.Query("SELECT COUNT(*) FROM t WHERE k = ?", i%100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rs.Rows[0][0] != int64(100) {
+			b.Fatalf("count = %v", rs.Rows[0][0])
+		}
+	}
+}
+
+func BenchmarkFullScanFilter(b *testing.B) {
+	db := benchDB(b, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query("SELECT COUNT(*) FROM t WHERE v LIKE 'val1%'"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHashJoin(b *testing.B) {
+	db := benchDB(b, 10000)
+	if _, err := db.Exec("CREATE TABLE dim (k INTEGER, name TEXT)"); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := db.Exec("INSERT INTO dim VALUES (?, ?)", i, fmt.Sprintf("dim%d", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := db.Query("SELECT COUNT(*) FROM t JOIN dim ON t.k = dim.k")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rs.Rows[0][0] != int64(10000) {
+			b.Fatalf("join count = %v", rs.Rows[0][0])
+		}
+	}
+}
+
+func BenchmarkGroupBy(b *testing.B) {
+	db := benchDB(b, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := db.Query("SELECT k, COUNT(*) FROM t GROUP BY k")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rs.Len() != 100 {
+			b.Fatalf("groups = %d", rs.Len())
+		}
+	}
+}
+
+func BenchmarkOrderByLimit(b *testing.B) {
+	db := benchDB(b, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query("SELECT id FROM t ORDER BY v DESC LIMIT 10"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseOnly(b *testing.B) {
+	const sql = `SELECT g.symbol, a.term FROM genes g
+		LEFT JOIN annos a ON g.id = a.gene_id
+		WHERE g.symbol LIKE 'A%' AND a.term IN ('x', 'y')
+		GROUP BY g.symbol HAVING COUNT(*) > 1 ORDER BY g.symbol LIMIT 10`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(sql); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUpdateIndexed(b *testing.B) {
+	db := benchDB(b, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Exec("UPDATE t SET v = ? WHERE id = ?", "updated", i%10000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSnapshotSaveLoad(b *testing.B) {
+	db := benchDB(b, 10000)
+	dir := b.TempDir()
+	path := dir + "/bench.snap"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.Save(path); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Load(path); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

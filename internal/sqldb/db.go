@@ -1,0 +1,627 @@
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// DB is an embedded relational database instance. It is safe for concurrent
+// use: readers take a shared lock, writers an exclusive one. Transactions
+// serialize all other writers for their duration and provide rollback via
+// an undo log (read-uncommitted isolation for concurrent readers).
+type DB struct {
+	mu     sync.RWMutex
+	writer sync.Mutex // serializes writers and spans transactions
+	tables map[string]*Table
+}
+
+// Result reports the outcome of a write statement.
+type Result struct {
+	LastInsertID int64
+	RowsAffected int64
+}
+
+// NewDB creates an empty database.
+func NewDB() *DB {
+	return &DB{tables: make(map[string]*Table)}
+}
+
+func (db *DB) table(name string) *Table {
+	return db.tables[strings.ToLower(name)]
+}
+
+// TableNames returns the names of all tables in sorted order.
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.tables))
+	for _, t := range db.tables {
+		names = append(names, t.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TableInfo returns the schema of the named table, or nil when absent.
+func (db *DB) TableInfo(name string) *Schema {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t := db.table(name)
+	if t == nil {
+		return nil
+	}
+	return t.Schema
+}
+
+// RowCount returns the number of rows in a table (0 when absent).
+func (db *DB) RowCount(name string) int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t := db.table(name)
+	if t == nil {
+		return 0
+	}
+	return t.RowCount()
+}
+
+// Query parses and executes a SELECT statement with optional positional
+// arguments bound to `?` placeholders.
+func (db *DB) Query(sql string, args ...any) (*ResultSet, error) {
+	st, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("sqldb: Query requires a SELECT statement")
+	}
+	vals, err := normalizeArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.executeSelect(sel, vals)
+}
+
+// Exec parses and executes a write or DDL statement. BEGIN/COMMIT/ROLLBACK
+// are rejected here; use Begin for transactions.
+func (db *DB) Exec(sql string, args ...any) (Result, error) {
+	st, err := Parse(sql)
+	if err != nil {
+		return Result{}, err
+	}
+	vals, err := normalizeArgs(args)
+	if err != nil {
+		return Result{}, err
+	}
+	switch st.(type) {
+	case *BeginStmt, *CommitStmt, *RollbackStmt:
+		return Result{}, fmt.Errorf("sqldb: use DB.Begin for transaction control")
+	case *SelectStmt:
+		return Result{}, fmt.Errorf("sqldb: Exec cannot run SELECT; use Query")
+	}
+	db.writer.Lock()
+	defer db.writer.Unlock()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	undo := &undoLog{}
+	res, err := db.executeWrite(st, vals, undo)
+	if err != nil {
+		undo.rollback(db)
+		return Result{}, err
+	}
+	return res, nil
+}
+
+func normalizeArgs(args []any) ([]Value, error) {
+	vals := make([]Value, len(args))
+	for i, a := range args {
+		v, err := Normalize(a)
+		if err != nil {
+			return nil, fmt.Errorf("sqldb: argument %d: %w", i+1, err)
+		}
+		vals[i] = v
+	}
+	return vals, nil
+}
+
+// ---------------------------------------------------------------------------
+// Undo log
+
+type undoEntry interface{ undo(db *DB) }
+
+type undoLog struct {
+	entries []undoEntry
+}
+
+func (u *undoLog) add(e undoEntry) { u.entries = append(u.entries, e) }
+
+// rollback applies undo entries in reverse order. Caller holds db.mu.
+func (u *undoLog) rollback(db *DB) {
+	for i := len(u.entries) - 1; i >= 0; i-- {
+		u.entries[i].undo(db)
+	}
+	u.entries = nil
+}
+
+type insertUndo struct {
+	table string
+	rowID int64
+}
+
+func (e insertUndo) undo(db *DB) {
+	if t := db.table(e.table); t != nil {
+		t.Delete(e.rowID)
+	}
+}
+
+type deleteUndo struct {
+	table string
+	rowID int64
+	row   []Value
+}
+
+func (e deleteUndo) undo(db *DB) {
+	t := db.table(e.table)
+	if t == nil {
+		return
+	}
+	t.rows[e.rowID] = e.row
+	for _, idx := range t.indexes {
+		idx.insert(e.row[idx.Col], e.rowID)
+	}
+}
+
+type updateUndo struct {
+	table string
+	rowID int64
+	old   []Value
+}
+
+func (e updateUndo) undo(db *DB) {
+	t := db.table(e.table)
+	if t == nil {
+		return
+	}
+	cur, ok := t.rows[e.rowID]
+	if !ok {
+		return
+	}
+	for _, idx := range t.indexes {
+		if Compare(cur[idx.Col], e.old[idx.Col]) != 0 {
+			idx.delete(cur[idx.Col], e.rowID)
+			idx.insert(e.old[idx.Col], e.rowID)
+		}
+	}
+	t.rows[e.rowID] = e.old
+}
+
+type createTableUndo struct{ name string }
+
+func (e createTableUndo) undo(db *DB) {
+	delete(db.tables, strings.ToLower(e.name))
+}
+
+type dropTableUndo struct{ table *Table }
+
+func (e dropTableUndo) undo(db *DB) {
+	db.tables[strings.ToLower(e.table.Name)] = e.table
+}
+
+type createIndexUndo struct {
+	table string
+	name  string
+}
+
+func (e createIndexUndo) undo(db *DB) {
+	if t := db.table(e.table); t != nil {
+		delete(t.indexes, e.name)
+	}
+}
+
+type dropIndexUndo struct {
+	table string
+	idx   *Index
+}
+
+func (e dropIndexUndo) undo(db *DB) {
+	if t := db.table(e.table); t != nil {
+		t.indexes[e.idx.Name] = e.idx
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Write-statement execution. Caller holds db.mu exclusively.
+
+func (db *DB) executeWrite(st Statement, args []Value, undo *undoLog) (Result, error) {
+	switch s := st.(type) {
+	case *InsertStmt:
+		return db.executeInsert(s, args, undo)
+	case *UpdateStmt:
+		return db.executeUpdate(s, args, undo)
+	case *DeleteStmt:
+		return db.executeDelete(s, args, undo)
+	case *CreateTableStmt:
+		return db.executeCreateTable(s, undo)
+	case *CreateIndexStmt:
+		return db.executeCreateIndex(s, undo)
+	case *DropTableStmt:
+		return db.executeDropTable(s, undo)
+	case *DropIndexStmt:
+		return db.executeDropIndex(s, undo)
+	}
+	return Result{}, fmt.Errorf("sqldb: unsupported statement %T", st)
+}
+
+func (db *DB) executeInsert(st *InsertStmt, args []Value, undo *undoLog) (Result, error) {
+	t := db.table(st.Table)
+	if t == nil {
+		return Result{}, fmt.Errorf("sqldb: no such table %q", st.Table)
+	}
+	// Map statement columns to schema positions.
+	colPos := make([]int, 0, len(st.Columns))
+	if len(st.Columns) == 0 {
+		for i := range t.Schema.Columns {
+			colPos = append(colPos, i)
+		}
+	} else {
+		for _, c := range st.Columns {
+			ci := t.Schema.ColumnIndex(c)
+			if ci < 0 {
+				return Result{}, fmt.Errorf("sqldb: no column %q in table %s", c, t.Name)
+			}
+			colPos = append(colPos, ci)
+		}
+	}
+	var res Result
+	for _, rowExprs := range st.Rows {
+		if len(rowExprs) != len(colPos) {
+			return Result{}, fmt.Errorf("sqldb: INSERT expects %d values, got %d", len(colPos), len(rowExprs))
+		}
+		full := make([]Value, len(t.Schema.Columns))
+		for i, e := range rowExprs {
+			if err := bindParams(e, args); err != nil {
+				return Result{}, err
+			}
+			v, err := e.Eval(nil)
+			if err != nil {
+				return Result{}, err
+			}
+			full[colPos[i]] = v
+		}
+		id, err := t.Insert(full)
+		if err != nil {
+			return Result{}, err
+		}
+		undo.add(insertUndo{table: t.Name, rowID: id})
+		res.RowsAffected++
+		// LastInsertID reports the autoincrement value when present, else
+		// the row ID.
+		if pk := t.Schema.PrimaryKeyIndex(); pk >= 0 {
+			if n, ok := t.rows[id][pk].(int64); ok {
+				res.LastInsertID = n
+				continue
+			}
+		}
+		res.LastInsertID = id
+	}
+	return res, nil
+}
+
+// matchRows returns the IDs of rows in t satisfying where (nil = all),
+// using an index for top-level equality conjuncts when available.
+func (db *DB) matchRows(t *Table, binding string, where Expr, args []Value) ([]int64, error) {
+	if where != nil {
+		if err := bindParams(where, args); err != nil {
+			return nil, err
+		}
+	}
+	env := NewRowEnv(binding, t.Schema.Names())
+
+	var candidates []int64
+	usedIndex := false
+	if where != nil {
+		visitConjuncts(where, func(e Expr) bool {
+			if usedIndex {
+				return true
+			}
+			b, ok := e.(*Binary)
+			if !ok || b.Op != OpEq {
+				return true
+			}
+			col, lit := matchColLiteral(b.L, b.R)
+			if col == nil {
+				return true
+			}
+			if col.Qual != "" && !strings.EqualFold(col.Qual, binding) {
+				return true
+			}
+			ci := t.Schema.ColumnIndex(col.Name)
+			if ci < 0 {
+				return true
+			}
+			idx := t.IndexOn(ci)
+			if idx == nil {
+				return true
+			}
+			v, err := lit.Eval(nil)
+			if err != nil {
+				return true
+			}
+			candidates = idx.Lookup(v)
+			usedIndex = true
+			return true
+		})
+	}
+
+	var ids []int64
+	check := func(id int64, row []Value) (bool, error) {
+		if where == nil {
+			ids = append(ids, id)
+			return true, nil
+		}
+		env.SetRow(0, row)
+		v, err := where.Eval(env)
+		if err != nil {
+			return false, err
+		}
+		b, isNull := toBool(v)
+		if !isNull && b {
+			ids = append(ids, id)
+		}
+		return true, nil
+	}
+
+	if usedIndex {
+		sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+		for _, id := range candidates {
+			row := t.Get(id)
+			if row == nil {
+				continue
+			}
+			if _, err := check(id, row); err != nil {
+				return nil, err
+			}
+		}
+		return ids, nil
+	}
+	var scanErr error
+	t.Scan(func(id int64, row []Value) bool {
+		if _, err := check(id, row); err != nil {
+			scanErr = err
+			return false
+		}
+		return true
+	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	return ids, nil
+}
+
+func (db *DB) executeUpdate(st *UpdateStmt, args []Value, undo *undoLog) (Result, error) {
+	t := db.table(st.Table)
+	if t == nil {
+		return Result{}, fmt.Errorf("sqldb: no such table %q", st.Table)
+	}
+	setPos := make([]int, len(st.Sets))
+	for i, s := range st.Sets {
+		ci := t.Schema.ColumnIndex(s.Column)
+		if ci < 0 {
+			return Result{}, fmt.Errorf("sqldb: no column %q in table %s", s.Column, t.Name)
+		}
+		setPos[i] = ci
+		if err := bindParams(s.Expr, args); err != nil {
+			return Result{}, err
+		}
+	}
+	ids, err := db.matchRows(t, st.Table, st.Where, args)
+	if err != nil {
+		return Result{}, err
+	}
+	env := NewRowEnv(st.Table, t.Schema.Names())
+	var res Result
+	for _, id := range ids {
+		old := t.Get(id)
+		if old == nil {
+			continue
+		}
+		env.SetRow(0, old)
+		next := make([]Value, len(old))
+		copy(next, old)
+		for i, s := range st.Sets {
+			v, err := s.Expr.Eval(env)
+			if err != nil {
+				return Result{}, err
+			}
+			next[setPos[i]] = v
+		}
+		coerced, err := t.coerceRow(next)
+		if err != nil {
+			return Result{}, err
+		}
+		oldCopy := make([]Value, len(old))
+		copy(oldCopy, old)
+		if err := t.Update(id, coerced); err != nil {
+			return Result{}, err
+		}
+		undo.add(updateUndo{table: t.Name, rowID: id, old: oldCopy})
+		res.RowsAffected++
+	}
+	return res, nil
+}
+
+func (db *DB) executeDelete(st *DeleteStmt, args []Value, undo *undoLog) (Result, error) {
+	t := db.table(st.Table)
+	if t == nil {
+		return Result{}, fmt.Errorf("sqldb: no such table %q", st.Table)
+	}
+	ids, err := db.matchRows(t, st.Table, st.Where, args)
+	if err != nil {
+		return Result{}, err
+	}
+	var res Result
+	for _, id := range ids {
+		row := t.Get(id)
+		if row == nil {
+			continue
+		}
+		rowCopy := make([]Value, len(row))
+		copy(rowCopy, row)
+		if t.Delete(id) {
+			undo.add(deleteUndo{table: t.Name, rowID: id, row: rowCopy})
+			res.RowsAffected++
+		}
+	}
+	return res, nil
+}
+
+func (db *DB) executeCreateTable(st *CreateTableStmt, undo *undoLog) (Result, error) {
+	key := strings.ToLower(st.Name)
+	if _, exists := db.tables[key]; exists {
+		if st.IfNotExists {
+			return Result{}, nil
+		}
+		return Result{}, fmt.Errorf("sqldb: table %q already exists", st.Name)
+	}
+	schema, err := NewSchema(st.Columns)
+	if err != nil {
+		return Result{}, err
+	}
+	db.tables[key] = NewTable(st.Name, schema)
+	undo.add(createTableUndo{name: st.Name})
+	return Result{}, nil
+}
+
+func (db *DB) executeCreateIndex(st *CreateIndexStmt, undo *undoLog) (Result, error) {
+	t := db.table(st.Table)
+	if t == nil {
+		return Result{}, fmt.Errorf("sqldb: no such table %q", st.Table)
+	}
+	if _, exists := t.indexes[st.Name]; exists && st.IfNotExists {
+		return Result{}, nil
+	}
+	if _, err := t.CreateIndex(st.Name, st.Column, st.Kind, st.Unique); err != nil {
+		return Result{}, err
+	}
+	undo.add(createIndexUndo{table: t.Name, name: st.Name})
+	return Result{}, nil
+}
+
+func (db *DB) executeDropTable(st *DropTableStmt, undo *undoLog) (Result, error) {
+	key := strings.ToLower(st.Name)
+	t, exists := db.tables[key]
+	if !exists {
+		if st.IfExists {
+			return Result{}, nil
+		}
+		return Result{}, fmt.Errorf("sqldb: no such table %q", st.Name)
+	}
+	delete(db.tables, key)
+	undo.add(dropTableUndo{table: t})
+	return Result{}, nil
+}
+
+func (db *DB) executeDropIndex(st *DropIndexStmt, undo *undoLog) (Result, error) {
+	find := func() (*Table, *Index) {
+		if st.Table != "" {
+			t := db.table(st.Table)
+			if t == nil {
+				return nil, nil
+			}
+			return t, t.indexes[st.Name]
+		}
+		for _, t := range db.tables {
+			if idx, ok := t.indexes[st.Name]; ok {
+				return t, idx
+			}
+		}
+		return nil, nil
+	}
+	t, idx := find()
+	if idx == nil {
+		if st.IfExists {
+			return Result{}, nil
+		}
+		return Result{}, fmt.Errorf("sqldb: no such index %q", st.Name)
+	}
+	delete(t.indexes, idx.Name)
+	undo.add(dropIndexUndo{table: t.Name, idx: idx})
+	return Result{}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Transactions
+
+// Tx is an exclusive transaction. While a Tx is open it blocks all other
+// writers; readers observe intermediate state (read uncommitted).
+type Tx struct {
+	db   *DB
+	undo *undoLog
+	done bool
+}
+
+// Begin opens a transaction, blocking until any other writer finishes.
+func (db *DB) Begin() *Tx {
+	db.writer.Lock()
+	return &Tx{db: db, undo: &undoLog{}}
+}
+
+// Exec runs a write statement inside the transaction.
+func (tx *Tx) Exec(sql string, args ...any) (Result, error) {
+	if tx.done {
+		return Result{}, fmt.Errorf("sqldb: transaction already finished")
+	}
+	st, err := Parse(sql)
+	if err != nil {
+		return Result{}, err
+	}
+	switch st.(type) {
+	case *BeginStmt, *CommitStmt, *RollbackStmt:
+		return Result{}, fmt.Errorf("sqldb: nested transaction control is not supported")
+	case *SelectStmt:
+		return Result{}, fmt.Errorf("sqldb: Exec cannot run SELECT; use Query")
+	}
+	vals, err := normalizeArgs(args)
+	if err != nil {
+		return Result{}, err
+	}
+	tx.db.mu.Lock()
+	defer tx.db.mu.Unlock()
+	return tx.db.executeWrite(st, vals, tx.undo)
+}
+
+// Query runs a SELECT inside the transaction, observing its own writes.
+func (tx *Tx) Query(sql string, args ...any) (*ResultSet, error) {
+	if tx.done {
+		return nil, fmt.Errorf("sqldb: transaction already finished")
+	}
+	return tx.db.Query(sql, args...)
+}
+
+// Commit makes the transaction's changes permanent.
+func (tx *Tx) Commit() error {
+	if tx.done {
+		return fmt.Errorf("sqldb: transaction already finished")
+	}
+	tx.done = true
+	tx.undo = nil
+	tx.db.writer.Unlock()
+	return nil
+}
+
+// Rollback reverts every change made in the transaction.
+func (tx *Tx) Rollback() error {
+	if tx.done {
+		return fmt.Errorf("sqldb: transaction already finished")
+	}
+	tx.done = true
+	tx.db.mu.Lock()
+	tx.undo.rollback(tx.db)
+	tx.db.mu.Unlock()
+	tx.db.writer.Unlock()
+	return nil
+}

@@ -1,0 +1,264 @@
+package sqldb
+
+import (
+	"context"
+	"database/sql"
+	"database/sql/driver"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// The database/sql driver is registered under this name. DSNs name an
+// in-process database instance: two sql.Open calls with the same DSN share
+// the same underlying DB.
+const DriverName = "gamdb"
+
+var (
+	registryMu sync.Mutex
+	registry   = map[string]*DB{}
+)
+
+func init() {
+	sql.Register(DriverName, &sqlDriver{})
+}
+
+// OpenNamed returns (creating if needed) the shared in-process database
+// bound to the given DSN, for callers that want native access to a database
+// also used through database/sql.
+func OpenNamed(dsn string) *DB {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	db, ok := registry[dsn]
+	if !ok {
+		db = NewDB()
+		registry[dsn] = db
+	}
+	return db
+}
+
+// ResetNamed removes the shared database bound to dsn (used by tests).
+func ResetNamed(dsn string) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	delete(registry, dsn)
+}
+
+type sqlDriver struct{}
+
+// Open returns a connection to the in-process database named by the DSN.
+func (d *sqlDriver) Open(dsn string) (driver.Conn, error) {
+	return &sqlConn{db: OpenNamed(dsn)}, nil
+}
+
+type sqlConn struct {
+	db *DB
+	tx *Tx
+}
+
+// Prepare returns a statement handle; the SQL is re-parsed per execution so
+// prepared statements are safe for concurrent use.
+func (c *sqlConn) Prepare(query string) (driver.Stmt, error) {
+	st, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	n := 0
+	switch s := st.(type) {
+	case *SelectStmt:
+		exprs := []Expr{s.Where, s.Having, s.Limit, s.Offset}
+		for _, it := range s.Items {
+			exprs = append(exprs, it.Expr)
+		}
+		for _, j := range s.Joins {
+			exprs = append(exprs, j.On)
+		}
+		exprs = append(exprs, s.GroupBy...)
+		for _, o := range s.OrderBy {
+			exprs = append(exprs, o.Expr)
+		}
+		for _, e := range exprs {
+			if e == nil {
+				continue
+			}
+			if k := countParams(e); k > n {
+				n = k
+			}
+		}
+	case *InsertStmt:
+		for _, row := range s.Rows {
+			for _, e := range row {
+				if k := countParams(e); k > n {
+					n = k
+				}
+			}
+		}
+	case *UpdateStmt:
+		for _, set := range s.Sets {
+			if k := countParams(set.Expr); k > n {
+				n = k
+			}
+		}
+		if s.Where != nil {
+			if k := countParams(s.Where); k > n {
+				n = k
+			}
+		}
+	case *DeleteStmt:
+		if s.Where != nil {
+			if k := countParams(s.Where); k > n {
+				n = k
+			}
+		}
+	}
+	return &sqlStmt{conn: c, query: query, numInput: n}, nil
+}
+
+// Close releases the connection.
+func (c *sqlConn) Close() error { return nil }
+
+// Begin starts a transaction on this connection.
+func (c *sqlConn) Begin() (driver.Tx, error) {
+	if c.tx != nil {
+		return nil, fmt.Errorf("sqldb: connection already in a transaction")
+	}
+	c.tx = c.db.Begin()
+	return &sqlTx{conn: c}, nil
+}
+
+// ExecContext implements driver.ExecerContext so Exec bypasses Prepare.
+func (c *sqlConn) ExecContext(ctx context.Context, query string, args []driver.NamedValue) (driver.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	goArgs := namedToAny(args)
+	var res Result
+	var err error
+	if c.tx != nil {
+		res, err = c.tx.Exec(query, goArgs...)
+	} else {
+		res, err = c.db.Exec(query, goArgs...)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return sqlResult{res}, nil
+}
+
+// QueryContext implements driver.QueryerContext.
+func (c *sqlConn) QueryContext(ctx context.Context, query string, args []driver.NamedValue) (driver.Rows, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	rs, err := c.db.Query(query, namedToAny(args)...)
+	if err != nil {
+		return nil, err
+	}
+	return &sqlRows{rs: rs}, nil
+}
+
+func namedToAny(args []driver.NamedValue) []any {
+	out := make([]any, len(args))
+	for i, a := range args {
+		out[i] = a.Value
+	}
+	return out
+}
+
+type sqlStmt struct {
+	conn     *sqlConn
+	query    string
+	numInput int
+}
+
+// Close releases the statement.
+func (s *sqlStmt) Close() error { return nil }
+
+// NumInput reports the number of placeholders.
+func (s *sqlStmt) NumInput() int { return s.numInput }
+
+// Exec runs the statement as a write.
+func (s *sqlStmt) Exec(args []driver.Value) (driver.Result, error) {
+	goArgs := make([]any, len(args))
+	for i, a := range args {
+		goArgs[i] = a
+	}
+	var res Result
+	var err error
+	if s.conn.tx != nil {
+		res, err = s.conn.tx.Exec(s.query, goArgs...)
+	} else {
+		res, err = s.conn.db.Exec(s.query, goArgs...)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return sqlResult{res}, nil
+}
+
+// Query runs the statement as a SELECT.
+func (s *sqlStmt) Query(args []driver.Value) (driver.Rows, error) {
+	goArgs := make([]any, len(args))
+	for i, a := range args {
+		goArgs[i] = a
+	}
+	rs, err := s.conn.db.Query(s.query, goArgs...)
+	if err != nil {
+		return nil, err
+	}
+	return &sqlRows{rs: rs}, nil
+}
+
+type sqlResult struct{ res Result }
+
+// LastInsertId returns the last AUTOINCREMENT value.
+func (r sqlResult) LastInsertId() (int64, error) { return r.res.LastInsertID, nil }
+
+// RowsAffected returns the number of changed rows.
+func (r sqlResult) RowsAffected() (int64, error) { return r.res.RowsAffected, nil }
+
+type sqlRows struct {
+	rs  *ResultSet
+	pos int
+}
+
+// Columns returns the result column names.
+func (r *sqlRows) Columns() []string { return r.rs.Columns }
+
+// Close releases the cursor.
+func (r *sqlRows) Close() error { return nil }
+
+// Next copies the next row into dest or returns io.EOF.
+func (r *sqlRows) Next(dest []driver.Value) error {
+	if r.pos >= len(r.rs.Rows) {
+		return io.EOF
+	}
+	row := r.rs.Rows[r.pos]
+	r.pos++
+	for i := range dest {
+		dest[i] = row[i]
+	}
+	return nil
+}
+
+type sqlTx struct{ conn *sqlConn }
+
+// Commit finishes the transaction.
+func (t *sqlTx) Commit() error {
+	tx := t.conn.tx
+	t.conn.tx = nil
+	if tx == nil {
+		return fmt.Errorf("sqldb: no active transaction")
+	}
+	return tx.Commit()
+}
+
+// Rollback aborts the transaction.
+func (t *sqlTx) Rollback() error {
+	tx := t.conn.tx
+	t.conn.tx = nil
+	if tx == nil {
+		return fmt.Errorf("sqldb: no active transaction")
+	}
+	return tx.Rollback()
+}

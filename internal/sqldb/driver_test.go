@@ -1,0 +1,196 @@
+package sqldb
+
+import (
+	"database/sql"
+	"testing"
+)
+
+func openSQL(t *testing.T, dsn string) *sql.DB {
+	t.Helper()
+	ResetNamed(dsn)
+	db, err := sql.Open(DriverName, dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		db.Close()
+		ResetNamed(dsn)
+	})
+	return db
+}
+
+func TestDriverBasicFlow(t *testing.T) {
+	db := openSQL(t, "test-basic")
+	if _, err := db.Exec("CREATE TABLE t (id INTEGER PRIMARY KEY AUTOINCREMENT, name TEXT)"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Exec("INSERT INTO t (name) VALUES (?)", "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := res.LastInsertId()
+	if err != nil || id != 1 {
+		t.Fatalf("LastInsertId = %d, %v", id, err)
+	}
+	n, err := res.RowsAffected()
+	if err != nil || n != 1 {
+		t.Fatalf("RowsAffected = %d, %v", n, err)
+	}
+
+	rows, err := db.Query("SELECT id, name FROM t WHERE name = ?", "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	if !rows.Next() {
+		t.Fatal("no rows")
+	}
+	var gotID int64
+	var gotName string
+	if err := rows.Scan(&gotID, &gotName); err != nil {
+		t.Fatal(err)
+	}
+	if gotID != 1 || gotName != "alpha" {
+		t.Fatalf("row = %d, %q", gotID, gotName)
+	}
+	if rows.Next() {
+		t.Fatal("unexpected extra row")
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDriverNullScan(t *testing.T) {
+	db := openSQL(t, "test-null")
+	if _, err := db.Exec("CREATE TABLE t (v TEXT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("INSERT INTO t VALUES (NULL)"); err != nil {
+		t.Fatal(err)
+	}
+	var v sql.NullString
+	if err := db.QueryRow("SELECT v FROM t").Scan(&v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Valid {
+		t.Fatalf("expected NULL, got %q", v.String)
+	}
+}
+
+func TestDriverPrepared(t *testing.T) {
+	db := openSQL(t, "test-prepared")
+	if _, err := db.Exec("CREATE TABLE t (n INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	stmt, err := db.Prepare("INSERT INTO t VALUES (?)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stmt.Close()
+	for i := 0; i < 10; i++ {
+		if _, err := stmt.Exec(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var count int
+	if err := db.QueryRow("SELECT COUNT(*) FROM t").Scan(&count); err != nil {
+		t.Fatal(err)
+	}
+	if count != 10 {
+		t.Fatalf("count = %d", count)
+	}
+
+	qstmt, err := db.Prepare("SELECT COUNT(*) FROM t WHERE n < ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qstmt.Close()
+	if err := qstmt.QueryRow(5).Scan(&count); err != nil {
+		t.Fatal(err)
+	}
+	if count != 5 {
+		t.Fatalf("count below 5 = %d", count)
+	}
+}
+
+func TestDriverTransaction(t *testing.T) {
+	db := openSQL(t, "test-tx")
+	db.SetMaxOpenConns(1) // transactions pin a connection
+	if _, err := db.Exec("CREATE TABLE t (n INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec("INSERT INTO t VALUES (1)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	var count int
+	if err := db.QueryRow("SELECT COUNT(*) FROM t").Scan(&count); err != nil {
+		t.Fatal(err)
+	}
+	if count != 0 {
+		t.Fatalf("count after rollback = %d", count)
+	}
+
+	tx, err = db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec("INSERT INTO t VALUES (2)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.QueryRow("SELECT COUNT(*) FROM t").Scan(&count); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Fatalf("count after commit = %d", count)
+	}
+}
+
+func TestDriverSharedDSN(t *testing.T) {
+	dsn := "test-shared"
+	db1 := openSQL(t, dsn)
+	if _, err := db1.Exec("CREATE TABLE t (n INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	// A second sql.Open with the same DSN sees the same data.
+	db2, err := sql.Open(DriverName, dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if _, err := db2.Exec("INSERT INTO t VALUES (7)"); err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	if err := db1.QueryRow("SELECT n FROM t").Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 7 {
+		t.Fatalf("n = %d", n)
+	}
+	// Native access to the same database.
+	native := OpenNamed(dsn)
+	if native.RowCount("t") != 1 {
+		t.Fatal("OpenNamed did not return the shared instance")
+	}
+}
+
+func TestDriverQueryError(t *testing.T) {
+	db := openSQL(t, "test-err")
+	if _, err := db.Query("SELECT * FROM missing"); err == nil {
+		t.Fatal("expected error for missing table")
+	}
+	if _, err := db.Exec("NONSENSE"); err == nil {
+		t.Fatal("expected parse error")
+	}
+}

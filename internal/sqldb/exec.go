@@ -1,0 +1,972 @@
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ResultSet is the materialized output of a SELECT.
+type ResultSet struct {
+	Columns []string
+	Rows    [][]Value
+}
+
+// Len returns the number of result rows.
+func (r *ResultSet) Len() int { return len(r.Rows) }
+
+// relBinding records where one relation's columns live in the row
+// environment.
+type relBinding struct {
+	table *Table
+	qual  string
+	off   int
+	width int
+}
+
+// selectExec carries per-query state for executing a SELECT.
+type selectExec struct {
+	db   *DB
+	st   *SelectStmt
+	env  *RowEnv
+	rels []relBinding
+
+	// Aggregation state.
+	aggCalls []*FuncCall
+	aggVals  []Value // current group's aggregate results
+	grouped  bool
+
+	// Rewritten projection/having/order expressions (aggregates replaced
+	// by slots reading aggVals).
+	projExprs  []Expr
+	projNames  []string
+	havingExpr Expr
+	orderExprs []Expr
+}
+
+// aggSlot reads a precomputed aggregate value for the current group.
+type aggSlot struct {
+	ex  *selectExec
+	idx int
+}
+
+// Eval returns the aggregate value for the group being projected.
+func (a *aggSlot) Eval(*RowEnv) (Value, error) { return a.ex.aggVals[a.idx], nil }
+func (a *aggSlot) String() string              { return a.ex.aggCalls[a.idx].String() }
+
+func (db *DB) executeSelect(st *SelectStmt, args []Value) (*ResultSet, error) {
+	ex := &selectExec{db: db, st: st}
+	if err := ex.bindArgs(args); err != nil {
+		return nil, err
+	}
+	if err := ex.setupRelations(); err != nil {
+		return nil, err
+	}
+	if err := ex.setupProjection(); err != nil {
+		return nil, err
+	}
+
+	ex.grouped = len(st.GroupBy) > 0 || len(ex.aggCalls) > 0
+	var out [][]Value
+	var orderKeys [][]Value
+	var err error
+	if ex.grouped {
+		out, orderKeys, err = ex.runGrouped()
+	} else {
+		out, orderKeys, err = ex.runSimple()
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if st.Distinct {
+		out, orderKeys = distinctRows(out, orderKeys)
+	}
+	if len(st.OrderBy) > 0 {
+		sortRows(out, orderKeys, st.OrderBy)
+	}
+	out, err = ex.applyLimit(out)
+	if err != nil {
+		return nil, err
+	}
+	return &ResultSet{Columns: ex.projNames, Rows: out}, nil
+}
+
+func (ex *selectExec) bindArgs(args []Value) error {
+	st := ex.st
+	exprs := []Expr{st.Where, st.Having, st.Limit, st.Offset}
+	for _, it := range st.Items {
+		exprs = append(exprs, it.Expr)
+	}
+	for _, j := range st.Joins {
+		exprs = append(exprs, j.On)
+	}
+	exprs = append(exprs, st.GroupBy...)
+	for _, o := range st.OrderBy {
+		exprs = append(exprs, o.Expr)
+	}
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		if err := bindParams(e, args); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (ex *selectExec) setupRelations() error {
+	st := ex.st
+	ex.env = &RowEnv{}
+	add := func(ref TableRef) error {
+		t := ex.db.table(ref.Name)
+		if t == nil {
+			return fmt.Errorf("sqldb: no such table %q", ref.Name)
+		}
+		off := ex.env.Width()
+		ex.env.AddRelation(ref.Binding(), t.Schema.Names())
+		ex.rels = append(ex.rels, relBinding{table: t, qual: strings.ToLower(ref.Binding()), off: off, width: len(t.Schema.Columns)})
+		return nil
+	}
+	if err := add(st.From); err != nil {
+		return err
+	}
+	for _, j := range st.Joins {
+		if err := add(j.Table); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// setupProjection expands stars, names output columns and rewrites
+// aggregates into slots.
+func (ex *selectExec) setupProjection() error {
+	for _, item := range ex.st.Items {
+		if item.Star {
+			if err := ex.expandStar(item.Qual); err != nil {
+				return err
+			}
+			continue
+		}
+		e, err := ex.rewriteAggs(item.Expr)
+		if err != nil {
+			return err
+		}
+		ex.projExprs = append(ex.projExprs, e)
+		name := item.Alias
+		if name == "" {
+			name = projName(item.Expr)
+		}
+		ex.projNames = append(ex.projNames, name)
+	}
+	if ex.st.Having != nil {
+		h, err := ex.rewriteAggs(ex.st.Having)
+		if err != nil {
+			return err
+		}
+		ex.havingExpr = h
+	}
+	for _, o := range ex.st.OrderBy {
+		// ORDER BY <ordinal> references a select item.
+		if lit, ok := o.Expr.(*Literal); ok {
+			if n, ok := lit.Val.(int64); ok {
+				if n < 1 || int(n) > len(ex.projExprs) {
+					return fmt.Errorf("sqldb: ORDER BY position %d out of range", n)
+				}
+				ex.orderExprs = append(ex.orderExprs, ex.projExprs[n-1])
+				continue
+			}
+		}
+		// ORDER BY <alias> references a select item by its alias.
+		if cr, ok := o.Expr.(*ColumnRef); ok && cr.Qual == "" {
+			matched := false
+			for i, name := range ex.projNames {
+				if strings.EqualFold(name, cr.Name) {
+					// Only treat as alias when it is not a real column.
+					if _, err := ex.env.Resolve("", cr.Name); err != nil {
+						ex.orderExprs = append(ex.orderExprs, ex.projExprs[i])
+						matched = true
+					}
+					break
+				}
+			}
+			if matched {
+				continue
+			}
+		}
+		e, err := ex.rewriteAggs(o.Expr)
+		if err != nil {
+			return err
+		}
+		ex.orderExprs = append(ex.orderExprs, e)
+	}
+	return nil
+}
+
+func (ex *selectExec) expandStar(qual string) error {
+	q := strings.ToLower(qual)
+	matched := false
+	for _, rel := range ex.rels {
+		if q != "" && rel.qual != q {
+			continue
+		}
+		matched = true
+		for i, c := range rel.table.Schema.Columns {
+			pos := rel.off + i
+			ex.projExprs = append(ex.projExprs, &fixedCol{env: ex.env, pos: pos})
+			ex.projNames = append(ex.projNames, c.Name)
+		}
+	}
+	if !matched {
+		return fmt.Errorf("sqldb: unknown table qualifier %q in select list", qual)
+	}
+	return nil
+}
+
+// fixedCol reads a pre-resolved environment position (used by star
+// expansion, avoiding name ambiguity issues for duplicate column names).
+type fixedCol struct {
+	env *RowEnv
+	pos int
+}
+
+// Eval returns the environment value at the fixed position.
+func (f *fixedCol) Eval(env *RowEnv) (Value, error) { return env.vals[f.pos], nil }
+func (f *fixedCol) String() string                  { return fmt.Sprintf("col#%d", f.pos) }
+
+func projName(e Expr) string {
+	if c, ok := e.(*ColumnRef); ok {
+		return c.Name
+	}
+	return e.String()
+}
+
+// rewriteAggs returns a copy of e with aggregate calls replaced by slots.
+// It registers each aggregate in ex.aggCalls.
+func (ex *selectExec) rewriteAggs(e Expr) (Expr, error) {
+	switch x := e.(type) {
+	case nil:
+		return nil, nil
+	case *Literal, *ColumnRef, *Param, *fixedCol:
+		return e, nil
+	case *FuncCall:
+		if x.IsAggregate() {
+			for _, a := range x.Args {
+				hasAgg := false
+				walkExpr(a, func(sub Expr) {
+					if f, ok := sub.(*FuncCall); ok && f.IsAggregate() {
+						hasAgg = true
+					}
+				})
+				if hasAgg {
+					return nil, fmt.Errorf("sqldb: nested aggregate in %s", x.Name)
+				}
+			}
+			ex.aggCalls = append(ex.aggCalls, x)
+			return &aggSlot{ex: ex, idx: len(ex.aggCalls) - 1}, nil
+		}
+		args := make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			na, err := ex.rewriteAggs(a)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = na
+		}
+		return &FuncCall{Name: x.Name, Args: args}, nil
+	case *Binary:
+		l, err := ex.rewriteAggs(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ex.rewriteAggs(x.R)
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{Op: x.Op, L: l, R: r}, nil
+	case *Unary:
+		sub, err := ex.rewriteAggs(x.X)
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: x.Op, X: sub}, nil
+	case *IsNull:
+		sub, err := ex.rewriteAggs(x.X)
+		if err != nil {
+			return nil, err
+		}
+		return &IsNull{X: sub, Negate: x.Negate}, nil
+	case *InList:
+		sub, err := ex.rewriteAggs(x.X)
+		if err != nil {
+			return nil, err
+		}
+		items := make([]Expr, len(x.Items))
+		for i, it := range x.Items {
+			ni, err := ex.rewriteAggs(it)
+			if err != nil {
+				return nil, err
+			}
+			items[i] = ni
+		}
+		return &InList{X: sub, Items: items, Negate: x.Negate}, nil
+	case *Between:
+		sub, err := ex.rewriteAggs(x.X)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := ex.rewriteAggs(x.Lo)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := ex.rewriteAggs(x.Hi)
+		if err != nil {
+			return nil, err
+		}
+		return &Between{X: sub, Lo: lo, Hi: hi, Negate: x.Negate}, nil
+	}
+	return e, nil
+}
+
+// ---------------------------------------------------------------------------
+// Row production (scan + joins)
+
+// forEachJoinedRow streams every joined row combination that satisfies the
+// join conditions into fn, with values already placed in ex.env.
+func (ex *selectExec) forEachJoinedRow(fn func() (bool, error)) error {
+	// Pre-build hash tables for equi-joins.
+	joins := make([]*joinExec, len(ex.st.Joins))
+	for i, j := range ex.st.Joins {
+		je, err := ex.prepareJoin(i, j)
+		if err != nil {
+			return err
+		}
+		joins[i] = je
+	}
+
+	base := ex.rels[0]
+	baseRows, useFiltered := ex.baseCandidates()
+
+	var produce func(level int) (bool, error)
+	produce = func(level int) (bool, error) {
+		if level == len(joins) {
+			return fn()
+		}
+		return joins[level].emit(ex, func() (bool, error) { return produce(level + 1) })
+	}
+
+	emitBase := func(row []Value) (bool, error) {
+		ex.env.SetRow(base.off, row)
+		return produce(0)
+	}
+
+	if useFiltered {
+		for _, id := range baseRows {
+			row := base.table.Get(id)
+			if row == nil {
+				continue
+			}
+			cont, err := emitBase(row)
+			if err != nil {
+				return err
+			}
+			if !cont {
+				return nil
+			}
+		}
+		return nil
+	}
+	var scanErr error
+	base.table.Scan(func(_ int64, row []Value) bool {
+		cont, err := emitBase(row)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		return cont
+	})
+	return scanErr
+}
+
+// baseCandidates inspects WHERE for an indexable equality predicate on the
+// base table (col = literal/param) and returns the candidate row IDs. The
+// boolean reports whether the filtered ID list should be used instead of a
+// full scan.
+func (ex *selectExec) baseCandidates() ([]int64, bool) {
+	if ex.st.Where == nil {
+		return nil, false
+	}
+	base := ex.rels[0]
+	var ids []int64
+	found := false
+	visitConjuncts(ex.st.Where, func(e Expr) bool {
+		if found {
+			return true
+		}
+		b, ok := e.(*Binary)
+		if !ok || b.Op != OpEq {
+			return true
+		}
+		col, lit := matchColLiteral(b.L, b.R)
+		if col == nil {
+			return true
+		}
+		if col.Qual != "" && strings.ToLower(col.Qual) != base.qual {
+			return true
+		}
+		ci := base.table.Schema.ColumnIndex(col.Name)
+		if ci < 0 {
+			return true
+		}
+		// Ambiguity: if another relation has the same unqualified column
+		// name, skip the optimization and let evaluation decide.
+		if col.Qual == "" {
+			if _, err := ex.env.Resolve("", col.Name); err != nil {
+				return true
+			}
+			if p, _ := ex.env.Resolve("", col.Name); p >= base.off+base.width || p < base.off {
+				return true
+			}
+		}
+		idx := base.table.IndexOn(ci)
+		if idx == nil {
+			return true
+		}
+		v, err := lit.Eval(nil)
+		if err != nil {
+			return true
+		}
+		ids = idx.Lookup(v)
+		found = true
+		return true
+	})
+	return ids, found
+}
+
+// visitConjuncts calls fn for every AND-connected conjunct of e.
+func visitConjuncts(e Expr, fn func(Expr) bool) {
+	if b, ok := e.(*Binary); ok && b.Op == OpAnd {
+		visitConjuncts(b.L, fn)
+		visitConjuncts(b.R, fn)
+		return
+	}
+	fn(e)
+}
+
+// matchColLiteral matches a (ColumnRef, constant) pair in either order.
+func matchColLiteral(a, b Expr) (*ColumnRef, Expr) {
+	if c, ok := a.(*ColumnRef); ok && isConst(b) {
+		return c, b
+	}
+	if c, ok := b.(*ColumnRef); ok && isConst(a) {
+		return c, a
+	}
+	return nil, nil
+}
+
+func isConst(e Expr) bool {
+	switch x := e.(type) {
+	case *Literal:
+		return true
+	case *Param:
+		return x.set
+	}
+	return false
+}
+
+// joinExec holds the prepared execution strategy for one join clause.
+type joinExec struct {
+	rel  relBinding
+	kind JoinKind
+	on   Expr
+	// Hash-join fields; nil hash means nested loop.
+	hash    map[hashKey][][]Value
+	keyExpr Expr // evaluated against left-side env
+	// residual is the ON condition re-checked per candidate (always the
+	// full ON; cheap because candidates already match the equi-key).
+	residual Expr
+}
+
+// prepareJoin chooses hash join when the ON clause contains an equi-
+// condition between a right-table column and a left-side expression.
+func (ex *selectExec) prepareJoin(joinIdx int, j JoinClause) (*joinExec, error) {
+	rel := ex.rels[joinIdx+1]
+	je := &joinExec{rel: rel, kind: j.Kind, on: j.On, residual: j.On}
+
+	rightCol, leftExpr := ex.findEquiKey(joinIdx, j.On)
+	if rightCol >= 0 {
+		// Build the hash table over the right relation once.
+		hash := make(map[hashKey][][]Value)
+		rel.table.Scan(func(_ int64, row []Value) bool {
+			k := row[rightCol]
+			if k == nil {
+				return true
+			}
+			hk := makeHashKey(k)
+			hash[hk] = append(hash[hk], row)
+			return true
+		})
+		je.hash = hash
+		je.keyExpr = leftExpr
+	}
+	return je, nil
+}
+
+// findEquiKey looks for `right.col = leftExpr` (either side order) among
+// the conjuncts of on. It returns the right column position and the left
+// key expression, or (-1, nil).
+func (ex *selectExec) findEquiKey(joinIdx int, on Expr) (int, Expr) {
+	rel := ex.rels[joinIdx+1]
+	resCol := -1
+	var resExpr Expr
+	visitConjuncts(on, func(e Expr) bool {
+		if resCol >= 0 {
+			return true
+		}
+		b, ok := e.(*Binary)
+		if !ok || b.Op != OpEq {
+			return true
+		}
+		try := func(side, other Expr) bool {
+			c, ok := side.(*ColumnRef)
+			if !ok {
+				return false
+			}
+			// The column must belong to the right relation.
+			q := strings.ToLower(c.Qual)
+			if q != "" && q != rel.qual {
+				return false
+			}
+			ci := rel.table.Schema.ColumnIndex(c.Name)
+			if ci < 0 {
+				return false
+			}
+			if q == "" {
+				// Unqualified: require that the name resolves uniquely to
+				// the right relation.
+				p, err := ex.env.Resolve("", c.Name)
+				if err != nil || p < rel.off || p >= rel.off+rel.width {
+					return false
+				}
+			}
+			// The other side must reference only earlier relations.
+			if !ex.referencesOnlyBefore(other, rel.off) {
+				return false
+			}
+			resCol, resExpr = ci, other
+			return true
+		}
+		if try(b.L, b.R) {
+			return true
+		}
+		try(b.R, b.L)
+		return true
+	})
+	return resCol, resExpr
+}
+
+// referencesOnlyBefore reports whether all column references in e resolve
+// to environment positions before off.
+func (ex *selectExec) referencesOnlyBefore(e Expr, off int) bool {
+	ok := true
+	walkExpr(e, func(sub Expr) {
+		switch c := sub.(type) {
+		case *ColumnRef:
+			p, err := ex.env.Resolve(c.Qual, c.Name)
+			if err != nil || p >= off {
+				ok = false
+			}
+		case *fixedCol:
+			if c.pos >= off {
+				ok = false
+			}
+		}
+	})
+	return ok
+}
+
+// emit produces all right-row matches for the current left tuple.
+func (je *joinExec) emit(ex *selectExec, produce func() (bool, error)) (bool, error) {
+	matched := false
+	tryRow := func(row []Value) (bool, error) {
+		ex.env.SetRow(je.rel.off, row)
+		v, err := je.residual.Eval(ex.env)
+		if err != nil {
+			return false, err
+		}
+		b, isNull := toBool(v)
+		if isNull || !b {
+			return true, nil
+		}
+		matched = true
+		return produce()
+	}
+
+	if je.hash != nil {
+		key, err := je.keyExpr.Eval(ex.env)
+		if err != nil {
+			return false, err
+		}
+		if key != nil {
+			for _, row := range je.hash[makeHashKey(key)] {
+				cont, err := tryRow(row)
+				if err != nil || !cont {
+					return cont, err
+				}
+			}
+		}
+	} else {
+		var loopErr error
+		contAll := true
+		je.rel.table.Scan(func(_ int64, row []Value) bool {
+			cont, err := tryRow(row)
+			if err != nil {
+				loopErr = err
+				return false
+			}
+			if !cont {
+				contAll = false
+				return false
+			}
+			return true
+		})
+		if loopErr != nil {
+			return false, loopErr
+		}
+		if !contAll {
+			return false, nil
+		}
+	}
+
+	if !matched && je.kind == JoinLeft {
+		ex.env.ClearRow(je.rel.off, je.rel.width)
+		return produce()
+	}
+	return true, nil
+}
+
+// ---------------------------------------------------------------------------
+// Simple (non-aggregated) execution
+
+func (ex *selectExec) runSimple() ([][]Value, [][]Value, error) {
+	var out [][]Value
+	var orderKeys [][]Value
+	err := ex.forEachJoinedRow(func() (bool, error) {
+		if ex.st.Where != nil {
+			v, err := ex.st.Where.Eval(ex.env)
+			if err != nil {
+				return false, err
+			}
+			b, isNull := toBool(v)
+			if isNull || !b {
+				return true, nil
+			}
+		}
+		row := make([]Value, len(ex.projExprs))
+		for i, e := range ex.projExprs {
+			v, err := e.Eval(ex.env)
+			if err != nil {
+				return false, err
+			}
+			row[i] = v
+		}
+		out = append(out, row)
+		if len(ex.orderExprs) > 0 {
+			keys := make([]Value, len(ex.orderExprs))
+			for i, e := range ex.orderExprs {
+				v, err := e.Eval(ex.env)
+				if err != nil {
+					return false, err
+				}
+				keys[i] = v
+			}
+			orderKeys = append(orderKeys, keys)
+		}
+		return true, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, orderKeys, nil
+}
+
+// ---------------------------------------------------------------------------
+// Grouped (aggregate) execution
+
+type groupState struct {
+	keyVals []Value
+	repRow  []Value // environment snapshot of the first row in the group
+	accs    []aggAcc
+}
+
+func (ex *selectExec) runGrouped() ([][]Value, [][]Value, error) {
+	groups := make(map[string]*groupState)
+	var order []string
+
+	err := ex.forEachJoinedRow(func() (bool, error) {
+		if ex.st.Where != nil {
+			v, err := ex.st.Where.Eval(ex.env)
+			if err != nil {
+				return false, err
+			}
+			b, isNull := toBool(v)
+			if isNull || !b {
+				return true, nil
+			}
+		}
+		keyVals := make([]Value, len(ex.st.GroupBy))
+		var kb strings.Builder
+		for i, g := range ex.st.GroupBy {
+			v, err := g.Eval(ex.env)
+			if err != nil {
+				return false, err
+			}
+			keyVals[i] = v
+			hk := makeHashKey(v)
+			fmt.Fprintf(&kb, "%c|%v|%s;", hk.kind, hk.num, hk.str)
+		}
+		key := kb.String()
+		gs, ok := groups[key]
+		if !ok {
+			gs = &groupState{keyVals: keyVals, accs: make([]aggAcc, len(ex.aggCalls))}
+			for i, call := range ex.aggCalls {
+				gs.accs[i] = newAggAcc(call)
+			}
+			gs.repRow = make([]Value, len(ex.env.vals))
+			copy(gs.repRow, ex.env.vals)
+			groups[key] = gs
+			order = append(order, key)
+		}
+		for i, call := range ex.aggCalls {
+			if err := gs.accs[i].add(call, ex.env); err != nil {
+				return false, err
+			}
+		}
+		return true, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// A global aggregate over zero rows still yields one output row.
+	if len(ex.st.GroupBy) == 0 && len(groups) == 0 {
+		gs := &groupState{accs: make([]aggAcc, len(ex.aggCalls))}
+		for i, call := range ex.aggCalls {
+			gs.accs[i] = newAggAcc(call)
+		}
+		gs.repRow = make([]Value, len(ex.env.vals))
+		groups[""] = gs
+		order = append(order, "")
+	}
+
+	var out [][]Value
+	var orderKeys [][]Value
+	for _, key := range order {
+		gs := groups[key]
+		ex.env.SetRow(0, gs.repRow)
+		ex.aggVals = make([]Value, len(ex.aggCalls))
+		for i := range ex.aggCalls {
+			ex.aggVals[i] = gs.accs[i].result()
+		}
+		if ex.havingExpr != nil {
+			v, err := ex.havingExpr.Eval(ex.env)
+			if err != nil {
+				return nil, nil, err
+			}
+			b, isNull := toBool(v)
+			if isNull || !b {
+				continue
+			}
+		}
+		row := make([]Value, len(ex.projExprs))
+		for i, e := range ex.projExprs {
+			v, err := e.Eval(ex.env)
+			if err != nil {
+				return nil, nil, err
+			}
+			row[i] = v
+		}
+		out = append(out, row)
+		if len(ex.orderExprs) > 0 {
+			keys := make([]Value, len(ex.orderExprs))
+			for i, e := range ex.orderExprs {
+				v, err := e.Eval(ex.env)
+				if err != nil {
+					return nil, nil, err
+				}
+				keys[i] = v
+			}
+			orderKeys = append(orderKeys, keys)
+		}
+	}
+	return out, orderKeys, nil
+}
+
+// aggAcc accumulates one aggregate function over a group.
+type aggAcc struct {
+	count   int64
+	sumI    int64
+	sumF    float64
+	isFloat bool
+	minV    Value
+	maxV    Value
+	kind    string
+}
+
+func newAggAcc(call *FuncCall) aggAcc { return aggAcc{kind: call.Name} }
+
+func (a *aggAcc) add(call *FuncCall, env *RowEnv) error {
+	if call.Star {
+		a.count++
+		return nil
+	}
+	if len(call.Args) != 1 {
+		return fmt.Errorf("sqldb: %s expects one argument", call.Name)
+	}
+	v, err := call.Args[0].Eval(env)
+	if err != nil {
+		return err
+	}
+	if v == nil {
+		return nil // aggregates skip NULLs
+	}
+	a.count++
+	switch call.Name {
+	case "SUM", "AVG":
+		switch x := v.(type) {
+		case int64:
+			a.sumI += x
+			a.sumF += float64(x)
+		case float64:
+			a.isFloat = true
+			a.sumF += x
+		default:
+			return fmt.Errorf("sqldb: %s over non-numeric value %s", call.Name, FormatValue(v))
+		}
+	case "MIN":
+		if a.minV == nil || Compare(v, a.minV) < 0 {
+			a.minV = v
+		}
+	case "MAX":
+		if a.maxV == nil || Compare(v, a.maxV) > 0 {
+			a.maxV = v
+		}
+	}
+	return nil
+}
+
+func (a *aggAcc) result() Value {
+	switch a.kind {
+	case "COUNT":
+		return a.count
+	case "SUM":
+		if a.count == 0 {
+			return nil
+		}
+		if a.isFloat {
+			return a.sumF
+		}
+		return a.sumI
+	case "AVG":
+		if a.count == 0 {
+			return nil
+		}
+		return a.sumF / float64(a.count)
+	case "MIN":
+		return a.minV
+	case "MAX":
+		return a.maxV
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Post-processing
+
+func distinctRows(rows, orderKeys [][]Value) ([][]Value, [][]Value) {
+	seen := make(map[string]bool, len(rows))
+	var outR, outK [][]Value
+	for i, row := range rows {
+		var kb strings.Builder
+		for _, v := range row {
+			hk := makeHashKey(v)
+			fmt.Fprintf(&kb, "%c|%v|%s;", hk.kind, hk.num, hk.str)
+		}
+		key := kb.String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		outR = append(outR, row)
+		if orderKeys != nil {
+			outK = append(outK, orderKeys[i])
+		}
+	}
+	if orderKeys == nil {
+		return outR, nil
+	}
+	return outR, outK
+}
+
+func sortRows(rows, keys [][]Value, order []OrderItem) {
+	idx := make([]int, len(rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ka, kb := keys[idx[a]], keys[idx[b]]
+		for i, o := range order {
+			c := Compare(ka[i], kb[i])
+			if c == 0 {
+				continue
+			}
+			if o.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	sortedR := make([][]Value, len(rows))
+	for i, j := range idx {
+		sortedR[i] = rows[j]
+	}
+	copy(rows, sortedR)
+}
+
+func (ex *selectExec) applyLimit(rows [][]Value) ([][]Value, error) {
+	evalInt := func(e Expr, what string) (int64, error) {
+		v, err := e.Eval(nil)
+		if err != nil {
+			return 0, err
+		}
+		n, ok := v.(int64)
+		if !ok || n < 0 {
+			return 0, fmt.Errorf("sqldb: %s must be a non-negative integer", what)
+		}
+		return n, nil
+	}
+	if ex.st.Offset != nil {
+		n, err := evalInt(ex.st.Offset, "OFFSET")
+		if err != nil {
+			return nil, err
+		}
+		if int(n) >= len(rows) {
+			rows = nil
+		} else {
+			rows = rows[n:]
+		}
+	}
+	if ex.st.Limit != nil {
+		n, err := evalInt(ex.st.Limit, "LIMIT")
+		if err != nil {
+			return nil, err
+		}
+		if int(n) < len(rows) {
+			rows = rows[:n]
+		}
+	}
+	return rows, nil
+}

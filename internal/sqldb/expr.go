@@ -1,0 +1,759 @@
+package sqldb
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Expr is a SQL expression node evaluated against a row environment.
+type Expr interface {
+	// Eval computes the expression value for the given environment.
+	Eval(env *RowEnv) (Value, error)
+	// String renders the expression in SQL-ish syntax for error messages
+	// and plan display.
+	String() string
+}
+
+// RowEnv resolves column references during evaluation. Columns are
+// addressed as (qualifier, name) where the qualifier is a table name or
+// alias and may be empty for unqualified references.
+type RowEnv struct {
+	cols []envCol
+	vals []Value
+}
+
+type envCol struct {
+	qual string // lower-cased table alias, may be ""
+	name string // lower-cased column name
+}
+
+// NewRowEnv builds an environment for a single relation binding.
+func NewRowEnv(qual string, names []string) *RowEnv {
+	env := &RowEnv{}
+	env.AddRelation(qual, names)
+	return env
+}
+
+// AddRelation appends the columns of another relation (for joins).
+func (e *RowEnv) AddRelation(qual string, names []string) {
+	q := strings.ToLower(qual)
+	for _, n := range names {
+		e.cols = append(e.cols, envCol{qual: q, name: strings.ToLower(n)})
+	}
+	e.vals = append(e.vals, make([]Value, len(names))...)
+}
+
+// SetRow stores values for columns [off, off+len(vals)).
+func (e *RowEnv) SetRow(off int, vals []Value) {
+	copy(e.vals[off:], vals)
+}
+
+// ClearRow sets columns [off, off+n) to NULL (for outer-join padding).
+func (e *RowEnv) ClearRow(off, n int) {
+	for i := 0; i < n; i++ {
+		e.vals[off+i] = nil
+	}
+}
+
+// Width returns the total number of bound columns.
+func (e *RowEnv) Width() int { return len(e.cols) }
+
+// Resolve finds the unique column position matching the reference, or an
+// error for unknown / ambiguous references.
+func (e *RowEnv) Resolve(qual, name string) (int, error) {
+	q, n := strings.ToLower(qual), strings.ToLower(name)
+	found := -1
+	for i, c := range e.cols {
+		if c.name != n {
+			continue
+		}
+		if q != "" && c.qual != q {
+			continue
+		}
+		if found >= 0 {
+			return 0, fmt.Errorf("sqldb: ambiguous column reference %q", refString(qual, name))
+		}
+		found = i
+	}
+	if found < 0 {
+		return 0, fmt.Errorf("sqldb: unknown column %q", refString(qual, name))
+	}
+	return found, nil
+}
+
+func refString(qual, name string) string {
+	if qual == "" {
+		return name
+	}
+	return qual + "." + name
+}
+
+// ---------------------------------------------------------------------------
+// Expression nodes
+
+// Literal is a constant value.
+type Literal struct{ Val Value }
+
+// Eval returns the constant.
+func (l *Literal) Eval(*RowEnv) (Value, error) { return l.Val, nil }
+
+func (l *Literal) String() string {
+	if s, ok := l.Val.(string); ok {
+		return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+	}
+	return FormatValue(l.Val)
+}
+
+// ColumnRef references a column by optional qualifier and name. The
+// position is resolved once per statement by bind().
+type ColumnRef struct {
+	Qual string
+	Name string
+	pos  int
+	ok   bool
+}
+
+// Eval returns the bound column's current value.
+func (c *ColumnRef) Eval(env *RowEnv) (Value, error) {
+	if !c.ok {
+		p, err := env.Resolve(c.Qual, c.Name)
+		if err != nil {
+			return nil, err
+		}
+		c.pos, c.ok = p, true
+	}
+	return env.vals[c.pos], nil
+}
+
+func (c *ColumnRef) String() string { return refString(c.Qual, c.Name) }
+
+// bind resolves the column position eagerly so errors surface at plan time.
+func (c *ColumnRef) bind(env *RowEnv) error {
+	p, err := env.Resolve(c.Qual, c.Name)
+	if err != nil {
+		return err
+	}
+	c.pos, c.ok = p, true
+	return nil
+}
+
+// BinOp identifies a binary operator.
+type BinOp int
+
+// Binary operators.
+const (
+	OpEq BinOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpLike
+	OpConcat
+)
+
+var binOpNames = map[BinOp]string{
+	OpEq: "=", OpNe: "<>", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+	OpAnd: "AND", OpOr: "OR", OpAdd: "+", OpSub: "-", OpMul: "*",
+	OpDiv: "/", OpMod: "%", OpLike: "LIKE", OpConcat: "||",
+}
+
+// Binary applies a binary operator to two sub-expressions.
+type Binary struct {
+	Op   BinOp
+	L, R Expr
+}
+
+func (b *Binary) String() string {
+	return "(" + b.L.String() + " " + binOpNames[b.Op] + " " + b.R.String() + ")"
+}
+
+// Eval applies SQL three-valued logic: comparisons and arithmetic over NULL
+// yield NULL; AND/OR short-circuit per Kleene logic.
+func (b *Binary) Eval(env *RowEnv) (Value, error) {
+	switch b.Op {
+	case OpAnd, OpOr:
+		return b.evalLogic(env)
+	}
+	lv, err := b.L.Eval(env)
+	if err != nil {
+		return nil, err
+	}
+	rv, err := b.R.Eval(env)
+	if err != nil {
+		return nil, err
+	}
+	if lv == nil || rv == nil {
+		return nil, nil
+	}
+	switch b.Op {
+	case OpEq:
+		return Compare(lv, rv) == 0, nil
+	case OpNe:
+		return Compare(lv, rv) != 0, nil
+	case OpLt:
+		return Compare(lv, rv) < 0, nil
+	case OpLe:
+		return Compare(lv, rv) <= 0, nil
+	case OpGt:
+		return Compare(lv, rv) > 0, nil
+	case OpGe:
+		return Compare(lv, rv) >= 0, nil
+	case OpLike:
+		ls, lok := lv.(string)
+		rs, rok := rv.(string)
+		if !lok || !rok {
+			return nil, fmt.Errorf("sqldb: LIKE requires TEXT operands")
+		}
+		return likeMatch(ls, rs), nil
+	case OpConcat:
+		ls, _ := Coerce(lv, TypeText)
+		rs, _ := Coerce(rv, TypeText)
+		return ls.(string) + rs.(string), nil
+	}
+	return evalArith(b.Op, lv, rv)
+}
+
+func (b *Binary) evalLogic(env *RowEnv) (Value, error) {
+	lv, err := b.L.Eval(env)
+	if err != nil {
+		return nil, err
+	}
+	lb, lnull := toBool(lv)
+	if b.Op == OpAnd && !lnull && !lb {
+		return false, nil
+	}
+	if b.Op == OpOr && !lnull && lb {
+		return true, nil
+	}
+	rv, err := b.R.Eval(env)
+	if err != nil {
+		return nil, err
+	}
+	rb, rnull := toBool(rv)
+	if b.Op == OpAnd {
+		switch {
+		case !rnull && !rb:
+			return false, nil
+		case lnull || rnull:
+			return nil, nil
+		default:
+			return lb && rb, nil
+		}
+	}
+	switch {
+	case !rnull && rb:
+		return true, nil
+	case lnull || rnull:
+		return nil, nil
+	default:
+		return lb || rb, nil
+	}
+}
+
+func toBool(v Value) (val bool, isNull bool) {
+	switch x := v.(type) {
+	case nil:
+		return false, true
+	case bool:
+		return x, false
+	case int64:
+		return x != 0, false
+	case float64:
+		return x != 0, false
+	default:
+		return false, true
+	}
+}
+
+func evalArith(op BinOp, lv, rv Value) (Value, error) {
+	li, lInt := lv.(int64)
+	ri, rInt := rv.(int64)
+	if lInt && rInt {
+		switch op {
+		case OpAdd:
+			return li + ri, nil
+		case OpSub:
+			return li - ri, nil
+		case OpMul:
+			return li * ri, nil
+		case OpDiv:
+			if ri == 0 {
+				return nil, fmt.Errorf("sqldb: division by zero")
+			}
+			return li / ri, nil
+		case OpMod:
+			if ri == 0 {
+				return nil, fmt.Errorf("sqldb: modulo by zero")
+			}
+			return li % ri, nil
+		}
+	}
+	lf, err := Coerce(lv, TypeFloat)
+	if err != nil {
+		return nil, fmt.Errorf("sqldb: arithmetic on non-numeric value %s", FormatValue(lv))
+	}
+	rf, err := Coerce(rv, TypeFloat)
+	if err != nil {
+		return nil, fmt.Errorf("sqldb: arithmetic on non-numeric value %s", FormatValue(rv))
+	}
+	x, y := lf.(float64), rf.(float64)
+	switch op {
+	case OpAdd:
+		return x + y, nil
+	case OpSub:
+		return x - y, nil
+	case OpMul:
+		return x * y, nil
+	case OpDiv:
+		if y == 0 {
+			return nil, fmt.Errorf("sqldb: division by zero")
+		}
+		return x / y, nil
+	case OpMod:
+		if y == 0 {
+			return nil, fmt.Errorf("sqldb: modulo by zero")
+		}
+		return math.Mod(x, y), nil
+	}
+	return nil, fmt.Errorf("sqldb: unsupported arithmetic operator")
+}
+
+// likeMatch implements SQL LIKE with % (any run) and _ (single char)
+// wildcards, case-sensitively, using an iterative two-pointer algorithm.
+func likeMatch(s, pattern string) bool {
+	si, pi := 0, 0
+	star, match := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(pattern) && (pattern[pi] == '_' || pattern[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(pattern) && pattern[pi] == '%':
+			star, match = pi, si
+			pi++
+		case star >= 0:
+			pi = star + 1
+			match++
+			si = match
+		default:
+			return false
+		}
+	}
+	for pi < len(pattern) && pattern[pi] == '%' {
+		pi++
+	}
+	return pi == len(pattern)
+}
+
+// Unary applies NOT or unary minus.
+type Unary struct {
+	Op string // "NOT" or "-"
+	X  Expr
+}
+
+func (u *Unary) String() string { return u.Op + " " + u.X.String() }
+
+// Eval evaluates the operand and applies the operator with NULL propagation.
+func (u *Unary) Eval(env *RowEnv) (Value, error) {
+	v, err := u.X.Eval(env)
+	if err != nil {
+		return nil, err
+	}
+	if v == nil {
+		return nil, nil
+	}
+	switch u.Op {
+	case "NOT":
+		b, isNull := toBool(v)
+		if isNull {
+			return nil, nil
+		}
+		return !b, nil
+	case "-":
+		switch x := v.(type) {
+		case int64:
+			return -x, nil
+		case float64:
+			return -x, nil
+		}
+		return nil, fmt.Errorf("sqldb: unary minus on non-numeric %s", FormatValue(v))
+	}
+	return nil, fmt.Errorf("sqldb: unknown unary operator %q", u.Op)
+}
+
+// IsNull tests `expr IS [NOT] NULL`.
+type IsNull struct {
+	X      Expr
+	Negate bool
+}
+
+func (n *IsNull) String() string {
+	if n.Negate {
+		return n.X.String() + " IS NOT NULL"
+	}
+	return n.X.String() + " IS NULL"
+}
+
+// Eval returns a non-NULL boolean (IS NULL never yields NULL).
+func (n *IsNull) Eval(env *RowEnv) (Value, error) {
+	v, err := n.X.Eval(env)
+	if err != nil {
+		return nil, err
+	}
+	return (v == nil) != n.Negate, nil
+}
+
+// InList tests membership of an expression in a literal list.
+type InList struct {
+	X      Expr
+	Items  []Expr
+	Negate bool
+}
+
+func (in *InList) String() string {
+	parts := make([]string, len(in.Items))
+	for i, it := range in.Items {
+		parts[i] = it.String()
+	}
+	op := " IN ("
+	if in.Negate {
+		op = " NOT IN ("
+	}
+	return in.X.String() + op + strings.Join(parts, ", ") + ")"
+}
+
+// Eval implements SQL IN semantics including NULL propagation: x IN (...)
+// is NULL when x is NULL or when no item matches but some item is NULL.
+func (in *InList) Eval(env *RowEnv) (Value, error) {
+	v, err := in.X.Eval(env)
+	if err != nil {
+		return nil, err
+	}
+	if v == nil {
+		return nil, nil
+	}
+	sawNull := false
+	for _, item := range in.Items {
+		iv, err := item.Eval(env)
+		if err != nil {
+			return nil, err
+		}
+		if iv == nil {
+			sawNull = true
+			continue
+		}
+		if Compare(v, iv) == 0 {
+			return !in.Negate, nil
+		}
+	}
+	if sawNull {
+		return nil, nil
+	}
+	return in.Negate, nil
+}
+
+// Between tests lo <= x <= hi.
+type Between struct {
+	X, Lo, Hi Expr
+	Negate    bool
+}
+
+func (b *Between) String() string {
+	op := " BETWEEN "
+	if b.Negate {
+		op = " NOT BETWEEN "
+	}
+	return b.X.String() + op + b.Lo.String() + " AND " + b.Hi.String()
+}
+
+// Eval evaluates the range check with NULL propagation.
+func (b *Between) Eval(env *RowEnv) (Value, error) {
+	v, err := b.X.Eval(env)
+	if err != nil {
+		return nil, err
+	}
+	lo, err := b.Lo.Eval(env)
+	if err != nil {
+		return nil, err
+	}
+	hi, err := b.Hi.Eval(env)
+	if err != nil {
+		return nil, err
+	}
+	if v == nil || lo == nil || hi == nil {
+		return nil, nil
+	}
+	res := Compare(v, lo) >= 0 && Compare(v, hi) <= 0
+	return res != b.Negate, nil
+}
+
+// FuncCall invokes a scalar builtin function. Aggregate functions are
+// handled by the executor, not here.
+type FuncCall struct {
+	Name string // upper-cased
+	Args []Expr
+	// Star is true for COUNT(*).
+	Star bool
+}
+
+func (f *FuncCall) String() string {
+	if f.Star {
+		return f.Name + "(*)"
+	}
+	parts := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		parts[i] = a.String()
+	}
+	return f.Name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// scalarFuncs lists the supported scalar builtins and their implementations.
+var scalarFuncs = map[string]func(args []Value) (Value, error){
+	"LOWER": func(a []Value) (Value, error) {
+		if err := argc("LOWER", a, 1); err != nil {
+			return nil, err
+		}
+		if a[0] == nil {
+			return nil, nil
+		}
+		s, ok := a[0].(string)
+		if !ok {
+			return nil, fmt.Errorf("sqldb: LOWER expects TEXT")
+		}
+		return strings.ToLower(s), nil
+	},
+	"UPPER": func(a []Value) (Value, error) {
+		if err := argc("UPPER", a, 1); err != nil {
+			return nil, err
+		}
+		if a[0] == nil {
+			return nil, nil
+		}
+		s, ok := a[0].(string)
+		if !ok {
+			return nil, fmt.Errorf("sqldb: UPPER expects TEXT")
+		}
+		return strings.ToUpper(s), nil
+	},
+	"LENGTH": func(a []Value) (Value, error) {
+		if err := argc("LENGTH", a, 1); err != nil {
+			return nil, err
+		}
+		if a[0] == nil {
+			return nil, nil
+		}
+		s, ok := a[0].(string)
+		if !ok {
+			return nil, fmt.Errorf("sqldb: LENGTH expects TEXT")
+		}
+		return int64(len(s)), nil
+	},
+	"ABS": func(a []Value) (Value, error) {
+		if err := argc("ABS", a, 1); err != nil {
+			return nil, err
+		}
+		switch x := a[0].(type) {
+		case nil:
+			return nil, nil
+		case int64:
+			if x < 0 {
+				return -x, nil
+			}
+			return x, nil
+		case float64:
+			return math.Abs(x), nil
+		}
+		return nil, fmt.Errorf("sqldb: ABS expects a numeric argument")
+	},
+	"COALESCE": func(a []Value) (Value, error) {
+		for _, v := range a {
+			if v != nil {
+				return v, nil
+			}
+		}
+		return nil, nil
+	},
+	"SUBSTR": func(a []Value) (Value, error) {
+		if len(a) != 2 && len(a) != 3 {
+			return nil, fmt.Errorf("sqldb: SUBSTR expects 2 or 3 arguments")
+		}
+		if a[0] == nil || a[1] == nil {
+			return nil, nil
+		}
+		s, ok := a[0].(string)
+		if !ok {
+			return nil, fmt.Errorf("sqldb: SUBSTR expects TEXT")
+		}
+		start, ok := a[1].(int64)
+		if !ok {
+			return nil, fmt.Errorf("sqldb: SUBSTR start must be INTEGER")
+		}
+		// SQL SUBSTR is 1-based.
+		i := int(start) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i > len(s) {
+			i = len(s)
+		}
+		end := len(s)
+		if len(a) == 3 {
+			if a[2] == nil {
+				return nil, nil
+			}
+			n, ok := a[2].(int64)
+			if !ok {
+				return nil, fmt.Errorf("sqldb: SUBSTR length must be INTEGER")
+			}
+			if int(n) < 0 {
+				n = 0
+			}
+			if i+int(n) < end {
+				end = i + int(n)
+			}
+		}
+		return s[i:end], nil
+	},
+	"TRIM": func(a []Value) (Value, error) {
+		if err := argc("TRIM", a, 1); err != nil {
+			return nil, err
+		}
+		if a[0] == nil {
+			return nil, nil
+		}
+		s, ok := a[0].(string)
+		if !ok {
+			return nil, fmt.Errorf("sqldb: TRIM expects TEXT")
+		}
+		return strings.TrimSpace(s), nil
+	},
+	"MIN2": nil, // placeholder; MIN/MAX are aggregates
+}
+
+func argc(name string, args []Value, n int) error {
+	if len(args) != n {
+		return fmt.Errorf("sqldb: %s expects %d argument(s), got %d", name, n, len(args))
+	}
+	return nil
+}
+
+// aggFuncs lists the recognized aggregate function names.
+var aggFuncs = map[string]bool{
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+}
+
+// IsAggregate reports whether the call is an aggregate function.
+func (f *FuncCall) IsAggregate() bool { return aggFuncs[f.Name] }
+
+// Eval evaluates a scalar builtin. Aggregates evaluated here is an internal
+// error: the executor must rewrite them before row evaluation.
+func (f *FuncCall) Eval(env *RowEnv) (Value, error) {
+	if f.IsAggregate() {
+		return nil, fmt.Errorf("sqldb: aggregate %s used outside of SELECT list or HAVING", f.Name)
+	}
+	impl, ok := scalarFuncs[f.Name]
+	if !ok || impl == nil {
+		return nil, fmt.Errorf("sqldb: unknown function %s", f.Name)
+	}
+	args := make([]Value, len(f.Args))
+	for i, a := range f.Args {
+		v, err := a.Eval(env)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	return impl(args)
+}
+
+// aggResult is an executor-internal expression holding a precomputed
+// aggregate value for a group.
+type aggResult struct {
+	val Value
+}
+
+func (a *aggResult) Eval(*RowEnv) (Value, error) { return a.val, nil }
+func (a *aggResult) String() string              { return FormatValue(a.val) }
+
+// Param is a positional placeholder (`?`) bound at execution time.
+type Param struct {
+	Pos int // zero-based
+	val Value
+	set bool
+}
+
+// Eval returns the bound argument.
+func (p *Param) Eval(*RowEnv) (Value, error) {
+	if !p.set {
+		return nil, fmt.Errorf("sqldb: parameter %d not bound", p.Pos+1)
+	}
+	return p.val, nil
+}
+
+func (p *Param) String() string { return "?" }
+
+// walkExpr visits e and all sub-expressions in depth-first order.
+func walkExpr(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch x := e.(type) {
+	case *Binary:
+		walkExpr(x.L, fn)
+		walkExpr(x.R, fn)
+	case *Unary:
+		walkExpr(x.X, fn)
+	case *IsNull:
+		walkExpr(x.X, fn)
+	case *InList:
+		walkExpr(x.X, fn)
+		for _, it := range x.Items {
+			walkExpr(it, fn)
+		}
+	case *Between:
+		walkExpr(x.X, fn)
+		walkExpr(x.Lo, fn)
+		walkExpr(x.Hi, fn)
+	case *FuncCall:
+		for _, a := range x.Args {
+			walkExpr(a, fn)
+		}
+	}
+}
+
+// bindParams assigns argument values to all Param nodes in order.
+func bindParams(e Expr, args []Value) error {
+	var err error
+	walkExpr(e, func(x Expr) {
+		if p, ok := x.(*Param); ok {
+			if p.Pos >= len(args) {
+				err = fmt.Errorf("sqldb: not enough arguments: need at least %d", p.Pos+1)
+				return
+			}
+			p.val = args[p.Pos]
+			p.set = true
+		}
+	})
+	return err
+}
+
+// countParams returns the number of distinct parameter positions in e.
+func countParams(e Expr) int {
+	max := 0
+	walkExpr(e, func(x Expr) {
+		if p, ok := x.(*Param); ok && p.Pos+1 > max {
+			max = p.Pos + 1
+		}
+	})
+	return max
+}

@@ -1,0 +1,230 @@
+package sqldb
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func evalSQL(t *testing.T, expr string) Value {
+	t.Helper()
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE one (x INTEGER)")
+	mustExec(t, db, "INSERT INTO one VALUES (1)")
+	rs := mustQuery(t, db, "SELECT "+expr+" FROM one")
+	return rs.Rows[0][0]
+}
+
+func TestThreeValuedLogic(t *testing.T) {
+	// Kleene truth tables: T=true, F=false, N=NULL.
+	cases := []struct {
+		expr string
+		want Value // nil = NULL
+	}{
+		{"TRUE AND TRUE", true},
+		{"TRUE AND FALSE", false},
+		{"TRUE AND NULL", nil},
+		{"FALSE AND NULL", false}, // false dominates
+		{"NULL AND NULL", nil},
+		{"TRUE OR NULL", true}, // true dominates
+		{"FALSE OR NULL", nil},
+		{"FALSE OR FALSE", false},
+		{"NULL OR NULL", nil},
+		{"NOT NULL", nil},
+		{"NOT TRUE", false},
+		{"NULL = NULL", nil},
+		{"1 = NULL", nil},
+		{"1 <> NULL", nil},
+		{"NULL IS NULL", true},
+		{"NULL IS NOT NULL", false},
+		{"1 + NULL", nil},
+		{"NULL BETWEEN 1 AND 2", nil},
+		{"1 IN (NULL)", nil},
+		{"1 IN (1, NULL)", true},
+		{"2 NOT IN (1, NULL)", nil}, // unknown because of the NULL
+		{"2 NOT IN (1, 3)", true},
+	}
+	for _, c := range cases {
+		got := evalSQL(t, c.expr)
+		if got != c.want {
+			t.Errorf("%s = %v, want %v", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestLikeSemantics(t *testing.T) {
+	cases := []struct {
+		s, pattern string
+		want       bool
+	}{
+		{"abc", "abc", true},
+		{"abc", "a%", true},
+		{"abc", "%c", true},
+		{"abc", "%b%", true},
+		{"abc", "a_c", true},
+		{"abc", "a_", false},
+		{"abc", "_", false},
+		{"", "%", true},
+		{"", "_", false},
+		{"abc", "", false},
+		{"a%c", "a%c", true}, // % in pattern is a wildcard, still matches
+		{"aXXXc", "a%c", true},
+		{"abcabc", "%abc", true},
+		{"mississippi", "%iss%ppi", true},
+		{"mississippi", "m%i%s%p_", true},
+		{"ABC", "abc", false}, // case-sensitive
+	}
+	for _, c := range cases {
+		if got := likeMatch(c.s, c.pattern); got != c.want {
+			t.Errorf("likeMatch(%q, %q) = %v, want %v", c.s, c.pattern, got, c.want)
+		}
+	}
+}
+
+// TestLikeMatchesRegexpOracle cross-checks the two-pointer LIKE matcher
+// against a regexp translation on random inputs.
+func TestLikeMatchesRegexpOracle(t *testing.T) {
+	alphabet := []byte("ab%_")
+	f := func(sRaw, pRaw []byte) bool {
+		var s, p strings.Builder
+		for _, c := range sRaw {
+			ch := alphabet[int(c)%2] // strings contain only a/b
+			s.WriteByte(ch)
+		}
+		for _, c := range pRaw {
+			p.WriteByte(alphabet[int(c)%4])
+		}
+		pattern := p.String()
+		var re strings.Builder
+		re.WriteString("^")
+		for i := 0; i < len(pattern); i++ {
+			switch pattern[i] {
+			case '%':
+				re.WriteString(".*")
+			case '_':
+				re.WriteString(".")
+			default:
+				re.WriteByte(pattern[i])
+			}
+		}
+		re.WriteString("$")
+		want := regexp.MustCompile(re.String()).MatchString(s.String())
+		return likeMatch(s.String(), pattern) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScalarFunctionErrors(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE t (n INTEGER, s TEXT)")
+	mustExec(t, db, "INSERT INTO t VALUES (1, 'x')")
+	bad := []string{
+		"SELECT LOWER(n) FROM t",
+		"SELECT LENGTH(n) FROM t",
+		"SELECT ABS(s) FROM t",
+		"SELECT SUBSTR(s) FROM t",
+		"SELECT SUBSTR(s, 'a') FROM t",
+		"SELECT NOSUCHFUNC(s) FROM t",
+		"SELECT LOWER(s, s) FROM t",
+	}
+	for _, sql := range bad {
+		if _, err := db.Query(sql); err == nil {
+			t.Errorf("expected error for %s", sql)
+		}
+	}
+}
+
+func TestScalarFunctionNullPropagation(t *testing.T) {
+	for _, expr := range []string{"LOWER(NULL)", "UPPER(NULL)", "LENGTH(NULL)", "ABS(NULL)", "TRIM(NULL)", "SUBSTR(NULL, 1)"} {
+		if got := evalSQL(t, expr); got != nil {
+			t.Errorf("%s = %v, want NULL", expr, got)
+		}
+	}
+}
+
+func TestSubstrEdgeCases(t *testing.T) {
+	cases := []struct {
+		expr string
+		want Value
+	}{
+		{"SUBSTR('hello', 1, 2)", "he"},
+		{"SUBSTR('hello', 2)", "ello"},
+		{"SUBSTR('hello', 0)", "hello"},
+		{"SUBSTR('hello', 10)", ""},
+		{"SUBSTR('hello', 1, 0)", ""},
+		{"SUBSTR('hello', 1, 100)", "hello"},
+		{"SUBSTR('hello', 4, -1)", ""},
+	}
+	for _, c := range cases {
+		if got := evalSQL(t, c.expr); got != c.want {
+			t.Errorf("%s = %q, want %q", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestExprString(t *testing.T) {
+	// Expression rendering is used in error messages and column naming.
+	sql := "SELECT x + 1, x IS NULL, x IN (1, 2), x BETWEEN 1 AND 2, NOT x, -x, COUNT(*), LOWER('A''B') FROM one"
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE one (x INTEGER)")
+	mustExec(t, db, "INSERT INTO one VALUES (1)")
+	rs := mustQuery(t, db, sql)
+	for i, name := range rs.Columns {
+		if name == "" {
+			t.Errorf("column %d has no derived name", i)
+		}
+	}
+	if rs.Columns[6] != "COUNT(*)" {
+		t.Errorf("count column name = %q", rs.Columns[6])
+	}
+}
+
+func TestSoftKeywordColumns(t *testing.T) {
+	// Columns named like type keywords or aggregates work unquoted.
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE gam_like (text TEXT, count INTEGER, min REAL)")
+	mustExec(t, db, "INSERT INTO gam_like VALUES ('hello', 3, 1.5)")
+	rs := mustQuery(t, db, "SELECT text, count, min FROM gam_like WHERE count > 1")
+	if rs.Rows[0][0] != "hello" || rs.Rows[0][1] != int64(3) || rs.Rows[0][2] != 1.5 {
+		t.Fatalf("soft keyword columns = %v", rs.Rows[0])
+	}
+	// Qualified soft-keyword column.
+	rs = mustQuery(t, db, "SELECT gam_like.text FROM gam_like")
+	if rs.Rows[0][0] != "hello" {
+		t.Fatalf("qualified soft keyword = %v", rs.Rows[0])
+	}
+	// Aggregates still work alongside.
+	rs = mustQuery(t, db, "SELECT COUNT(*), MAX(count) FROM gam_like")
+	if rs.Rows[0][0] != int64(1) || rs.Rows[0][1] != int64(3) {
+		t.Fatalf("aggregate over soft columns = %v", rs.Rows[0])
+	}
+}
+
+func TestDeepExpressionNesting(t *testing.T) {
+	// Parser and evaluator handle reasonably deep nesting.
+	expr := "1"
+	for i := 0; i < 200; i++ {
+		expr = "(" + expr + " + 1)"
+	}
+	got := evalSQL(t, expr)
+	if got != int64(201) {
+		t.Fatalf("deep nesting = %v", got)
+	}
+}
+
+func TestComparisonAcrossNumericTypes(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE t (i INTEGER, f REAL)")
+	mustExec(t, db, "INSERT INTO t VALUES (2, 2.0), (3, 2.5)")
+	rs := mustQuery(t, db, "SELECT COUNT(*) FROM t WHERE i = f")
+	if rs.Rows[0][0] != int64(1) {
+		t.Errorf("int/float equality count = %v", rs.Rows[0][0])
+	}
+	rs = mustQuery(t, db, "SELECT COUNT(*) FROM t WHERE i > f")
+	if rs.Rows[0][0] != int64(1) {
+		t.Errorf("int/float greater count = %v", rs.Rows[0][0])
+	}
+}

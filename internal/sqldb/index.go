@@ -1,0 +1,147 @@
+package sqldb
+
+// IndexKind selects the physical structure backing an index.
+type IndexKind int
+
+// Supported index structures.
+const (
+	// IndexHash supports O(1) equality lookups only.
+	IndexHash IndexKind = iota
+	// IndexBTree supports ordered traversal and range scans.
+	IndexBTree
+)
+
+// String returns the SQL spelling used in CREATE INDEX ... USING.
+func (k IndexKind) String() string {
+	if k == IndexBTree {
+		return "BTREE"
+	}
+	return "HASH"
+}
+
+// Index maps one column's values to row IDs. Hash indexes use a bucket map;
+// B-tree indexes keep entries ordered for range scans.
+type Index struct {
+	Name   string
+	Column string
+	Col    int // column position in the table schema
+	Kind   IndexKind
+	Unique bool
+
+	hash map[hashKey][]int64
+	tree *btree
+	// nullRows tracks rows whose key is NULL; NULL keys are excluded from
+	// uniqueness but still need index maintenance bookkeeping.
+	nullRows map[int64]bool
+}
+
+func newIndex(name, column string, col int, kind IndexKind, unique bool) *Index {
+	idx := &Index{Name: name, Column: column, Col: col, Kind: kind, Unique: unique, nullRows: make(map[int64]bool)}
+	idx.reset()
+	return idx
+}
+
+func (idx *Index) reset() {
+	idx.nullRows = make(map[int64]bool)
+	if idx.Kind == IndexHash {
+		idx.hash = make(map[hashKey][]int64)
+		idx.tree = nil
+	} else {
+		idx.tree = newBTree()
+		idx.hash = nil
+	}
+}
+
+func (idx *Index) insert(key Value, row int64) {
+	if key == nil {
+		idx.nullRows[row] = true
+		return
+	}
+	if idx.Kind == IndexHash {
+		k := makeHashKey(key)
+		idx.hash[k] = append(idx.hash[k], row)
+		return
+	}
+	idx.tree.Insert(key, row)
+}
+
+func (idx *Index) delete(key Value, row int64) {
+	if key == nil {
+		delete(idx.nullRows, row)
+		return
+	}
+	if idx.Kind == IndexHash {
+		k := makeHashKey(key)
+		rows := idx.hash[k]
+		for i, r := range rows {
+			if r == row {
+				rows[i] = rows[len(rows)-1]
+				rows = rows[:len(rows)-1]
+				break
+			}
+		}
+		if len(rows) == 0 {
+			delete(idx.hash, k)
+		} else {
+			idx.hash[k] = rows
+		}
+		return
+	}
+	idx.tree.Delete(key, row)
+}
+
+func (idx *Index) containsKey(key Value) bool {
+	if key == nil {
+		return false
+	}
+	if idx.Kind == IndexHash {
+		return len(idx.hash[makeHashKey(key)]) > 0
+	}
+	found := false
+	idx.tree.AscendRange(key, key, true, true, true, true, func(Value, int64) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+// Lookup returns the row IDs whose key equals the given value. NULL keys
+// match nothing, per SQL semantics.
+func (idx *Index) Lookup(key Value) []int64 {
+	if key == nil {
+		return nil
+	}
+	if idx.Kind == IndexHash {
+		rows := idx.hash[makeHashKey(key)]
+		out := make([]int64, len(rows))
+		copy(out, rows)
+		return out
+	}
+	var out []int64
+	idx.tree.AscendRange(key, key, true, true, true, true, func(_ Value, row int64) bool {
+		out = append(out, row)
+		return true
+	})
+	return out
+}
+
+// Range visits rows with keys in [lo,hi] (bounds optional) in key order.
+// Only valid on B-tree indexes.
+func (idx *Index) Range(lo, hi Value, hasLo, hasHi, loIncl, hiIncl bool, fn func(key Value, row int64) bool) {
+	if idx.Kind != IndexBTree {
+		return
+	}
+	idx.tree.AscendRange(lo, hi, hasLo, hasHi, loIncl, hiIncl, fn)
+}
+
+// Len returns the number of non-NULL entries in the index.
+func (idx *Index) Len() int {
+	if idx.Kind == IndexHash {
+		n := 0
+		for _, rows := range idx.hash {
+			n += len(rows)
+		}
+		return n
+	}
+	return idx.tree.Len()
+}

@@ -1,0 +1,208 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func newJoinDB(t *testing.T) *DB {
+	t.Helper()
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE genes (id INTEGER PRIMARY KEY, symbol TEXT)")
+	mustExec(t, db, "CREATE TABLE annos (gene_id INTEGER, term TEXT)")
+	genes := map[int]string{1: "APRT", 2: "TP53", 3: "BRCA1", 4: "ORPHAN"}
+	for id, sym := range genes {
+		mustExec(t, db, "INSERT INTO genes VALUES (?, ?)", id, sym)
+	}
+	annos := [][2]any{{1, "GO:0009116"}, {1, "GO:0016740"}, {2, "GO:0006915"}, {3, "GO:0006281"}, {99, "GO:dangling"}}
+	for _, a := range annos {
+		mustExec(t, db, "INSERT INTO annos VALUES (?, ?)", a[0], a[1])
+	}
+	return db
+}
+
+func TestInnerJoin(t *testing.T) {
+	db := newJoinDB(t)
+	rs := mustQuery(t, db, `SELECT g.symbol, a.term FROM genes g
+		JOIN annos a ON g.id = a.gene_id ORDER BY g.symbol, a.term`)
+	if len(rs.Rows) != 4 {
+		t.Fatalf("inner join rows = %d, want 4", len(rs.Rows))
+	}
+	if rs.Rows[0][0] != "APRT" || rs.Rows[0][1] != "GO:0009116" {
+		t.Errorf("first row = %v", rs.Rows[0])
+	}
+	// ORPHAN (no annotations) and the dangling annotation must be absent.
+	for _, r := range rs.Rows {
+		if r[0] == "ORPHAN" || r[1] == "GO:dangling" {
+			t.Errorf("unexpected row %v in inner join", r)
+		}
+	}
+}
+
+func TestLeftJoin(t *testing.T) {
+	db := newJoinDB(t)
+	rs := mustQuery(t, db, `SELECT g.symbol, a.term FROM genes g
+		LEFT JOIN annos a ON g.id = a.gene_id ORDER BY g.symbol, a.term`)
+	if len(rs.Rows) != 5 {
+		t.Fatalf("left join rows = %d, want 5", len(rs.Rows))
+	}
+	foundOrphan := false
+	for _, r := range rs.Rows {
+		if r[0] == "ORPHAN" {
+			foundOrphan = true
+			if r[1] != nil {
+				t.Errorf("ORPHAN term = %v, want NULL", r[1])
+			}
+		}
+	}
+	if !foundOrphan {
+		t.Error("left join lost the unmatched gene")
+	}
+}
+
+func TestLeftOuterJoinSyntax(t *testing.T) {
+	db := newJoinDB(t)
+	rs := mustQuery(t, db, `SELECT g.symbol FROM genes g LEFT OUTER JOIN annos a ON g.id = a.gene_id WHERE a.term IS NULL`)
+	if len(rs.Rows) != 1 || rs.Rows[0][0] != "ORPHAN" {
+		t.Fatalf("anti-join = %v", rs.Rows)
+	}
+}
+
+func TestThreeWayJoin(t *testing.T) {
+	db := newJoinDB(t)
+	mustExec(t, db, "CREATE TABLE terms (term TEXT, name TEXT)")
+	mustExec(t, db, "INSERT INTO terms VALUES ('GO:0009116', 'nucleoside metabolism')")
+	mustExec(t, db, "INSERT INTO terms VALUES ('GO:0006915', 'apoptosis')")
+	rs := mustQuery(t, db, `SELECT g.symbol, t.name FROM genes g
+		JOIN annos a ON g.id = a.gene_id
+		JOIN terms t ON a.term = t.term
+		ORDER BY g.symbol`)
+	if len(rs.Rows) != 2 {
+		t.Fatalf("3-way join rows = %d, want 2", len(rs.Rows))
+	}
+	if rs.Rows[0][0] != "APRT" || rs.Rows[0][1] != "nucleoside metabolism" {
+		t.Errorf("row = %v", rs.Rows[0])
+	}
+}
+
+func TestJoinWithNonEquiResidual(t *testing.T) {
+	db := newJoinDB(t)
+	rs := mustQuery(t, db, `SELECT g.symbol, a.term FROM genes g
+		JOIN annos a ON g.id = a.gene_id AND a.term LIKE 'GO:0009%'`)
+	if len(rs.Rows) != 1 || rs.Rows[0][0] != "APRT" {
+		t.Fatalf("residual join = %v", rs.Rows)
+	}
+}
+
+func TestPureNestedLoopJoin(t *testing.T) {
+	// A join with no equi-condition falls back to nested loop.
+	db := newJoinDB(t)
+	rs := mustQuery(t, db, `SELECT g.symbol, a.term FROM genes g
+		JOIN annos a ON g.id < a.gene_id ORDER BY g.symbol, a.term`)
+	// gene_id=99 pairs with all 4 genes; others: gene 1 with gene_id 2,3; gene 2 with 3...
+	// g.id < a.gene_id pairs: (1,2),(1,3),(2,3),(3,99 dangling counts), etc.
+	if len(rs.Rows) == 0 {
+		t.Fatal("nested loop join returned nothing")
+	}
+	for _, r := range rs.Rows {
+		if r[0] == "ORPHAN" && r[1] != "GO:dangling" {
+			t.Errorf("ORPHAN should only pair with gene_id 99: %v", r)
+		}
+	}
+}
+
+func TestSelfJoin(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE edges (parent TEXT, child TEXT)")
+	mustExec(t, db, "INSERT INTO edges VALUES ('a','b'), ('b','c'), ('c','d')")
+	rs := mustQuery(t, db, `SELECT e1.parent, e2.child FROM edges e1
+		JOIN edges e2 ON e1.child = e2.parent ORDER BY e1.parent`)
+	if len(rs.Rows) != 2 {
+		t.Fatalf("self join rows = %d, want 2", len(rs.Rows))
+	}
+	if rs.Rows[0][0] != "a" || rs.Rows[0][1] != "c" {
+		t.Errorf("grandparent row = %v", rs.Rows[0])
+	}
+}
+
+func TestJoinGroupBy(t *testing.T) {
+	db := newJoinDB(t)
+	rs := mustQuery(t, db, `SELECT g.symbol, COUNT(a.term) AS n FROM genes g
+		LEFT JOIN annos a ON g.id = a.gene_id
+		GROUP BY g.symbol ORDER BY g.symbol`)
+	want := map[string]int64{"APRT": 2, "BRCA1": 1, "ORPHAN": 0, "TP53": 1}
+	if len(rs.Rows) != len(want) {
+		t.Fatalf("groups = %d, want %d", len(rs.Rows), len(want))
+	}
+	for _, r := range rs.Rows {
+		if want[r[0].(string)] != r[1].(int64) {
+			t.Errorf("%v count = %v, want %d", r[0], r[1], want[r[0].(string)])
+		}
+	}
+}
+
+func TestJoinAmbiguousColumn(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE a (x INTEGER)")
+	mustExec(t, db, "CREATE TABLE b (x INTEGER)")
+	mustExec(t, db, "INSERT INTO a VALUES (1)")
+	mustExec(t, db, "INSERT INTO b VALUES (1)")
+	if _, err := db.Query("SELECT x FROM a JOIN b ON a.x = b.x"); err == nil {
+		t.Fatal("ambiguous unqualified column must error")
+	}
+	rs := mustQuery(t, db, "SELECT a.x FROM a JOIN b ON a.x = b.x")
+	if len(rs.Rows) != 1 {
+		t.Fatalf("qualified column rows = %d", len(rs.Rows))
+	}
+}
+
+// TestJoinMatchesNestedLoopReference cross-checks the hash join against a
+// brute-force nested loop on randomized data.
+func TestJoinMatchesNestedLoopReference(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE l (k INTEGER, v TEXT)")
+	mustExec(t, db, "CREATE TABLE r (k INTEGER, w TEXT)")
+	type pair struct {
+		k int
+		s string
+	}
+	var left, right []pair
+	for i := 0; i < 60; i++ {
+		left = append(left, pair{i % 7, fmt.Sprintf("l%d", i)})
+		right = append(right, pair{i % 5, fmt.Sprintf("r%d", i)})
+	}
+	for _, p := range left {
+		mustExec(t, db, "INSERT INTO l VALUES (?, ?)", p.k, p.s)
+	}
+	for _, p := range right {
+		mustExec(t, db, "INSERT INTO r VALUES (?, ?)", p.k, p.s)
+	}
+	rs := mustQuery(t, db, "SELECT l.v, r.w FROM l JOIN r ON l.k = r.k ORDER BY l.v, r.w")
+
+	var want []string
+	for _, lp := range left {
+		for _, rp := range right {
+			if lp.k == rp.k {
+				want = append(want, lp.s+"|"+rp.s)
+			}
+		}
+	}
+	var got []string
+	for _, r := range rs.Rows {
+		got = append(got, r[0].(string)+"|"+r[1].(string))
+	}
+	sortStrings(got)
+	sortStrings(want)
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("hash join diverges from reference: %d vs %d rows", len(got), len(want))
+	}
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package sqldb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokSymbol
+	tokParam
+)
+
+type token struct {
+	kind tokenKind
+	text string // keyword text is upper-cased; idents keep original case
+	num  Value  // int64 or float64 for tokNumber
+	pos  int    // byte offset in input, for error messages
+}
+
+// keywords recognized by the parser. Identifiers matching these
+// (case-insensitively) lex as tokKeyword.
+var sqlKeywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "INSERT": true, "INTO": true,
+	"VALUES": true, "UPDATE": true, "SET": true, "DELETE": true, "CREATE": true,
+	"TABLE": true, "INDEX": true, "UNIQUE": true, "ON": true, "DROP": true,
+	"JOIN": true, "LEFT": true, "INNER": true, "OUTER": true, "AND": true,
+	"OR": true, "NOT": true, "NULL": true, "IS": true, "IN": true, "LIKE": true,
+	"BETWEEN": true, "AS": true, "DISTINCT": true, "ORDER": true, "BY": true,
+	"GROUP": true, "HAVING": true, "LIMIT": true, "OFFSET": true, "ASC": true,
+	"DESC": true, "PRIMARY": true, "KEY": true, "AUTOINCREMENT": true,
+	"DEFAULT": true, "INTEGER": true, "INT": true, "REAL": true, "FLOAT": true,
+	"TEXT": true, "VARCHAR": true, "BOOLEAN": true, "BOOL": true, "TRUE": true,
+	"FALSE": true, "BEGIN": true, "COMMIT": true, "ROLLBACK": true,
+	"USING": true, "HASH": true, "BTREE": true, "IF": true, "EXISTS": true,
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+	"TRANSACTION": true,
+}
+
+// lexer turns SQL text into tokens.
+type lexer struct {
+	src    string
+	pos    int
+	tokens []token
+}
+
+// lexSQL tokenizes the input or returns a descriptive error.
+func lexSQL(src string) ([]token, error) {
+	lx := &lexer{src: src}
+	if err := lx.run(); err != nil {
+		return nil, err
+	}
+	return lx.tokens, nil
+}
+
+func (lx *lexer) run() error {
+	n := 0 // parameter counter for bare '?'
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			lx.pos++
+		case c == '-' && lx.peekAt(1) == '-':
+			// Line comment.
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+		case isIdentStart(rune(c)):
+			lx.lexIdent()
+		case c >= '0' && c <= '9':
+			if err := lx.lexNumber(); err != nil {
+				return err
+			}
+		case c == '\'':
+			if err := lx.lexString(); err != nil {
+				return err
+			}
+		case c == '?':
+			lx.tokens = append(lx.tokens, token{kind: tokParam, text: strconv.Itoa(n), pos: lx.pos})
+			n++
+			lx.pos++
+		case c == '"':
+			if err := lx.lexQuotedIdent(); err != nil {
+				return err
+			}
+		default:
+			if ok := lx.lexSymbol(); !ok {
+				return fmt.Errorf("sqldb: unexpected character %q at offset %d", c, lx.pos)
+			}
+		}
+	}
+	lx.tokens = append(lx.tokens, token{kind: tokEOF, pos: lx.pos})
+	return nil
+}
+
+func (lx *lexer) peekAt(off int) byte {
+	if lx.pos+off < len(lx.src) {
+		return lx.src[lx.pos+off]
+	}
+	return 0
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (lx *lexer) lexIdent() {
+	start := lx.pos
+	for lx.pos < len(lx.src) && isIdentPart(rune(lx.src[lx.pos])) {
+		lx.pos++
+	}
+	word := lx.src[start:lx.pos]
+	upper := strings.ToUpper(word)
+	if sqlKeywords[upper] {
+		lx.tokens = append(lx.tokens, token{kind: tokKeyword, text: upper, pos: start})
+		return
+	}
+	lx.tokens = append(lx.tokens, token{kind: tokIdent, text: word, pos: start})
+}
+
+func (lx *lexer) lexQuotedIdent() error {
+	start := lx.pos
+	lx.pos++ // opening quote
+	var sb strings.Builder
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		if c == '"' {
+			if lx.peekAt(1) == '"' {
+				sb.WriteByte('"')
+				lx.pos += 2
+				continue
+			}
+			lx.pos++
+			lx.tokens = append(lx.tokens, token{kind: tokIdent, text: sb.String(), pos: start})
+			return nil
+		}
+		sb.WriteByte(c)
+		lx.pos++
+	}
+	return fmt.Errorf("sqldb: unterminated quoted identifier at offset %d", start)
+}
+
+func (lx *lexer) lexNumber() error {
+	start := lx.pos
+	sawDot, sawExp := false, false
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c >= '0' && c <= '9':
+			lx.pos++
+		case c == '.' && !sawDot && !sawExp:
+			sawDot = true
+			lx.pos++
+		case (c == 'e' || c == 'E') && !sawExp:
+			sawExp = true
+			lx.pos++
+			if lx.pos < len(lx.src) && (lx.src[lx.pos] == '+' || lx.src[lx.pos] == '-') {
+				lx.pos++
+			}
+		default:
+			goto done
+		}
+	}
+done:
+	text := lx.src[start:lx.pos]
+	if sawDot || sawExp {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return fmt.Errorf("sqldb: bad numeric literal %q at offset %d", text, start)
+		}
+		lx.tokens = append(lx.tokens, token{kind: tokNumber, text: text, num: f, pos: start})
+		return nil
+	}
+	i, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return fmt.Errorf("sqldb: bad integer literal %q at offset %d", text, start)
+	}
+	lx.tokens = append(lx.tokens, token{kind: tokNumber, text: text, num: i, pos: start})
+	return nil
+}
+
+func (lx *lexer) lexString() error {
+	start := lx.pos
+	lx.pos++ // opening quote
+	var sb strings.Builder
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		if c == '\'' {
+			if lx.peekAt(1) == '\'' {
+				sb.WriteByte('\'')
+				lx.pos += 2
+				continue
+			}
+			lx.pos++
+			lx.tokens = append(lx.tokens, token{kind: tokString, text: sb.String(), pos: start})
+			return nil
+		}
+		sb.WriteByte(c)
+		lx.pos++
+	}
+	return fmt.Errorf("sqldb: unterminated string literal at offset %d", start)
+}
+
+// twoCharSymbols in match priority order.
+var twoCharSymbols = []string{"<>", "<=", ">=", "!=", "||"}
+
+func (lx *lexer) lexSymbol() bool {
+	rest := lx.src[lx.pos:]
+	for _, s := range twoCharSymbols {
+		if strings.HasPrefix(rest, s) {
+			text := s
+			if s == "!=" {
+				text = "<>"
+			}
+			lx.tokens = append(lx.tokens, token{kind: tokSymbol, text: text, pos: lx.pos})
+			lx.pos += 2
+			return true
+		}
+	}
+	switch rest[0] {
+	case '(', ')', ',', '=', '<', '>', '+', '-', '*', '/', '%', '.', ';':
+		lx.tokens = append(lx.tokens, token{kind: tokSymbol, text: string(rest[0]), pos: lx.pos})
+		lx.pos++
+		return true
+	}
+	return false
+}

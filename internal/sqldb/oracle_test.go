@@ -1,0 +1,254 @@
+package sqldb
+
+// Differential testing: random WHERE predicates executed through the full
+// SQL pipeline are compared against a trivially-correct in-memory filter.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+type oracleRow struct {
+	id int64
+	n  Value // int64 or nil
+	s  Value // string or nil
+	f  Value // float64 or nil
+}
+
+func buildOracleDB(t *testing.T, rng *rand.Rand, rows int) (*DB, []oracleRow) {
+	t.Helper()
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE t (id INTEGER PRIMARY KEY, n INTEGER, s TEXT, f REAL)")
+	if rng.Intn(2) == 0 {
+		mustExec(t, db, "CREATE INDEX idx_n ON t (n)")
+	}
+	var data []oracleRow
+	words := []string{"alpha", "beta", "gamma", "delta", "", "alphabet"}
+	for i := 0; i < rows; i++ {
+		r := oracleRow{id: int64(i)}
+		if rng.Intn(5) > 0 {
+			r.n = int64(rng.Intn(10))
+		}
+		if rng.Intn(5) > 0 {
+			r.s = words[rng.Intn(len(words))]
+		}
+		if rng.Intn(5) > 0 {
+			r.f = float64(rng.Intn(20)) / 4
+		}
+		data = append(data, r)
+		mustExec(t, db, "INSERT INTO t VALUES (?, ?, ?, ?)", r.id, r.n, r.s, r.f)
+	}
+	return db, data
+}
+
+// predicate is a randomly generated conjunct with both SQL text and a
+// reference evaluation. The reference returns true/false/unknown(nil).
+type predicate struct {
+	sql string
+	ref func(r oracleRow) Value
+}
+
+func randPredicate(rng *rand.Rand) predicate {
+	switch rng.Intn(6) {
+	case 0: // numeric comparison on n
+		k := int64(rng.Intn(10))
+		ops := []struct {
+			sym string
+			fn  func(a, b int64) bool
+		}{
+			{"=", func(a, b int64) bool { return a == b }},
+			{"<>", func(a, b int64) bool { return a != b }},
+			{"<", func(a, b int64) bool { return a < b }},
+			{">=", func(a, b int64) bool { return a >= b }},
+		}
+		op := ops[rng.Intn(len(ops))]
+		return predicate{
+			sql: fmt.Sprintf("n %s %d", op.sym, k),
+			ref: func(r oracleRow) Value {
+				if r.n == nil {
+					return nil
+				}
+				return op.fn(r.n.(int64), k)
+			},
+		}
+	case 1: // IS NULL family
+		col := []string{"n", "s", "f"}[rng.Intn(3)]
+		neg := rng.Intn(2) == 0
+		sql := col + " IS NULL"
+		if neg {
+			sql = col + " IS NOT NULL"
+		}
+		return predicate{
+			sql: sql,
+			ref: func(r oracleRow) Value {
+				v := map[string]Value{"n": r.n, "s": r.s, "f": r.f}[col]
+				return (v == nil) != neg
+			},
+		}
+	case 2: // LIKE on s
+		pat := []string{"a%", "%a%", "_eta", "%t%", "alpha"}[rng.Intn(5)]
+		return predicate{
+			sql: fmt.Sprintf("s LIKE '%s'", pat),
+			ref: func(r oracleRow) Value {
+				if r.s == nil {
+					return nil
+				}
+				return likeMatch(r.s.(string), pat)
+			},
+		}
+	case 3: // BETWEEN on f
+		lo := float64(rng.Intn(10)) / 4
+		hi := lo + float64(rng.Intn(8))/4
+		return predicate{
+			sql: fmt.Sprintf("f BETWEEN %g AND %g", lo, hi),
+			ref: func(r oracleRow) Value {
+				if r.f == nil {
+					return nil
+				}
+				x := r.f.(float64)
+				return x >= lo && x <= hi
+			},
+		}
+	case 4: // IN list on n
+		a, b := int64(rng.Intn(10)), int64(rng.Intn(10))
+		return predicate{
+			sql: fmt.Sprintf("n IN (%d, %d)", a, b),
+			ref: func(r oracleRow) Value {
+				if r.n == nil {
+					return nil
+				}
+				x := r.n.(int64)
+				return x == a || x == b
+			},
+		}
+	default: // arithmetic comparison
+		k := int64(rng.Intn(15))
+		return predicate{
+			sql: fmt.Sprintf("n + n > %d", k),
+			ref: func(r oracleRow) Value {
+				if r.n == nil {
+					return nil
+				}
+				return r.n.(int64)*2 > k
+			},
+		}
+	}
+}
+
+func combineRef(op string, a, b Value) Value {
+	ab, anull := toBool(a)
+	bb, bnull := toBool(b)
+	if op == "AND" {
+		switch {
+		case !anull && !ab, !bnull && !bb:
+			return false
+		case anull || bnull:
+			return nil
+		default:
+			return true
+		}
+	}
+	switch {
+	case !anull && ab, !bnull && bb:
+		return true
+	case anull || bnull:
+		return nil
+	default:
+		return false
+	}
+}
+
+func TestWherePredicatesMatchOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(20040314))
+	for trial := 0; trial < 40; trial++ {
+		db, data := buildOracleDB(t, rng, 80)
+		for q := 0; q < 10; q++ {
+			p1, p2 := randPredicate(rng), randPredicate(rng)
+			op := []string{"AND", "OR"}[rng.Intn(2)]
+			negate := rng.Intn(3) == 0
+			where := fmt.Sprintf("(%s) %s (%s)", p1.sql, op, p2.sql)
+			ref := func(r oracleRow) Value { return combineRef(op, p1.ref(r), p2.ref(r)) }
+			if negate {
+				where = "NOT (" + where + ")"
+				inner := ref
+				ref = func(r oracleRow) Value {
+					v := inner(r)
+					b, isNull := toBool(v)
+					if isNull {
+						return nil
+					}
+					return !b
+				}
+			}
+
+			rs, err := db.Query("SELECT id FROM t WHERE " + where + " ORDER BY id")
+			if err != nil {
+				t.Fatalf("trial %d query %q: %v", trial, where, err)
+			}
+			var want []string
+			for _, r := range data {
+				v := ref(r)
+				if b, isNull := toBool(v); !isNull && b {
+					want = append(want, fmt.Sprint(r.id))
+				}
+			}
+			var got []string
+			for _, row := range rs.Rows {
+				got = append(got, fmt.Sprint(row[0]))
+			}
+			if strings.Join(got, ",") != strings.Join(want, ",") {
+				t.Fatalf("trial %d WHERE %s:\n got %v\nwant %v", trial, where, got, want)
+			}
+		}
+	}
+}
+
+func TestAggregatesMatchOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	db, data := buildOracleDB(t, rng, 200)
+	rs := mustQuery(t, db, "SELECT COUNT(*), COUNT(n), SUM(n), MIN(f), MAX(f) FROM t")
+	row := rs.Rows[0]
+
+	var cnt, cntN, sum int64
+	var minF, maxF Value
+	for _, r := range data {
+		cnt++
+		if r.n != nil {
+			cntN++
+			sum += r.n.(int64)
+		}
+		if r.f != nil {
+			if minF == nil || r.f.(float64) < minF.(float64) {
+				minF = r.f
+			}
+			if maxF == nil || r.f.(float64) > maxF.(float64) {
+				maxF = r.f
+			}
+		}
+	}
+	if row[0] != cnt || row[1] != cntN || row[2] != sum {
+		t.Fatalf("counts: got %v/%v/%v want %d/%d/%d", row[0], row[1], row[2], cnt, cntN, sum)
+	}
+	if Compare(row[3], minF) != 0 || Compare(row[4], maxF) != 0 {
+		t.Fatalf("min/max: got %v/%v want %v/%v", row[3], row[4], minF, maxF)
+	}
+
+	// GROUP BY n cross-check.
+	rs = mustQuery(t, db, "SELECT n, COUNT(*) FROM t WHERE n IS NOT NULL GROUP BY n ORDER BY n")
+	wantGroups := map[int64]int64{}
+	for _, r := range data {
+		if r.n != nil {
+			wantGroups[r.n.(int64)]++
+		}
+	}
+	if len(rs.Rows) != len(wantGroups) {
+		t.Fatalf("groups = %d, want %d", len(rs.Rows), len(wantGroups))
+	}
+	for _, row := range rs.Rows {
+		if wantGroups[row[0].(int64)] != row[1].(int64) {
+			t.Fatalf("group %v count %v, want %d", row[0], row[1], wantGroups[row[0].(int64)])
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package sqldb
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// snapshot is the serializable on-disk image of a database.
+type snapshot struct {
+	Version int
+	Tables  []tableSnapshot
+}
+
+type tableSnapshot struct {
+	Name    string
+	Columns []Column
+	NextRow int64
+	NextSeq int64
+	RowIDs  []int64
+	Rows    [][]Value
+	Indexes []indexSnapshot
+}
+
+type indexSnapshot struct {
+	Name   string
+	Column string
+	Kind   IndexKind
+	Unique bool
+}
+
+const snapshotVersion = 1
+
+func init() {
+	// Register the concrete types stored inside Value (any) cells so the
+	// gob codec can round-trip them.
+	gob.Register(int64(0))
+	gob.Register(float64(0))
+	gob.Register("")
+	gob.Register(false)
+}
+
+// Save writes a consistent snapshot of the whole database to path. The file
+// is written atomically via a temporary file and rename.
+func (db *DB) Save(path string) error {
+	db.mu.RLock()
+	snap := db.buildSnapshot()
+	db.mu.RUnlock()
+
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("sqldb: save: %w", err)
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(snap); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("sqldb: save: %w", err)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("sqldb: save: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("sqldb: save: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("sqldb: save: %w", err)
+	}
+	return nil
+}
+
+func (db *DB) buildSnapshot() *snapshot {
+	snap := &snapshot{Version: snapshotVersion}
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		t := db.tables[n]
+		ts := tableSnapshot{
+			Name:    t.Name,
+			Columns: t.Schema.Columns,
+			NextRow: t.nextRow,
+			NextSeq: t.nextSeq,
+		}
+		ids := make([]int64, 0, len(t.rows))
+		for id := range t.rows {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			ts.RowIDs = append(ts.RowIDs, id)
+			ts.Rows = append(ts.Rows, t.rows[id])
+		}
+		for _, idx := range t.Indexes() {
+			if idx.Name == pkIndexName(t.Name) {
+				continue // recreated automatically
+			}
+			ts.Indexes = append(ts.Indexes, indexSnapshot{
+				Name: idx.Name, Column: idx.Column, Kind: idx.Kind, Unique: idx.Unique,
+			})
+		}
+		snap.Tables = append(snap.Tables, ts)
+	}
+	return snap
+}
+
+// Load reads a snapshot file previously written by Save and returns a new
+// database populated with its contents.
+func Load(path string) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("sqldb: load: %w", err)
+	}
+	defer f.Close()
+	var snap snapshot
+	dec := gob.NewDecoder(bufio.NewReaderSize(f, 1<<20))
+	if err := dec.Decode(&snap); err != nil {
+		return nil, fmt.Errorf("sqldb: load: corrupt snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("sqldb: load: unsupported snapshot version %d", snap.Version)
+	}
+	db := NewDB()
+	for _, ts := range snap.Tables {
+		schema, err := NewSchema(ts.Columns)
+		if err != nil {
+			return nil, fmt.Errorf("sqldb: load: table %s: %w", ts.Name, err)
+		}
+		t := NewTable(ts.Name, schema)
+		t.nextRow = ts.NextRow
+		t.nextSeq = ts.NextSeq
+		for i, id := range ts.RowIDs {
+			row := ts.Rows[i]
+			if len(row) != len(schema.Columns) {
+				return nil, fmt.Errorf("sqldb: load: table %s row %d has %d values, want %d", ts.Name, id, len(row), len(schema.Columns))
+			}
+			t.rows[id] = row
+			for _, idx := range t.indexes {
+				idx.insert(row[idx.Col], id)
+			}
+		}
+		for _, is := range ts.Indexes {
+			if _, err := t.CreateIndex(is.Name, is.Column, is.Kind, is.Unique); err != nil {
+				return nil, fmt.Errorf("sqldb: load: rebuild index %s: %w", is.Name, err)
+			}
+		}
+		db.tables[toLowerASCII(ts.Name)] = t
+	}
+	return db, nil
+}
+
+func toLowerASCII(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,116 @@
+package sqldb
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.snap")
+
+	db := NewDB()
+	mustExec(t, db, `CREATE TABLE src (id INTEGER PRIMARY KEY AUTOINCREMENT, name TEXT NOT NULL, weight REAL, active BOOLEAN, note TEXT)`)
+	mustExec(t, db, "CREATE INDEX idx_name ON src (name)")
+	mustExec(t, db, "CREATE INDEX idx_weight ON src (weight) USING BTREE")
+	mustExec(t, db, "INSERT INTO src (name, weight, active, note) VALUES ('a', 1.5, TRUE, NULL)")
+	mustExec(t, db, "INSERT INTO src (name, weight, active, note) VALUES ('b', -2.25, FALSE, 'hello')")
+	mustExec(t, db, "INSERT INTO src (name, weight, active, note) VALUES ('c', NULL, NULL, 'x')")
+
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rs := mustQuery(t, loaded, "SELECT id, name, weight, active, note FROM src ORDER BY id")
+	if len(rs.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rs.Rows))
+	}
+	if rs.Rows[0][1] != "a" || rs.Rows[0][2] != 1.5 || rs.Rows[0][3] != true || rs.Rows[0][4] != nil {
+		t.Errorf("row 0 = %v", rs.Rows[0])
+	}
+	if rs.Rows[1][2] != -2.25 || rs.Rows[1][3] != false {
+		t.Errorf("row 1 = %v", rs.Rows[1])
+	}
+
+	// Indexes work after load.
+	rs = mustQuery(t, loaded, "SELECT id FROM src WHERE name = 'b'")
+	if len(rs.Rows) != 1 || rs.Rows[0][0] != int64(2) {
+		t.Fatalf("index lookup after load = %v", rs.Rows)
+	}
+
+	// AUTOINCREMENT sequence resumes.
+	res, err := loaded.Exec("INSERT INTO src (name) VALUES ('d')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LastInsertID != 4 {
+		t.Errorf("sequence after load = %d, want 4", res.LastInsertID)
+	}
+
+	// Unique constraint still enforced after load.
+	if _, err := loaded.Exec("INSERT INTO src (id, name) VALUES (1, 'dup')"); err == nil {
+		t.Fatal("primary key uniqueness lost after load")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope.snap")); err == nil {
+		t.Fatal("expected error for missing snapshot")
+	}
+}
+
+func TestLoadCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.snap")
+	if err := os.WriteFile(path, []byte("this is not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("expected error for corrupt snapshot")
+	}
+}
+
+func TestSaveOverwritesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.snap")
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE t (n INTEGER)")
+	mustExec(t, db, "INSERT INTO t VALUES (1)")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, "INSERT INTO t VALUES (2)")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := mustQuery(t, loaded, "SELECT COUNT(*) FROM t")
+	if rs.Rows[0][0] != int64(2) {
+		t.Fatalf("count = %v, want 2", rs.Rows[0][0])
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Error("temporary file left behind")
+	}
+}
+
+func TestSaveEmptyDB(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.snap")
+	db := NewDB()
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(loaded.TableNames()); n != 0 {
+		t.Fatalf("empty snapshot loaded %d tables", n)
+	}
+}

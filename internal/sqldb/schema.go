@@ -1,0 +1,86 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes one column of a table.
+type Column struct {
+	Name    string
+	Type    Type
+	NotNull bool
+	// PrimaryKey marks the column as the table's primary key. Primary key
+	// columns are implicitly NOT NULL and receive a unique index.
+	PrimaryKey bool
+	// AutoIncrement assigns 1,2,3,... when the inserted value is NULL.
+	// Only valid on INTEGER primary key columns.
+	AutoIncrement bool
+	// Default is used when an INSERT omits the column. nil means NULL.
+	Default Value
+}
+
+// Schema is the ordered column list of a table.
+type Schema struct {
+	Columns []Column
+	byName  map[string]int
+}
+
+// NewSchema builds a schema and validates column names for uniqueness.
+func NewSchema(cols []Column) (*Schema, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("sqldb: table must have at least one column")
+	}
+	s := &Schema{Columns: cols, byName: make(map[string]int, len(cols))}
+	pk := 0
+	for i, c := range cols {
+		name := strings.ToLower(c.Name)
+		if name == "" {
+			return nil, fmt.Errorf("sqldb: empty column name at position %d", i)
+		}
+		if _, dup := s.byName[name]; dup {
+			return nil, fmt.Errorf("sqldb: duplicate column %q", c.Name)
+		}
+		s.byName[name] = i
+		if c.PrimaryKey {
+			pk++
+			if c.AutoIncrement && c.Type != TypeInt {
+				return nil, fmt.Errorf("sqldb: AUTOINCREMENT requires INTEGER column, got %s", c.Type)
+			}
+		} else if c.AutoIncrement {
+			return nil, fmt.Errorf("sqldb: AUTOINCREMENT column %q must be PRIMARY KEY", c.Name)
+		}
+	}
+	if pk > 1 {
+		return nil, fmt.Errorf("sqldb: composite primary keys are not supported")
+	}
+	return s, nil
+}
+
+// ColumnIndex returns the position of the named column (case-insensitive),
+// or -1 when absent.
+func (s *Schema) ColumnIndex(name string) int {
+	if i, ok := s.byName[strings.ToLower(name)]; ok {
+		return i
+	}
+	return -1
+}
+
+// PrimaryKeyIndex returns the position of the primary key column, or -1.
+func (s *Schema) PrimaryKeyIndex() int {
+	for i, c := range s.Columns {
+		if c.PrimaryKey {
+			return i
+		}
+	}
+	return -1
+}
+
+// Names returns the column names in declaration order.
+func (s *Schema) Names() []string {
+	names := make([]string, len(s.Columns))
+	for i, c := range s.Columns {
+		names[i] = c.Name
+	}
+	return names
+}

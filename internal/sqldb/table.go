@@ -1,0 +1,279 @@
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Table is the in-memory heap storage for one relation plus its indexes.
+// Rows are addressed by a stable, monotonically increasing row ID so that
+// indexes can reference rows without caring about physical position.
+type Table struct {
+	Name    string
+	Schema  *Schema
+	rows    map[int64][]Value
+	nextRow int64
+	nextSeq int64 // AUTOINCREMENT counter
+	indexes map[string]*Index
+}
+
+// NewTable creates an empty table. A unique index is created automatically
+// for the primary key column, if any.
+func NewTable(name string, schema *Schema) *Table {
+	t := &Table{
+		Name:    name,
+		Schema:  schema,
+		rows:    make(map[int64][]Value),
+		indexes: make(map[string]*Index),
+	}
+	if pk := schema.PrimaryKeyIndex(); pk >= 0 {
+		idx := newIndex(pkIndexName(name), schema.Columns[pk].Name, pk, IndexHash, true)
+		t.indexes[idx.Name] = idx
+	}
+	return t
+}
+
+func pkIndexName(table string) string { return "__pk_" + table }
+
+// RowCount returns the number of live rows.
+func (t *Table) RowCount() int { return len(t.rows) }
+
+// Insert validates, coerces and stores a full-width row, returning its row
+// ID. AUTOINCREMENT columns receive the next sequence value when NULL.
+func (t *Table) Insert(vals []Value) (int64, error) {
+	if len(vals) != len(t.Schema.Columns) {
+		return 0, fmt.Errorf("sqldb: table %s expects %d values, got %d", t.Name, len(t.Schema.Columns), len(vals))
+	}
+	row := make([]Value, len(vals))
+	for i, col := range t.Schema.Columns {
+		v := vals[i]
+		if v == nil && col.AutoIncrement {
+			t.nextSeq++
+			v = t.nextSeq
+		}
+		if v == nil && col.Default != nil {
+			v = col.Default
+		}
+		if v == nil {
+			if col.NotNull || col.PrimaryKey {
+				return 0, fmt.Errorf("sqldb: NULL in NOT NULL column %s.%s", t.Name, col.Name)
+			}
+			row[i] = nil
+			continue
+		}
+		cv, err := Coerce(v, col.Type)
+		if err != nil {
+			return 0, fmt.Errorf("sqldb: column %s.%s: %w", t.Name, col.Name, err)
+		}
+		if col.AutoIncrement {
+			if n, ok := cv.(int64); ok && n > t.nextSeq {
+				t.nextSeq = n
+			}
+		}
+		row[i] = cv
+	}
+	// Unique-index violation check before any mutation.
+	for _, idx := range t.indexes {
+		if !idx.Unique {
+			continue
+		}
+		key := row[idx.Col]
+		if key == nil {
+			continue // SQL: NULLs never collide
+		}
+		if idx.containsKey(key) {
+			return 0, &UniqueError{Table: t.Name, Column: idx.Column, Value: key}
+		}
+	}
+	t.nextRow++
+	id := t.nextRow
+	t.rows[id] = row
+	for _, idx := range t.indexes {
+		idx.insert(row[idx.Col], id)
+	}
+	return id, nil
+}
+
+// UniqueError reports a uniqueness violation on insert or update.
+type UniqueError struct {
+	Table  string
+	Column string
+	Value  Value
+}
+
+func (e *UniqueError) Error() string {
+	return fmt.Sprintf("sqldb: UNIQUE constraint violated: %s.%s = %s", e.Table, e.Column, FormatValue(e.Value))
+}
+
+// Get returns the row stored under id, or nil when absent.
+func (t *Table) Get(id int64) []Value {
+	return t.rows[id]
+}
+
+// Delete removes the row with the given ID, maintaining all indexes.
+// It reports whether a row was removed.
+func (t *Table) Delete(id int64) bool {
+	row, ok := t.rows[id]
+	if !ok {
+		return false
+	}
+	for _, idx := range t.indexes {
+		idx.delete(row[idx.Col], id)
+	}
+	delete(t.rows, id)
+	return true
+}
+
+// Update replaces the row with the given ID with new values (already
+// validated/coerced by the caller via coerceRow) and maintains indexes.
+func (t *Table) Update(id int64, newRow []Value) error {
+	old, ok := t.rows[id]
+	if !ok {
+		return fmt.Errorf("sqldb: row %d not found in %s", id, t.Name)
+	}
+	for _, idx := range t.indexes {
+		if !idx.Unique {
+			continue
+		}
+		nk := newRow[idx.Col]
+		if nk == nil {
+			continue
+		}
+		if Equal(old[idx.Col], nk) {
+			continue // key unchanged
+		}
+		if idx.containsKey(nk) {
+			return &UniqueError{Table: t.Name, Column: idx.Column, Value: nk}
+		}
+	}
+	for _, idx := range t.indexes {
+		if Compare(old[idx.Col], newRow[idx.Col]) != 0 {
+			idx.delete(old[idx.Col], id)
+			idx.insert(newRow[idx.Col], id)
+		}
+	}
+	t.rows[id] = newRow
+	return nil
+}
+
+// coerceRow validates a candidate full row against schema constraints
+// (type coercion and NOT NULL), returning the canonical row.
+func (t *Table) coerceRow(vals []Value) ([]Value, error) {
+	row := make([]Value, len(vals))
+	for i, col := range t.Schema.Columns {
+		v := vals[i]
+		if v == nil {
+			if col.NotNull || col.PrimaryKey {
+				return nil, fmt.Errorf("sqldb: NULL in NOT NULL column %s.%s", t.Name, col.Name)
+			}
+			continue
+		}
+		cv, err := Coerce(v, col.Type)
+		if err != nil {
+			return nil, fmt.Errorf("sqldb: column %s.%s: %w", t.Name, col.Name, err)
+		}
+		row[i] = cv
+	}
+	return row, nil
+}
+
+// Scan visits all rows in ascending row-ID order until fn returns false.
+// Row-ID order makes scans deterministic, which matters for reproducible
+// query output and for the test suite.
+func (t *Table) Scan(fn func(id int64, row []Value) bool) {
+	ids := make([]int64, 0, len(t.rows))
+	for id := range t.rows {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if !fn(id, t.rows[id]) {
+			return
+		}
+	}
+}
+
+// CreateIndex builds a secondary index over one column, populating it from
+// existing rows. Unique indexes fail if existing data violates uniqueness.
+func (t *Table) CreateIndex(name, column string, kind IndexKind, unique bool) (*Index, error) {
+	if _, dup := t.indexes[name]; dup {
+		return nil, fmt.Errorf("sqldb: index %q already exists on %s", name, t.Name)
+	}
+	col := t.Schema.ColumnIndex(column)
+	if col < 0 {
+		return nil, fmt.Errorf("sqldb: no column %q in table %s", column, t.Name)
+	}
+	idx := newIndex(name, t.Schema.Columns[col].Name, col, kind, unique)
+	var err error
+	t.Scan(func(id int64, row []Value) bool {
+		key := row[col]
+		if unique && key != nil && idx.containsKey(key) {
+			err = &UniqueError{Table: t.Name, Column: column, Value: key}
+			return false
+		}
+		idx.insert(key, id)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.indexes[name] = idx
+	return idx, nil
+}
+
+// DropIndex removes a secondary index by name.
+func (t *Table) DropIndex(name string) error {
+	if _, ok := t.indexes[name]; !ok {
+		return fmt.Errorf("sqldb: no index %q on table %s", name, t.Name)
+	}
+	delete(t.indexes, name)
+	return nil
+}
+
+// IndexOn returns an index whose key column matches the given column index,
+// preferring hash indexes for equality lookups. Returns nil when none exists.
+func (t *Table) IndexOn(col int) *Index {
+	var best *Index
+	for _, idx := range t.indexes {
+		if idx.Col != col {
+			continue
+		}
+		if idx.Kind == IndexHash {
+			return idx
+		}
+		best = idx
+	}
+	return best
+}
+
+// BTreeIndexOn returns a B-tree index on the column, for range scans.
+func (t *Table) BTreeIndexOn(col int) *Index {
+	for _, idx := range t.indexes {
+		if idx.Col == col && idx.Kind == IndexBTree {
+			return idx
+		}
+	}
+	return nil
+}
+
+// Indexes returns the table's indexes in name order.
+func (t *Table) Indexes() []*Index {
+	names := make([]string, 0, len(t.indexes))
+	for n := range t.indexes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*Index, len(names))
+	for i, n := range names {
+		out[i] = t.indexes[n]
+	}
+	return out
+}
+
+// Truncate removes all rows but keeps schema and index definitions.
+func (t *Table) Truncate() {
+	t.rows = make(map[int64][]Value)
+	for _, idx := range t.indexes {
+		idx.reset()
+	}
+}

@@ -1,0 +1,184 @@
+package sqldb
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestTxCommit(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+	tx := db.Begin()
+	if _, err := tx.Exec("INSERT INTO t VALUES (1, 'a')"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec("INSERT INTO t VALUES (2, 'b')"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	rs := mustQuery(t, db, "SELECT COUNT(*) FROM t")
+	if rs.Rows[0][0] != int64(2) {
+		t.Fatalf("count after commit = %v", rs.Rows[0][0])
+	}
+}
+
+func TestTxRollbackInsert(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+	mustExec(t, db, "INSERT INTO t VALUES (1, 'keep')")
+	tx := db.Begin()
+	if _, err := tx.Exec("INSERT INTO t VALUES (2, 'discard')"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	rs := mustQuery(t, db, "SELECT COUNT(*) FROM t")
+	if rs.Rows[0][0] != int64(1) {
+		t.Fatalf("count after rollback = %v, want 1", rs.Rows[0][0])
+	}
+	// The primary-key index must have forgotten id=2.
+	mustExec(t, db, "INSERT INTO t VALUES (2, 'again')")
+}
+
+func TestTxRollbackUpdateDelete(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+	mustExec(t, db, "CREATE INDEX idx_v ON t (v)")
+	mustExec(t, db, "INSERT INTO t VALUES (1, 'one'), (2, 'two'), (3, 'three')")
+
+	tx := db.Begin()
+	if _, err := tx.Exec("UPDATE t SET v = 'ONE' WHERE id = 1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec("DELETE FROM t WHERE id = 2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+
+	rs := mustQuery(t, db, "SELECT v FROM t ORDER BY id")
+	if len(rs.Rows) != 3 {
+		t.Fatalf("rows after rollback = %d, want 3", len(rs.Rows))
+	}
+	if rs.Rows[0][0] != "one" || rs.Rows[1][0] != "two" {
+		t.Fatalf("values after rollback = %v", rs.Rows)
+	}
+	// Secondary index consistency after rollback.
+	rs = mustQuery(t, db, "SELECT id FROM t WHERE v = 'one'")
+	if len(rs.Rows) != 1 || rs.Rows[0][0] != int64(1) {
+		t.Fatalf("index lookup after rollback = %v", rs.Rows)
+	}
+	rs = mustQuery(t, db, "SELECT id FROM t WHERE v = 'ONE'")
+	if len(rs.Rows) != 0 {
+		t.Fatalf("stale index entry after rollback: %v", rs.Rows)
+	}
+}
+
+func TestTxRollbackDDL(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE keepme (id INTEGER)")
+	tx := db.Begin()
+	if _, err := tx.Exec("CREATE TABLE temp (id INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec("DROP TABLE keepme"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec("INSERT INTO temp VALUES (1)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query("SELECT * FROM temp"); err == nil {
+		t.Fatal("temp table should not survive rollback")
+	}
+	if _, err := db.Query("SELECT * FROM keepme"); err != nil {
+		t.Fatalf("keepme should be restored: %v", err)
+	}
+}
+
+func TestTxDoubleFinish(t *testing.T) {
+	db := NewDB()
+	tx := db.Begin()
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err == nil {
+		t.Fatal("double commit should fail")
+	}
+	if err := tx.Rollback(); err == nil {
+		t.Fatal("rollback after commit should fail")
+	}
+	if _, err := tx.Exec("CREATE TABLE t (x INTEGER)"); err == nil {
+		t.Fatal("exec after commit should fail")
+	}
+}
+
+func TestTxSerializesWriters(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE t (n INTEGER)")
+	tx := db.Begin()
+	done := make(chan struct{})
+	go func() {
+		// This writer must block until the transaction commits.
+		db.Exec("INSERT INTO t VALUES (1)")
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("concurrent writer did not block on open transaction")
+	default:
+	}
+	if _, err := tx.Exec("INSERT INTO t VALUES (2)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	rs := mustQuery(t, db, "SELECT COUNT(*) FROM t")
+	if rs.Rows[0][0] != int64(2) {
+		t.Fatalf("count = %v, want 2", rs.Rows[0][0])
+	}
+}
+
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE t (id INTEGER PRIMARY KEY AUTOINCREMENT, n INTEGER)")
+	var wg sync.WaitGroup
+	const writers, readers, perWriter = 4, 4, 100
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if _, err := db.Exec("INSERT INTO t (n) VALUES (?)", w*1000+i); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, err := db.Query("SELECT COUNT(*) FROM t"); err != nil {
+					t.Errorf("reader: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	rs := mustQuery(t, db, "SELECT COUNT(*) FROM t")
+	if rs.Rows[0][0] != int64(writers*perWriter) {
+		t.Fatalf("final count = %v, want %d", rs.Rows[0][0], writers*perWriter)
+	}
+}

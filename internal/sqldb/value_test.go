@@ -1,0 +1,245 @@
+package sqldb
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTypeOf(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want Type
+	}{
+		{nil, TypeNull},
+		{int64(1), TypeInt},
+		{1.5, TypeFloat},
+		{"x", TypeText},
+		{true, TypeBool},
+	}
+	for _, c := range cases {
+		if got := TypeOf(c.v); got != c.want {
+			t.Errorf("TypeOf(%v) = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	names := map[Type]string{
+		TypeNull: "NULL", TypeInt: "INTEGER", TypeFloat: "REAL",
+		TypeText: "TEXT", TypeBool: "BOOLEAN",
+	}
+	for typ, want := range names {
+		if got := typ.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", typ, got, want)
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	cases := []struct {
+		in   any
+		want Value
+	}{
+		{int(7), int64(7)},
+		{int8(-3), int64(-3)},
+		{int16(300), int64(300)},
+		{int32(1 << 20), int64(1 << 20)},
+		{uint(9), int64(9)},
+		{uint8(255), int64(255)},
+		{uint16(65535), int64(65535)},
+		{uint32(1 << 30), int64(1 << 30)},
+		{uint64(42), int64(42)},
+		{float32(1.5), float64(1.5)},
+		{[]byte("abc"), "abc"},
+		{"s", "s"},
+		{true, true},
+		{nil, nil},
+	}
+	for _, c := range cases {
+		got, err := Normalize(c.in)
+		if err != nil {
+			t.Fatalf("Normalize(%v): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Errorf("Normalize(%v) = %v (%T), want %v (%T)", c.in, got, got, c.want, c.want)
+		}
+	}
+}
+
+func TestNormalizeOverflow(t *testing.T) {
+	if _, err := Normalize(uint64(math.MaxUint64)); err == nil {
+		t.Fatal("expected overflow error for MaxUint64")
+	}
+	if _, err := Normalize(struct{}{}); err == nil {
+		t.Fatal("expected error for unsupported type")
+	}
+}
+
+func TestCoerce(t *testing.T) {
+	cases := []struct {
+		v    Value
+		t    Type
+		want Value
+		ok   bool
+	}{
+		{nil, TypeInt, nil, true},
+		{int64(5), TypeInt, int64(5), true},
+		{float64(5), TypeInt, int64(5), true},
+		{float64(5.5), TypeInt, nil, false},
+		{true, TypeInt, int64(1), true},
+		{false, TypeInt, int64(0), true},
+		{"42", TypeInt, int64(42), true},
+		{" 42 ", TypeInt, int64(42), true},
+		{"x", TypeInt, nil, false},
+		{int64(3), TypeFloat, float64(3), true},
+		{"2.5", TypeFloat, 2.5, true},
+		{int64(7), TypeText, "7", true},
+		{2.5, TypeText, "2.5", true},
+		{true, TypeText, "true", true},
+		{false, TypeText, "false", true},
+		{int64(0), TypeBool, false, true},
+		{int64(2), TypeBool, true, true},
+		{"yes", TypeBool, nil, false},
+	}
+	for _, c := range cases {
+		got, err := Coerce(c.v, c.t)
+		if c.ok && err != nil {
+			t.Errorf("Coerce(%v, %v): unexpected error %v", c.v, c.t, err)
+			continue
+		}
+		if !c.ok {
+			if err == nil {
+				t.Errorf("Coerce(%v, %v): expected error, got %v", c.v, c.t, got)
+			}
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Coerce(%v, %v) = %v, want %v", c.v, c.t, got, c.want)
+		}
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	// NULL < everything; within types natural order.
+	ordered := []Value{nil, int64(-5), int64(0), 0.5, int64(1), 2.5, int64(3)}
+	for i := 0; i < len(ordered); i++ {
+		for j := 0; j < len(ordered); j++ {
+			got := Compare(ordered[i], ordered[j])
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if sign(got) != want {
+				t.Errorf("Compare(%v, %v) = %d, want sign %d", ordered[i], ordered[j], got, want)
+			}
+		}
+	}
+	if Compare("a", "b") >= 0 {
+		t.Error("string compare failed")
+	}
+	if Compare(false, true) >= 0 {
+		t.Error("bool compare failed")
+	}
+	if Compare(true, true) != 0 || Compare(false, false) != 0 {
+		t.Error("bool equality compare failed")
+	}
+}
+
+func sign(n int) int {
+	switch {
+	case n < 0:
+		return -1
+	case n > 0:
+		return 1
+	}
+	return 0
+}
+
+func TestCompareMixedTypesTotal(t *testing.T) {
+	// Incomparable types order deterministically by type tag.
+	f := func(s string, n int64) bool {
+		a, b := Compare(s, n), Compare(n, s)
+		return a == -b && a != 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareAntisymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		return sign(Compare(a, b)) == -sign(Compare(b, a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEqualNullSemantics(t *testing.T) {
+	if Equal(nil, nil) {
+		t.Error("NULL = NULL must be false in SQL semantics")
+	}
+	if Equal(nil, int64(1)) || Equal(int64(1), nil) {
+		t.Error("NULL never equals a value")
+	}
+	if !Equal(int64(2), 2.0) {
+		t.Error("2 should equal 2.0 numerically")
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{nil, "NULL"},
+		{int64(42), "42"},
+		{2.5, "2.5"},
+		{"hello", "hello"},
+		{true, "true"},
+		{false, "false"},
+	}
+	for _, c := range cases {
+		if got := FormatValue(c.v); got != c.want {
+			t.Errorf("FormatValue(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestHashKeyNumericEquivalence(t *testing.T) {
+	// int64(5) and float64(5) must hash to the same bucket so that numeric
+	// equality agrees with hash lookup.
+	if makeHashKey(int64(5)) != makeHashKey(float64(5)) {
+		t.Error("int and integral float should share a hash key")
+	}
+	if makeHashKey("5") == makeHashKey(int64(5)) {
+		t.Error("text and numeric must not collide")
+	}
+	if makeHashKey(nil) == makeHashKey(int64(0)) {
+		t.Error("NULL must not collide with zero")
+	}
+	if makeHashKey(true) == makeHashKey(int64(1)) {
+		t.Error("bool must not collide with int")
+	}
+}
+
+func TestCoerceRoundTripProperty(t *testing.T) {
+	// Any int64 survives int -> text -> int.
+	f := func(n int64) bool {
+		s, err := Coerce(n, TypeText)
+		if err != nil {
+			return false
+		}
+		back, err := Coerce(s, TypeInt)
+		if err != nil {
+			return false
+		}
+		return back == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,317 @@
+// Package taxonomy implements the intra-source structure handling of
+// GenMapper: IS_A term hierarchies (directed acyclic graphs), the derived
+// Subsumed relationship (transitive closure over IS_A, paper §3), and the
+// rollup counting used by functional profiling (§5.2).
+//
+// Nodes are identified by int64 IDs so the package works directly with GAM
+// object IDs without depending on the gam package.
+package taxonomy
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is one IS_A link: Child IS_A Parent.
+type Edge struct {
+	Child  int64
+	Parent int64
+}
+
+// DAG is an IS_A hierarchy. Multiple parents are allowed (GO terms may
+// specialize several terms); cycles are rejected by Validate.
+type DAG struct {
+	parents  map[int64][]int64
+	children map[int64][]int64
+	nodes    map[int64]bool
+}
+
+// NewDAG builds a DAG from IS_A edges. Duplicate edges collapse.
+func NewDAG(edges []Edge) *DAG {
+	d := &DAG{
+		parents:  make(map[int64][]int64),
+		children: make(map[int64][]int64),
+		nodes:    make(map[int64]bool),
+	}
+	seen := make(map[Edge]bool, len(edges))
+	for _, e := range edges {
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		d.nodes[e.Child] = true
+		d.nodes[e.Parent] = true
+		d.parents[e.Child] = append(d.parents[e.Child], e.Parent)
+		d.children[e.Parent] = append(d.children[e.Parent], e.Child)
+	}
+	return d
+}
+
+// AddNode registers an isolated node (a term without IS_A links).
+func (d *DAG) AddNode(id int64) { d.nodes[id] = true }
+
+// Len returns the number of nodes.
+func (d *DAG) Len() int { return len(d.nodes) }
+
+// Nodes returns all node IDs in ascending order.
+func (d *DAG) Nodes() []int64 {
+	out := make([]int64, 0, len(d.nodes))
+	for n := range d.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Parents returns the direct parents of a node.
+func (d *DAG) Parents(id int64) []int64 { return d.parents[id] }
+
+// Children returns the direct children of a node.
+func (d *DAG) Children(id int64) []int64 { return d.children[id] }
+
+// Roots returns nodes without parents, in ascending order.
+func (d *DAG) Roots() []int64 {
+	var out []int64
+	for n := range d.nodes {
+		if len(d.parents[n]) == 0 {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Leaves returns nodes without children, in ascending order.
+func (d *DAG) Leaves() []int64 {
+	var out []int64
+	for n := range d.nodes {
+		if len(d.children[n]) == 0 {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Validate reports an error when the IS_A structure contains a cycle.
+// Taxonomies from real sources occasionally ship broken releases; the
+// importer surfaces this instead of looping forever.
+func (d *DAG) Validate() error {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[int64]int, len(d.nodes))
+	// Iterative DFS with an explicit stack to survive deep hierarchies.
+	type frame struct {
+		node int64
+		next int
+	}
+	for _, start := range d.Nodes() {
+		if color[start] != white {
+			continue
+		}
+		stack := []frame{{node: start}}
+		color[start] = gray
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			kids := d.parents[f.node] // walk child->parent direction
+			if f.next < len(kids) {
+				next := kids[f.next]
+				f.next++
+				switch color[next] {
+				case gray:
+					return fmt.Errorf("taxonomy: IS_A cycle through node %d", next)
+				case white:
+					color[next] = gray
+					stack = append(stack, frame{node: next})
+				}
+				continue
+			}
+			color[f.node] = black
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return nil
+}
+
+// TopoOrder returns the nodes in a topological order where parents precede
+// children. It fails on cyclic input.
+func (d *DAG) TopoOrder() ([]int64, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	indeg := make(map[int64]int, len(d.nodes))
+	for n := range d.nodes {
+		indeg[n] = len(d.parents[n])
+	}
+	queue := d.Roots()
+	out := make([]int64, 0, len(d.nodes))
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		out = append(out, n)
+		kids := append([]int64(nil), d.children[n]...)
+		sort.Slice(kids, func(i, j int) bool { return kids[i] < kids[j] })
+		for _, c := range kids {
+			indeg[c]--
+			if indeg[c] == 0 {
+				queue = append(queue, c)
+			}
+		}
+	}
+	if len(out) != len(d.nodes) {
+		return nil, fmt.Errorf("taxonomy: topological sort incomplete (cycle)")
+	}
+	return out, nil
+}
+
+// Depth returns the length of the longest root-to-node path for every
+// node (roots have depth 0).
+func (d *DAG) Depth() (map[int64]int, error) {
+	order, err := d.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	depth := make(map[int64]int, len(order))
+	for _, n := range order {
+		best := 0
+		for _, p := range d.parents[n] {
+			if depth[p]+1 > best {
+				best = depth[p] + 1
+			}
+		}
+		depth[n] = best
+	}
+	return depth, nil
+}
+
+// Descendants returns the transitive descendants of id (excluding id
+// itself), in ascending order. This is the object set of the node's
+// Subsumed associations.
+func (d *DAG) Descendants(id int64) []int64 {
+	seen := make(map[int64]bool)
+	stack := append([]int64(nil), d.children[id]...)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		stack = append(stack, d.children[n]...)
+	}
+	out := make([]int64, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Ancestors returns the transitive ancestors of id (excluding id itself),
+// in ascending order.
+func (d *DAG) Ancestors(id int64) []int64 {
+	seen := make(map[int64]bool)
+	stack := append([]int64(nil), d.parents[id]...)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		stack = append(stack, d.parents[n]...)
+	}
+	out := make([]int64, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SubsumedClosure computes, for every node, its full descendant set — the
+// Subsumed relationship of the paper. The result maps each term to the
+// terms it subsumes (excluding itself). Shared sub-DAGs are computed once
+// per node via memoized DFS over a topological order.
+func (d *DAG) SubsumedClosure() (map[int64][]int64, error) {
+	order, err := d.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	closure := make(map[int64]map[int64]bool, len(order))
+	// Process in reverse topological order so children are done first.
+	for i := len(order) - 1; i >= 0; i-- {
+		n := order[i]
+		set := make(map[int64]bool)
+		for _, c := range d.children[n] {
+			set[c] = true
+			for desc := range closure[c] {
+				set[desc] = true
+			}
+		}
+		closure[n] = set
+	}
+	out := make(map[int64][]int64, len(closure))
+	for n, set := range closure {
+		ids := make([]int64, 0, len(set))
+		for id := range set {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		out[n] = ids
+	}
+	return out, nil
+}
+
+// SubsumedEdges flattens the closure into (term, subsumedTerm) pairs,
+// which the importer materializes as a Subsumed mapping.
+func (d *DAG) SubsumedEdges() ([]Edge, error) {
+	closure, err := d.SubsumedClosure()
+	if err != nil {
+		return nil, err
+	}
+	var out []Edge
+	for _, n := range d.Nodes() {
+		for _, desc := range closure[n] {
+			out = append(out, Edge{Child: desc, Parent: n})
+		}
+	}
+	return out, nil
+}
+
+// RollupCounts aggregates per-term object counts over the hierarchy: a
+// term's rolled-up count is the number of distinct objects annotated to
+// the term itself or to any subsumed (descendant) term. This is the
+// statistic functional profiling runs over the entire GO taxonomy (§5.2).
+//
+// annotations maps term -> annotated object IDs.
+func (d *DAG) RollupCounts(annotations map[int64][]int64) (map[int64]int, error) {
+	order, err := d.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	// Accumulate distinct object sets bottom-up. Sets are shared where a
+	// node has a single child chain, so copy on write.
+	sets := make(map[int64]map[int64]bool, len(order))
+	for i := len(order) - 1; i >= 0; i-- {
+		n := order[i]
+		set := make(map[int64]bool)
+		for _, obj := range annotations[n] {
+			set[obj] = true
+		}
+		for _, c := range d.children[n] {
+			for obj := range sets[c] {
+				set[obj] = true
+			}
+		}
+		sets[n] = set
+	}
+	counts := make(map[int64]int, len(sets))
+	for n, set := range sets {
+		counts[n] = len(set)
+	}
+	return counts, nil
+}

@@ -1,0 +1,276 @@
+package taxonomy
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// diamond builds:
+//
+//	  1
+//	 / \
+//	2   3
+//	 \ / \
+//	  4   5
+//	  |
+//	  6
+func diamond() *DAG {
+	return NewDAG([]Edge{
+		{Child: 2, Parent: 1},
+		{Child: 3, Parent: 1},
+		{Child: 4, Parent: 2},
+		{Child: 4, Parent: 3},
+		{Child: 5, Parent: 3},
+		{Child: 6, Parent: 4},
+	})
+}
+
+func TestDAGBasics(t *testing.T) {
+	d := diamond()
+	if d.Len() != 6 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	if roots := d.Roots(); len(roots) != 1 || roots[0] != 1 {
+		t.Errorf("Roots = %v", roots)
+	}
+	if leaves := d.Leaves(); len(leaves) != 2 || leaves[0] != 5 || leaves[1] != 6 {
+		t.Errorf("Leaves = %v", leaves)
+	}
+	if ps := d.Parents(4); len(ps) != 2 {
+		t.Errorf("Parents(4) = %v", ps)
+	}
+	if cs := d.Children(3); len(cs) != 2 {
+		t.Errorf("Children(3) = %v", cs)
+	}
+}
+
+func TestDuplicateEdgesCollapse(t *testing.T) {
+	d := NewDAG([]Edge{{Child: 2, Parent: 1}, {Child: 2, Parent: 1}})
+	if len(d.Parents(2)) != 1 {
+		t.Fatalf("duplicate edge not collapsed: %v", d.Parents(2))
+	}
+}
+
+func TestAddNode(t *testing.T) {
+	d := diamond()
+	d.AddNode(99)
+	if d.Len() != 7 {
+		t.Fatalf("Len after AddNode = %d", d.Len())
+	}
+	if desc := d.Descendants(99); len(desc) != 0 {
+		t.Errorf("isolated node has descendants %v", desc)
+	}
+}
+
+func TestValidateAcceptsDAG(t *testing.T) {
+	if err := diamond().Validate(); err != nil {
+		t.Fatalf("valid DAG rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsCycle(t *testing.T) {
+	d := NewDAG([]Edge{
+		{Child: 2, Parent: 1},
+		{Child: 3, Parent: 2},
+		{Child: 1, Parent: 3}, // closes the loop
+	})
+	if err := d.Validate(); err == nil {
+		t.Fatal("cycle not detected")
+	}
+	if _, err := d.TopoOrder(); err == nil {
+		t.Fatal("TopoOrder accepted a cycle")
+	}
+	if _, err := d.SubsumedClosure(); err == nil {
+		t.Fatal("SubsumedClosure accepted a cycle")
+	}
+}
+
+func TestValidateSelfLoop(t *testing.T) {
+	d := NewDAG([]Edge{{Child: 1, Parent: 1}})
+	if err := d.Validate(); err == nil {
+		t.Fatal("self loop not detected")
+	}
+}
+
+func TestTopoOrder(t *testing.T) {
+	d := diamond()
+	order, err := d.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[int64]int)
+	for i, n := range order {
+		pos[n] = i
+	}
+	for _, e := range []Edge{{2, 1}, {3, 1}, {4, 2}, {4, 3}, {5, 3}, {6, 4}} {
+		if pos[e.Parent] > pos[e.Child] {
+			t.Errorf("parent %d after child %d", e.Parent, e.Child)
+		}
+	}
+}
+
+func TestDepth(t *testing.T) {
+	d := diamond()
+	depth, err := d.Depth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int64]int{1: 0, 2: 1, 3: 1, 4: 2, 5: 2, 6: 3}
+	for n, w := range want {
+		if depth[n] != w {
+			t.Errorf("depth[%d] = %d, want %d", n, depth[n], w)
+		}
+	}
+}
+
+func TestDescendantsAncestors(t *testing.T) {
+	d := diamond()
+	if got := d.Descendants(1); len(got) != 5 {
+		t.Errorf("Descendants(1) = %v", got)
+	}
+	if got := d.Descendants(3); len(got) != 3 { // 4, 5, 6
+		t.Errorf("Descendants(3) = %v", got)
+	}
+	if got := d.Descendants(6); len(got) != 0 {
+		t.Errorf("Descendants(6) = %v", got)
+	}
+	if got := d.Ancestors(6); len(got) != 4 { // 4, 2, 3, 1
+		t.Errorf("Ancestors(6) = %v", got)
+	}
+	if got := d.Ancestors(1); len(got) != 0 {
+		t.Errorf("Ancestors(1) = %v", got)
+	}
+}
+
+func TestSubsumedClosure(t *testing.T) {
+	d := diamond()
+	closure, err := d.SubsumedClosure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := closure[1]; len(got) != 5 {
+		t.Errorf("closure[1] = %v", got)
+	}
+	if got := closure[4]; len(got) != 1 || got[0] != 6 {
+		t.Errorf("closure[4] = %v", got)
+	}
+	if got := closure[6]; len(got) != 0 {
+		t.Errorf("closure[6] = %v", got)
+	}
+}
+
+// TestSubsumedClosureMatchesDFS cross-checks the memoized closure against
+// the straightforward per-node DFS on random DAGs.
+func TestSubsumedClosureMatchesDFS(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		var edges []Edge
+		// Edges only point from higher to lower IDs: acyclic by construction.
+		for c := int64(1); c < int64(n); c++ {
+			for p := int64(0); p < c; p++ {
+				if rng.Intn(4) == 0 {
+					edges = append(edges, Edge{Child: c, Parent: p})
+				}
+			}
+		}
+		d := NewDAG(edges)
+		for i := int64(0); i < int64(n); i++ {
+			d.AddNode(i)
+		}
+		closure, err := d.SubsumedClosure()
+		if err != nil {
+			return false
+		}
+		for _, node := range d.Nodes() {
+			want := d.Descendants(node)
+			got := closure[node]
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubsumedEdges(t *testing.T) {
+	d := diamond()
+	edges, err := d.SubsumedEdges()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 1 subsumes 5 nodes, 2 subsumes 2 (4,6), 3 subsumes 3 (4,5,6),
+	// 4 subsumes 1 (6) -> total 11.
+	if len(edges) != 11 {
+		t.Fatalf("SubsumedEdges = %d, want 11", len(edges))
+	}
+	for _, e := range edges {
+		if e.Child == e.Parent {
+			t.Errorf("self-subsumption %v", e)
+		}
+	}
+}
+
+func TestRollupCounts(t *testing.T) {
+	d := diamond()
+	annotations := map[int64][]int64{
+		5: {100, 101},
+		6: {100, 102},
+		3: {103},
+	}
+	counts, err := d.RollupCounts(annotations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 6: {100,102} = 2; node 4: inherits 6 = 2; node 5: 2.
+	// Node 3: {103} + desc {100,101,102} = 4.
+	// Node 2: via 4 = 2. Node 1: all = 4.
+	want := map[int64]int{1: 4, 2: 2, 3: 4, 4: 2, 5: 2, 6: 2}
+	for n, w := range want {
+		if counts[n] != w {
+			t.Errorf("rollup[%d] = %d, want %d", n, counts[n], w)
+		}
+	}
+}
+
+func TestRollupDistinctness(t *testing.T) {
+	// The same object annotated at two sibling terms counts once at the
+	// shared ancestor.
+	d := NewDAG([]Edge{{Child: 2, Parent: 1}, {Child: 3, Parent: 1}})
+	counts, err := d.RollupCounts(map[int64][]int64{2: {7}, 3: {7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[1] != 1 {
+		t.Fatalf("rollup[1] = %d, want 1 (distinct objects)", counts[1])
+	}
+}
+
+func TestDeepChainNoStackOverflow(t *testing.T) {
+	// 100k-deep chain: Validate and closure must not recurse per level.
+	const n = 100000
+	edges := make([]Edge, 0, n-1)
+	for i := int64(1); i < n; i++ {
+		edges = append(edges, Edge{Child: i, Parent: i - 1})
+	}
+	d := NewDAG(edges)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	depth, err := d.Depth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if depth[n-1] != n-1 {
+		t.Fatalf("depth = %d", depth[n-1])
+	}
+}

@@ -1,0 +1,185 @@
+// Package view renders the object-ID views produced by ops.GenerateView
+// into the tabular annotation views users see (paper Figure 3 / Figure 6b):
+// accessions, optional descriptive text, and export in several formats for
+// further analysis in external tools (§5.1: "All results can be saved and
+// downloaded in different formats").
+package view
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"genmapper/internal/gam"
+	"genmapper/internal/ops"
+)
+
+// Table is a rendered annotation view: a header row of source/target names
+// and data rows of accessions. Empty cells are missing annotations (NULL).
+type Table struct {
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+// RowCount returns the number of data rows.
+func (t *Table) RowCount() int { return len(t.Rows) }
+
+// Options controls rendering.
+type Options struct {
+	// WithText appends the object's descriptive text to the accession as
+	// "accession (text)" — the style of Figure 6c's object information.
+	WithText bool
+	// NullText is printed for missing annotations (default empty cell).
+	NullText string
+}
+
+// Render resolves a generated view's object IDs to accessions.
+func Render(repo *gam.Repo, v *ops.View, opts Options) (*Table, error) {
+	t := &Table{}
+	src := repo.SourceByID(v.Source)
+	if src == nil {
+		return nil, fmt.Errorf("view: unknown source %d", v.Source)
+	}
+	t.Columns = append(t.Columns, src.Name)
+	for _, tgt := range v.Targets {
+		ts := repo.SourceByID(tgt)
+		if ts == nil {
+			return nil, fmt.Errorf("view: unknown target source %d", tgt)
+		}
+		t.Columns = append(t.Columns, ts.Name)
+	}
+
+	cache := make(map[gam.ObjectID]string)
+	lookup := func(id gam.ObjectID) (string, error) {
+		if id == 0 {
+			return opts.NullText, nil
+		}
+		if s, ok := cache[id]; ok {
+			return s, nil
+		}
+		obj, err := repo.Object(id)
+		if err != nil {
+			return "", err
+		}
+		if obj == nil {
+			return "", fmt.Errorf("view: dangling object id %d", id)
+		}
+		s := obj.Accession
+		if opts.WithText && obj.Text != "" {
+			s = obj.Accession + " (" + obj.Text + ")"
+		}
+		cache[id] = s
+		return s, nil
+	}
+
+	for _, row := range v.Rows {
+		out := make([]string, len(row))
+		for i, id := range row {
+			s, err := lookup(id)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = s
+		}
+		t.Rows = append(t.Rows, out)
+	}
+	return t, nil
+}
+
+// WriteTSV writes the table as tab-separated values with a header line.
+func (t *Table) WriteTSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, strings.Join(t.Columns, "\t")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, strings.Join(row, "\t")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV writes the table as RFC-4180 CSV with a header line.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON writes the table as a single JSON object.
+func (t *Table) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// WriteText writes a fixed-width, human-readable rendering (the CLI
+// counterpart of Figure 3).
+func (t *Table) WriteText(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) error {
+		var sb strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(cell)
+			for pad := len(cell); pad < widths[i]; pad++ {
+				sb.WriteByte(' ')
+			}
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(sb.String(), " "))
+		return err
+	}
+	if err := line(t.Columns); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if err := line(sep); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Write exports the table in the named format: text, tsv, csv or json.
+func (t *Table) Write(w io.Writer, format string) error {
+	switch strings.ToLower(format) {
+	case "tsv":
+		return t.WriteTSV(w)
+	case "csv":
+		return t.WriteCSV(w)
+	case "json":
+		return t.WriteJSON(w)
+	case "text", "":
+		return t.WriteText(w)
+	}
+	return fmt.Errorf("view: unknown export format %q (text, tsv, csv, json)", format)
+}

@@ -1,0 +1,188 @@
+package view
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"genmapper/internal/gam"
+	"genmapper/internal/ops"
+	"genmapper/internal/sqldb"
+)
+
+func setup(t *testing.T) (*gam.Repo, *ops.View) {
+	t.Helper()
+	repo, err := gam.Open(sqldb.NewDB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ll, _, _ := repo.EnsureSource(gam.Source{Name: "LocusLink", Content: gam.ContentGene})
+	goSrc, _, _ := repo.EnsureSource(gam.Source{Name: "GO", Structure: gam.StructureNetwork})
+	loci, _, _ := repo.EnsureObjects(ll.ID, []gam.ObjectSpec{
+		{Accession: "353", Text: "adenine phosphoribosyltransferase"},
+		{Accession: "354"},
+	})
+	terms, _, _ := repo.EnsureObjects(goSrc.ID, []gam.ObjectSpec{
+		{Accession: "GO:0009116", Text: "nucleoside metabolism"},
+	})
+	v := &ops.View{
+		Source:  ll.ID,
+		Targets: []gam.SourceID{goSrc.ID},
+		Rows: []ops.ViewRow{
+			{loci[0], terms[0]},
+			{loci[1], 0}, // NULL annotation
+		},
+	}
+	return repo, v
+}
+
+func TestRenderBasic(t *testing.T) {
+	repo, v := setup(t)
+	tbl, err := Render(repo, v, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(tbl.Columns, ",") != "LocusLink,GO" {
+		t.Errorf("columns = %v", tbl.Columns)
+	}
+	if tbl.RowCount() != 2 {
+		t.Fatalf("rows = %d", tbl.RowCount())
+	}
+	if tbl.Rows[0][0] != "353" || tbl.Rows[0][1] != "GO:0009116" {
+		t.Errorf("row 0 = %v", tbl.Rows[0])
+	}
+	if tbl.Rows[1][1] != "" {
+		t.Errorf("NULL cell = %q", tbl.Rows[1][1])
+	}
+}
+
+func TestRenderWithTextAndNullText(t *testing.T) {
+	repo, v := setup(t)
+	tbl, err := Render(repo, v, Options{WithText: true, NullText: "-"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Rows[0][0] != "353 (adenine phosphoribosyltransferase)" {
+		t.Errorf("with-text cell = %q", tbl.Rows[0][0])
+	}
+	if tbl.Rows[0][1] != "GO:0009116 (nucleoside metabolism)" {
+		t.Errorf("with-text target = %q", tbl.Rows[0][1])
+	}
+	// Object without text renders as plain accession.
+	if tbl.Rows[1][0] != "354" {
+		t.Errorf("textless cell = %q", tbl.Rows[1][0])
+	}
+	if tbl.Rows[1][1] != "-" {
+		t.Errorf("null text = %q", tbl.Rows[1][1])
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	repo, v := setup(t)
+	bad := &ops.View{Source: 999, Targets: v.Targets}
+	if _, err := Render(repo, bad, Options{}); err == nil {
+		t.Error("unknown source accepted")
+	}
+	bad2 := &ops.View{Source: v.Source, Targets: []gam.SourceID{999}}
+	if _, err := Render(repo, bad2, Options{}); err == nil {
+		t.Error("unknown target accepted")
+	}
+	bad3 := &ops.View{Source: v.Source, Targets: v.Targets, Rows: []ops.ViewRow{{123456, 0}}}
+	if _, err := Render(repo, bad3, Options{}); err == nil {
+		t.Error("dangling object accepted")
+	}
+}
+
+func renderedTable(t *testing.T) *Table {
+	t.Helper()
+	repo, v := setup(t)
+	tbl, err := Render(repo, v, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestWriteTSV(t *testing.T) {
+	tbl := renderedTable(t)
+	var buf bytes.Buffer
+	if err := tbl.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("TSV lines = %d", len(lines))
+	}
+	if lines[0] != "LocusLink\tGO" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "353\tGO:0009116" {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tbl := renderedTable(t)
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 || records[0][0] != "LocusLink" || records[1][1] != "GO:0009116" {
+		t.Fatalf("CSV = %v", records)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	tbl := renderedTable(t)
+	var buf bytes.Buffer
+	if err := tbl.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got Table
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rows) != 2 || got.Columns[1] != "GO" {
+		t.Fatalf("JSON round trip = %+v", got)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	tbl := renderedTable(t)
+	var buf bytes.Buffer
+	if err := tbl.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "LocusLink") || !strings.Contains(out, "---") {
+		t.Errorf("text output:\n%s", out)
+	}
+	// Columns align: header width >= longest cell.
+	lines := strings.Split(out, "\n")
+	if !strings.HasPrefix(lines[2], "353 ") {
+		t.Errorf("data line = %q", lines[2])
+	}
+}
+
+func TestWriteDispatch(t *testing.T) {
+	tbl := renderedTable(t)
+	for _, format := range []string{"text", "tsv", "csv", "json", ""} {
+		var buf bytes.Buffer
+		if err := tbl.Write(&buf, format); err != nil {
+			t.Errorf("format %q: %v", format, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("format %q produced no output", format)
+		}
+	}
+	var buf bytes.Buffer
+	if err := tbl.Write(&buf, "xml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
