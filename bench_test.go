@@ -292,6 +292,63 @@ func benchComposeChain(b *testing.B, path []string) {
 	}
 }
 
+// E6b — executor: cached, parallel mapping-path execution vs. the cold
+// sequential path. The acceptance gate of the executor PR compares
+// ExecutorMapPathWarm against ExecutorMapPathCold on the 3-hop chain.
+
+func benchExecutorPath(b *testing.B) (*ops.Executor, []gam.SourceID) {
+	b.Helper()
+	sys, _ := benchSystem(b)
+	names := []string{"NetAffx-HG-U133A", "Unigene", "LocusLink", "GO"}
+	path := make([]gam.SourceID, len(names))
+	for i, n := range names {
+		src := sys.Repo().SourceByName(n)
+		if src == nil {
+			b.Fatalf("unknown source %s", n)
+		}
+		path[i] = src.ID
+	}
+	return sys.Executor(), path
+}
+
+func BenchmarkExecutorMapPathCold(b *testing.B) {
+	exec, path := benchExecutorPath(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exec.Reset()
+		if _, err := exec.MapPath(path); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecutorMapPathWarm(b *testing.B) {
+	exec, path := benchExecutorPath(b)
+	exec.Reset()
+	if _, err := exec.MapPath(path); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exec.MapPath(path); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExecutorMapPathSequential measures the uncached left-fold
+// MapPath for reference against the executor's cold batched/parallel run.
+func BenchmarkExecutorMapPathSequential(b *testing.B) {
+	sys, _ := benchSystem(b)
+	_, path := benchExecutorPath(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ops.MapPath(sys.Repo(), path); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkSubsumedDerivation(b *testing.B) {
 	sys, _ := benchSystem(b)
 	b.ResetTimer()

@@ -31,6 +31,7 @@ func main() {
 		via     = flag.String("via", "", "required intermediate source for -path")
 		sources = flag.Bool("sources", false, "list imported sources")
 		limit   = flag.Int("limit", 0, "print at most this many rows (0 = all)")
+		stats   = flag.Bool("cachestats", false, "print mapping-cache hit/miss counters after the query")
 	)
 	flag.Parse()
 
@@ -108,6 +109,11 @@ func main() {
 	}
 	if err := table.Write(os.Stdout, *format); err != nil {
 		fail(err)
+	}
+	if *stats {
+		cs := sys.CacheStats()
+		fmt.Fprintf(os.Stderr, "gmquery: mapping cache: hits=%d misses=%d entries=%d\n",
+			cs.Hits, cs.Misses, cs.Entries)
 	}
 }
 

@@ -61,6 +61,8 @@ type (
 	Object = gam.Object
 	// Mapping is a set of object associations between two sources.
 	Mapping = ops.Mapping
+	// CacheStats reports the executor's mapping-cache effectiveness.
+	CacheStats = ops.CacheStats
 )
 
 // NewUniverse scales the synthetic source catalog (1.0 reproduces the
@@ -68,11 +70,14 @@ type (
 func NewUniverse(cfg GenConfig) *Universe { return gen.NewUniverse(cfg) }
 
 // System is a GenMapper instance: the central database with the GAM
-// schema, plus the source graph used for automatic mapping-path discovery.
+// schema, the source graph used for automatic mapping-path discovery, and
+// the mapping-path execution engine that caches loaded and composed
+// mappings across queries.
 type System struct {
 	db    *sqldb.DB
 	repo  *gam.Repo
 	graph *graph.Graph
+	exec  *ops.Executor
 }
 
 // New creates an empty in-memory GenMapper system.
@@ -91,7 +96,7 @@ func Open(db *sqldb.DB) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &System{db: db, repo: repo, graph: g}, nil
+	return &System{db: db, repo: repo, graph: g, exec: ops.NewExecutor(repo)}, nil
 }
 
 // LoadSnapshot opens a system from a database snapshot file written by
@@ -115,6 +120,12 @@ func (s *System) Repo() *gam.Repo { return s.repo }
 
 // Graph exposes the source/mapping graph.
 func (s *System) Graph() *graph.Graph { return s.graph }
+
+// Executor exposes the mapping-path execution engine.
+func (s *System) Executor() *ops.Executor { return s.exec }
+
+// CacheStats returns the executor's cache hit/miss counters.
+func (s *System) CacheStats() CacheStats { return s.exec.Stats() }
 
 // Stats returns the deployment counters (§5-style).
 func (s *System) Stats() (*Stats, error) { return s.repo.Stats() }
@@ -264,13 +275,14 @@ func (s *System) SavePath(name string, sources []string) error {
 }
 
 // ComposePath loads and composes the mappings along a path of source
-// names, deriving a new mapping from the first to the last source.
+// names, deriving a new mapping from the first to the last source. It runs
+// on the executor, so repeated compositions hit the mapping cache.
 func (s *System) ComposePath(sources []string) (*Mapping, error) {
 	ids, err := s.sourceIDs(sources)
 	if err != nil {
 		return nil, err
 	}
-	return ops.MapPath(s.repo, ids)
+	return s.exec.MapPath(ids)
 }
 
 // Materialize stores a derived mapping in the central database so that
@@ -284,18 +296,11 @@ func (s *System) Materialize(m *Mapping) error {
 
 // Resolver returns the mapping resolver GenerateView uses: an existing
 // mapping when available, otherwise a Compose over the shortest mapping
-// path in the source graph.
+// path in the source graph. Both lookups run on the executor cache.
 func (s *System) Resolver() ops.Resolver {
-	return func(from, to gam.SourceID) (*ops.Mapping, error) {
-		if m, err := ops.Map(s.repo, from, to); err == nil {
-			return m, nil
-		}
-		p := s.graph.ShortestPath(from, to)
-		if p == nil {
-			return nil, fmt.Errorf("genmapper: no mapping or mapping path between sources %d and %d", from, to)
-		}
-		return ops.MapPath(s.repo, p)
-	}
+	return s.exec.Resolver(func(from, to gam.SourceID) []gam.SourceID {
+		return s.graph.ShortestPath(from, to)
+	})
 }
 
 // ---------------------------------------------------------------------------
@@ -369,7 +374,16 @@ func (s *System) AnnotationView(q Query) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			spec.Path = ids
+			if len(ids) == 0 || ids[0] != src.ID || ids[len(ids)-1] != tgt.ID {
+				return nil, fmt.Errorf("genmapper: target %q: via path must lead from %s to %s", t.Source, q.Source, t.Source)
+			}
+			// Explicit paths run on the executor so repeated via-queries
+			// hit the mapping cache like automatic ones.
+			m, err := s.exec.MapPath(ids)
+			if err != nil {
+				return nil, fmt.Errorf("genmapper: target %q: %w", t.Source, err)
+			}
+			spec.Mapping = m
 		}
 		specs[i] = spec
 	}

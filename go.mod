@@ -1,0 +1,3 @@
+module genmapper
+
+go 1.22

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"genmapper/internal/sqldb"
 )
 
 // EnsureSourceRel returns the mapping (s1, s2, typ), creating it when
@@ -32,6 +34,7 @@ func (r *Repo) EnsureSourceRel(s1, s2 SourceID, typ RelType) (SourceRelID, bool,
 	}
 	id := SourceRelID(res.LastInsertID)
 	r.rels[key] = id
+	r.bumpGen()
 	return id, true, nil
 }
 
@@ -178,14 +181,31 @@ func (r *Repo) AddAssociations(rel SourceRelID, assocs []Assoc, dedup bool) (int
 		pending = append(pending, a)
 	}
 
+	inserted, err := insertAssociations(r.db, rel, pending)
+	if inserted > 0 {
+		r.bumpGen()
+	}
+	return inserted, err
+}
+
+// execer abstracts the write surface shared by *sqldb.DB and *sqldb.Tx so
+// association inserts run identically inside and outside a transaction.
+type execer interface {
+	Exec(sql string, args ...any) (sqldb.Result, error)
+}
+
+// insertAssociations chunk-inserts associations under a mapping with
+// multi-row INSERTs (unset evidence is stored as NULL). It returns the
+// number of rows inserted before any error.
+func insertAssociations(ex execer, rel SourceRelID, assocs []Assoc) (int, error) {
 	const chunk = 200
 	inserted := 0
-	for start := 0; start < len(pending); start += chunk {
+	for start := 0; start < len(assocs); start += chunk {
 		end := start + chunk
-		if end > len(pending) {
-			end = len(pending)
+		if end > len(assocs) {
+			end = len(assocs)
 		}
-		batch := pending[start:end]
+		batch := assocs[start:end]
 		var sb strings.Builder
 		sb.WriteString("INSERT INTO object_rel (source_rel_id, object1_id, object2_id, evidence) VALUES ")
 		args := make([]any, 0, len(batch)*4)
@@ -200,7 +220,7 @@ func (r *Repo) AddAssociations(rel SourceRelID, assocs []Assoc, dedup bool) (int
 			}
 			args = append(args, int64(rel), int64(a.Object1), int64(a.Object2), ev)
 		}
-		if _, err := r.db.Exec(sb.String(), args...); err != nil {
+		if _, err := ex.Exec(sb.String(), args...); err != nil {
 			return inserted, fmt.Errorf("gam: insert associations: %w", err)
 		}
 		inserted += len(batch)
@@ -224,6 +244,49 @@ func (r *Repo) Associations(rel SourceRelID) ([]Assoc, error) {
 			a.Evidence = v
 		}
 		out = append(out, a)
+	}
+	return out, nil
+}
+
+// AssociationsBatch fetches the associations of several mappings in a single
+// SQL round-trip, keyed by mapping ID. Mapping IDs without associations map
+// to an empty (nil) slice. Duplicate IDs in rels are fetched once.
+func (r *Repo) AssociationsBatch(rels []SourceRelID) (map[SourceRelID][]Assoc, error) {
+	out := make(map[SourceRelID][]Assoc, len(rels))
+	if len(rels) == 0 {
+		return out, nil
+	}
+	var sb strings.Builder
+	sb.WriteString("SELECT source_rel_id, object1_id, object2_id, evidence FROM object_rel WHERE source_rel_id IN (")
+	args := make([]any, 0, len(rels))
+	seen := make(map[SourceRelID]bool, len(rels))
+	for _, rel := range rels {
+		if seen[rel] {
+			continue
+		}
+		seen[rel] = true
+		if len(args) > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString("?")
+		args = append(args, int64(rel))
+		out[rel] = nil
+	}
+	sb.WriteString(")")
+	rs, err := r.db.Query(sb.String(), args...)
+	if err != nil {
+		return nil, fmt.Errorf("gam: batch associations: %w", err)
+	}
+	for _, row := range rs.Rows {
+		rel := SourceRelID(row[0].(int64))
+		a := Assoc{
+			Object1: ObjectID(row[1].(int64)),
+			Object2: ObjectID(row[2].(int64)),
+		}
+		if v, ok := row[3].(float64); ok {
+			a.Evidence = v
+		}
+		out[rel] = append(out[rel], a)
 	}
 	return out, nil
 }
@@ -261,7 +324,72 @@ func (r *Repo) DeleteMapping(rel SourceRelID) error {
 		}
 	}
 	r.mu.Unlock()
+	r.bumpGen()
 	return nil
+}
+
+// ReplaceMapping atomically replaces the mapping (s1, s2, typ) and all its
+// associations with the given association set, creating the mapping when
+// absent. Delete, re-create and insert run in a single transaction: on any
+// failure the transaction rolls back and the previous mapping (ID and
+// associations) survives intact. It returns the mapping ID now holding the
+// associations.
+func (r *Repo) ReplaceMapping(s1, s2 SourceID, typ RelType, assocs []Assoc) (SourceRelID, error) {
+	if _, err := ParseRelType(string(typ)); err != nil {
+		return 0, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.loadRelsLocked(); err != nil {
+		return 0, err
+	}
+	if r.sourcesByID[s1] == nil || r.sourcesByID[s2] == nil {
+		return 0, fmt.Errorf("gam: source rel references unknown source (%d, %d)", s1, s2)
+	}
+
+	tx := r.db.Begin()
+	fail := func(err error) (SourceRelID, error) {
+		tx.Rollback()
+		return 0, err
+	}
+	hook := func(stage string) error {
+		if r.replaceHook == nil {
+			return nil
+		}
+		return r.replaceHook(stage)
+	}
+
+	key := relKey{s1: s1, s2: s2, typ: typ}
+	old, hadOld := r.rels[key]
+	if hadOld {
+		if _, err := tx.Exec("DELETE FROM object_rel WHERE source_rel_id = ?", int64(old)); err != nil {
+			return fail(err)
+		}
+		if _, err := tx.Exec("DELETE FROM source_rel WHERE source_rel_id = ?", int64(old)); err != nil {
+			return fail(err)
+		}
+	}
+	if err := hook("after-delete"); err != nil {
+		return fail(err)
+	}
+	res, err := tx.Exec("INSERT INTO source_rel (source1_id, source2_id, type) VALUES (?, ?, ?)",
+		int64(s1), int64(s2), string(typ))
+	if err != nil {
+		return fail(fmt.Errorf("gam: replace mapping: insert source_rel: %w", err))
+	}
+	id := SourceRelID(res.LastInsertID)
+	if _, err := insertAssociations(tx, id, assocs); err != nil {
+		return fail(fmt.Errorf("gam: replace mapping: %w", err))
+	}
+	if err := hook("after-insert"); err != nil {
+		return fail(err)
+	}
+	if err := tx.Commit(); err != nil {
+		return fail(err)
+	}
+	r.rels[key] = id
+	r.bumpGen()
+	return id, nil
 }
 
 // Stats summarizes database content the way the paper reports its

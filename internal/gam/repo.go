@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"genmapper/internal/sqldb"
 )
@@ -17,6 +18,15 @@ import (
 type Repo struct {
 	db *sqldb.DB
 
+	// gen counts mapping-affecting writes (EnsureSourceRel, AddAssociations,
+	// DeleteMapping, ReplaceMapping). Caches of derived mapping data compare
+	// it against the value observed at load time to detect staleness.
+	gen atomic.Uint64
+
+	// replaceHook, when set, is invoked at named stages of ReplaceMapping so
+	// tests can inject mid-transaction failures. Production code leaves it nil.
+	replaceHook func(stage string) error
+
 	mu          sync.Mutex
 	sources     map[string]*Source // lower(name) -> source
 	sourcesByID map[SourceID]*Source
@@ -24,6 +34,18 @@ type Repo struct {
 	rels        map[relKey]SourceRelID
 	relsLoaded  bool
 }
+
+// Generation returns the mapping-write counter. Any change to mappings or
+// associations bumps it, so a cached value loaded at generation g is valid
+// exactly while Generation() == g.
+func (r *Repo) Generation() uint64 { return r.gen.Load() }
+
+func (r *Repo) bumpGen() { r.gen.Add(1) }
+
+// SetReplaceMappingHook installs a failure-injection hook for tests of
+// ReplaceMapping atomicity. Stages: "after-delete" (old mapping rows gone,
+// new not yet written) and "after-insert" (new rows written, not committed).
+func (r *Repo) SetReplaceMappingHook(h func(stage string) error) { r.replaceHook = h }
 
 type relKey struct {
 	s1, s2 SourceID

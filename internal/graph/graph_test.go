@@ -64,6 +64,41 @@ func TestShortestPathVia(t *testing.T) {
 	}
 }
 
+func TestShortestPathViaDegenerate(t *testing.T) {
+	g := chainGraph()
+	// src == via degenerates to a plain shortest path.
+	if p := g.ShortestPathVia(1, 1, 4); !pathEq(p, 1, 5, 4) {
+		t.Errorf("src==via path = %v, want [1 5 4]", p)
+	}
+	// via == dst likewise.
+	if p := g.ShortestPathVia(1, 4, 4); !pathEq(p, 1, 5, 4) {
+		t.Errorf("via==dst path = %v, want [1 5 4]", p)
+	}
+	// src == via == dst is the trivial single-node path.
+	if p := g.ShortestPathVia(3, 3, 3); !pathEq(p, 3) {
+		t.Errorf("all-equal path = %v, want [3]", p)
+	}
+	// The via node may force the path back through the start.
+	if p := g.ShortestPathVia(2, 1, 4); !pathEq(p, 2, 1, 5, 4) {
+		t.Errorf("backtracking via path = %v, want [2 1 5 4]", p)
+	}
+
+	// Disconnected halves: 6 - 7 is its own component.
+	g.AddMapping(EdgeInfo{Rel: 6, From: 6, To: 7, Type: gam.RelFact})
+	// First half (src -> via) disconnected.
+	if p := g.ShortestPathVia(6, 2, 4); p != nil {
+		t.Errorf("disconnected first half = %v", p)
+	}
+	// Second half (via -> dst) disconnected.
+	if p := g.ShortestPathVia(1, 2, 7); p != nil {
+		t.Errorf("disconnected second half = %v", p)
+	}
+	// src and dst connected to each other but via isolated from both.
+	if p := g.ShortestPathVia(1, 6, 4); p != nil {
+		t.Errorf("isolated via = %v", p)
+	}
+}
+
 func TestStructuralAndSelfEdgesExcluded(t *testing.T) {
 	g := New()
 	g.AddMapping(EdgeInfo{Rel: 1, From: 1, To: 1, Type: gam.RelIsA})

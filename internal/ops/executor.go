@@ -1,0 +1,358 @@
+// Mapping-path execution engine. The plain ops.MapPath loads and composes
+// every mapping from the SQL layer on each call; the Executor turns the
+// same operation into a cached, parallel pipeline so that repeated
+// annotation queries (the paper's dominant workload, §5.1) hit memory:
+//
+//   - loaded edge mappings and composed path results live in a bounded
+//     LRU, keyed by (from, to, relType) for edges and by path signature
+//     for composed paths;
+//   - cache entries carry the repository generation observed before the
+//     load; any repository write bumps the generation, so stale entries
+//     are detected on lookup and refetched — a materialized or deleted
+//     mapping is never served stale;
+//   - on a path-cache miss, the per-edge associations of all uncached
+//     edges are fetched in one batched SQL round-trip
+//     (Repo.AssociationsBatch) instead of one query per edge, and the
+//     edge mappings are composed by parallel pairwise tree reduction
+//     across a worker pool instead of a sequential left fold.
+package ops
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"genmapper/internal/gam"
+)
+
+// DefaultCacheCapacity bounds the executor LRU when no explicit capacity
+// is configured.
+const DefaultCacheCapacity = 256
+
+// ExecutorConfig tunes an Executor.
+type ExecutorConfig struct {
+	// Capacity is the maximum number of cached mappings (edges and
+	// composed paths together). <= 0 selects DefaultCacheCapacity.
+	Capacity int
+	// Workers bounds the compose worker pool. <= 0 selects GOMAXPROCS.
+	Workers int
+}
+
+// CacheStats reports executor cache effectiveness.
+type CacheStats struct {
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Entries int    `json:"entries"`
+}
+
+// Executor executes mapping-path queries against a repository with
+// caching and parallel composition. It is safe for concurrent use.
+type Executor struct {
+	repo    *gam.Repo
+	workers int
+
+	mu       sync.Mutex
+	capacity int
+	entries  map[string]*list.Element
+	order    *list.List // front = most recently used
+	hits     uint64
+	misses   uint64
+}
+
+type cacheEntry struct {
+	key string
+	gen uint64 // repo generation observed before the load
+	m   *Mapping
+}
+
+// NewExecutor creates an executor with default configuration.
+func NewExecutor(repo *gam.Repo) *Executor {
+	return NewExecutorConfig(repo, ExecutorConfig{})
+}
+
+// NewExecutorConfig creates an executor with explicit tuning.
+func NewExecutorConfig(repo *gam.Repo, cfg ExecutorConfig) *Executor {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = DefaultCacheCapacity
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	return &Executor{
+		repo:     repo,
+		workers:  cfg.Workers,
+		capacity: cfg.Capacity,
+		entries:  make(map[string]*list.Element),
+		order:    list.New(),
+	}
+}
+
+// Repo returns the repository the executor reads from.
+func (e *Executor) Repo() *gam.Repo { return e.repo }
+
+// Stats returns a snapshot of the cache counters.
+func (e *Executor) Stats() CacheStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return CacheStats{Hits: e.hits, Misses: e.misses, Entries: len(e.entries)}
+}
+
+// Reset drops every cached mapping and zeroes the counters (used by cold
+// benchmarks and tests).
+func (e *Executor) Reset() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.entries = make(map[string]*list.Element)
+	e.order.Init()
+	e.hits, e.misses = 0, 0
+}
+
+// get returns a cached mapping when present and still valid at the current
+// repository generation. Stale entries are evicted on sight. The returned
+// mapping is a private clone the caller may mutate.
+func (e *Executor) get(key string, gen uint64) (*Mapping, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	el, ok := e.entries[key]
+	if !ok {
+		e.misses++
+		return nil, false
+	}
+	ent := el.Value.(*cacheEntry)
+	if ent.gen != gen {
+		e.order.Remove(el)
+		delete(e.entries, key)
+		e.misses++
+		return nil, false
+	}
+	e.order.MoveToFront(el)
+	e.hits++
+	return ent.m.clone(), true
+}
+
+// put stores a mapping loaded while the repository was at generation gen.
+// The executor keeps a private clone so later caller mutations cannot leak
+// into the cache.
+func (e *Executor) put(key string, gen uint64, m *Mapping) {
+	e.putOwned(key, gen, m.clone())
+}
+
+// putOwned stores a mapping the executor takes ownership of: the caller
+// must not hand m to code that mutates it afterwards. Used for edge
+// mappings, which are only ever read (by Compose) and never returned to
+// callers uncloned.
+func (e *Executor) putOwned(key string, gen uint64, cp *Mapping) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if el, ok := e.entries[key]; ok {
+		el.Value.(*cacheEntry).gen = gen
+		el.Value.(*cacheEntry).m = cp
+		e.order.MoveToFront(el)
+		return
+	}
+	e.entries[key] = e.order.PushFront(&cacheEntry{key: key, gen: gen, m: cp})
+	for len(e.entries) > e.capacity {
+		el := e.order.Back()
+		e.order.Remove(el)
+		delete(e.entries, el.Value.(*cacheEntry).key)
+	}
+}
+
+func edgeKey(s, t gam.SourceID, typ gam.RelType) string {
+	return fmt.Sprintf("e|%d|%d|%s", s, t, typ)
+}
+
+func pathKey(path []gam.SourceID) string {
+	var sb strings.Builder
+	sb.WriteString("p")
+	for _, s := range path {
+		fmt.Fprintf(&sb, "|%d", s)
+	}
+	return sb.String()
+}
+
+// Map is the cached equivalent of ops.Map: it returns the mapping between
+// s and t, serving repeated requests from the LRU.
+func (e *Executor) Map(s, t gam.SourceID) (*Mapping, error) {
+	gen := e.repo.Generation()
+	rel, reversed, err := e.repo.FindMapping(s, t)
+	if err != nil {
+		return nil, err
+	}
+	if rel == nil {
+		return nil, fmt.Errorf("ops: %w: %d and %d", ErrNoMapping, s, t)
+	}
+	key := edgeKey(s, t, rel.Type)
+	if m, ok := e.get(key, gen); ok {
+		return m, nil
+	}
+	assocs, err := e.repo.Associations(rel.ID)
+	if err != nil {
+		return nil, err
+	}
+	m := edgeMapping(s, t, rel, reversed, assocs)
+	e.putOwned(key, gen, m)
+	return m.clone(), nil
+}
+
+// edgeMapping builds the working Mapping for one traversal edge, flipping
+// stored-reversed associations so that From is always s.
+func edgeMapping(s, t gam.SourceID, rel *gam.SourceRel, reversed bool, assocs []gam.Assoc) *Mapping {
+	m := &Mapping{Rel: rel.ID, From: s, To: t, Type: rel.Type}
+	if !reversed {
+		m.Assocs = assocs
+		return m
+	}
+	m.Assocs = make([]gam.Assoc, len(assocs))
+	for i, a := range assocs {
+		m.Assocs[i] = gam.Assoc{Object1: a.Object2, Object2: a.Object1, Evidence: a.Evidence}
+	}
+	return m
+}
+
+// MapPath is the cached, parallel equivalent of ops.MapPath: it loads the
+// mappings along the source path and composes them into a single mapping
+// from path[0] to path[len-1].
+func (e *Executor) MapPath(path []gam.SourceID) (*Mapping, error) {
+	if len(path) < 2 {
+		return nil, fmt.Errorf("ops: mapping path needs at least two sources, got %d", len(path))
+	}
+	gen := e.repo.Generation()
+	pkey := pathKey(path)
+	if m, ok := e.get(pkey, gen); ok {
+		return m, nil
+	}
+	maps, err := e.loadEdges(path, gen)
+	if err != nil {
+		return nil, err
+	}
+	composed, err := e.composeParallel(maps)
+	if err != nil {
+		return nil, err
+	}
+	e.put(pkey, gen, composed)
+	return composed, nil
+}
+
+// loadEdges returns the per-edge mappings of a path, serving cached edges
+// from the LRU and fetching all remaining edge associations in one batched
+// SQL round-trip.
+func (e *Executor) loadEdges(path []gam.SourceID, gen uint64) ([]*Mapping, error) {
+	type pending struct {
+		idx      int
+		rel      *gam.SourceRel
+		reversed bool
+	}
+	maps := make([]*Mapping, len(path)-1)
+	var misses []pending
+	for i := 0; i+1 < len(path); i++ {
+		s, t := path[i], path[i+1]
+		rel, reversed, err := e.repo.FindMapping(s, t)
+		if err != nil {
+			return nil, err
+		}
+		if rel == nil {
+			return nil, fmt.Errorf("ops: path step %d: %w: %d and %d", i, ErrNoMapping, s, t)
+		}
+		if m, ok := e.get(edgeKey(s, t, rel.Type), gen); ok {
+			maps[i] = m
+			continue
+		}
+		misses = append(misses, pending{idx: i, rel: rel, reversed: reversed})
+	}
+	if len(misses) == 0 {
+		return maps, nil
+	}
+	ids := make([]gam.SourceRelID, len(misses))
+	for i, p := range misses {
+		ids[i] = p.rel.ID
+	}
+	batch, err := e.repo.AssociationsBatch(ids)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range misses {
+		s, t := path[p.idx], path[p.idx+1]
+		m := edgeMapping(s, t, p.rel, p.reversed, batch[p.rel.ID])
+		e.putOwned(edgeKey(s, t, p.rel.Type), gen, m)
+		maps[p.idx] = m
+	}
+	return maps, nil
+}
+
+// composeParallel reduces the edge mappings to a single mapping by
+// pairwise tree reduction: each round composes adjacent pairs concurrently
+// across the worker pool, halving the chain, until one mapping remains.
+// Edge order is preserved and the pairing is fixed, so the result is
+// deterministic and equals the sequential left fold of ComposePath:
+// Compose is associative, and Dedup's strength ordering (facts outrank
+// scored evidence) makes duplicate collapse grouping-independent.
+func (e *Executor) composeParallel(maps []*Mapping) (*Mapping, error) {
+	if len(maps) == 1 {
+		return maps[0].clone(), nil
+	}
+	sem := make(chan struct{}, e.workers)
+	for len(maps) > 1 {
+		if len(maps) <= 3 {
+			// One compose this round: run it inline, goroutines buy nothing.
+			c, err := Compose(maps[0], maps[1])
+			if err != nil {
+				return nil, err
+			}
+			if len(maps) == 2 {
+				return c, nil
+			}
+			maps = []*Mapping{c, maps[2]}
+			continue
+		}
+		next := make([]*Mapping, (len(maps)+1)/2)
+		errs := make([]error, len(next))
+		var wg sync.WaitGroup
+		for i := 0; i < len(next); i++ {
+			if 2*i+1 == len(maps) {
+				next[i] = maps[2*i] // odd leftover rides up a level
+				continue
+			}
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				next[i], errs[i] = Compose(maps[2*i], maps[2*i+1])
+			}(i)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		maps = next
+	}
+	return maps[0], nil
+}
+
+// Resolver returns a mapping resolver backed by the executor cache: a
+// direct mapping when one exists, otherwise a composition over the path
+// found by pathFind (typically graph.ShortestPath). Only the absence of a
+// direct mapping triggers the path fallback; real repository errors
+// propagate unchanged.
+func (e *Executor) Resolver(pathFind func(from, to gam.SourceID) []gam.SourceID) Resolver {
+	return func(from, to gam.SourceID) (*Mapping, error) {
+		m, err := e.Map(from, to)
+		if err == nil {
+			return m, nil
+		}
+		if !errors.Is(err, ErrNoMapping) {
+			return nil, err
+		}
+		p := pathFind(from, to)
+		if p == nil {
+			return nil, fmt.Errorf("ops: no mapping or mapping path between sources %d and %d", from, to)
+		}
+		return e.MapPath(p)
+	}
+}

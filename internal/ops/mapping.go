@@ -11,11 +11,18 @@
 package ops
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"genmapper/internal/gam"
 )
+
+// ErrNoMapping reports that no mapping (in either direction) exists
+// between two sources. Callers that fall back to path composition (e.g.
+// Executor.Resolver) test for it with errors.Is to distinguish "nothing
+// stored" from real repository failures.
+var ErrNoMapping = errors.New("no mapping between sources")
 
 // Mapping is the working representation of one source-level relationship
 // with its object associations: the operator algebra's value type.
@@ -63,22 +70,13 @@ func Map(repo *gam.Repo, s, t gam.SourceID) (*Mapping, error) {
 		return nil, err
 	}
 	if rel == nil {
-		return nil, fmt.Errorf("ops: no mapping between sources %d and %d", s, t)
+		return nil, fmt.Errorf("ops: %w: %d and %d", ErrNoMapping, s, t)
 	}
 	assocs, err := repo.Associations(rel.ID)
 	if err != nil {
 		return nil, err
 	}
-	m := &Mapping{Rel: rel.ID, From: s, To: t, Type: rel.Type}
-	if !reversed {
-		m.Assocs = assocs
-		return m, nil
-	}
-	m.Assocs = make([]gam.Assoc, len(assocs))
-	for i, a := range assocs {
-		m.Assocs[i] = gam.Assoc{Object1: a.Object2, Object2: a.Object1, Evidence: a.Evidence}
-	}
-	return m, nil
+	return edgeMapping(s, t, rel, reversed, assocs), nil
 }
 
 // Domain implements Table 2's Domain(map): SELECT DISTINCT S FROM map.
@@ -145,9 +143,20 @@ func Invert(m *Mapping) *Mapping {
 	return out
 }
 
-// Dedup removes duplicate (Object1, Object2) pairs, keeping the highest
-// evidence value among duplicates.
+// Dedup removes duplicate (Object1, Object2) pairs, keeping the strongest
+// evidence among duplicates. Unset evidence (0) denotes a curated fact and
+// outranks any scored value — a derivation certain by facts must not be
+// downgraded by a weaker scored derivation of the same pair; among scored
+// values the highest wins. This ordering makes duplicate collapse agree
+// with evidence strength and keeps multi-step composition independent of
+// the grouping order (sequential fold vs. the executor's tree reduction).
 func Dedup(m *Mapping) *Mapping {
+	stronger := func(a, b float64) bool { // is a stronger than b?
+		if b == 0 {
+			return false // nothing beats a fact
+		}
+		return a == 0 || a > b
+	}
 	best := make(map[[2]gam.ObjectID]float64, len(m.Assocs))
 	order := make([][2]gam.ObjectID, 0, len(m.Assocs))
 	for _, a := range m.Assocs {
@@ -158,7 +167,7 @@ func Dedup(m *Mapping) *Mapping {
 			best[key] = a.Evidence
 			continue
 		}
-		if a.Evidence > ev {
+		if stronger(a.Evidence, ev) {
 			best[key] = a.Evidence
 		}
 	}
@@ -172,9 +181,12 @@ func Dedup(m *Mapping) *Mapping {
 
 // Compose derives a new mapping between m1.From and m2.To by transitivity
 // of associations (paper §4.2): it joins on the shared middle source
-// (m1.To must equal m2.From). Evidence values combine multiplicatively;
-// an unset evidence (0) is treated as certain (1.0). Duplicate derived
-// pairs collapse, keeping the strongest evidence.
+// (m1.To must equal m2.From). Evidence values combine multiplicatively.
+// An unset evidence (0, a curated fact) acts as the multiplicative
+// identity, and a pair of unset evidences stays unset — but an explicitly
+// asserted 1.0 is preserved as 1.0 rather than collapsed to "unset", so
+// asserted certainty remains distinguishable from absence of evidence.
+// Duplicate derived pairs collapse, keeping the strongest evidence.
 func Compose(m1, m2 *Mapping) (*Mapping, error) {
 	if m1.To != m2.From {
 		return nil, fmt.Errorf("ops: cannot compose: mapping targets source %d but next mapping starts at %d", m1.To, m2.From)
@@ -187,16 +199,16 @@ func Compose(m1, m2 *Mapping) (*Mapping, error) {
 	out := &Mapping{From: m1.From, To: m2.To, Type: gam.RelComposed}
 	for _, a1 := range m1.Assocs {
 		for _, a2 := range byMiddle[a1.Object2] {
-			ev1, ev2 := a1.Evidence, a2.Evidence
-			if ev1 == 0 {
-				ev1 = 1
-			}
-			if ev2 == 0 {
-				ev2 = 1
-			}
-			ev := ev1 * ev2
-			if ev == 1 {
-				ev = 0 // both certain: keep "unset"
+			var ev float64
+			switch ev1, ev2 := a1.Evidence, a2.Evidence; {
+			case ev1 == 0 && ev2 == 0:
+				ev = 0 // both facts: the derived pair is a fact
+			case ev1 == 0:
+				ev = ev2
+			case ev2 == 0:
+				ev = ev1
+			default:
+				ev = ev1 * ev2
 			}
 			out.Assocs = append(out.Assocs, gam.Assoc{Object1: a1.Object1, Object2: a2.Object2, Evidence: ev})
 		}
@@ -242,23 +254,12 @@ func MapPath(repo *gam.Repo, path []gam.SourceID) (*Mapping, error) {
 // Materialize stores a derived mapping in the central database as a
 // Composed relationship (paper §2: "Results of such operators that are of
 // general interest ... can be materialized in the central database").
-// An existing Composed mapping between the same sources is replaced.
+// An existing Composed mapping between the same sources is replaced
+// atomically: delete, re-create and insert run in one transaction, so a
+// failure mid-refresh leaves the previously materialized mapping intact.
 func Materialize(repo *gam.Repo, m *Mapping) (gam.SourceRelID, error) {
-	rel, created, err := repo.EnsureSourceRel(m.From, m.To, gam.RelComposed)
+	rel, err := repo.ReplaceMapping(m.From, m.To, gam.RelComposed, m.Assocs)
 	if err != nil {
-		return 0, err
-	}
-	if !created {
-		// Refresh: drop the stale mapping and its associations.
-		if err := repo.DeleteMapping(rel); err != nil {
-			return 0, err
-		}
-		rel, _, err = repo.EnsureSourceRel(m.From, m.To, gam.RelComposed)
-		if err != nil {
-			return 0, err
-		}
-	}
-	if _, err := repo.AddAssociations(rel, m.Assocs, false); err != nil {
 		return 0, err
 	}
 	m.Rel = rel

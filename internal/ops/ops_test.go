@@ -304,6 +304,93 @@ func TestMaterialize(t *testing.T) {
 	}
 }
 
+func TestComposeEvidenceTable(t *testing.T) {
+	// Evidence combination rules: unset (0) is a curated fact and acts as
+	// the multiplicative identity; two facts stay a fact; an explicitly
+	// asserted 1.0 survives as 1.0 instead of collapsing to "unset".
+	cases := []struct {
+		name     string
+		ev1, ev2 float64
+		want     float64
+	}{
+		{"both unset", 0, 0, 0},
+		{"unset left", 0, 0.4, 0.4},
+		{"unset right", 0.4, 0, 0.4},
+		{"explicit certain pair", 1.0, 1.0, 1.0},
+		{"explicit certain left", 1.0, 0.4, 0.4},
+		{"explicit certain with unset", 1.0, 0, 1.0},
+		{"fractional", 0.5, 0.4, 0.2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := &Mapping{From: 1, To: 2, Assocs: []gam.Assoc{{Object1: 10, Object2: 20, Evidence: tc.ev1}}}
+			b := &Mapping{From: 2, To: 3, Assocs: []gam.Assoc{{Object1: 20, Object2: 30, Evidence: tc.ev2}}}
+			c, err := Compose(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(c.Assocs) != 1 || c.Assocs[0].Evidence != tc.want {
+				t.Fatalf("Compose(%v, %v) evidence = %+v, want %v", tc.ev1, tc.ev2, c.Assocs, tc.want)
+			}
+		})
+	}
+}
+
+func TestMaterializeAtomicOnFailure(t *testing.T) {
+	f := newFixture(t)
+	ul, _ := Map(f.repo, f.unigene.ID, f.locus.ID)
+	lg, _ := Map(f.repo, f.locus.ID, f.gene.ID)
+	ug, _ := Compose(ul, lg)
+	if _, err := Materialize(f.repo, ug); err != nil {
+		t.Fatal(err)
+	}
+	want, err := Map(f.repo, f.unigene.ID, f.gene.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Inject a failure between the delete of the old mapping and the
+	// commit of its replacement: the refresh must roll back and leave the
+	// previously materialized mapping fully intact.
+	for _, stage := range []string{"after-delete", "after-insert"} {
+		f.repo.SetReplaceMappingHook(func(s string) error {
+			if s == stage {
+				return fmt.Errorf("injected %s failure", s)
+			}
+			return nil
+		})
+		broken := ug.clone()
+		broken.Assocs = broken.Assocs[:1]
+		if _, err := Materialize(f.repo, broken); err == nil {
+			t.Fatalf("%s: injected failure not reported", stage)
+		}
+		f.repo.SetReplaceMappingHook(nil)
+
+		got, err := Map(f.repo, f.unigene.ID, f.gene.ID)
+		if err != nil {
+			t.Fatalf("%s: materialized mapping destroyed by failed refresh: %v", stage, err)
+		}
+		if got.Rel != want.Rel || got.Len() != want.Len() {
+			t.Fatalf("%s: mapping after failed refresh = rel %d / %d assocs, want rel %d / %d",
+				stage, got.Rel, got.Len(), want.Rel, want.Len())
+		}
+		wantSet := make(map[[2]gam.ObjectID]bool, len(want.Assocs))
+		for _, a := range want.Assocs {
+			wantSet[[2]gam.ObjectID{a.Object1, a.Object2}] = true
+		}
+		for _, a := range got.Assocs {
+			if !wantSet[[2]gam.ObjectID{a.Object1, a.Object2}] {
+				t.Fatalf("%s: unexpected association %+v after rollback", stage, a)
+			}
+		}
+	}
+
+	// After the failed refreshes, a clean re-materialize still works.
+	if _, err := Materialize(f.repo, ug); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestMinEvidence(t *testing.T) {
 	m := &Mapping{Assocs: []gam.Assoc{
 		{Object1: 1, Object2: 2, Evidence: 0.9},

@@ -33,6 +33,11 @@ type TargetSpec struct {
 	Restrict ObjectSet // nil = all target objects
 	Negate   bool
 	Path     []gam.SourceID
+	// Mapping, when non-nil, is a pre-resolved mapping from the view
+	// source to the target that overrides both Path and the resolver —
+	// the hook callers use to route explicit paths through a caching
+	// executor.
+	Mapping *Mapping
 	// MinEvidence drops associations below the threshold before joining
 	// (associations with unset evidence always pass). This is the control
 	// point the paper flags for "mappings containing associations of
@@ -109,7 +114,13 @@ func GenerateView(repo *gam.Repo, s gam.SourceID, sSet ObjectSet, targets []Targ
 		// Determine mapping Mi: S <-> Ti.
 		var mi *Mapping
 		var err error
-		if len(tgt.Path) > 0 {
+		if tgt.Mapping != nil {
+			if tgt.Mapping.From != s || tgt.Mapping.To != tgt.Source {
+				return nil, fmt.Errorf("ops: target %d: pre-resolved mapping leads %d->%d, want %d->%d",
+					i, tgt.Mapping.From, tgt.Mapping.To, s, tgt.Source)
+			}
+			mi = tgt.Mapping
+		} else if len(tgt.Path) > 0 {
 			if tgt.Path[0] != s || tgt.Path[len(tgt.Path)-1] != tgt.Source {
 				return nil, fmt.Errorf("ops: target %d: path must lead from source %d to target %d", i, s, tgt.Source)
 			}

@@ -308,11 +308,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	cs := s.sys.CacheStats()
 	writeJSON(w, map[string]any{
 		"sources":      st.Sources,
 		"objects":      st.Objects,
 		"mappings":     st.Mappings,
 		"associations": st.Associations,
+		"cache": map[string]any{
+			"hits":    cs.Hits,
+			"misses":  cs.Misses,
+			"entries": cs.Entries,
+		},
 	})
 }
 

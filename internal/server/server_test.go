@@ -248,12 +248,62 @@ func TestAPIEndpoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var stats map[string]float64
+	var stats map[string]any
 	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if stats["sources"] != 3 || stats["associations"] != 3 {
+	if stats["sources"] != float64(3) || stats["associations"] != float64(3) {
 		t.Errorf("stats = %v", stats)
+	}
+	cache, ok := stats["cache"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats missing cache counters: %v", stats)
+	}
+	for _, k := range []string{"hits", "misses", "entries"} {
+		if _, ok := cache[k].(float64); !ok {
+			t.Errorf("cache stats missing %q: %v", k, cache)
+		}
+	}
+}
+
+func TestStatsCacheCountersMove(t *testing.T) {
+	ts := testServer(t)
+	cacheStats := func() map[string]float64 {
+		resp, err := http.Get(ts.URL + "/api/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var stats struct {
+			Cache map[string]float64 `json:"cache"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+			t.Fatal(err)
+		}
+		return stats.Cache
+	}
+	query := func() {
+		resp, err := http.PostForm(ts.URL+"/query", url.Values{
+			"source": {"LocusLink"}, "targets": {"Hugo"}, "mode": {"OR"},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	before := cacheStats()
+	query()
+	mid := cacheStats()
+	if mid["misses"] <= before["misses"] {
+		t.Fatalf("first query recorded no cache miss: %v -> %v", before, mid)
+	}
+	query()
+	after := cacheStats()
+	if after["hits"] <= mid["hits"] {
+		t.Fatalf("repeated query recorded no cache hit: %v -> %v", mid, after)
+	}
+	if after["misses"] != mid["misses"] {
+		t.Fatalf("repeated query missed the cache: %v -> %v", mid, after)
 	}
 }

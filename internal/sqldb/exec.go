@@ -398,51 +398,108 @@ func (ex *selectExec) baseCandidates() ([]int64, bool) {
 	if ex.st.Where == nil {
 		return nil, false
 	}
-	base := ex.rels[0]
 	var ids []int64
 	found := false
 	visitConjuncts(ex.st.Where, func(e Expr) bool {
 		if found {
 			return true
 		}
-		b, ok := e.(*Binary)
-		if !ok || b.Op != OpEq {
-			return true
-		}
-		col, lit := matchColLiteral(b.L, b.R)
-		if col == nil {
-			return true
-		}
-		if col.Qual != "" && strings.ToLower(col.Qual) != base.qual {
-			return true
-		}
-		ci := base.table.Schema.ColumnIndex(col.Name)
-		if ci < 0 {
-			return true
-		}
-		// Ambiguity: if another relation has the same unqualified column
-		// name, skip the optimization and let evaluation decide.
-		if col.Qual == "" {
-			if _, err := ex.env.Resolve("", col.Name); err != nil {
+		switch x := e.(type) {
+		case *Binary:
+			if x.Op != OpEq {
 				return true
 			}
-			if p, _ := ex.env.Resolve("", col.Name); p >= base.off+base.width || p < base.off {
+			col, lit := matchColLiteral(x.L, x.R)
+			if col == nil {
 				return true
 			}
+			idx := ex.baseIndexFor(col)
+			if idx == nil {
+				return true
+			}
+			v, err := lit.Eval(nil)
+			if err != nil {
+				return true
+			}
+			ids = idx.Lookup(v)
+			found = true
+		case *InList:
+			// col IN (const, ...) unions the index postings of each item
+			// instead of scanning the table.
+			if x.Negate {
+				return true
+			}
+			col, ok := x.X.(*ColumnRef)
+			if !ok {
+				return true
+			}
+			for _, item := range x.Items {
+				if !isConst(item) {
+					return true
+				}
+			}
+			idx := ex.baseIndexFor(col)
+			if idx == nil {
+				return true
+			}
+			// Distinct values of a column index have disjoint posting
+			// lists, so deduplicating the item values keeps the union
+			// duplicate-free without a per-row set.
+			vals := make([]Value, 0, len(x.Items))
+			for _, item := range x.Items {
+				v, err := item.Eval(nil)
+				if err != nil {
+					return true
+				}
+				if v == nil {
+					continue // NULL matches nothing under IN
+				}
+				dup := false
+				for _, seen := range vals {
+					if Compare(seen, v) == 0 {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					vals = append(vals, v)
+				}
+			}
+			var union []int64
+			for _, v := range vals {
+				union = append(union, idx.Lookup(v)...)
+			}
+			ids = union
+			found = true
 		}
-		idx := base.table.IndexOn(ci)
-		if idx == nil {
-			return true
-		}
-		v, err := lit.Eval(nil)
-		if err != nil {
-			return true
-		}
-		ids = idx.Lookup(v)
-		found = true
 		return true
 	})
 	return ids, found
+}
+
+// baseIndexFor returns the index over the base relation's column named by
+// col, or nil when the column does not (unambiguously) belong to the base
+// relation or has no index.
+func (ex *selectExec) baseIndexFor(col *ColumnRef) *Index {
+	base := ex.rels[0]
+	if col.Qual != "" && strings.ToLower(col.Qual) != base.qual {
+		return nil
+	}
+	ci := base.table.Schema.ColumnIndex(col.Name)
+	if ci < 0 {
+		return nil
+	}
+	// Ambiguity: if another relation has the same unqualified column
+	// name, skip the optimization and let evaluation decide.
+	if col.Qual == "" {
+		if _, err := ex.env.Resolve("", col.Name); err != nil {
+			return nil
+		}
+		if p, _ := ex.env.Resolve("", col.Name); p >= base.off+base.width || p < base.off {
+			return nil
+		}
+	}
+	return base.table.IndexOn(ci)
 }
 
 // visitConjuncts calls fn for every AND-connected conjunct of e.
