@@ -26,6 +26,7 @@ func main() {
 		demo   = flag.Bool("demo", false, "serve a small synthetic universe instead of a snapshot")
 		seed   = flag.Int64("seed", 1, "demo universe seed")
 		scale  = flag.Float64("scale", 0.002, "demo universe scale")
+		pprofF = flag.Bool("pprof", false, "expose net/http/pprof endpoints under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -50,8 +51,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "genmapper:", err)
 		os.Exit(1)
 	}
+	if *pprofF {
+		log.Printf("pprof endpoints enabled at /debug/pprof/")
+	}
 	log.Printf("serving %s on %s", st, *addr)
-	if err := http.ListenAndServe(*addr, server.New(sys)); err != nil {
+	h := server.NewWithConfig(sys, server.Config{EnablePprof: *pprofF})
+	if err := http.ListenAndServe(*addr, h); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -31,6 +31,7 @@ func main() {
 		subsumed  = flag.Bool("subsumed", true, "derive Subsumed mappings from IS_A structures")
 		stats     = flag.Bool("stats", false, "print database statistics and exit")
 		verbose   = flag.Bool("v", false, "print per-source import statistics")
+		engine    = flag.Bool("engine-stats", false, "print SQL engine statement-cache and planner counters after the run")
 	)
 	flag.Parse()
 
@@ -91,6 +92,16 @@ func main() {
 		fail(err)
 	}
 	fmt.Printf("saved %s: %s\n", *dbPath, st)
+
+	if *engine {
+		sc := sys.SQLStmtCacheStats()
+		fmt.Printf("stmt cache: %d hits / %d misses (%d/%d entries)\n",
+			sc.Hits, sc.Misses, sc.Entries, sc.Capacity)
+		ps := sys.SQLPlanStats()
+		fmt.Printf("plans: eq=%d in=%d range=%d ordered=%d full=%d | joins idx=%d hash=%d nested=%d\n",
+			ps.IndexEqScans, ps.IndexInScans, ps.IndexRangeScans, ps.OrderedScans, ps.FullScans,
+			ps.IndexJoins, ps.HashJoins, ps.NestedJoins)
+	}
 }
 
 func openSystem(path string) (*genmapper.System, error) {

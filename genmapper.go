@@ -127,6 +127,14 @@ func (s *System) Executor() *ops.Executor { return s.exec }
 // CacheStats returns the executor's cache hit/miss counters.
 func (s *System) CacheStats() CacheStats { return s.exec.Stats() }
 
+// SQLStmtCacheStats returns the embedded engine's statement-cache counters
+// (parse-once effectiveness across every SQL path).
+func (s *System) SQLStmtCacheStats() sqldb.StmtCacheStats { return s.db.StmtCacheStats() }
+
+// SQLPlanStats returns the embedded engine's planner counters: how often
+// each access path and join strategy executed.
+func (s *System) SQLPlanStats() sqldb.PlanStats { return s.db.PlanStats() }
+
 // Stats returns the deployment counters (§5-style).
 func (s *System) Stats() (*Stats, error) { return s.repo.Stats() }
 

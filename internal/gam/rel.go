@@ -27,7 +27,7 @@ func (r *Repo) EnsureSourceRel(s1, s2 SourceID, typ RelType) (SourceRelID, bool,
 	if id, ok := r.rels[key]; ok {
 		return id, false, nil
 	}
-	res, err := r.db.Exec("INSERT INTO source_rel (source1_id, source2_id, type) VALUES (?, ?, ?)",
+	res, err := r.db.Exec(sqlInsertSourceRel,
 		int64(s1), int64(s2), string(typ))
 	if err != nil {
 		return 0, false, fmt.Errorf("gam: insert source_rel: %w", err)
@@ -42,7 +42,7 @@ func (r *Repo) loadRelsLocked() error {
 	if r.relsLoaded {
 		return nil
 	}
-	rs, err := r.db.Query("SELECT source_rel_id, source1_id, source2_id, type FROM source_rel")
+	rs, err := r.db.Query(sqlSelectSourceRels)
 	if err != nil {
 		return fmt.Errorf("gam: load source rels: %w", err)
 	}
@@ -60,7 +60,7 @@ func (r *Repo) loadRelsLocked() error {
 
 // SourceRelByID returns the mapping row, or nil.
 func (r *Repo) SourceRelByID(id SourceRelID) (*SourceRel, error) {
-	rs, err := r.db.Query("SELECT source_rel_id, source1_id, source2_id, type FROM source_rel WHERE source_rel_id = ?", int64(id))
+	rs, err := r.db.Query(sqlSelectSourceRels+" WHERE source_rel_id = ?", int64(id))
 	if err != nil {
 		return nil, err
 	}
@@ -78,7 +78,7 @@ func (r *Repo) SourceRelByID(id SourceRelID) (*SourceRel, error) {
 
 // SourceRels returns all mappings ordered by ID.
 func (r *Repo) SourceRels() ([]*SourceRel, error) {
-	rs, err := r.db.Query("SELECT source_rel_id, source1_id, source2_id, type FROM source_rel ORDER BY source_rel_id")
+	rs, err := r.db.Query(sqlSelectSourceRels+" ORDER BY source_rel_id")
 	if err != nil {
 		return nil, err
 	}
@@ -198,29 +198,22 @@ type execer interface {
 // multi-row INSERTs (unset evidence is stored as NULL). It returns the
 // number of rows inserted before any error.
 func insertAssociations(ex execer, rel SourceRelID, assocs []Assoc) (int, error) {
-	const chunk = 200
 	inserted := 0
-	for start := 0; start < len(assocs); start += chunk {
-		end := start + chunk
+	for start := 0; start < len(assocs); start += batchChunk {
+		end := start + batchChunk
 		if end > len(assocs) {
 			end = len(assocs)
 		}
 		batch := assocs[start:end]
-		var sb strings.Builder
-		sb.WriteString("INSERT INTO object_rel (source_rel_id, object1_id, object2_id, evidence) VALUES ")
 		args := make([]any, 0, len(batch)*4)
-		for bi, a := range batch {
-			if bi > 0 {
-				sb.WriteString(", ")
-			}
-			sb.WriteString("(?, ?, ?, ?)")
+		for _, a := range batch {
 			var ev any
 			if a.Evidence != 0 {
 				ev = a.Evidence
 			}
 			args = append(args, int64(rel), int64(a.Object1), int64(a.Object2), ev)
 		}
-		if _, err := ex.Exec(sb.String(), args...); err != nil {
+		if _, err := ex.Exec(assocInsertSQL(len(batch)), args...); err != nil {
 			return inserted, fmt.Errorf("gam: insert associations: %w", err)
 		}
 		inserted += len(batch)
@@ -230,7 +223,7 @@ func insertAssociations(ex execer, rel SourceRelID, assocs []Assoc) (int, error)
 
 // Associations returns every association of a mapping.
 func (r *Repo) Associations(rel SourceRelID) ([]Assoc, error) {
-	rs, err := r.db.Query("SELECT object1_id, object2_id, evidence FROM object_rel WHERE source_rel_id = ?", int64(rel))
+	rs, err := r.db.Query(sqlSelectAssociations, int64(rel))
 	if err != nil {
 		return nil, err
 	}
@@ -295,13 +288,13 @@ func (r *Repo) AssociationsBatch(rels []SourceRelID) (map[SourceRelID][]Assoc, e
 // (all mappings when rel is 0).
 func (r *Repo) AssociationCount(rel SourceRelID) (int64, error) {
 	if rel == 0 {
-		rs, err := r.db.Query("SELECT COUNT(*) FROM object_rel")
+		rs, err := r.db.Query(sqlCountAssociations)
 		if err != nil {
 			return 0, err
 		}
 		return rs.Rows[0][0].(int64), nil
 	}
-	rs, err := r.db.Query("SELECT COUNT(*) FROM object_rel WHERE source_rel_id = ?", int64(rel))
+	rs, err := r.db.Query(sqlCountAssocsByRel, int64(rel))
 	if err != nil {
 		return 0, err
 	}
@@ -311,10 +304,10 @@ func (r *Repo) AssociationCount(rel SourceRelID) (int64, error) {
 // DeleteMapping removes a mapping and its associations (used to refresh
 // materialized derived mappings).
 func (r *Repo) DeleteMapping(rel SourceRelID) error {
-	if _, err := r.db.Exec("DELETE FROM object_rel WHERE source_rel_id = ?", int64(rel)); err != nil {
+	if _, err := r.db.Exec(sqlDeleteAssociations, int64(rel)); err != nil {
 		return err
 	}
-	if _, err := r.db.Exec("DELETE FROM source_rel WHERE source_rel_id = ?", int64(rel)); err != nil {
+	if _, err := r.db.Exec(sqlDeleteSourceRel, int64(rel)); err != nil {
 		return err
 	}
 	r.mu.Lock()
@@ -362,17 +355,17 @@ func (r *Repo) ReplaceMapping(s1, s2 SourceID, typ RelType, assocs []Assoc) (Sou
 	key := relKey{s1: s1, s2: s2, typ: typ}
 	old, hadOld := r.rels[key]
 	if hadOld {
-		if _, err := tx.Exec("DELETE FROM object_rel WHERE source_rel_id = ?", int64(old)); err != nil {
+		if _, err := tx.Exec(sqlDeleteAssociations, int64(old)); err != nil {
 			return fail(err)
 		}
-		if _, err := tx.Exec("DELETE FROM source_rel WHERE source_rel_id = ?", int64(old)); err != nil {
+		if _, err := tx.Exec(sqlDeleteSourceRel, int64(old)); err != nil {
 			return fail(err)
 		}
 	}
 	if err := hook("after-delete"); err != nil {
 		return fail(err)
 	}
-	res, err := tx.Exec("INSERT INTO source_rel (source1_id, source2_id, type) VALUES (?, ?, ?)",
+	res, err := tx.Exec(sqlInsertSourceRel,
 		int64(s1), int64(s2), string(typ))
 	if err != nil {
 		return fail(fmt.Errorf("gam: replace mapping: insert source_rel: %w", err))
@@ -415,16 +408,16 @@ func (r *Repo) Stats() (*Stats, error) {
 		return rs.Rows[0][0].(int64), nil
 	}
 	var err error
-	if st.Sources, err = q("SELECT COUNT(*) FROM source"); err != nil {
+	if st.Sources, err = q(sqlCountSources); err != nil {
 		return nil, err
 	}
-	if st.Objects, err = q("SELECT COUNT(*) FROM object"); err != nil {
+	if st.Objects, err = q(sqlCountObjects); err != nil {
 		return nil, err
 	}
-	if st.Mappings, err = q("SELECT COUNT(*) FROM source_rel"); err != nil {
+	if st.Mappings, err = q(sqlCountSourceRels); err != nil {
 		return nil, err
 	}
-	if st.Associations, err = q("SELECT COUNT(*) FROM object_rel"); err != nil {
+	if st.Associations, err = q(sqlCountAssociations); err != nil {
 		return nil, err
 	}
 	rs, err := r.db.Query(`SELECT sr.type, COUNT(*) FROM object_rel o

@@ -97,6 +97,125 @@ var schemaDDL = []string{
 // schema-churn metric of the design ablation).
 func SchemaStatementCount() int { return len(schemaDDL) }
 
+// batchChunk is the number of rows per multi-row INSERT during bulk import.
+const batchChunk = 200
+
+// batchInsertSQL renders prefix followed by n value groups of the given
+// width: "INSERT ... VALUES (?, ?), (?, ?), ...".
+func batchInsertSQL(prefix string, width, n int) string {
+	var sb strings.Builder
+	sb.WriteString(prefix)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteByte('(')
+		for j := 0; j < width; j++ {
+			if j > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteByte('?')
+		}
+		sb.WriteByte(')')
+	}
+	return sb.String()
+}
+
+// The full-chunk INSERT texts are precomputed: bulk imports issue these
+// exact statements thousands of times, so neither the text nor (thanks to
+// the engine's statement cache) the parse is rebuilt per batch.
+const (
+	objectInsertPrefix = "INSERT INTO object (source_id, accession, text, number) VALUES "
+	assocInsertPrefix  = "INSERT INTO object_rel (source_rel_id, object1_id, object2_id, evidence) VALUES "
+)
+
+var (
+	objectInsertFull = batchInsertSQL(objectInsertPrefix, 4, batchChunk)
+	assocInsertFull  = batchInsertSQL(assocInsertPrefix, 4, batchChunk)
+)
+
+// objectInsertSQL returns the multi-row object INSERT text for n rows.
+func objectInsertSQL(n int) string {
+	if n == batchChunk {
+		return objectInsertFull
+	}
+	return batchInsertSQL(objectInsertPrefix, 4, n)
+}
+
+// assocInsertSQL returns the multi-row association INSERT text for n rows.
+func assocInsertSQL(n int) string {
+	if n == batchChunk {
+		return assocInsertFull
+	}
+	return batchInsertSQL(assocInsertPrefix, 4, n)
+}
+
+// The hot statement texts are named constants so the call sites and the
+// prepare-at-Open warm-up list below can never drift apart.
+const (
+	sqlSelectSources         = "SELECT source_id, name, content, structure, release, import_date FROM source"
+	sqlSelectSourcesByName   = "SELECT source_id, name, content, structure, release, import_date FROM source ORDER BY name"
+	sqlInsertSource          = "INSERT INTO source (name, content, structure, release, import_date) VALUES (?, ?, ?, ?, ?)"
+	sqlUpdateSourceAudit     = "UPDATE source SET release = ?, import_date = ? WHERE source_id = ?"
+	sqlSelectObjectAccs      = "SELECT object_id, accession FROM object WHERE source_id = ?"
+	sqlSelectObjectByID      = "SELECT object_id, source_id, accession, text, number FROM object WHERE object_id = ?"
+	sqlSelectObjectsBySource = "SELECT object_id, source_id, accession, text, number FROM object WHERE source_id = ? ORDER BY accession"
+	sqlSelectObjectsNoText   = "SELECT object_id, accession FROM object WHERE source_id = ? AND text IS NULL"
+	sqlUpdateObjectInfo      = "UPDATE object SET text = ?, number = ? WHERE object_id = ?"
+	sqlCountObjects          = "SELECT COUNT(*) FROM object"
+	sqlCountObjectsBySource  = "SELECT COUNT(*) FROM object WHERE source_id = ?"
+	sqlInsertSourceRel       = "INSERT INTO source_rel (source1_id, source2_id, type) VALUES (?, ?, ?)"
+	sqlSelectSourceRels      = "SELECT source_rel_id, source1_id, source2_id, type FROM source_rel"
+	sqlSelectAssociations    = "SELECT object1_id, object2_id, evidence FROM object_rel WHERE source_rel_id = ?"
+	sqlCountSources          = "SELECT COUNT(*) FROM source"
+	sqlCountSourceRels       = "SELECT COUNT(*) FROM source_rel"
+	sqlCountAssociations     = "SELECT COUNT(*) FROM object_rel"
+	sqlCountAssocsByRel      = "SELECT COUNT(*) FROM object_rel WHERE source_rel_id = ?"
+	sqlDeleteAssociations    = "DELETE FROM object_rel WHERE source_rel_id = ?"
+	sqlDeleteSourceRel       = "DELETE FROM source_rel WHERE source_rel_id = ?"
+)
+
+// hotStatements lists the fixed-text statements issued per imported object,
+// association or interactive query. Open prepares them all so the first
+// request after startup already runs on compiled plans.
+var hotStatements = []string{
+	sqlSelectSources,
+	sqlSelectSourcesByName,
+	sqlSelectObjectAccs,
+	sqlSelectObjectByID,
+	sqlSelectObjectsBySource,
+	sqlCountObjects,
+	sqlCountObjectsBySource,
+	sqlSelectObjectsNoText,
+	sqlInsertSource,
+	sqlUpdateSourceAudit,
+	sqlUpdateObjectInfo,
+	sqlInsertSourceRel,
+	sqlSelectSourceRels,
+	sqlSelectAssociations,
+	sqlCountSourceRels,
+	sqlCountAssociations,
+	sqlCountAssocsByRel,
+	sqlDeleteAssociations,
+	sqlDeleteSourceRel,
+}
+
+// prepareHotStatements parses and plans the statements every import and
+// query path hammers. Must run after the schema DDL (plans depend on it).
+func (r *Repo) prepareHotStatements() error {
+	for _, sql := range hotStatements {
+		if _, err := r.db.Prepare(sql); err != nil {
+			return fmt.Errorf("gam: prepare hot statement %q: %w", sql, err)
+		}
+	}
+	for _, sql := range []string{objectInsertFull, assocInsertFull} {
+		if _, err := r.db.Prepare(sql); err != nil {
+			return fmt.Errorf("gam: prepare bulk insert: %w", err)
+		}
+	}
+	return nil
+}
+
 // Open creates (or adopts) the GAM schema on the given database and returns
 // a repository handle.
 func Open(db *sqldb.DB) (*Repo, error) {
@@ -112,6 +231,9 @@ func Open(db *sqldb.DB) (*Repo, error) {
 		objects:     make(map[SourceID]map[string]ObjectID),
 		rels:        make(map[relKey]SourceRelID),
 	}
+	if err := r.prepareHotStatements(); err != nil {
+		return nil, err
+	}
 	if err := r.loadSources(); err != nil {
 		return nil, err
 	}
@@ -122,7 +244,7 @@ func Open(db *sqldb.DB) (*Repo, error) {
 func (r *Repo) DB() *sqldb.DB { return r.db }
 
 func (r *Repo) loadSources() error {
-	rs, err := r.db.Query("SELECT source_id, name, content, structure, release, import_date FROM source")
+	rs, err := r.db.Query(sqlSelectSources)
 	if err != nil {
 		return fmt.Errorf("gam: load sources: %w", err)
 	}
@@ -164,7 +286,7 @@ func (r *Repo) EnsureSource(info Source) (*Source, bool, error) {
 	if s, ok := r.sources[key]; ok {
 		if info.Release != "" && info.Release != s.Release {
 			if _, err := r.db.Exec(
-				"UPDATE source SET release = ?, import_date = ? WHERE source_id = ?",
+				sqlUpdateSourceAudit,
 				info.Release, info.Date, int64(s.ID)); err != nil {
 				return nil, false, fmt.Errorf("gam: update source audit: %w", err)
 			}
@@ -184,7 +306,7 @@ func (r *Repo) EnsureSource(info Source) (*Source, bool, error) {
 		return nil, false, err
 	}
 	res, err := r.db.Exec(
-		"INSERT INTO source (name, content, structure, release, import_date) VALUES (?, ?, ?, ?, ?)",
+		sqlInsertSource,
 		info.Name, string(content), string(structure), info.Release, info.Date)
 	if err != nil {
 		return nil, false, fmt.Errorf("gam: insert source: %w", err)
@@ -216,7 +338,7 @@ func (r *Repo) SourceByID(id SourceID) *Source {
 
 // Sources returns all sources ordered by name.
 func (r *Repo) Sources() []*Source {
-	rs, err := r.db.Query("SELECT source_id, name, content, structure, release, import_date FROM source ORDER BY name")
+	rs, err := r.db.Query(sqlSelectSourcesByName)
 	if err != nil {
 		return nil
 	}
@@ -236,7 +358,7 @@ func (r *Repo) objectCache(src SourceID) (map[string]ObjectID, error) {
 	if m, ok := r.objects[src]; ok {
 		return m, nil
 	}
-	rs, err := r.db.Query("SELECT object_id, accession FROM object WHERE source_id = ?", int64(src))
+	rs, err := r.db.Query(sqlSelectObjectAccs, int64(src))
 	if err != nil {
 		return nil, fmt.Errorf("gam: load objects of source %d: %w", src, err)
 	}
@@ -303,21 +425,14 @@ func (r *Repo) EnsureObjects(src SourceID, specs []ObjectSpec) ([]ObjectID, int,
 		newIdx = append(newIdx, i)
 	}
 
-	const chunk = 200
-	for start := 0; start < len(newIdx); start += chunk {
-		end := start + chunk
+	for start := 0; start < len(newIdx); start += batchChunk {
+		end := start + batchChunk
 		if end > len(newIdx) {
 			end = len(newIdx)
 		}
 		batch := newIdx[start:end]
-		var sb strings.Builder
-		sb.WriteString("INSERT INTO object (source_id, accession, text, number) VALUES ")
 		args := make([]any, 0, len(batch)*4)
-		for bi, i := range batch {
-			if bi > 0 {
-				sb.WriteString(", ")
-			}
-			sb.WriteString("(?, ?, ?, ?)")
+		for _, i := range batch {
 			spec := specs[i]
 			var num any
 			if spec.HasNumber {
@@ -329,7 +444,7 @@ func (r *Repo) EnsureObjects(src SourceID, specs []ObjectSpec) ([]ObjectID, int,
 			}
 			args = append(args, int64(src), spec.Accession, text, num)
 		}
-		res, err := r.db.Exec(sb.String(), args...)
+		res, err := r.db.Exec(objectInsertSQL(len(batch)), args...)
 		if err != nil {
 			return nil, 0, fmt.Errorf("gam: insert objects: %w", err)
 		}
@@ -366,9 +481,7 @@ func (r *Repo) FillMissingObjectInfo(src SourceID, specs []ObjectSpec) (int, err
 	if len(bySpec) == 0 {
 		return 0, nil
 	}
-	rs, err := r.db.Query(
-		"SELECT object_id, accession FROM object WHERE source_id = ? AND text IS NULL",
-		int64(src))
+	rs, err := r.db.Query(sqlSelectObjectsNoText, int64(src))
 	if err != nil {
 		return 0, err
 	}
@@ -386,7 +499,7 @@ func (r *Repo) FillMissingObjectInfo(src SourceID, specs []ObjectSpec) (int, err
 		if spec.Text != "" {
 			text = spec.Text
 		}
-		if _, err := r.db.Exec("UPDATE object SET text = ?, number = ? WHERE object_id = ?",
+		if _, err := r.db.Exec(sqlUpdateObjectInfo,
 			text, num, row[0].(int64)); err != nil {
 			return updated, err
 		}
@@ -425,7 +538,7 @@ func (r *Repo) LookupObjects(src SourceID, accessions []string) (map[string]Obje
 
 // Object returns the full object row by ID, or nil.
 func (r *Repo) Object(id ObjectID) (*Object, error) {
-	rs, err := r.db.Query("SELECT object_id, source_id, accession, text, number FROM object WHERE object_id = ?", int64(id))
+	rs, err := r.db.Query(sqlSelectObjectByID, int64(id))
 	if err != nil {
 		return nil, err
 	}
@@ -437,7 +550,7 @@ func (r *Repo) Object(id ObjectID) (*Object, error) {
 
 // ObjectsBySource returns all objects of a source ordered by accession.
 func (r *Repo) ObjectsBySource(src SourceID) ([]*Object, error) {
-	rs, err := r.db.Query("SELECT object_id, source_id, accession, text, number FROM object WHERE source_id = ? ORDER BY accession", int64(src))
+	rs, err := r.db.Query(sqlSelectObjectsBySource, int64(src))
 	if err != nil {
 		return nil, err
 	}
@@ -454,9 +567,9 @@ func (r *Repo) ObjectCount(src SourceID) (int64, error) {
 	var rs *sqldb.ResultSet
 	var err error
 	if src == 0 {
-		rs, err = r.db.Query("SELECT COUNT(*) FROM object")
+		rs, err = r.db.Query(sqlCountObjects)
 	} else {
-		rs, err = r.db.Query("SELECT COUNT(*) FROM object WHERE source_id = ?", int64(src))
+		rs, err = r.db.Query(sqlCountObjectsBySource, int64(src))
 	}
 	if err != nil {
 		return 0, err

@@ -10,10 +10,19 @@ import (
 	"fmt"
 	"html/template"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 
 	"genmapper"
 )
+
+// Config controls optional server features.
+type Config struct {
+	// EnablePprof registers net/http/pprof handlers under /debug/pprof/ so
+	// the serving path can be profiled. Off by default: the endpoints expose
+	// internals and should only be enabled deliberately (-pprof flag).
+	EnablePprof bool
+}
 
 // Server wires a GenMapper system into an http.Handler.
 type Server struct {
@@ -21,8 +30,11 @@ type Server struct {
 	mux *http.ServeMux
 }
 
-// New builds the handler for a system.
-func New(sys *genmapper.System) *Server {
+// New builds the handler for a system with default configuration.
+func New(sys *genmapper.System) *Server { return NewWithConfig(sys, Config{}) }
+
+// NewWithConfig builds the handler for a system.
+func NewWithConfig(sys *genmapper.System, cfg Config) *Server {
 	s := &Server{sys: sys, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/", s.handleHome)
 	s.mux.HandleFunc("/query", s.handleQuery)
@@ -31,6 +43,13 @@ func New(sys *genmapper.System) *Server {
 	s.mux.HandleFunc("/path", s.handlePath)
 	s.mux.HandleFunc("/api/sources", s.handleSources)
 	s.mux.HandleFunc("/api/stats", s.handleStats)
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
@@ -319,6 +338,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"misses":  cs.Misses,
 			"entries": cs.Entries,
 		},
+		"sql_stmt_cache": s.sys.SQLStmtCacheStats(),
+		"sql_plans":      s.sys.SQLPlanStats(),
 	})
 }
 

@@ -291,6 +291,51 @@ func (t *btree) ascendRange(n *btreeNode, lo, hi Value, hasLo, hasHi, loIncl, hi
 	return true
 }
 
+// DescendRange visits entries with lo <= key <= hi (bounds optional via
+// hasLo/hasHi; inclusivity controlled by loIncl/hiIncl) in descending order.
+func (t *btree) DescendRange(lo, hi Value, hasLo, hasHi, loIncl, hiIncl bool, fn func(key Value, row int64) bool) {
+	t.descendRange(t.root, lo, hi, hasLo, hasHi, loIncl, hiIncl, fn)
+}
+
+func (t *btree) descendRange(n *btreeNode, lo, hi Value, hasLo, hasHi, loIncl, hiIncl bool, fn func(Value, int64) bool) bool {
+	end := len(n.entries)
+	if hasHi {
+		// One past the last entry with key <= hi (or < hi when exclusive).
+		lo2, hi2 := 0, len(n.entries)
+		for lo2 < hi2 {
+			mid := (lo2 + hi2) / 2
+			c := Compare(n.entries[mid].key, hi)
+			if c < 0 || (c == 0 && hiIncl) {
+				lo2 = mid + 1
+			} else {
+				hi2 = mid
+			}
+		}
+		end = lo2
+	}
+	for i := end; i >= 0; i-- {
+		if !n.isLeaf() {
+			if !t.descendRange(n.children[i], lo, hi, hasLo, hasHi, loIncl, hiIncl, fn) {
+				return false
+			}
+		}
+		if i == 0 {
+			break
+		}
+		e := n.entries[i-1]
+		if hasLo {
+			c := Compare(e.key, lo)
+			if c < 0 || (c == 0 && !loIncl) {
+				return false
+			}
+		}
+		if !fn(e.key, e.row) {
+			return false
+		}
+	}
+	return true
+}
+
 // Len returns the number of stored entries.
 func (t *btree) Len() int { return t.size }
 

@@ -15,6 +15,28 @@ type DB struct {
 	mu     sync.RWMutex
 	writer sync.Mutex // serializes writers and spans transactions
 	tables map[string]*Table
+
+	// gen is the schema generation, bumped by every DDL change (and its
+	// rollback). Prepared plans record the generation they were built under
+	// and are transparently rebuilt when it moves. Guarded by mu.
+	gen uint64
+	// noIndex disables index access paths in the planner (see
+	// SetIndexAccess). Guarded by mu.
+	noIndex bool
+
+	// stmts caches prepared statements by SQL text so repeated Query/Exec
+	// calls parse and plan once.
+	stmts *stmtCache
+	// plans counts executed access paths and join strategies.
+	plans planCounters
+}
+
+// bumpSchemaGen advances the schema generation and eagerly clears cached
+// compiled statements so plans drop their table/index references. Caller
+// holds db.mu exclusively.
+func (db *DB) bumpSchemaGen() {
+	db.gen++
+	db.stmts.invalidateAll()
 }
 
 // Result reports the outcome of a write statement.
@@ -25,7 +47,10 @@ type Result struct {
 
 // NewDB creates an empty database.
 func NewDB() *DB {
-	return &DB{tables: make(map[string]*Table)}
+	return &DB{
+		tables: make(map[string]*Table),
+		stmts:  newStmtCache(DefaultStmtCacheCapacity),
+	}
 }
 
 func (db *DB) table(name string) *Table {
@@ -66,49 +91,50 @@ func (db *DB) RowCount(name string) int {
 	return t.RowCount()
 }
 
-// Query parses and executes a SELECT statement with optional positional
-// arguments bound to `?` placeholders.
+// Query executes a SELECT statement with optional positional arguments
+// bound to `?` placeholders. Statements are parsed and planned once and
+// cached by SQL text, so repeated calls skip straight to execution.
 func (db *DB) Query(sql string, args ...any) (*ResultSet, error) {
-	st, err := Parse(sql)
-	if err != nil {
-		return nil, err
-	}
-	sel, ok := st.(*SelectStmt)
-	if !ok {
-		return nil, fmt.Errorf("sqldb: Query requires a SELECT statement")
-	}
-	vals, err := normalizeArgs(args)
-	if err != nil {
-		return nil, err
-	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.executeSelect(sel, vals)
+	return db.stmts.get(db, sql).Query(args...)
 }
 
-// Exec parses and executes a write or DDL statement. BEGIN/COMMIT/ROLLBACK
-// are rejected here; use Begin for transactions.
+// Exec executes a write or DDL statement through the statement cache.
+// BEGIN/COMMIT/ROLLBACK are rejected here; use Begin for transactions.
 func (db *DB) Exec(sql string, args ...any) (Result, error) {
-	st, err := Parse(sql)
-	if err != nil {
-		return Result{}, err
+	return db.stmts.get(db, sql).Exec(args...)
+}
+
+// errTxnControl rejects BEGIN/COMMIT/ROLLBACK outside resp. inside a
+// transaction with the appropriate message.
+const (
+	errTxnControlExec = "sqldb: use DB.Begin for transaction control"
+	errTxnControlTx   = "sqldb: nested transaction control is not supported"
+)
+
+// validateExec rejects statements Exec must not run and checks arguments.
+func (p *prepared) validateExec(vals []Value, txnControlErr string) error {
+	if p.sel != nil {
+		return fmt.Errorf("sqldb: Exec cannot run SELECT; use Query")
 	}
-	vals, err := normalizeArgs(args)
-	if err != nil {
-		return Result{}, err
-	}
-	switch st.(type) {
+	switch p.write.(type) {
 	case *BeginStmt, *CommitStmt, *RollbackStmt:
-		return Result{}, fmt.Errorf("sqldb: use DB.Begin for transaction control")
-	case *SelectStmt:
-		return Result{}, fmt.Errorf("sqldb: Exec cannot run SELECT; use Query")
+		return fmt.Errorf("%s", txnControlErr)
 	}
-	db.writer.Lock()
-	defer db.writer.Unlock()
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	return p.checkArgs(vals)
+}
+
+// execPrepared runs a non-SELECT prepared statement. Caller holds writer
+// and db.mu exclusively.
+func (db *DB) execPrepared(s *Stmt, vals []Value) (Result, error) {
+	p, err := s.ensure(db)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := p.validateExec(vals, errTxnControlExec); err != nil {
+		return Result{}, err
+	}
 	undo := &undoLog{}
-	res, err := db.executeWrite(st, vals, undo)
+	res, err := db.executeWrite(p.write, vals, undo)
 	if err != nil {
 		undo.rollback(db)
 		return Result{}, err
@@ -165,13 +191,8 @@ type deleteUndo struct {
 }
 
 func (e deleteUndo) undo(db *DB) {
-	t := db.table(e.table)
-	if t == nil {
-		return
-	}
-	t.rows[e.rowID] = e.row
-	for _, idx := range t.indexes {
-		idx.insert(e.row[idx.Col], e.rowID)
+	if t := db.table(e.table); t != nil {
+		t.restore(e.rowID, e.row)
 	}
 }
 
@@ -203,12 +224,14 @@ type createTableUndo struct{ name string }
 
 func (e createTableUndo) undo(db *DB) {
 	delete(db.tables, strings.ToLower(e.name))
+	db.bumpSchemaGen()
 }
 
 type dropTableUndo struct{ table *Table }
 
 func (e dropTableUndo) undo(db *DB) {
 	db.tables[strings.ToLower(e.table.Name)] = e.table
+	db.bumpSchemaGen()
 }
 
 type createIndexUndo struct {
@@ -220,6 +243,7 @@ func (e createIndexUndo) undo(db *DB) {
 	if t := db.table(e.table); t != nil {
 		delete(t.indexes, e.name)
 	}
+	db.bumpSchemaGen()
 }
 
 type dropIndexUndo struct {
@@ -231,6 +255,7 @@ func (e dropIndexUndo) undo(db *DB) {
 	if t := db.table(e.table); t != nil {
 		t.indexes[e.idx.Name] = e.idx
 	}
+	db.bumpSchemaGen()
 }
 
 // ---------------------------------------------------------------------------
@@ -276,6 +301,7 @@ func (db *DB) executeInsert(st *InsertStmt, args []Value, undo *undoLog) (Result
 			colPos = append(colPos, ci)
 		}
 	}
+	penv := paramEnv(args)
 	var res Result
 	for _, rowExprs := range st.Rows {
 		if len(rowExprs) != len(colPos) {
@@ -283,10 +309,7 @@ func (db *DB) executeInsert(st *InsertStmt, args []Value, undo *undoLog) (Result
 		}
 		full := make([]Value, len(t.Schema.Columns))
 		for i, e := range rowExprs {
-			if err := bindParams(e, args); err != nil {
-				return Result{}, err
-			}
-			v, err := e.Eval(nil)
+			v, err := e.Eval(penv)
 			if err != nil {
 				return Result{}, err
 			}
@@ -311,51 +334,27 @@ func (db *DB) executeInsert(st *InsertStmt, args []Value, undo *undoLog) (Result
 	return res, nil
 }
 
-// matchRows returns the IDs of rows in t satisfying where (nil = all),
-// using an index for top-level equality conjuncts when available.
+// matchRows returns the IDs of rows in t satisfying where (nil = all).
+// It shares the SELECT planner's access machinery, so UPDATE and DELETE get
+// equality, IN-list and B-tree range index access too.
 func (db *DB) matchRows(t *Table, binding string, where Expr, args []Value) ([]int64, error) {
+	env := NewRowEnv(binding, t.Schema.Names())
+	env.params = args
+	// Resolve column positions once instead of per row. Write statements
+	// run under the exclusive lock, so binding the (cached) AST is safe.
 	if where != nil {
-		if err := bindParams(where, args); err != nil {
+		if err := bindColumns(where, env); err != nil {
 			return nil, err
 		}
 	}
-	env := NewRowEnv(binding, t.Schema.Names())
 
-	var candidates []int64
-	usedIndex := false
-	if where != nil {
-		visitConjuncts(where, func(e Expr) bool {
-			if usedIndex {
-				return true
-			}
-			b, ok := e.(*Binary)
-			if !ok || b.Op != OpEq {
-				return true
-			}
-			col, lit := matchColLiteral(b.L, b.R)
-			if col == nil {
-				return true
-			}
-			if col.Qual != "" && !strings.EqualFold(col.Qual, binding) {
-				return true
-			}
-			ci := t.Schema.ColumnIndex(col.Name)
-			if ci < 0 {
-				return true
-			}
-			idx := t.IndexOn(ci)
-			if idx == nil {
-				return true
-			}
-			v, err := lit.Eval(nil)
-			if err != nil {
-				return true
-			}
-			candidates = idx.Lookup(v)
-			usedIndex = true
-			return true
-		})
+	resolve := func(col *ColumnRef) int {
+		if col.Qual != "" && !strings.EqualFold(col.Qual, binding) {
+			return -1
+		}
+		return t.Schema.ColumnIndex(col.Name)
 	}
+	access := planTableAccess(t, where, resolve, db.noIndex)
 
 	var ids []int64
 	check := func(id int64, row []Value) (bool, error) {
@@ -375,8 +374,19 @@ func (db *DB) matchRows(t *Table, binding string, where Expr, args []Value) ([]i
 		return true, nil
 	}
 
-	if usedIndex {
-		sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+	if access.kind != accessScan {
+		switch access.kind {
+		case accessEq:
+			db.plans.indexEq.Add(1)
+		case accessIn:
+			db.plans.indexIn.Add(1)
+		case accessRange:
+			db.plans.indexRange.Add(1)
+		}
+		candidates, err := collectAccessIDs(&access, env)
+		if err != nil {
+			return nil, err
+		}
 		for _, id := range candidates {
 			row := t.Get(id)
 			if row == nil {
@@ -388,6 +398,7 @@ func (db *DB) matchRows(t *Table, binding string, where Expr, args []Value) ([]i
 		}
 		return ids, nil
 	}
+	db.plans.fullScans.Add(1)
 	var scanErr error
 	t.Scan(func(id int64, row []Value) bool {
 		if _, err := check(id, row); err != nil {
@@ -414,15 +425,18 @@ func (db *DB) executeUpdate(st *UpdateStmt, args []Value, undo *undoLog) (Result
 			return Result{}, fmt.Errorf("sqldb: no column %q in table %s", s.Column, t.Name)
 		}
 		setPos[i] = ci
-		if err := bindParams(s.Expr, args); err != nil {
-			return Result{}, err
-		}
 	}
 	ids, err := db.matchRows(t, st.Table, st.Where, args)
 	if err != nil {
 		return Result{}, err
 	}
 	env := NewRowEnv(st.Table, t.Schema.Names())
+	env.params = args
+	for _, s := range st.Sets {
+		if err := bindColumns(s.Expr, env); err != nil {
+			return Result{}, err
+		}
+	}
 	var res Result
 	for _, id := range ids {
 		old := t.Get(id)
@@ -492,6 +506,7 @@ func (db *DB) executeCreateTable(st *CreateTableStmt, undo *undoLog) (Result, er
 		return Result{}, err
 	}
 	db.tables[key] = NewTable(st.Name, schema)
+	db.bumpSchemaGen()
 	undo.add(createTableUndo{name: st.Name})
 	return Result{}, nil
 }
@@ -507,6 +522,7 @@ func (db *DB) executeCreateIndex(st *CreateIndexStmt, undo *undoLog) (Result, er
 	if _, err := t.CreateIndex(st.Name, st.Column, st.Kind, st.Unique); err != nil {
 		return Result{}, err
 	}
+	db.bumpSchemaGen()
 	undo.add(createIndexUndo{table: t.Name, name: st.Name})
 	return Result{}, nil
 }
@@ -521,6 +537,7 @@ func (db *DB) executeDropTable(st *DropTableStmt, undo *undoLog) (Result, error)
 		return Result{}, fmt.Errorf("sqldb: no such table %q", st.Name)
 	}
 	delete(db.tables, key)
+	db.bumpSchemaGen()
 	undo.add(dropTableUndo{table: t})
 	return Result{}, nil
 }
@@ -549,6 +566,7 @@ func (db *DB) executeDropIndex(st *DropIndexStmt, undo *undoLog) (Result, error)
 		return Result{}, fmt.Errorf("sqldb: no such index %q", st.Name)
 	}
 	delete(t.indexes, idx.Name)
+	db.bumpSchemaGen()
 	undo.add(dropIndexUndo{table: t.Name, idx: idx})
 	return Result{}, nil
 }
@@ -570,28 +588,28 @@ func (db *DB) Begin() *Tx {
 	return &Tx{db: db, undo: &undoLog{}}
 }
 
-// Exec runs a write statement inside the transaction.
+// Exec runs a write statement inside the transaction. Statements go through
+// the database's shared statement cache, so a transaction re-issuing the
+// same shapes as the non-transactional path parses nothing anew.
 func (tx *Tx) Exec(sql string, args ...any) (Result, error) {
 	if tx.done {
 		return Result{}, fmt.Errorf("sqldb: transaction already finished")
-	}
-	st, err := Parse(sql)
-	if err != nil {
-		return Result{}, err
-	}
-	switch st.(type) {
-	case *BeginStmt, *CommitStmt, *RollbackStmt:
-		return Result{}, fmt.Errorf("sqldb: nested transaction control is not supported")
-	case *SelectStmt:
-		return Result{}, fmt.Errorf("sqldb: Exec cannot run SELECT; use Query")
 	}
 	vals, err := normalizeArgs(args)
 	if err != nil {
 		return Result{}, err
 	}
-	tx.db.mu.Lock()
-	defer tx.db.mu.Unlock()
-	return tx.db.executeWrite(st, vals, tx.undo)
+	db := tx.db
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	p, err := db.stmts.get(db, sql).ensure(db)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := p.validateExec(vals, errTxnControlTx); err != nil {
+		return Result{}, err
+	}
+	return db.executeWrite(p.write, vals, tx.undo)
 }
 
 // Query runs a SELECT inside the transaction, observing its own writes.

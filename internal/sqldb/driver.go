@@ -63,55 +63,7 @@ func (c *sqlConn) Prepare(query string) (driver.Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	n := 0
-	switch s := st.(type) {
-	case *SelectStmt:
-		exprs := []Expr{s.Where, s.Having, s.Limit, s.Offset}
-		for _, it := range s.Items {
-			exprs = append(exprs, it.Expr)
-		}
-		for _, j := range s.Joins {
-			exprs = append(exprs, j.On)
-		}
-		exprs = append(exprs, s.GroupBy...)
-		for _, o := range s.OrderBy {
-			exprs = append(exprs, o.Expr)
-		}
-		for _, e := range exprs {
-			if e == nil {
-				continue
-			}
-			if k := countParams(e); k > n {
-				n = k
-			}
-		}
-	case *InsertStmt:
-		for _, row := range s.Rows {
-			for _, e := range row {
-				if k := countParams(e); k > n {
-					n = k
-				}
-			}
-		}
-	case *UpdateStmt:
-		for _, set := range s.Sets {
-			if k := countParams(set.Expr); k > n {
-				n = k
-			}
-		}
-		if s.Where != nil {
-			if k := countParams(s.Where); k > n {
-				n = k
-			}
-		}
-	case *DeleteStmt:
-		if s.Where != nil {
-			if k := countParams(s.Where); k > n {
-				n = k
-			}
-		}
-	}
-	return &sqlStmt{conn: c, query: query, numInput: n}, nil
+	return &sqlStmt{conn: c, query: query, numInput: statementParamCount(st)}, nil
 }
 
 // Close releases the connection.

@@ -24,53 +24,48 @@ type relBinding struct {
 	width int
 }
 
-// selectExec carries per-query state for executing a SELECT.
+// selectExec carries the per-execution state of one SELECT: the row
+// environment (values + parameters + aggregate slots), hash-join tables and
+// the early-exit limit. The plan itself is shared and immutable.
 type selectExec struct {
-	db   *DB
-	st   *SelectStmt
-	env  *RowEnv
-	rels []relBinding
+	db  *DB
+	p   *selectPlan
+	env *RowEnv
 
-	// Aggregation state.
-	aggCalls []*FuncCall
-	aggVals  []Value // current group's aggregate results
-	grouped  bool
-
-	// Rewritten projection/having/order expressions (aggregates replaced
-	// by slots reading aggVals).
-	projExprs  []Expr
-	projNames  []string
-	havingExpr Expr
-	orderExprs []Expr
+	// limitTarget is the number of output rows after which row production
+	// stops (LIMIT+OFFSET pushdown); active only when hasTarget is set.
+	limitTarget int
+	hasTarget   bool
 }
 
 // aggSlot reads a precomputed aggregate value for the current group.
 type aggSlot struct {
-	ex  *selectExec
-	idx int
+	idx  int
+	name string
 }
 
 // Eval returns the aggregate value for the group being projected.
-func (a *aggSlot) Eval(*RowEnv) (Value, error) { return a.ex.aggVals[a.idx], nil }
-func (a *aggSlot) String() string              { return a.ex.aggCalls[a.idx].String() }
+func (a *aggSlot) Eval(env *RowEnv) (Value, error) { return env.aggVals[a.idx], nil }
+func (a *aggSlot) String() string                  { return a.name }
 
-func (db *DB) executeSelect(st *SelectStmt, args []Value) (*ResultSet, error) {
-	ex := &selectExec{db: db, st: st}
-	if err := ex.bindArgs(args); err != nil {
-		return nil, err
-	}
-	if err := ex.setupRelations(); err != nil {
-		return nil, err
-	}
-	if err := ex.setupProjection(); err != nil {
-		return nil, err
-	}
+// fixedCol reads a pre-resolved environment position (used by star
+// expansion, avoiding name ambiguity issues for duplicate column names).
+type fixedCol struct {
+	pos int
+}
 
-	ex.grouped = len(st.GroupBy) > 0 || len(ex.aggCalls) > 0
+// Eval returns the environment value at the fixed position.
+func (f *fixedCol) Eval(env *RowEnv) (Value, error) { return env.vals[f.pos], nil }
+func (f *fixedCol) String() string                  { return fmt.Sprintf("col#%d", f.pos) }
+
+func (db *DB) executeSelect(p *selectPlan, args []Value) (*ResultSet, error) {
+	ex := &selectExec{db: db, p: p, env: p.newEnv(args)}
+	ex.computeLimitTarget()
+
 	var out [][]Value
 	var orderKeys [][]Value
 	var err error
-	if ex.grouped {
+	if p.grouped {
 		out, orderKeys, err = ex.runGrouped()
 	} else {
 		out, orderKeys, err = ex.runSimple()
@@ -79,275 +74,73 @@ func (db *DB) executeSelect(st *SelectStmt, args []Value) (*ResultSet, error) {
 		return nil, err
 	}
 
-	if st.Distinct {
+	if p.st.Distinct {
 		out, orderKeys = distinctRows(out, orderKeys)
 	}
-	if len(st.OrderBy) > 0 {
-		sortRows(out, orderKeys, st.OrderBy)
+	if len(p.st.OrderBy) > 0 && !p.orderSatisfied {
+		sortRows(out, orderKeys, p.st.OrderBy)
 	}
 	out, err = ex.applyLimit(out)
 	if err != nil {
 		return nil, err
 	}
-	return &ResultSet{Columns: ex.projNames, Rows: out}, nil
+	return &ResultSet{Columns: p.projNames, Rows: out}, nil
 }
 
-func (ex *selectExec) bindArgs(args []Value) error {
-	st := ex.st
-	exprs := []Expr{st.Where, st.Having, st.Limit, st.Offset}
-	for _, it := range st.Items {
-		exprs = append(exprs, it.Expr)
-	}
-	for _, j := range st.Joins {
-		exprs = append(exprs, j.On)
-	}
-	exprs = append(exprs, st.GroupBy...)
-	for _, o := range st.OrderBy {
-		exprs = append(exprs, o.Expr)
-	}
-	for _, e := range exprs {
-		if e == nil {
-			continue
-		}
-		if err := bindParams(e, args); err != nil {
-			return err
-		}
-	}
-	return nil
+// needOrderKeys reports whether per-row sort keys must be collected (only
+// when a sort actually runs afterwards).
+func (ex *selectExec) needOrderKeys() bool {
+	return len(ex.p.orderExprs) > 0 && !ex.p.orderSatisfied
 }
 
-func (ex *selectExec) setupRelations() error {
-	st := ex.st
-	ex.env = &RowEnv{}
-	add := func(ref TableRef) error {
-		t := ex.db.table(ref.Name)
-		if t == nil {
-			return fmt.Errorf("sqldb: no such table %q", ref.Name)
-		}
-		off := ex.env.Width()
-		ex.env.AddRelation(ref.Binding(), t.Schema.Names())
-		ex.rels = append(ex.rels, relBinding{table: t, qual: strings.ToLower(ref.Binding()), off: off, width: len(t.Schema.Columns)})
-		return nil
+// computeLimitTarget enables early row-production exit when the plan emits
+// rows in final order (or no order is requested) and LIMIT is present.
+// Errors are ignored here; applyLimit re-evaluates and reports them.
+func (ex *selectExec) computeLimitTarget() {
+	p := ex.p
+	if p.grouped || p.st.Distinct || p.st.Limit == nil {
+		return
 	}
-	if err := add(st.From); err != nil {
-		return err
+	if len(p.st.OrderBy) > 0 && !p.orderSatisfied {
+		return
 	}
-	for _, j := range st.Joins {
-		if err := add(j.Table); err != nil {
-			return err
-		}
+	limit, err := p.st.Limit.Eval(ex.env)
+	n, ok := limit.(int64)
+	if err != nil || !ok || n < 0 {
+		return
 	}
-	return nil
-}
-
-// setupProjection expands stars, names output columns and rewrites
-// aggregates into slots.
-func (ex *selectExec) setupProjection() error {
-	for _, item := range ex.st.Items {
-		if item.Star {
-			if err := ex.expandStar(item.Qual); err != nil {
-				return err
-			}
-			continue
+	var off int64
+	if p.st.Offset != nil {
+		v, err := p.st.Offset.Eval(ex.env)
+		o, ok := v.(int64)
+		if err != nil || !ok || o < 0 {
+			return
 		}
-		e, err := ex.rewriteAggs(item.Expr)
-		if err != nil {
-			return err
-		}
-		ex.projExprs = append(ex.projExprs, e)
-		name := item.Alias
-		if name == "" {
-			name = projName(item.Expr)
-		}
-		ex.projNames = append(ex.projNames, name)
+		off = o
 	}
-	if ex.st.Having != nil {
-		h, err := ex.rewriteAggs(ex.st.Having)
-		if err != nil {
-			return err
-		}
-		ex.havingExpr = h
+	// Huge limits (e.g. LIMIT max-int as the "no limit, just offset" idiom)
+	// would overflow n+off — and int(n+off) must also fit a 32-bit int —
+	// and early exit buys nothing there, so skip it.
+	const maxTarget = 1 << 30
+	if n >= maxTarget || off >= maxTarget {
+		return
 	}
-	for _, o := range ex.st.OrderBy {
-		// ORDER BY <ordinal> references a select item.
-		if lit, ok := o.Expr.(*Literal); ok {
-			if n, ok := lit.Val.(int64); ok {
-				if n < 1 || int(n) > len(ex.projExprs) {
-					return fmt.Errorf("sqldb: ORDER BY position %d out of range", n)
-				}
-				ex.orderExprs = append(ex.orderExprs, ex.projExprs[n-1])
-				continue
-			}
-		}
-		// ORDER BY <alias> references a select item by its alias.
-		if cr, ok := o.Expr.(*ColumnRef); ok && cr.Qual == "" {
-			matched := false
-			for i, name := range ex.projNames {
-				if strings.EqualFold(name, cr.Name) {
-					// Only treat as alias when it is not a real column.
-					if _, err := ex.env.Resolve("", cr.Name); err != nil {
-						ex.orderExprs = append(ex.orderExprs, ex.projExprs[i])
-						matched = true
-					}
-					break
-				}
-			}
-			if matched {
-				continue
-			}
-		}
-		e, err := ex.rewriteAggs(o.Expr)
-		if err != nil {
-			return err
-		}
-		ex.orderExprs = append(ex.orderExprs, e)
-	}
-	return nil
-}
-
-func (ex *selectExec) expandStar(qual string) error {
-	q := strings.ToLower(qual)
-	matched := false
-	for _, rel := range ex.rels {
-		if q != "" && rel.qual != q {
-			continue
-		}
-		matched = true
-		for i, c := range rel.table.Schema.Columns {
-			pos := rel.off + i
-			ex.projExprs = append(ex.projExprs, &fixedCol{env: ex.env, pos: pos})
-			ex.projNames = append(ex.projNames, c.Name)
-		}
-	}
-	if !matched {
-		return fmt.Errorf("sqldb: unknown table qualifier %q in select list", qual)
-	}
-	return nil
-}
-
-// fixedCol reads a pre-resolved environment position (used by star
-// expansion, avoiding name ambiguity issues for duplicate column names).
-type fixedCol struct {
-	env *RowEnv
-	pos int
-}
-
-// Eval returns the environment value at the fixed position.
-func (f *fixedCol) Eval(env *RowEnv) (Value, error) { return env.vals[f.pos], nil }
-func (f *fixedCol) String() string                  { return fmt.Sprintf("col#%d", f.pos) }
-
-func projName(e Expr) string {
-	if c, ok := e.(*ColumnRef); ok {
-		return c.Name
-	}
-	return e.String()
-}
-
-// rewriteAggs returns a copy of e with aggregate calls replaced by slots.
-// It registers each aggregate in ex.aggCalls.
-func (ex *selectExec) rewriteAggs(e Expr) (Expr, error) {
-	switch x := e.(type) {
-	case nil:
-		return nil, nil
-	case *Literal, *ColumnRef, *Param, *fixedCol:
-		return e, nil
-	case *FuncCall:
-		if x.IsAggregate() {
-			for _, a := range x.Args {
-				hasAgg := false
-				walkExpr(a, func(sub Expr) {
-					if f, ok := sub.(*FuncCall); ok && f.IsAggregate() {
-						hasAgg = true
-					}
-				})
-				if hasAgg {
-					return nil, fmt.Errorf("sqldb: nested aggregate in %s", x.Name)
-				}
-			}
-			ex.aggCalls = append(ex.aggCalls, x)
-			return &aggSlot{ex: ex, idx: len(ex.aggCalls) - 1}, nil
-		}
-		args := make([]Expr, len(x.Args))
-		for i, a := range x.Args {
-			na, err := ex.rewriteAggs(a)
-			if err != nil {
-				return nil, err
-			}
-			args[i] = na
-		}
-		return &FuncCall{Name: x.Name, Args: args}, nil
-	case *Binary:
-		l, err := ex.rewriteAggs(x.L)
-		if err != nil {
-			return nil, err
-		}
-		r, err := ex.rewriteAggs(x.R)
-		if err != nil {
-			return nil, err
-		}
-		return &Binary{Op: x.Op, L: l, R: r}, nil
-	case *Unary:
-		sub, err := ex.rewriteAggs(x.X)
-		if err != nil {
-			return nil, err
-		}
-		return &Unary{Op: x.Op, X: sub}, nil
-	case *IsNull:
-		sub, err := ex.rewriteAggs(x.X)
-		if err != nil {
-			return nil, err
-		}
-		return &IsNull{X: sub, Negate: x.Negate}, nil
-	case *InList:
-		sub, err := ex.rewriteAggs(x.X)
-		if err != nil {
-			return nil, err
-		}
-		items := make([]Expr, len(x.Items))
-		for i, it := range x.Items {
-			ni, err := ex.rewriteAggs(it)
-			if err != nil {
-				return nil, err
-			}
-			items[i] = ni
-		}
-		return &InList{X: sub, Items: items, Negate: x.Negate}, nil
-	case *Between:
-		sub, err := ex.rewriteAggs(x.X)
-		if err != nil {
-			return nil, err
-		}
-		lo, err := ex.rewriteAggs(x.Lo)
-		if err != nil {
-			return nil, err
-		}
-		hi, err := ex.rewriteAggs(x.Hi)
-		if err != nil {
-			return nil, err
-		}
-		return &Between{X: sub, Lo: lo, Hi: hi, Negate: x.Negate}, nil
-	}
-	return e, nil
+	ex.limitTarget = int(n + off)
+	ex.hasTarget = true
 }
 
 // ---------------------------------------------------------------------------
-// Row production (scan + joins)
+// Row production (access path + joins)
 
 // forEachJoinedRow streams every joined row combination that satisfies the
 // join conditions into fn, with values already placed in ex.env.
 func (ex *selectExec) forEachJoinedRow(fn func() (bool, error)) error {
-	// Pre-build hash tables for equi-joins.
-	joins := make([]*joinExec, len(ex.st.Joins))
-	for i, j := range ex.st.Joins {
-		je, err := ex.prepareJoin(i, j)
-		if err != nil {
-			return err
-		}
-		joins[i] = je
+	p := ex.p
+	joins := make([]*joinExec, len(p.joins))
+	for i := range p.joins {
+		joins[i] = &joinExec{plan: &p.joins[i], rel: p.rels[i+1]}
+		joins[i].init(ex)
 	}
-
-	base := ex.rels[0]
-	baseRows, useFiltered := ex.baseCandidates()
 
 	var produce func(level int) (bool, error)
 	produce = func(level int) (bool, error) {
@@ -357,207 +150,266 @@ func (ex *selectExec) forEachJoinedRow(fn func() (bool, error)) error {
 		return joins[level].emit(ex, func() (bool, error) { return produce(level + 1) })
 	}
 
+	base := p.rels[0]
 	emitBase := func(row []Value) (bool, error) {
 		ex.env.SetRow(base.off, row)
 		return produce(0)
 	}
+	return ex.emitBaseRows(base, emitBase)
+}
 
-	if useFiltered {
-		for _, id := range baseRows {
-			row := base.table.Get(id)
-			if row == nil {
+// emitBaseRows produces the base relation's candidate rows according to the
+// plan's access path.
+func (ex *selectExec) emitBaseRows(base relBinding, emit func([]Value) (bool, error)) error {
+	a := &ex.p.access
+	c := &ex.db.plans
+	if a.kind == accessScan {
+		c.fullScans.Add(1)
+		var scanErr error
+		base.table.Scan(func(_ int64, row []Value) bool {
+			cont, err := emit(row)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			return cont
+		})
+		return scanErr
+	}
+	if a.ordered {
+		c.orderedScans.Add(1)
+		return ex.emitOrdered(base, emit)
+	}
+	switch a.kind {
+	case accessEq:
+		c.indexEq.Add(1)
+	case accessIn:
+		c.indexIn.Add(1)
+	case accessRange:
+		c.indexRange.Add(1)
+	}
+	ids, err := collectAccessIDs(a, ex.env)
+	if err != nil {
+		return err
+	}
+	for _, id := range ids {
+		row := base.table.Get(id)
+		if row == nil {
+			continue
+		}
+		cont, err := emit(row)
+		if err != nil {
+			return err
+		}
+		if !cont {
+			return nil
+		}
+	}
+	return nil
+}
+
+// collectAccessIDs evaluates a non-ordered index access path into the
+// candidate row IDs, sorted ascending so emission matches full-scan order.
+func collectAccessIDs(a *accessPlan, penv *RowEnv) ([]int64, error) {
+	switch a.kind {
+	case accessEq:
+		v, err := a.key.Eval(penv)
+		if err != nil {
+			return nil, err
+		}
+		ids := a.idx.Lookup(v)
+		sortInt64s(ids)
+		return ids, nil
+	case accessIn:
+		// Deduplicate the item values through a hash-bucketed set: the
+		// hashKey narrows candidates to one bucket, Compare settles exact
+		// equality inside it (hashKey folds int64s beyond 2^53 onto the
+		// same float, so it alone would drop Compare-distinct values).
+		seen := make(map[hashKey][]Value, len(a.items))
+		var ids []int64
+		for _, item := range a.items {
+			v, err := item.Eval(penv)
+			if err != nil {
+				return nil, err
+			}
+			if v == nil {
+				continue // NULL matches nothing under IN
+			}
+			hk := makeHashKey(v)
+			dup := false
+			for _, prev := range seen[hk] {
+				if Compare(prev, v) == 0 {
+					dup = true
+					break
+				}
+			}
+			if dup {
 				continue
 			}
-			cont, err := emitBase(row)
-			if err != nil {
+			seen[hk] = append(seen[hk], v)
+			ids = append(ids, a.idx.Lookup(v)...)
+		}
+		// Hash indexes bucket by hashKey, so Compare-distinct values that
+		// share a bucket return overlapping postings; dedup after sorting.
+		sortInt64s(ids)
+		return dedupSortedInt64s(ids), nil
+	case accessRange:
+		lo, hi, hasLo, hasHi, empty, err := a.evalBounds(penv)
+		if err != nil || empty {
+			return nil, err
+		}
+		var ids []int64
+		a.idx.Range(lo, hi, hasLo, hasHi, a.loIncl, a.hiIncl, func(_ Value, id int64) bool {
+			ids = append(ids, id)
+			return true
+		})
+		sortInt64s(ids)
+		return ids, nil
+	}
+	return nil, fmt.Errorf("sqldb: internal: access path has no candidate IDs")
+}
+
+// evalBounds evaluates the range bounds against the execution's parameters.
+// A NULL bound means the originating predicate can never be true, reported
+// as empty.
+func (a *accessPlan) evalBounds(penv *RowEnv) (lo, hi Value, hasLo, hasHi, empty bool, err error) {
+	if a.lo != nil {
+		hasLo = true
+		if lo, err = a.lo.Eval(penv); err != nil {
+			return
+		}
+		if lo == nil {
+			empty = true
+			return
+		}
+	}
+	if a.hi != nil {
+		hasHi = true
+		if hi, err = a.hi.Eval(penv); err != nil {
+			return
+		}
+		if hi == nil {
+			empty = true
+		}
+	}
+	return
+}
+
+// emitOrdered walks a B-tree index in (possibly descending) key order,
+// emitting rows in the statement's ORDER BY order. Rows with NULL keys are
+// absent from the tree; a pure ordering traversal (no range bounds) serves
+// them at the NULL end of the order. When bounds exist they come from a
+// WHERE range predicate, which a NULL key can never satisfy.
+func (ex *selectExec) emitOrdered(base relBinding, emit func([]Value) (bool, error)) error {
+	a := &ex.p.access
+	lo, hi, hasLo, hasHi, empty, err := a.evalBounds(ex.env)
+	if err != nil || empty {
+		return err
+	}
+	emitID := func(id int64) (bool, error) {
+		row := base.table.Get(id)
+		if row == nil {
+			return true, nil
+		}
+		return emit(row)
+	}
+	emitNulls := func() (bool, error) {
+		for _, id := range a.idx.NullRowIDs() {
+			cont, err := emitID(id)
+			if err != nil || !cont {
+				return cont, err
+			}
+		}
+		return true, nil
+	}
+	includeNulls := !hasLo && !hasHi
+
+	if !a.desc {
+		if includeNulls { // NULL sorts first ascending
+			cont, err := emitNulls()
+			if err != nil || !cont {
 				return err
 			}
-			if !cont {
-				return nil
-			}
 		}
-		return nil
-	}
-	var scanErr error
-	base.table.Scan(func(_ int64, row []Value) bool {
-		cont, err := emitBase(row)
-		if err != nil {
-			scanErr = err
-			return false
-		}
-		return cont
-	})
-	return scanErr
-}
-
-// baseCandidates inspects WHERE for an indexable equality predicate on the
-// base table (col = literal/param) and returns the candidate row IDs. The
-// boolean reports whether the filtered ID list should be used instead of a
-// full scan.
-func (ex *selectExec) baseCandidates() ([]int64, bool) {
-	if ex.st.Where == nil {
-		return nil, false
-	}
-	var ids []int64
-	found := false
-	visitConjuncts(ex.st.Where, func(e Expr) bool {
-		if found {
-			return true
-		}
-		switch x := e.(type) {
-		case *Binary:
-			if x.Op != OpEq {
-				return true
-			}
-			col, lit := matchColLiteral(x.L, x.R)
-			if col == nil {
-				return true
-			}
-			idx := ex.baseIndexFor(col)
-			if idx == nil {
-				return true
-			}
-			v, err := lit.Eval(nil)
+		var stopErr error
+		a.idx.Range(lo, hi, hasLo, hasHi, a.loIncl, a.hiIncl, func(_ Value, id int64) bool {
+			cont, err := emitID(id)
 			if err != nil {
-				return true
+				stopErr = err
+				return false
 			}
-			ids = idx.Lookup(v)
-			found = true
-		case *InList:
-			// col IN (const, ...) unions the index postings of each item
-			// instead of scanning the table.
-			if x.Negate {
-				return true
+			return cont
+		})
+		return stopErr
+	}
+
+	// Descending: the tree yields ties in descending row-ID order, but the
+	// stable sort this traversal replaces keeps ties in ascending row-ID
+	// order. Buffer each run of equal keys and emit it reversed.
+	var runKey Value
+	var run []int64
+	flush := func() (bool, error) {
+		for i := len(run) - 1; i >= 0; i-- {
+			cont, err := emitID(run[i])
+			if err != nil || !cont {
+				return cont, err
 			}
-			col, ok := x.X.(*ColumnRef)
-			if !ok {
-				return true
-			}
-			for _, item := range x.Items {
-				if !isConst(item) {
-					return true
-				}
-			}
-			idx := ex.baseIndexFor(col)
-			if idx == nil {
-				return true
-			}
-			// Distinct values of a column index have disjoint posting
-			// lists, so deduplicating the item values keeps the union
-			// duplicate-free without a per-row set.
-			vals := make([]Value, 0, len(x.Items))
-			for _, item := range x.Items {
-				v, err := item.Eval(nil)
-				if err != nil {
-					return true
-				}
-				if v == nil {
-					continue // NULL matches nothing under IN
-				}
-				dup := false
-				for _, seen := range vals {
-					if Compare(seen, v) == 0 {
-						dup = true
-						break
-					}
-				}
-				if !dup {
-					vals = append(vals, v)
-				}
-			}
-			var union []int64
-			for _, v := range vals {
-				union = append(union, idx.Lookup(v)...)
-			}
-			ids = union
-			found = true
 		}
+		run = run[:0]
+		return true, nil
+	}
+	var stopErr error
+	stopped := false
+	a.idx.RangeDesc(lo, hi, hasLo, hasHi, a.loIncl, a.hiIncl, func(key Value, id int64) bool {
+		if len(run) > 0 && Compare(key, runKey) != 0 {
+			cont, err := flush()
+			if err != nil {
+				stopErr = err
+				return false
+			}
+			if !cont {
+				stopped = true
+				return false
+			}
+		}
+		runKey = key
+		run = append(run, id)
 		return true
 	})
-	return ids, found
-}
-
-// baseIndexFor returns the index over the base relation's column named by
-// col, or nil when the column does not (unambiguously) belong to the base
-// relation or has no index.
-func (ex *selectExec) baseIndexFor(col *ColumnRef) *Index {
-	base := ex.rels[0]
-	if col.Qual != "" && strings.ToLower(col.Qual) != base.qual {
-		return nil
+	if stopErr != nil || stopped {
+		return stopErr
 	}
-	ci := base.table.Schema.ColumnIndex(col.Name)
-	if ci < 0 {
-		return nil
+	if cont, err := flush(); err != nil || !cont {
+		return err
 	}
-	// Ambiguity: if another relation has the same unqualified column
-	// name, skip the optimization and let evaluation decide.
-	if col.Qual == "" {
-		if _, err := ex.env.Resolve("", col.Name); err != nil {
-			return nil
-		}
-		if p, _ := ex.env.Resolve("", col.Name); p >= base.off+base.width || p < base.off {
-			return nil
+	if includeNulls { // NULL sorts last descending
+		if _, err := emitNulls(); err != nil {
+			return err
 		}
 	}
-	return base.table.IndexOn(ci)
+	return nil
 }
 
-// visitConjuncts calls fn for every AND-connected conjunct of e.
-func visitConjuncts(e Expr, fn func(Expr) bool) {
-	if b, ok := e.(*Binary); ok && b.Op == OpAnd {
-		visitConjuncts(b.L, fn)
-		visitConjuncts(b.R, fn)
-		return
-	}
-	fn(e)
-}
+// ---------------------------------------------------------------------------
+// Join execution
 
-// matchColLiteral matches a (ColumnRef, constant) pair in either order.
-func matchColLiteral(a, b Expr) (*ColumnRef, Expr) {
-	if c, ok := a.(*ColumnRef); ok && isConst(b) {
-		return c, b
-	}
-	if c, ok := b.(*ColumnRef); ok && isConst(a) {
-		return c, a
-	}
-	return nil, nil
-}
-
-func isConst(e Expr) bool {
-	switch x := e.(type) {
-	case *Literal:
-		return true
-	case *Param:
-		return x.set
-	}
-	return false
-}
-
-// joinExec holds the prepared execution strategy for one join clause.
+// joinExec holds the per-execution state for one join clause.
 type joinExec struct {
+	plan *joinPlan
 	rel  relBinding
-	kind JoinKind
-	on   Expr
-	// Hash-join fields; nil hash means nested loop.
-	hash    map[hashKey][][]Value
-	keyExpr Expr // evaluated against left-side env
-	// residual is the ON condition re-checked per candidate (always the
-	// full ON; cheap because candidates already match the equi-key).
-	residual Expr
+	// hash is built once per execution for the joinHashBuild strategy.
+	hash map[hashKey][][]Value
 }
 
-// prepareJoin chooses hash join when the ON clause contains an equi-
-// condition between a right-table column and a left-side expression.
-func (ex *selectExec) prepareJoin(joinIdx int, j JoinClause) (*joinExec, error) {
-	rel := ex.rels[joinIdx+1]
-	je := &joinExec{rel: rel, kind: j.Kind, on: j.On, residual: j.On}
-
-	rightCol, leftExpr := ex.findEquiKey(joinIdx, j.On)
-	if rightCol >= 0 {
-		// Build the hash table over the right relation once.
+// init builds per-execution join state and counts the strategy that runs.
+func (je *joinExec) init(ex *selectExec) {
+	switch je.plan.strategy {
+	case joinHashBuild:
+		ex.db.plans.hashJoins.Add(1)
 		hash := make(map[hashKey][][]Value)
-		rel.table.Scan(func(_ int64, row []Value) bool {
-			k := row[rightCol]
+		col := je.plan.rightCol
+		je.rel.table.Scan(func(_ int64, row []Value) bool {
+			k := row[col]
 			if k == nil {
 				return true
 			}
@@ -566,82 +418,11 @@ func (ex *selectExec) prepareJoin(joinIdx int, j JoinClause) (*joinExec, error) 
 			return true
 		})
 		je.hash = hash
-		je.keyExpr = leftExpr
+	case joinIndexLoop:
+		ex.db.plans.indexJoins.Add(1)
+	default:
+		ex.db.plans.nestedJoins.Add(1)
 	}
-	return je, nil
-}
-
-// findEquiKey looks for `right.col = leftExpr` (either side order) among
-// the conjuncts of on. It returns the right column position and the left
-// key expression, or (-1, nil).
-func (ex *selectExec) findEquiKey(joinIdx int, on Expr) (int, Expr) {
-	rel := ex.rels[joinIdx+1]
-	resCol := -1
-	var resExpr Expr
-	visitConjuncts(on, func(e Expr) bool {
-		if resCol >= 0 {
-			return true
-		}
-		b, ok := e.(*Binary)
-		if !ok || b.Op != OpEq {
-			return true
-		}
-		try := func(side, other Expr) bool {
-			c, ok := side.(*ColumnRef)
-			if !ok {
-				return false
-			}
-			// The column must belong to the right relation.
-			q := strings.ToLower(c.Qual)
-			if q != "" && q != rel.qual {
-				return false
-			}
-			ci := rel.table.Schema.ColumnIndex(c.Name)
-			if ci < 0 {
-				return false
-			}
-			if q == "" {
-				// Unqualified: require that the name resolves uniquely to
-				// the right relation.
-				p, err := ex.env.Resolve("", c.Name)
-				if err != nil || p < rel.off || p >= rel.off+rel.width {
-					return false
-				}
-			}
-			// The other side must reference only earlier relations.
-			if !ex.referencesOnlyBefore(other, rel.off) {
-				return false
-			}
-			resCol, resExpr = ci, other
-			return true
-		}
-		if try(b.L, b.R) {
-			return true
-		}
-		try(b.R, b.L)
-		return true
-	})
-	return resCol, resExpr
-}
-
-// referencesOnlyBefore reports whether all column references in e resolve
-// to environment positions before off.
-func (ex *selectExec) referencesOnlyBefore(e Expr, off int) bool {
-	ok := true
-	walkExpr(e, func(sub Expr) {
-		switch c := sub.(type) {
-		case *ColumnRef:
-			p, err := ex.env.Resolve(c.Qual, c.Name)
-			if err != nil || p >= off {
-				ok = false
-			}
-		case *fixedCol:
-			if c.pos >= off {
-				ok = false
-			}
-		}
-	})
-	return ok
 }
 
 // emit produces all right-row matches for the current left tuple.
@@ -649,7 +430,7 @@ func (je *joinExec) emit(ex *selectExec, produce func() (bool, error)) (bool, er
 	matched := false
 	tryRow := func(row []Value) (bool, error) {
 		ex.env.SetRow(je.rel.off, row)
-		v, err := je.residual.Eval(ex.env)
+		v, err := je.plan.on.Eval(ex.env)
 		if err != nil {
 			return false, err
 		}
@@ -661,8 +442,28 @@ func (je *joinExec) emit(ex *selectExec, produce func() (bool, error)) (bool, er
 		return produce()
 	}
 
-	if je.hash != nil {
-		key, err := je.keyExpr.Eval(ex.env)
+	switch je.plan.strategy {
+	case joinIndexLoop:
+		key, err := je.plan.keyExpr.Eval(ex.env)
+		if err != nil {
+			return false, err
+		}
+		if key != nil {
+			ids := je.plan.idx.Lookup(key)
+			sortInt64s(ids) // match the right table's scan order for ties
+			for _, id := range ids {
+				row := je.rel.table.Get(id)
+				if row == nil {
+					continue
+				}
+				cont, err := tryRow(row)
+				if err != nil || !cont {
+					return cont, err
+				}
+			}
+		}
+	case joinHashBuild:
+		key, err := je.plan.keyExpr.Eval(ex.env)
 		if err != nil {
 			return false, err
 		}
@@ -674,7 +475,7 @@ func (je *joinExec) emit(ex *selectExec, produce func() (bool, error)) (bool, er
 				}
 			}
 		}
-	} else {
+	default:
 		var loopErr error
 		contAll := true
 		je.rel.table.Scan(func(_ int64, row []Value) bool {
@@ -697,7 +498,7 @@ func (je *joinExec) emit(ex *selectExec, produce func() (bool, error)) (bool, er
 		}
 	}
 
-	if !matched && je.kind == JoinLeft {
+	if !matched && je.plan.kind == JoinLeft {
 		ex.env.ClearRow(je.rel.off, je.rel.width)
 		return produce()
 	}
@@ -708,11 +509,16 @@ func (je *joinExec) emit(ex *selectExec, produce func() (bool, error)) (bool, er
 // Simple (non-aggregated) execution
 
 func (ex *selectExec) runSimple() ([][]Value, [][]Value, error) {
+	if ex.hasTarget && ex.limitTarget == 0 {
+		return nil, nil, nil
+	}
+	where := ex.p.st.Where
+	needKeys := ex.needOrderKeys()
 	var out [][]Value
 	var orderKeys [][]Value
 	err := ex.forEachJoinedRow(func() (bool, error) {
-		if ex.st.Where != nil {
-			v, err := ex.st.Where.Eval(ex.env)
+		if where != nil {
+			v, err := where.Eval(ex.env)
 			if err != nil {
 				return false, err
 			}
@@ -721,8 +527,8 @@ func (ex *selectExec) runSimple() ([][]Value, [][]Value, error) {
 				return true, nil
 			}
 		}
-		row := make([]Value, len(ex.projExprs))
-		for i, e := range ex.projExprs {
+		row := make([]Value, len(ex.p.projExprs))
+		for i, e := range ex.p.projExprs {
 			v, err := e.Eval(ex.env)
 			if err != nil {
 				return false, err
@@ -730,9 +536,9 @@ func (ex *selectExec) runSimple() ([][]Value, [][]Value, error) {
 			row[i] = v
 		}
 		out = append(out, row)
-		if len(ex.orderExprs) > 0 {
-			keys := make([]Value, len(ex.orderExprs))
-			for i, e := range ex.orderExprs {
+		if needKeys {
+			keys := make([]Value, len(ex.p.orderExprs))
+			for i, e := range ex.p.orderExprs {
 				v, err := e.Eval(ex.env)
 				if err != nil {
 					return false, err
@@ -740,6 +546,10 @@ func (ex *selectExec) runSimple() ([][]Value, [][]Value, error) {
 				keys[i] = v
 			}
 			orderKeys = append(orderKeys, keys)
+		}
+		if ex.hasTarget && len(out) >= ex.limitTarget {
+			ex.db.plans.earlyLimitHit.Add(1)
+			return false, nil
 		}
 		return true, nil
 	})
@@ -759,12 +569,13 @@ type groupState struct {
 }
 
 func (ex *selectExec) runGrouped() ([][]Value, [][]Value, error) {
+	p := ex.p
 	groups := make(map[string]*groupState)
 	var order []string
 
 	err := ex.forEachJoinedRow(func() (bool, error) {
-		if ex.st.Where != nil {
-			v, err := ex.st.Where.Eval(ex.env)
+		if p.st.Where != nil {
+			v, err := p.st.Where.Eval(ex.env)
 			if err != nil {
 				return false, err
 			}
@@ -773,9 +584,9 @@ func (ex *selectExec) runGrouped() ([][]Value, [][]Value, error) {
 				return true, nil
 			}
 		}
-		keyVals := make([]Value, len(ex.st.GroupBy))
+		keyVals := make([]Value, len(p.st.GroupBy))
 		var kb strings.Builder
-		for i, g := range ex.st.GroupBy {
+		for i, g := range p.st.GroupBy {
 			v, err := g.Eval(ex.env)
 			if err != nil {
 				return false, err
@@ -787,8 +598,8 @@ func (ex *selectExec) runGrouped() ([][]Value, [][]Value, error) {
 		key := kb.String()
 		gs, ok := groups[key]
 		if !ok {
-			gs = &groupState{keyVals: keyVals, accs: make([]aggAcc, len(ex.aggCalls))}
-			for i, call := range ex.aggCalls {
+			gs = &groupState{keyVals: keyVals, accs: make([]aggAcc, len(p.aggCalls))}
+			for i, call := range p.aggCalls {
 				gs.accs[i] = newAggAcc(call)
 			}
 			gs.repRow = make([]Value, len(ex.env.vals))
@@ -796,7 +607,7 @@ func (ex *selectExec) runGrouped() ([][]Value, [][]Value, error) {
 			groups[key] = gs
 			order = append(order, key)
 		}
-		for i, call := range ex.aggCalls {
+		for i, call := range p.aggCalls {
 			if err := gs.accs[i].add(call, ex.env); err != nil {
 				return false, err
 			}
@@ -808,9 +619,9 @@ func (ex *selectExec) runGrouped() ([][]Value, [][]Value, error) {
 	}
 
 	// A global aggregate over zero rows still yields one output row.
-	if len(ex.st.GroupBy) == 0 && len(groups) == 0 {
-		gs := &groupState{accs: make([]aggAcc, len(ex.aggCalls))}
-		for i, call := range ex.aggCalls {
+	if len(p.st.GroupBy) == 0 && len(groups) == 0 {
+		gs := &groupState{accs: make([]aggAcc, len(p.aggCalls))}
+		for i, call := range p.aggCalls {
 			gs.accs[i] = newAggAcc(call)
 		}
 		gs.repRow = make([]Value, len(ex.env.vals))
@@ -818,17 +629,18 @@ func (ex *selectExec) runGrouped() ([][]Value, [][]Value, error) {
 		order = append(order, "")
 	}
 
+	needKeys := ex.needOrderKeys()
 	var out [][]Value
 	var orderKeys [][]Value
 	for _, key := range order {
 		gs := groups[key]
 		ex.env.SetRow(0, gs.repRow)
-		ex.aggVals = make([]Value, len(ex.aggCalls))
-		for i := range ex.aggCalls {
-			ex.aggVals[i] = gs.accs[i].result()
+		ex.env.aggVals = make([]Value, len(p.aggCalls))
+		for i := range p.aggCalls {
+			ex.env.aggVals[i] = gs.accs[i].result()
 		}
-		if ex.havingExpr != nil {
-			v, err := ex.havingExpr.Eval(ex.env)
+		if p.havingExpr != nil {
+			v, err := p.havingExpr.Eval(ex.env)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -837,8 +649,8 @@ func (ex *selectExec) runGrouped() ([][]Value, [][]Value, error) {
 				continue
 			}
 		}
-		row := make([]Value, len(ex.projExprs))
-		for i, e := range ex.projExprs {
+		row := make([]Value, len(p.projExprs))
+		for i, e := range p.projExprs {
 			v, err := e.Eval(ex.env)
 			if err != nil {
 				return nil, nil, err
@@ -846,9 +658,9 @@ func (ex *selectExec) runGrouped() ([][]Value, [][]Value, error) {
 			row[i] = v
 		}
 		out = append(out, row)
-		if len(ex.orderExprs) > 0 {
-			keys := make([]Value, len(ex.orderExprs))
-			for i, e := range ex.orderExprs {
+		if needKeys {
+			keys := make([]Value, len(p.orderExprs))
+			for i, e := range p.orderExprs {
 				v, err := e.Eval(ex.env)
 				if err != nil {
 					return nil, nil, err
@@ -995,7 +807,7 @@ func sortRows(rows, keys [][]Value, order []OrderItem) {
 
 func (ex *selectExec) applyLimit(rows [][]Value) ([][]Value, error) {
 	evalInt := func(e Expr, what string) (int64, error) {
-		v, err := e.Eval(nil)
+		v, err := e.Eval(ex.env)
 		if err != nil {
 			return 0, err
 		}
@@ -1005,8 +817,9 @@ func (ex *selectExec) applyLimit(rows [][]Value) ([][]Value, error) {
 		}
 		return n, nil
 	}
-	if ex.st.Offset != nil {
-		n, err := evalInt(ex.st.Offset, "OFFSET")
+	st := ex.p.st
+	if st.Offset != nil {
+		n, err := evalInt(st.Offset, "OFFSET")
 		if err != nil {
 			return nil, err
 		}
@@ -1016,8 +829,8 @@ func (ex *selectExec) applyLimit(rows [][]Value) ([][]Value, error) {
 			rows = rows[n:]
 		}
 	}
-	if ex.st.Limit != nil {
-		n, err := evalInt(ex.st.Limit, "LIMIT")
+	if st.Limit != nil {
+		n, err := evalInt(st.Limit, "LIMIT")
 		if err != nil {
 			return nil, err
 		}

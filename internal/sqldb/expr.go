@@ -18,10 +18,23 @@ type Expr interface {
 // RowEnv resolves column references during evaluation. Columns are
 // addressed as (qualifier, name) where the qualifier is a table name or
 // alias and may be empty for unqualified references.
+//
+// The environment also carries per-execution state that must never live in
+// the (shared, immutable) statement AST: positional arguments for `?`
+// placeholders and the current group's aggregate results.
 type RowEnv struct {
 	cols []envCol
 	vals []Value
+	// params holds the positional arguments of the current execution.
+	params []Value
+	// aggVals holds the current group's precomputed aggregate values during
+	// projection of a grouped SELECT.
+	aggVals []Value
 }
+
+// paramEnv builds a minimal environment carrying only positional arguments,
+// for evaluating constant expressions (literals and parameters).
+func paramEnv(args []Value) *RowEnv { return &RowEnv{params: args} }
 
 type envCol struct {
 	qual string // lower-cased table alias, may be ""
@@ -106,7 +119,9 @@ func (l *Literal) String() string {
 }
 
 // ColumnRef references a column by optional qualifier and name. The
-// position is resolved once per statement by bind().
+// position is resolved once per statement by bind(); unbound references
+// resolve on every evaluation without caching so that a shared AST is never
+// mutated during (possibly concurrent) execution.
 type ColumnRef struct {
 	Qual string
 	Name string
@@ -121,7 +136,7 @@ func (c *ColumnRef) Eval(env *RowEnv) (Value, error) {
 		if err != nil {
 			return nil, err
 		}
-		c.pos, c.ok = p, true
+		return env.vals[p], nil
 	}
 	return env.vals[c.pos], nil
 }
@@ -684,19 +699,20 @@ type aggResult struct {
 func (a *aggResult) Eval(*RowEnv) (Value, error) { return a.val, nil }
 func (a *aggResult) String() string              { return FormatValue(a.val) }
 
-// Param is a positional placeholder (`?`) bound at execution time.
+// Param is a positional placeholder (`?`) whose value is read from the
+// execution environment. Keeping the value out of the AST makes parsed
+// statements immutable, so prepared/cached statements can be executed
+// concurrently.
 type Param struct {
 	Pos int // zero-based
-	val Value
-	set bool
 }
 
-// Eval returns the bound argument.
-func (p *Param) Eval(*RowEnv) (Value, error) {
-	if !p.set {
-		return nil, fmt.Errorf("sqldb: parameter %d not bound", p.Pos+1)
+// Eval returns the argument bound at the parameter's position.
+func (p *Param) Eval(env *RowEnv) (Value, error) {
+	if env == nil || p.Pos >= len(env.params) {
+		return nil, fmt.Errorf("sqldb: not enough arguments: need at least %d", p.Pos+1)
 	}
-	return p.val, nil
+	return env.params[p.Pos], nil
 }
 
 func (p *Param) String() string { return "?" }
@@ -731,17 +747,17 @@ func walkExpr(e Expr, fn func(Expr)) {
 	}
 }
 
-// bindParams assigns argument values to all Param nodes in order.
-func bindParams(e Expr, args []Value) error {
+// bindColumns eagerly resolves every column reference in e against env so
+// that resolution errors surface at plan time and evaluation never needs to
+// mutate the shared AST.
+func bindColumns(e Expr, env *RowEnv) error {
 	var err error
 	walkExpr(e, func(x Expr) {
-		if p, ok := x.(*Param); ok {
-			if p.Pos >= len(args) {
-				err = fmt.Errorf("sqldb: not enough arguments: need at least %d", p.Pos+1)
-				return
-			}
-			p.val = args[p.Pos]
-			p.set = true
+		if err != nil {
+			return
+		}
+		if c, ok := x.(*ColumnRef); ok && !c.ok {
+			err = c.bind(env)
 		}
 	})
 	return err

@@ -134,6 +134,29 @@ func (idx *Index) Range(lo, hi Value, hasLo, hasHi, loIncl, hiIncl bool, fn func
 	idx.tree.AscendRange(lo, hi, hasLo, hasHi, loIncl, hiIncl, fn)
 }
 
+// RangeDesc visits rows with keys in [lo,hi] (bounds optional) in descending
+// key order. Only valid on B-tree indexes.
+func (idx *Index) RangeDesc(lo, hi Value, hasLo, hasHi, loIncl, hiIncl bool, fn func(key Value, row int64) bool) {
+	if idx.Kind != IndexBTree {
+		return
+	}
+	idx.tree.DescendRange(lo, hi, hasLo, hasHi, loIncl, hiIncl, fn)
+}
+
+// NullRowIDs returns the IDs of rows whose key is NULL, in ascending order.
+// Index traversals skip NULL keys, so ordered scans serve them separately.
+func (idx *Index) NullRowIDs() []int64 {
+	if len(idx.nullRows) == 0 {
+		return nil
+	}
+	out := make([]int64, 0, len(idx.nullRows))
+	for id := range idx.nullRows {
+		out = append(out, id)
+	}
+	sortInt64s(out)
+	return out
+}
+
 // Len returns the number of non-NULL entries in the index.
 func (idx *Index) Len() int {
 	if idx.Kind == IndexHash {

@@ -205,6 +205,157 @@ func TestWherePredicatesMatchOracle(t *testing.T) {
 	}
 }
 
+// TestPlannerEquivalenceOracle fuzzes the planner: random generated queries
+// executed once with index access enabled and once with it forced off must
+// return identical result sequences (joins, ranges, IN lists, ORDER
+// BY/LIMIT/OFFSET, DISTINCT, GROUP BY). Since both modes share the executor
+// and the planner preserves scan emission order (including sort-tie order),
+// the comparison is exact, not just set-based.
+func TestPlannerEquivalenceOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(771104))
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE big (id INTEGER PRIMARY KEY, n INTEGER, f REAL, s TEXT, u INTEGER)")
+	mustExec(t, db, "CREATE INDEX idx_big_n ON big (n)")
+	mustExec(t, db, "CREATE INDEX idx_big_f ON big (f) USING BTREE")
+	mustExec(t, db, "CREATE INDEX idx_big_s ON big (s) USING BTREE")
+	words := []string{"alpha", "beta", "gamma", "delta", "epsilon", ""}
+	for i := 0; i < 250; i++ {
+		var n, f, s, u any
+		if rng.Intn(6) > 0 {
+			n = int64(rng.Intn(12))
+		}
+		if rng.Intn(6) > 0 {
+			f = float64(rng.Intn(40)) / 4
+		}
+		if rng.Intn(6) > 0 {
+			s = words[rng.Intn(len(words))]
+		}
+		if rng.Intn(2) > 0 {
+			u = int64(rng.Intn(5))
+		}
+		mustExec(t, db, "INSERT INTO big VALUES (?, ?, ?, ?, ?)", i, n, f, s, u)
+	}
+	mustExec(t, db, "CREATE TABLE side (k INTEGER, tag TEXT)")
+	mustExec(t, db, "CREATE INDEX idx_side_k ON side (k) USING BTREE")
+	for i := 0; i < 40; i++ {
+		var k any
+		if rng.Intn(8) > 0 {
+			k = int64(rng.Intn(12))
+		}
+		mustExec(t, db, "INSERT INTO side VALUES (?, ?)", k, fmt.Sprintf("tag%d", i%6))
+	}
+
+	conjunct := func() string {
+		switch rng.Intn(9) {
+		case 0:
+			return fmt.Sprintf("n = %d", rng.Intn(12))
+		case 1:
+			return fmt.Sprintf("f %s %g", []string{"<", "<=", ">", ">="}[rng.Intn(4)], float64(rng.Intn(40))/4)
+		case 2:
+			lo := float64(rng.Intn(30)) / 4
+			return fmt.Sprintf("f BETWEEN %g AND %g", lo, lo+float64(rng.Intn(12))/4)
+		case 3:
+			return fmt.Sprintf("s %s '%s'", []string{"<", ">=", "="}[rng.Intn(3)], words[rng.Intn(len(words))])
+		case 4:
+			return fmt.Sprintf("id >= %d", rng.Intn(250))
+		case 5:
+			return fmt.Sprintf("n IN (%d, %d, %d)", rng.Intn(12), rng.Intn(12), rng.Intn(12))
+		case 6:
+			return []string{"u IS NULL", "u IS NOT NULL"}[rng.Intn(2)]
+		case 7:
+			i := rng.Intn(5)
+			return fmt.Sprintf("s LIKE '%s%%'", "abgde"[i:i+1])
+		default:
+			return fmt.Sprintf("u = %d", rng.Intn(5))
+		}
+	}
+
+	genQuery := func() string {
+		var sb strings.Builder
+		sb.WriteString("SELECT ")
+		distinct := rng.Intn(5) == 0
+		if distinct {
+			sb.WriteString("DISTINCT ")
+		}
+		grouped := rng.Intn(6) == 0
+		if grouped {
+			sb.WriteString("n, COUNT(*), MIN(f) FROM big")
+		} else {
+			sb.WriteString([]string{"*", "id, n, f", "big.*", "id, s AS name, f"}[rng.Intn(4)])
+			sb.WriteString(" FROM big")
+		}
+		joined := !grouped && rng.Intn(3) == 0
+		if joined {
+			sb.WriteString([]string{" JOIN", " LEFT JOIN"}[rng.Intn(2)])
+			sb.WriteString(" side ON big.n = side.k")
+		}
+		if rng.Intn(5) > 0 {
+			sb.WriteString(" WHERE ")
+			sb.WriteString(conjunct())
+			for extra := rng.Intn(3); extra > 0; extra-- {
+				sb.WriteString([]string{" AND ", " OR "}[rng.Intn(2)])
+				sb.WriteString(conjunct())
+			}
+		}
+		if grouped {
+			sb.WriteString(" GROUP BY n")
+			if rng.Intn(2) == 0 {
+				sb.WriteString(" ORDER BY n")
+			}
+		} else if rng.Intn(2) == 0 {
+			col := []string{"id", "n", "f", "s", "2", "name"}[rng.Intn(6)]
+			if col == "name" && !strings.Contains(sb.String(), "AS name") {
+				col = "s"
+			}
+			if col == "2" && strings.Contains(sb.String(), "*") {
+				col = "f"
+			}
+			sb.WriteString(" ORDER BY " + col)
+			if rng.Intn(2) == 0 {
+				sb.WriteString(" DESC")
+			}
+		}
+		if rng.Intn(3) == 0 {
+			fmt.Fprintf(&sb, " LIMIT %d", rng.Intn(30))
+			if rng.Intn(2) == 0 {
+				fmt.Fprintf(&sb, " OFFSET %d", rng.Intn(10))
+			}
+		}
+		return sb.String()
+	}
+
+	format := func(rs *ResultSet) string {
+		var sb strings.Builder
+		for _, row := range rs.Rows {
+			for _, v := range row {
+				sb.WriteString(FormatValue(v))
+				sb.WriteByte('|')
+			}
+			sb.WriteByte('\n')
+		}
+		return sb.String()
+	}
+
+	for q := 0; q < 500; q++ {
+		query := genQuery()
+		db.SetIndexAccess(true)
+		withIdx, errIdx := db.Query(query)
+		db.SetIndexAccess(false)
+		noIdx, errNo := db.Query(query)
+		db.SetIndexAccess(true)
+		if (errIdx != nil) != (errNo != nil) {
+			t.Fatalf("query %q: error mismatch: with-index=%v no-index=%v", query, errIdx, errNo)
+		}
+		if errIdx != nil {
+			continue
+		}
+		if format(withIdx) != format(noIdx) {
+			t.Fatalf("query %q:\nwith index (%d rows):\n%s\nwithout index (%d rows):\n%s",
+				query, withIdx.Len(), format(withIdx), noIdx.Len(), format(noIdx))
+		}
+	}
+}
+
 func TestAggregatesMatchOracle(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	db, data := buildOracleDB(t, rng, 200)

@@ -145,10 +145,14 @@ func Load(path string) (*DB, error) {
 				return nil, fmt.Errorf("sqldb: load: table %s row %d has %d values, want %d", ts.Name, id, len(row), len(schema.Columns))
 			}
 			t.rows[id] = row
+			t.ids = append(t.ids, id)
 			for _, idx := range t.indexes {
 				idx.insert(row[idx.Col], id)
 			}
 		}
+		// Save writes RowIDs sorted, but Scan/restore depend on the
+		// invariant, so don't trust external snapshot producers.
+		sortInt64s(t.ids)
 		for _, is := range ts.Indexes {
 			if _, err := t.CreateIndex(is.Name, is.Column, is.Kind, is.Unique); err != nil {
 				return nil, fmt.Errorf("sqldb: load: rebuild index %s: %w", is.Name, err)

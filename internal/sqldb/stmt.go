@@ -1,0 +1,379 @@
+package sqldb
+
+import (
+	"container/list"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultStmtCacheCapacity bounds the internal statement cache. Workloads
+// issue a small set of statement shapes (the GAM repository uses ~30) many
+// millions of times, so a few hundred entries give parse-once behavior
+// without unbounded memory growth.
+const DefaultStmtCacheCapacity = 512
+
+// Stmt is a prepared statement: SQL parsed once and, for SELECT / UPDATE /
+// DELETE, planned once. A Stmt is safe for concurrent use; executions share
+// the immutable plan and carry all per-execution state privately.
+//
+// Plans depend on the schema (tables, columns, indexes), so each prepared
+// form records the schema generation it was built under and transparently
+// re-prepares after DDL.
+type Stmt struct {
+	db   *DB
+	sql  string
+	prep atomic.Pointer[prepared]
+}
+
+// prepared is one immutable compiled form of a statement.
+type prepared struct {
+	gen     uint64
+	sel     *selectPlan // non-nil for SELECT
+	write   Statement   // parsed AST for every other statement
+	nParams int
+}
+
+// checkArgs restores the seed engine's eager argument validation: a missing
+// `?` binding errors deterministically instead of depending on whether the
+// chosen access path happens to evaluate the parameter.
+func (p *prepared) checkArgs(args []Value) error {
+	if len(args) < p.nParams {
+		return fmt.Errorf("sqldb: not enough arguments: need at least %d", p.nParams)
+	}
+	return nil
+}
+
+// statementParamCount returns the number of `?` positions a statement uses.
+func statementParamCount(st Statement) int {
+	max := 0
+	visit := func(exprs ...Expr) {
+		for _, e := range exprs {
+			if e == nil {
+				continue
+			}
+			if k := countParams(e); k > max {
+				max = k
+			}
+		}
+	}
+	switch s := st.(type) {
+	case *SelectStmt:
+		visit(s.Where, s.Having, s.Limit, s.Offset)
+		for _, it := range s.Items {
+			visit(it.Expr)
+		}
+		for _, j := range s.Joins {
+			visit(j.On)
+		}
+		visit(s.GroupBy...)
+		for _, o := range s.OrderBy {
+			visit(o.Expr)
+		}
+	case *InsertStmt:
+		for _, row := range s.Rows {
+			visit(row...)
+		}
+	case *UpdateStmt:
+		for _, set := range s.Sets {
+			visit(set.Expr)
+		}
+		visit(s.Where)
+	case *DeleteStmt:
+		visit(s.Where)
+	}
+	return max
+}
+
+// SQL returns the statement text.
+func (s *Stmt) SQL() string { return s.sql }
+
+// ensure returns the statement's compiled form for the current schema
+// generation, (re)parsing and (re)planning when needed. The caller must hold
+// db.mu (shared or exclusive). Concurrent callers may both prepare; each
+// builds a private AST, so the losing Store is merely redundant work.
+func (s *Stmt) ensure(db *DB) (*prepared, error) {
+	if p := s.prep.Load(); p != nil && p.gen == db.gen {
+		return p, nil
+	}
+	st, err := Parse(s.sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &prepared{gen: db.gen, nParams: statementParamCount(st)}
+	if sel, ok := st.(*SelectStmt); ok {
+		plan, err := planSelect(db, sel)
+		if err != nil {
+			return nil, err
+		}
+		p.sel = plan
+	} else {
+		p.write = st
+	}
+	s.prep.Store(p)
+	return p, nil
+}
+
+// Query executes the prepared statement as a SELECT.
+func (s *Stmt) Query(args ...any) (*ResultSet, error) {
+	vals, err := normalizeArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	db := s.db
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	p, err := s.ensure(db)
+	if err != nil {
+		return nil, err
+	}
+	if p.sel == nil {
+		return nil, fmt.Errorf("sqldb: Query requires a SELECT statement")
+	}
+	if err := p.checkArgs(vals); err != nil {
+		return nil, err
+	}
+	return db.executeSelect(p.sel, vals)
+}
+
+// Exec executes the prepared statement as a write or DDL statement.
+func (s *Stmt) Exec(args ...any) (Result, error) {
+	vals, err := normalizeArgs(args)
+	if err != nil {
+		return Result{}, err
+	}
+	// Reject statement kinds Exec can never run BEFORE taking the writer
+	// lock: db.Exec("COMMIT") while a transaction is open must error, not
+	// block behind it forever.
+	switch leadingKeyword(s.sql) {
+	case "SELECT":
+		return Result{}, fmt.Errorf("sqldb: Exec cannot run SELECT; use Query")
+	case "BEGIN", "COMMIT", "ROLLBACK":
+		return Result{}, fmt.Errorf("%s", errTxnControlExec)
+	}
+	// Likewise surface syntax errors before locking (the caller may itself
+	// hold an open transaction). Only the first use of a statement text
+	// pays this extra parse; afterwards prep is populated.
+	if s.prep.Load() == nil {
+		if _, err := Parse(s.sql); err != nil {
+			return Result{}, err
+		}
+	}
+	db := s.db
+	db.writer.Lock()
+	defer db.writer.Unlock()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.execPrepared(s, vals)
+}
+
+// leadingKeyword returns the first keyword of a statement, upper-cased,
+// skipping whitespace and `--` line comments. Every statement of this
+// grammar starts with its defining keyword, so this classifies without
+// parsing (and without any lock).
+func leadingKeyword(sql string) string {
+	i := 0
+	for i < len(sql) {
+		switch {
+		case sql[i] == ' ' || sql[i] == '\t' || sql[i] == '\n' || sql[i] == '\r':
+			i++
+		case strings.HasPrefix(sql[i:], "--"):
+			for i < len(sql) && sql[i] != '\n' {
+				i++
+			}
+		default:
+			j := i
+			for j < len(sql) && (sql[j] >= 'a' && sql[j] <= 'z' || sql[j] >= 'A' && sql[j] <= 'Z') {
+				j++
+			}
+			return strings.ToUpper(sql[i:j])
+		}
+	}
+	return ""
+}
+
+// Prepare returns a prepared statement for the SQL text, parsing and
+// planning it immediately. Prepared statements are shared with the internal
+// statement cache, so preparing a hot statement also warms the string-based
+// Query/Exec path for the same text.
+func (db *DB) Prepare(sql string) (*Stmt, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	s := db.stmts.get(db, sql)
+	if _, err := s.ensure(db); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ---------------------------------------------------------------------------
+// Statement cache
+
+// stmtCache is a bounded, approximately-LRU cache of prepared statements
+// keyed by SQL text. One cache serves DB.Query, DB.Exec, Tx.Exec and
+// DB.Prepare, so every path gets parse-once behavior with no caller changes.
+//
+// Hits take a lock-free fast path (sync.Map lookup + atomic counter) so the
+// concurrent read path the immutable-plan design enables does not serialize
+// on a cache mutex; only every touchStride-th hit refreshes LRU recency
+// under the lock. Misses, eviction and resizing take the mutex.
+type stmtCache struct {
+	bySQL sync.Map // sql string -> *list.Element of *Stmt
+
+	mu  sync.Mutex // guards cap and lru
+	cap int
+	lru *list.List // of *Stmt; front = most recently used
+
+	hits, misses atomic.Uint64
+	touches      atomic.Uint64
+}
+
+// touchStride is how many cache hits share one LRU-recency refresh.
+const touchStride = 64
+
+func newStmtCache(capacity int) *stmtCache {
+	return &stmtCache{cap: capacity, lru: list.New()}
+}
+
+// get returns the cached statement for sql, inserting a fresh (unprepared)
+// one on miss. With a zero capacity every call returns a fresh statement,
+// which restores parse-per-call behavior (used for benchmarking).
+func (c *stmtCache) get(db *DB, sql string) *Stmt {
+	if v, ok := c.bySQL.Load(sql); ok {
+		el := v.(*list.Element)
+		c.hits.Add(1)
+		if c.touches.Add(1)%touchStride == 0 {
+			c.mu.Lock()
+			// MoveToFront is a no-op if the element was evicted meanwhile.
+			c.lru.MoveToFront(el)
+			c.mu.Unlock()
+		}
+		return el.Value.(*Stmt)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Re-check: another goroutine may have inserted while we were unlocked.
+	if v, ok := c.bySQL.Load(sql); ok {
+		c.hits.Add(1)
+		return v.(*list.Element).Value.(*Stmt)
+	}
+	c.misses.Add(1)
+	s := &Stmt{db: db, sql: sql}
+	if c.cap <= 0 {
+		return s
+	}
+	c.bySQL.Store(sql, c.lru.PushFront(s))
+	c.evictOverflowLocked()
+	return s
+}
+
+// invalidateAll clears every cached compiled form. Called on schema-
+// generation bumps so plans release their *Table/*Index references at once
+// (a dropped table's rows must not stay pinned until its statement text
+// happens to be re-executed or evicted).
+func (c *stmtCache) invalidateAll() {
+	c.bySQL.Range(func(_, v any) bool {
+		v.(*list.Element).Value.(*Stmt).prep.Store(nil)
+		return true
+	})
+}
+
+// evictOverflowLocked drops least-recently-used entries beyond capacity.
+// Caller holds c.mu.
+func (c *stmtCache) evictOverflowLocked() {
+	for c.lru.Len() > c.cap {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		c.bySQL.Delete(back.Value.(*Stmt).sql)
+	}
+}
+
+func (c *stmtCache) setCapacity(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cap = n
+	c.evictOverflowLocked()
+}
+
+// StmtCacheStats reports statement-cache effectiveness.
+type StmtCacheStats struct {
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	Entries  int    `json:"entries"`
+	Capacity int    `json:"capacity"`
+}
+
+// StmtCacheStats returns hit/miss counters and occupancy of the statement
+// cache.
+func (db *DB) StmtCacheStats() StmtCacheStats {
+	c := db.stmts
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return StmtCacheStats{
+		Hits: c.hits.Load(), Misses: c.misses.Load(),
+		Entries: c.lru.Len(), Capacity: c.cap,
+	}
+}
+
+// SetStmtCacheCapacity resizes the statement cache. Zero disables caching
+// (every call parses anew), which exists mainly so benchmarks can measure
+// the parse-per-call baseline.
+func (db *DB) SetStmtCacheCapacity(n int) { db.stmts.setCapacity(n) }
+
+// ---------------------------------------------------------------------------
+// Planner counters
+
+// planCounters tallies executed access paths and join strategies.
+type planCounters struct {
+	fullScans     atomic.Uint64
+	indexEq       atomic.Uint64
+	indexIn       atomic.Uint64
+	indexRange    atomic.Uint64
+	orderedScans  atomic.Uint64
+	indexJoins    atomic.Uint64
+	hashJoins     atomic.Uint64
+	nestedJoins   atomic.Uint64
+	earlyLimitHit atomic.Uint64
+}
+
+// PlanStats is a snapshot of the planner's execution counters: how often
+// each access path and join strategy actually ran.
+type PlanStats struct {
+	FullScans       uint64 `json:"full_scans"`
+	IndexEqScans    uint64 `json:"index_eq_scans"`
+	IndexInScans    uint64 `json:"index_in_scans"`
+	IndexRangeScans uint64 `json:"index_range_scans"`
+	OrderedScans    uint64 `json:"ordered_scans"`
+	IndexJoins      uint64 `json:"index_joins"`
+	HashJoins       uint64 `json:"hash_joins"`
+	NestedJoins     uint64 `json:"nested_loop_joins"`
+	EarlyLimitHits  uint64 `json:"early_limit_hits"`
+}
+
+// PlanStats returns a snapshot of the planner's execution counters.
+func (db *DB) PlanStats() PlanStats {
+	c := &db.plans
+	return PlanStats{
+		FullScans:       c.fullScans.Load(),
+		IndexEqScans:    c.indexEq.Load(),
+		IndexInScans:    c.indexIn.Load(),
+		IndexRangeScans: c.indexRange.Load(),
+		OrderedScans:    c.orderedScans.Load(),
+		IndexJoins:      c.indexJoins.Load(),
+		HashJoins:       c.hashJoins.Load(),
+		NestedJoins:     c.nestedJoins.Load(),
+		EarlyLimitHits:  c.earlyLimitHit.Load(),
+	}
+}
+
+// SetIndexAccess enables or disables index use by the planner. Disabling
+// forces full scans and hash/nested-loop joins — the execution model of the
+// seed engine — which the oracle tests and benchmarks compare against.
+// Toggling bumps the schema generation so cached plans are rebuilt.
+func (db *DB) SetIndexAccess(enabled bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.noIndex = !enabled
+	db.bumpSchemaGen()
+}

@@ -15,6 +15,13 @@ type Table struct {
 	nextRow int64
 	nextSeq int64 // AUTOINCREMENT counter
 	indexes map[string]*Index
+
+	// ids keeps the live row IDs in ascending order so scans need no
+	// per-call sort. Row IDs are allocated monotonically, so inserts append
+	// in O(1); deletes leave tombstones (IDs missing from rows) that are
+	// compacted away once they outnumber the live rows.
+	ids  []int64
+	dead int
 }
 
 // NewTable creates an empty table. A unique index is created automatically
@@ -88,6 +95,7 @@ func (t *Table) Insert(vals []Value) (int64, error) {
 	t.nextRow++
 	id := t.nextRow
 	t.rows[id] = row
+	t.ids = append(t.ids, id) // nextRow is monotone, so append keeps order
 	for _, idx := range t.indexes {
 		idx.insert(row[idx.Col], id)
 	}
@@ -121,7 +129,44 @@ func (t *Table) Delete(id int64) bool {
 		idx.delete(row[idx.Col], id)
 	}
 	delete(t.rows, id)
+	t.dead++
+	if t.dead > 64 && t.dead*2 > len(t.ids) {
+		t.compactIDs()
+	}
 	return true
+}
+
+// compactIDs rewrites the ID slice without tombstones.
+func (t *Table) compactIDs() {
+	live := t.ids[:0]
+	for _, id := range t.ids {
+		if _, ok := t.rows[id]; ok {
+			live = append(live, id)
+		}
+	}
+	t.ids = live
+	t.dead = 0
+}
+
+// restore re-inserts a previously deleted row under its original ID,
+// maintaining indexes and the sorted ID slice. It backs transaction
+// rollback of deletes; the caller guarantees the ID is free.
+func (t *Table) restore(id int64, row []Value) {
+	if _, ok := t.rows[id]; ok {
+		return
+	}
+	t.rows[id] = row
+	pos := sort.Search(len(t.ids), func(i int) bool { return t.ids[i] >= id })
+	if pos < len(t.ids) && t.ids[pos] == id {
+		t.dead-- // tombstone revived in place
+	} else {
+		t.ids = append(t.ids, 0)
+		copy(t.ids[pos+1:], t.ids[pos:])
+		t.ids[pos] = id
+	}
+	for _, idx := range t.indexes {
+		idx.insert(row[idx.Col], id)
+	}
 }
 
 // Update replaces the row with the given ID with new values (already
@@ -179,18 +224,34 @@ func (t *Table) coerceRow(vals []Value) ([]Value, error) {
 
 // Scan visits all rows in ascending row-ID order until fn returns false.
 // Row-ID order makes scans deterministic, which matters for reproducible
-// query output and for the test suite.
+// query output and for the test suite. The ID slice is maintained
+// incrementally on insert/delete, so a scan is O(n) with no sorting.
 func (t *Table) Scan(fn func(id int64, row []Value) bool) {
-	ids := make([]int64, 0, len(t.rows))
-	for id := range t.rows {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		if !fn(id, t.rows[id]) {
+	for _, id := range t.ids {
+		row, ok := t.rows[id]
+		if !ok {
+			continue // tombstone left by Delete
+		}
+		if !fn(id, row) {
 			return
 		}
 	}
+}
+
+// sortInt64s sorts a slice of row IDs ascending.
+func sortInt64s(ids []int64) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+// dedupSortedInt64s removes adjacent duplicates from a sorted ID slice.
+func dedupSortedInt64s(ids []int64) []int64 {
+	out := ids[:0]
+	for i, id := range ids {
+		if i == 0 || id != ids[i-1] {
+			out = append(out, id)
+		}
+	}
+	return out
 }
 
 // CreateIndex builds a secondary index over one column, populating it from
@@ -273,6 +334,8 @@ func (t *Table) Indexes() []*Index {
 // Truncate removes all rows but keeps schema and index definitions.
 func (t *Table) Truncate() {
 	t.rows = make(map[int64][]Value)
+	t.ids = nil
+	t.dead = 0
 	for _, idx := range t.indexes {
 		idx.reset()
 	}
