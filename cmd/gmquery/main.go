@@ -10,6 +10,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +32,7 @@ func main() {
 		via     = flag.String("via", "", "required intermediate source for -path")
 		sources = flag.Bool("sources", false, "list imported sources")
 		limit   = flag.Int("limit", 0, "print at most this many rows (0 = all)")
+		offset  = flag.Int("offset", 0, "skip this many rows before printing")
 		stats   = flag.Bool("cachestats", false, "print mapping-cache hit/miss counters after the query")
 	)
 	flag.Parse()
@@ -70,7 +72,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	q := genmapper.Query{Source: *source, Mode: *mode, WithText: *text}
+	q := genmapper.Query{Source: *source, Mode: *mode, WithText: *text, Limit: *limit, Offset: *offset}
 	if *accs != "" {
 		for _, a := range strings.Split(*accs, ",") {
 			if a = strings.TrimSpace(a); a != "" {
@@ -78,36 +80,16 @@ func main() {
 			}
 		}
 	}
-	for _, spec := range strings.Split(*targets, ",") {
-		spec = strings.TrimSpace(spec)
-		if spec == "" {
-			continue
-		}
-		t := genmapper.Target{}
-		if strings.HasPrefix(spec, "!") {
-			t.Negate = true
-			spec = spec[1:]
-		}
-		name, restrict, has := strings.Cut(spec, "=")
-		t.Source = strings.TrimSpace(name)
-		if has {
-			for _, a := range strings.Split(restrict, "|") {
-				if a = strings.TrimSpace(a); a != "" {
-					t.Accessions = append(t.Accessions, a)
-				}
-			}
-		}
-		q.Targets = append(q.Targets, t)
-	}
+	q.Targets = genmapper.ParseTargets(*targets)
 
-	table, err := sys.AnnotationView(q)
-	if err != nil {
+	// The view streams to stdout row by row (text format buffers
+	// internally for column widths); the rendered table never
+	// materializes in this process.
+	out := bufio.NewWriterSize(os.Stdout, 1<<16)
+	if err := sys.StreamAnnotationView(q, out, *format, 4096, out.Flush); err != nil {
 		fail(err)
 	}
-	if *limit > 0 && len(table.Rows) > *limit {
-		table.Rows = table.Rows[:*limit]
-	}
-	if err := table.Write(os.Stdout, *format); err != nil {
+	if err := out.Flush(); err != nil {
 		fail(err)
 	}
 	if *stats {

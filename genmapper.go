@@ -23,6 +23,7 @@ package genmapper
 
 import (
 	"fmt"
+	"io"
 	"strings"
 
 	"genmapper/internal/eav"
@@ -331,6 +332,36 @@ type Target struct {
 	MinEvidence float64
 }
 
+// ParseTargets parses the CLI target-list syntax shared by gmquery and
+// gmexport: comma-separated target specs, a "!" prefix negates, and
+// "name=acc1|acc2" restricts the target objects of interest. Empty specs
+// are skipped.
+func ParseTargets(list string) []Target {
+	var out []Target
+	for _, spec := range strings.Split(list, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		t := Target{}
+		if strings.HasPrefix(spec, "!") {
+			t.Negate = true
+			spec = strings.TrimSpace(spec[1:])
+		}
+		name, restrict, has := strings.Cut(spec, "=")
+		t.Source = strings.TrimSpace(name)
+		if has {
+			for _, a := range strings.Split(restrict, "|") {
+				if a = strings.TrimSpace(a); a != "" {
+					t.Accessions = append(t.Accessions, a)
+				}
+			}
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
 // Query describes an annotation view request (the programmatic form of
 // Figure 6a's query specification).
 type Query struct {
@@ -344,11 +375,16 @@ type Query struct {
 	Mode string
 	// WithText renders cells as "accession (text)".
 	WithText bool
+	// Offset skips the first view rows before rendering.
+	Offset int
+	// Limit caps the number of rendered rows (0 = all).
+	Limit int
 }
 
-// AnnotationView runs GenerateView for the query and renders the result
-// (Figures 3 and 6b).
-func (s *System) AnnotationView(q Query) (*Table, error) {
+// generateView runs GenerateView for the query and applies its
+// Limit/Offset window, returning the object-ID view both the materializing
+// and streaming render paths consume.
+func (s *System) generateView(q Query) (*ops.View, error) {
 	src := s.repo.SourceByName(q.Source)
 	if src == nil {
 		return nil, fmt.Errorf("genmapper: unknown source %q", q.Source)
@@ -399,7 +435,46 @@ func (s *System) AnnotationView(q Query) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	applyRowWindow(v, q.Offset, q.Limit)
+	return v, nil
+}
+
+// applyRowWindow slices a view down to the requested offset/limit window.
+func applyRowWindow(v *ops.View, offset, limit int) {
+	if offset > 0 {
+		if offset >= len(v.Rows) {
+			v.Rows = nil
+		} else {
+			v.Rows = v.Rows[offset:]
+		}
+	}
+	if limit > 0 && limit < len(v.Rows) {
+		v.Rows = v.Rows[:limit]
+	}
+}
+
+// AnnotationView runs GenerateView for the query and renders the result
+// (Figures 3 and 6b).
+func (s *System) AnnotationView(q Query) (*Table, error) {
+	v, err := s.generateView(q)
+	if err != nil {
+		return nil, err
+	}
 	return view.Render(s.repo, v, view.Options{WithText: q.WithText})
+}
+
+// StreamAnnotationView runs GenerateView for the query and streams the
+// rendered rows to w in the named format (text, tsv, csv, json) without
+// materializing the table. Query validation and view generation complete
+// before the first byte is written, so an error return before any output
+// can still be reported cleanly; flush, when non-nil, is invoked after
+// every flushEvery rendered rows and once at the end.
+func (s *System) StreamAnnotationView(q Query, w io.Writer, format string, flushEvery int, flush func() error) error {
+	v, err := s.generateView(q)
+	if err != nil {
+		return err
+	}
+	return view.Stream(s.repo, v, view.Options{WithText: q.WithText}, w, format, flushEvery, flush)
 }
 
 // objectSet resolves accessions to an ObjectSet (nil when accessions is

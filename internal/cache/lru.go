@@ -1,0 +1,152 @@
+// Package cache provides a small generic bounded LRU map. It is the one
+// recency/eviction implementation shared by the engine's prepared-statement
+// cache (sqldb) and the mapping-path executor cache (ops), which previously
+// each carried their own container/list + map plumbing.
+//
+// An LRU is NOT safe for concurrent use; callers guard it with their own
+// mutex (both call sites already hold one around every cache operation).
+package cache
+
+// node is one doubly-linked entry of the recency list.
+type node[K comparable, V any] struct {
+	key        K
+	val        V
+	prev, next *node[K, V]
+}
+
+// LRU is a bounded least-recently-used map from K to V.
+type LRU[K comparable, V any] struct {
+	capacity int
+	entries  map[K]*node[K, V]
+	// head/tail are sentinels: head.next is the most recently used entry,
+	// tail.prev the least recently used.
+	head, tail *node[K, V]
+	onEvict    func(K, V)
+}
+
+// New creates an LRU bounded to capacity entries. A capacity <= 0 means
+// the cache stores nothing: Put becomes a no-op (after evicting existing
+// entries on SetCapacity).
+func New[K comparable, V any](capacity int) *LRU[K, V] {
+	l := &LRU[K, V]{capacity: capacity, entries: make(map[K]*node[K, V])}
+	l.head = &node[K, V]{}
+	l.tail = &node[K, V]{}
+	l.head.next = l.tail
+	l.tail.prev = l.head
+	return l
+}
+
+// OnEvict installs a callback invoked for every entry dropped by capacity
+// eviction or SetCapacity shrinking (not by Delete, where the caller
+// already knows the key).
+func (l *LRU[K, V]) OnEvict(fn func(K, V)) { l.onEvict = fn }
+
+// Len returns the number of cached entries.
+func (l *LRU[K, V]) Len() int { return len(l.entries) }
+
+// Capacity returns the current capacity bound.
+func (l *LRU[K, V]) Capacity() int { return l.capacity }
+
+func (l *LRU[K, V]) unlink(n *node[K, V]) {
+	n.prev.next = n.next
+	n.next.prev = n.prev
+}
+
+func (l *LRU[K, V]) pushFront(n *node[K, V]) {
+	n.prev = l.head
+	n.next = l.head.next
+	l.head.next.prev = n
+	l.head.next = n
+}
+
+// Get returns the value cached under key and marks it most recently used.
+func (l *LRU[K, V]) Get(key K) (V, bool) {
+	n, ok := l.entries[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	l.unlink(n)
+	l.pushFront(n)
+	return n.val, true
+}
+
+// Peek returns the value cached under key without touching recency.
+func (l *LRU[K, V]) Peek(key K) (V, bool) {
+	n, ok := l.entries[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	return n.val, true
+}
+
+// Touch marks key most recently used; it reports whether the key was
+// present.
+func (l *LRU[K, V]) Touch(key K) bool {
+	n, ok := l.entries[key]
+	if !ok {
+		return false
+	}
+	l.unlink(n)
+	l.pushFront(n)
+	return true
+}
+
+// Put stores value under key (replacing any previous value), marks it most
+// recently used and evicts the least recently used entries beyond
+// capacity.
+func (l *LRU[K, V]) Put(key K, val V) {
+	if n, ok := l.entries[key]; ok {
+		n.val = val
+		l.unlink(n)
+		l.pushFront(n)
+		return
+	}
+	if l.capacity <= 0 {
+		return
+	}
+	n := &node[K, V]{key: key, val: val}
+	l.entries[key] = n
+	l.pushFront(n)
+	l.evictOverflow()
+}
+
+// Delete removes key; it reports whether the key was present. The OnEvict
+// callback is not invoked.
+func (l *LRU[K, V]) Delete(key K) bool {
+	n, ok := l.entries[key]
+	if !ok {
+		return false
+	}
+	l.unlink(n)
+	delete(l.entries, key)
+	return true
+}
+
+// SetCapacity adjusts the bound, evicting as needed.
+func (l *LRU[K, V]) SetCapacity(capacity int) {
+	l.capacity = capacity
+	l.evictOverflow()
+}
+
+// Range calls fn for every entry from most to least recently used until fn
+// returns false.
+func (l *LRU[K, V]) Range(fn func(K, V) bool) {
+	for n := l.head.next; n != l.tail; n = n.next {
+		if !fn(n.key, n.val) {
+			return
+		}
+	}
+}
+
+func (l *LRU[K, V]) evictOverflow() {
+	for len(l.entries) > l.capacity {
+		lru := l.tail.prev
+		l.unlink(lru)
+		delete(l.entries, lru.key)
+		if l.onEvict != nil {
+			l.onEvict(lru.key, lru.val)
+		}
+	}
+}

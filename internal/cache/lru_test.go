@@ -1,0 +1,128 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestLRUBasicPutGet(t *testing.T) {
+	l := New[string, int](3)
+	l.Put("a", 1)
+	l.Put("b", 2)
+	if v, ok := l.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %v, %v", v, ok)
+	}
+	if _, ok := l.Get("missing"); ok {
+		t.Fatal("Get(missing) reported present")
+	}
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", l.Len())
+	}
+	l.Put("a", 10) // replace keeps one entry
+	if v, _ := l.Get("a"); v != 10 {
+		t.Fatalf("replaced value = %v, want 10", v)
+	}
+	if l.Len() != 2 {
+		t.Fatalf("Len after replace = %d, want 2", l.Len())
+	}
+}
+
+func TestLRUEvictsLeastRecentlyUsed(t *testing.T) {
+	l := New[int, int](3)
+	var evicted []int
+	l.OnEvict(func(k, _ int) { evicted = append(evicted, k) })
+	l.Put(1, 1)
+	l.Put(2, 2)
+	l.Put(3, 3)
+	l.Get(1)    // 1 is now most recent; 2 is least
+	l.Put(4, 4) // evicts 2
+	if _, ok := l.Peek(2); ok {
+		t.Fatal("2 should have been evicted")
+	}
+	if fmt.Sprint(evicted) != "[2]" {
+		t.Fatalf("evicted = %v, want [2]", evicted)
+	}
+	for _, k := range []int{1, 3, 4} {
+		if _, ok := l.Peek(k); !ok {
+			t.Fatalf("%d missing after eviction", k)
+		}
+	}
+}
+
+func TestLRUTouchAndPeek(t *testing.T) {
+	l := New[int, string](2)
+	l.Put(1, "a")
+	l.Put(2, "b")
+	if !l.Touch(1) {
+		t.Fatal("Touch(1) = false")
+	}
+	if l.Touch(9) {
+		t.Fatal("Touch(9) = true")
+	}
+	l.Peek(2)     // peek must NOT promote 2
+	l.Put(3, "c") // evicts 2 (LRU after touch of 1)
+	if _, ok := l.Peek(2); ok {
+		t.Fatal("2 should have been evicted (Peek promoted it?)")
+	}
+	if _, ok := l.Peek(1); !ok {
+		t.Fatal("1 should have survived (Touch did not promote it?)")
+	}
+}
+
+func TestLRUDelete(t *testing.T) {
+	l := New[int, int](2)
+	called := false
+	l.OnEvict(func(int, int) { called = true })
+	l.Put(1, 1)
+	if !l.Delete(1) || l.Delete(1) {
+		t.Fatal("Delete semantics wrong")
+	}
+	if called {
+		t.Fatal("Delete must not invoke OnEvict")
+	}
+	if l.Len() != 0 {
+		t.Fatalf("Len = %d after delete", l.Len())
+	}
+}
+
+func TestLRUSetCapacityShrinks(t *testing.T) {
+	l := New[int, int](4)
+	for i := 1; i <= 4; i++ {
+		l.Put(i, i)
+	}
+	l.Get(1)
+	l.SetCapacity(2)
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d after shrink, want 2", l.Len())
+	}
+	// Most recent two are 1 (just got) and 4 (last put).
+	for _, k := range []int{1, 4} {
+		if _, ok := l.Peek(k); !ok {
+			t.Fatalf("%d missing after shrink", k)
+		}
+	}
+}
+
+func TestLRUZeroCapacityStoresNothing(t *testing.T) {
+	l := New[int, int](0)
+	l.Put(1, 1)
+	if l.Len() != 0 {
+		t.Fatalf("zero-capacity cache stored %d entries", l.Len())
+	}
+}
+
+func TestLRURangeOrder(t *testing.T) {
+	l := New[int, int](3)
+	l.Put(1, 1)
+	l.Put(2, 2)
+	l.Put(3, 3)
+	l.Get(1)
+	var order []int
+	l.Range(func(k, _ int) bool {
+		order = append(order, k)
+		return true
+	})
+	if fmt.Sprint(order) != "[1 3 2]" {
+		t.Fatalf("Range order = %v, want [1 3 2]", order)
+	}
+}

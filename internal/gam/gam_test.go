@@ -2,6 +2,7 @@ package gam
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 
 	"genmapper/internal/sqldb"
@@ -485,4 +486,151 @@ func TestBulkScale(t *testing.T) {
 	if len(unique) != 5000 {
 		t.Fatalf("non-unique IDs: %d", len(unique))
 	}
+}
+
+// The streaming iteration APIs must visit the same data the materializing
+// accessors return, in the same order, and stop early on callback error.
+func TestStreamingIterationAPIs(t *testing.T) {
+	r := newRepo(t)
+	s1, _, _ := r.EnsureSource(Source{Name: "A", Content: ContentGene})
+	s2, _, _ := r.EnsureSource(Source{Name: "B", Content: ContentGene})
+	var specs []ObjectSpec
+	for i := 0; i < 50; i++ {
+		specs = append(specs, ObjectSpec{Accession: fmt.Sprintf("a%03d", i), Text: fmt.Sprintf("t%d", i)})
+	}
+	ids1, _, err := r.EnsureObjects(s1.ID, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids2, _, err := r.EnsureObjects(s2.ID, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, _, err := r.EnsureSourceRel(s1.ID, s2.ID, RelFact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var assocs []Assoc
+	for i := range ids1 {
+		assocs = append(assocs, Assoc{Object1: ids1[i], Object2: ids2[i], Evidence: float64(i%3) / 2})
+	}
+	if _, err := r.AddAssociations(rel, assocs, false); err != nil {
+		t.Fatal(err)
+	}
+
+	want, err := r.Associations(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed []Assoc
+	if err := r.AssociationsEach(rel, func(a Assoc) error {
+		streamed = append(streamed, a)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(streamed) != fmt.Sprint(want) {
+		t.Fatalf("AssociationsEach mismatch:\n got %v\nwant %v", streamed, want)
+	}
+
+	wantObjs, err := r.ObjectsBySource(s1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotObjs []Object
+	if err := r.ObjectsBySourceEach(s1.ID, func(o *Object) error {
+		gotObjs = append(gotObjs, *o) // must copy: o is reused
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(gotObjs) != len(wantObjs) {
+		t.Fatalf("ObjectsBySourceEach = %d objects, want %d", len(gotObjs), len(wantObjs))
+	}
+	for i := range gotObjs {
+		if gotObjs[i] != *wantObjs[i] {
+			t.Fatalf("object %d = %+v, want %+v", i, gotObjs[i], *wantObjs[i])
+		}
+	}
+
+	// Early stop: the callback error propagates and iteration halts.
+	n := 0
+	errStop := fmt.Errorf("stop")
+	if err := r.AssociationsEach(rel, func(Assoc) error {
+		n++
+		if n == 5 {
+			return errStop
+		}
+		return nil
+	}); err != errStop {
+		t.Fatalf("early-stop error = %v, want errStop", err)
+	}
+	if n != 5 {
+		t.Fatalf("iterated %d rows after stop, want 5", n)
+	}
+}
+
+// AssociationsEach must stream one consistent statement snapshot: while a
+// concurrent ReplaceMapping swaps the association set between A and B, a
+// reader may observe all-A, all-B, or the empty mid-transaction state —
+// never a torn half-A/half-B mix.
+func TestAssociationsEachSnapshotUnderReplace(t *testing.T) {
+	r := newRepo(t)
+	s1, _, _ := r.EnsureSource(Source{Name: "A", Content: ContentGene})
+	s2, _, _ := r.EnsureSource(Source{Name: "B", Content: ContentGene})
+	mkSpecs := func(n int) []ObjectSpec {
+		specs := make([]ObjectSpec, n)
+		for i := range specs {
+			specs[i] = ObjectSpec{Accession: fmt.Sprintf("o%04d", i)}
+		}
+		return specs
+	}
+	ids1, _, _ := r.EnsureObjects(s1.ID, mkSpecs(150))
+	ids2, _, _ := r.EnsureObjects(s2.ID, mkSpecs(150))
+	mkAssocs := func(ev float64) []Assoc {
+		out := make([]Assoc, len(ids1))
+		for i := range ids1 {
+			out[i] = Assoc{Object1: ids1[i], Object2: ids2[i], Evidence: ev}
+		}
+		return out
+	}
+	setA, setB := mkAssocs(0.25), mkAssocs(0.75)
+
+	first, err := r.ReplaceMapping(s1.ID, s2.ID, RelComposed, setA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rel atomic.Int64
+	rel.Store(int64(first))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 40; i++ {
+			set := setA
+			if i%2 == 0 {
+				set = setB
+			}
+			id, err := r.ReplaceMapping(s1.ID, s2.ID, RelComposed, set)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			rel.Store(int64(id))
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		var evs []float64
+		if err := r.AssociationsEach(SourceRelID(rel.Load()), func(a Assoc) error {
+			evs = append(evs, a.Evidence)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for _, ev := range evs {
+			if ev != evs[0] {
+				t.Fatalf("torn association snapshot: mixed evidence %v and %v in one read", evs[0], ev)
+			}
+		}
+	}
+	<-done
 }

@@ -42,17 +42,17 @@ func (r *Repo) loadRelsLocked() error {
 	if r.relsLoaded {
 		return nil
 	}
-	rs, err := r.db.Query(sqlSelectSourceRels)
-	if err != nil {
-		return fmt.Errorf("gam: load source rels: %w", err)
-	}
-	for _, row := range rs.Rows {
+	err := queryEach(r.db, sqlSelectSourceRels, nil, func(row []sqldb.Value) error {
 		key := relKey{
 			s1:  SourceID(row[1].(int64)),
 			s2:  SourceID(row[2].(int64)),
 			typ: RelType(row[3].(string)),
 		}
 		r.rels[key] = SourceRelID(row[0].(int64))
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("gam: load source rels: %w", err)
 	}
 	r.relsLoaded = true
 	return nil
@@ -78,18 +78,18 @@ func (r *Repo) SourceRelByID(id SourceRelID) (*SourceRel, error) {
 
 // SourceRels returns all mappings ordered by ID.
 func (r *Repo) SourceRels() ([]*SourceRel, error) {
-	rs, err := r.db.Query(sqlSelectSourceRels+" ORDER BY source_rel_id")
-	if err != nil {
-		return nil, err
-	}
-	out := make([]*SourceRel, 0, len(rs.Rows))
-	for _, row := range rs.Rows {
+	var out []*SourceRel
+	err := queryEach(r.db, sqlSelectSourceRels+" ORDER BY source_rel_id", nil, func(row []sqldb.Value) error {
 		out = append(out, &SourceRel{
 			ID:      SourceRelID(row[0].(int64)),
 			Source1: SourceID(row[1].(int64)),
 			Source2: SourceID(row[2].(int64)),
 			Type:    RelType(row[3].(string)),
 		})
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -221,14 +221,12 @@ func insertAssociations(ex execer, rel SourceRelID, assocs []Assoc) (int, error)
 	return inserted, nil
 }
 
-// Associations returns every association of a mapping.
-func (r *Repo) Associations(rel SourceRelID) ([]Assoc, error) {
-	rs, err := r.db.Query(sqlSelectAssociations, int64(rel))
-	if err != nil {
-		return nil, err
-	}
-	out := make([]Assoc, 0, len(rs.Rows))
-	for _, row := range rs.Rows {
+// AssociationsEach streams every association of a mapping through fn in
+// storage order, without materializing the association list. fn runs
+// under the engine's read lock (the rows are one consistent snapshot);
+// it must not write to the repository or issue further queries.
+func (r *Repo) AssociationsEach(rel SourceRelID, fn func(Assoc) error) error {
+	return queryEach(r.db, sqlSelectAssociations, []any{int64(rel)}, func(row []sqldb.Value) error {
 		a := Assoc{
 			Object1: ObjectID(row[0].(int64)),
 			Object2: ObjectID(row[1].(int64)),
@@ -236,14 +234,30 @@ func (r *Repo) Associations(rel SourceRelID) ([]Assoc, error) {
 		if v, ok := row[2].(float64); ok {
 			a.Evidence = v
 		}
+		return fn(a)
+	})
+}
+
+// Associations returns every association of a mapping.
+func (r *Repo) Associations(rel SourceRelID) ([]Assoc, error) {
+	var out []Assoc
+	if err := r.AssociationsEach(rel, func(a Assoc) error {
 		out = append(out, a)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if out == nil {
+		out = []Assoc{}
 	}
 	return out, nil
 }
 
 // AssociationsBatch fetches the associations of several mappings in a single
 // SQL round-trip, keyed by mapping ID. Mapping IDs without associations map
-// to an empty (nil) slice. Duplicate IDs in rels are fetched once.
+// to an empty (nil) slice. Duplicate IDs in rels are fetched once. The
+// result rows stream straight from the engine cursor into the per-mapping
+// slices — one buffering, not two.
 func (r *Repo) AssociationsBatch(rels []SourceRelID) (map[SourceRelID][]Assoc, error) {
 	out := make(map[SourceRelID][]Assoc, len(rels))
 	if len(rels) == 0 {
@@ -266,11 +280,7 @@ func (r *Repo) AssociationsBatch(rels []SourceRelID) (map[SourceRelID][]Assoc, e
 		out[rel] = nil
 	}
 	sb.WriteString(")")
-	rs, err := r.db.Query(sb.String(), args...)
-	if err != nil {
-		return nil, fmt.Errorf("gam: batch associations: %w", err)
-	}
-	for _, row := range rs.Rows {
+	err := queryEach(r.db, sb.String(), args, func(row []sqldb.Value) error {
 		rel := SourceRelID(row[0].(int64))
 		a := Assoc{
 			Object1: ObjectID(row[1].(int64)),
@@ -280,6 +290,10 @@ func (r *Repo) AssociationsBatch(rels []SourceRelID) (map[SourceRelID][]Assoc, e
 			a.Evidence = v
 		}
 		out[rel] = append(out[rel], a)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("gam: batch associations: %w", err)
 	}
 	return out, nil
 }

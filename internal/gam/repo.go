@@ -153,26 +153,27 @@ func assocInsertSQL(n int) string {
 // The hot statement texts are named constants so the call sites and the
 // prepare-at-Open warm-up list below can never drift apart.
 const (
-	sqlSelectSources         = "SELECT source_id, name, content, structure, release, import_date FROM source"
-	sqlSelectSourcesByName   = "SELECT source_id, name, content, structure, release, import_date FROM source ORDER BY name"
-	sqlInsertSource          = "INSERT INTO source (name, content, structure, release, import_date) VALUES (?, ?, ?, ?, ?)"
-	sqlUpdateSourceAudit     = "UPDATE source SET release = ?, import_date = ? WHERE source_id = ?"
-	sqlSelectObjectAccs      = "SELECT object_id, accession FROM object WHERE source_id = ?"
-	sqlSelectObjectByID      = "SELECT object_id, source_id, accession, text, number FROM object WHERE object_id = ?"
-	sqlSelectObjectsBySource = "SELECT object_id, source_id, accession, text, number FROM object WHERE source_id = ? ORDER BY accession"
-	sqlSelectObjectsNoText   = "SELECT object_id, accession FROM object WHERE source_id = ? AND text IS NULL"
-	sqlUpdateObjectInfo      = "UPDATE object SET text = ?, number = ? WHERE object_id = ?"
-	sqlCountObjects          = "SELECT COUNT(*) FROM object"
-	sqlCountObjectsBySource  = "SELECT COUNT(*) FROM object WHERE source_id = ?"
-	sqlInsertSourceRel       = "INSERT INTO source_rel (source1_id, source2_id, type) VALUES (?, ?, ?)"
-	sqlSelectSourceRels      = "SELECT source_rel_id, source1_id, source2_id, type FROM source_rel"
-	sqlSelectAssociations    = "SELECT object1_id, object2_id, evidence FROM object_rel WHERE source_rel_id = ?"
-	sqlCountSources          = "SELECT COUNT(*) FROM source"
-	sqlCountSourceRels       = "SELECT COUNT(*) FROM source_rel"
-	sqlCountAssociations     = "SELECT COUNT(*) FROM object_rel"
-	sqlCountAssocsByRel      = "SELECT COUNT(*) FROM object_rel WHERE source_rel_id = ?"
-	sqlDeleteAssociations    = "DELETE FROM object_rel WHERE source_rel_id = ?"
-	sqlDeleteSourceRel       = "DELETE FROM source_rel WHERE source_rel_id = ?"
+	sqlSelectSources             = "SELECT source_id, name, content, structure, release, import_date FROM source"
+	sqlSelectSourcesByName       = "SELECT source_id, name, content, structure, release, import_date FROM source ORDER BY name"
+	sqlInsertSource              = "INSERT INTO source (name, content, structure, release, import_date) VALUES (?, ?, ?, ?, ?)"
+	sqlUpdateSourceAudit         = "UPDATE source SET release = ?, import_date = ? WHERE source_id = ?"
+	sqlSelectObjectAccs          = "SELECT object_id, accession FROM object WHERE source_id = ?"
+	sqlSelectObjectByID          = "SELECT object_id, source_id, accession, text, number FROM object WHERE object_id = ?"
+	sqlSelectObjectsBySource     = "SELECT object_id, source_id, accession, text, number FROM object WHERE source_id = ? ORDER BY accession"
+	sqlSelectObjectsBySourceScan = "SELECT object_id, source_id, accession, text, number FROM object WHERE source_id = ?"
+	sqlSelectObjectsNoText       = "SELECT object_id, accession FROM object WHERE source_id = ? AND text IS NULL"
+	sqlUpdateObjectInfo          = "UPDATE object SET text = ?, number = ? WHERE object_id = ?"
+	sqlCountObjects              = "SELECT COUNT(*) FROM object"
+	sqlCountObjectsBySource      = "SELECT COUNT(*) FROM object WHERE source_id = ?"
+	sqlInsertSourceRel           = "INSERT INTO source_rel (source1_id, source2_id, type) VALUES (?, ?, ?)"
+	sqlSelectSourceRels          = "SELECT source_rel_id, source1_id, source2_id, type FROM source_rel"
+	sqlSelectAssociations        = "SELECT object1_id, object2_id, evidence FROM object_rel WHERE source_rel_id = ?"
+	sqlCountSources              = "SELECT COUNT(*) FROM source"
+	sqlCountSourceRels           = "SELECT COUNT(*) FROM source_rel"
+	sqlCountAssociations         = "SELECT COUNT(*) FROM object_rel"
+	sqlCountAssocsByRel          = "SELECT COUNT(*) FROM object_rel WHERE source_rel_id = ?"
+	sqlDeleteAssociations        = "DELETE FROM object_rel WHERE source_rel_id = ?"
+	sqlDeleteSourceRel           = "DELETE FROM source_rel WHERE source_rel_id = ?"
 )
 
 // hotStatements lists the fixed-text statements issued per imported object,
@@ -184,6 +185,7 @@ var hotStatements = []string{
 	sqlSelectObjectAccs,
 	sqlSelectObjectByID,
 	sqlSelectObjectsBySource,
+	sqlSelectObjectsBySourceScan,
 	sqlCountObjects,
 	sqlCountObjectsBySource,
 	sqlSelectObjectsNoText,
@@ -243,15 +245,49 @@ func Open(db *sqldb.DB) (*Repo, error) {
 // DB exposes the underlying database (for the operator layer's SQL).
 func (r *Repo) DB() *sqldb.DB { return r.db }
 
-func (r *Repo) loadSources() error {
-	rs, err := r.db.Query(sqlSelectSources)
+// queryEach streams a SELECT's rows through fn without materializing the
+// result set, holding the engine's read lock for the whole iteration so
+// fn observes one consistent statement snapshot (a concurrent
+// ReplaceMapping can never produce a half-old/half-new row set). The row
+// slice passed to fn is reused between calls; fn must copy anything it
+// keeps and must not write to the database (use queryEachInterleaved for
+// loops that write).
+func queryEach(db *sqldb.DB, sql string, args []any, fn func([]sqldb.Value) error) error {
+	return db.QueryEach(sql, func(row []sqldb.Value) error { return fn(row) }, args...)
+}
+
+// queryEachInterleaved streams rows via a cursor that takes the read lock
+// per step, so fn may issue writes between rows. Reads are read-committed
+// row by row, not a snapshot.
+func queryEachInterleaved(db *sqldb.DB, sql string, args []any, fn func([]sqldb.Value) error) error {
+	cur, err := db.QueryCursor(sql, args...)
 	if err != nil {
-		return fmt.Errorf("gam: load sources: %w", err)
+		return err
 	}
-	for _, row := range rs.Rows {
+	defer cur.Close()
+	for {
+		row, err := cur.Next()
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			return nil
+		}
+		if err := fn(row); err != nil {
+			return err
+		}
+	}
+}
+
+func (r *Repo) loadSources() error {
+	err := queryEach(r.db, sqlSelectSources, nil, func(row []sqldb.Value) error {
 		s := rowToSource(row)
 		r.sources[strings.ToLower(s.Name)] = s
 		r.sourcesByID[s.ID] = s
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("gam: load sources: %w", err)
 	}
 	return nil
 }
@@ -338,13 +374,12 @@ func (r *Repo) SourceByID(id SourceID) *Source {
 
 // Sources returns all sources ordered by name.
 func (r *Repo) Sources() []*Source {
-	rs, err := r.db.Query(sqlSelectSourcesByName)
-	if err != nil {
-		return nil
-	}
-	out := make([]*Source, 0, len(rs.Rows))
-	for _, row := range rs.Rows {
+	var out []*Source
+	if err := queryEach(r.db, sqlSelectSourcesByName, nil, func(row []sqldb.Value) error {
 		out = append(out, rowToSource(row))
+		return nil
+	}); err != nil {
+		return nil
 	}
 	return out
 }
@@ -358,13 +393,13 @@ func (r *Repo) objectCache(src SourceID) (map[string]ObjectID, error) {
 	if m, ok := r.objects[src]; ok {
 		return m, nil
 	}
-	rs, err := r.db.Query(sqlSelectObjectAccs, int64(src))
+	m := make(map[string]ObjectID)
+	err := queryEach(r.db, sqlSelectObjectAccs, []any{int64(src)}, func(row []sqldb.Value) error {
+		m[row[1].(string)] = ObjectID(row[0].(int64))
+		return nil
+	})
 	if err != nil {
 		return nil, fmt.Errorf("gam: load objects of source %d: %w", src, err)
-	}
-	m := make(map[string]ObjectID, len(rs.Rows))
-	for _, row := range rs.Rows {
-		m[row[1].(string)] = ObjectID(row[0].(int64))
 	}
 	r.objects[src] = m
 	return m, nil
@@ -481,15 +516,14 @@ func (r *Repo) FillMissingObjectInfo(src SourceID, specs []ObjectSpec) (int, err
 	if len(bySpec) == 0 {
 		return 0, nil
 	}
-	rs, err := r.db.Query(sqlSelectObjectsNoText, int64(src))
-	if err != nil {
-		return 0, err
-	}
+	// Cursor iteration interleaves the UPDATEs with the scan: each row is
+	// updated after it streams out, and updating text never re-qualifies a
+	// later "text IS NULL" row, so the interleaving is safe.
 	updated := 0
-	for _, row := range rs.Rows {
+	err := queryEachInterleaved(r.db, sqlSelectObjectsNoText, []any{int64(src)}, func(row []sqldb.Value) error {
 		spec, ok := bySpec[row[1].(string)]
 		if !ok {
-			continue
+			return nil
 		}
 		var num any
 		if spec.HasNumber {
@@ -499,13 +533,13 @@ func (r *Repo) FillMissingObjectInfo(src SourceID, specs []ObjectSpec) (int, err
 		if spec.Text != "" {
 			text = spec.Text
 		}
-		if _, err := r.db.Exec(sqlUpdateObjectInfo,
-			text, num, row[0].(int64)); err != nil {
-			return updated, err
+		if _, err := r.db.Exec(sqlUpdateObjectInfo, text, num, row[0].(int64)); err != nil {
+			return err
 		}
 		updated++
-	}
-	return updated, nil
+		return nil
+	})
+	return updated, err
 }
 
 // LookupObject returns the ID of the object with the given accession in
@@ -548,15 +582,44 @@ func (r *Repo) Object(id ObjectID) (*Object, error) {
 	return rowToObject(rs.Rows[0]), nil
 }
 
+// ObjectsScanEach streams all objects of a source in storage order (no
+// accession sort) through fn — the cheapest full pass over a source, used
+// by bulk renderers to build lookup maps. The Object passed to fn is
+// reused between calls; copy it if kept. fn runs under the engine's read
+// lock and must not write to the repository or issue further queries.
+func (r *Repo) ObjectsScanEach(src SourceID, fn func(*Object) error) error {
+	var obj Object
+	return queryEach(r.db, sqlSelectObjectsBySourceScan, []any{int64(src)}, func(row []sqldb.Value) error {
+		obj = Object{}
+		fillObject(&obj, row)
+		return fn(&obj)
+	})
+}
+
+// ObjectsBySourceEach streams all objects of a source ordered by
+// accession through fn, without materializing the object list. The Object
+// passed to fn is reused between calls; copy it if kept. fn runs under
+// the engine's read lock and must not write to the repository or issue
+// further queries.
+func (r *Repo) ObjectsBySourceEach(src SourceID, fn func(*Object) error) error {
+	var obj Object
+	return queryEach(r.db, sqlSelectObjectsBySource, []any{int64(src)}, func(row []sqldb.Value) error {
+		obj = Object{}
+		fillObject(&obj, row)
+		return fn(&obj)
+	})
+}
+
 // ObjectsBySource returns all objects of a source ordered by accession.
 func (r *Repo) ObjectsBySource(src SourceID) ([]*Object, error) {
-	rs, err := r.db.Query(sqlSelectObjectsBySource, int64(src))
+	var out []*Object
+	err := r.ObjectsBySourceEach(src, func(o *Object) error {
+		cp := *o
+		out = append(out, &cp)
+		return nil
+	})
 	if err != nil {
 		return nil, err
-	}
-	out := make([]*Object, 0, len(rs.Rows))
-	for _, row := range rs.Rows {
-		out = append(out, rowToObject(row))
 	}
 	return out, nil
 }
@@ -578,16 +641,21 @@ func (r *Repo) ObjectCount(src SourceID) (int64, error) {
 }
 
 func rowToObject(row []sqldb.Value) *Object {
-	o := &Object{
-		ID:        ObjectID(row[0].(int64)),
-		Source:    SourceID(row[1].(int64)),
-		Accession: row[2].(string),
-	}
+	o := &Object{}
+	fillObject(o, row)
+	return o
+}
+
+// fillObject populates an Object from a full object row, copying the
+// scalar values out so the (reused) row slice may be recycled.
+func fillObject(o *Object, row []sqldb.Value) {
+	o.ID = ObjectID(row[0].(int64))
+	o.Source = SourceID(row[1].(int64))
+	o.Accession = row[2].(string)
 	if v, ok := row[3].(string); ok {
 		o.Text = v
 	}
 	if v, ok := row[4].(float64); ok {
 		o.HasNumber, o.Number = true, v
 	}
-	return o
 }

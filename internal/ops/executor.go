@@ -18,13 +18,13 @@
 package ops
 
 import (
-	"container/list"
 	"errors"
 	"fmt"
 	"runtime"
 	"strings"
 	"sync"
 
+	"genmapper/internal/cache"
 	"genmapper/internal/gam"
 )
 
@@ -54,16 +54,13 @@ type Executor struct {
 	repo    *gam.Repo
 	workers int
 
-	mu       sync.Mutex
-	capacity int
-	entries  map[string]*list.Element
-	order    *list.List // front = most recently used
-	hits     uint64
-	misses   uint64
+	mu     sync.Mutex
+	lru    *cache.LRU[string, *cacheEntry]
+	hits   uint64
+	misses uint64
 }
 
 type cacheEntry struct {
-	key string
 	gen uint64 // repo generation observed before the load
 	m   *Mapping
 }
@@ -82,11 +79,9 @@ func NewExecutorConfig(repo *gam.Repo, cfg ExecutorConfig) *Executor {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
 	return &Executor{
-		repo:     repo,
-		workers:  cfg.Workers,
-		capacity: cfg.Capacity,
-		entries:  make(map[string]*list.Element),
-		order:    list.New(),
+		repo:    repo,
+		workers: cfg.Workers,
+		lru:     cache.New[string, *cacheEntry](cfg.Capacity),
 	}
 }
 
@@ -97,7 +92,7 @@ func (e *Executor) Repo() *gam.Repo { return e.repo }
 func (e *Executor) Stats() CacheStats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return CacheStats{Hits: e.hits, Misses: e.misses, Entries: len(e.entries)}
+	return CacheStats{Hits: e.hits, Misses: e.misses, Entries: e.lru.Len()}
 }
 
 // Reset drops every cached mapping and zeroes the counters (used by cold
@@ -105,8 +100,7 @@ func (e *Executor) Stats() CacheStats {
 func (e *Executor) Reset() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.entries = make(map[string]*list.Element)
-	e.order.Init()
+	e.lru = cache.New[string, *cacheEntry](e.lru.Capacity())
 	e.hits, e.misses = 0, 0
 }
 
@@ -116,19 +110,16 @@ func (e *Executor) Reset() {
 func (e *Executor) get(key string, gen uint64) (*Mapping, bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	el, ok := e.entries[key]
+	ent, ok := e.lru.Get(key)
 	if !ok {
 		e.misses++
 		return nil, false
 	}
-	ent := el.Value.(*cacheEntry)
 	if ent.gen != gen {
-		e.order.Remove(el)
-		delete(e.entries, key)
+		e.lru.Delete(key)
 		e.misses++
 		return nil, false
 	}
-	e.order.MoveToFront(el)
 	e.hits++
 	return ent.m.clone(), true
 }
@@ -147,18 +138,7 @@ func (e *Executor) put(key string, gen uint64, m *Mapping) {
 func (e *Executor) putOwned(key string, gen uint64, cp *Mapping) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if el, ok := e.entries[key]; ok {
-		el.Value.(*cacheEntry).gen = gen
-		el.Value.(*cacheEntry).m = cp
-		e.order.MoveToFront(el)
-		return
-	}
-	e.entries[key] = e.order.PushFront(&cacheEntry{key: key, gen: gen, m: cp})
-	for len(e.entries) > e.capacity {
-		el := e.order.Back()
-		e.order.Remove(el)
-		delete(e.entries, el.Value.(*cacheEntry).key)
-	}
+	e.lru.Put(key, &cacheEntry{gen: gen, m: cp})
 }
 
 func edgeKey(s, t gam.SourceID, typ gam.RelType) string {
@@ -189,16 +169,35 @@ func (e *Executor) Map(s, t gam.SourceID) (*Mapping, error) {
 	if m, ok := e.get(key, gen); ok {
 		return m, nil
 	}
-	assocs, err := e.repo.Associations(rel.ID)
+	m, err := e.loadEdgeMapping(s, t, rel, reversed)
 	if err != nil {
 		return nil, err
 	}
-	m := edgeMapping(s, t, rel, reversed, assocs)
 	e.putOwned(key, gen, m)
 	return m.clone(), nil
 }
 
-// edgeMapping builds the working Mapping for one traversal edge, flipping
+// loadEdgeMapping streams one edge's associations straight from the engine
+// cursor into the working Mapping, flipping stored-reversed associations
+// inline so that From is always s — a single buffering instead of
+// query-materialize-then-copy.
+func (e *Executor) loadEdgeMapping(s, t gam.SourceID, rel *gam.SourceRel, reversed bool) (*Mapping, error) {
+	m := &Mapping{Rel: rel.ID, From: s, To: t, Type: rel.Type}
+	err := e.repo.AssociationsEach(rel.ID, func(a gam.Assoc) error {
+		if reversed {
+			a.Object1, a.Object2 = a.Object2, a.Object1
+		}
+		m.Assocs = append(m.Assocs, a)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// edgeMapping builds the working Mapping for one traversal edge from an
+// already-loaded association set (the batched path), flipping
 // stored-reversed associations so that From is always s.
 func edgeMapping(s, t gam.SourceID, rel *gam.SourceRel, reversed bool, assocs []gam.Assoc) *Mapping {
 	m := &Mapping{Rel: rel.ID, From: s, To: t, Type: rel.Type}

@@ -11,6 +11,7 @@ import (
 	"html/template"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"strings"
 
 	"genmapper"
@@ -82,6 +83,9 @@ textarea { width: 30em; }
 <p>Targets (one per line, prefix with <code>!</code> to negate, suffix
 <code>via A&gt;B&gt;C</code> for an explicit path):<br>
 <textarea name="targets" rows="4"></textarea></p>
+<p>Limit: <input name="limit" size="8">
+&nbsp; Offset: <input name="offset" size="8">
+&nbsp; (empty = all rows)</p>
 <p><button type="submit">Generate view</button></p>
 </form>
 {{if .Error}}<p style="color:red">{{.Error}}</p>{{end}}
@@ -127,6 +131,46 @@ func (s *Server) renderPage(w http.ResponseWriter, d pageData) {
 	}
 }
 
+// parseTargetSpec parses one target specification of the form
+// "[!]Name[ via A>B>C]".
+func parseTargetSpec(spec string) genmapper.Target {
+	t := genmapper.Target{}
+	spec = strings.TrimSpace(spec)
+	if strings.HasPrefix(spec, "!") {
+		t.Negate = true
+		spec = strings.TrimSpace(spec[1:])
+	}
+	name, via, hasVia := strings.Cut(spec, " via ")
+	t.Source = strings.TrimSpace(name)
+	if hasVia {
+		for _, step := range strings.Split(via, ">") {
+			if s := strings.TrimSpace(step); s != "" {
+				t.Via = append(t.Via, s)
+			}
+		}
+	}
+	return t
+}
+
+// parseRowWindow reads the optional limit/offset form fields.
+func parseRowWindow(r *http.Request, q *genmapper.Query) error {
+	for _, f := range []struct {
+		name string
+		dst  *int
+	}{{"limit", &q.Limit}, {"offset", &q.Offset}} {
+		s := strings.TrimSpace(r.FormValue(f.name))
+		if s == "" {
+			continue
+		}
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			return fmt.Errorf("%s must be a non-negative integer, got %q", f.name, s)
+		}
+		*f.dst = n
+	}
+	return nil
+}
+
 // parseQuerySpec turns form fields into a genmapper.Query.
 func parseQuerySpec(r *http.Request) (genmapper.Query, error) {
 	q := genmapper.Query{
@@ -146,20 +190,7 @@ func parseQuerySpec(r *http.Request) (genmapper.Query, error) {
 		if line == "" {
 			continue
 		}
-		t := genmapper.Target{}
-		if strings.HasPrefix(line, "!") {
-			t.Negate = true
-			line = strings.TrimSpace(line[1:])
-		}
-		name, via, hasVia := strings.Cut(line, " via ")
-		t.Source = strings.TrimSpace(name)
-		if hasVia {
-			for _, step := range strings.Split(via, ">") {
-				if s := strings.TrimSpace(step); s != "" {
-					t.Via = append(t.Via, s)
-				}
-			}
-		}
+		t := parseTargetSpec(line)
 		if t.Source == "" {
 			return q, fmt.Errorf("empty target name in %q", line)
 		}
@@ -167,6 +198,9 @@ func parseQuerySpec(r *http.Request) (genmapper.Query, error) {
 	}
 	if len(q.Targets) == 0 {
 		return q, fmt.Errorf("no targets specified")
+	}
+	if err := parseRowWindow(r, &q); err != nil {
+		return q, err
 	}
 	return q, nil
 }
@@ -216,9 +250,42 @@ func exportURL(q genmapper.Query) string {
 		sb.WriteString("&target=")
 		sb.WriteString(template.URLQueryEscaper(spec))
 	}
+	if q.Limit > 0 {
+		fmt.Fprintf(&sb, "&limit=%d", q.Limit)
+	}
+	if q.Offset > 0 {
+		fmt.Fprintf(&sb, "&offset=%d", q.Offset)
+	}
 	return sb.String()
 }
 
+// exportFlushRows is how many rendered rows an export streams between
+// flushes to the client.
+const exportFlushRows = 512
+
+// deferredHeaderWriter delays the export headers until the first payload
+// byte: a query that fails validation (before any output) can still get a
+// clean error status and plain-text body.
+type deferredHeaderWriter struct {
+	w          http.ResponseWriter
+	setHeaders func()
+	started    bool
+	n          int
+}
+
+func (d *deferredHeaderWriter) Write(p []byte) (int, error) {
+	if !d.started {
+		d.setHeaders()
+		d.started = true
+	}
+	d.n += len(p)
+	return d.w.Write(p)
+}
+
+// handleExport streams the annotation view to the client row by row: the
+// table is never materialized server-side, the response flushes every
+// exportFlushRows rows, and result size is bounded by the network, not by
+// server memory.
 func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
 	q := genmapper.Query{
 		Source: r.FormValue("source"),
@@ -232,42 +299,43 @@ func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	for _, spec := range r.URL.Query()["target"] {
-		t := genmapper.Target{}
-		spec = strings.TrimSpace(spec)
-		if strings.HasPrefix(spec, "!") {
-			t.Negate = true
-			spec = strings.TrimSpace(spec[1:])
-		}
-		name, via, hasVia := strings.Cut(spec, " via ")
-		t.Source = strings.TrimSpace(name)
-		if hasVia {
-			for _, step := range strings.Split(via, ">") {
-				if s := strings.TrimSpace(step); s != "" {
-					t.Via = append(t.Via, s)
-				}
-			}
-		}
-		q.Targets = append(q.Targets, t)
+		q.Targets = append(q.Targets, parseTargetSpec(spec))
 	}
-	table, err := s.sys.AnnotationView(q)
-	if err != nil {
+	if err := parseRowWindow(r, &q); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	format := r.FormValue("format")
-	switch strings.ToLower(format) {
-	case "csv":
-		w.Header().Set("Content-Type", "text/csv")
-		w.Header().Set("Content-Disposition", `attachment; filename="view.csv"`)
-	case "json":
-		w.Header().Set("Content-Type", "application/json")
-	default:
+
+	format := strings.ToLower(r.FormValue("format"))
+	if format != "csv" && format != "json" {
 		format = "tsv"
-		w.Header().Set("Content-Type", "text/tab-separated-values")
-		w.Header().Set("Content-Disposition", `attachment; filename="view.tsv"`)
 	}
-	if err := table.Write(w, format); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+	dw := &deferredHeaderWriter{w: w, setHeaders: func() {
+		switch format {
+		case "csv":
+			w.Header().Set("Content-Type", "text/csv")
+			w.Header().Set("Content-Disposition", `attachment; filename="view.csv"`)
+		case "json":
+			w.Header().Set("Content-Type", "application/json")
+		default:
+			w.Header().Set("Content-Type", "text/tab-separated-values")
+			w.Header().Set("Content-Disposition", `attachment; filename="view.tsv"`)
+		}
+	}}
+	flusher, _ := w.(http.Flusher)
+	flush := func() error {
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	}
+	if err := s.sys.StreamAnnotationView(q, dw, format, exportFlushRows, flush); err != nil {
+		if dw.n == 0 {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+		}
+		// Mid-stream errors are past the status line; the truncated body is
+		// all we can signal.
+		return
 	}
 }
 

@@ -307,3 +307,86 @@ func TestStatsCacheCountersMove(t *testing.T) {
 		t.Fatalf("repeated query missed the cache: %v -> %v", mid, after)
 	}
 }
+
+func TestExportLimitOffset(t *testing.T) {
+	ts := testServer(t)
+	get := func(params string) (int, []string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/export?source=LocusLink&mode=OR&target=Hugo&format=tsv" + params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body := readBody(t, resp)
+		return resp.StatusCode, strings.Split(strings.TrimRight(body, "\n"), "\n")
+	}
+
+	status, all := get("")
+	if status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	dataRows := len(all) - 1 // minus header
+	if dataRows < 2 {
+		t.Fatalf("export has %d data rows, want >= 2", dataRows)
+	}
+
+	status, limited := get("&limit=1")
+	if status != http.StatusOK || len(limited)-1 != 1 {
+		t.Fatalf("limit=1: status %d rows %d", status, len(limited)-1)
+	}
+	if limited[1] != all[1] {
+		t.Errorf("limit=1 first row %q, want %q", limited[1], all[1])
+	}
+
+	status, shifted := get("&limit=1&offset=1")
+	if status != http.StatusOK || len(shifted)-1 != 1 {
+		t.Fatalf("limit=1&offset=1: status %d rows %d", status, len(shifted)-1)
+	}
+	if shifted[1] != all[2] {
+		t.Errorf("offset=1 first row %q, want %q", shifted[1], all[2])
+	}
+
+	// Invalid window parameters get a clean 400, not a broken stream.
+	status, _ = get("&limit=-3")
+	if status != http.StatusBadRequest {
+		t.Errorf("negative limit status = %d, want 400", status)
+	}
+}
+
+func TestExportErrorBeforeStream(t *testing.T) {
+	ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/export?source=NoSuchSource&target=Hugo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); strings.Contains(ct, "tab-separated") {
+		t.Errorf("error response carries export content type %q", ct)
+	}
+}
+
+func TestQueryFormLimit(t *testing.T) {
+	ts := testServer(t)
+	form := url.Values{
+		"source":  {"LocusLink"},
+		"mode":    {"OR"},
+		"targets": {"Hugo"},
+		"limit":   {"1"},
+	}
+	resp, err := http.PostForm(ts.URL+"/query", form)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body := readBody(t, resp)
+	if !strings.Contains(body, "Annotation view (1 rows)") {
+		t.Errorf("limited query did not render 1 row:\n%s", body)
+	}
+	// Export links carry the window through.
+	if !strings.Contains(body, "limit=1") {
+		t.Error("export link does not carry limit")
+	}
+}

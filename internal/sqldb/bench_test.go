@@ -4,7 +4,10 @@ package sqldb
 // experiment (point lookups, scans, hash joins, bulk inserts).
 
 import (
+	"bufio"
 	"fmt"
+	"io"
+	"strings"
 	"testing"
 )
 
@@ -380,5 +383,141 @@ func BenchmarkSnapshotSaveLoad(b *testing.B) {
 		if _, err := Load(path); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// PR 3: streaming cursor execution vs the materialize-everything seed path.
+// The export shape of the acceptance benchmark: a 100k-row result serialized
+// to a writer. The materialized path builds the full [][]Value ResultSet
+// first (the seed engine's only mode); the cursor path streams rows through
+// one reused buffer, removing the O(rows) result allocations entirely.
+
+var exportBenchDB *DB
+
+func benchExportDB(b *testing.B) *DB {
+	b.Helper()
+	if exportBenchDB != nil {
+		return exportBenchDB
+	}
+	db := NewDB()
+	if _, err := db.Exec("CREATE TABLE exp (id INTEGER PRIMARY KEY, acc TEXT, txt TEXT)"); err != nil {
+		b.Fatal(err)
+	}
+	const rows, chunk = 100000, 200
+	var sb strings.Builder
+	for start := 0; start < rows; start += chunk {
+		sb.Reset()
+		sb.WriteString("INSERT INTO exp VALUES ")
+		args := make([]any, 0, chunk*3)
+		for i := start; i < start+chunk; i++ {
+			if i > start {
+				sb.WriteString(", ")
+			}
+			sb.WriteString("(?, ?, ?)")
+			args = append(args, i, fmt.Sprintf("ACC:%07d", i), fmt.Sprintf("object %d description", i))
+		}
+		if _, err := db.Exec(sb.String(), args...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	exportBenchDB = db
+	return db
+}
+
+// writeRowTSV serializes one row the way an export renders it; both bench
+// variants share it so the only difference is materialized vs streamed row
+// production.
+func writeRowTSV(w *bufio.Writer, row []Value) {
+	for i, v := range row {
+		if i > 0 {
+			w.WriteByte('\t')
+		}
+		w.WriteString(FormatValue(v))
+	}
+	w.WriteByte('\n')
+}
+
+const exportBenchQuery = "SELECT id, acc, txt FROM exp"
+
+func BenchmarkExport100kMaterialized(b *testing.B) {
+	db := benchExportDB(b)
+	w := bufio.NewWriterSize(io.Discard, 1<<16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := db.Query(exportBenchQuery)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rs.Len() != 100000 {
+			b.Fatalf("rows = %d", rs.Len())
+		}
+		for _, row := range rs.Rows {
+			writeRowTSV(w, row)
+		}
+		w.Flush()
+	}
+}
+
+func BenchmarkExport100kCursorStream(b *testing.B) {
+	db := benchExportDB(b)
+	w := bufio.NewWriterSize(io.Discard, 1<<16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cur, err := db.QueryCursor(exportBenchQuery)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for {
+			row, err := cur.Next()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if row == nil {
+				break
+			}
+			writeRowTSV(w, row)
+			n++
+		}
+		cur.Close()
+		if n != 100000 {
+			b.Fatalf("rows = %d", n)
+		}
+		w.Flush()
+	}
+}
+
+// The LIMIT-prefix shape: a consumer that needs only the first rows of a
+// big result. The cursor pays for what it reads, not for the table size.
+func BenchmarkPrefix10Of100kMaterialized(b *testing.B) {
+	db := benchExportDB(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := db.Query(exportBenchQuery + " LIMIT 10")
+		if err != nil || rs.Len() != 10 {
+			b.Fatalf("%v / %d rows", err, rs.Len())
+		}
+	}
+}
+
+func BenchmarkPrefix10Of100kCursorStream(b *testing.B) {
+	db := benchExportDB(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cur, err := db.QueryCursor(exportBenchQuery)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for n := 0; n < 10; n++ {
+			if _, err := cur.Next(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		cur.Close()
 	}
 }

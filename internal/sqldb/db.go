@@ -134,7 +134,7 @@ func (db *DB) execPrepared(s *Stmt, vals []Value) (Result, error) {
 		return Result{}, err
 	}
 	undo := &undoLog{}
-	res, err := db.executeWrite(p.write, vals, undo)
+	res, err := db.executeWrite(p, vals, undo)
 	if err != nil {
 		undo.rollback(db)
 		return Result{}, err
@@ -261,14 +261,18 @@ func (e dropIndexUndo) undo(db *DB) {
 // ---------------------------------------------------------------------------
 // Write-statement execution. Caller holds db.mu exclusively.
 
-func (db *DB) executeWrite(st Statement, args []Value, undo *undoLog) (Result, error) {
-	switch s := st.(type) {
+func (db *DB) executeWrite(p *prepared, args []Value, undo *undoLog) (Result, error) {
+	// UPDATE and DELETE run on their cached plans (access path chosen and
+	// columns bound once at prepare time).
+	switch {
+	case p.upd != nil:
+		return db.executeUpdate(p.upd, args, undo)
+	case p.del != nil:
+		return db.executeDelete(p.del, args, undo)
+	}
+	switch s := p.write.(type) {
 	case *InsertStmt:
 		return db.executeInsert(s, args, undo)
-	case *UpdateStmt:
-		return db.executeUpdate(s, args, undo)
-	case *DeleteStmt:
-		return db.executeDelete(s, args, undo)
 	case *CreateTableStmt:
 		return db.executeCreateTable(s, undo)
 	case *CreateIndexStmt:
@@ -278,7 +282,7 @@ func (db *DB) executeWrite(st Statement, args []Value, undo *undoLog) (Result, e
 	case *DropIndexStmt:
 		return db.executeDropIndex(s, undo)
 	}
-	return Result{}, fmt.Errorf("sqldb: unsupported statement %T", st)
+	return Result{}, fmt.Errorf("sqldb: unsupported statement %T", p.write)
 }
 
 func (db *DB) executeInsert(st *InsertStmt, args []Value, undo *undoLog) (Result, error) {
@@ -334,48 +338,31 @@ func (db *DB) executeInsert(st *InsertStmt, args []Value, undo *undoLog) (Result
 	return res, nil
 }
 
-// matchRows returns the IDs of rows in t satisfying where (nil = all).
-// It shares the SELECT planner's access machinery, so UPDATE and DELETE get
-// equality, IN-list and B-tree range index access too.
-func (db *DB) matchRows(t *Table, binding string, where Expr, args []Value) ([]int64, error) {
-	env := NewRowEnv(binding, t.Schema.Names())
-	env.params = args
-	// Resolve column positions once instead of per row. Write statements
-	// run under the exclusive lock, so binding the (cached) AST is safe.
-	if where != nil {
-		if err := bindColumns(where, env); err != nil {
-			return nil, err
-		}
-	}
-
-	resolve := func(col *ColumnRef) int {
-		if col.Qual != "" && !strings.EqualFold(col.Qual, binding) {
-			return -1
-		}
-		return t.Schema.ColumnIndex(col.Name)
-	}
-	access := planTableAccess(t, where, resolve, db.noIndex)
-
+// collectWriteMatches returns the IDs of rows satisfying the write plan's
+// WHERE clause (nil = all), via the plan's precomputed access path.
+func (db *DB) collectWriteMatches(wp *writePlan, args []Value) ([]int64, error) {
+	t := wp.t
+	env := wp.newEnv(args)
 	var ids []int64
-	check := func(id int64, row []Value) (bool, error) {
-		if where == nil {
+	check := func(id int64, row []Value) error {
+		if wp.where == nil {
 			ids = append(ids, id)
-			return true, nil
+			return nil
 		}
 		env.SetRow(0, row)
-		v, err := where.Eval(env)
+		v, err := wp.where.Eval(env)
 		if err != nil {
-			return false, err
+			return err
 		}
 		b, isNull := toBool(v)
 		if !isNull && b {
 			ids = append(ids, id)
 		}
-		return true, nil
+		return nil
 	}
 
-	if access.kind != accessScan {
-		switch access.kind {
+	if wp.access.kind != accessScan {
+		switch wp.access.kind {
 		case accessEq:
 			db.plans.indexEq.Add(1)
 		case accessIn:
@@ -383,7 +370,7 @@ func (db *DB) matchRows(t *Table, binding string, where Expr, args []Value) ([]i
 		case accessRange:
 			db.plans.indexRange.Add(1)
 		}
-		candidates, err := collectAccessIDs(&access, env)
+		candidates, err := collectAccessIDs(&wp.access, env)
 		if err != nil {
 			return nil, err
 		}
@@ -392,7 +379,7 @@ func (db *DB) matchRows(t *Table, binding string, where Expr, args []Value) ([]i
 			if row == nil {
 				continue
 			}
-			if _, err := check(id, row); err != nil {
+			if err := check(id, row); err != nil {
 				return nil, err
 			}
 		}
@@ -401,7 +388,7 @@ func (db *DB) matchRows(t *Table, binding string, where Expr, args []Value) ([]i
 	db.plans.fullScans.Add(1)
 	var scanErr error
 	t.Scan(func(id int64, row []Value) bool {
-		if _, err := check(id, row); err != nil {
+		if err := check(id, row); err != nil {
 			scanErr = err
 			return false
 		}
@@ -413,30 +400,13 @@ func (db *DB) matchRows(t *Table, binding string, where Expr, args []Value) ([]i
 	return ids, nil
 }
 
-func (db *DB) executeUpdate(st *UpdateStmt, args []Value, undo *undoLog) (Result, error) {
-	t := db.table(st.Table)
-	if t == nil {
-		return Result{}, fmt.Errorf("sqldb: no such table %q", st.Table)
-	}
-	setPos := make([]int, len(st.Sets))
-	for i, s := range st.Sets {
-		ci := t.Schema.ColumnIndex(s.Column)
-		if ci < 0 {
-			return Result{}, fmt.Errorf("sqldb: no column %q in table %s", s.Column, t.Name)
-		}
-		setPos[i] = ci
-	}
-	ids, err := db.matchRows(t, st.Table, st.Where, args)
+func (db *DB) executeUpdate(p *updatePlan, args []Value, undo *undoLog) (Result, error) {
+	t := p.t
+	ids, err := db.collectWriteMatches(&p.writePlan, args)
 	if err != nil {
 		return Result{}, err
 	}
-	env := NewRowEnv(st.Table, t.Schema.Names())
-	env.params = args
-	for _, s := range st.Sets {
-		if err := bindColumns(s.Expr, env); err != nil {
-			return Result{}, err
-		}
-	}
+	env := p.newEnv(args)
 	var res Result
 	for _, id := range ids {
 		old := t.Get(id)
@@ -446,12 +416,12 @@ func (db *DB) executeUpdate(st *UpdateStmt, args []Value, undo *undoLog) (Result
 		env.SetRow(0, old)
 		next := make([]Value, len(old))
 		copy(next, old)
-		for i, s := range st.Sets {
-			v, err := s.Expr.Eval(env)
+		for i, e := range p.setExprs {
+			v, err := e.Eval(env)
 			if err != nil {
 				return Result{}, err
 			}
-			next[setPos[i]] = v
+			next[p.setPos[i]] = v
 		}
 		coerced, err := t.coerceRow(next)
 		if err != nil {
@@ -468,12 +438,9 @@ func (db *DB) executeUpdate(st *UpdateStmt, args []Value, undo *undoLog) (Result
 	return res, nil
 }
 
-func (db *DB) executeDelete(st *DeleteStmt, args []Value, undo *undoLog) (Result, error) {
-	t := db.table(st.Table)
-	if t == nil {
-		return Result{}, fmt.Errorf("sqldb: no such table %q", st.Table)
-	}
-	ids, err := db.matchRows(t, st.Table, st.Where, args)
+func (db *DB) executeDelete(p *deletePlan, args []Value, undo *undoLog) (Result, error) {
+	t := p.t
+	ids, err := db.collectWriteMatches(&p.writePlan, args)
 	if err != nil {
 		return Result{}, err
 	}
@@ -609,7 +576,7 @@ func (tx *Tx) Exec(sql string, args ...any) (Result, error) {
 	if err := p.validateExec(vals, errTxnControlTx); err != nil {
 		return Result{}, err
 	}
-	return db.executeWrite(p.write, vals, tx.undo)
+	return db.executeWrite(p, vals, tx.undo)
 }
 
 // Query runs a SELECT inside the transaction, observing its own writes.

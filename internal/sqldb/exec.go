@@ -25,17 +25,18 @@ type relBinding struct {
 }
 
 // selectExec carries the per-execution state of one SELECT: the row
-// environment (values + parameters + aggregate slots), hash-join tables and
-// the early-exit limit. The plan itself is shared and immutable.
+// environment (values + parameters + aggregate slots). The plan itself is
+// shared and immutable; producers (cursor.go) hold their own iteration
+// state.
 type selectExec struct {
 	db  *DB
 	p   *selectPlan
 	env *RowEnv
 
-	// limitTarget is the number of output rows after which row production
-	// stops (LIMIT+OFFSET pushdown); active only when hasTarget is set.
-	limitTarget int
-	hasTarget   bool
+	// orderedHint is the number of output rows the consumer expects to
+	// need (LIMIT+OFFSET on the streaming path), used to size the first
+	// chunk of an ordered index traversal; 0 means unknown.
+	orderedHint int
 }
 
 // aggSlot reads a precomputed aggregate value for the current group.
@@ -58,33 +59,86 @@ type fixedCol struct {
 func (f *fixedCol) Eval(env *RowEnv) (Value, error) { return env.vals[f.pos], nil }
 func (f *fixedCol) String() string                  { return fmt.Sprintf("col#%d", f.pos) }
 
+// executeSelect materializes a SELECT by draining its cursor pipeline.
+// Caller holds db.mu (shared or exclusive).
 func (db *DB) executeSelect(p *selectPlan, args []Value) (*ResultSet, error) {
-	ex := &selectExec{db: db, p: p, env: p.newEnv(args)}
-	ex.computeLimitTarget()
-
-	var out [][]Value
-	var orderKeys [][]Value
-	var err error
-	if p.grouped {
-		out, orderKeys, err = ex.runGrouped()
-	} else {
-		out, orderKeys, err = ex.runSimple()
-	}
+	rows, err := newSelectCursor(db, p, args, false).drain()
 	if err != nil {
 		return nil, err
 	}
+	return &ResultSet{Columns: p.projNames, Rows: rows}, nil
+}
 
-	if p.st.Distinct {
-		out, orderKeys = distinctRows(out, orderKeys)
+// evalWhere evaluates the WHERE clause against the current environment row
+// (true when absent).
+func (ex *selectExec) evalWhere() (bool, error) {
+	where := ex.p.st.Where
+	if where == nil {
+		return true, nil
 	}
-	if len(p.st.OrderBy) > 0 && !p.orderSatisfied {
-		sortRows(out, orderKeys, p.st.OrderBy)
-	}
-	out, err = ex.applyLimit(out)
+	v, err := where.Eval(ex.env)
 	if err != nil {
-		return nil, err
+		return false, err
 	}
-	return &ResultSet{Columns: p.projNames, Rows: out}, nil
+	b, isNull := toBool(v)
+	return !isNull && b, nil
+}
+
+// projectInto evaluates the projection into row (len(projExprs)).
+func (ex *selectExec) projectInto(row []Value) error {
+	for i, e := range ex.p.projExprs {
+		v, err := e.Eval(ex.env)
+		if err != nil {
+			return err
+		}
+		row[i] = v
+	}
+	return nil
+}
+
+// orderKey evaluates the ORDER BY key expressions for the current row.
+func (ex *selectExec) orderKey() ([]Value, error) {
+	keys := make([]Value, len(ex.p.orderExprs))
+	for i, e := range ex.p.orderExprs {
+		v, err := e.Eval(ex.env)
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = v
+	}
+	return keys, nil
+}
+
+// evalNonNegInt evaluates a LIMIT/OFFSET expression to a non-negative
+// integer.
+func (ex *selectExec) evalNonNegInt(e Expr, what string) (int64, error) {
+	v, err := e.Eval(ex.env)
+	if err != nil {
+		return 0, err
+	}
+	n, ok := v.(int64)
+	if !ok || n < 0 {
+		return 0, fmt.Errorf("sqldb: %s must be a non-negative integer", what)
+	}
+	return n, nil
+}
+
+// evalLimitOffset evaluates the statement's OFFSET and LIMIT clauses for
+// the streaming path. remain is -1 when no LIMIT is present.
+func (ex *selectExec) evalLimitOffset() (skip, remain int64, err error) {
+	remain = -1
+	st := ex.p.st
+	if st.Offset != nil {
+		if skip, err = ex.evalNonNegInt(st.Offset, "OFFSET"); err != nil {
+			return 0, 0, err
+		}
+	}
+	if st.Limit != nil {
+		if remain, err = ex.evalNonNegInt(st.Limit, "LIMIT"); err != nil {
+			return 0, 0, err
+		}
+	}
+	return skip, remain, nil
 }
 
 // needOrderKeys reports whether per-row sort keys must be collected (only
@@ -93,120 +147,263 @@ func (ex *selectExec) needOrderKeys() bool {
 	return len(ex.p.orderExprs) > 0 && !ex.p.orderSatisfied
 }
 
-// computeLimitTarget enables early row-production exit when the plan emits
-// rows in final order (or no order is requested) and LIMIT is present.
-// Errors are ignored here; applyLimit re-evaluates and reports them.
-func (ex *selectExec) computeLimitTarget() {
-	p := ex.p
-	if p.grouped || p.st.Distinct || p.st.Limit == nil {
-		return
+// ---------------------------------------------------------------------------
+// Buffered (pipeline-breaking) execution: GROUP BY, DISTINCT and sorts the
+// index cannot satisfy. The producer pipeline is drained fully, then
+// post-processed exactly as the streaming path would emit.
+
+func (ex *selectExec) runBuffered() ([][]Value, error) {
+	var out, orderKeys [][]Value
+	var err error
+	if ex.p.grouped {
+		out, orderKeys, err = ex.runGrouped()
+	} else {
+		out, orderKeys, err = ex.runSimple()
 	}
-	if len(p.st.OrderBy) > 0 && !p.orderSatisfied {
-		return
+	if err != nil {
+		return nil, err
 	}
-	limit, err := p.st.Limit.Eval(ex.env)
-	n, ok := limit.(int64)
-	if err != nil || !ok || n < 0 {
-		return
+	if ex.p.st.Distinct {
+		out, orderKeys = distinctRows(out, orderKeys)
 	}
-	var off int64
-	if p.st.Offset != nil {
-		v, err := p.st.Offset.Eval(ex.env)
-		o, ok := v.(int64)
-		if err != nil || !ok || o < 0 {
-			return
+	if len(ex.p.st.OrderBy) > 0 && !ex.p.orderSatisfied {
+		sortRows(out, orderKeys, ex.p.st.OrderBy)
+	}
+	return ex.applyLimit(out)
+}
+
+func (ex *selectExec) runSimple() ([][]Value, [][]Value, error) {
+	prod, err := ex.buildProducer()
+	if err != nil {
+		return nil, nil, err
+	}
+	needKeys := ex.needOrderKeys()
+	var out [][]Value
+	var orderKeys [][]Value
+	for {
+		ok, err := prod.next(ex)
+		if err != nil {
+			return nil, nil, err
 		}
-		off = o
+		if !ok {
+			break
+		}
+		pass, err := ex.evalWhere()
+		if err != nil {
+			return nil, nil, err
+		}
+		if !pass {
+			continue
+		}
+		row := make([]Value, len(ex.p.projExprs))
+		if err := ex.projectInto(row); err != nil {
+			return nil, nil, err
+		}
+		out = append(out, row)
+		if needKeys {
+			keys, err := ex.orderKey()
+			if err != nil {
+				return nil, nil, err
+			}
+			orderKeys = append(orderKeys, keys)
+		}
 	}
-	// Huge limits (e.g. LIMIT max-int as the "no limit, just offset" idiom)
-	// would overflow n+off — and int(n+off) must also fit a 32-bit int —
-	// and early exit buys nothing there, so skip it.
-	const maxTarget = 1 << 30
-	if n >= maxTarget || off >= maxTarget {
-		return
-	}
-	ex.limitTarget = int(n + off)
-	ex.hasTarget = true
+	return out, orderKeys, nil
 }
 
 // ---------------------------------------------------------------------------
-// Row production (access path + joins)
+// Grouped (aggregate) execution
 
-// forEachJoinedRow streams every joined row combination that satisfies the
-// join conditions into fn, with values already placed in ex.env.
-func (ex *selectExec) forEachJoinedRow(fn func() (bool, error)) error {
-	p := ex.p
-	joins := make([]*joinExec, len(p.joins))
-	for i := range p.joins {
-		joins[i] = &joinExec{plan: &p.joins[i], rel: p.rels[i+1]}
-		joins[i].init(ex)
-	}
-
-	var produce func(level int) (bool, error)
-	produce = func(level int) (bool, error) {
-		if level == len(joins) {
-			return fn()
-		}
-		return joins[level].emit(ex, func() (bool, error) { return produce(level + 1) })
-	}
-
-	base := p.rels[0]
-	emitBase := func(row []Value) (bool, error) {
-		ex.env.SetRow(base.off, row)
-		return produce(0)
-	}
-	return ex.emitBaseRows(base, emitBase)
+type groupState struct {
+	keyVals []Value
+	repRow  []Value // environment snapshot of the first row in the group
+	accs    []aggAcc
 }
 
-// emitBaseRows produces the base relation's candidate rows according to the
-// plan's access path.
-func (ex *selectExec) emitBaseRows(base relBinding, emit func([]Value) (bool, error)) error {
-	a := &ex.p.access
-	c := &ex.db.plans
-	if a.kind == accessScan {
-		c.fullScans.Add(1)
-		var scanErr error
-		base.table.Scan(func(_ int64, row []Value) bool {
-			cont, err := emit(row)
+func (ex *selectExec) runGrouped() ([][]Value, [][]Value, error) {
+	p := ex.p
+	prod, err := ex.buildProducer()
+	if err != nil {
+		return nil, nil, err
+	}
+	groups := make(map[string]*groupState)
+	var order []string
+	// One builder for every row: taking its address inside the loop would
+	// heap-allocate it per row.
+	var kb strings.Builder
+
+	for {
+		ok, err := prod.next(ex)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !ok {
+			break
+		}
+		pass, err := ex.evalWhere()
+		if err != nil {
+			return nil, nil, err
+		}
+		if !pass {
+			continue
+		}
+		keyVals := make([]Value, len(p.st.GroupBy))
+		kb.Reset()
+		for i, g := range p.st.GroupBy {
+			v, err := g.Eval(ex.env)
 			if err != nil {
-				scanErr = err
-				return false
+				return nil, nil, err
 			}
-			return cont
-		})
-		return scanErr
+			keyVals[i] = v
+			hk := makeHashKey(v)
+			fmt.Fprintf(&kb, "%c|%v|%s;", hk.kind, hk.num, hk.str)
+		}
+		key := kb.String()
+		gs, ok := groups[key]
+		if !ok {
+			gs = &groupState{keyVals: keyVals, accs: make([]aggAcc, len(p.aggCalls))}
+			for i, call := range p.aggCalls {
+				gs.accs[i] = newAggAcc(call)
+			}
+			gs.repRow = make([]Value, len(ex.env.vals))
+			copy(gs.repRow, ex.env.vals)
+			groups[key] = gs
+			order = append(order, key)
+		}
+		for i, call := range p.aggCalls {
+			if err := gs.accs[i].add(call, ex.env); err != nil {
+				return nil, nil, err
+			}
+		}
 	}
-	if a.ordered {
-		c.orderedScans.Add(1)
-		return ex.emitOrdered(base, emit)
+
+	// A global aggregate over zero rows still yields one output row.
+	if len(p.st.GroupBy) == 0 && len(groups) == 0 {
+		gs := &groupState{accs: make([]aggAcc, len(p.aggCalls))}
+		for i, call := range p.aggCalls {
+			gs.accs[i] = newAggAcc(call)
+		}
+		gs.repRow = make([]Value, len(ex.env.vals))
+		groups[""] = gs
+		order = append(order, "")
 	}
-	switch a.kind {
-	case accessEq:
-		c.indexEq.Add(1)
-	case accessIn:
-		c.indexIn.Add(1)
-	case accessRange:
-		c.indexRange.Add(1)
+
+	needKeys := ex.needOrderKeys()
+	var out [][]Value
+	var orderKeys [][]Value
+	for _, key := range order {
+		gs := groups[key]
+		ex.env.SetRow(0, gs.repRow)
+		ex.env.aggVals = make([]Value, len(p.aggCalls))
+		for i := range p.aggCalls {
+			ex.env.aggVals[i] = gs.accs[i].result()
+		}
+		if p.havingExpr != nil {
+			v, err := p.havingExpr.Eval(ex.env)
+			if err != nil {
+				return nil, nil, err
+			}
+			b, isNull := toBool(v)
+			if isNull || !b {
+				continue
+			}
+		}
+		row := make([]Value, len(p.projExprs))
+		if err := ex.projectInto(row); err != nil {
+			return nil, nil, err
+		}
+		out = append(out, row)
+		if needKeys {
+			keys, err := ex.orderKey()
+			if err != nil {
+				return nil, nil, err
+			}
+			orderKeys = append(orderKeys, keys)
+		}
 	}
-	ids, err := collectAccessIDs(a, ex.env)
+	return out, orderKeys, nil
+}
+
+// aggAcc accumulates one aggregate function over a group.
+type aggAcc struct {
+	count   int64
+	sumI    int64
+	sumF    float64
+	isFloat bool
+	minV    Value
+	maxV    Value
+	kind    string
+}
+
+func newAggAcc(call *FuncCall) aggAcc { return aggAcc{kind: call.Name} }
+
+func (a *aggAcc) add(call *FuncCall, env *RowEnv) error {
+	if call.Star {
+		a.count++
+		return nil
+	}
+	if len(call.Args) != 1 {
+		return fmt.Errorf("sqldb: %s expects one argument", call.Name)
+	}
+	v, err := call.Args[0].Eval(env)
 	if err != nil {
 		return err
 	}
-	for _, id := range ids {
-		row := base.table.Get(id)
-		if row == nil {
-			continue
+	if v == nil {
+		return nil // aggregates skip NULLs
+	}
+	a.count++
+	switch call.Name {
+	case "SUM", "AVG":
+		switch x := v.(type) {
+		case int64:
+			a.sumI += x
+			a.sumF += float64(x)
+		case float64:
+			a.isFloat = true
+			a.sumF += x
+		default:
+			return fmt.Errorf("sqldb: %s over non-numeric value %s", call.Name, FormatValue(v))
 		}
-		cont, err := emit(row)
-		if err != nil {
-			return err
+	case "MIN":
+		if a.minV == nil || Compare(v, a.minV) < 0 {
+			a.minV = v
 		}
-		if !cont {
-			return nil
+	case "MAX":
+		if a.maxV == nil || Compare(v, a.maxV) > 0 {
+			a.maxV = v
 		}
 	}
 	return nil
 }
+
+func (a *aggAcc) result() Value {
+	switch a.kind {
+	case "COUNT":
+		return a.count
+	case "SUM":
+		if a.count == 0 {
+			return nil
+		}
+		if a.isFloat {
+			return a.sumF
+		}
+		return a.sumI
+	case "AVG":
+		if a.count == 0 {
+			return nil
+		}
+		return a.sumF / float64(a.count)
+	case "MIN":
+		return a.minV
+	case "MAX":
+		return a.maxV
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Access-path candidate collection (shared with UPDATE/DELETE)
 
 // collectAccessIDs evaluates a non-ordered index access path into the
 // candidate row IDs, sorted ascending so emission matches full-scan order.
@@ -295,462 +492,6 @@ func (a *accessPlan) evalBounds(penv *RowEnv) (lo, hi Value, hasLo, hasHi, empty
 	return
 }
 
-// emitOrdered walks a B-tree index in (possibly descending) key order,
-// emitting rows in the statement's ORDER BY order. Rows with NULL keys are
-// absent from the tree; a pure ordering traversal (no range bounds) serves
-// them at the NULL end of the order. When bounds exist they come from a
-// WHERE range predicate, which a NULL key can never satisfy.
-func (ex *selectExec) emitOrdered(base relBinding, emit func([]Value) (bool, error)) error {
-	a := &ex.p.access
-	lo, hi, hasLo, hasHi, empty, err := a.evalBounds(ex.env)
-	if err != nil || empty {
-		return err
-	}
-	emitID := func(id int64) (bool, error) {
-		row := base.table.Get(id)
-		if row == nil {
-			return true, nil
-		}
-		return emit(row)
-	}
-	emitNulls := func() (bool, error) {
-		for _, id := range a.idx.NullRowIDs() {
-			cont, err := emitID(id)
-			if err != nil || !cont {
-				return cont, err
-			}
-		}
-		return true, nil
-	}
-	includeNulls := !hasLo && !hasHi
-
-	if !a.desc {
-		if includeNulls { // NULL sorts first ascending
-			cont, err := emitNulls()
-			if err != nil || !cont {
-				return err
-			}
-		}
-		var stopErr error
-		a.idx.Range(lo, hi, hasLo, hasHi, a.loIncl, a.hiIncl, func(_ Value, id int64) bool {
-			cont, err := emitID(id)
-			if err != nil {
-				stopErr = err
-				return false
-			}
-			return cont
-		})
-		return stopErr
-	}
-
-	// Descending: the tree yields ties in descending row-ID order, but the
-	// stable sort this traversal replaces keeps ties in ascending row-ID
-	// order. Buffer each run of equal keys and emit it reversed.
-	var runKey Value
-	var run []int64
-	flush := func() (bool, error) {
-		for i := len(run) - 1; i >= 0; i-- {
-			cont, err := emitID(run[i])
-			if err != nil || !cont {
-				return cont, err
-			}
-		}
-		run = run[:0]
-		return true, nil
-	}
-	var stopErr error
-	stopped := false
-	a.idx.RangeDesc(lo, hi, hasLo, hasHi, a.loIncl, a.hiIncl, func(key Value, id int64) bool {
-		if len(run) > 0 && Compare(key, runKey) != 0 {
-			cont, err := flush()
-			if err != nil {
-				stopErr = err
-				return false
-			}
-			if !cont {
-				stopped = true
-				return false
-			}
-		}
-		runKey = key
-		run = append(run, id)
-		return true
-	})
-	if stopErr != nil || stopped {
-		return stopErr
-	}
-	if cont, err := flush(); err != nil || !cont {
-		return err
-	}
-	if includeNulls { // NULL sorts last descending
-		if _, err := emitNulls(); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// ---------------------------------------------------------------------------
-// Join execution
-
-// joinExec holds the per-execution state for one join clause.
-type joinExec struct {
-	plan *joinPlan
-	rel  relBinding
-	// hash is built once per execution for the joinHashBuild strategy.
-	hash map[hashKey][][]Value
-}
-
-// init builds per-execution join state and counts the strategy that runs.
-func (je *joinExec) init(ex *selectExec) {
-	switch je.plan.strategy {
-	case joinHashBuild:
-		ex.db.plans.hashJoins.Add(1)
-		hash := make(map[hashKey][][]Value)
-		col := je.plan.rightCol
-		je.rel.table.Scan(func(_ int64, row []Value) bool {
-			k := row[col]
-			if k == nil {
-				return true
-			}
-			hk := makeHashKey(k)
-			hash[hk] = append(hash[hk], row)
-			return true
-		})
-		je.hash = hash
-	case joinIndexLoop:
-		ex.db.plans.indexJoins.Add(1)
-	default:
-		ex.db.plans.nestedJoins.Add(1)
-	}
-}
-
-// emit produces all right-row matches for the current left tuple.
-func (je *joinExec) emit(ex *selectExec, produce func() (bool, error)) (bool, error) {
-	matched := false
-	tryRow := func(row []Value) (bool, error) {
-		ex.env.SetRow(je.rel.off, row)
-		v, err := je.plan.on.Eval(ex.env)
-		if err != nil {
-			return false, err
-		}
-		b, isNull := toBool(v)
-		if isNull || !b {
-			return true, nil
-		}
-		matched = true
-		return produce()
-	}
-
-	switch je.plan.strategy {
-	case joinIndexLoop:
-		key, err := je.plan.keyExpr.Eval(ex.env)
-		if err != nil {
-			return false, err
-		}
-		if key != nil {
-			ids := je.plan.idx.Lookup(key)
-			sortInt64s(ids) // match the right table's scan order for ties
-			for _, id := range ids {
-				row := je.rel.table.Get(id)
-				if row == nil {
-					continue
-				}
-				cont, err := tryRow(row)
-				if err != nil || !cont {
-					return cont, err
-				}
-			}
-		}
-	case joinHashBuild:
-		key, err := je.plan.keyExpr.Eval(ex.env)
-		if err != nil {
-			return false, err
-		}
-		if key != nil {
-			for _, row := range je.hash[makeHashKey(key)] {
-				cont, err := tryRow(row)
-				if err != nil || !cont {
-					return cont, err
-				}
-			}
-		}
-	default:
-		var loopErr error
-		contAll := true
-		je.rel.table.Scan(func(_ int64, row []Value) bool {
-			cont, err := tryRow(row)
-			if err != nil {
-				loopErr = err
-				return false
-			}
-			if !cont {
-				contAll = false
-				return false
-			}
-			return true
-		})
-		if loopErr != nil {
-			return false, loopErr
-		}
-		if !contAll {
-			return false, nil
-		}
-	}
-
-	if !matched && je.plan.kind == JoinLeft {
-		ex.env.ClearRow(je.rel.off, je.rel.width)
-		return produce()
-	}
-	return true, nil
-}
-
-// ---------------------------------------------------------------------------
-// Simple (non-aggregated) execution
-
-func (ex *selectExec) runSimple() ([][]Value, [][]Value, error) {
-	if ex.hasTarget && ex.limitTarget == 0 {
-		return nil, nil, nil
-	}
-	where := ex.p.st.Where
-	needKeys := ex.needOrderKeys()
-	var out [][]Value
-	var orderKeys [][]Value
-	err := ex.forEachJoinedRow(func() (bool, error) {
-		if where != nil {
-			v, err := where.Eval(ex.env)
-			if err != nil {
-				return false, err
-			}
-			b, isNull := toBool(v)
-			if isNull || !b {
-				return true, nil
-			}
-		}
-		row := make([]Value, len(ex.p.projExprs))
-		for i, e := range ex.p.projExprs {
-			v, err := e.Eval(ex.env)
-			if err != nil {
-				return false, err
-			}
-			row[i] = v
-		}
-		out = append(out, row)
-		if needKeys {
-			keys := make([]Value, len(ex.p.orderExprs))
-			for i, e := range ex.p.orderExprs {
-				v, err := e.Eval(ex.env)
-				if err != nil {
-					return false, err
-				}
-				keys[i] = v
-			}
-			orderKeys = append(orderKeys, keys)
-		}
-		if ex.hasTarget && len(out) >= ex.limitTarget {
-			ex.db.plans.earlyLimitHit.Add(1)
-			return false, nil
-		}
-		return true, nil
-	})
-	if err != nil {
-		return nil, nil, err
-	}
-	return out, orderKeys, nil
-}
-
-// ---------------------------------------------------------------------------
-// Grouped (aggregate) execution
-
-type groupState struct {
-	keyVals []Value
-	repRow  []Value // environment snapshot of the first row in the group
-	accs    []aggAcc
-}
-
-func (ex *selectExec) runGrouped() ([][]Value, [][]Value, error) {
-	p := ex.p
-	groups := make(map[string]*groupState)
-	var order []string
-
-	err := ex.forEachJoinedRow(func() (bool, error) {
-		if p.st.Where != nil {
-			v, err := p.st.Where.Eval(ex.env)
-			if err != nil {
-				return false, err
-			}
-			b, isNull := toBool(v)
-			if isNull || !b {
-				return true, nil
-			}
-		}
-		keyVals := make([]Value, len(p.st.GroupBy))
-		var kb strings.Builder
-		for i, g := range p.st.GroupBy {
-			v, err := g.Eval(ex.env)
-			if err != nil {
-				return false, err
-			}
-			keyVals[i] = v
-			hk := makeHashKey(v)
-			fmt.Fprintf(&kb, "%c|%v|%s;", hk.kind, hk.num, hk.str)
-		}
-		key := kb.String()
-		gs, ok := groups[key]
-		if !ok {
-			gs = &groupState{keyVals: keyVals, accs: make([]aggAcc, len(p.aggCalls))}
-			for i, call := range p.aggCalls {
-				gs.accs[i] = newAggAcc(call)
-			}
-			gs.repRow = make([]Value, len(ex.env.vals))
-			copy(gs.repRow, ex.env.vals)
-			groups[key] = gs
-			order = append(order, key)
-		}
-		for i, call := range p.aggCalls {
-			if err := gs.accs[i].add(call, ex.env); err != nil {
-				return false, err
-			}
-		}
-		return true, nil
-	})
-	if err != nil {
-		return nil, nil, err
-	}
-
-	// A global aggregate over zero rows still yields one output row.
-	if len(p.st.GroupBy) == 0 && len(groups) == 0 {
-		gs := &groupState{accs: make([]aggAcc, len(p.aggCalls))}
-		for i, call := range p.aggCalls {
-			gs.accs[i] = newAggAcc(call)
-		}
-		gs.repRow = make([]Value, len(ex.env.vals))
-		groups[""] = gs
-		order = append(order, "")
-	}
-
-	needKeys := ex.needOrderKeys()
-	var out [][]Value
-	var orderKeys [][]Value
-	for _, key := range order {
-		gs := groups[key]
-		ex.env.SetRow(0, gs.repRow)
-		ex.env.aggVals = make([]Value, len(p.aggCalls))
-		for i := range p.aggCalls {
-			ex.env.aggVals[i] = gs.accs[i].result()
-		}
-		if p.havingExpr != nil {
-			v, err := p.havingExpr.Eval(ex.env)
-			if err != nil {
-				return nil, nil, err
-			}
-			b, isNull := toBool(v)
-			if isNull || !b {
-				continue
-			}
-		}
-		row := make([]Value, len(p.projExprs))
-		for i, e := range p.projExprs {
-			v, err := e.Eval(ex.env)
-			if err != nil {
-				return nil, nil, err
-			}
-			row[i] = v
-		}
-		out = append(out, row)
-		if needKeys {
-			keys := make([]Value, len(p.orderExprs))
-			for i, e := range p.orderExprs {
-				v, err := e.Eval(ex.env)
-				if err != nil {
-					return nil, nil, err
-				}
-				keys[i] = v
-			}
-			orderKeys = append(orderKeys, keys)
-		}
-	}
-	return out, orderKeys, nil
-}
-
-// aggAcc accumulates one aggregate function over a group.
-type aggAcc struct {
-	count   int64
-	sumI    int64
-	sumF    float64
-	isFloat bool
-	minV    Value
-	maxV    Value
-	kind    string
-}
-
-func newAggAcc(call *FuncCall) aggAcc { return aggAcc{kind: call.Name} }
-
-func (a *aggAcc) add(call *FuncCall, env *RowEnv) error {
-	if call.Star {
-		a.count++
-		return nil
-	}
-	if len(call.Args) != 1 {
-		return fmt.Errorf("sqldb: %s expects one argument", call.Name)
-	}
-	v, err := call.Args[0].Eval(env)
-	if err != nil {
-		return err
-	}
-	if v == nil {
-		return nil // aggregates skip NULLs
-	}
-	a.count++
-	switch call.Name {
-	case "SUM", "AVG":
-		switch x := v.(type) {
-		case int64:
-			a.sumI += x
-			a.sumF += float64(x)
-		case float64:
-			a.isFloat = true
-			a.sumF += x
-		default:
-			return fmt.Errorf("sqldb: %s over non-numeric value %s", call.Name, FormatValue(v))
-		}
-	case "MIN":
-		if a.minV == nil || Compare(v, a.minV) < 0 {
-			a.minV = v
-		}
-	case "MAX":
-		if a.maxV == nil || Compare(v, a.maxV) > 0 {
-			a.maxV = v
-		}
-	}
-	return nil
-}
-
-func (a *aggAcc) result() Value {
-	switch a.kind {
-	case "COUNT":
-		return a.count
-	case "SUM":
-		if a.count == 0 {
-			return nil
-		}
-		if a.isFloat {
-			return a.sumF
-		}
-		return a.sumI
-	case "AVG":
-		if a.count == 0 {
-			return nil
-		}
-		return a.sumF / float64(a.count)
-	case "MIN":
-		return a.minV
-	case "MAX":
-		return a.maxV
-	}
-	return nil
-}
-
 // ---------------------------------------------------------------------------
 // Post-processing
 
@@ -806,20 +547,9 @@ func sortRows(rows, keys [][]Value, order []OrderItem) {
 }
 
 func (ex *selectExec) applyLimit(rows [][]Value) ([][]Value, error) {
-	evalInt := func(e Expr, what string) (int64, error) {
-		v, err := e.Eval(ex.env)
-		if err != nil {
-			return 0, err
-		}
-		n, ok := v.(int64)
-		if !ok || n < 0 {
-			return 0, fmt.Errorf("sqldb: %s must be a non-negative integer", what)
-		}
-		return n, nil
-	}
 	st := ex.p.st
 	if st.Offset != nil {
-		n, err := evalInt(st.Offset, "OFFSET")
+		n, err := ex.evalNonNegInt(st.Offset, "OFFSET")
 		if err != nil {
 			return nil, err
 		}
@@ -830,7 +560,7 @@ func (ex *selectExec) applyLimit(rows [][]Value) ([][]Value, error) {
 		}
 	}
 	if st.Limit != nil {
-		n, err := evalInt(st.Limit, "LIMIT")
+		n, err := ex.evalNonNegInt(st.Limit, "LIMIT")
 		if err != nil {
 			return nil, err
 		}

@@ -324,9 +324,9 @@ func TestPlannerEquivalenceOracle(t *testing.T) {
 		return sb.String()
 	}
 
-	format := func(rs *ResultSet) string {
+	formatRows := func(rows [][]Value) string {
 		var sb strings.Builder
-		for _, row := range rs.Rows {
+		for _, row := range rows {
 			for _, v := range row {
 				sb.WriteString(FormatValue(v))
 				sb.WriteByte('|')
@@ -335,16 +335,46 @@ func TestPlannerEquivalenceOracle(t *testing.T) {
 		}
 		return sb.String()
 	}
+	format := func(rs *ResultSet) string { return formatRows(rs.Rows) }
+
+	// drainCursorFormatted streams a query through the cursor API, building
+	// the same formatted transcript the materialized comparison uses.
+	drainCursorFormatted := func(query string) (string, error) {
+		cur, err := db.QueryCursor(query)
+		if err != nil {
+			return "", err
+		}
+		defer cur.Close()
+		var sb strings.Builder
+		for {
+			row, err := cur.Next()
+			if err != nil {
+				return "", err
+			}
+			if row == nil {
+				return sb.String(), nil
+			}
+			for _, v := range row {
+				sb.WriteString(FormatValue(v))
+				sb.WriteByte('|')
+			}
+			sb.WriteByte('\n')
+		}
+	}
 
 	for q := 0; q < 500; q++ {
 		query := genQuery()
 		db.SetIndexAccess(true)
 		withIdx, errIdx := db.Query(query)
+		streamed, errCur := drainCursorFormatted(query)
 		db.SetIndexAccess(false)
 		noIdx, errNo := db.Query(query)
 		db.SetIndexAccess(true)
 		if (errIdx != nil) != (errNo != nil) {
 			t.Fatalf("query %q: error mismatch: with-index=%v no-index=%v", query, errIdx, errNo)
+		}
+		if (errIdx != nil) != (errCur != nil) {
+			t.Fatalf("query %q: error mismatch: materialized=%v cursor=%v", query, errIdx, errCur)
 		}
 		if errIdx != nil {
 			continue
@@ -352,6 +382,11 @@ func TestPlannerEquivalenceOracle(t *testing.T) {
 		if format(withIdx) != format(noIdx) {
 			t.Fatalf("query %q:\nwith index (%d rows):\n%s\nwithout index (%d rows):\n%s",
 				query, withIdx.Len(), format(withIdx), noIdx.Len(), format(noIdx))
+		}
+		// The streaming cursor and the materializing drain share one
+		// engine; their result transcripts must be byte-identical.
+		if streamed != format(withIdx) {
+			t.Fatalf("query %q:\ncursor stream:\n%s\nmaterialized:\n%s", query, streamed, format(withIdx))
 		}
 	}
 }

@@ -117,6 +117,40 @@ func (db *DB) buildSnapshot() *snapshot {
 // Load reads a snapshot file previously written by Save and returns a new
 // database populated with its contents.
 func Load(path string) (*DB, error) {
+	db := NewDB()
+	if err := db.Restore(path); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// Restore replaces the database's entire contents with a snapshot file
+// previously written by Save, in place: existing statement handles and the
+// database reference itself stay valid. The snapshot is decoded and its
+// tables rebuilt before any lock is taken; the swap itself is a single
+// exclusive-lock critical section.
+//
+// Restoring is a schema change: it bumps the schema generation so cached
+// statement plans compiled against the pre-restore tables are rebuilt
+// (serving them would read the replaced tables and return pre-restore
+// rows) and open cursors fail with ErrCursorInvalidated instead of
+// continuing over vanished storage.
+func (db *DB) Restore(path string) error {
+	tables, err := loadTables(path)
+	if err != nil {
+		return err
+	}
+	db.writer.Lock()
+	defer db.writer.Unlock()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.tables = tables
+	db.bumpSchemaGen()
+	return nil
+}
+
+// loadTables decodes a snapshot file into a fresh table map.
+func loadTables(path string) (map[string]*Table, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("sqldb: load: %w", err)
@@ -130,7 +164,7 @@ func Load(path string) (*DB, error) {
 	if snap.Version != snapshotVersion {
 		return nil, fmt.Errorf("sqldb: load: unsupported snapshot version %d", snap.Version)
 	}
-	db := NewDB()
+	tables := make(map[string]*Table, len(snap.Tables))
 	for _, ts := range snap.Tables {
 		schema, err := NewSchema(ts.Columns)
 		if err != nil {
@@ -158,9 +192,9 @@ func Load(path string) (*DB, error) {
 				return nil, fmt.Errorf("sqldb: load: rebuild index %s: %w", is.Name, err)
 			}
 		}
-		db.tables[toLowerASCII(ts.Name)] = t
+		tables[toLowerASCII(ts.Name)] = t
 	}
-	return db, nil
+	return tables, nil
 }
 
 func toLowerASCII(s string) string {

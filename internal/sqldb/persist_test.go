@@ -114,3 +114,87 @@ func TestSaveEmptyDB(t *testing.T) {
 		t.Fatalf("empty snapshot loaded %d tables", n)
 	}
 }
+
+// Restoring a snapshot must invalidate statement plans compiled against
+// the pre-restore schema. Before the schema-generation bump on load, a
+// cached plan kept pointing at the replaced *Table and served pre-restore
+// rows.
+func TestRestoreInvalidatesCachedPlans(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.snap")
+
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE t (a INTEGER)")
+	mustExec(t, db, "INSERT INTO t VALUES (1)")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// Diverge from the snapshot and warm the plan cache on the diverged
+	// state.
+	mustExec(t, db, "INSERT INTO t VALUES (2)")
+	const q = "SELECT a FROM t ORDER BY a"
+	rs := mustQuery(t, db, q)
+	if rs.Len() != 2 {
+		t.Fatalf("pre-restore rows = %d, want 2", rs.Len())
+	}
+
+	if err := db.Restore(path); err != nil {
+		t.Fatal(err)
+	}
+	rs = mustQuery(t, db, q)
+	if rs.Len() != 1 || rs.Rows[0][0] != int64(1) {
+		t.Fatalf("post-restore rows = %v, want just [1] (stale plan served the replaced table?)", rs.Rows)
+	}
+}
+
+// Restore is DDL from a cursor's point of view: iteration must stop with
+// ErrCursorInvalidated, not continue over vanished storage.
+func TestRestoreInvalidatesOpenCursors(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.snap")
+
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE t (a INTEGER)")
+	for i := 0; i < 10; i++ {
+		mustExec(t, db, "INSERT INTO t VALUES (?)", i)
+	}
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	cur, err := db.QueryCursor("SELECT a FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	if _, err := cur.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Restore(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cur.Next(); err != ErrCursorInvalidated {
+		t.Fatalf("Next after Restore = %v, want ErrCursorInvalidated", err)
+	}
+}
+
+// A freshly loaded database must not sit at the zero schema generation a
+// brand-new DB starts from: gen 0 would let compiled forms prepared against
+// an empty pre-load state pass the generation check.
+func TestLoadBumpsSchemaGeneration(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.snap")
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE t (a INTEGER)")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.gen == 0 {
+		t.Fatal("loaded database still at schema generation 0")
+	}
+}

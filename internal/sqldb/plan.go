@@ -169,6 +169,98 @@ func planTableAccess(t *Table, where Expr, resolve func(*ColumnRef) int, noIndex
 	return accessPlan{kind: accessScan}
 }
 
+// ---------------------------------------------------------------------------
+// Write plans (UPDATE / DELETE)
+
+// writePlan is the compiled access portion of an UPDATE or DELETE: the
+// target table, the bound WHERE clause, the chosen access path and the
+// row-environment layout. Like selectPlan it is built once per prepared
+// statement and shared immutably across executions, so writes no longer
+// re-bind and re-plan per Exec under the exclusive lock.
+type writePlan struct {
+	t      *Table
+	where  Expr
+	access accessPlan
+	cols   []envCol
+}
+
+// newEnv builds a fresh single-relation environment for one execution.
+func (wp *writePlan) newEnv(args []Value) *RowEnv {
+	return &RowEnv{cols: wp.cols, vals: make([]Value, len(wp.cols)), params: args}
+}
+
+// updatePlan is the compiled form of an UPDATE statement.
+type updatePlan struct {
+	writePlan
+	setPos   []int
+	setExprs []Expr
+}
+
+// deletePlan is the compiled form of a DELETE statement.
+type deletePlan struct {
+	writePlan
+}
+
+// planWriteAccess resolves the target table, binds the WHERE clause and
+// selects the access path shared with the SELECT planner, so UPDATE and
+// DELETE get equality, IN-list and B-tree range index access too.
+func planWriteAccess(db *DB, tableName string, where Expr) (writePlan, error) {
+	t := db.table(tableName)
+	if t == nil {
+		return writePlan{}, fmt.Errorf("sqldb: no such table %q", tableName)
+	}
+	env := NewRowEnv(tableName, t.Schema.Names())
+	if where != nil {
+		if err := bindColumns(where, env); err != nil {
+			return writePlan{}, err
+		}
+	}
+	resolve := func(col *ColumnRef) int {
+		if col.Qual != "" && !strings.EqualFold(col.Qual, tableName) {
+			return -1
+		}
+		return t.Schema.ColumnIndex(col.Name)
+	}
+	return writePlan{
+		t:      t,
+		where:  where,
+		access: planTableAccess(t, where, resolve, db.noIndex),
+		cols:   env.cols,
+	}, nil
+}
+
+// planUpdate compiles an UPDATE: access path plus resolved SET positions
+// and bound SET expressions.
+func planUpdate(db *DB, st *UpdateStmt) (*updatePlan, error) {
+	wp, err := planWriteAccess(db, st.Table, st.Where)
+	if err != nil {
+		return nil, err
+	}
+	up := &updatePlan{writePlan: wp}
+	env := &RowEnv{cols: wp.cols}
+	for _, s := range st.Sets {
+		ci := wp.t.Schema.ColumnIndex(s.Column)
+		if ci < 0 {
+			return nil, fmt.Errorf("sqldb: no column %q in table %s", s.Column, wp.t.Name)
+		}
+		if err := bindColumns(s.Expr, env); err != nil {
+			return nil, err
+		}
+		up.setPos = append(up.setPos, ci)
+		up.setExprs = append(up.setExprs, s.Expr)
+	}
+	return up, nil
+}
+
+// planDelete compiles a DELETE.
+func planDelete(db *DB, st *DeleteStmt) (*deletePlan, error) {
+	wp, err := planWriteAccess(db, st.Table, st.Where)
+	if err != nil {
+		return nil, err
+	}
+	return &deletePlan{writePlan: wp}, nil
+}
+
 // matchColCmp matches a comparison between a column reference and a constant
 // in either operand order, normalizing the operator to `col OP const`.
 func matchColCmp(b *Binary) (*ColumnRef, Expr, BinOp, bool) {

@@ -1,11 +1,12 @@
 package sqldb
 
 import (
-	"container/list"
 	"fmt"
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"genmapper/internal/cache"
 )
 
 // DefaultStmtCacheCapacity bounds the internal statement cache. Workloads
@@ -31,6 +32,8 @@ type Stmt struct {
 type prepared struct {
 	gen     uint64
 	sel     *selectPlan // non-nil for SELECT
+	upd     *updatePlan // non-nil for UPDATE
+	del     *deletePlan // non-nil for DELETE
 	write   Statement   // parsed AST for every other statement
 	nParams int
 }
@@ -102,13 +105,26 @@ func (s *Stmt) ensure(db *DB) (*prepared, error) {
 		return nil, err
 	}
 	p := &prepared{gen: db.gen, nParams: statementParamCount(st)}
-	if sel, ok := st.(*SelectStmt); ok {
-		plan, err := planSelect(db, sel)
+	switch stmt := st.(type) {
+	case *SelectStmt:
+		plan, err := planSelect(db, stmt)
 		if err != nil {
 			return nil, err
 		}
 		p.sel = plan
-	} else {
+	case *UpdateStmt:
+		plan, err := planUpdate(db, stmt)
+		if err != nil {
+			return nil, err
+		}
+		p.upd = plan
+	case *DeleteStmt:
+		plan, err := planDelete(db, stmt)
+		if err != nil {
+			return nil, err
+		}
+		p.del = plan
+	default:
 		p.write = st
 	}
 	s.prep.Store(p)
@@ -217,13 +233,13 @@ func (db *DB) Prepare(sql string) (*Stmt, error) {
 // Hits take a lock-free fast path (sync.Map lookup + atomic counter) so the
 // concurrent read path the immutable-plan design enables does not serialize
 // on a cache mutex; only every touchStride-th hit refreshes LRU recency
-// under the lock. Misses, eviction and resizing take the mutex.
+// under the lock. Misses, eviction and resizing take the mutex around the
+// shared generic LRU (internal/cache).
 type stmtCache struct {
-	bySQL sync.Map // sql string -> *list.Element of *Stmt
+	bySQL sync.Map // sql string -> *Stmt
 
-	mu  sync.Mutex // guards cap and lru
-	cap int
-	lru *list.List // of *Stmt; front = most recently used
+	mu  sync.Mutex // guards lru
+	lru *cache.LRU[string, *Stmt]
 
 	hits, misses atomic.Uint64
 	touches      atomic.Uint64
@@ -233,7 +249,10 @@ type stmtCache struct {
 const touchStride = 64
 
 func newStmtCache(capacity int) *stmtCache {
-	return &stmtCache{cap: capacity, lru: list.New()}
+	c := &stmtCache{lru: cache.New[string, *Stmt](capacity)}
+	// Capacity eviction must also drop the lock-free lookup entry.
+	c.lru.OnEvict(func(sql string, _ *Stmt) { c.bySQL.Delete(sql) })
+	return c
 }
 
 // get returns the cached statement for sql, inserting a fresh (unprepared)
@@ -241,30 +260,29 @@ func newStmtCache(capacity int) *stmtCache {
 // which restores parse-per-call behavior (used for benchmarking).
 func (c *stmtCache) get(db *DB, sql string) *Stmt {
 	if v, ok := c.bySQL.Load(sql); ok {
-		el := v.(*list.Element)
 		c.hits.Add(1)
 		if c.touches.Add(1)%touchStride == 0 {
 			c.mu.Lock()
-			// MoveToFront is a no-op if the element was evicted meanwhile.
-			c.lru.MoveToFront(el)
+			// Touch is a no-op if the entry was evicted meanwhile.
+			c.lru.Touch(sql)
 			c.mu.Unlock()
 		}
-		return el.Value.(*Stmt)
+		return v.(*Stmt)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	// Re-check: another goroutine may have inserted while we were unlocked.
 	if v, ok := c.bySQL.Load(sql); ok {
 		c.hits.Add(1)
-		return v.(*list.Element).Value.(*Stmt)
+		return v.(*Stmt)
 	}
 	c.misses.Add(1)
 	s := &Stmt{db: db, sql: sql}
-	if c.cap <= 0 {
+	if c.lru.Capacity() <= 0 {
 		return s
 	}
-	c.bySQL.Store(sql, c.lru.PushFront(s))
-	c.evictOverflowLocked()
+	c.bySQL.Store(sql, s)
+	c.lru.Put(sql, s)
 	return s
 }
 
@@ -274,26 +292,15 @@ func (c *stmtCache) get(db *DB, sql string) *Stmt {
 // happens to be re-executed or evicted).
 func (c *stmtCache) invalidateAll() {
 	c.bySQL.Range(func(_, v any) bool {
-		v.(*list.Element).Value.(*Stmt).prep.Store(nil)
+		v.(*Stmt).prep.Store(nil)
 		return true
 	})
-}
-
-// evictOverflowLocked drops least-recently-used entries beyond capacity.
-// Caller holds c.mu.
-func (c *stmtCache) evictOverflowLocked() {
-	for c.lru.Len() > c.cap {
-		back := c.lru.Back()
-		c.lru.Remove(back)
-		c.bySQL.Delete(back.Value.(*Stmt).sql)
-	}
 }
 
 func (c *stmtCache) setCapacity(n int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.cap = n
-	c.evictOverflowLocked()
+	c.lru.SetCapacity(n)
 }
 
 // StmtCacheStats reports statement-cache effectiveness.
@@ -312,7 +319,7 @@ func (db *DB) StmtCacheStats() StmtCacheStats {
 	defer c.mu.Unlock()
 	return StmtCacheStats{
 		Hits: c.hits.Load(), Misses: c.misses.Load(),
-		Entries: c.lru.Len(), Capacity: c.cap,
+		Entries: c.lru.Len(), Capacity: c.lru.Capacity(),
 	}
 }
 

@@ -22,6 +22,12 @@ type Table struct {
 	// compacted away once they outnumber the live rows.
 	ids  []int64
 	dead int
+
+	// mut counts structural changes to the row set (insert, delete,
+	// restore, truncate — anything that touches the ID slice, including
+	// in-place compaction). Open cursors compare it to re-synchronize
+	// their scan position after concurrent writes.
+	mut uint64
 }
 
 // NewTable creates an empty table. A unique index is created automatically
@@ -96,6 +102,7 @@ func (t *Table) Insert(vals []Value) (int64, error) {
 	id := t.nextRow
 	t.rows[id] = row
 	t.ids = append(t.ids, id) // nextRow is monotone, so append keeps order
+	t.mut++
 	for _, idx := range t.indexes {
 		idx.insert(row[idx.Col], id)
 	}
@@ -130,6 +137,7 @@ func (t *Table) Delete(id int64) bool {
 	}
 	delete(t.rows, id)
 	t.dead++
+	t.mut++
 	if t.dead > 64 && t.dead*2 > len(t.ids) {
 		t.compactIDs()
 	}
@@ -146,6 +154,7 @@ func (t *Table) compactIDs() {
 	}
 	t.ids = live
 	t.dead = 0
+	t.mut++
 }
 
 // restore re-inserts a previously deleted row under its original ID,
@@ -167,6 +176,7 @@ func (t *Table) restore(id int64, row []Value) {
 	for _, idx := range t.indexes {
 		idx.insert(row[idx.Col], id)
 	}
+	t.mut++
 }
 
 // Update replaces the row with the given ID with new values (already
@@ -336,6 +346,7 @@ func (t *Table) Truncate() {
 	t.rows = make(map[int64][]Value)
 	t.ids = nil
 	t.dead = 0
+	t.mut++
 	for _, idx := range t.indexes {
 		idx.reset()
 	}

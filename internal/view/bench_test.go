@@ -1,0 +1,86 @@
+package view
+
+// End-to-end export benchmarks: rendering a 100k-row annotation view to a
+// writer, materialized (Render a Table, then Write it — the seed path of
+// the /export handler) vs streamed (Stream: resolve and write row by row).
+// Both share the object-ID view and the accession lookups; the streamed
+// path drops the table materialization and per-row string-slice churn.
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"genmapper/internal/gam"
+	"genmapper/internal/ops"
+	"genmapper/internal/sqldb"
+)
+
+var exportBench struct {
+	repo *gam.Repo
+	view *ops.View
+}
+
+func benchView(b *testing.B) (*gam.Repo, *ops.View) {
+	b.Helper()
+	if exportBench.repo != nil {
+		return exportBench.repo, exportBench.view
+	}
+	repo, err := gam.Open(sqldb.NewDB())
+	if err != nil {
+		b.Fatal(err)
+	}
+	const rows = 100000
+	s1, _, err := repo.EnsureSource(gam.Source{Name: "Left", Content: gam.ContentGene})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s2, _, _ := repo.EnsureSource(gam.Source{Name: "Right", Content: gam.ContentGene})
+	mkSpecs := func(prefix string) []gam.ObjectSpec {
+		specs := make([]gam.ObjectSpec, rows)
+		for i := range specs {
+			specs[i] = gam.ObjectSpec{Accession: fmt.Sprintf("%s:%07d", prefix, i)}
+		}
+		return specs
+	}
+	ids1, _, err := repo.EnsureObjects(s1.ID, mkSpecs("L"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids2, _, err := repo.EnsureObjects(s2.ID, mkSpecs("R"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := &ops.View{Source: s1.ID, Targets: []gam.SourceID{s2.ID}, Rows: make([]ops.ViewRow, rows)}
+	for i := 0; i < rows; i++ {
+		v.Rows[i] = ops.ViewRow{ids1[i], ids2[i]}
+	}
+	exportBench.repo, exportBench.view = repo, v
+	return repo, v
+}
+
+func BenchmarkViewExport100kMaterialized(b *testing.B) {
+	repo, v := benchView(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl, err := Render(repo, v, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tbl.Write(io.Discard, "tsv"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkViewExport100kStream(b *testing.B) {
+	repo, v := benchView(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Stream(repo, v, Options{}, io.Discard, "tsv", 0, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

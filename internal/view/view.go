@@ -3,11 +3,17 @@
 // accessions, optional descriptive text, and export in several formats for
 // further analysis in external tools (§5.1: "All results can be saved and
 // downloaded in different formats").
+//
+// Rendering has two shapes sharing one formatting engine (RowWriter):
+// Render materializes a Table, and Stream writes rows to an io.Writer as
+// they are resolved, so an export's memory use stays O(1) in the number of
+// rows and the first byte leaves before the last row is rendered.
 package view
 
 import (
 	"encoding/csv"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -35,108 +41,364 @@ type Options struct {
 	NullText string
 }
 
-// Render resolves a generated view's object IDs to accessions.
-func Render(repo *gam.Repo, v *ops.View, opts Options) (*Table, error) {
-	t := &Table{}
-	src := repo.SourceByID(v.Source)
+// renderer resolves object IDs to display cells with a lookup cache shared
+// across the rows of one rendering.
+type renderer struct {
+	repo  *gam.Repo
+	opts  Options
+	cache map[gam.ObjectID]string
+}
+
+func newRenderer(repo *gam.Repo, opts Options) *renderer {
+	return &renderer{repo: repo, opts: opts, cache: make(map[gam.ObjectID]string)}
+}
+
+// preloadRowThreshold is the view size above which the renderer bulk-loads
+// the involved sources' objects in one cursor pass per source instead of
+// issuing a point query per distinct object ID. Below it, a handful of
+// point lookups beats scanning whole sources.
+const preloadRowThreshold = 2048
+
+// maybePreload fills the cell cache for every object of the view's
+// source and target sources, one streaming pass per source. A source is
+// only preloaded when its object count is comparable to the number of
+// cells the view will resolve — scanning a multi-million-object source to
+// serve a few thousand rows would cost more than the point lookups it
+// replaces. IDs outside the preloaded sources (or a failed preload) fall
+// back to per-ID lookups in cell.
+func (r *renderer) maybePreload(v *ops.View) {
+	if len(v.Rows) < preloadRowThreshold {
+		return
+	}
+	// A streamed preload row costs a fraction of a point lookup, so cap
+	// each source's pass at a few multiples of the per-column lookup bound
+	// (len(v.Rows)): on a source that dwarfs the view the pass stops
+	// there, the partial cache stays valid, and the remaining IDs fall
+	// back to point lookups.
+	budget := 4 * len(v.Rows)
+	seen := make(map[gam.SourceID]bool, len(v.Targets)+1)
+	for _, src := range append([]gam.SourceID{v.Source}, v.Targets...) {
+		if seen[src] {
+			continue
+		}
+		seen[src] = true
+		scanned := 0
+		_ = r.repo.ObjectsScanEach(src, func(o *gam.Object) error {
+			if scanned >= budget {
+				return errPreloadBudget
+			}
+			scanned++
+			cell := o.Accession
+			if r.opts.WithText && o.Text != "" {
+				cell = o.Accession + " (" + o.Text + ")"
+			}
+			r.cache[o.ID] = cell
+			return nil
+		})
+	}
+}
+
+// errPreloadBudget stops a preload pass that has outgrown its usefulness.
+var errPreloadBudget = errors.New("view: preload budget exhausted")
+
+// header resolves the view's source and target names.
+func (r *renderer) header(v *ops.View) ([]string, error) {
+	cols := make([]string, 0, len(v.Targets)+1)
+	src := r.repo.SourceByID(v.Source)
 	if src == nil {
 		return nil, fmt.Errorf("view: unknown source %d", v.Source)
 	}
-	t.Columns = append(t.Columns, src.Name)
+	cols = append(cols, src.Name)
 	for _, tgt := range v.Targets {
-		ts := repo.SourceByID(tgt)
+		ts := r.repo.SourceByID(tgt)
 		if ts == nil {
 			return nil, fmt.Errorf("view: unknown target source %d", tgt)
 		}
-		t.Columns = append(t.Columns, ts.Name)
+		cols = append(cols, ts.Name)
 	}
-
-	cache := make(map[gam.ObjectID]string)
-	lookup := func(id gam.ObjectID) (string, error) {
-		if id == 0 {
-			return opts.NullText, nil
-		}
-		if s, ok := cache[id]; ok {
-			return s, nil
-		}
-		obj, err := repo.Object(id)
-		if err != nil {
-			return "", err
-		}
-		if obj == nil {
-			return "", fmt.Errorf("view: dangling object id %d", id)
-		}
-		s := obj.Accession
-		if opts.WithText && obj.Text != "" {
-			s = obj.Accession + " (" + obj.Text + ")"
-		}
-		cache[id] = s
-		return s, nil
-	}
-
-	for _, row := range v.Rows {
-		out := make([]string, len(row))
-		for i, id := range row {
-			s, err := lookup(id)
-			if err != nil {
-				return nil, err
-			}
-			out[i] = s
-		}
-		t.Rows = append(t.Rows, out)
-	}
-	return t, nil
+	return cols, nil
 }
 
-// WriteTSV writes the table as tab-separated values with a header line.
-func (t *Table) WriteTSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, strings.Join(t.Columns, "\t")); err != nil {
-		return err
+// cell resolves one object ID to its display string.
+func (r *renderer) cell(id gam.ObjectID) (string, error) {
+	if id == 0 {
+		return r.opts.NullText, nil
 	}
-	for _, row := range t.Rows {
-		if _, err := fmt.Fprintln(w, strings.Join(row, "\t")); err != nil {
+	if s, ok := r.cache[id]; ok {
+		return s, nil
+	}
+	obj, err := r.repo.Object(id)
+	if err != nil {
+		return "", err
+	}
+	if obj == nil {
+		return "", fmt.Errorf("view: dangling object id %d", id)
+	}
+	s := obj.Accession
+	if r.opts.WithText && obj.Text != "" {
+		s = obj.Accession + " (" + obj.Text + ")"
+	}
+	r.cache[id] = s
+	return s, nil
+}
+
+// row resolves one view row into cells (len(cells) == len(row) required).
+func (r *renderer) row(vr ops.ViewRow, cells []string) error {
+	for i, id := range vr {
+		s, err := r.cell(id)
+		if err != nil {
 			return err
 		}
+		cells[i] = s
 	}
 	return nil
 }
 
-// WriteCSV writes the table as RFC-4180 CSV with a header line.
-func (t *Table) WriteCSV(w io.Writer) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write(t.Columns); err != nil {
+// Render resolves a generated view's object IDs to accessions.
+func Render(repo *gam.Repo, v *ops.View, opts Options) (*Table, error) {
+	r := newRenderer(repo, opts)
+	cols, err := r.header(v)
+	if err != nil {
+		return nil, err
+	}
+	r.maybePreload(v)
+	t := &Table{Columns: cols}
+	for _, vr := range v.Rows {
+		cells := make([]string, len(vr))
+		if err := r.row(vr, cells); err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, cells)
+	}
+	return t, nil
+}
+
+// Stream renders a generated view row by row into the named format (tsv,
+// csv, json or text), never materializing the table. When flush is non-nil
+// it is invoked after every flushEvery rows (and once at the end), after
+// the writer's own buffers are drained — the hook HTTP handlers use to
+// push partial results to the client.
+//
+// text format inherently buffers (column widths need every row); the other
+// formats emit each row as it is rendered.
+func Stream(repo *gam.Repo, v *ops.View, opts Options, w io.Writer, format string, flushEvery int, flush func() error) error {
+	r := newRenderer(repo, opts)
+	cols, err := r.header(v)
+	if err != nil {
 		return err
 	}
-	for _, row := range t.Rows {
-		if err := cw.Write(row); err != nil {
+	r.maybePreload(v)
+	rw, err := NewRowWriter(w, format)
+	if err != nil {
+		return err
+	}
+	// Resolve the first row before emitting the header: a render failure
+	// on row 0 (e.g. a dangling object ID) then surfaces before any byte
+	// is written, so HTTP handlers can still report a clean error instead
+	// of a 200 with a header-only body.
+	cells := make([]string, len(cols))
+	if len(v.Rows) > 0 {
+		if len(v.Rows[0]) != len(cells) {
+			return fmt.Errorf("view: row 0 has %d values, want %d", len(v.Rows[0]), len(cells))
+		}
+		if err := r.row(v.Rows[0], cells); err != nil {
 			return err
 		}
 	}
-	cw.Flush()
-	return cw.Error()
-}
-
-// WriteJSON writes the table as a single JSON object.
-func (t *Table) WriteJSON(w io.Writer) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(t)
-}
-
-// WriteText writes a fixed-width, human-readable rendering (the CLI
-// counterpart of Figure 3).
-func (t *Table) WriteText(w io.Writer) error {
-	widths := make([]int, len(t.Columns))
-	for i, c := range t.Columns {
-		widths[i] = len(c)
+	if err := rw.Header(cols); err != nil {
+		return err
 	}
-	for _, row := range t.Rows {
-		for i, cell := range row {
-			if i < len(widths) && len(cell) > widths[i] {
-				widths[i] = len(cell)
+	for i, vr := range v.Rows {
+		if len(vr) != len(cells) {
+			return fmt.Errorf("view: row %d has %d values, want %d", i, len(vr), len(cells))
+		}
+		if i > 0 { // row 0 is already resolved (and its cells still cached)
+			if err := r.row(vr, cells); err != nil {
+				return err
+			}
+		}
+		if err := rw.Row(cells); err != nil {
+			return err
+		}
+		if flush != nil && flushEvery > 0 && (i+1)%flushEvery == 0 {
+			if err := rw.Flush(); err != nil {
+				return err
+			}
+			if err := flush(); err != nil {
+				return err
 			}
 		}
 	}
+	if err := rw.Close(); err != nil {
+		return err
+	}
+	if flush != nil {
+		return flush()
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Row writers: the one formatting engine behind Table.Write and Stream.
+
+// RowWriter emits a rendered view one row at a time. The cells slice
+// passed to Row is only valid during the call. Close finishes the output
+// (format trailers, final buffer drain); Flush pushes everything written
+// so far to the underlying writer where the format allows it.
+type RowWriter interface {
+	Header(cols []string) error
+	Row(cells []string) error
+	Flush() error
+	Close() error
+}
+
+// NewRowWriter returns the writer for the named format: text, tsv, csv or
+// json.
+func NewRowWriter(w io.Writer, format string) (RowWriter, error) {
+	switch strings.ToLower(format) {
+	case "tsv":
+		return &tsvWriter{w: w}, nil
+	case "csv":
+		return &csvWriter{cw: csv.NewWriter(w)}, nil
+	case "json":
+		return &jsonWriter{w: w}, nil
+	case "text", "":
+		return &textWriter{w: w}, nil
+	}
+	return nil, fmt.Errorf("view: unknown export format %q (text, tsv, csv, json)", format)
+}
+
+// tsvWriter writes tab-separated values, one line per row.
+type tsvWriter struct {
+	w   io.Writer
+	buf []byte
+}
+
+func (t *tsvWriter) line(cells []string) error {
+	t.buf = t.buf[:0]
+	for i, c := range cells {
+		if i > 0 {
+			t.buf = append(t.buf, '\t')
+		}
+		t.buf = append(t.buf, c...)
+	}
+	t.buf = append(t.buf, '\n')
+	_, err := t.w.Write(t.buf)
+	return err
+}
+
+func (t *tsvWriter) Header(cols []string) error { return t.line(cols) }
+func (t *tsvWriter) Row(cells []string) error   { return t.line(cells) }
+func (t *tsvWriter) Flush() error               { return nil }
+func (t *tsvWriter) Close() error               { return nil }
+
+// csvWriter writes RFC-4180 CSV.
+type csvWriter struct {
+	cw *csv.Writer
+}
+
+func (c *csvWriter) Header(cols []string) error { return c.cw.Write(cols) }
+func (c *csvWriter) Row(cells []string) error   { return c.cw.Write(cells) }
+
+func (c *csvWriter) Flush() error {
+	c.cw.Flush()
+	return c.cw.Error()
+}
+
+func (c *csvWriter) Close() error { return c.Flush() }
+
+// jsonWriter writes the same indented JSON document WriteJSON produces
+// ({"columns": [...], "rows": [...]}) incrementally: each row is encoded
+// and written as it arrives. A rowless table writes "rows": null (the
+// encoding of a never-appended nil Rows slice) unless emptyAsArray is set,
+// which Table.Write uses to keep encoding a non-nil empty Rows as [].
+type jsonWriter struct {
+	w            io.Writer
+	rows         int
+	emptyAsArray bool
+}
+
+func (j *jsonWriter) Header(cols []string) error {
+	enc, err := json.MarshalIndent(cols, "  ", "  ")
+	if err != nil {
+		return err
+	}
+	if _, err := io.WriteString(j.w, "{\n  \"columns\": "); err != nil {
+		return err
+	}
+	if _, err := j.w.Write(enc); err != nil {
+		return err
+	}
+	_, err = io.WriteString(j.w, ",\n  \"rows\": ")
+	return err
+}
+
+func (j *jsonWriter) Row(cells []string) error {
+	sep := "[\n    "
+	if j.rows > 0 {
+		sep = ",\n    "
+	}
+	j.rows++
+	enc, err := json.MarshalIndent(cells, "    ", "  ")
+	if err != nil {
+		return err
+	}
+	if _, err := io.WriteString(j.w, sep); err != nil {
+		return err
+	}
+	_, err = j.w.Write(enc)
+	return err
+}
+
+func (j *jsonWriter) Flush() error { return nil }
+
+func (j *jsonWriter) Close() error {
+	tail := "\n  ]\n}\n"
+	if j.rows == 0 {
+		tail = "null\n}\n"
+		if j.emptyAsArray {
+			tail = "[]\n}\n"
+		}
+	}
+	_, err := io.WriteString(j.w, tail)
+	return err
+}
+
+// textWriter renders the fixed-width, human-readable table (the CLI
+// counterpart of Figure 3). Column widths need every row, so this format
+// buffers until Close.
+type textWriter struct {
+	w      io.Writer
+	cols   []string
+	rows   [][]string
+	widths []int
+}
+
+func (t *textWriter) measure(cells []string) {
+	for i, c := range cells {
+		if i < len(t.widths) && len(c) > t.widths[i] {
+			t.widths[i] = len(c)
+		}
+	}
+}
+
+func (t *textWriter) Header(cols []string) error {
+	t.cols = append([]string(nil), cols...)
+	t.widths = make([]int, len(cols))
+	t.measure(cols)
+	return nil
+}
+
+func (t *textWriter) Row(cells []string) error {
+	cp := append([]string(nil), cells...)
+	t.rows = append(t.rows, cp)
+	t.measure(cp)
+	return nil
+}
+
+func (t *textWriter) Flush() error { return nil }
+
+func (t *textWriter) Close() error {
 	line := func(cells []string) error {
 		var sb strings.Builder
 		for i, cell := range cells {
@@ -144,24 +406,24 @@ func (t *Table) WriteText(w io.Writer) error {
 				sb.WriteString("  ")
 			}
 			sb.WriteString(cell)
-			for pad := len(cell); pad < widths[i]; pad++ {
+			for pad := len(cell); pad < t.widths[i]; pad++ {
 				sb.WriteByte(' ')
 			}
 		}
-		_, err := fmt.Fprintln(w, strings.TrimRight(sb.String(), " "))
+		_, err := fmt.Fprintln(t.w, strings.TrimRight(sb.String(), " "))
 		return err
 	}
-	if err := line(t.Columns); err != nil {
+	if err := line(t.cols); err != nil {
 		return err
 	}
-	sep := make([]string, len(t.Columns))
+	sep := make([]string, len(t.cols))
 	for i := range sep {
-		sep[i] = strings.Repeat("-", widths[i])
+		sep[i] = strings.Repeat("-", t.widths[i])
 	}
 	if err := line(sep); err != nil {
 		return err
 	}
-	for _, row := range t.Rows {
+	for _, row := range t.rows {
 		if err := line(row); err != nil {
 			return err
 		}
@@ -169,17 +431,40 @@ func (t *Table) WriteText(w io.Writer) error {
 	return nil
 }
 
+// ---------------------------------------------------------------------------
+// Table export (materialized tables through the same row writers)
+
+// WriteTSV writes the table as tab-separated values with a header line.
+func (t *Table) WriteTSV(w io.Writer) error { return t.Write(w, "tsv") }
+
+// WriteCSV writes the table as RFC-4180 CSV with a header line.
+func (t *Table) WriteCSV(w io.Writer) error { return t.Write(w, "csv") }
+
+// WriteJSON writes the table as a single JSON object.
+func (t *Table) WriteJSON(w io.Writer) error { return t.Write(w, "json") }
+
+// WriteText writes a fixed-width, human-readable rendering (the CLI
+// counterpart of Figure 3).
+func (t *Table) WriteText(w io.Writer) error { return t.Write(w, "text") }
+
 // Write exports the table in the named format: text, tsv, csv or json.
 func (t *Table) Write(w io.Writer, format string) error {
-	switch strings.ToLower(format) {
-	case "tsv":
-		return t.WriteTSV(w)
-	case "csv":
-		return t.WriteCSV(w)
-	case "json":
-		return t.WriteJSON(w)
-	case "text", "":
-		return t.WriteText(w)
+	rw, err := NewRowWriter(w, format)
+	if err != nil {
+		return err
 	}
-	return fmt.Errorf("view: unknown export format %q (text, tsv, csv, json)", format)
+	// encoding/json distinguishes a nil Rows (null) from a non-nil empty
+	// one ([]); preserve that for JSON consumers of materialized tables.
+	if jw, ok := rw.(*jsonWriter); ok && t.Rows != nil {
+		jw.emptyAsArray = true
+	}
+	if err := rw.Header(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := rw.Row(row); err != nil {
+			return err
+		}
+	}
+	return rw.Close()
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/csv"
 	"encoding/json"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -184,5 +185,160 @@ func TestWriteDispatch(t *testing.T) {
 	var buf bytes.Buffer
 	if err := tbl.Write(&buf, "xml"); err == nil {
 		t.Error("unknown format accepted")
+	}
+}
+
+// Stream and Render+Write share one formatting engine; their outputs must
+// be byte-identical in every format, including the JSON document layout
+// the non-streaming encoder produced historically.
+func TestStreamMatchesMaterializedWrite(t *testing.T) {
+	repo, v := setup(t)
+	for _, format := range []string{"tsv", "csv", "json", "text"} {
+		tbl, err := Render(repo, v, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want bytes.Buffer
+		if err := tbl.Write(&want, format); err != nil {
+			t.Fatal(err)
+		}
+		var got bytes.Buffer
+		if err := Stream(repo, v, Options{}, &got, format, 1, nil); err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		if got.String() != want.String() {
+			t.Errorf("%s: streamed output differs:\n--- stream ---\n%s\n--- write ---\n%s",
+				format, got.String(), want.String())
+		}
+	}
+}
+
+// The incremental JSON writer must reproduce encoding/json's indented
+// encoding of the Table struct exactly, for populated and empty views.
+func TestStreamJSONByteParity(t *testing.T) {
+	repo, v := setup(t)
+	for _, view := range []*ops.View{v, {Source: v.Source, Targets: v.Targets}} {
+		tbl, err := Render(repo, view, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want bytes.Buffer
+		enc := json.NewEncoder(&want)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(tbl); err != nil {
+			t.Fatal(err)
+		}
+		var got bytes.Buffer
+		if err := Stream(repo, view, Options{}, &got, "json", 0, nil); err != nil {
+			t.Fatal(err)
+		}
+		if got.String() != want.String() {
+			t.Errorf("rows=%d: JSON differs:\n--- stream ---\n%q\n--- encoder ---\n%q",
+				len(view.Rows), got.String(), want.String())
+		}
+	}
+}
+
+// The flush hook fires periodically and once at the end.
+func TestStreamFlushHook(t *testing.T) {
+	repo, v := setup(t)
+	flushes := 0
+	var buf bytes.Buffer
+	if err := Stream(repo, v, Options{}, &buf, "tsv", 1, func() error {
+		flushes++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// 2 rows with flushEvery=1 → 2 periodic + 1 final.
+	if flushes != 3 {
+		t.Errorf("flushes = %d, want 3", flushes)
+	}
+}
+
+// A render failure on the first row must surface before any byte is
+// written (so HTTP handlers can still send a clean error status).
+func TestStreamFirstRowErrorWritesNothing(t *testing.T) {
+	repo, v := setup(t)
+	bad := &ops.View{Source: v.Source, Targets: v.Targets, Rows: []ops.ViewRow{{123456, 0}}}
+	var buf bytes.Buffer
+	if err := Stream(repo, bad, Options{}, &buf, "tsv", 0, nil); err == nil {
+		t.Fatal("dangling first row streamed without error")
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("stream wrote %d bytes before failing on row 0: %q", buf.Len(), buf.String())
+	}
+}
+
+// Materialized tables keep encoding/json's nil-vs-empty Rows distinction.
+func TestWriteJSONEmptyRowsShape(t *testing.T) {
+	for _, tc := range []struct {
+		rows [][]string
+		want string
+	}{
+		{nil, "null"},
+		{[][]string{}, "[]"},
+	} {
+		tbl := &Table{Columns: []string{"A"}, Rows: tc.rows}
+		var got, want bytes.Buffer
+		if err := tbl.WriteJSON(&got); err != nil {
+			t.Fatal(err)
+		}
+		enc := json.NewEncoder(&want)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(tbl); err != nil {
+			t.Fatal(err)
+		}
+		if got.String() != want.String() {
+			t.Errorf("rows=%#v: WriteJSON = %q, encoder = %q", tc.rows, got.String(), want.String())
+		}
+		if !strings.Contains(got.String(), `"rows": `+tc.want) {
+			t.Errorf("rows=%#v: output %q missing %q", tc.rows, got.String(), tc.want)
+		}
+	}
+}
+
+// When a source dwarfs the view, the preload pass stops at its budget and
+// the remaining IDs resolve through point lookups — output is identical.
+func TestStreamPreloadBudgetFallback(t *testing.T) {
+	repo, err := gam.Open(sqldb.NewDB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, _, _ := repo.EnsureSource(gam.Source{Name: "Big", Content: gam.ContentGene})
+	const objects = 10000
+	specs := make([]gam.ObjectSpec, objects)
+	for i := range specs {
+		specs[i] = gam.ObjectSpec{Accession: fmt.Sprintf("B:%05d", i)}
+	}
+	ids, _, err := repo.EnsureObjects(src.ID, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// preloadRowThreshold (2048) rows, but referencing the TAIL of the
+	// source, past the 4x-rows preload budget — every cell must come from
+	// the point-lookup fallback.
+	v := &ops.View{Source: src.ID, Targets: []gam.SourceID{src.ID}}
+	for i := 0; i < preloadRowThreshold; i++ {
+		id := ids[objects-1-i]
+		v.Rows = append(v.Rows, ops.ViewRow{id, id})
+	}
+	var streamed bytes.Buffer
+	if err := Stream(repo, v, Options{}, &streamed, "tsv", 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := Render(repo, v, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := tbl.Write(&want, "tsv"); err != nil {
+		t.Fatal(err)
+	}
+	if streamed.String() != want.String() {
+		t.Fatal("budget-capped stream differs from materialized render")
+	}
+	if !strings.Contains(streamed.String(), fmt.Sprintf("B:%05d", objects-1)) {
+		t.Fatal("expected tail accession missing from output")
 	}
 }
