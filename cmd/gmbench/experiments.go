@@ -2,7 +2,9 @@ package main
 
 import (
 	"fmt"
+	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"genmapper"
@@ -15,6 +17,7 @@ import (
 	"genmapper/internal/parser"
 	"genmapper/internal/profile"
 	"genmapper/internal/sqldb"
+	"genmapper/internal/wal"
 )
 
 // harness holds lazily-built shared fixtures so that one gmbench run
@@ -645,5 +648,99 @@ func expAblationSRS(h *harness) error {
 	fmt.Printf("\nindirect target (Unigene -> GO): srs direct links=%d, gam composed annotations=%d\n",
 		len(direct), viaCompose)
 	fmt.Println("\nexpected shape: srs lookups grow as objects x targets and indirect targets stay unreachable")
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// E13 — durability: WAL write path under each fsync policy + group commit
+
+// expWALDurability imports a small universe into a durable system under
+// every fsync policy and measures the write-path cost against the
+// in-memory baseline, then demonstrates group commit folding concurrent
+// committers into fewer fsyncs.
+func expWALDurability(h *harness) error {
+	u := gen.NewUniverse(gen.Config{Seed: h.seed, Scale: min(h.scale, 0.005)})
+
+	importInto := func(sys *genmapper.System) (time.Duration, error) {
+		start := time.Now()
+		_, err := sys.ImportUniverse(u, genmapper.ImportOptions{DeriveSubsumed: true}, nil)
+		return time.Since(start), err
+	}
+
+	fmt.Printf("%-12s %12s %12s %12s %14s\n", "mode", "import", "appends", "fsyncs", "log bytes")
+	memSys, err := genmapper.New()
+	if err != nil {
+		return err
+	}
+	memT, err := importInto(memSys)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-12s %12v %12s %12s %14s\n", "memory", memT.Round(time.Millisecond), "-", "-", "-")
+
+	for _, policy := range []wal.SyncPolicy{wal.SyncOff, wal.SyncGroup, wal.SyncAlways} {
+		dir, err := os.MkdirTemp("", "gmbench-wal-")
+		if err != nil {
+			return err
+		}
+		sys, err := genmapper.OpenDurable(dir, genmapper.DurableOptions{Sync: policy})
+		if err != nil {
+			return err
+		}
+		t, err := importInto(sys)
+		if err != nil {
+			return err
+		}
+		ws := sys.SQLWALStats()
+		fmt.Printf("wal-%-8s %12v %12d %12d %14d\n", policy, t.Round(time.Millisecond), ws.Appends, ws.Fsyncs, ws.SizeBytes)
+		sys.Close()
+		os.RemoveAll(dir)
+	}
+
+	// Group commit: concurrent committers vs. fsync count.
+	dir, err := os.MkdirTemp("", "gmbench-walgc-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	sys, err := genmapper.OpenDurable(dir, genmapper.DurableOptions{Sync: wal.SyncGroup})
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	db := sys.DB()
+	if _, err := db.Exec("CREATE TABLE bench_gc (g INTEGER, i INTEGER)"); err != nil {
+		return err
+	}
+	base := sys.SQLWALStats()
+	const goroutines, perG = 8, 100
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if _, err := db.Exec("INSERT INTO bench_gc (g, i) VALUES (?, ?)", g, i); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	ws := sys.SQLWALStats()
+	commits := ws.Appends - base.Appends
+	fsyncs := ws.Fsyncs - base.Fsyncs
+	fmt.Printf("\ngroup commit: %d concurrent committers, %d commits in %v -> %d fsyncs (%.1f commits/fsync, max group %d)\n",
+		goroutines, commits, elapsed.Round(time.Millisecond), fsyncs,
+		float64(commits)/float64(max(fsyncs, 1)), ws.MaxGroupSize)
+	fmt.Println("\nexpected shape: off ~ memory, group ~ always when single-writer, and commits/fsync > 1 under concurrency")
 	return nil
 }

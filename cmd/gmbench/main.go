@@ -39,6 +39,7 @@ var experiments = []experiment{
 	{"ablation-schema", "Ablation E10: generic GAM vs application-specific star schema", expAblationSchema},
 	{"ablation-materialize", "Ablation E11: materialized Composed mapping vs on-the-fly Compose", expAblationMaterialize},
 	{"ablation-srs", "Ablation E12: SRS-style link navigation vs set-oriented GenerateView", expAblationSRS},
+	{"wal", "E13: durable write path — fsync policies and group commit", expWALDurability},
 }
 
 func main() {

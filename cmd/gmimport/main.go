@@ -5,6 +5,7 @@
 // Usage:
 //
 //	gmimport -db gam.snap -universe -seed 1 -scale 0.02
+//	gmimport -data-dir ./data -universe          # durable: WAL + checkpoints
 //	gmimport -db gam.snap -format locuslink -source LocusLink -content gene locuslink.ll
 //	gmimport -db gam.snap -stats
 package main
@@ -15,11 +16,14 @@ import (
 	"os"
 
 	"genmapper"
+	"genmapper/internal/wal"
 )
 
 func main() {
 	var (
-		dbPath    = flag.String("db", "gam.snap", "database snapshot file (created when missing)")
+		dbPath    = flag.String("db", "gam.snap", "database snapshot file (created when missing; ignored with -data-dir)")
+		dataDir   = flag.String("data-dir", "", "durable data directory (WAL + checkpoints) instead of a snapshot file")
+		fsync     = flag.String("fsync", "group", "WAL fsync policy with -data-dir: always, group, off (off is fastest for re-runnable bulk loads)")
 		universe  = flag.Bool("universe", false, "import the full synthetic universe")
 		seed      = flag.Int64("seed", 1, "universe seed")
 		scale     = flag.Float64("scale", 0.02, "universe scale factor")
@@ -35,9 +39,13 @@ func main() {
 	)
 	flag.Parse()
 
-	sys, err := openSystem(*dbPath)
+	sys, err := openSystem(*dbPath, *dataDir, *fsync)
 	if err != nil {
 		fail(err)
+	}
+	durable := *dataDir != ""
+	if durable {
+		defer sys.Close()
 	}
 	opts := genmapper.ImportOptions{DeriveSubsumed: *subsumed}
 
@@ -84,14 +92,23 @@ func main() {
 		}
 	}
 
-	if err := sys.SaveSnapshot(*dbPath); err != nil {
-		fail(err)
-	}
 	st, err := sys.Stats()
 	if err != nil {
 		fail(err)
 	}
-	fmt.Printf("saved %s: %s\n", *dbPath, st)
+	if durable {
+		// Everything imported is already in the WAL; a checkpoint folds it
+		// into a snapshot so the next open replays nothing.
+		if err := sys.Checkpoint(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("checkpointed %s: %s\n", *dataDir, st)
+	} else {
+		if err := sys.SaveSnapshot(*dbPath); err != nil {
+			fail(err)
+		}
+		fmt.Printf("saved %s: %s\n", *dbPath, st)
+	}
 
 	if *engine {
 		sc := sys.SQLStmtCacheStats()
@@ -101,10 +118,21 @@ func main() {
 		fmt.Printf("plans: eq=%d in=%d range=%d ordered=%d full=%d | joins idx=%d hash=%d nested=%d\n",
 			ps.IndexEqScans, ps.IndexInScans, ps.IndexRangeScans, ps.OrderedScans, ps.FullScans,
 			ps.IndexJoins, ps.HashJoins, ps.NestedJoins)
+		if ws := sys.SQLWALStats(); ws.Enabled {
+			fmt.Printf("wal: %d appends, %d fsyncs, %d group commits (max group %d), %d segments (%d bytes), %d replayed at open\n",
+				ws.Appends, ws.Fsyncs, ws.GroupCommits, ws.MaxGroupSize, ws.Segments, ws.SizeBytes, ws.RecoveredRecords)
+		}
 	}
 }
 
-func openSystem(path string) (*genmapper.System, error) {
+func openSystem(path, dataDir, fsync string) (*genmapper.System, error) {
+	if dataDir != "" {
+		policy, err := wal.ParseSyncPolicy(fsync)
+		if err != nil {
+			return nil, err
+		}
+		return genmapper.OpenDurable(dataDir, genmapper.DurableOptions{Sync: policy})
+	}
 	if _, err := os.Stat(path); err == nil {
 		return genmapper.LoadSnapshot(path)
 	}

@@ -5,9 +5,10 @@
 // Usage:
 //
 //	gmsql -db gam.snap
+//	gmsql -data-dir ./data            # durable: writes go through the WAL
 //	echo "SELECT COUNT(*) FROM object" | gmsql -db gam.snap
 //
-// Meta commands: .tables, .schema <table>, .save [path], .quit
+// Meta commands: .tables, .schema <table>, .save [path], .wal, .quit
 package main
 
 import (
@@ -18,30 +19,53 @@ import (
 	"strings"
 
 	"genmapper/internal/sqldb"
+	"genmapper/internal/wal"
 )
 
 func main() {
 	var (
-		dbPath = flag.String("db", "gam.snap", "database snapshot file (created on .save when missing)")
-		quiet  = flag.Bool("q", false, "suppress the prompt (for piped input)")
+		dbPath  = flag.String("db", "gam.snap", "database snapshot file (created on .save when missing; ignored with -data-dir)")
+		dataDir = flag.String("data-dir", "", "durable data directory (WAL + checkpoints); every write is crash-safe")
+		fsync   = flag.String("fsync", "group", "WAL fsync policy with -data-dir: always, group, off")
+		quiet   = flag.Bool("q", false, "suppress the prompt (for piped input)")
 	)
 	flag.Parse()
 
 	var db *sqldb.DB
-	if _, err := os.Stat(*dbPath); err == nil {
-		loaded, err := sqldb.Load(*dbPath)
+	switch {
+	case *dataDir != "":
+		policy, err := wal.ParseSyncPolicy(*fsync)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "gmsql:", err)
 			os.Exit(1)
 		}
-		db = loaded
-		if !*quiet {
-			fmt.Printf("loaded %s (%d tables)\n", *dbPath, len(db.TableNames()))
+		db, err = sqldb.OpenDurable(*dataDir, sqldb.DurableOptions{Sync: policy})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gmsql:", err)
+			os.Exit(1)
 		}
-	} else {
-		db = sqldb.NewDB()
+		defer db.Close()
 		if !*quiet {
-			fmt.Printf("new empty database (will save to %s on .save)\n", *dbPath)
+			ws := db.WALStats()
+			fmt.Printf("opened durable %s (%d tables, %d log records replayed, fsync=%s)\n",
+				*dataDir, len(db.TableNames()), ws.RecoveredRecords, *fsync)
+		}
+	default:
+		if _, err := os.Stat(*dbPath); err == nil {
+			loaded, err := sqldb.Load(*dbPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "gmsql:", err)
+				os.Exit(1)
+			}
+			db = loaded
+			if !*quiet {
+				fmt.Printf("loaded %s (%d tables)\n", *dbPath, len(db.TableNames()))
+			}
+		} else {
+			db = sqldb.NewDB()
+			if !*quiet {
+				fmt.Printf("new empty database (will save to %s on .save)\n", *dbPath)
+			}
 		}
 	}
 
@@ -127,8 +151,24 @@ func metaCommand(db *sqldb.DB, dbPath, cmd string) bool {
 			break
 		}
 		fmt.Println("saved", path)
+	case ".wal":
+		ws := db.WALStats()
+		if !ws.Enabled {
+			fmt.Println("wal: disabled (open with -data-dir for durable writes)")
+			break
+		}
+		fmt.Printf("wal: policy=%s appends=%d fsyncs=%d group_commits=%d max_group=%d\n",
+			ws.Policy, ws.Appends, ws.Fsyncs, ws.GroupCommits, ws.MaxGroupSize)
+		fmt.Printf("     segments=%d size=%dB checkpoint_lsn=%d lag=%d records recovered=%d torn=%d\n",
+			ws.Segments, ws.SizeBytes, ws.CheckpointLSN, ws.CheckpointLagRecs, ws.RecoveredRecords, ws.TornTailTruncations)
+	case ".checkpoint":
+		if err := db.Checkpoint(); err != nil {
+			fmt.Println("checkpoint failed:", err)
+			break
+		}
+		fmt.Println("checkpointed at LSN", db.WALStats().CheckpointLSN)
 	case ".help":
-		fmt.Println("meta commands: .tables, .schema <table>, .save [path], .quit")
+		fmt.Println("meta commands: .tables, .schema <table>, .save [path], .wal, .checkpoint, .quit")
 	default:
 		fmt.Printf("unknown meta command %s (try .help)\n", fields[0])
 	}

@@ -1,0 +1,166 @@
+package genmapper
+
+// System-level durability tests: a durable GenMapper survives an abrupt
+// stop (no checkpoint, no clean close) with every committed import
+// intact, and Restore invalidates all derived layers (repo caches,
+// executor mapping cache, source graph) along with the engine state.
+
+import (
+	"path/filepath"
+	"testing"
+
+	"genmapper/internal/gen"
+)
+
+func importSmallUniverse(t *testing.T, sys *System) *Universe {
+	t.Helper()
+	u := gen.NewUniverse(gen.Config{Seed: 5, Scale: 0.001})
+	if _, err := sys.ImportUniverse(u, ImportOptions{DeriveSubsumed: true}, nil); err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func TestDurableSystemSurvivesAbruptStop(t *testing.T) {
+	dir := t.TempDir()
+	sys, err := OpenDurable(dir, DurableOptions{CheckpointInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	importSmallUniverse(t, sys)
+	want, err := sys.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDump := sys.DB().DumpString()
+	// Abrupt stop: release the log but skip any checkpoint — recovery must
+	// come entirely from the WAL tail.
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sys2, err := OpenDurable(dir, DurableOptions{CheckpointInterval: -1})
+	if err != nil {
+		t.Fatalf("recovery open: %v", err)
+	}
+	defer sys2.Close()
+	got, err := sys2.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Objects != want.Objects || got.Sources != want.Sources ||
+		got.Mappings != want.Mappings || got.Associations != want.Associations {
+		t.Fatalf("recovered stats %v, want %v", got, want)
+	}
+	if sys2.DB().DumpString() != wantDump {
+		t.Fatal("recovered database is not byte-identical to the pre-stop state")
+	}
+	if ws := sys2.SQLWALStats(); !ws.Enabled || ws.RecoveredRecords == 0 {
+		t.Fatalf("expected log replay at open, stats = %+v", ws)
+	}
+	// The recovered system answers queries and accepts new imports.
+	srcs := sys2.Sources()
+	if len(srcs) == 0 {
+		t.Fatal("no sources after recovery")
+	}
+	if _, err := sys2.AnnotationView(Query{
+		Source:  "LocusLink",
+		Targets: []Target{{Source: "Hugo"}},
+	}); err != nil {
+		t.Fatalf("annotation view after recovery: %v", err)
+	}
+}
+
+func TestDurableCheckpointShortensRecovery(t *testing.T) {
+	dir := t.TempDir()
+	sys, err := OpenDurable(dir, DurableOptions{CheckpointInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	importSmallUniverse(t, sys)
+	if err := sys.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	wantDump := sys.DB().DumpString()
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sys2, err := OpenDurable(dir, DurableOptions{CheckpointInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys2.Close()
+	if ws := sys2.SQLWALStats(); ws.RecoveredRecords != 0 {
+		t.Fatalf("checkpointed system replayed %d records, want 0", ws.RecoveredRecords)
+	}
+	if sys2.DB().DumpString() != wantDump {
+		t.Fatal("checkpoint recovery diverged")
+	}
+}
+
+// TestSystemRestoreInvalidatesDerivedCaches: after Restore, the repo's
+// source catalog, the executor's mapping cache and the source graph must
+// all describe the restored contents, not the pre-restore ones.
+func TestSystemRestoreInvalidatesDerivedCaches(t *testing.T) {
+	dir := t.TempDir()
+	sys, err := OpenDurable(dir, DurableOptions{CheckpointInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	importSmallUniverse(t, sys)
+
+	snap := filepath.Join(t.TempDir(), "before.snap")
+	if err := sys.SaveSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	sourcesBefore := len(sys.Sources())
+
+	// Mutate past the snapshot: a new source with a mapping, so graph,
+	// repo caches and executor all pick it up.
+	d := &Dataset{Source: SourceInfo{Name: "Extra", Content: "other", Structure: "flat"}}
+	if _, err := sys.ImportDataset(d, ImportOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Sources()) != sourcesBefore+1 {
+		t.Fatalf("import did not add a source")
+	}
+	if sys.Repo().SourceByName("Extra") == nil {
+		t.Fatal("repo cache missing new source")
+	}
+
+	if err := sys.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sys.Sources()); got != sourcesBefore {
+		t.Fatalf("sources after restore = %d, want %d", got, sourcesBefore)
+	}
+	if sys.Repo().SourceByName("Extra") != nil {
+		t.Fatal("repo cache still holds the rolled-back source after Restore")
+	}
+	// Mapping queries still run on the restored graph + executor.
+	if _, err := sys.AnnotationView(Query{
+		Source:  "LocusLink",
+		Targets: []Target{{Source: "Hugo"}},
+	}); err != nil {
+		t.Fatalf("annotation view after restore: %v", err)
+	}
+
+	// And the restore is durable: reopening must NOT resurrect "Extra"
+	// from the pre-restore WAL tail.
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sys2, err := OpenDurable(dir, DurableOptions{CheckpointInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys2.Close()
+	if sys2.Repo().SourceByName("Extra") != nil {
+		t.Fatal("pre-restore WAL tail replayed over the restored state")
+	}
+	if got := len(sys2.Sources()); got != sourcesBefore {
+		t.Fatalf("sources after restore+reopen = %d, want %d", got, sourcesBefore)
+	}
+}

@@ -100,6 +100,36 @@ func Open(db *sqldb.DB) (*System, error) {
 	return &System{db: db, repo: repo, graph: g, exec: ops.NewExecutor(repo)}, nil
 }
 
+// DurableOptions configures OpenDurable (see sqldb.DurableOptions: fsync
+// policy, segment size, checkpoint cadence).
+type DurableOptions = sqldb.DurableOptions
+
+// OpenDurable opens a crash-safe GenMapper system rooted at a data
+// directory: every committed write is appended to a write-ahead log
+// before it is acknowledged, a background checkpointer bounds the log,
+// and opening recovers the newest checkpoint plus the log tail. Call
+// Close on shutdown to release the log.
+func OpenDurable(dir string, opts DurableOptions) (*System, error) {
+	db, err := sqldb.OpenDurable(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := Open(db)
+	if err != nil {
+		db.Close()
+		return nil, err
+	}
+	return sys, nil
+}
+
+// Close releases the durability subsystem (checkpointer + log). It is a
+// no-op for in-memory systems.
+func (s *System) Close() error { return s.db.Close() }
+
+// Checkpoint forces a durable snapshot now and prunes the covered log
+// (durable systems only).
+func (s *System) Checkpoint() error { return s.db.Checkpoint() }
+
 // LoadSnapshot opens a system from a database snapshot file written by
 // SaveSnapshot.
 func LoadSnapshot(path string) (*System, error) {
@@ -112,6 +142,27 @@ func LoadSnapshot(path string) (*System, error) {
 
 // SaveSnapshot persists the entire database to a file.
 func (s *System) SaveSnapshot(path string) error { return s.db.Save(path) }
+
+// Restore replaces the system's database contents with a snapshot file,
+// in place, and invalidates every derived layer: cached statement plans
+// and open cursors (engine), the GAM lookup caches (repo), the mapping
+// cache (executor), and the source graph. On a durable system the WAL is
+// reset too — the restored state becomes a new checkpoint and the
+// pre-restore log tail can never be replayed over it.
+func (s *System) Restore(path string) error {
+	if err := s.db.Restore(path); err != nil {
+		return err
+	}
+	if err := s.repo.Reload(); err != nil {
+		return err
+	}
+	s.exec.Reset()
+	return s.RefreshGraph()
+}
+
+// SQLWALStats returns the durability counters of the embedded engine
+// (zero-valued with Enabled=false for in-memory systems).
+func (s *System) SQLWALStats() sqldb.WALStats { return s.db.WALStats() }
 
 // DB exposes the embedded database (for direct SQL).
 func (s *System) DB() *sqldb.DB { return s.db }

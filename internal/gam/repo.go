@@ -245,6 +245,34 @@ func Open(db *sqldb.DB) (*Repo, error) {
 // DB exposes the underlying database (for the operator layer's SQL).
 func (r *Repo) DB() *sqldb.DB { return r.db }
 
+// Reload discards every in-memory lookup cache (sources, object
+// accessions, source-rel keys) and reloads the source catalog from the
+// database. Call it after the database's contents were replaced wholesale
+// (DB.Restore): the cached IDs reference pre-restore rows. Reload bumps
+// the mapping generation, so executor caches keyed on it invalidate too.
+func (r *Repo) Reload() error {
+	sources := make(map[string]*Source)
+	sourcesByID := make(map[SourceID]*Source)
+	err := queryEach(r.db, sqlSelectSources, nil, func(row []sqldb.Value) error {
+		s := rowToSource(row)
+		sources[strings.ToLower(s.Name)] = s
+		sourcesByID[s.ID] = s
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("gam: reload sources: %w", err)
+	}
+	r.mu.Lock()
+	r.sources = sources
+	r.sourcesByID = sourcesByID
+	r.objects = make(map[SourceID]map[string]ObjectID)
+	r.rels = make(map[relKey]SourceRelID)
+	r.relsLoaded = false
+	r.mu.Unlock()
+	r.bumpGen()
+	return nil
+}
+
 // queryEach streams a SELECT's rows through fn without materializing the
 // result set, holding the engine's read lock for the whole iteration so
 // fn observes one consistent statement snapshot (a concurrent

@@ -408,6 +408,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		},
 		"sql_stmt_cache": s.sys.SQLStmtCacheStats(),
 		"sql_plans":      s.sys.SQLPlanStats(),
+		"wal":            s.sys.SQLWALStats(),
 	})
 }
 

@@ -29,6 +29,12 @@ type DB struct {
 	stmts *stmtCache
 	// plans counts executed access paths and join strategies.
 	plans planCounters
+
+	// durable, when non-nil, is the write-ahead-log state of a database
+	// opened with OpenDurable: every commit appends a logical record and is
+	// acknowledged only once the record is on stable storage (per the
+	// configured fsync policy). Nil for in-memory databases.
+	durable *durability
 }
 
 // bumpSchemaGen advances the schema generation and eagerly clears cached
@@ -123,23 +129,40 @@ func (p *prepared) validateExec(vals []Value, txnControlErr string) error {
 	return p.checkArgs(vals)
 }
 
-// execPrepared runs a non-SELECT prepared statement. Caller holds writer
-// and db.mu exclusively.
-func (db *DB) execPrepared(s *Stmt, vals []Value) (Result, error) {
+// execPrepared runs a non-SELECT prepared statement as one auto-commit
+// transaction. Caller holds writer and db.mu exclusively. On a durable
+// database the commit record is appended (in log order, inside the
+// exclusive section) and its LSN returned; the caller waits for
+// durability after releasing the locks so concurrent committers can share
+// one fsync.
+func (db *DB) execPrepared(s *Stmt, vals []Value) (Result, uint64, error) {
 	p, err := s.ensure(db)
 	if err != nil {
-		return Result{}, err
+		return Result{}, 0, err
 	}
 	if err := p.validateExec(vals, errTxnControlExec); err != nil {
-		return Result{}, err
+		return Result{}, 0, err
 	}
 	undo := &undoLog{}
 	res, err := db.executeWrite(p, vals, undo)
 	if err != nil {
 		undo.rollback(db)
-		return Result{}, err
+		return Result{}, 0, err
 	}
-	return res, nil
+	var lsn uint64
+	// No-change statements (no undo entries) need no log record; this
+	// keeps re-runs of idempotent DDL (gam.Open's CREATE ... IF NOT
+	// EXISTS bootstrap) from growing the log at every process start.
+	if d := db.durable; d != nil && len(undo.entries) > 0 {
+		lsn, err = d.logCommit([]logStmt{{sql: s.sql, args: vals}})
+		if err != nil {
+			// The log is unavailable, so the write can never be made
+			// durable: undo it and fail the statement.
+			undo.rollback(db)
+			return Result{}, 0, err
+		}
+	}
+	return res, lsn, nil
 }
 
 func normalizeArgs(args []any) ([]Value, error) {
@@ -167,20 +190,39 @@ func (u *undoLog) add(e undoEntry) { u.entries = append(u.entries, e) }
 
 // rollback applies undo entries in reverse order. Caller holds db.mu.
 func (u *undoLog) rollback(db *DB) {
-	for i := len(u.entries) - 1; i >= 0; i-- {
-		u.entries[i].undo(db)
-	}
-	u.entries = nil
+	u.rollbackTo(db, 0)
 }
 
+// rollbackTo undoes every entry past mark, in reverse order, and truncates
+// the log back to mark. It gives Tx.Exec statement-level atomicity: a
+// statement that fails mid-way (say row 3 of a multi-row INSERT) unwinds
+// only its own entries, leaving earlier statements of the transaction
+// intact. Caller holds db.mu.
+func (u *undoLog) rollbackTo(db *DB, mark int) {
+	for i := len(u.entries) - 1; i >= mark; i-- {
+		u.entries[i].undo(db)
+	}
+	u.entries = u.entries[:mark]
+}
+
+// insertUndo removes an inserted row AND restores the row/sequence
+// counters captured before the insert. Undo entries run in reverse order,
+// so the final rollback leaves the counters exactly where the transaction
+// found them: a rolled-back transaction consumes no IDs, which keeps a
+// live database byte-identical to one that recovers from the WAL (where
+// rolled-back transactions never appear at all).
 type insertUndo struct {
-	table string
-	rowID int64
+	table   string
+	rowID   int64
+	prevRow int64
+	prevSeq int64
 }
 
 func (e insertUndo) undo(db *DB) {
 	if t := db.table(e.table); t != nil {
-		t.Delete(e.rowID)
+		t.undoInsert(e.rowID)
+		t.nextRow = e.prevRow
+		t.nextSeq = e.prevSeq
 	}
 }
 
@@ -319,11 +361,12 @@ func (db *DB) executeInsert(st *InsertStmt, args []Value, undo *undoLog) (Result
 			}
 			full[colPos[i]] = v
 		}
+		prevRow, prevSeq := t.nextRow, t.nextSeq
 		id, err := t.Insert(full)
 		if err != nil {
 			return Result{}, err
 		}
-		undo.add(insertUndo{table: t.Name, rowID: id})
+		undo.add(insertUndo{table: t.Name, rowID: id, prevRow: prevRow, prevSeq: prevSeq})
 		res.RowsAffected++
 		// LastInsertID reports the autoincrement value when present, else
 		// the row ID.
@@ -547,6 +590,10 @@ type Tx struct {
 	db   *DB
 	undo *undoLog
 	done bool
+	// logged accumulates the transaction's write statements for the WAL
+	// (durable databases only). Commit appends them as ONE record, so
+	// recovery replays the transaction atomically or not at all.
+	logged []logStmt
 }
 
 // Begin opens a transaction, blocking until any other writer finishes.
@@ -576,7 +623,23 @@ func (tx *Tx) Exec(sql string, args ...any) (Result, error) {
 	if err := p.validateExec(vals, errTxnControlTx); err != nil {
 		return Result{}, err
 	}
-	return db.executeWrite(p, vals, tx.undo)
+	// Statements are atomic within the transaction: a failure unwinds the
+	// statement's own changes immediately (not at Rollback), so a caller
+	// that ignores the error and commits anyway commits exactly the
+	// successful statements — which is also exactly what the WAL records.
+	mark := len(tx.undo.entries)
+	res, err := db.executeWrite(p, vals, tx.undo)
+	if err != nil {
+		tx.undo.rollbackTo(db, mark)
+		return Result{}, err
+	}
+	// Statements that changed nothing (UPDATE matching no rows, CREATE
+	// TABLE IF NOT EXISTS hitting an existing table) leave no undo entries
+	// and need no log record: replaying them is a no-op by definition.
+	if db.durable != nil && len(tx.undo.entries) > mark {
+		tx.logged = append(tx.logged, logStmt{sql: sql, args: vals})
+	}
+	return res, nil
 }
 
 // Query runs a SELECT inside the transaction, observing its own writes.
@@ -587,23 +650,52 @@ func (tx *Tx) Query(sql string, args ...any) (*ResultSet, error) {
 	return tx.db.Query(sql, args...)
 }
 
-// Commit makes the transaction's changes permanent.
+// Commit makes the transaction's changes permanent. On a durable database
+// it appends the transaction's statements as one log record while still
+// holding the writer lock (log order == commit order) and then waits for
+// the record to reach stable storage per the fsync policy; the wait
+// happens after the lock is released, so concurrent committers are
+// acknowledged by a shared fsync (group commit).
 func (tx *Tx) Commit() error {
 	if tx.done {
 		return fmt.Errorf("sqldb: transaction already finished")
 	}
+	db := tx.db
+	var lsn uint64
+	if d := db.durable; d != nil && len(tx.logged) > 0 {
+		var err error
+		if lsn, err = d.logCommit(tx.logged); err != nil {
+			// The log is unavailable: the transaction cannot be made
+			// durable, so it must not become visible either.
+			db.mu.Lock()
+			tx.undo.rollback(db)
+			db.mu.Unlock()
+			tx.done = true
+			tx.undo = nil
+			tx.logged = nil
+			db.writer.Unlock()
+			return err
+		}
+	}
 	tx.done = true
 	tx.undo = nil
-	tx.db.writer.Unlock()
+	tx.logged = nil
+	db.writer.Unlock()
+	if d := db.durable; d != nil && lsn != 0 {
+		return d.wait(lsn)
+	}
 	return nil
 }
 
-// Rollback reverts every change made in the transaction.
+// Rollback reverts every change made in the transaction. Nothing reaches
+// the WAL: a rolled-back transaction (including its DDL) is invisible to
+// recovery.
 func (tx *Tx) Rollback() error {
 	if tx.done {
 		return fmt.Errorf("sqldb: transaction already finished")
 	}
 	tx.done = true
+	tx.logged = nil
 	tx.db.mu.Lock()
 	tx.undo.rollback(tx.db)
 	tx.db.mu.Unlock()

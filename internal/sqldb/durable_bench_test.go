@@ -1,0 +1,129 @@
+package sqldb
+
+// Durable write-path benchmarks: the cost of the WAL under each fsync
+// policy, against the in-memory baseline (BenchmarkInsertSingleRow), plus
+// the group-commit win under concurrent committers.
+
+import (
+	"testing"
+
+	"genmapper/internal/wal"
+)
+
+func benchDurableDB(b *testing.B, sync wal.SyncPolicy) *DB {
+	b.Helper()
+	db, err := OpenDurable(b.TempDir(), DurableOptions{
+		Sync:               sync,
+		CheckpointInterval: -1, // benchmarks measure the log, not snapshots
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { db.Close() })
+	if _, err := db.Exec("CREATE TABLE t (id INTEGER PRIMARY KEY AUTOINCREMENT, v TEXT)"); err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+func benchInsertLoop(b *testing.B, db *DB) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Exec("INSERT INTO t (v) VALUES (?)", "value"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWALInsertOff: WAL on, fsync off — the pure logging overhead
+// (encode + CRC + buffered write) over the in-memory engine.
+func BenchmarkWALInsertOff(b *testing.B) {
+	benchInsertLoop(b, benchDurableDB(b, wal.SyncOff))
+}
+
+// BenchmarkWALInsertGroup: fsync before every acknowledge, shareable.
+// Single-threaded there is nobody to share with, so this is the worst
+// case for the group policy.
+func BenchmarkWALInsertGroup(b *testing.B) {
+	benchInsertLoop(b, benchDurableDB(b, wal.SyncGroup))
+}
+
+// BenchmarkWALInsertAlways: one dedicated fsync per commit.
+func BenchmarkWALInsertAlways(b *testing.B) {
+	benchInsertLoop(b, benchDurableDB(b, wal.SyncAlways))
+}
+
+// BenchmarkWALInsertGroupParallel: concurrent committers sharing fsyncs.
+// Reports fsyncs-per-commit; the acceptance criterion (fsyncs < commits)
+// is additionally enforced by TestGroupCommitFewerFsyncsThanCommits.
+func BenchmarkWALInsertGroupParallel(b *testing.B) {
+	db := benchDurableDB(b, wal.SyncGroup)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := db.Exec("INSERT INTO t (v) VALUES (?)", "value"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.StopTimer()
+	st := db.WALStats()
+	if st.Appends > 0 {
+		b.ReportMetric(float64(st.Fsyncs)/float64(st.Appends), "fsyncs/commit")
+	}
+}
+
+// BenchmarkWALInsertAlwaysParallel: the same concurrency without sharing —
+// the baseline the group policy is measured against.
+func BenchmarkWALInsertAlwaysParallel(b *testing.B) {
+	db := benchDurableDB(b, wal.SyncAlways)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := db.Exec("INSERT INTO t (v) VALUES (?)", "value"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.StopTimer()
+	st := db.WALStats()
+	if st.Appends > 0 {
+		b.ReportMetric(float64(st.Fsyncs)/float64(st.Appends), "fsyncs/commit")
+	}
+}
+
+// BenchmarkWALRecovery: replaying a 10k-record log tail into a fresh
+// database (the startup cost the checkpointer bounds).
+func BenchmarkWALRecovery(b *testing.B) {
+	fs := wal.NewFaultFS()
+	db, err := OpenDurable("", DurableOptions{Sync: wal.SyncOff, CheckpointInterval: -1, FS: fs})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := db.Exec("CREATE TABLE t (id INTEGER PRIMARY KEY AUTOINCREMENT, v TEXT)"); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		if _, err := db.Exec("INSERT INTO t (v) VALUES (?)", "value"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec, err := OpenDurable("", DurableOptions{Sync: wal.SyncOff, CheckpointInterval: -1, FS: fs})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n := rec.RowCount("t"); n != 10000 {
+			b.Fatalf("recovered %d rows", n)
+		}
+		rec.Close()
+	}
+}

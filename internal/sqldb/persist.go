@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/gob"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 )
@@ -135,17 +136,34 @@ func Load(path string) (*DB, error) {
 // (serving them would read the replaced tables and return pre-restore
 // rows) and open cursors fail with ErrCursorInvalidated instead of
 // continuing over vanished storage.
+//
+// On a durable database, Restore also resets the WAL: the restored state
+// is written as a new checkpoint covering every record logged so far, the
+// log is rotated, and the covered segments pruned — the pre-restore log
+// tail can never be replayed over the restored state. Restore returns
+// only once the restored state is itself durable.
 func (db *DB) Restore(path string) error {
 	tables, err := loadTables(path)
 	if err != nil {
 		return err
 	}
 	db.writer.Lock()
-	defer db.writer.Unlock()
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	db.tables = tables
 	db.bumpSchemaGen()
+	var snap *snapshot
+	var lsn uint64
+	if db.durable != nil {
+		// Snapshot the restored state and its log position inside the
+		// critical section; encode and fsync after releasing the locks.
+		snap = db.buildSnapshot()
+		lsn = db.durable.w.LastLSN()
+	}
+	db.mu.Unlock()
+	db.writer.Unlock()
+	if snap != nil {
+		return db.restoreCheckpoint(snap, lsn)
+	}
 	return nil
 }
 
@@ -156,8 +174,14 @@ func loadTables(path string) (map[string]*Table, error) {
 		return nil, fmt.Errorf("sqldb: load: %w", err)
 	}
 	defer f.Close()
+	return decodeTables(bufio.NewReaderSize(f, 1<<20))
+}
+
+// decodeTables decodes a gob snapshot stream into a fresh table map. It
+// backs both snapshot files (Save/Load/Restore) and durable checkpoints.
+func decodeTables(r io.Reader) (map[string]*Table, error) {
 	var snap snapshot
-	dec := gob.NewDecoder(bufio.NewReaderSize(f, 1<<20))
+	dec := gob.NewDecoder(r)
 	if err := dec.Decode(&snap); err != nil {
 		return nil, fmt.Errorf("sqldb: load: corrupt snapshot: %w", err)
 	}

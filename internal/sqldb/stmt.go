@@ -178,10 +178,22 @@ func (s *Stmt) Exec(args ...any) (Result, error) {
 	}
 	db := s.db
 	db.writer.Lock()
-	defer db.writer.Unlock()
 	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.execPrepared(s, vals)
+	res, lsn, err := db.execPrepared(s, vals)
+	db.mu.Unlock()
+	db.writer.Unlock()
+	if err != nil {
+		return Result{}, err
+	}
+	// Durability wait happens outside the locks: while this committer
+	// waits on the fsync, the next one can already execute and join the
+	// same flush round (group commit).
+	if d := db.durable; d != nil && lsn != 0 {
+		if err := d.wait(lsn); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
 }
 
 // leadingKeyword returns the first keyword of a statement, upper-cased,

@@ -157,6 +157,27 @@ func (t *Table) compactIDs() {
 	t.mut++
 }
 
+// undoInsert removes a row inserted by a now-rolled-back statement and
+// splices its ID out of the ID slice (no tombstone: the rollback also
+// returns the ID to the allocator, and a tombstone under a reusable ID
+// would collide with the next insert). The spliced ID is almost always
+// the last element, so this is O(1) in practice.
+func (t *Table) undoInsert(id int64) {
+	row, ok := t.rows[id]
+	if !ok {
+		return
+	}
+	for _, idx := range t.indexes {
+		idx.delete(row[idx.Col], id)
+	}
+	delete(t.rows, id)
+	pos := sort.Search(len(t.ids), func(i int) bool { return t.ids[i] >= id })
+	if pos < len(t.ids) && t.ids[pos] == id {
+		t.ids = append(t.ids[:pos], t.ids[pos+1:]...)
+	}
+	t.mut++
+}
+
 // restore re-inserts a previously deleted row under its original ID,
 // maintaining indexes and the sorted ID slice. It backs transaction
 // rollback of deletes; the caller guarantees the ID is free.

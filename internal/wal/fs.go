@@ -1,0 +1,106 @@
+// Package wal implements a write-ahead log: an ordered sequence of opaque,
+// CRC32-checked binary records appended to size-bounded segment files. It
+// provides the durability substrate of the embedded database — fsync
+// policies (always / group / off), group commit that folds concurrent
+// committers into one fsync, segment rotation and pruning, and recovery
+// that replays the record sequence and truncates torn tails.
+//
+// The log stores opaque payloads; what a record *means* (which statements
+// ran, in which transaction) is the caller's concern. Every record carries
+// a log sequence number (LSN) assigned at append time; LSNs are strictly
+// increasing across segments and survive restarts.
+package wal
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// FS is the filesystem surface the WAL (and the database's checkpointer)
+// runs on: one flat directory of files. The indirection exists so the
+// fault-injection harness can substitute an in-memory filesystem that
+// fails or "crashes" at a chosen write or fsync and then be recovered
+// from exactly what had reached stable storage.
+type FS interface {
+	// Create opens name for writing, truncating any previous content.
+	Create(name string) (File, error)
+	// Open opens name read-only.
+	Open(name string) (File, error)
+	// List returns the names of all files in the directory, unsorted.
+	List() ([]string, error)
+	// Remove deletes a file. Removing a missing file is an error.
+	Remove(name string) error
+	// Rename atomically replaces newname with oldname's file.
+	Rename(oldname, newname string) error
+	// Truncate cuts a file to size bytes (used to drop torn record tails).
+	Truncate(name string, size int64) error
+}
+
+// File is one open file of an FS. Write-opened files support Write/Sync,
+// read-opened files support Read; both support Close.
+type File interface {
+	io.Reader
+	io.Writer
+	// Sync forces everything written so far to stable storage.
+	Sync() error
+	Close() error
+}
+
+// ---------------------------------------------------------------------------
+// Operating-system FS
+
+// osFS is the production FS: a real directory.
+type osFS struct {
+	dir string
+}
+
+// DirFS returns an FS rooted at dir, creating the directory when missing.
+func DirFS(dir string) (FS, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: create dir: %w", err)
+	}
+	return &osFS{dir: dir}, nil
+}
+
+func (fs *osFS) path(name string) string { return filepath.Join(fs.dir, name) }
+
+func (fs *osFS) Create(name string) (File, error) { return os.Create(fs.path(name)) }
+func (fs *osFS) Open(name string) (File, error)   { return os.Open(fs.path(name)) }
+
+func (fs *osFS) List() ([]string, error) {
+	entries, err := os.ReadDir(fs.dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	return names, nil
+}
+
+func (fs *osFS) Remove(name string) error { return os.Remove(fs.path(name)) }
+
+func (fs *osFS) Rename(oldname, newname string) error {
+	return os.Rename(fs.path(oldname), fs.path(newname))
+}
+
+func (fs *osFS) Truncate(name string, size int64) error {
+	return os.Truncate(fs.path(name), size)
+}
+
+// sortedList returns fs.List() sorted, which for the WAL's zero-padded
+// segment names is LSN order.
+func sortedList(fs FS) ([]string, error) {
+	names, err := fs.List()
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	return names, nil
+}
