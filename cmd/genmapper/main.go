@@ -31,6 +31,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "demo universe seed")
 		scale   = flag.Float64("scale", 0.002, "demo universe scale")
 		pprofF  = flag.Bool("pprof", false, "expose net/http/pprof endpoints under /debug/pprof/")
+		paraN   = flag.Int("parallelism", 0, "query execution parallelism: 0 = one worker per CPU (default), 1 = serial, N>1 = shard storage into N hash partitions and fan scans/aggregates out across them")
 	)
 	flag.Parse()
 
@@ -63,6 +64,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "genmapper:", err)
 		os.Exit(1)
 	}
+	sys.SetParallelism(*paraN)
 	st, err := sys.Stats()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "genmapper:", err)

@@ -40,6 +40,7 @@ var experiments = []experiment{
 	{"ablation-materialize", "Ablation E11: materialized Composed mapping vs on-the-fly Compose", expAblationMaterialize},
 	{"ablation-srs", "Ablation E12: SRS-style link navigation vs set-oriented GenerateView", expAblationSRS},
 	{"wal", "E13: durable write path — fsync policies and group commit", expWALDurability},
+	{"parallel", "E14: partition-parallel scan/aggregate/export vs serial at 1/2/4/8 partitions", expParallel},
 }
 
 func main() {

@@ -1,0 +1,237 @@
+// Command gmbenchdiff is the CI bench-regression gate: it parses `go test
+// -bench` output and compares every benchmark against the committed
+// BENCH_pr*.json baselines, failing (exit 1) when ns/op or allocs/op
+// regressed beyond the tolerance.
+//
+// Usage:
+//
+//	go test ./... -run '^$' -bench . -benchmem | gmbenchdiff BENCH_pr2.json BENCH_pr3.json
+//	gmbenchdiff -bench-output bench.txt -tolerance 0.25 BENCH_pr*.json
+//	gmbenchdiff -write-json fresh.json BENCH_pr5.json < bench.txt
+//
+// Baselines are the repo's BENCH_pr*.json files ({"results": [{"bench":
+// "BenchmarkFoo", "ns_op": N, "allocs_op": N}, ...]}); when the same
+// benchmark appears in several baselines the LAST file named on the
+// command line wins, so list them oldest-first. Benchmarks present in the
+// run but absent from every baseline are reported informationally and do
+// not fail the gate; improvements never fail it either.
+//
+// ns/op is machine-dependent — CI passes a wider -tolerance for it while
+// keeping the default (deterministic) allocs gate tight.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// baselineEntry is one benchmark record of a BENCH_pr*.json file. Two
+// shapes exist: plain records ("bench"/"ns_op"/"allocs_op") and
+// before/after comparisons (PR2/PR3 style), whose "after_*" side is the
+// baseline for the current code. Extra fields (workload, notes) are
+// ignored.
+type baselineEntry struct {
+	Bench    string  `json:"bench"`
+	NsOp     float64 `json:"ns_op"`
+	AllocsOp float64 `json:"allocs_op"`
+
+	AfterBench    string  `json:"after_bench"`
+	AfterNsOp     float64 `json:"after_ns_op"`
+	AfterAllocsOp float64 `json:"after_allocs_op"`
+}
+
+type baselineFile struct {
+	Results []baselineEntry `json:"results"`
+}
+
+// result is one parsed benchmark line of the current run.
+type result struct {
+	Name     string  `json:"bench"`
+	NsOp     float64 `json:"ns_op"`
+	BOp      float64 `json:"b_op,omitempty"`
+	AllocsOp float64 `json:"allocs_op"`
+	hasAlloc bool
+}
+
+// benchLine matches `BenchmarkFoo-8  100  123.4 ns/op  56 B/op  7 allocs/op`
+// (the B/op and allocs/op columns require -benchmem and may be absent).
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.e+]+) ns/op(?:\s+([0-9.e+]+) B/op\s+([0-9.e+]+) allocs/op)?`)
+
+// gomaxprocsSuffix strips the trailing -N procs marker go test appends to
+// benchmark names.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+func parseBenchOutput(r io.Reader) ([]result, error) {
+	var out []result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		res := result{Name: gomaxprocsSuffix.ReplaceAllString(m[1], "")}
+		res.NsOp, _ = strconv.ParseFloat(m[2], 64)
+		if m[3] != "" {
+			res.BOp, _ = strconv.ParseFloat(m[3], 64)
+			res.AllocsOp, _ = strconv.ParseFloat(m[4], 64)
+			res.hasAlloc = true
+		}
+		out = append(out, res)
+	}
+	return out, sc.Err()
+}
+
+// loadBaselines folds the baseline files into one bench -> entry map;
+// later files override earlier ones. The stored bench name's first token
+// is the comparison key (files annotate names like "BenchmarkX (-cpu 8)").
+func loadBaselines(paths []string) (map[string]baselineEntry, error) {
+	base := make(map[string]baselineEntry)
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var f baselineFile
+		if err := json.Unmarshal(data, &f); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		for _, e := range f.Results {
+			if e.AfterBench != "" {
+				name := strings.Fields(e.AfterBench)[0]
+				base[name] = baselineEntry{Bench: name, NsOp: e.AfterNsOp, AllocsOp: e.AfterAllocsOp}
+			}
+			if e.Bench != "" {
+				name := strings.Fields(e.Bench)[0]
+				base[name] = e
+			}
+		}
+	}
+	return base, nil
+}
+
+// regression describes one gate violation.
+type regression struct {
+	bench   string
+	metric  string
+	base    float64
+	current float64
+	limit   float64
+}
+
+// compare checks every current result that has a baseline. A metric
+// regresses when current > base * (1 + tol); zero/absent baselines are
+// skipped (nothing meaningful to compare).
+func compare(results []result, base map[string]baselineEntry, nsTol, allocTol float64) (checked int, regs []regression) {
+	for _, r := range results {
+		b, ok := base[r.Name]
+		if !ok {
+			continue
+		}
+		checked++
+		if b.NsOp > 0 && r.NsOp > b.NsOp*(1+nsTol) {
+			regs = append(regs, regression{r.Name, "ns/op", b.NsOp, r.NsOp, nsTol})
+		}
+		if b.AllocsOp > 0 && r.hasAlloc && r.AllocsOp > b.AllocsOp*(1+allocTol) {
+			regs = append(regs, regression{r.Name, "allocs/op", b.AllocsOp, r.AllocsOp, allocTol})
+		}
+	}
+	return checked, regs
+}
+
+func run(benchOutput io.Reader, baselinePaths []string, nsTol, allocTol float64, skip string, writeJSON string, stdout, stderr io.Writer) int {
+	results, err := parseBenchOutput(benchOutput)
+	if err != nil {
+		fmt.Fprintln(stderr, "gmbenchdiff: read bench output:", err)
+		return 2
+	}
+	if skip != "" {
+		re, err := regexp.Compile(skip)
+		if err != nil {
+			fmt.Fprintln(stderr, "gmbenchdiff: bad -skip:", err)
+			return 2
+		}
+		kept := results[:0]
+		for _, r := range results {
+			if !re.MatchString(r.Name) {
+				kept = append(kept, r)
+			}
+		}
+		results = kept
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(stderr, "gmbenchdiff: no benchmark lines found in input")
+		return 2
+	}
+	if writeJSON != "" {
+		blob, _ := json.MarshalIndent(map[string]any{"results": results}, "", "  ")
+		if err := os.WriteFile(writeJSON, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintln(stderr, "gmbenchdiff:", err)
+			return 2
+		}
+	}
+	base, err := loadBaselines(baselinePaths)
+	if err != nil {
+		fmt.Fprintln(stderr, "gmbenchdiff:", err)
+		return 2
+	}
+	checked, regs := compare(results, base, nsTol, allocTol)
+	for _, r := range results {
+		if b, ok := base[r.Name]; ok && b.NsOp > 0 {
+			fmt.Fprintf(stdout, "%-48s ns/op %12.0f -> %12.0f (%+.1f%%)", r.Name, b.NsOp, r.NsOp, 100*(r.NsOp-b.NsOp)/b.NsOp)
+			if b.AllocsOp > 0 && r.hasAlloc {
+				fmt.Fprintf(stdout, "  allocs/op %6.0f -> %6.0f", b.AllocsOp, r.AllocsOp)
+			}
+			fmt.Fprintln(stdout)
+		} else {
+			fmt.Fprintf(stdout, "%-48s (no baseline: %.0f ns/op)\n", r.Name, r.NsOp)
+		}
+	}
+	fmt.Fprintf(stdout, "compared %d of %d benchmarks against %d baseline entries\n", checked, len(results), len(base))
+	if len(regs) > 0 {
+		for _, g := range regs {
+			fmt.Fprintf(stderr, "gmbenchdiff: REGRESSION %s %s: %.0f -> %.0f (>%.0f%% over baseline)\n",
+				g.bench, g.metric, g.base, g.current, g.limit*100)
+		}
+		return 1
+	}
+	fmt.Fprintln(stdout, "no regressions")
+	return 0
+}
+
+func main() {
+	var (
+		benchOut = flag.String("bench-output", "-", "file with `go test -bench` output (- = stdin)")
+		nsTol    = flag.Float64("tolerance", 0.25, "allowed fractional ns/op regression (0.25 = 25%)")
+		allocTol = flag.Float64("allocs-tolerance", 0.25, "allowed fractional allocs/op regression")
+		skip     = flag.String("skip", "", "regexp of benchmark names to ignore")
+		writeOut = flag.String("write-json", "", "also write the parsed current results as JSON (CI artifact)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: gmbenchdiff [flags] BASELINE.json [BASELINE.json ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	in := io.Reader(os.Stdin)
+	if *benchOut != "-" {
+		f, err := os.Open(*benchOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gmbenchdiff:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in = f
+	}
+	os.Exit(run(in, flag.Args(), *nsTol, *allocTol, *skip, *writeOut, os.Stdout, os.Stderr))
+}

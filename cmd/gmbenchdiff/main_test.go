@@ -1,0 +1,128 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const baselineJSON = `{
+  "pr": 99,
+  "results": [
+    {"workload": "scan", "bench": "BenchmarkFullScanFilter", "ns_op": 1000000, "allocs_op": 100},
+    {"workload": "insert", "bench": "BenchmarkInsertSingleRow (-cpu 8)", "ns_op": 1300, "allocs_op": 10},
+    {"workload": "fsync-bound", "bench": "BenchmarkWALInsertGroup", "ns_op": 100000, "allocs_op": 12}
+  ]
+}`
+
+func writeBaseline(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := os.WriteFile(path, []byte(baselineJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runDiff(t *testing.T, benchOutput, skip string, nsTol, allocTol float64) (code int, out, errOut string) {
+	t.Helper()
+	var sb, eb strings.Builder
+	code = run(strings.NewReader(benchOutput), []string{writeBaseline(t)}, nsTol, allocTol, skip, "", &sb, &eb)
+	return code, sb.String(), eb.String()
+}
+
+// TestGateAcceptsWithinTolerance: a 10% ns/op slip and equal allocs pass
+// the default 25% gate.
+func TestGateAcceptsWithinTolerance(t *testing.T) {
+	out := `goos: linux
+BenchmarkFullScanFilter-8   	    1000	   1100000 ns/op	  5000 B/op	     100 allocs/op
+BenchmarkInsertSingleRow-8  	 1000000	      1250 ns/op	   700 B/op	      10 allocs/op
+`
+	code, stdout, stderr := runDiff(t, out, "", 0.25, 0.25)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "no regressions") || !strings.Contains(stdout, "compared 2 of 2") {
+		t.Fatalf("stdout:\n%s", stdout)
+	}
+}
+
+// TestGateFailsOnSyntheticRegression is the acceptance demonstration: a
+// synthetic 30% ns/op regression (>25% tolerance) must exit non-zero and
+// name the offending benchmark.
+func TestGateFailsOnSyntheticRegression(t *testing.T) {
+	out := "BenchmarkFullScanFilter-8   1000   1300000 ns/op   5000 B/op   100 allocs/op\n"
+	code, _, stderr := runDiff(t, out, "", 0.25, 0.25)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "REGRESSION BenchmarkFullScanFilter ns/op") {
+		t.Fatalf("stderr:\n%s", stderr)
+	}
+}
+
+// TestGateFailsOnAllocRegression: allocs/op is machine-independent, so
+// even a modest 50% alloc growth trips the gate while ns/op is fine.
+func TestGateFailsOnAllocRegression(t *testing.T) {
+	out := "BenchmarkFullScanFilter-8   1000   900000 ns/op   5000 B/op   150 allocs/op\n"
+	code, _, stderr := runDiff(t, out, "", 0.25, 0.25)
+	if code != 1 || !strings.Contains(stderr, "REGRESSION BenchmarkFullScanFilter allocs/op") {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+}
+
+// TestGateImprovementsAndUnknownsPass: faster-than-baseline and
+// not-in-baseline benchmarks never fail the gate.
+func TestGateImprovementsAndUnknownsPass(t *testing.T) {
+	out := `BenchmarkFullScanFilter-8   1000   500000 ns/op   5000 B/op   60 allocs/op
+BenchmarkBrandNewPath-8     1000   123456 ns/op   10 B/op   1 allocs/op
+`
+	code, stdout, stderr := runDiff(t, out, "", 0.25, 0.25)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "BenchmarkBrandNewPath") || !strings.Contains(stdout, "no baseline") {
+		t.Fatalf("stdout:\n%s", stdout)
+	}
+}
+
+// TestGateSkipAndSuffixHandling: -skip excludes fsync-bound benches, and
+// the (-cpu 8) annotation in baseline names plus the -N GOMAXPROCS suffix
+// in bench output both normalize away.
+func TestGateSkipAndSuffixHandling(t *testing.T) {
+	out := `BenchmarkWALInsertGroup-4   100   900000 ns/op   800 B/op   12 allocs/op
+BenchmarkInsertSingleRow-4  100000   1200 ns/op   700 B/op   10 allocs/op
+`
+	// Without -skip, WALInsertGroup's 9x ns regression fails the gate.
+	if code, _, _ := runDiff(t, out, "", 0.25, 0.25); code != 1 {
+		t.Fatal("expected WAL regression to fail")
+	}
+	code, stdout, stderr := runDiff(t, out, "^BenchmarkWAL", 0.25, 0.25)
+	if code != 0 {
+		t.Fatalf("exit %d with -skip, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "compared 1 of 1") {
+		t.Fatalf("stdout:\n%s", stdout)
+	}
+}
+
+// TestWriteJSONArtifact: -write-json emits the fresh results in the
+// BENCH_pr*.json "results" shape for the CI artifact upload.
+func TestWriteJSONArtifact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fresh.json")
+	var sb, eb strings.Builder
+	out := "BenchmarkInsertSingleRow-8  1000000  1250 ns/op  700 B/op  10 allocs/op\n"
+	if code := run(strings.NewReader(out), []string{writeBaseline(t)}, 0.25, 0.25, "", path, &sb, &eb); code != 0 {
+		t.Fatalf("exit %d: %s", code, eb.String())
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"bench": "BenchmarkInsertSingleRow"`, `"ns_op": 1250`, `"allocs_op": 10`} {
+		if !strings.Contains(string(blob), want) {
+			t.Fatalf("artifact missing %s:\n%s", want, blob)
+		}
+	}
+}

@@ -36,6 +36,7 @@ func main() {
 		stats     = flag.Bool("stats", false, "print database statistics and exit")
 		verbose   = flag.Bool("v", false, "print per-source import statistics")
 		engine    = flag.Bool("engine-stats", false, "print SQL engine statement-cache and planner counters after the run")
+		parallel  = flag.Int("parallelism", 0, "query execution parallelism: 0 = one worker per CPU (default), 1 = serial, N>1 = shard storage into N hash partitions and fan scans/aggregates out across them")
 	)
 	flag.Parse()
 
@@ -43,6 +44,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	sys.SetParallelism(*parallel)
 	durable := *dataDir != ""
 	if durable {
 		defer sys.Close()

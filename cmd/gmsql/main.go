@@ -28,6 +28,7 @@ func main() {
 		dataDir = flag.String("data-dir", "", "durable data directory (WAL + checkpoints); every write is crash-safe")
 		fsync   = flag.String("fsync", "group", "WAL fsync policy with -data-dir: always, group, off")
 		quiet   = flag.Bool("q", false, "suppress the prompt (for piped input)")
+		paraN   = flag.Int("parallelism", 0, "query execution parallelism: 0 = one worker per CPU (default), 1 = serial, N>1 = shard storage into N hash partitions and fan scans/aggregates out across them")
 	)
 	flag.Parse()
 
@@ -68,6 +69,8 @@ func main() {
 			}
 		}
 	}
+
+	db.ConfigureParallelism(*paraN)
 
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)

@@ -187,6 +187,21 @@ func (s *System) SQLStmtCacheStats() sqldb.StmtCacheStats { return s.db.StmtCach
 // each access path and join strategy executed.
 func (s *System) SQLPlanStats() sqldb.PlanStats { return s.db.PlanStats() }
 
+// SetParallelism applies an execution-parallelism request to the embedded
+// engine (0 = one worker per CPU, 1 = serial): full-table scans,
+// aggregates and bulk write matching over partitioned storage fan out
+// accordingly. An explicit N > 1 also re-shards storage into N hash
+// partitions (a schema change — do this at startup), since the default
+// partition count tracks GOMAXPROCS, which may be lower than the request.
+func (s *System) SetParallelism(n int) { s.db.ConfigureParallelism(n) }
+
+// SQLParallelStats returns the partition-parallel execution counters.
+func (s *System) SQLParallelStats() sqldb.ParallelStats { return s.db.ParallelStats() }
+
+// SQLPartitionStats returns per-table partition layouts and per-partition
+// row counts.
+func (s *System) SQLPartitionStats() []sqldb.TablePartitionStats { return s.db.PartitionStats() }
+
 // Stats returns the deployment counters (§5-style).
 func (s *System) Stats() (*Stats, error) { return s.repo.Stats() }
 

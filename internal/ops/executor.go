@@ -38,7 +38,14 @@ type ExecutorConfig struct {
 	// composed paths together). <= 0 selects DefaultCacheCapacity.
 	Capacity int
 	// Workers bounds the compose worker pool. <= 0 selects GOMAXPROCS.
+	// This is a local pool bound; it does not affect the storage engine.
 	Workers int
+	// EngineParallelism, when > 0, is forwarded to the storage engine as
+	// its execution-parallelism hint (Repo.SetParallelism), so the SQL
+	// scans behind mapping loads and view preloads fan out across the
+	// same order of parallelism as the compose pool. It is an explicit
+	// opt-in because the hint is database-global.
+	EngineParallelism int
 }
 
 // CacheStats reports executor cache effectiveness.
@@ -74,6 +81,9 @@ func NewExecutor(repo *gam.Repo) *Executor {
 func NewExecutorConfig(repo *gam.Repo, cfg ExecutorConfig) *Executor {
 	if cfg.Capacity <= 0 {
 		cfg.Capacity = DefaultCacheCapacity
+	}
+	if cfg.EngineParallelism > 0 {
+		repo.SetParallelism(cfg.EngineParallelism)
 	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)

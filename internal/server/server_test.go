@@ -265,6 +265,23 @@ func TestAPIEndpoints(t *testing.T) {
 			t.Errorf("cache stats missing %q: %v", k, cache)
 		}
 	}
+	par, ok := stats["sql_parallel"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats missing sql_parallel block: %v", stats)
+	}
+	for _, k := range []string{"workers", "min_rows", "parallel_scans", "parallel_aggregates", "parallel_write_collects"} {
+		if _, ok := par[k].(float64); !ok {
+			t.Errorf("sql_parallel missing %q: %v", k, par)
+		}
+	}
+	parts, ok := stats["sql_partitions"].([]any)
+	if !ok || len(parts) == 0 {
+		t.Fatalf("stats missing sql_partitions: %v", stats)
+	}
+	first, ok := parts[0].(map[string]any)
+	if !ok || first["table"] == "" || first["partitions"] == nil {
+		t.Errorf("sql_partitions entry malformed: %v", parts[0])
+	}
 }
 
 func TestStatsCacheCountersMove(t *testing.T) {

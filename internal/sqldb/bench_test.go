@@ -521,3 +521,98 @@ func BenchmarkPrefix10Of100kCursorStream(b *testing.B) {
 		cur.Close()
 	}
 }
+
+// ---------------------------------------------------------------------------
+// Partition-parallel execution (PR 5). Serial baselines and parallel runs
+// over the same 100k-row table at varying partition counts. On multi-core
+// hardware the parallel variants scale with partitions; the CI bench gate
+// (cmd/gmbenchdiff) watches the allocation counts, which are
+// machine-independent.
+
+// benchPartitionedDB builds a 100k-row table sharded into parts partitions
+// with the parallel paths forced on (parts <= 1 forces serial execution).
+func benchPartitionedDB(b *testing.B, parts int) *DB {
+	b.Helper()
+	db := NewDB()
+	if parts > 1 {
+		db.SetPartitions(parts)
+		db.SetParallelism(parts)
+		db.SetParallelMinRows(1)
+	} else {
+		db.SetParallelism(1)
+	}
+	if _, err := db.Exec("CREATE TABLE t (id INTEGER PRIMARY KEY, k INTEGER, v TEXT)"); err != nil {
+		b.Fatal(err)
+	}
+	const chunk = 200
+	for start := 0; start < 100000; start += chunk {
+		sql := "INSERT INTO t VALUES "
+		args := make([]any, 0, chunk*3)
+		for i := start; i < start+chunk; i++ {
+			if i > start {
+				sql += ", "
+			}
+			sql += "(?, ?, ?)"
+			args = append(args, i, i%100, fmt.Sprintf("val%d", i))
+		}
+		if _, err := db.Exec(sql, args...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return db
+}
+
+func benchParallelScan(b *testing.B, parts int) {
+	db := benchPartitionedDB(b, parts)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		err := db.QueryEach("SELECT id, v FROM t WHERE v <> 'nope'", func(row []Value) error {
+			n++
+			return nil
+		})
+		if err != nil || n != 100000 {
+			b.Fatalf("%v / %d rows", err, n)
+		}
+	}
+}
+
+func BenchmarkParScanSerial(b *testing.B) { benchParallelScan(b, 1) }
+func BenchmarkParScanParts2(b *testing.B) { benchParallelScan(b, 2) }
+func BenchmarkParScanParts4(b *testing.B) { benchParallelScan(b, 4) }
+func BenchmarkParScanParts8(b *testing.B) { benchParallelScan(b, 8) }
+
+func benchParallelAgg(b *testing.B, parts int) {
+	db := benchPartitionedDB(b, parts)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := db.Query("SELECT k, COUNT(*), SUM(id), MIN(v) FROM t GROUP BY k")
+		if err != nil || rs.Len() != 100 {
+			b.Fatalf("%v / %d groups", err, rs.Len())
+		}
+	}
+}
+
+func BenchmarkParAggSerial(b *testing.B) { benchParallelAgg(b, 1) }
+func BenchmarkParAggParts2(b *testing.B) { benchParallelAgg(b, 2) }
+func BenchmarkParAggParts4(b *testing.B) { benchParallelAgg(b, 4) }
+func BenchmarkParAggParts8(b *testing.B) { benchParallelAgg(b, 8) }
+
+func benchParallelWriteCollect(b *testing.B, parts int) {
+	db := benchPartitionedDB(b, parts)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Matches no rows: measures pure candidate collection, not the
+		// update application (which would grow the table state per iter).
+		res, err := db.Exec("UPDATE t SET v = 'x' WHERE v = 'absent'")
+		if err != nil || res.RowsAffected != 0 {
+			b.Fatalf("%v / %d affected", err, res.RowsAffected)
+		}
+	}
+}
+
+func BenchmarkParWriteCollectSerial(b *testing.B) { benchParallelWriteCollect(b, 1) }
+func BenchmarkParWriteCollectParts4(b *testing.B) { benchParallelWriteCollect(b, 4) }

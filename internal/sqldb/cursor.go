@@ -92,6 +92,9 @@ func (s *Stmt) QueryEach(fn func(row []Value) error, args ...any) error {
 		return err
 	}
 	c := newSelectCursor(db, p.sel, vals, true)
+	// fn may abort the iteration mid-stream; close cancels a parallel
+	// exchange so its workers never outlive the call.
+	defer c.close()
 	for {
 		row, err := c.step()
 		if err != nil {
@@ -129,7 +132,7 @@ func (s *Stmt) QueryCursor(args ...any) (Cursor, error) {
 		db:    db,
 		inner: newSelectCursor(db, p.sel, vals, true),
 		cols:  p.sel.projNames,
-		gen:   db.gen,
+		gen:   db.gen.Load(),
 	}, nil
 }
 
@@ -163,18 +166,20 @@ func (c *dbCursor) Next() ([]Value, error) {
 	db := c.db
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	if db.gen != c.gen {
+	if db.gen.Load() != c.gen {
 		return nil, ErrCursorInvalidated
 	}
 	return c.inner.step()
 }
 
-// Close releases the cursor's buffered state. Idempotent.
+// Close releases the cursor's buffered state and cancels any parallel
+// scan workers still running. Idempotent.
 func (c *dbCursor) Close() error {
 	if c.closed {
 		return nil
 	}
 	c.closed = true
+	c.inner.close()
 	c.inner = nil // release snapshots, hash tables and buffers
 	return nil
 }
@@ -197,8 +202,9 @@ type selectCursor struct {
 	// Streaming state (non-grouped, non-distinct, order already satisfied).
 	streaming bool
 	prod      rowProducer
-	skip      int64 // OFFSET rows still to drop
-	remain    int64 // LIMIT rows still to emit; -1 = unlimited
+	par       *parallelScan // non-nil: partition-parallel exchange instead of prod
+	skip      int64         // OFFSET rows still to drop
+	remain    int64         // LIMIT rows still to emit; -1 = unlimited
 	rowBuf    []Value
 
 	// Buffered state (pipeline breakers: GROUP BY, DISTINCT, real sorts).
@@ -296,6 +302,11 @@ func (c *selectCursor) start() error {
 	if c.remain > 0 && c.remain+c.skip <= 1<<20 {
 		c.ex.orderedHint = int(c.remain + c.skip)
 	}
+	if c.ex.parallelScanEligible() {
+		c.ex.db.plans.parScans.Add(1)
+		c.par = newParallelScan(c.ex)
+		return nil
+	}
 	prod, err := c.ex.buildProducer()
 	if err != nil {
 		return err
@@ -307,7 +318,53 @@ func (c *selectCursor) start() error {
 	return nil
 }
 
+// close releases engine-cursor resources; with a parallel scan running it
+// cancels the workers and waits them out. Idempotent, and required on
+// every exit path that can leave the exchange mid-stream (early Close,
+// LIMIT, errors).
+func (c *selectCursor) close() {
+	c.done = true
+	if c.par != nil {
+		c.par.close()
+	}
+	c.buf = nil
+}
+
+// stepParallel pulls merged rows from the exchange. The workers have
+// already applied the WHERE clause and the projection; only the
+// OFFSET/LIMIT window — which needs the global row order — runs here.
+func (c *selectCursor) stepParallel() ([]Value, error) {
+	ex := c.ex
+	for {
+		row, err := c.par.next()
+		if err != nil {
+			c.close()
+			return nil, err
+		}
+		if row == nil {
+			c.close()
+			return nil, nil
+		}
+		if c.skip > 0 {
+			c.skip--
+			continue
+		}
+		if c.remain > 0 {
+			c.remain--
+			if c.remain == 0 {
+				// Row production stops before the source is exhausted.
+				ex.db.plans.earlyLimitHit.Add(1)
+				c.close()
+			}
+		}
+		return row, nil
+	}
+}
+
 func (c *selectCursor) stepStreaming() ([]Value, error) {
+	if c.par != nil {
+		return c.stepParallel()
+	}
 	ex := c.ex
 	for {
 		ok, err := c.prod.next(ex)
@@ -432,7 +489,7 @@ func (s *scanProducer) next(ex *selectExec) (bool, error) {
 	for s.pos < len(t.ids) {
 		id := t.ids[s.pos]
 		s.pos++
-		row := t.rows[id]
+		row := t.Get(id)
 		if row == nil {
 			continue // tombstone left by Delete
 		}

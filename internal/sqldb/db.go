@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // DB is an embedded relational database instance. It is safe for concurrent
@@ -18,11 +19,20 @@ type DB struct {
 
 	// gen is the schema generation, bumped by every DDL change (and its
 	// rollback). Prepared plans record the generation they were built under
-	// and are transparently rebuilt when it moves. Guarded by mu.
-	gen uint64
+	// and are transparently rebuilt when it moves. Written under mu; read
+	// atomically so parallel scan workers (which never take mu, see
+	// parallel.go) can poll it between batches.
+	gen atomic.Uint64
 	// noIndex disables index access paths in the planner (see
 	// SetIndexAccess). Guarded by mu.
 	noIndex bool
+
+	// nparts is the hash-partition count for newly created tables (0 =
+	// default, one per CPU). Guarded by mu; SetPartitions re-shards
+	// existing tables too.
+	nparts int
+	// par is the runtime parallel-execution hint (see parallel.go).
+	par parallelSettings
 
 	// stmts caches prepared statements by SQL text so repeated Query/Exec
 	// calls parse and plan once.
@@ -41,7 +51,7 @@ type DB struct {
 // compiled statements so plans drop their table/index references. Caller
 // holds db.mu exclusively.
 func (db *DB) bumpSchemaGen() {
-	db.gen++
+	db.gen.Add(1)
 	db.stmts.invalidateAll()
 }
 
@@ -245,21 +255,9 @@ type updateUndo struct {
 }
 
 func (e updateUndo) undo(db *DB) {
-	t := db.table(e.table)
-	if t == nil {
-		return
+	if t := db.table(e.table); t != nil {
+		t.undoUpdate(e.rowID, e.old)
 	}
-	cur, ok := t.rows[e.rowID]
-	if !ok {
-		return
-	}
-	for _, idx := range t.indexes {
-		if Compare(cur[idx.Col], e.old[idx.Col]) != 0 {
-			idx.delete(cur[idx.Col], e.rowID)
-			idx.insert(e.old[idx.Col], e.rowID)
-		}
-	}
-	t.rows[e.rowID] = e.old
 }
 
 type createTableUndo struct{ name string }
@@ -371,7 +369,7 @@ func (db *DB) executeInsert(st *InsertStmt, args []Value, undo *undoLog) (Result
 		// LastInsertID reports the autoincrement value when present, else
 		// the row ID.
 		if pk := t.Schema.PrimaryKeyIndex(); pk >= 0 {
-			if n, ok := t.rows[id][pk].(int64); ok {
+			if n, ok := t.Get(id)[pk].(int64); ok {
 				res.LastInsertID = n
 				continue
 			}
@@ -427,6 +425,13 @@ func (db *DB) collectWriteMatches(wp *writePlan, args []Value) ([]int64, error) 
 			}
 		}
 		return ids, nil
+	}
+	// Full-scan candidate collection goes partition-parallel past the
+	// cardinality threshold: the caller holds the database exclusively, so
+	// the workers read their partitions without further locking.
+	if db.parallelEligible(t) {
+		db.plans.parWrites.Add(1)
+		return parallelCollectMatches(db, wp, args)
 	}
 	db.plans.fullScans.Add(1)
 	var scanErr error
@@ -515,7 +520,7 @@ func (db *DB) executeCreateTable(st *CreateTableStmt, undo *undoLog) (Result, er
 	if err != nil {
 		return Result{}, err
 	}
-	db.tables[key] = NewTable(st.Name, schema)
+	db.tables[key] = NewTablePartitions(st.Name, schema, db.partitionCount())
 	db.bumpSchemaGen()
 	undo.add(createTableUndo{name: st.Name})
 	return Result{}, nil

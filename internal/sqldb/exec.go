@@ -62,7 +62,9 @@ func (f *fixedCol) String() string                  { return fmt.Sprintf("col#%d
 // executeSelect materializes a SELECT by draining its cursor pipeline.
 // Caller holds db.mu (shared or exclusive).
 func (db *DB) executeSelect(p *selectPlan, args []Value) (*ResultSet, error) {
-	rows, err := newSelectCursor(db, p, args, false).drain()
+	c := newSelectCursor(db, p, args, false)
+	defer c.close()
+	rows, err := c.drain()
 	if err != nil {
 		return nil, err
 	}
@@ -218,10 +220,51 @@ type groupState struct {
 	keyVals []Value
 	repRow  []Value // environment snapshot of the first row in the group
 	accs    []aggAcc
+	firstID int64 // smallest contributing row ID (orders the parallel merge)
 }
 
-func (ex *selectExec) runGrouped() ([][]Value, [][]Value, error) {
+// addGroupRow folds the environment's current row (WHERE already passed)
+// into the group map, creating the group on first sight. id is the row's
+// storage ID; the serial path passes 0 since its emission order already IS
+// first-seen order, while the parallel merge re-derives first-seen order
+// from the smallest contributing ID.
+func (ex *selectExec) addGroupRow(groups map[string]*groupState, order *[]string, kb *strings.Builder, id int64) error {
 	p := ex.p
+	keyVals := make([]Value, len(p.st.GroupBy))
+	kb.Reset()
+	for i, g := range p.st.GroupBy {
+		v, err := g.Eval(ex.env)
+		if err != nil {
+			return err
+		}
+		keyVals[i] = v
+		hk := makeHashKey(v)
+		fmt.Fprintf(kb, "%c|%v|%s;", hk.kind, hk.num, hk.str)
+	}
+	key := kb.String()
+	gs, ok := groups[key]
+	if !ok {
+		gs = &groupState{keyVals: keyVals, accs: make([]aggAcc, len(p.aggCalls)), firstID: id}
+		for i, call := range p.aggCalls {
+			gs.accs[i] = newAggAcc(call)
+		}
+		gs.repRow = make([]Value, len(ex.env.vals))
+		copy(gs.repRow, ex.env.vals)
+		groups[key] = gs
+		*order = append(*order, key)
+	}
+	for i, call := range p.aggCalls {
+		if err := gs.accs[i].add(call, ex.env); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// serialGroups drains the producer pipeline into the group map (the
+// pre-partitioning execution shape, still used for joined, indexed or
+// small inputs).
+func (ex *selectExec) serialGroups() (map[string]*groupState, []string, error) {
 	prod, err := ex.buildProducer()
 	if err != nil {
 		return nil, nil, err
@@ -247,34 +290,28 @@ func (ex *selectExec) runGrouped() ([][]Value, [][]Value, error) {
 		if !pass {
 			continue
 		}
-		keyVals := make([]Value, len(p.st.GroupBy))
-		kb.Reset()
-		for i, g := range p.st.GroupBy {
-			v, err := g.Eval(ex.env)
-			if err != nil {
-				return nil, nil, err
-			}
-			keyVals[i] = v
-			hk := makeHashKey(v)
-			fmt.Fprintf(&kb, "%c|%v|%s;", hk.kind, hk.num, hk.str)
+		if err := ex.addGroupRow(groups, &order, &kb, 0); err != nil {
+			return nil, nil, err
 		}
-		key := kb.String()
-		gs, ok := groups[key]
-		if !ok {
-			gs = &groupState{keyVals: keyVals, accs: make([]aggAcc, len(p.aggCalls))}
-			for i, call := range p.aggCalls {
-				gs.accs[i] = newAggAcc(call)
-			}
-			gs.repRow = make([]Value, len(ex.env.vals))
-			copy(gs.repRow, ex.env.vals)
-			groups[key] = gs
-			order = append(order, key)
-		}
-		for i, call := range p.aggCalls {
-			if err := gs.accs[i].add(call, ex.env); err != nil {
-				return nil, nil, err
-			}
-		}
+	}
+	return groups, order, nil
+}
+
+func (ex *selectExec) runGrouped() ([][]Value, [][]Value, error) {
+	p := ex.p
+	var (
+		groups map[string]*groupState
+		order  []string
+		err    error
+	)
+	if ex.parallelAggEligible() {
+		ex.db.plans.parAggs.Add(1)
+		groups, order, err = ex.parallelGroups()
+	} else {
+		groups, order, err = ex.serialGroups()
+	}
+	if err != nil {
+		return nil, nil, err
 	}
 
 	// A global aggregate over zero rows still yields one output row.
@@ -336,6 +373,29 @@ type aggAcc struct {
 }
 
 func newAggAcc(call *FuncCall) aggAcc { return aggAcc{kind: call.Name} }
+
+// merge folds another partial accumulator (same aggregate, different
+// partition) into a. Ties in MIN/MAX keep a's value, which — with
+// partitions merged in order — reproduces the serial first-wins choice.
+//
+// Exactness caveat: COUNT, MIN, MAX and integer SUM merge exactly, so
+// parallel results are byte-identical to serial. Float SUM/AVG associate
+// partial sums differently than the serial row-order fold and may differ
+// in the last ulp — SQL leaves float aggregation order unspecified, and
+// the determinism tests use dyadic float fixtures for which all
+// associations are exact.
+func (a *aggAcc) merge(b *aggAcc) {
+	a.count += b.count
+	a.sumI += b.sumI
+	a.sumF += b.sumF
+	a.isFloat = a.isFloat || b.isFloat
+	if b.minV != nil && (a.minV == nil || Compare(b.minV, a.minV) < 0) {
+		a.minV = b.minV
+	}
+	if b.maxV != nil && (a.maxV == nil || Compare(b.maxV, a.maxV) > 0) {
+		a.maxV = b.maxV
+	}
+}
 
 func (a *aggAcc) add(call *FuncCall, env *RowEnv) error {
 	if call.Star {

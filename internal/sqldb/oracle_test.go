@@ -206,14 +206,26 @@ func TestWherePredicatesMatchOracle(t *testing.T) {
 }
 
 // TestPlannerEquivalenceOracle fuzzes the planner: random generated queries
-// executed once with index access enabled and once with it forced off must
-// return identical result sequences (joins, ranges, IN lists, ORDER
-// BY/LIMIT/OFFSET, DISTINCT, GROUP BY). Since both modes share the executor
-// and the planner preserves scan emission order (including sort-tie order),
-// the comparison is exact, not just set-based.
+// executed once with index access enabled, once with it forced off, and
+// once with partition-parallel execution forced on must return identical
+// result sequences (joins, ranges, IN lists, ORDER BY/LIMIT/OFFSET,
+// DISTINCT, GROUP BY). Since all modes share the executor, the planner
+// preserves scan emission order (including sort-tie order), and the
+// parallel exchange merges partitions back into row-ID order, the
+// comparison is exact, not just set-based. (Float SUM/AVG is the one
+// operation whose parallel merge may differ from serial in the last ulp
+// — partial sums associate differently; the fixture's REAL values are
+// dyadic, for which every association is exact, and the grouped queries
+// aggregate with COUNT/MIN.)
 func TestPlannerEquivalenceOracle(t *testing.T) {
 	rng := rand.New(rand.NewSource(771104))
 	db := NewDB()
+	// Partition the storage and drop the parallel threshold so the 250-row
+	// fixture takes the parallel paths; the hint stays at 1 (serial) except
+	// in the explicitly parallel leg.
+	db.SetPartitions(4)
+	db.SetParallelMinRows(1)
+	db.SetParallelism(1)
 	mustExec(t, db, "CREATE TABLE big (id INTEGER PRIMARY KEY, n INTEGER, f REAL, s TEXT, u INTEGER)")
 	mustExec(t, db, "CREATE INDEX idx_big_n ON big (n)")
 	mustExec(t, db, "CREATE INDEX idx_big_f ON big (f) USING BTREE")
@@ -370,11 +382,21 @@ func TestPlannerEquivalenceOracle(t *testing.T) {
 		db.SetIndexAccess(false)
 		noIdx, errNo := db.Query(query)
 		db.SetIndexAccess(true)
+		// Parallel leg: partition-parallel scan/aggregate paths forced on
+		// (full-scan shapes take them; indexed shapes stay serial by
+		// design and must be unaffected).
+		db.SetParallelism(8)
+		parallel, errPar := db.Query(query)
+		parStreamed, errParCur := drainCursorFormatted(query)
+		db.SetParallelism(1)
 		if (errIdx != nil) != (errNo != nil) {
 			t.Fatalf("query %q: error mismatch: with-index=%v no-index=%v", query, errIdx, errNo)
 		}
 		if (errIdx != nil) != (errCur != nil) {
 			t.Fatalf("query %q: error mismatch: materialized=%v cursor=%v", query, errIdx, errCur)
+		}
+		if (errIdx != nil) != (errPar != nil) || (errIdx != nil) != (errParCur != nil) {
+			t.Fatalf("query %q: error mismatch: serial=%v parallel=%v parallel-cursor=%v", query, errIdx, errPar, errParCur)
 		}
 		if errIdx != nil {
 			continue
@@ -388,6 +410,18 @@ func TestPlannerEquivalenceOracle(t *testing.T) {
 		if streamed != format(withIdx) {
 			t.Fatalf("query %q:\ncursor stream:\n%s\nmaterialized:\n%s", query, streamed, format(withIdx))
 		}
+		// Parallel execution must be indistinguishable from serial, row
+		// order included, on both the materializing and streaming paths.
+		if format(parallel) != format(withIdx) {
+			t.Fatalf("query %q:\nparallel (%d rows):\n%s\nserial (%d rows):\n%s",
+				query, parallel.Len(), format(parallel), withIdx.Len(), format(withIdx))
+		}
+		if parStreamed != format(withIdx) {
+			t.Fatalf("query %q:\nparallel cursor stream:\n%s\nserial:\n%s", query, parStreamed, format(withIdx))
+		}
+	}
+	if db.ParallelStats().ParallelScans == 0 || db.ParallelStats().ParallelAggregates == 0 {
+		t.Fatalf("fuzz never exercised the parallel paths: %+v", db.ParallelStats())
 	}
 }
 

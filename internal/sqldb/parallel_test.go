@@ -1,0 +1,421 @@
+package sqldb
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newParallelTestDB builds a partitioned database with the parallel paths
+// forced on (tiny threshold, explicit worker hint — GOMAXPROCS may be 1 in
+// CI containers) and a populated table `p` of n rows.
+//
+// Columns: id (pk), grp (0..groups-1 or NULL), val (int), f (dyadic float
+// or NULL), s (text). Dyadic floats keep partition-parallel float sums
+// exactly associative, so parallel aggregates are byte-identical to
+// serial ones.
+func newParallelTestDB(t *testing.T, n, parts int) *DB {
+	t.Helper()
+	db := NewDB()
+	db.SetPartitions(parts)
+	db.SetParallelism(parts)
+	db.SetParallelMinRows(1)
+	mustExec(t, db, "CREATE TABLE p (id INTEGER PRIMARY KEY, grp INTEGER, val INTEGER, f REAL, s TEXT)")
+	fillParallelTable(t, db, n)
+	return db
+}
+
+func fillParallelTable(t *testing.T, db *DB, n int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(n)))
+	words := []string{"alpha", "beta", "gamma", "delta", ""}
+	for i := 0; i < n; i++ {
+		var grp, f any
+		if rng.Intn(8) > 0 {
+			grp = int64(rng.Intn(7))
+		}
+		if rng.Intn(8) > 0 {
+			f = float64(rng.Intn(64)) / 4
+		}
+		mustExec(t, db, "INSERT INTO p VALUES (?, ?, ?, ?, ?)",
+			i, grp, int64(rng.Intn(1000)), f, words[rng.Intn(len(words))])
+	}
+}
+
+// withSerial runs fn with the parallel paths disabled, restoring the hint
+// afterwards.
+func withSerial(db *DB, fn func()) {
+	prev := db.Parallelism()
+	db.SetParallelism(1)
+	fn()
+	db.SetParallelism(prev)
+}
+
+func formatResult(rs *ResultSet) string {
+	var sb strings.Builder
+	for _, row := range rs.Rows {
+		for _, v := range row {
+			sb.WriteString(FormatValue(v))
+			sb.WriteByte('|')
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// TestParallelScanMatchesSerial asserts byte-identical output — including
+// row order, which the exchange's ID merge preserves — between serial and
+// parallel execution for streaming SEL ECT shapes.
+func TestParallelScanMatchesSerial(t *testing.T) {
+	db := newParallelTestDB(t, 5000, 4)
+	queries := []string{
+		"SELECT * FROM p",
+		"SELECT id, val FROM p WHERE val > 500",
+		"SELECT id FROM p WHERE grp = 3",
+		"SELECT s, val + 1 FROM p WHERE f IS NOT NULL",
+		"SELECT * FROM p LIMIT 37",
+		"SELECT id FROM p LIMIT 100 OFFSET 53",
+		"SELECT id FROM p WHERE s LIKE 'a%' OFFSET 10",
+		"SELECT id FROM p WHERE val < 0", // empty result
+	}
+	for _, q := range queries {
+		par, err := db.Query(q)
+		if err != nil {
+			t.Fatalf("%s: parallel: %v", q, err)
+		}
+		if got := db.ParallelStats().ParallelScans; got == 0 {
+			t.Fatalf("%s: parallel scan did not run", q)
+		}
+		var ser *ResultSet
+		withSerial(db, func() {
+			ser, err = db.Query(q)
+		})
+		if err != nil {
+			t.Fatalf("%s: serial: %v", q, err)
+		}
+		if formatResult(par) != formatResult(ser) {
+			t.Fatalf("%s: parallel != serial\nparallel (%d rows):\n%s\nserial (%d rows):\n%s",
+				q, par.Len(), formatResult(par), ser.Len(), formatResult(ser))
+		}
+	}
+}
+
+// TestParallelAggregateMatchesSerial covers partition-parallel partial
+// aggregation: grouped and global aggregates, HAVING, and first-seen group
+// ordering must all match serial execution exactly.
+func TestParallelAggregateMatchesSerial(t *testing.T) {
+	db := newParallelTestDB(t, 5000, 4)
+	queries := []string{
+		"SELECT grp, COUNT(*), SUM(val), MIN(f), MAX(s) FROM p GROUP BY grp",
+		"SELECT grp, AVG(val) FROM p GROUP BY grp ORDER BY grp",
+		"SELECT grp, SUM(f) FROM p WHERE val > 200 GROUP BY grp",
+		"SELECT grp, COUNT(*) FROM p GROUP BY grp HAVING COUNT(*) > 400",
+		"SELECT COUNT(*), SUM(val), AVG(f), MIN(val), MAX(f) FROM p",
+		"SELECT COUNT(*) FROM p WHERE val < 0", // zero-row global aggregate
+		"SELECT grp, s, COUNT(*) FROM p GROUP BY grp, s",
+	}
+	for _, q := range queries {
+		before := db.ParallelStats().ParallelAggregates
+		par, err := db.Query(q)
+		if err != nil {
+			t.Fatalf("%s: parallel: %v", q, err)
+		}
+		if got := db.ParallelStats().ParallelAggregates; got == before {
+			t.Fatalf("%s: parallel aggregation did not run", q)
+		}
+		var ser *ResultSet
+		withSerial(db, func() {
+			ser, err = db.Query(q)
+		})
+		if err != nil {
+			t.Fatalf("%s: serial: %v", q, err)
+		}
+		if formatResult(par) != formatResult(ser) {
+			t.Fatalf("%s: parallel != serial\nparallel:\n%s\nserial:\n%s", q, formatResult(par), formatResult(ser))
+		}
+	}
+}
+
+// TestParallelWriteMatchesSerial runs the same UPDATE/DELETE workload on
+// two identical databases — one collecting candidates in parallel, one
+// serially — and requires byte-identical dumps and row counts.
+func TestParallelWriteMatchesSerial(t *testing.T) {
+	par := newParallelTestDB(t, 4000, 4)
+	ser := newParallelTestDB(t, 4000, 4)
+	ser.SetParallelism(1)
+
+	writes := []struct {
+		sql  string
+		args []any
+	}{
+		{"UPDATE p SET val = val + 7 WHERE val > ?", []any{500}},
+		{"DELETE FROM p WHERE grp = ? AND val < ?", []any{2, 300}},
+		{"UPDATE p SET s = ? WHERE s = ?", []any{"omega", "alpha"}},
+		{"DELETE FROM p WHERE f IS NULL AND val > ?", []any{900}},
+		{"UPDATE p SET f = ? WHERE grp IS NULL", []any{0.25}},
+	}
+	for _, w := range writes {
+		rp, err := par.Exec(w.sql, w.args...)
+		if err != nil {
+			t.Fatalf("parallel %s: %v", w.sql, err)
+		}
+		rs, err := ser.Exec(w.sql, w.args...)
+		if err != nil {
+			t.Fatalf("serial %s: %v", w.sql, err)
+		}
+		if rp.RowsAffected != rs.RowsAffected {
+			t.Fatalf("%s: parallel affected %d, serial %d", w.sql, rp.RowsAffected, rs.RowsAffected)
+		}
+	}
+	if par.ParallelStats().ParallelWriteCollects == 0 {
+		t.Fatal("parallel write collection did not run")
+	}
+	if par.DumpString() != ser.DumpString() {
+		t.Fatal("parallel and serial write workloads diverged")
+	}
+}
+
+// waitGoroutines polls until the goroutine count drops back to the
+// baseline (parallel workers park asynchronously after close).
+func waitGoroutines(t *testing.T, base int, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s: goroutines leaked: %d > baseline %d", what, runtime.NumGoroutine(), base)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestParallelCursorEarlyClose opens a streaming parallel scan, pulls a
+// few rows, and closes mid-stream: every worker goroutine must exit (no
+// leak), and the closed cursor must refuse further reads.
+func TestParallelCursorEarlyClose(t *testing.T) {
+	db := newParallelTestDB(t, 6000, 4)
+	base := runtime.NumGoroutine()
+
+	cur, err := db.QueryCursor("SELECT id, val FROM p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		row, err := cur.Next()
+		if err != nil || row == nil {
+			t.Fatalf("row %d: %v %v", i, row, err)
+		}
+	}
+	if err := cur.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cur.Next(); err == nil {
+		t.Fatal("Next after Close succeeded")
+	}
+	waitGoroutines(t, base, "early close")
+
+	// LIMIT exhaustion is an implicit early close: the consumer stops the
+	// exchange once the limit is met, before the partitions are drained.
+	rs, err := db.Query("SELECT id FROM p LIMIT 3")
+	if err != nil || rs.Len() != 3 {
+		t.Fatalf("limit query: %v rows=%d", err, rs.Len())
+	}
+	waitGoroutines(t, base, "limit early stop")
+}
+
+// TestParallelCursorInvalidatedByDDL bumps the schema generation while a
+// parallel cursor streams; the next pull must fail with
+// ErrCursorInvalidated and the workers must wind down.
+func TestParallelCursorInvalidatedByDDL(t *testing.T) {
+	db := newParallelTestDB(t, 6000, 4)
+	base := runtime.NumGoroutine()
+	cur, err := db.QueryCursor("SELECT id FROM p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cur.Next(); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, "CREATE INDEX idx_p_val ON p (val)")
+	if _, err := cur.Next(); !errors.Is(err, ErrCursorInvalidated) {
+		t.Fatalf("Next after DDL: %v, want ErrCursorInvalidated", err)
+	}
+	cur.Close()
+	waitGoroutines(t, base, "DDL invalidation")
+}
+
+// TestParallelScanConcurrentWriters streams a parallel scan while writers
+// churn the table. Reads are read-committed: rows may or may not be
+// observed, but emission must stay strictly ascending by row ID and
+// no row may be emitted twice (run under -race in CI).
+func TestParallelScanConcurrentWriters(t *testing.T) {
+	db := newParallelTestDB(t, 5000, 4)
+	stop := make(chan struct{})
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		i := 10000
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			mustExecErrOK(db, "INSERT INTO p VALUES (?, ?, ?, ?, ?)", i, 1, i, nil, "w")
+			mustExecErrOK(db, "DELETE FROM p WHERE id = ?", i-5000)
+			mustExecErrOK(db, "UPDATE p SET val = val + 1 WHERE id = ?", i-2000)
+			i++
+		}
+	}()
+
+	for round := 0; round < 10; round++ {
+		cur, err := db.QueryCursor("SELECT id FROM p")
+		if err != nil {
+			t.Fatal(err)
+		}
+		last := int64(-1)
+		for {
+			row, err := cur.Next()
+			if err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+			if row == nil {
+				break
+			}
+			id := row[0].(int64)
+			if id <= last {
+				t.Fatalf("round %d: row IDs not strictly ascending: %d after %d", round, id, last)
+			}
+			last = id
+		}
+		cur.Close()
+	}
+	close(stop)
+	<-writerDone
+}
+
+// mustExecErrOK ignores execution errors (concurrent-churn helper: the
+// row may already be gone).
+func mustExecErrOK(db *DB, sql string, args ...any) {
+	_, _ = db.Exec(sql, args...)
+}
+
+// TestRepartitionPreservesState re-shards a table across several partition
+// counts; dumps, scans and snapshots must be byte-identical throughout —
+// storage partitioning is invisible to every layer above it.
+func TestRepartitionPreservesState(t *testing.T) {
+	db := newParallelTestDB(t, 3000, 3)
+	mustExec(t, db, "DELETE FROM p WHERE val BETWEEN 100 AND 300") // leave tombstones
+	want := db.DumpString()
+	wantRows := db.RowCount("p")
+	for _, parts := range []int{1, 2, 5, 8, 3} {
+		db.SetPartitions(parts)
+		if got := db.DumpString(); got != want {
+			t.Fatalf("dump changed after repartition to %d", parts)
+		}
+		if got := db.RowCount("p"); got != wantRows {
+			t.Fatalf("row count %d after repartition to %d, want %d", got, parts, wantRows)
+		}
+		ps := db.PartitionStats()
+		if len(ps) != 1 || ps[0].Partitions != parts {
+			t.Fatalf("PartitionStats = %+v, want 1 table with %d partitions", ps, parts)
+		}
+		sum := 0
+		for _, n := range ps[0].Rows {
+			sum += n
+		}
+		if sum != wantRows {
+			t.Fatalf("partition rows sum %d, want %d", sum, wantRows)
+		}
+	}
+}
+
+// TestSnapshotPartitionTransparency: databases built with different
+// partition counts from the same statements must dump identically and
+// save byte-identical snapshots, and a snapshot loads correctly into any
+// partition layout.
+func TestSnapshotPartitionTransparency(t *testing.T) {
+	build := func(parts int) *DB {
+		db := NewDB()
+		db.SetPartitions(parts)
+		mustExec(t, db, "CREATE TABLE p (id INTEGER PRIMARY KEY, grp INTEGER, val INTEGER, f REAL, s TEXT)")
+		fillParallelTable(t, db, 500)
+		mustExec(t, db, "DELETE FROM p WHERE val < 100")
+		return db
+	}
+	a, b := build(1), build(7)
+	if a.DumpString() != b.DumpString() {
+		t.Fatal("dumps differ across partition counts")
+	}
+	dir := t.TempDir()
+	if err := a.Save(dir + "/a.snap"); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(dir + "/a.snap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.DumpString() != a.DumpString() {
+		t.Fatal("loaded dump differs")
+	}
+	// Restore into a database with a custom partition layout re-shards.
+	c := NewDB()
+	c.SetPartitions(5)
+	if err := c.Restore(dir + "/a.snap"); err != nil {
+		t.Fatal(err)
+	}
+	if c.DumpString() != a.DumpString() {
+		t.Fatal("restored dump differs")
+	}
+	if ps := c.PartitionStats(); len(ps) != 1 || ps[0].Partitions != 5 {
+		t.Fatalf("restored partition layout %+v, want 5 partitions", ps)
+	}
+}
+
+// TestMergeSortedIDs exercises the k-way merge used by parallel write
+// collection.
+func TestMergeSortedIDs(t *testing.T) {
+	cases := []struct {
+		in   [][]int64
+		want []int64
+	}{
+		{nil, nil},
+		{[][]int64{{}, {}}, nil},
+		{[][]int64{{1, 4, 7}}, []int64{1, 4, 7}},
+		{[][]int64{{1, 4}, {2, 3, 9}, {}, {5}}, []int64{1, 2, 3, 4, 5, 9}},
+		{[][]int64{{3}, {1}, {2}}, []int64{1, 2, 3}},
+	}
+	for _, c := range cases {
+		got := mergeSortedIDs(c.in)
+		if fmt.Sprint(got) != fmt.Sprint(c.want) {
+			t.Fatalf("mergeSortedIDs(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestParallelQueryEachAbort aborts a QueryEach iteration mid-stream; the
+// exchange workers must be reaped before QueryEach returns.
+func TestParallelQueryEachAbort(t *testing.T) {
+	db := newParallelTestDB(t, 6000, 4)
+	base := runtime.NumGoroutine()
+	stop := errors.New("stop")
+	n := 0
+	err := db.QueryEach("SELECT id FROM p", func(row []Value) error {
+		n++
+		if n == 10 {
+			return stop
+		}
+		return nil
+	})
+	if !errors.Is(err, stop) {
+		t.Fatalf("QueryEach: %v", err)
+	}
+	waitGoroutines(t, base, "QueryEach abort")
+}

@@ -93,15 +93,16 @@ func (db *DB) buildSnapshot() *snapshot {
 			NextRow: t.nextRow,
 			NextSeq: t.nextSeq,
 		}
-		ids := make([]int64, 0, len(t.rows))
-		for id := range t.rows {
-			ids = append(ids, id)
-		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		for _, id := range ids {
+		// Scan emits live rows in ascending row-ID order regardless of the
+		// partition layout, so snapshots (and therefore checkpoints) stay
+		// byte-identical across partition counts.
+		ts.RowIDs = make([]int64, 0, t.RowCount())
+		ts.Rows = make([][]Value, 0, t.RowCount())
+		t.Scan(func(id int64, row []Value) bool {
 			ts.RowIDs = append(ts.RowIDs, id)
-			ts.Rows = append(ts.Rows, t.rows[id])
-		}
+			ts.Rows = append(ts.Rows, row)
+			return true
+		})
 		for _, idx := range t.Indexes() {
 			if idx.Name == pkIndexName(t.Name) {
 				continue // recreated automatically
@@ -150,6 +151,11 @@ func (db *DB) Restore(path string) error {
 	db.writer.Lock()
 	db.mu.Lock()
 	db.tables = tables
+	// Loaded tables carry the package default partition count; re-shard to
+	// this database's configured layout (no-op when they match).
+	for _, t := range db.tables {
+		t.repartition(db.partitionCount())
+	}
 	db.bumpSchemaGen()
 	var snap *snapshot
 	var lsn uint64
@@ -202,15 +208,11 @@ func decodeTables(r io.Reader) (map[string]*Table, error) {
 			if len(row) != len(schema.Columns) {
 				return nil, fmt.Errorf("sqldb: load: table %s row %d has %d values, want %d", ts.Name, id, len(row), len(schema.Columns))
 			}
-			t.rows[id] = row
-			t.ids = append(t.ids, id)
-			for _, idx := range t.indexes {
-				idx.insert(row[idx.Col], id)
-			}
+			t.loadRow(id, row)
 		}
 		// Save writes RowIDs sorted, but Scan/restore depend on the
 		// invariant, so don't trust external snapshot producers.
-		sortInt64s(t.ids)
+		t.finishLoad()
 		for _, is := range ts.Indexes {
 			if _, err := t.CreateIndex(is.Name, is.Column, is.Kind, is.Unique); err != nil {
 				return nil, fmt.Errorf("sqldb: load: rebuild index %s: %w", is.Name, err)

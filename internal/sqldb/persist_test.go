@@ -194,7 +194,7 @@ func TestLoadBumpsSchemaGeneration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if loaded.gen == 0 {
+	if loaded.gen.Load() == 0 {
 		t.Fatal("loaded database still at schema generation 0")
 	}
 }

@@ -97,14 +97,15 @@ func (s *Stmt) SQL() string { return s.sql }
 // db.mu (shared or exclusive). Concurrent callers may both prepare; each
 // builds a private AST, so the losing Store is merely redundant work.
 func (s *Stmt) ensure(db *DB) (*prepared, error) {
-	if p := s.prep.Load(); p != nil && p.gen == db.gen {
+	gen := db.gen.Load()
+	if p := s.prep.Load(); p != nil && p.gen == gen {
 		return p, nil
 	}
 	st, err := Parse(s.sql)
 	if err != nil {
 		return nil, err
 	}
-	p := &prepared{gen: db.gen, nParams: statementParamCount(st)}
+	p := &prepared{gen: gen, nParams: statementParamCount(st)}
 	switch stmt := st.(type) {
 	case *SelectStmt:
 		plan, err := planSelect(db, stmt)
@@ -354,6 +355,11 @@ type planCounters struct {
 	hashJoins     atomic.Uint64
 	nestedJoins   atomic.Uint64
 	earlyLimitHit atomic.Uint64
+
+	// Partition-parallel operator executions (see parallel.go).
+	parScans  atomic.Uint64
+	parAggs   atomic.Uint64
+	parWrites atomic.Uint64
 }
 
 // PlanStats is a snapshot of the planner's execution counters: how often

@@ -2,42 +2,116 @@ package sqldb
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 )
+
+// defaultPartitions is the partition count used when the database has no
+// explicit setting: one partition per schedulable CPU, so a parallel scan
+// can keep every core busy without oversubscribing.
+func defaultPartitions() int {
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		return n
+	}
+	return 1
+}
+
+// tablePart is one hash partition of a table's row storage. Rows are
+// assigned by row ID (id mod partition count), so monotone ID allocation
+// round-robins inserts across partitions and keeps them balanced.
+//
+// The partition lock is the synchronization point between parallel scan
+// workers and writers: writers (who additionally hold the database's
+// exclusive lock) take it around every mutation, and parallel workers —
+// which deliberately do NOT touch the database lock, so they can never
+// deadlock against a consumer that holds it while draining the exchange —
+// take the read side around every batch they pull. Serial readers run
+// under the database lock and need no partition lock at all.
+type tablePart struct {
+	mu   sync.RWMutex
+	rows map[int64][]Value
+
+	// ids keeps the partition's live row IDs ascending (tombstones allowed,
+	// same scheme as the table-level slice); mut counts structural changes
+	// so a parallel worker can re-synchronize its position after concurrent
+	// writes, exactly like scanProducer does against the table-level slice.
+	ids  []int64
+	dead int
+	mut  uint64
+}
+
+func newTablePart() *tablePart {
+	return &tablePart{rows: make(map[int64][]Value)}
+}
+
+// compact rewrites the partition's ID slice without tombstones. Caller
+// holds p.mu exclusively.
+func (p *tablePart) compact() {
+	live := p.ids[:0]
+	for _, id := range p.ids {
+		if _, ok := p.rows[id]; ok {
+			live = append(live, id)
+		}
+	}
+	p.ids = live
+	p.dead = 0
+	p.mut++
+}
 
 // Table is the in-memory heap storage for one relation plus its indexes.
 // Rows are addressed by a stable, monotonically increasing row ID so that
 // indexes can reference rows without caring about physical position.
+//
+// Row storage is hash-partitioned by row ID: each partition holds its own
+// row map, its own sorted live-ID slice and its own lock, so parallel
+// operators can give every partition a dedicated worker. The table
+// additionally maintains a global sorted ID slice so serial scans keep
+// their O(n), merge-free shape.
 type Table struct {
 	Name    string
 	Schema  *Schema
-	rows    map[int64][]Value
+	parts   []*tablePart
+	live    int // live rows across all partitions
 	nextRow int64
 	nextSeq int64 // AUTOINCREMENT counter
 	indexes map[string]*Index
 
-	// ids keeps the live row IDs in ascending order so scans need no
-	// per-call sort. Row IDs are allocated monotonically, so inserts append
-	// in O(1); deletes leave tombstones (IDs missing from rows) that are
-	// compacted away once they outnumber the live rows.
+	// ids keeps the live row IDs in ascending order so serial scans need no
+	// per-call sort or partition merge. Row IDs are allocated monotonically,
+	// so inserts append in O(1); deletes leave tombstones (IDs missing from
+	// the partition maps) that are compacted away once they outnumber the
+	// live rows.
 	ids  []int64
 	dead int
 
 	// mut counts structural changes to the row set (insert, delete,
-	// restore, truncate — anything that touches the ID slice, including
-	// in-place compaction). Open cursors compare it to re-synchronize
-	// their scan position after concurrent writes.
+	// restore, truncate, repartition — anything that touches the ID
+	// slices, including in-place compaction). Open cursors compare it to
+	// re-synchronize their scan position after concurrent writes.
 	mut uint64
 }
 
-// NewTable creates an empty table. A unique index is created automatically
-// for the primary key column, if any.
+// NewTable creates an empty table with the default partition count. A
+// unique index is created automatically for the primary key column, if any.
 func NewTable(name string, schema *Schema) *Table {
+	return NewTablePartitions(name, schema, 0)
+}
+
+// NewTablePartitions creates an empty table with n hash partitions
+// (n <= 0 selects the default, one per CPU).
+func NewTablePartitions(name string, schema *Schema, n int) *Table {
+	if n <= 0 {
+		n = defaultPartitions()
+	}
 	t := &Table{
 		Name:    name,
 		Schema:  schema,
-		rows:    make(map[int64][]Value),
+		parts:   make([]*tablePart, n),
 		indexes: make(map[string]*Index),
+	}
+	for i := range t.parts {
+		t.parts[i] = newTablePart()
 	}
 	if pk := schema.PrimaryKeyIndex(); pk >= 0 {
 		idx := newIndex(pkIndexName(name), schema.Columns[pk].Name, pk, IndexHash, true)
@@ -48,8 +122,58 @@ func NewTable(name string, schema *Schema) *Table {
 
 func pkIndexName(table string) string { return "__pk_" + table }
 
+// part returns the partition owning a row ID.
+func (t *Table) part(id int64) *tablePart {
+	return t.parts[uint64(id)%uint64(len(t.parts))]
+}
+
+// PartitionCount returns the number of hash partitions.
+func (t *Table) PartitionCount() int { return len(t.parts) }
+
+// PartitionRows returns the live row count of each partition.
+func (t *Table) PartitionRows() []int {
+	out := make([]int, len(t.parts))
+	for i, p := range t.parts {
+		out[i] = len(p.rows)
+	}
+	return out
+}
+
+// repartition redistributes the rows over n hash partitions. The old
+// partition objects are left untouched, so a parallel worker that still
+// holds a reference reads a frozen (pre-repartition) view until its next
+// schema-generation check stops it. Caller holds the database exclusively
+// and bumps the schema generation.
+func (t *Table) repartition(n int) {
+	if n <= 0 {
+		n = defaultPartitions()
+	}
+	if n == len(t.parts) {
+		return
+	}
+	parts := make([]*tablePart, n)
+	for i := range parts {
+		parts[i] = newTablePart()
+	}
+	live := t.ids[:0]
+	for _, id := range t.ids {
+		row, ok := t.part(id).rows[id]
+		if !ok {
+			continue // tombstone
+		}
+		p := parts[uint64(id)%uint64(len(parts))]
+		p.rows[id] = row
+		p.ids = append(p.ids, id) // global order ascending => per-part ascending
+		live = append(live, id)
+	}
+	t.parts = parts
+	t.ids = live
+	t.dead = 0
+	t.mut++
+}
+
 // RowCount returns the number of live rows.
-func (t *Table) RowCount() int { return len(t.rows) }
+func (t *Table) RowCount() int { return t.live }
 
 // Insert validates, coerces and stores a full-width row, returning its row
 // ID. AUTOINCREMENT columns receive the next sequence value when NULL.
@@ -100,8 +224,14 @@ func (t *Table) Insert(vals []Value) (int64, error) {
 	}
 	t.nextRow++
 	id := t.nextRow
-	t.rows[id] = row
-	t.ids = append(t.ids, id) // nextRow is monotone, so append keeps order
+	p := t.part(id)
+	p.mu.Lock()
+	p.rows[id] = row
+	p.ids = append(p.ids, id) // nextRow is monotone, so append keeps order
+	p.mut++
+	p.mu.Unlock()
+	t.ids = append(t.ids, id)
+	t.live++
 	t.mut++
 	for _, idx := range t.indexes {
 		idx.insert(row[idx.Col], id)
@@ -122,20 +252,28 @@ func (e *UniqueError) Error() string {
 
 // Get returns the row stored under id, or nil when absent.
 func (t *Table) Get(id int64) []Value {
-	return t.rows[id]
+	return t.part(id).rows[id]
 }
 
 // Delete removes the row with the given ID, maintaining all indexes.
 // It reports whether a row was removed.
 func (t *Table) Delete(id int64) bool {
-	row, ok := t.rows[id]
+	p := t.part(id)
+	row, ok := p.rows[id]
 	if !ok {
 		return false
 	}
 	for _, idx := range t.indexes {
 		idx.delete(row[idx.Col], id)
 	}
-	delete(t.rows, id)
+	p.mu.Lock()
+	delete(p.rows, id)
+	p.dead++
+	if p.dead > 16 && p.dead*2 > len(p.ids) {
+		p.compact()
+	}
+	p.mu.Unlock()
+	t.live--
 	t.dead++
 	t.mut++
 	if t.dead > 64 && t.dead*2 > len(t.ids) {
@@ -144,11 +282,11 @@ func (t *Table) Delete(id int64) bool {
 	return true
 }
 
-// compactIDs rewrites the ID slice without tombstones.
+// compactIDs rewrites the global ID slice without tombstones.
 func (t *Table) compactIDs() {
 	live := t.ids[:0]
 	for _, id := range t.ids {
-		if _, ok := t.rows[id]; ok {
+		if _, ok := t.part(id).rows[id]; ok {
 			live = append(live, id)
 		}
 	}
@@ -157,43 +295,73 @@ func (t *Table) compactIDs() {
 	t.mut++
 }
 
+// spliceID removes id from a sorted ID slice when present, reporting
+// whether it was found.
+func spliceID(ids []int64, id int64) ([]int64, bool) {
+	pos := sort.Search(len(ids), func(i int) bool { return ids[i] >= id })
+	if pos < len(ids) && ids[pos] == id {
+		return append(ids[:pos], ids[pos+1:]...), true
+	}
+	return ids, false
+}
+
+// insertID adds id to a sorted ID slice, reporting whether it was already
+// present (as a tombstone slot revived in place).
+func insertID(ids []int64, id int64) ([]int64, bool) {
+	pos := sort.Search(len(ids), func(i int) bool { return ids[i] >= id })
+	if pos < len(ids) && ids[pos] == id {
+		return ids, true
+	}
+	ids = append(ids, 0)
+	copy(ids[pos+1:], ids[pos:])
+	ids[pos] = id
+	return ids, false
+}
+
 // undoInsert removes a row inserted by a now-rolled-back statement and
-// splices its ID out of the ID slice (no tombstone: the rollback also
+// splices its ID out of the ID slices (no tombstone: the rollback also
 // returns the ID to the allocator, and a tombstone under a reusable ID
 // would collide with the next insert). The spliced ID is almost always
 // the last element, so this is O(1) in practice.
 func (t *Table) undoInsert(id int64) {
-	row, ok := t.rows[id]
+	p := t.part(id)
+	row, ok := p.rows[id]
 	if !ok {
 		return
 	}
 	for _, idx := range t.indexes {
 		idx.delete(row[idx.Col], id)
 	}
-	delete(t.rows, id)
-	pos := sort.Search(len(t.ids), func(i int) bool { return t.ids[i] >= id })
-	if pos < len(t.ids) && t.ids[pos] == id {
-		t.ids = append(t.ids[:pos], t.ids[pos+1:]...)
-	}
+	p.mu.Lock()
+	delete(p.rows, id)
+	p.ids, _ = spliceID(p.ids, id)
+	p.mut++
+	p.mu.Unlock()
+	t.ids, _ = spliceID(t.ids, id)
+	t.live--
 	t.mut++
 }
 
 // restore re-inserts a previously deleted row under its original ID,
-// maintaining indexes and the sorted ID slice. It backs transaction
+// maintaining indexes and the sorted ID slices. It backs transaction
 // rollback of deletes; the caller guarantees the ID is free.
 func (t *Table) restore(id int64, row []Value) {
-	if _, ok := t.rows[id]; ok {
+	p := t.part(id)
+	if _, ok := p.rows[id]; ok {
 		return
 	}
-	t.rows[id] = row
-	pos := sort.Search(len(t.ids), func(i int) bool { return t.ids[i] >= id })
-	if pos < len(t.ids) && t.ids[pos] == id {
-		t.dead-- // tombstone revived in place
-	} else {
-		t.ids = append(t.ids, 0)
-		copy(t.ids[pos+1:], t.ids[pos:])
-		t.ids[pos] = id
+	p.mu.Lock()
+	p.rows[id] = row
+	var revived bool
+	if p.ids, revived = insertID(p.ids, id); revived {
+		p.dead--
 	}
+	p.mut++
+	p.mu.Unlock()
+	if t.ids, revived = insertID(t.ids, id); revived {
+		t.dead-- // tombstone revived in place
+	}
+	t.live++
 	for _, idx := range t.indexes {
 		idx.insert(row[idx.Col], id)
 	}
@@ -203,7 +371,8 @@ func (t *Table) restore(id int64, row []Value) {
 // Update replaces the row with the given ID with new values (already
 // validated/coerced by the caller via coerceRow) and maintains indexes.
 func (t *Table) Update(id int64, newRow []Value) error {
-	old, ok := t.rows[id]
+	p := t.part(id)
+	old, ok := p.rows[id]
 	if !ok {
 		return fmt.Errorf("sqldb: row %d not found in %s", id, t.Name)
 	}
@@ -228,8 +397,54 @@ func (t *Table) Update(id int64, newRow []Value) error {
 			idx.insert(newRow[idx.Col], id)
 		}
 	}
-	t.rows[id] = newRow
+	p.mu.Lock()
+	p.rows[id] = newRow
+	p.mu.Unlock()
 	return nil
+}
+
+// undoUpdate reverts the row with the given ID to its pre-update values
+// (transaction rollback). A no-op when the row no longer exists.
+func (t *Table) undoUpdate(id int64, old []Value) {
+	p := t.part(id)
+	cur, ok := p.rows[id]
+	if !ok {
+		return
+	}
+	for _, idx := range t.indexes {
+		if Compare(cur[idx.Col], old[idx.Col]) != 0 {
+			idx.delete(cur[idx.Col], id)
+			idx.insert(old[idx.Col], id)
+		}
+	}
+	p.mu.Lock()
+	p.rows[id] = old
+	p.mu.Unlock()
+}
+
+// loadRow installs a row under an explicit ID without constraint checks;
+// it backs snapshot/checkpoint loading. Caller sorts the ID slices (via
+// finishLoad) once all rows are in.
+func (t *Table) loadRow(id int64, row []Value) {
+	p := t.part(id)
+	p.rows[id] = row
+	p.ids = append(p.ids, id)
+	t.ids = append(t.ids, id)
+	t.live++
+	for _, idx := range t.indexes {
+		idx.insert(row[idx.Col], id)
+	}
+}
+
+// finishLoad restores the sorted-ID invariant after a bulk loadRow pass
+// whose input order is not trusted.
+func (t *Table) finishLoad() {
+	sortInt64s(t.ids)
+	for _, p := range t.parts {
+		sortInt64s(p.ids)
+		p.mut++
+	}
+	t.mut++
 }
 
 // coerceRow validates a candidate full row against schema constraints
@@ -255,11 +470,12 @@ func (t *Table) coerceRow(vals []Value) ([]Value, error) {
 
 // Scan visits all rows in ascending row-ID order until fn returns false.
 // Row-ID order makes scans deterministic, which matters for reproducible
-// query output and for the test suite. The ID slice is maintained
-// incrementally on insert/delete, so a scan is O(n) with no sorting.
+// query output and for the test suite. The global ID slice is maintained
+// incrementally on insert/delete, so a scan is O(n) with no sorting and no
+// partition merge.
 func (t *Table) Scan(fn func(id int64, row []Value) bool) {
 	for _, id := range t.ids {
-		row, ok := t.rows[id]
+		row, ok := t.part(id).rows[id]
 		if !ok {
 			continue // tombstone left by Delete
 		}
@@ -362,11 +578,20 @@ func (t *Table) Indexes() []*Index {
 	return out
 }
 
-// Truncate removes all rows but keeps schema and index definitions.
+// Truncate removes all rows but keeps schema, index definitions and the
+// partition layout.
 func (t *Table) Truncate() {
-	t.rows = make(map[int64][]Value)
+	for _, p := range t.parts {
+		p.mu.Lock()
+		p.rows = make(map[int64][]Value)
+		p.ids = nil
+		p.dead = 0
+		p.mut++
+		p.mu.Unlock()
+	}
 	t.ids = nil
 	t.dead = 0
+	t.live = 0
 	t.mut++
 	for _, idx := range t.indexes {
 		idx.reset()
