@@ -1,0 +1,63 @@
+// Command gmlint runs the project's custom static analyzers over Go
+// packages and exits non-zero on any finding. It is the CI gate for the
+// engine's concurrency and durability invariants; see README.md ("Static
+// analysis") for the full list of checks and the suppression directive.
+//
+// Usage:
+//
+//	go run ./cmd/gmlint ./...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"genmapper/internal/lint"
+	"genmapper/internal/lint/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: gmlint [packages]\n\nRuns the genmapper analyzers over the packages (default ./...).\nSuppress a finding with //gmlint:ignore <analyzer> <justification>.\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	if err := run(patterns); err != nil {
+		fmt.Fprintln(os.Stderr, "gmlint:", err)
+		os.Exit(2)
+	}
+}
+
+func run(patterns []string) error {
+	loader := analysis.NewLoader(".")
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		return err
+	}
+	findings, err := analysis.RunAnalyzers(pkgs, lint.All())
+	if err != nil {
+		return err
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if n := len(findings); n > 0 {
+		fmt.Fprintf(os.Stderr, "gmlint: %d finding(s) in %d package(s)\n", n, len(pkgs))
+		os.Exit(1)
+	}
+	return nil
+}

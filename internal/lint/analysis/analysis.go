@@ -1,0 +1,227 @@
+// Package analysis is a dependency-free miniature of the
+// golang.org/x/tools/go/analysis framework: an Analyzer inspects one
+// type-checked package through a Pass and reports Diagnostics.
+//
+// The x/tools module is deliberately not a dependency — the repo builds
+// offline with the standard library only — so this package re-creates the
+// small slice of the API the gmlint analyzers need (Analyzer, Pass,
+// Diagnostic, a package loader, and suppression directives). Analyzers
+// written against it keep the upstream shape: if the real dependency ever
+// becomes available, porting is a matter of changing one import path.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one named check. Run inspects the package in its Pass
+// and reports findings via pass.Report; the returned value is ignored (kept
+// for upstream API parity).
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) (any, error)
+}
+
+// Pass hands an Analyzer one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Finding is a resolved diagnostic as emitted by the driver: position
+// resolved against the file set and tagged with the analyzer that found it.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Analyzer)
+}
+
+// ---------------------------------------------------------------------------
+// Suppression directives
+//
+// A finding is suppressed by a comment of the form
+//
+//	//gmlint:ignore <analyzer> <justification>
+//
+// placed either on the reported line or on the line directly above it. The
+// justification is mandatory: a bare directive suppresses nothing and is
+// itself reported, so every escape hatch in the tree documents why the
+// invariant does not apply.
+
+var directiveRe = regexp.MustCompile(`^//gmlint:ignore\s+([A-Za-z0-9_-]+)\s*(.*)$`)
+
+// directive is one parsed //gmlint:ignore comment.
+type directive struct {
+	analyzer string
+	reason   string
+	pos      token.Position
+}
+
+// parseDirectives extracts every gmlint directive from a file's comments.
+func parseDirectives(fset *token.FileSet, file *ast.File) []directive {
+	var out []directive
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			m := directiveRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			out = append(out, directive{
+				analyzer: m[1],
+				reason:   strings.TrimSpace(m[2]),
+				pos:      fset.Position(c.Pos()),
+			})
+		}
+	}
+	return out
+}
+
+// suppressor indexes a package's directives for fast lookup at report time.
+type suppressor struct {
+	// byLine maps file -> line -> analyzers suppressed on that line.
+	byLine map[string]map[int]map[string]bool
+	bad    []Finding // malformed directives, reported unconditionally
+}
+
+// newSuppressor scans the package files for directives. known names the
+// valid analyzers so typos are caught instead of silently ignored.
+func newSuppressor(fset *token.FileSet, files []*ast.File, known map[string]bool) *suppressor {
+	s := &suppressor{byLine: make(map[string]map[int]map[string]bool)}
+	codeLines := make(map[string]map[int]bool, len(files))
+	for _, f := range files {
+		codeLines[fset.Position(f.Pos()).Filename] = fileCodeLines(fset, f)
+	}
+	for _, f := range files {
+		for _, d := range parseDirectives(fset, f) {
+			switch {
+			case d.reason == "":
+				s.bad = append(s.bad, Finding{
+					Analyzer: "gmlint", Pos: d.pos,
+					Message: fmt.Sprintf("gmlint:ignore %s needs a justification after the analyzer name", d.analyzer),
+				})
+				continue
+			case known != nil && !known[d.analyzer]:
+				s.bad = append(s.bad, Finding{
+					Analyzer: "gmlint", Pos: d.pos,
+					Message: fmt.Sprintf("gmlint:ignore names unknown analyzer %q", d.analyzer),
+				})
+				continue
+			}
+			lines := s.byLine[d.pos.Filename]
+			if lines == nil {
+				lines = make(map[int]map[string]bool)
+				s.byLine[d.pos.Filename] = lines
+			}
+			// A trailing directive (code precedes it on the line) covers
+			// only its own line; a standalone one covers the next line —
+			// never both, so one directive cannot silence two findings.
+			covered := d.pos.Line + 1
+			if codeLines[d.pos.Filename][d.pos.Line] {
+				covered = d.pos.Line
+			}
+			if lines[covered] == nil {
+				lines[covered] = make(map[string]bool)
+			}
+			lines[covered][d.analyzer] = true
+		}
+	}
+	return s
+}
+
+// fileCodeLines records the lines on which non-comment tokens appear, so a
+// directive can tell whether it trails code or stands alone.
+func fileCodeLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := make(map[int]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil, *ast.Comment, *ast.CommentGroup:
+			return false
+		case *ast.Ident, *ast.BasicLit:
+			lines[fset.Position(n.Pos()).Line] = true
+		}
+		return true
+	})
+	return lines
+}
+
+// suppressed reports whether analyzer findings at pos are ignored.
+func (s *suppressor) suppressed(analyzer string, pos token.Position) bool {
+	lines := s.byLine[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[pos.Line][analyzer]
+}
+
+// RunAnalyzers applies the analyzers to every loaded package, resolves and
+// directive-filters the diagnostics, and returns them sorted by position.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var findings []Finding
+	for _, pkg := range pkgs {
+		sup := newSuppressor(pkg.Fset, pkg.Files, known)
+		findings = append(findings, sup.bad...)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			pass.Report = func(d Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				if sup.suppressed(a.Name, pos) {
+					return
+				}
+				findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+	return findings, nil
+}

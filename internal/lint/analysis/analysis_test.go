@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// reportCalls is a toy analyzer that flags every function call, giving the
+// directive machinery something to suppress.
+var reportCalls = &Analyzer{
+	Name: "reportcalls",
+	Doc:  "flags every call expression (test analyzer)",
+	Run: func(pass *Pass) (any, error) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if c, ok := n.(*ast.CallExpr); ok {
+					pass.Reportf(c.Pos(), "call found")
+				}
+				return true
+			})
+		}
+		return nil, nil
+	},
+}
+
+// loadFixture writes src as a one-file package under a temp GOPATH-style
+// tree and loads it.
+func loadFixture(t *testing.T, src string) []*Package {
+	t.Helper()
+	root := t.TempDir()
+	dir := filepath.Join(root, "src", "p")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loader := NewLoader(".", root)
+	pkgs, err := loader.LoadPaths("p")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	return pkgs
+}
+
+func runOn(t *testing.T, src string) []Finding {
+	t.Helper()
+	findings, err := RunAnalyzers(loadFixture(t, src), []*Analyzer{reportCalls})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return findings
+}
+
+func messages(fs []Finding) []string {
+	out := make([]string, len(fs))
+	for i, f := range fs {
+		out[i] = f.Analyzer + ": " + f.Message
+	}
+	return out
+}
+
+func TestDirectiveSuppressesOwnAndNextLine(t *testing.T) {
+	findings := runOn(t, `package p
+func f() {}
+func g() {
+	//gmlint:ignore reportcalls covered: the call below is intentional
+	f()
+	f() //gmlint:ignore reportcalls trailing form also works
+	f()
+}
+`)
+	if len(findings) != 1 {
+		t.Fatalf("want exactly the unsuppressed call reported, got %v", messages(findings))
+	}
+	if findings[0].Pos.Line != 7 {
+		t.Errorf("finding at line %d, want the third call on line 7", findings[0].Pos.Line)
+	}
+}
+
+func TestDirectiveWithoutJustificationIsReported(t *testing.T) {
+	findings := runOn(t, `package p
+func f() {}
+func g() {
+	//gmlint:ignore reportcalls
+	f()
+}
+`)
+	if len(findings) != 2 {
+		t.Fatalf("want bare directive rejected and the call still reported, got %v", messages(findings))
+	}
+	var sawBad, sawCall bool
+	for _, f := range findings {
+		if f.Analyzer == "gmlint" && strings.Contains(f.Message, "needs a justification") {
+			sawBad = true
+		}
+		if f.Analyzer == "reportcalls" {
+			sawCall = true
+		}
+	}
+	if !sawBad || !sawCall {
+		t.Errorf("got %v", messages(findings))
+	}
+}
+
+func TestDirectiveUnknownAnalyzerIsReported(t *testing.T) {
+	findings := runOn(t, `package p
+func f() {}
+func g() {
+	//gmlint:ignore nosuchcheck speculative suppression
+	f()
+}
+`)
+	var sawUnknown bool
+	for _, f := range findings {
+		if f.Analyzer == "gmlint" && strings.Contains(f.Message, `unknown analyzer "nosuchcheck"`) {
+			sawUnknown = true
+		}
+	}
+	if !sawUnknown {
+		t.Errorf("unknown-analyzer directive not reported: %v", messages(findings))
+	}
+}
+
+func TestFindingsSortedByPosition(t *testing.T) {
+	findings := runOn(t, `package p
+func f() {}
+func g() { f(); f() }
+func h() { f() }
+`)
+	if len(findings) != 3 {
+		t.Fatalf("want 3 findings, got %v", messages(findings))
+	}
+	for i := 1; i < len(findings); i++ {
+		a, b := findings[i-1].Pos, findings[i].Pos
+		if a.Line > b.Line || (a.Line == b.Line && a.Column > b.Column) {
+			t.Errorf("findings out of order: %v before %v", a, b)
+		}
+	}
+}

@@ -1,0 +1,273 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader type-checks packages without golang.org/x/tools: module packages
+// are parsed and checked from source (in the dependency order `go list`
+// reports), while standard-library imports are satisfied from the
+// compiler's export data, located via `go list -export`. Everything works
+// offline — the only external process is the go tool itself.
+type Loader struct {
+	Fset *token.FileSet
+	// Dir is where go list runs; any directory inside the module works.
+	Dir string
+	// SrcDirs are GOPATH-style roots (containing a src/ tree) consulted
+	// before module and standard-library resolution. The analysistest
+	// fixture runner points this at a testdata directory, which also lets
+	// fixtures shadow real module import paths with small stubs.
+	SrcDirs []string
+
+	exports map[string]string   // import path -> export data file
+	pkgs    map[string]*Package // source-checked packages
+	gcImp   types.Importer      // reads export data through lookupExport
+}
+
+// NewLoader returns a loader rooted at dir.
+func NewLoader(dir string, srcDirs ...string) *Loader {
+	l := &Loader{
+		Fset:    token.NewFileSet(),
+		Dir:     dir,
+		SrcDirs: srcDirs,
+		exports: make(map[string]string),
+		pkgs:    make(map[string]*Package),
+	}
+	l.gcImp = importer.ForCompiler(l.Fset, "gc", l.lookupExport)
+	return l
+}
+
+// listedPackage is the subset of `go list -json` output the loader uses.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -deps -json -export` for the patterns and decodes
+// the JSON stream.
+func (l *Loader) goList(patterns []string) ([]listedPackage, error) {
+	args := append([]string{"list", "-deps", "-json", "-export", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []listedPackage
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decode: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Load loads the packages matching the go patterns (e.g. "./...") plus
+// their dependencies and returns the matched (non-dependency) packages,
+// type-checked, in import-path order.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	listed, err := l.goList(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var roots []string
+	// `go list -deps` emits dependencies before dependents, so checking in
+	// stream order always finds imports already loaded.
+	for _, p := range listed {
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Module == nil {
+			if p.Export != "" {
+				l.exports[p.ImportPath] = p.Export
+			}
+			continue
+		}
+		if _, err := l.loadSource(p.ImportPath, p.Dir, p.GoFiles); err != nil {
+			return nil, err
+		}
+		if !p.DepOnly {
+			roots = append(roots, p.ImportPath)
+		}
+	}
+	sort.Strings(roots)
+	out := make([]*Package, 0, len(roots))
+	for _, path := range roots {
+		out = append(out, l.pkgs[path])
+	}
+	return out, nil
+}
+
+// LoadPaths loads the given import paths through the SrcDirs roots (fixture
+// mode). Paths not found under any SrcDir fall back to module/stdlib
+// resolution.
+func (l *Loader) LoadPaths(paths ...string) ([]*Package, error) {
+	out := make([]*Package, 0, len(paths))
+	for _, path := range paths {
+		tp, err := l.importPkg(path)
+		if err != nil {
+			return nil, err
+		}
+		pkg := l.pkgs[tp.Path()]
+		if pkg == nil {
+			return nil, fmt.Errorf("lint: %s did not load from source", path)
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// lookupExport feeds the gc importer the export data file for an import
+// path, shelling out to `go list -export` for paths not yet indexed (the
+// standard library builds its export data into the local build cache, so
+// this works offline).
+func (l *Loader) lookupExport(path string) (io.ReadCloser, error) {
+	if _, ok := l.exports[path]; !ok {
+		listed, err := l.goList([]string{path})
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			if p.Export != "" {
+				l.exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	file, ok := l.exports[path]
+	if !ok {
+		return nil, fmt.Errorf("lint: no export data for %q", path)
+	}
+	return os.Open(file)
+}
+
+// srcDirFor resolves an import path against the SrcDirs roots.
+func (l *Loader) srcDirFor(path string) (string, bool) {
+	for _, root := range l.SrcDirs {
+		dir := filepath.Join(root, "src", filepath.FromSlash(path))
+		if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+			return dir, true
+		}
+	}
+	return "", false
+}
+
+// importPkg resolves one import: SrcDirs first, then already-loaded source
+// packages, then export data.
+func (l *Loader) importPkg(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg.Types, nil
+	}
+	if dir, ok := l.srcDirFor(path); ok {
+		pkg, err := l.loadSource(path, dir, nil)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.gcImp.Import(path)
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// loadSource parses and type-checks one package from source. files == nil
+// lists the directory (fixture mode: every non-test .go file).
+func (l *Loader) loadSource(path, dir string, files []string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if files == nil {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", path, err)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			files = append(files, name)
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: %s: no Go files in %s", path, dir)
+	}
+	var syntax []*ast.File
+	for _, name := range files {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %w", path, err)
+		}
+		syntax = append(syntax, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: importerFunc(l.importPkg),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tp, err := conf.Check(path, l.Fset, syntax, info)
+	if len(typeErrs) > 0 {
+		msgs := make([]string, 0, len(typeErrs))
+		for i, e := range typeErrs {
+			if i == 8 {
+				msgs = append(msgs, fmt.Sprintf("... and %d more", len(typeErrs)-i))
+				break
+			}
+			msgs = append(msgs, e.Error())
+		}
+		return nil, fmt.Errorf("lint: type-check %s:\n  %s", path, strings.Join(msgs, "\n  "))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-check %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: syntax, Types: tp, Info: info}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}

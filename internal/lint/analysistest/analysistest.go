@@ -1,0 +1,137 @@
+// Package analysistest runs an analyzer over fixture packages and checks
+// its diagnostics against expectations written in the fixtures, mirroring
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture tree is GOPATH-shaped: testdata/src/<importpath>/*.go. Because
+// the loader consults the fixture tree before the real module, fixtures
+// may shadow real import paths (e.g. genmapper/internal/sqldb) with small
+// stubs, so analyzers that match on fully-qualified type names work
+// unchanged against fixture code.
+//
+// Expectations are `// want` comments on the line the diagnostic is
+// reported on:
+//
+//	w.Append(rec) // want `error from WAL\.Append is discarded`
+//
+// Each backquoted or double-quoted string is a regexp that must match one
+// diagnostic message on that line; diagnostics with no matching
+// expectation, and expectations with no matching diagnostic, fail the
+// test. Findings from malformed //gmlint:ignore directives are reported
+// under the name "gmlint" and are matched the same way.
+package analysistest
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+
+	"genmapper/internal/lint/analysis"
+)
+
+// expectation is one `// want` regexp at a file:line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRe = regexp.MustCompile("//\\s*want\\s+(.*)$")
+var argRe = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// Run loads each fixture package under testdata/src, applies the analyzer,
+// and reports mismatches through t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	loader := analysis.NewLoader(".", testdata)
+	pkgs, err := loader.LoadPaths(paths...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	findings, err := analysis.RunAnalyzers(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			wants = append(wants, parseWants(t, pkg.Fset, f)...)
+		}
+	}
+
+	for _, f := range findings {
+		if !consume(wants, f) {
+			t.Errorf("unexpected diagnostic: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// consume marks the first unmatched expectation matching the finding.
+func consume(wants []*expectation, f analysis.Finding) bool {
+	for _, w := range wants {
+		if w.matched || w.file != f.Pos.Filename || w.line != f.Pos.Line {
+			continue
+		}
+		if w.re.MatchString(f.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// parseWants extracts the `// want` expectations from one fixture file.
+func parseWants(t *testing.T, fset *token.FileSet, file *ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			m := wantRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			args := argRe.FindAllStringSubmatch(m[1], -1)
+			if len(args) == 0 {
+				t.Fatalf("%s: `// want` with no quoted regexp", pos)
+			}
+			for _, a := range args {
+				src := a[1]
+				if src == "" {
+					src = unquoteish(a[2])
+				}
+				re, err := regexp.Compile(src)
+				if err != nil {
+					t.Fatalf("%s: bad want regexp %q: %v", pos, src, err)
+				}
+				out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return out
+}
+
+// unquoteish undoes the escaping inside a double-quoted want argument.
+func unquoteish(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			i++
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+// Testdata returns the conventional fixture root for the calling package.
+func Testdata() string {
+	return "testdata"
+}

@@ -1,0 +1,22 @@
+// Cross-package discipline for unregistered atomic fields.
+package a
+
+import "counter"
+
+func mutateForeign(c *counter.C) {
+	c.N.Add(1) // want `atomic field counter\.C\.N is mutated outside its declaring package`
+}
+
+func readForeign(c *counter.C) int64 {
+	return c.N.Load() // reads through the atomic API are fine
+}
+
+func copyValue(c *counter.C) {
+	v := c.N // want `atomic field counter\.C\.N is used as a plain value`
+	_ = v
+}
+
+func escapeAddr(c *counter.C) {
+	p := &c.N // want `address of atomic field counter\.C\.N escapes`
+	_ = p
+}

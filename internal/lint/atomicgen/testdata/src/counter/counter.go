@@ -1,0 +1,11 @@
+// An unregistered atomic field: its owner may mutate it freely, everyone
+// else may only call its methods.
+package counter
+
+import "sync/atomic"
+
+type C struct {
+	N atomic.Int64
+}
+
+func (c *C) Bump() { c.N.Add(1) } // owner package: fine

@@ -1,0 +1,26 @@
+// Stub of the real genmapper/internal/sqldb package. The registered
+// counter DB.gen is unexported, so both the accessor and the violations
+// live here, exactly as they would in the real package.
+package sqldb
+
+import "sync/atomic"
+
+type DB struct {
+	gen atomic.Uint64
+}
+
+// bumpSchemaGen is the one registered accessor for DB.gen.
+func (db *DB) bumpSchemaGen() { db.gen.Add(1) }
+
+func (db *DB) restoreFast() {
+	db.gen.Store(0) // want `DB\.gen is mutated outside its accessor bumpSchemaGen`
+}
+
+func (db *DB) snapshotGen() uint64 {
+	return db.gen.Load() // reads are fine anywhere
+}
+
+func (db *DB) resetForTests() {
+	//gmlint:ignore atomicgen restore rebuilds the schema wholesale; old generations are unreachable
+	db.gen.Store(0)
+}

@@ -1,0 +1,322 @@
+// Package cursorclose checks that every streaming cursor obtained from the
+// engine is closed on all paths or explicitly handed off.
+//
+// A cursor produced by QueryCursor pins resources — on parallel plans a
+// whole worker pool — until Close runs, so a leaked cursor is a goroutine
+// leak. For each call whose result is (or implements) sqldb.Cursor the
+// analyzer requires, within the same function, one of:
+//
+//   - a Close call on the cursor variable (deferred or direct);
+//   - a hand-off: the cursor is returned, sent on a channel, stored in a
+//     struct/slice/map, or passed to another function, which transfers
+//     the close obligation to the receiver.
+//
+// When the close is direct (not deferred), return statements between the
+// open and the close are flagged unless they are guarded by the open's own
+// error result — the `if err != nil { return err }` idiom.
+package cursorclose
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"genmapper/internal/lint/analysis"
+	"genmapper/internal/lint/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "cursorclose",
+	Doc:  "requires cursors to be closed on all paths or handed off",
+	Run:  run,
+}
+
+const sqldbPath = "genmapper/internal/sqldb"
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkBody(pass, fn.Body)
+		}
+	}
+	return nil, nil
+}
+
+// checkBody finds cursor-producing calls in one function body (function
+// literals are analyzed as their own bodies) and tracks each cursor.
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	lintutil.WalkStack(body, func(n ast.Node, stack []ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && len(stack) > 0 {
+			checkBody(pass, n.(*ast.FuncLit).Body)
+			return false
+		}
+		switch st := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := st.X.(*ast.CallExpr); ok {
+				if idx := cursorResults(pass, call); len(idx) > 0 {
+					pass.Reportf(call.Pos(), "cursor returned by %s is discarded without Close", callName(call))
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			checkAssign(pass, body, st)
+		}
+		return true
+	})
+}
+
+func checkAssign(pass *analysis.Pass, body *ast.BlockStmt, st *ast.AssignStmt) {
+	if len(st.Rhs) != 1 {
+		return
+	}
+	call, ok := st.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	idx := cursorResults(pass, call)
+	if len(idx) == 0 {
+		return
+	}
+	errObj := assignErrObj(pass, st, call)
+	for _, i := range idx {
+		if i >= len(st.Lhs) {
+			return // single-value context feeding a call etc.
+		}
+		id, ok := st.Lhs[i].(*ast.Ident)
+		if !ok {
+			return // stored into a field/index: a hand-off
+		}
+		if id.Name == "_" {
+			pass.Reportf(st.Pos(), "cursor returned by %s is discarded without Close", callName(call))
+			continue
+		}
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Uses[id]
+		}
+		if obj == nil {
+			continue
+		}
+		trackCursor(pass, body, st, call, obj, errObj)
+	}
+}
+
+// cursorUse summarizes how one cursor variable is consumed.
+type cursorUse struct {
+	closePos token.Pos // first Close call, or NoPos
+	deferred bool      // that Close is deferred
+	escaped  bool      // handed off: returned, passed, stored, sent
+	returns  []returnSite
+}
+
+type returnSite struct {
+	pos     token.Pos
+	end     token.Pos
+	guarded bool // inside an if whose condition tests the open's error
+}
+
+func trackCursor(pass *analysis.Pass, body *ast.BlockStmt, open *ast.AssignStmt, call *ast.CallExpr, obj, errObj types.Object) {
+	var u cursorUse
+	lintutil.WalkStack(body, func(n ast.Node, stack []ast.Node) bool {
+		switch t := n.(type) {
+		case *ast.Ident:
+			if pass.TypesInfo.Uses[t] != obj || t.Pos() <= open.End() {
+				return true
+			}
+			classifyUse(t, stack, &u)
+		case *ast.ReturnStmt:
+			if t.Pos() > open.End() {
+				u.returns = append(u.returns, returnSite{pos: t.Pos(), end: t.End(), guarded: errGuarded(pass, stack, errObj)})
+			}
+		}
+		return true
+	})
+
+	if u.escaped {
+		return
+	}
+	if u.closePos == token.NoPos {
+		pass.Reportf(open.Pos(), "cursor returned by %s is never closed; close it on every path or hand it off", callName(call))
+		return
+	}
+	// Direct (and even deferred) closes leave a window between the open and
+	// the close statement where an early return leaks the cursor. Returns
+	// guarded by the open's own error are the nil-cursor path and are fine.
+	for _, r := range u.returns {
+		if r.end >= u.closePos {
+			continue // `return cur.Close()` and later returns: the close runs
+		}
+		if !r.guarded {
+			pass.Reportf(r.pos, "return may leak the cursor opened by %s before it is closed", callName(call))
+		}
+	}
+}
+
+// classifyUse updates u for one appearance of the cursor variable.
+func classifyUse(id *ast.Ident, stack []ast.Node, u *cursorUse) {
+	if len(stack) == 0 {
+		return
+	}
+	parent := stack[len(stack)-1]
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		if p.X != ast.Expr(id) {
+			return
+		}
+		if p.Sel.Name != "Close" {
+			return // Next/Columns etc: plain use
+		}
+		// cur.Close — only counts when actually called.
+		if len(stack) >= 2 {
+			if c, ok := stack[len(stack)-2].(*ast.CallExpr); ok && c.Fun == ast.Expr(p) {
+				if u.closePos == token.NoPos || c.Pos() < u.closePos {
+					u.closePos = c.Pos()
+					u.deferred = isDeferred(stack)
+				}
+				return
+			}
+		}
+		// cur.Close passed as a method value: treat as a hand-off.
+		u.escaped = true
+	case *ast.CallExpr:
+		for _, a := range p.Args {
+			if a == ast.Expr(id) {
+				u.escaped = true
+				return
+			}
+		}
+	case *ast.ReturnStmt, *ast.SendStmt, *ast.CompositeLit, *ast.KeyValueExpr, *ast.IndexExpr:
+		u.escaped = true
+	case *ast.UnaryExpr:
+		if p.Op == token.AND {
+			u.escaped = true
+		}
+	case *ast.AssignStmt:
+		for _, r := range p.Rhs {
+			if r == ast.Expr(id) {
+				u.escaped = true // aliased or stored: obligation moves
+				return
+			}
+		}
+	case *ast.BinaryExpr:
+		// comparisons like cur != nil: plain use
+	}
+}
+
+func isDeferred(stack []ast.Node) bool {
+	for _, n := range stack {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// errGuarded reports whether the return site sits inside an if statement
+// whose condition mentions the error object returned alongside the cursor.
+func errGuarded(pass *analysis.Pass, stack []ast.Node, errObj types.Object) bool {
+	if errObj == nil {
+		return false
+	}
+	for _, n := range stack {
+		ifst, ok := n.(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		found := false
+		ast.Inspect(ifst.Cond, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == errObj {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// assignErrObj returns the object bound to the call's error result in the
+// open assignment, if any.
+func assignErrObj(pass *analysis.Pass, st *ast.AssignStmt, call *ast.CallExpr) types.Object {
+	errIdx, n := lintutil.ErrorResults(pass.TypesInfo, call)
+	if len(errIdx) != 1 || len(st.Lhs) != n {
+		return nil
+	}
+	id, ok := st.Lhs[errIdx[0]].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+// cursorResults returns the result indices of the call whose type is the
+// sqldb Cursor interface or a named type implementing it.
+func cursorResults(pass *analysis.Pass, call *ast.CallExpr) []int {
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok {
+		return nil
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		var idx []int
+		for i := 0; i < t.Len(); i++ {
+			if isCursor(t.At(i).Type()) {
+				idx = append(idx, i)
+			}
+		}
+		return idx
+	default:
+		if isCursor(tv.Type) {
+			return []int{0}
+		}
+	}
+	return nil
+}
+
+// callName renders the called expression for diagnostics ("db.QueryCursor").
+func callName(call *ast.CallExpr) string {
+	switch f := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if id, ok := f.X.(*ast.Ident); ok {
+			return id.Name + "." + f.Sel.Name
+		}
+		return f.Sel.Name
+	case *ast.Ident:
+		return f.Name
+	}
+	return "the call"
+}
+
+// isCursor matches the sqldb.Cursor interface itself and any named sqldb
+// type that implements it (a future concrete Open*Cursor result).
+func isCursor(t types.Type) bool {
+	n, ok := lintutil.Deref(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != sqldbPath {
+		return false
+	}
+	if obj.Name() == "Cursor" {
+		return true
+	}
+	curObj := obj.Pkg().Scope().Lookup("Cursor")
+	if curObj == nil {
+		return false
+	}
+	iface, ok := curObj.Type().Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	return types.Implements(t, iface) || types.Implements(types.NewPointer(t), iface)
+}

@@ -1,0 +1,12 @@
+package cursorclose_test
+
+import (
+	"testing"
+
+	"genmapper/internal/lint/analysistest"
+	"genmapper/internal/lint/cursorclose"
+)
+
+func TestCursorclose(t *testing.T) {
+	analysistest.Run(t, analysistest.Testdata(), cursorclose.Analyzer, "a", "b")
+}

@@ -1,0 +1,32 @@
+// Positive fixtures: leaked cursors the analyzer must catch.
+package a
+
+import sqldb "genmapper/internal/sqldb"
+
+func leak(db *sqldb.DB) error {
+	cur, err := db.QueryCursor("SELECT 1") // want `cursor returned by db\.QueryCursor is never closed`
+	if err != nil {
+		return err
+	}
+	_, err = cur.Next()
+	return err
+}
+
+func discard(db *sqldb.DB) {
+	db.QueryCursor("SELECT 1") // want `cursor returned by db\.QueryCursor is discarded without Close`
+}
+
+func blanked(db *sqldb.DB) {
+	_, _ = db.QueryCursor("SELECT 1") // want `cursor returned by db\.QueryCursor is discarded without Close`
+}
+
+func earlyReturn(db *sqldb.DB, n int) error {
+	cur, err := db.QueryCursor("SELECT 1")
+	if err != nil {
+		return err
+	}
+	if n > 0 {
+		return nil // want `return may leak the cursor opened by db\.QueryCursor`
+	}
+	return cur.Close()
+}

@@ -1,0 +1,68 @@
+// Negative fixtures: closes and hand-offs the analyzer must accept.
+package b
+
+import sqldb "genmapper/internal/sqldb"
+
+// The canonical consumer: err-guarded open, deferred close.
+func deferClose(db *sqldb.DB) error {
+	cur, err := db.QueryCursor("SELECT 1")
+	if err != nil {
+		return err
+	}
+	defer cur.Close()
+	for {
+		row, err := cur.Next()
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			return nil
+		}
+	}
+}
+
+// Direct close with only err-guarded returns in between.
+func directClose(db *sqldb.DB) error {
+	cur, err := db.QueryCursor("SELECT 1")
+	if err != nil {
+		return err
+	}
+	return cur.Close()
+}
+
+// Returning the cursor hands the close obligation to the caller.
+func open(db *sqldb.DB) (sqldb.Cursor, error) {
+	cur, err := db.QueryCursor("SELECT 1")
+	if err != nil {
+		return nil, err
+	}
+	return cur, nil
+}
+
+// Passing the cursor to another function is a hand-off too.
+func give(db *sqldb.DB, sink func(sqldb.Cursor) error) error {
+	cur, err := db.QueryCursor("SELECT 1")
+	if err != nil {
+		return err
+	}
+	return sink(cur)
+}
+
+// Storing the cursor moves the obligation to the struct's owner.
+type stream struct{ cur sqldb.Cursor }
+
+func hold(db *sqldb.DB, s *stream) error {
+	cur, err := db.QueryCursor("SELECT 1")
+	if err != nil {
+		return err
+	}
+	s.cur = cur
+	return nil
+}
+
+// The directive documents a deliberate leak (e.g. process exits next).
+func intentional(db *sqldb.DB) {
+	//gmlint:ignore cursorclose probe for plan errors only; the process exits before iterating
+	cur, _ := db.QueryCursor("SELECT 1")
+	cur.Next()
+}

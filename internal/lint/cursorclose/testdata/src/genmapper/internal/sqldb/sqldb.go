@@ -1,0 +1,14 @@
+// Stub of the cursor surface of genmapper/internal/sqldb.
+package sqldb
+
+type Value any
+
+type Cursor interface {
+	Columns() []string
+	Next() ([]Value, error)
+	Close() error
+}
+
+type DB struct{}
+
+func (db *DB) QueryCursor(sql string, args ...any) (Cursor, error) { return nil, nil }

@@ -1,0 +1,201 @@
+// Package errdrop flags discarded errors from WAL, IO and Close calls.
+//
+// The engine's durability story depends on error results that are easy to
+// throw away: wal.Append/Durable/Rotate, file Sync/Close, os.Remove during
+// segment pruning. staticcheck's defaults let an `f.Close()` statement
+// through; this analyzer does not. A drop is either the call standing alone
+// as a statement or an error result assigned to `_`.
+//
+// Two idioms stay legal without a directive:
+//
+//   - `defer f.Close()` — the deferred-cleanup convention;
+//   - a Close/Remove drop inside a conditional error path that ends in a
+//     return (best-effort cleanup while propagating an earlier error).
+//
+// Everything else needs `//gmlint:ignore errdrop <why>`.
+package errdrop
+
+import (
+	"go/ast"
+	"strings"
+
+	"genmapper/internal/lint/analysis"
+	"genmapper/internal/lint/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "errdrop",
+	Doc:  "flags discarded errors from WAL, IO and Close calls",
+	Run:  run,
+}
+
+// closeLike methods are checked on any receiver; their single error result
+// is the only signal the resource was released cleanly.
+var closeLike = map[string]bool{"Close": true, "Sync": true, "Flush": true}
+
+// osFuncs are package-level functions whose error must be checked.
+var osFuncs = map[string]bool{
+	"os.Remove":    true,
+	"os.RemoveAll": true,
+	"os.Rename":    true,
+}
+
+// dbMethods are durability-relevant DB methods outside the wal package.
+var dbMethods = map[string]bool{
+	"genmapper/internal/sqldb.DB.Checkpoint": true,
+	"genmapper/internal/sqldb.DB.Save":       true,
+	"genmapper/internal/sqldb.DB.Restore":    true,
+	"genmapper/internal/sqldb.DB.Dump":       true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if ok && fn.Body != nil {
+				checkFunc(pass, fn.Body)
+			}
+		}
+	}
+	return nil, nil
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	lintutil.WalkStack(body, func(n ast.Node, stack []ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.DeferStmt, *ast.GoStmt:
+			// defer f.Close() is the accepted cleanup idiom, and a
+			// goroutine's call expression is not a discard site itself.
+			return false
+		case *ast.ExprStmt:
+			call, ok := st.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, watched := watchedCall(pass, call); watched {
+				if errorPathExempt(name, st, stack) {
+					return true
+				}
+				pass.Reportf(call.Pos(), "error from %s is discarded; handle it or add //gmlint:ignore errdrop <why>", name)
+			}
+			return true
+		case *ast.AssignStmt:
+			checkAssign(pass, st)
+			return true
+		}
+		return true
+	})
+}
+
+// checkAssign flags `_ = call()` / `x, _ := call()` where the blanked
+// position is a watched call's error result.
+func checkAssign(pass *analysis.Pass, st *ast.AssignStmt) {
+	if len(st.Rhs) != 1 {
+		return
+	}
+	call, ok := st.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	name, watched := watchedCall(pass, call)
+	if !watched {
+		return
+	}
+	errIdx, n := lintutil.ErrorResults(pass.TypesInfo, call)
+	if len(errIdx) == 0 || len(st.Lhs) != n {
+		return
+	}
+	for _, i := range errIdx {
+		if id, ok := st.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+			pass.Reportf(st.Pos(), "error from %s is assigned to _; handle it or add //gmlint:ignore errdrop <why>", name)
+			return
+		}
+	}
+}
+
+// watchedCall reports whether the call's error result is one this analyzer
+// insists on, and returns a display name for it.
+func watchedCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	errIdx, _ := lintutil.ErrorResults(pass.TypesInfo, call)
+	if len(errIdx) == 0 {
+		return "", false
+	}
+	if _, recvKey, method, ok := lintutil.MethodCall(pass.TypesInfo, call); ok {
+		name := shortType(recvKey) + "." + method
+		if strings.HasPrefix(recvKey, "genmapper/internal/wal.") {
+			return name, true
+		}
+		if closeLike[method] {
+			return name, true
+		}
+		if dbMethods[recvKey+"."+method] {
+			return name, true
+		}
+		return "", false
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if obj := pass.TypesInfo.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil {
+			full := obj.Pkg().Path() + "." + obj.Name()
+			if osFuncs[full] {
+				return full, true
+			}
+		}
+	}
+	return "", false
+}
+
+// shortType trims the import path off a receiver key for messages.
+func shortType(recvKey string) string {
+	if i := strings.LastIndex(recvKey, "/"); i >= 0 {
+		recvKey = recvKey[i+1:]
+	}
+	if i := strings.Index(recvKey, "."); i >= 0 {
+		recvKey = recvKey[i+1:]
+	}
+	return recvKey
+}
+
+// errorPathExempt reports whether a Close/Remove drop is best-effort
+// cleanup on a conditional error path: the statement sits inside an if (or
+// similar nested block, not the function body itself) whose block goes on
+// to return or panic. In that position the original error is being
+// propagated and the cleanup result has nowhere useful to go.
+func errorPathExempt(name string, st *ast.ExprStmt, stack []ast.Node) bool {
+	short := name[strings.LastIndex(name, ".")+1:]
+	if !closeLike[short] && !osFuncs[name] {
+		return false
+	}
+	// stack[0] is the function body; require at least one intervening
+	// block so top-level drops are never exempt.
+	var block *ast.BlockStmt
+	for i := len(stack) - 1; i > 0; i-- {
+		if b, ok := stack[i].(*ast.BlockStmt); ok {
+			block = b
+			break
+		}
+	}
+	if block == nil {
+		return false
+	}
+	seen := false
+	for _, s := range block.List {
+		if s == ast.Stmt(st) {
+			seen = true
+			continue
+		}
+		if !seen {
+			continue
+		}
+		switch t := s.(type) {
+		case *ast.ReturnStmt, *ast.BranchStmt:
+			return true
+		case *ast.ExprStmt:
+			if c, ok := t.X.(*ast.CallExpr); ok {
+				if id, ok := c.Fun.(*ast.Ident); ok && id.Name == "panic" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

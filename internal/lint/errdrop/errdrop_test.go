@@ -1,0 +1,12 @@
+package errdrop_test
+
+import (
+	"testing"
+
+	"genmapper/internal/lint/analysistest"
+	"genmapper/internal/lint/errdrop"
+)
+
+func TestErrdrop(t *testing.T) {
+	analysistest.Run(t, analysistest.Testdata(), errdrop.Analyzer, "a", "b")
+}

@@ -1,0 +1,27 @@
+// Positive fixtures: every discarded error this analyzer must catch.
+package a
+
+import (
+	"os"
+
+	"genmapper/internal/wal"
+)
+
+type conn struct{}
+
+func (conn) Close() error { return nil }
+
+func drops(w *wal.WAL, f wal.File, c conn) {
+	w.Append(nil)        // want `error from WAL\.Append is discarded`
+	_, _ = w.Append(nil) // want `error from WAL\.Append is assigned to _`
+	_ = w.Rotate()       // want `error from WAL\.Rotate is assigned to _`
+	f.Sync()             // want `error from File\.Sync is discarded`
+	c.Close()            // want `error from conn\.Close is discarded`
+	os.Remove("x")       // want `error from os\.Remove is discarded`
+}
+
+func dropInLoopWithoutReturn(sys []conn) {
+	for _, c := range sys {
+		c.Close() // want `error from conn\.Close is discarded`
+	}
+}

@@ -1,0 +1,32 @@
+// Negative fixtures: every idiom the analyzer must leave alone.
+package b
+
+import (
+	"os"
+
+	"genmapper/internal/wal"
+)
+
+func clean(w *wal.WAL, f wal.File) error {
+	if _, err := w.Append(nil); err != nil {
+		return err
+	}
+	defer f.Close() // deferred cleanup is the accepted idiom
+	if err := f.Sync(); err != nil {
+		f.Close() // best-effort close while propagating the sync error
+		return err
+	}
+	//gmlint:ignore errdrop rotation is advisory; the next append retries it
+	_ = w.Rotate()
+	return os.Remove("x")
+}
+
+func cleanupBeforeBreak(files []wal.File) {
+	for _, f := range files {
+		if f == nil {
+			continue
+		}
+		f.Close() // error path ends in a branch: best-effort cleanup
+		break
+	}
+}

@@ -1,0 +1,14 @@
+// Stub of the real genmapper/internal/wal package: the analyzer matches on
+// fully-qualified type names, so shadowing the import path is enough.
+package wal
+
+type WAL struct{}
+
+func (w *WAL) Append(b []byte) (uint64, error) { return 0, nil }
+func (w *WAL) Durable(lsn uint64) error        { return nil }
+func (w *WAL) Rotate() error                   { return nil }
+
+type File interface {
+	Sync() error
+	Close() error
+}

@@ -1,0 +1,130 @@
+// Package lintutil holds the small type-identification helpers the gmlint
+// analyzers share: resolving a selector to the "pkgpath.Type.field" key of
+// the struct field it selects, splitting method calls into receiver and
+// name, and a parent-tracking AST walk.
+package lintutil
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Deref unwraps one level of pointer.
+func Deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// NamedKey returns "pkgpath.TypeName" for a (possibly pointer-to) named
+// type, or "" when t is not named or predeclared.
+func NamedKey(t types.Type) string {
+	n, ok := Deref(t).(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// FieldKey resolves a selector expression that selects a struct field to
+// the key "pkgpath.OwnerType.fieldName" (the owner is the receiver's named
+// type, so promoted fields report the outermost type). The boolean is false
+// for anything that is not a field selection.
+func FieldKey(info *types.Info, e ast.Expr) (string, bool) {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	s := info.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return "", false
+	}
+	owner := NamedKey(s.Recv())
+	if owner == "" {
+		return "", false
+	}
+	return owner + "." + s.Obj().Name(), true
+}
+
+// FieldType returns the selected struct field's type for a field selector,
+// or nil.
+func FieldType(info *types.Info, e ast.Expr) types.Type {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s := info.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return nil
+	}
+	return s.Obj().Type()
+}
+
+// MethodCall splits a call on a method value (x.M(...)) into the receiver
+// expression, the receiver's named-type key and the method name. ok is
+// false for plain function calls and non-method selections.
+func MethodCall(info *types.Info, call *ast.CallExpr) (recv ast.Expr, recvKey, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", "", false
+	}
+	s := info.Selections[sel]
+	if s == nil || s.Kind() != types.MethodVal {
+		return nil, "", "", false
+	}
+	key := NamedKey(s.Recv())
+	if key == "" {
+		return nil, "", "", false
+	}
+	return sel.X, key, sel.Sel.Name, true
+}
+
+// WalkStack traverses the AST depth-first in source order, calling fn with
+// every node and the stack of its ancestors (outermost first, not
+// including the node itself). Returning false skips the node's children.
+func WalkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		descend := fn(n, stack)
+		if descend {
+			stack = append(stack, n)
+			return true
+		}
+		return false
+	})
+}
+
+// ErrorResults returns the indices of a call's results whose type is the
+// predeclared error interface; n is the total result count.
+func ErrorResults(info *types.Info, call *ast.CallExpr) (idx []int, n int) {
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return nil, 0
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return nil, 0
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if isErrorType(res.At(i).Type()) {
+			idx = append(idx, i)
+		}
+	}
+	return idx, res.Len()
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return types.Implements(t, errorIface)
+}

@@ -1,0 +1,13 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"genmapper/internal/lint/analysistest"
+	"genmapper/internal/lint/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	analysistest.Run(t, analysistest.Testdata(), lockorder.Analyzer,
+		"genmapper/internal/sqldb", "genmapper/internal/wal")
+}

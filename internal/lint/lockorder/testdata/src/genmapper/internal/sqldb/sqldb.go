@@ -1,0 +1,87 @@
+// Stub of the lock surface of genmapper/internal/sqldb. The mutex fields
+// are unexported, so ordered and inverted acquisitions both live here.
+// Documented order: DB.writer < DB.mu < tablePart.mu.
+package sqldb
+
+import "sync"
+
+type tablePart struct{ mu sync.RWMutex }
+
+type durability struct{}
+
+func (d *durability) wait(lsn uint64) error { return nil }
+
+type DB struct {
+	writer  sync.Mutex
+	mu      sync.RWMutex
+	parts   []*tablePart
+	durable *durability
+}
+
+func execOrdered(db *DB) {
+	db.writer.Lock()
+	db.mu.Lock()
+	p := db.parts[0]
+	p.mu.Lock()
+	p.mu.Unlock()
+	db.mu.Unlock()
+	db.writer.Unlock()
+}
+
+func execInverted(db *DB) {
+	db.mu.Lock()
+	db.writer.Lock() // want `lock order violation: db\.writer acquired while holding db\.mu`
+	db.writer.Unlock()
+	db.mu.Unlock()
+}
+
+func partThenDB(db *DB, p *tablePart) {
+	p.mu.Lock()
+	db.mu.RLock() // want `lock order violation: db\.mu acquired while holding tablePart\.mu`
+	db.mu.RUnlock()
+	p.mu.Unlock()
+}
+
+func doubleLock(db *DB) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.mu.Lock() // want `db\.mu acquired while already held`
+}
+
+func fsyncUnderLock(db *DB, lsn uint64) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.durable.wait(lsn) // want `durability\.wait call while holding db\.mu`
+}
+
+func groupCommit(db *DB, lsn uint64) error {
+	db.mu.Lock()
+	db.mu.Unlock()
+	// The wait happens outside the lock so concurrent commits share a sync.
+	return db.durable.wait(lsn)
+}
+
+func ackUnderWriter(db *DB, ch chan int) {
+	db.writer.Lock()
+	ch <- 1 // want `channel send while holding db\.writer`
+	db.writer.Unlock()
+}
+
+func streamShared(db *DB, ch chan int) int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	// A shared db.mu may wait on the parallel exchange: writers are not
+	// blocked behind this read.
+	return <-ch
+}
+
+func spawnWorker(db *DB, p *tablePart, done chan struct{}) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	go func() {
+		// A goroutine does not inherit the spawner's locks.
+		p.mu.Lock()
+		p.mu.Unlock()
+		done <- struct{}{}
+	}()
+}

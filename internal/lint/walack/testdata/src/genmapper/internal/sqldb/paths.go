@@ -1,0 +1,76 @@
+package sqldb
+
+// A mutation with no logging step anywhere in the function cannot be
+// replayed after a crash.
+func (db *DB) execUnlogged(sql string) (Result, error) {
+	res, err := db.executeWrite(sql) // want `executeWrite without a WAL append on this path`
+	return res, err
+}
+
+// Logging through the durability layer satisfies the rule.
+func (db *DB) execLogged(sql string) (Result, error) {
+	res, err := db.executeWrite(sql)
+	if err != nil {
+		return Result{}, err
+	}
+	if _, err := db.durable.logCommit(nil); err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}
+
+// Buffering into the transaction's log satisfies it too: Commit appends.
+func (tx *Tx) execBuffered(sql string) (Result, error) {
+	res, err := tx.db.executeWrite(sql)
+	tx.logged = append(tx.logged, logStmt{sql: sql})
+	return res, err
+}
+
+// Recovery replays records that are already in the log: the one legitimate
+// unlogged mutation, documented by the directive.
+func (db *DB) replay(sql string) error {
+	//gmlint:ignore walack recovery replays records already in the log; re-appending would double them
+	_, err := db.executeWrite(sql)
+	return err
+}
+
+type execReply struct {
+	Res Result
+	Err error
+}
+
+// Acknowledging before the append tells the client a commit is durable
+// when it is not.
+func (db *DB) ackEarly(res Result, ack chan Result) {
+	ack <- res // want `commit result acknowledged before any WAL append`
+	if _, err := db.durable.logCommit(nil); err != nil {
+		return
+	}
+}
+
+// Append first, acknowledge after: the group-commit contract.
+func (db *DB) ackAfterLog(res Result, ack chan execReply) {
+	lsn, err := db.durable.logCommit(nil)
+	if err != nil {
+		ack <- execReply{Err: err}
+		return
+	}
+	if err := db.durable.wait(lsn); err != nil {
+		ack <- execReply{Err: err}
+		return
+	}
+	ack <- execReply{Res: res}
+}
+
+// A goroutine body is its own commit path: the spawner's append does not
+// cover an ack sent from a closure that never logs... but a closure that
+// only forwards an already-logged result must opt out explicitly.
+func (db *DB) forwardAsync(res Result, ack chan Result) {
+	if _, err := db.durable.logCommit(nil); err != nil {
+		return
+	}
+	go func() {
+		//gmlint:ignore walack the enclosing function appended before spawning this forwarder
+		ack <- res
+	}()
+}

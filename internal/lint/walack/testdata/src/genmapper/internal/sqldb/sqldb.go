@@ -1,0 +1,22 @@
+// Stub of the commit-path surface of genmapper/internal/sqldb. The
+// analyzer matches fully-qualified names, so the fixture scenarios live in
+// this shadowed package just like the real commit paths do.
+package sqldb
+
+type Result struct{ RowsAffected int }
+
+type logStmt struct{ sql string }
+
+type durability struct{}
+
+func (d *durability) logCommit(stmts []logStmt) (uint64, error) { return 0, nil }
+func (d *durability) wait(lsn uint64) error                     { return nil }
+
+type DB struct{ durable *durability }
+
+func (db *DB) executeWrite(sql string) (Result, error) { return Result{}, nil }
+
+type Tx struct {
+	db     *DB
+	logged []logStmt
+}

@@ -1,0 +1,139 @@
+// Package walack enforces write-ahead ordering on commit paths: state is
+// only mutated after the mutation is bound for the WAL, and a
+// client-visible acknowledgement is only produced after the log append.
+//
+// Two rules, both intraprocedural over internal/sqldb types:
+//
+//  1. A function that calls DB.executeWrite (the one place table state
+//     mutates) must also log that write — by calling logCommit, appending
+//     to a transaction's `logged` buffer, or calling wal Append directly.
+//     A mutation with no logging step in sight cannot be replayed after a
+//     crash.
+//  2. A send of a Result (or of a struct carrying one) on a channel — the
+//     shape every client-ack path takes — must appear after a logCommit /
+//     Append / durability-wait call in the same function. Acknowledging
+//     before logging tells the client a commit is durable when it is not.
+package walack
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"genmapper/internal/lint/analysis"
+	"genmapper/internal/lint/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "walack",
+	Doc:  "requires commit-path mutations and acks to be preceded by a WAL append",
+	Run:  run,
+}
+
+const sqldbPath = "genmapper/internal/sqldb"
+
+// logCalls are the method names that constitute "this write is logged".
+var logCalls = map[string]bool{
+	"genmapper/internal/sqldb.durability.logCommit": true,
+	"genmapper/internal/wal.WAL.Append":             true,
+	"genmapper/internal/sqldb.durability.wait":      true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkBody(pass, fn.Body)
+		}
+	}
+	return nil, nil
+}
+
+type funcFacts struct {
+	// position of the first logging call, or NoPos
+	firstLog token.Pos
+	// true if the function records into a Tx.logged buffer
+	recordsTx bool
+	// executeWrite call sites
+	writes []*ast.CallExpr
+	// channel sends of Result-shaped values
+	acks []ast.Node
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	var facts funcFacts
+	var lits []*ast.FuncLit
+	lintutil.WalkStack(body, func(n ast.Node, stack []ast.Node) bool {
+		switch t := n.(type) {
+		case *ast.FuncLit:
+			// A goroutine or callback body is its own commit path: the
+			// spawner's append happens-before nothing inside it.
+			lits = append(lits, t)
+			return false
+		case *ast.CallExpr:
+			if _, recvKey, name, ok := lintutil.MethodCall(pass.TypesInfo, t); ok {
+				full := recvKey + "." + name
+				if logCalls[full] && facts.firstLog == token.NoPos {
+					facts.firstLog = t.Pos()
+				}
+				if full == sqldbPath+".DB.executeWrite" {
+					facts.writes = append(facts.writes, t)
+				}
+			}
+		case *ast.SelectorExpr:
+			if key, ok := lintutil.FieldKey(pass.TypesInfo, t); ok && key == sqldbPath+".Tx.logged" {
+				facts.recordsTx = true
+			}
+		case *ast.SendStmt:
+			if carriesResult(pass.TypesInfo, t.Value) {
+				facts.acks = append(facts.acks, t)
+			}
+		}
+		return true
+	})
+
+	logged := facts.firstLog != token.NoPos || facts.recordsTx
+	for _, w := range facts.writes {
+		if !logged {
+			pass.Reportf(w.Pos(), "executeWrite without a WAL append on this path; log the commit (logCommit / tx.logged) before mutating state or add //gmlint:ignore walack <why>")
+		}
+	}
+	for _, a := range facts.acks {
+		if facts.firstLog == token.NoPos || a.Pos() < facts.firstLog {
+			pass.Reportf(a.Pos(), "commit result acknowledged before any WAL append in this function; the client must only see a result after the log write")
+		}
+	}
+	for _, lit := range lits {
+		checkBody(pass, lit.Body)
+	}
+}
+
+// carriesResult reports whether the sent value's type is sqldb.Result, a
+// pointer to it, or a struct with a field of that type (one level deep).
+func carriesResult(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok {
+		return false
+	}
+	return isResultShaped(tv.Type, 0)
+}
+
+func isResultShaped(t types.Type, depth int) bool {
+	if lintutil.NamedKey(t) == sqldbPath+".Result" {
+		return true
+	}
+	if depth > 0 {
+		return false
+	}
+	if st, ok := lintutil.Deref(t).Underlying().(*types.Struct); ok {
+		for i := 0; i < st.NumFields(); i++ {
+			if isResultShaped(st.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+	}
+	return false
+}

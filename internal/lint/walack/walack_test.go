@@ -1,0 +1,13 @@
+package walack_test
+
+import (
+	"testing"
+
+	"genmapper/internal/lint/analysistest"
+	"genmapper/internal/lint/walack"
+)
+
+func TestWalack(t *testing.T) {
+	analysistest.Run(t, analysistest.Testdata(), walack.Analyzer,
+		"genmapper/internal/sqldb")
+}
