@@ -696,8 +696,12 @@ func expWALDurability(h *harness) error {
 		}
 		ws := sys.SQLWALStats()
 		fmt.Printf("wal-%-8s %12v %12d %12d %14d\n", policy, t.Round(time.Millisecond), ws.Appends, ws.Fsyncs, ws.SizeBytes)
-		sys.Close()
-		os.RemoveAll(dir)
+		if err := sys.Close(); err != nil {
+			return err
+		}
+		if err := os.RemoveAll(dir); err != nil {
+			return err
+		}
 	}
 
 	// Group commit: concurrent committers vs. fsync count.

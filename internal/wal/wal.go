@@ -417,8 +417,7 @@ func (w *WAL) Append(payload []byte) (uint64, error) {
 	needRotate := w.size >= w.opts.SegmentSize
 	w.mu.Unlock()
 	if needRotate {
-		// Rotation failure poisons the log via w.failed; the record itself
-		// was appended, so the commit proceeds.
+		//gmlint:ignore errdrop rotation failure poisons the log via w.failed; the record was already appended, so the commit proceeds
 		_ = w.Rotate()
 	}
 	return lsn, nil
@@ -520,7 +519,13 @@ func (w *WAL) Rotate() error {
 	if sealedLast > w.durableLSN {
 		w.durableLSN = sealedLast
 	}
-	w.f.Close()
+	if err := w.f.Close(); err != nil {
+		// The segment is already flushed and fsynced, but a close failure
+		// still signals an unhealthy FD: poison the log like every other
+		// rotate-path failure rather than writing on through it.
+		w.failed = fmt.Errorf("wal: rotate close: %w", err)
+		return w.failed
+	}
 	if err := w.openSegment(); err != nil {
 		w.failed = err
 		return err
