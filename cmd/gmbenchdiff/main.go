@@ -41,6 +41,11 @@ type baselineEntry struct {
 	Bench    string  `json:"bench"`
 	NsOp     float64 `json:"ns_op"`
 	AllocsOp float64 `json:"allocs_op"`
+	// Stable marks a benchmark whose ns/op was observed to be reproducible
+	// on the runner class that recorded it (spread across repeated runs
+	// within a few percent); the gate applies -stable-tolerance to these
+	// instead of the wide machine-skew -tolerance.
+	Stable bool `json:"stable"`
 
 	AfterBench    string  `json:"after_bench"`
 	AfterNsOp     float64 `json:"after_ns_op"`
@@ -128,16 +133,21 @@ type regression struct {
 
 // compare checks every current result that has a baseline. A metric
 // regresses when current > base * (1 + tol); zero/absent baselines are
-// skipped (nothing meaningful to compare).
-func compare(results []result, base map[string]baselineEntry, nsTol, allocTol float64) (checked int, regs []regression) {
+// skipped (nothing meaningful to compare). Entries marked stable in the
+// baseline use stableTol for ns/op instead of the wide nsTol.
+func compare(results []result, base map[string]baselineEntry, nsTol, stableTol, allocTol float64) (checked int, regs []regression) {
 	for _, r := range results {
 		b, ok := base[r.Name]
 		if !ok {
 			continue
 		}
 		checked++
-		if b.NsOp > 0 && r.NsOp > b.NsOp*(1+nsTol) {
-			regs = append(regs, regression{r.Name, "ns/op", b.NsOp, r.NsOp, nsTol})
+		tol := nsTol
+		if b.Stable {
+			tol = stableTol
+		}
+		if b.NsOp > 0 && r.NsOp > b.NsOp*(1+tol) {
+			regs = append(regs, regression{r.Name, "ns/op", b.NsOp, r.NsOp, tol})
 		}
 		if b.AllocsOp > 0 && r.hasAlloc && r.AllocsOp > b.AllocsOp*(1+allocTol) {
 			regs = append(regs, regression{r.Name, "allocs/op", b.AllocsOp, r.AllocsOp, allocTol})
@@ -146,7 +156,7 @@ func compare(results []result, base map[string]baselineEntry, nsTol, allocTol fl
 	return checked, regs
 }
 
-func run(benchOutput io.Reader, baselinePaths []string, nsTol, allocTol float64, skip string, writeJSON string, stdout, stderr io.Writer) int {
+func run(benchOutput io.Reader, baselinePaths []string, nsTol, stableTol, allocTol float64, skip string, writeJSON string, stdout, stderr io.Writer) int {
 	results, err := parseBenchOutput(benchOutput)
 	if err != nil {
 		fmt.Fprintln(stderr, "gmbenchdiff: read bench output:", err)
@@ -182,7 +192,7 @@ func run(benchOutput io.Reader, baselinePaths []string, nsTol, allocTol float64,
 		fmt.Fprintln(stderr, "gmbenchdiff:", err)
 		return 2
 	}
-	checked, regs := compare(results, base, nsTol, allocTol)
+	checked, regs := compare(results, base, nsTol, stableTol, allocTol)
 	for _, r := range results {
 		if b, ok := base[r.Name]; ok && b.NsOp > 0 {
 			fmt.Fprintf(stdout, "%-48s ns/op %12.0f -> %12.0f (%+.1f%%)", r.Name, b.NsOp, r.NsOp, 100*(r.NsOp-b.NsOp)/b.NsOp)
@@ -208,11 +218,12 @@ func run(benchOutput io.Reader, baselinePaths []string, nsTol, allocTol float64,
 
 func main() {
 	var (
-		benchOut = flag.String("bench-output", "-", "file with `go test -bench` output (- = stdin)")
-		nsTol    = flag.Float64("tolerance", 0.25, "allowed fractional ns/op regression (0.25 = 25%)")
-		allocTol = flag.Float64("allocs-tolerance", 0.25, "allowed fractional allocs/op regression")
-		skip     = flag.String("skip", "", "regexp of benchmark names to ignore")
-		writeOut = flag.String("write-json", "", "also write the parsed current results as JSON (CI artifact)")
+		benchOut  = flag.String("bench-output", "-", "file with `go test -bench` output (- = stdin)")
+		nsTol     = flag.Float64("tolerance", 0.25, "allowed fractional ns/op regression (0.25 = 25%)")
+		stableTol = flag.Float64("stable-tolerance", 0.25, "allowed fractional ns/op regression for baseline entries marked \"stable\"")
+		allocTol  = flag.Float64("allocs-tolerance", 0.25, "allowed fractional allocs/op regression")
+		skip      = flag.String("skip", "", "regexp of benchmark names to ignore")
+		writeOut  = flag.String("write-json", "", "also write the parsed current results as JSON (CI artifact)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: gmbenchdiff [flags] BASELINE.json [BASELINE.json ...]\n")
@@ -233,5 +244,5 @@ func main() {
 		defer f.Close()
 		in = f
 	}
-	os.Exit(run(in, flag.Args(), *nsTol, *allocTol, *skip, *writeOut, os.Stdout, os.Stderr))
+	os.Exit(run(in, flag.Args(), *nsTol, *stableTol, *allocTol, *skip, *writeOut, os.Stdout, os.Stderr))
 }

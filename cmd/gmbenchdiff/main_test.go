@@ -12,7 +12,8 @@ const baselineJSON = `{
   "results": [
     {"workload": "scan", "bench": "BenchmarkFullScanFilter", "ns_op": 1000000, "allocs_op": 100},
     {"workload": "insert", "bench": "BenchmarkInsertSingleRow (-cpu 8)", "ns_op": 1300, "allocs_op": 10},
-    {"workload": "fsync-bound", "bench": "BenchmarkWALInsertGroup", "ns_op": 100000, "allocs_op": 12}
+    {"workload": "fsync-bound", "bench": "BenchmarkWALInsertGroup", "ns_op": 100000, "allocs_op": 12},
+    {"workload": "stable scan", "bench": "BenchmarkStableScan", "ns_op": 1000000, "allocs_op": 100, "stable": true}
   ]
 }`
 
@@ -27,8 +28,13 @@ func writeBaseline(t *testing.T) string {
 
 func runDiff(t *testing.T, benchOutput, skip string, nsTol, allocTol float64) (code int, out, errOut string) {
 	t.Helper()
+	return runDiffStable(t, benchOutput, skip, nsTol, nsTol, allocTol)
+}
+
+func runDiffStable(t *testing.T, benchOutput, skip string, nsTol, stableTol, allocTol float64) (code int, out, errOut string) {
+	t.Helper()
 	var sb, eb strings.Builder
-	code = run(strings.NewReader(benchOutput), []string{writeBaseline(t)}, nsTol, allocTol, skip, "", &sb, &eb)
+	code = run(strings.NewReader(benchOutput), []string{writeBaseline(t)}, nsTol, stableTol, allocTol, skip, "", &sb, &eb)
 	return code, sb.String(), eb.String()
 }
 
@@ -107,13 +113,33 @@ BenchmarkInsertSingleRow-4  100000   1200 ns/op   700 B/op   10 allocs/op
 	}
 }
 
+// TestStableToleranceTightensGate: a 40% slip on a benchmark the baseline
+// marks stable fails under -stable-tolerance 0.25 even when the wide
+// machine-skew -tolerance (4x) would let it through — and the same slip on
+// an unmarked benchmark still passes.
+func TestStableToleranceTightensGate(t *testing.T) {
+	out := `BenchmarkStableScan-8      1000   1400000 ns/op   5000 B/op   100 allocs/op
+BenchmarkFullScanFilter-8  1000   1400000 ns/op   5000 B/op   100 allocs/op
+`
+	code, _, stderr := runDiffStable(t, out, "", 4.0, 0.25, 0.25)
+	if code != 1 {
+		t.Fatalf("exit %d, want stable regression to fail; stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "REGRESSION BenchmarkStableScan ns/op") {
+		t.Fatalf("stderr:\n%s", stderr)
+	}
+	if strings.Contains(stderr, "BenchmarkFullScanFilter") {
+		t.Fatalf("unmarked benchmark gated at stable tolerance:\n%s", stderr)
+	}
+}
+
 // TestWriteJSONArtifact: -write-json emits the fresh results in the
 // BENCH_pr*.json "results" shape for the CI artifact upload.
 func TestWriteJSONArtifact(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "fresh.json")
 	var sb, eb strings.Builder
 	out := "BenchmarkInsertSingleRow-8  1000000  1250 ns/op  700 B/op  10 allocs/op\n"
-	if code := run(strings.NewReader(out), []string{writeBaseline(t)}, 0.25, 0.25, "", path, &sb, &eb); code != 0 {
+	if code := run(strings.NewReader(out), []string{writeBaseline(t)}, 0.25, 0.25, 0.25, "", path, &sb, &eb); code != 0 {
 		t.Fatalf("exit %d: %s", code, eb.String())
 	}
 	blob, err := os.ReadFile(path)
