@@ -1,0 +1,48 @@
+// Package sqldb is the embedded relational engine: SQL parsing, planning,
+// indexed and partition-parallel execution, transactions with undo-log
+// rollback, streaming cursors, and WAL-backed durability with group commit
+// and checkpointing.
+//
+// # Invariants
+//
+// The concurrency and durability design rests on conventions that the
+// compiler cannot check but gmlint (cmd/gmlint) does; code in this package
+// must preserve them:
+//
+//  1. Lock order. Locks are always acquired writer < mu < tablePart.mu,
+//     and the WAL's internally are syncMu < mu. Release before
+//     re-acquiring against the order (see wal.AdvanceTo for the dance).
+//
+//  2. No blocking under exclusive db locks. fsync-class calls
+//     (wal.Durable, File.Sync, durability.wait) and channel operations
+//     never run while writer, an exclusive mu, or a partition lock is
+//     held. Commits append to the log inside the exclusive section (log
+//     order = commit order) but wait for durability after unlocking —
+//     that window is what lets concurrent committers share one fsync
+//     (group commit). Parallel-scan workers take only partition read
+//     locks, never mu, so a streaming consumer holding mu shared cannot
+//     deadlock them.
+//
+//  3. Write-ahead before acknowledge. All table-state mutation funnels
+//     through executeWrite, and every caller must bind the mutation for
+//     the log in the same function: logCommit (auto-commit path), or
+//     appending to Tx.logged which Tx.Commit logs as one record. Nothing
+//     client-visible — a returned Result, an acknowledgement send — may
+//     precede the append. The one exception is recovery replay
+//     (applyRecord), which re-executes records that are already in the
+//     log.
+//
+//  4. Schema generation is atomic and accessor-only. db.gen is read
+//     lock-free by every cursor step to detect invalidation; it is
+//     mutated only by bumpSchemaGen, under the exclusive mu of the DDL
+//     (or restore) that invalidates those cursors.
+//
+//  5. Cursors are closed. Every Cursor obtained from QueryCursor is
+//     closed on all paths or handed off; on parallel plans Close is what
+//     winds down the worker pool (TestParallelCursorEarlyClose guards
+//     the no-leak property).
+//
+//  6. Durability errors are handled. Errors from WAL, fsync, Close and
+//     file-removal calls are never silently dropped; best-effort sites
+//     carry a //gmlint:ignore justification.
+package sqldb
