@@ -41,6 +41,7 @@ var experiments = []experiment{
 	{"ablation-srs", "Ablation E12: SRS-style link navigation vs set-oriented GenerateView", expAblationSRS},
 	{"wal", "E13: durable write path — fsync policies and group commit", expWALDurability},
 	{"parallel", "E14: partition-parallel scan/aggregate/export vs serial at 1/2/4/8 partitions", expParallel},
+	{"vectorized", "E15: vectorized (columnar batch) vs row execution at 1/2/4/8 partitions", expVectorized},
 }
 
 func main() {

@@ -37,6 +37,8 @@ func main() {
 		verbose   = flag.Bool("v", false, "print per-source import statistics")
 		engine    = flag.Bool("engine-stats", false, "print SQL engine statement-cache and planner counters after the run")
 		parallel  = flag.Int("parallelism", 0, "query execution parallelism: 0 = one worker per CPU (default), 1 = serial, N>1 = shard storage into N hash partitions and fan scans/aggregates out across them")
+		batchOn   = flag.Bool("batch", true, "vectorized (columnar batch) execution for eligible scans and aggregates")
+		batchMin  = flag.Int64("batch-min-rows", 0, "minimum table rows before the planner picks the vectorized leg (0 = engine default)")
 	)
 	flag.Parse()
 
@@ -45,6 +47,10 @@ func main() {
 		fail(err)
 	}
 	sys.SetParallelism(*parallel)
+	sys.SetBatchExecution(*batchOn)
+	if *batchMin > 0 {
+		sys.SetBatchMinRows(*batchMin)
+	}
 	durable := *dataDir != ""
 	if durable {
 		defer sys.Close()

@@ -24,11 +24,13 @@ import (
 
 func main() {
 	var (
-		dbPath  = flag.String("db", "gam.snap", "database snapshot file (created on .save when missing; ignored with -data-dir)")
-		dataDir = flag.String("data-dir", "", "durable data directory (WAL + checkpoints); every write is crash-safe")
-		fsync   = flag.String("fsync", "group", "WAL fsync policy with -data-dir: always, group, off")
-		quiet   = flag.Bool("q", false, "suppress the prompt (for piped input)")
-		paraN   = flag.Int("parallelism", 0, "query execution parallelism: 0 = one worker per CPU (default), 1 = serial, N>1 = shard storage into N hash partitions and fan scans/aggregates out across them")
+		dbPath   = flag.String("db", "gam.snap", "database snapshot file (created on .save when missing; ignored with -data-dir)")
+		dataDir  = flag.String("data-dir", "", "durable data directory (WAL + checkpoints); every write is crash-safe")
+		fsync    = flag.String("fsync", "group", "WAL fsync policy with -data-dir: always, group, off")
+		quiet    = flag.Bool("q", false, "suppress the prompt (for piped input)")
+		paraN    = flag.Int("parallelism", 0, "query execution parallelism: 0 = one worker per CPU (default), 1 = serial, N>1 = shard storage into N hash partitions and fan scans/aggregates out across them")
+		batchOn  = flag.Bool("batch", true, "vectorized (columnar batch) execution for eligible scans and aggregates")
+		batchMin = flag.Int64("batch-min-rows", 0, "minimum table rows before the planner picks the vectorized leg (0 = engine default)")
 	)
 	flag.Parse()
 
@@ -71,6 +73,10 @@ func main() {
 	}
 
 	db.ConfigureParallelism(*paraN)
+	db.SetBatchExecution(*batchOn)
+	if *batchMin > 0 {
+		db.SetBatchMinRows(*batchMin)
+	}
 
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)

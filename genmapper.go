@@ -198,6 +198,18 @@ func (s *System) SetParallelism(n int) { s.db.ConfigureParallelism(n) }
 // SQLParallelStats returns the partition-parallel execution counters.
 func (s *System) SQLParallelStats() sqldb.ParallelStats { return s.db.ParallelStats() }
 
+// SetBatchExecution toggles the embedded engine's vectorized (columnar
+// batch) execution leg for eligible full-table scans and aggregates. On
+// by default; the row engine always remains as the fallback.
+func (s *System) SetBatchExecution(on bool) { s.db.SetBatchExecution(on) }
+
+// SetBatchMinRows sets the minimum table cardinality before the planner
+// picks the vectorized leg (0 restores the engine default).
+func (s *System) SetBatchMinRows(n int64) { s.db.SetBatchMinRows(n) }
+
+// SQLBatchStats returns the vectorized execution counters and knobs.
+func (s *System) SQLBatchStats() sqldb.BatchStats { return s.db.BatchStats() }
+
 // SQLPartitionStats returns per-table partition layouts and per-partition
 // row counts.
 func (s *System) SQLPartitionStats() []sqldb.TablePartitionStats { return s.db.PartitionStats() }

@@ -9,6 +9,7 @@ import (
 	"genmapper/internal/lint/cursorclose"
 	"genmapper/internal/lint/errdrop"
 	"genmapper/internal/lint/lockorder"
+	"genmapper/internal/lint/partlock"
 	"genmapper/internal/lint/walack"
 )
 
@@ -19,6 +20,7 @@ func All() []*analysis.Analyzer {
 		cursorclose.Analyzer,
 		errdrop.Analyzer,
 		lockorder.Analyzer,
+		partlock.Analyzer,
 		walack.Analyzer,
 	}
 }

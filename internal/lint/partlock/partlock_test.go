@@ -1,0 +1,13 @@
+package partlock_test
+
+import (
+	"testing"
+
+	"genmapper/internal/lint/analysistest"
+	"genmapper/internal/lint/partlock"
+)
+
+func TestPartlock(t *testing.T) {
+	analysistest.Run(t, analysistest.Testdata(), partlock.Analyzer,
+		"genmapper/internal/sqldb")
+}

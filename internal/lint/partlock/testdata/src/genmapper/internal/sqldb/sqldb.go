@@ -1,0 +1,99 @@
+// Stub of the partition-lock surface of genmapper/internal/sqldb. The
+// mutex field is unexported, so leaking and clean acquisitions both live
+// here.
+package sqldb
+
+import "sync"
+
+type tablePart struct {
+	mu   sync.RWMutex
+	ids  []int64
+	rows map[int64][]int64
+}
+
+type batchMsg struct {
+	ids []int64
+	err error
+}
+
+// batchProducerClean mirrors the real batch worker: one acquisition per
+// batch, released before the channel send on both the invalidation path
+// and the steady-state path.
+func batchProducerClean(part *tablePart, gen, cur uint64, ch chan<- batchMsg) {
+	for {
+		part.mu.RLock()
+		if cur != gen {
+			part.mu.RUnlock()
+			ch <- batchMsg{err: errInvalidated}
+			return
+		}
+		ids := append([]int64(nil), part.ids...)
+		part.mu.RUnlock()
+		if len(ids) == 0 {
+			return
+		}
+		ch <- batchMsg{ids: ids}
+	}
+}
+
+// deferredRelease is the other clean shape: the deferred unlock runs on
+// every path out, early returns included.
+func deferredRelease(part *tablePart, id int64) []int64 {
+	part.mu.RLock()
+	defer part.mu.RUnlock()
+	if part.rows == nil {
+		return nil
+	}
+	return part.rows[id]
+}
+
+// releaseOnly helpers discharge a caller's hold; the unmatched unlock is
+// clamped, not reported.
+func releaseOnly(part *tablePart) {
+	part.mu.RUnlock()
+}
+
+func earlyReturnLeak(part *tablePart, gen, cur uint64) []int64 {
+	part.mu.RLock()
+	if cur != gen {
+		return nil // want `return while holding tablePart\.mu`
+	}
+	ids := append([]int64(nil), part.ids...)
+	part.mu.RUnlock()
+	return ids
+}
+
+func endOfBodyLeak(part *tablePart, out *[]int64) {
+	part.mu.Lock() // want `tablePart\.mu acquired here is not released before function end`
+	*out = append(*out, part.ids...)
+}
+
+// goroutineLeak shows function literals are analyzed as their own bodies:
+// the spawner is clean, the literal leaks.
+func goroutineLeak(part *tablePart, ch chan<- batchMsg) {
+	go func() {
+		part.mu.RLock()
+		if part.rows == nil {
+			ch <- batchMsg{err: errInvalidated}
+			return // want `return while holding tablePart\.mu`
+		}
+		part.mu.RUnlock()
+	}()
+}
+
+// writeLeak: the exclusive flavor is tracked the same way.
+func writeLeak(part *tablePart, id int64, row []int64) error {
+	part.mu.Lock()
+	if part.rows == nil {
+		return errInvalidated // want `return while holding tablePart\.mu`
+	}
+	part.rows[id] = row
+	part.mu.Unlock()
+	return nil
+}
+
+var errInvalidated = errDDL{}
+
+type errDDL struct{}
+
+func (errDDL) Error() string { return "invalidated" }

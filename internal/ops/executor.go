@@ -46,6 +46,14 @@ type ExecutorConfig struct {
 	// same order of parallelism as the compose pool. It is an explicit
 	// opt-in because the hint is database-global.
 	EngineParallelism int
+	// EngineBatchMinRows, when non-zero, tunes the storage engine's
+	// vectorized-execution threshold: a positive value is forwarded as
+	// the minimum table cardinality before the planner picks the
+	// columnar batch leg (Repo.SetBatchMinRows); a negative value
+	// disables batch execution entirely. Zero keeps the engine defaults
+	// (batch execution on). Like EngineParallelism, the knob is
+	// database-global.
+	EngineBatchMinRows int64
 }
 
 // CacheStats reports executor cache effectiveness.
@@ -84,6 +92,12 @@ func NewExecutorConfig(repo *gam.Repo, cfg ExecutorConfig) *Executor {
 	}
 	if cfg.EngineParallelism > 0 {
 		repo.SetParallelism(cfg.EngineParallelism)
+	}
+	switch {
+	case cfg.EngineBatchMinRows > 0:
+		repo.SetBatchMinRows(cfg.EngineBatchMinRows)
+	case cfg.EngineBatchMinRows < 0:
+		repo.SetBatchExecution(false)
 	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)

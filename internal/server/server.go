@@ -409,6 +409,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"sql_stmt_cache": s.sys.SQLStmtCacheStats(),
 		"sql_plans":      s.sys.SQLPlanStats(),
 		"sql_parallel":   s.sys.SQLParallelStats(),
+		"sql_batch":      s.sys.SQLBatchStats(),
 		"sql_partitions": s.sys.SQLPartitionStats(),
 		"wal":            s.sys.SQLWALStats(),
 	})

@@ -274,6 +274,18 @@ func TestAPIEndpoints(t *testing.T) {
 			t.Errorf("sql_parallel missing %q: %v", k, par)
 		}
 	}
+	batch, ok := stats["sql_batch"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats missing sql_batch block: %v", stats)
+	}
+	if _, ok := batch["enabled"].(bool); !ok {
+		t.Errorf("sql_batch missing %q: %v", "enabled", batch)
+	}
+	for _, k := range []string{"min_rows", "rows_per_batch", "batch_scans", "batch_aggregates"} {
+		if _, ok := batch[k].(float64); !ok {
+			t.Errorf("sql_batch missing %q: %v", k, batch)
+		}
+	}
 	parts, ok := stats["sql_partitions"].([]any)
 	if !ok || len(parts) == 0 {
 		t.Fatalf("stats missing sql_partitions: %v", stats)

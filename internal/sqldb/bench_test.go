@@ -541,6 +541,9 @@ func benchPartitionedDB(b *testing.B, parts int) *DB {
 	} else {
 		db.SetParallelism(1)
 	}
+	// These benchmarks pin the row-parallel operators; the vectorized leg
+	// has its own Vec* set below.
+	db.SetBatchExecution(false)
 	if _, err := db.Exec("CREATE TABLE t (id INTEGER PRIMARY KEY, k INTEGER, v TEXT)"); err != nil {
 		b.Fatal(err)
 	}
@@ -616,3 +619,124 @@ func benchParallelWriteCollect(b *testing.B, parts int) {
 
 func BenchmarkParWriteCollectSerial(b *testing.B) { benchParallelWriteCollect(b, 1) }
 func BenchmarkParWriteCollectParts4(b *testing.B) { benchParallelWriteCollect(b, 4) }
+
+// ---------------------------------------------------------------------------
+// Vectorized columnar execution (PR 7). Each shape runs as a pair — row
+// engine vs batch kernels — over the same partitioned 100k-row table, so
+// the ns/op ratio is the vectorization win at a fixed partition count.
+// (The row legs of scan and aggregate are the ParScan*/ParAgg* benchmarks
+// above.)
+
+// benchVectorDB is benchPartitionedDB with the vectorized leg switched as
+// requested instead of pinned off.
+func benchVectorDB(b *testing.B, parts int, batch bool) *DB {
+	db := benchPartitionedDB(b, parts)
+	db.SetBatchExecution(batch)
+	return db
+}
+
+func benchVecScan(b *testing.B, parts int, batch bool) {
+	db := benchVectorDB(b, parts, batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		err := db.QueryEach("SELECT id, v FROM t WHERE v <> 'nope'", func(row []Value) error {
+			n++
+			return nil
+		})
+		if err != nil || n != 100000 {
+			b.Fatalf("%v / %d rows", err, n)
+		}
+	}
+}
+
+func BenchmarkVecScanSerial(b *testing.B) { benchVecScan(b, 1, true) }
+func BenchmarkVecScanParts4(b *testing.B) { benchVecScan(b, 4, true) }
+
+func benchVecFilter(b *testing.B, parts int, batch bool) {
+	db := benchVectorDB(b, parts, batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		err := db.QueryEach("SELECT id FROM t WHERE k < 10", func(row []Value) error {
+			n++
+			return nil
+		})
+		if err != nil || n != 10000 {
+			b.Fatalf("%v / %d rows", err, n)
+		}
+	}
+}
+
+func BenchmarkVecFilterRowSerial(b *testing.B) { benchVecFilter(b, 1, false) }
+func BenchmarkVecFilterSerial(b *testing.B)    { benchVecFilter(b, 1, true) }
+func BenchmarkVecFilterRowParts4(b *testing.B) { benchVecFilter(b, 4, false) }
+func BenchmarkVecFilterParts4(b *testing.B)    { benchVecFilter(b, 4, true) }
+
+func benchVecAgg(b *testing.B, parts int, batch bool) {
+	db := benchVectorDB(b, parts, batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := db.Query("SELECT k, COUNT(*), SUM(id), MIN(v) FROM t GROUP BY k")
+		if err != nil || rs.Len() != 100 {
+			b.Fatalf("%v / %d groups", err, rs.Len())
+		}
+	}
+}
+
+func BenchmarkVecAggSerial(b *testing.B) { benchVecAgg(b, 1, true) }
+func BenchmarkVecAggParts4(b *testing.B) { benchVecAgg(b, 4, true) }
+
+// benchVecExport measures the view/export streaming shape: every column
+// of every row delivered through QueryEach. The sink is a touch of each
+// value rather than a TSV writer, so the pair isolates the engine's
+// streaming cost — the formatter costs the same on both legs.
+func benchVecExport(b *testing.B, parts int, batch bool) {
+	db := benchVectorDB(b, parts, batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, bytes := 0, 0
+		err := db.QueryEach("SELECT id, k, v FROM t", func(row []Value) error {
+			bytes += len(row[2].(string))
+			n++
+			return nil
+		})
+		if err != nil || n != 100000 || bytes == 0 {
+			b.Fatalf("%v / %d rows", err, n)
+		}
+	}
+}
+
+func BenchmarkVecExportRowSerial(b *testing.B) { benchVecExport(b, 1, false) }
+func BenchmarkVecExportSerial(b *testing.B)    { benchVecExport(b, 1, true) }
+func BenchmarkVecExportRowParts4(b *testing.B) { benchVecExport(b, 4, false) }
+func BenchmarkVecExportParts4(b *testing.B)    { benchVecExport(b, 4, true) }
+
+// ---------------------------------------------------------------------------
+// CREATE INDEX: serial insert-per-row build vs concurrent per-partition
+// sorted runs merged into the B-tree (PR 7 carry-over). Same partitioned
+// storage for both, so the delta is the build strategy alone.
+
+func benchCreateIndex(b *testing.B, par int) {
+	db := benchPartitionedDB(b, 4)
+	db.SetParallelism(par)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Exec("CREATE INDEX idx_bench_v ON t (v) USING BTREE"); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if _, err := db.Exec("DROP INDEX idx_bench_v"); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
+func BenchmarkCreateIndexSerial(b *testing.B)   { benchCreateIndex(b, 1) }
+func BenchmarkCreateIndexParallel(b *testing.B) { benchCreateIndex(b, 4) }

@@ -95,18 +95,7 @@ func (s *Stmt) QueryEach(fn func(row []Value) error, args ...any) error {
 	// fn may abort the iteration mid-stream; close cancels a parallel
 	// exchange so its workers never outlive the call.
 	defer c.close()
-	for {
-		row, err := c.step()
-		if err != nil {
-			return err
-		}
-		if row == nil {
-			return nil
-		}
-		if err := fn(row); err != nil {
-			return err
-		}
-	}
+	return c.each(fn)
 }
 
 // QueryCursor executes the prepared statement as a streaming SELECT.
@@ -203,6 +192,8 @@ type selectCursor struct {
 	streaming bool
 	prod      rowProducer
 	par       *parallelScan // non-nil: partition-parallel exchange instead of prod
+	bsrc      batchSource   // non-nil: vectorized batch leg instead of prod
+	batchProj []int         // batch leg's projection column positions
 	skip      int64         // OFFSET rows still to drop
 	remain    int64         // LIMIT rows still to emit; -1 = unlimited
 	rowBuf    []Value
@@ -302,6 +293,25 @@ func (c *selectCursor) start() error {
 	if c.remain > 0 && c.remain+c.skip <= 1<<20 {
 		c.ex.orderedHint = int(c.remain + c.skip)
 	}
+	// The vectorized leg wins over the row-parallel exchange when both
+	// are eligible: it does strictly less per-row work. Under a
+	// parallelism hint it fans out the batch workers per partition;
+	// otherwise the serial batch producer amortizes the caller's lock
+	// over one batch instead of one row.
+	if bs := c.ex.batchScanBinding(); bs != nil {
+		c.ex.db.plans.batchScans.Add(1)
+		c.batchProj = bs.shape.projCols
+		t := c.ex.p.rels[0].table
+		if c.ex.db.Parallelism() > 1 && t.PartitionCount() > 1 {
+			c.bsrc = newBatchScanExchange(c.ex, bs)
+		} else {
+			c.bsrc = newSerialBatchScan(c.ex, bs)
+		}
+		if c.reuseRow {
+			c.rowBuf = make([]Value, len(p.projExprs))
+		}
+		return nil
+	}
 	if c.ex.parallelScanEligible() {
 		c.ex.db.plans.parScans.Add(1)
 		c.par = newParallelScan(c.ex)
@@ -326,6 +336,9 @@ func (c *selectCursor) close() {
 	c.done = true
 	if c.par != nil {
 		c.par.close()
+	}
+	if c.bsrc != nil {
+		c.bsrc.close()
 	}
 	c.buf = nil
 }
@@ -361,7 +374,197 @@ func (c *selectCursor) stepParallel() ([]Value, error) {
 	}
 }
 
+// stepBatch is the batch-to-row adapter: it pulls merged filtered rows
+// (original storage references) from the batch source, applies the column
+// projection, and runs the OFFSET/LIMIT window — keeping the public
+// Cursor/QueryEach surface identical to the row leg.
+func (c *selectCursor) stepBatch() ([]Value, error) {
+	ex := c.ex
+	for {
+		row, err := c.bsrc.next()
+		if err != nil {
+			c.close()
+			return nil, err
+		}
+		if row == nil {
+			c.close()
+			return nil, nil
+		}
+		if c.skip > 0 {
+			c.skip--
+			continue
+		}
+		out := c.rowBuf
+		if out == nil {
+			out = make([]Value, len(c.batchProj))
+		}
+		for j, pos := range c.batchProj {
+			out[j] = row[pos]
+		}
+		if c.remain > 0 {
+			c.remain--
+			if c.remain == 0 {
+				// Row production stops before the source is exhausted.
+				ex.db.plans.earlyLimitHit.Add(1)
+				c.close()
+			}
+		}
+		return out, nil
+	}
+}
+
+// each streams every output row to fn (the QueryEach drain). On the
+// vectorized leg it consumes whole filtered runs instead of stepping row
+// by row, which drops the per-row pull dispatch from the hot loop; the
+// emitted sequence, OFFSET/LIMIT window, and counter behavior are
+// identical to the step path.
+func (c *selectCursor) each(fn func(row []Value) error) error {
+	if !c.started {
+		if err := c.start(); err != nil {
+			c.done = true
+			return err
+		}
+	}
+	if !c.done && c.streaming && c.bsrc != nil {
+		if s, ok := c.bsrc.(*serialBatchScan); ok {
+			return c.eachSerialBatch(s, fn)
+		}
+		if ps, ok := c.bsrc.(*parallelScan); ok {
+			return c.eachExchange(ps, fn)
+		}
+		for !c.done {
+			row, err := c.stepBatch()
+			if err != nil {
+				return err
+			}
+			if row == nil {
+				return nil
+			}
+			if err := fn(row); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for {
+		row, err := c.step()
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			return nil
+		}
+		if err := fn(row); err != nil {
+			return err
+		}
+	}
+}
+
+// eachSerialBatch drains the serial batch producer run-at-a-time: the
+// OFFSET/LIMIT window is applied by slicing each run, and the projection
+// copies into the one shared output buffer the QueryEach contract
+// promises (rows are valid only during the callback).
+func (c *selectCursor) eachSerialBatch(s *serialBatchScan, fn func(row []Value) error) error {
+	proj := c.batchProj
+	buf := c.rowBuf
+	if buf == nil {
+		buf = make([]Value, len(proj))
+	}
+	for {
+		rows, err := s.nextRun()
+		if err != nil {
+			c.close()
+			return err
+		}
+		if rows == nil {
+			c.close()
+			return nil
+		}
+		if c.skip > 0 {
+			if n := int64(len(rows)); c.skip >= n {
+				c.skip -= n
+				continue
+			}
+			rows = rows[c.skip:]
+			c.skip = 0
+		}
+		limited := false
+		if c.remain > 0 {
+			if int64(len(rows)) >= c.remain {
+				rows = rows[:c.remain]
+				limited = true
+			}
+			c.remain -= int64(len(rows))
+		}
+		for _, row := range rows {
+			for j, pos := range proj {
+				buf[j] = row[pos]
+			}
+			if err := fn(buf); err != nil {
+				c.close()
+				return err
+			}
+		}
+		if limited {
+			// Row production stops before the source is exhausted.
+			c.ex.db.plans.earlyLimitHit.Add(1)
+			c.close()
+			return nil
+		}
+	}
+}
+
+// eachExchange drains the batch exchange for QueryEach: the min-merge
+// over the partition streams is pulled directly — no per-row adapter
+// dispatch — with the projection landing in the shared output buffer and
+// the OFFSET/LIMIT window behaving exactly like stepBatch.
+func (c *selectCursor) eachExchange(ps *parallelScan, fn func(row []Value) error) error {
+	proj := c.batchProj
+	buf := c.rowBuf
+	if buf == nil {
+		buf = make([]Value, len(proj))
+	}
+	for {
+		row, err := ps.next()
+		if err != nil {
+			c.close()
+			return err
+		}
+		if row == nil {
+			c.close()
+			return nil
+		}
+		if c.skip > 0 {
+			c.skip--
+			continue
+		}
+		for j, pos := range proj {
+			buf[j] = row[pos]
+		}
+		last := false
+		if c.remain > 0 {
+			c.remain--
+			if c.remain == 0 {
+				// Row production stops before the source is exhausted.
+				c.ex.db.plans.earlyLimitHit.Add(1)
+				c.close()
+				last = true
+			}
+		}
+		if err := fn(buf); err != nil {
+			c.close()
+			return err
+		}
+		if last {
+			return nil
+		}
+	}
+}
+
 func (c *selectCursor) stepStreaming() ([]Value, error) {
+	if c.bsrc != nil {
+		return c.stepBatch()
+	}
 	if c.par != nil {
 		return c.stepParallel()
 	}

@@ -33,6 +33,8 @@ type DB struct {
 	nparts int
 	// par is the runtime parallel-execution hint (see parallel.go).
 	par parallelSettings
+	// batch is the runtime vectorized-execution hint (see batch.go).
+	batch batchSettings
 
 	// stmts caches prepared statements by SQL text so repeated Query/Exec
 	// calls parse and plan once.
@@ -534,7 +536,16 @@ func (db *DB) executeCreateIndex(st *CreateIndexStmt, undo *undoLog) (Result, er
 	if _, exists := t.indexes[st.Name]; exists && st.IfNotExists {
 		return Result{}, nil
 	}
-	if _, err := t.CreateIndex(st.Name, st.Column, st.Kind, st.Unique); err != nil {
+	// Large B-tree builds use the partition-parallel sorted-run path; the
+	// caller holds the database exclusively (DDL), so its workers read the
+	// partitions lock-free. Hash indexes and small tables stay serial.
+	var err error
+	if st.Kind == IndexBTree && db.parallelEligible(t) {
+		_, err = t.CreateIndexParallel(st.Name, st.Column, st.Unique)
+	} else {
+		_, err = t.CreateIndex(st.Name, st.Column, st.Kind, st.Unique)
+	}
+	if err != nil {
 		return Result{}, err
 	}
 	db.bumpSchemaGen()

@@ -1,7 +1,22 @@
 // Package sqldb is the embedded relational engine: SQL parsing, planning,
-// indexed and partition-parallel execution, transactions with undo-log
-// rollback, streaming cursors, and WAL-backed durability with group commit
-// and checkpointing.
+// indexed, partition-parallel and vectorized (columnar batch) execution,
+// transactions with undo-log rollback, streaming cursors, and WAL-backed
+// durability with group commit and checkpointing.
+//
+// # Vectorized execution
+//
+// Full-scan SELECTs and aggregates over tables past SetBatchMinRows
+// (default 4096 rows) run on the batch leg: producers materialize ~1024
+// rows column-major out of tablePart storage under one lock acquisition
+// per batch, typed kernels evaluate the WHERE clause into tri-state
+// selection vectors, and the aggregate accumulators fold whole batches
+// (GROUP BY through per-batch hash grouping merged via aggAcc.merge,
+// float sums Kahan-compensated so every leg agrees bit-for-bit). Point,
+// index and range access, joins, and expressions the kernels do not
+// cover fall back to the row cursor; a batch-to-row adapter keeps the
+// Cursor/QueryEach surface — read-committed per-step visibility, DDL
+// invalidation, LIMIT/OFFSET, early Close — identical to the row leg,
+// which the planner-equivalence fuzz asserts byte-for-byte.
 //
 // # Invariants
 //
@@ -45,4 +60,10 @@
 //  6. Durability errors are handled. Errors from WAL, fsync, Close and
 //     file-removal calls are never silently dropped; best-effort sites
 //     carry a //gmlint:ignore justification.
+//
+//  7. Partition locks are released on every path. Batch producers and
+//     parallel-scan workers hold tablePart.mu for a whole batch; any
+//     early return (schema-generation bump, send failure, kernel error)
+//     must unlock first — a held partition lock wedges every writer
+//     touching that partition (checked by gmlint's partlock).
 package sqldb

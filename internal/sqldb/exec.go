@@ -2,6 +2,7 @@ package sqldb
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 )
@@ -304,7 +305,10 @@ func (ex *selectExec) runGrouped() ([][]Value, [][]Value, error) {
 		order  []string
 		err    error
 	)
-	if ex.parallelAggEligible() {
+	if ba := ex.batchAggBinding(); ba != nil {
+		ex.db.plans.batchAggs.Add(1)
+		groups, order, err = ex.batchGroups(ba)
+	} else if ex.parallelAggEligible() {
 		ex.db.plans.parAggs.Add(1)
 		groups, order, err = ex.parallelGroups()
 	} else {
@@ -361,11 +365,16 @@ func (ex *selectExec) runGrouped() ([][]Value, [][]Value, error) {
 	return out, orderKeys, nil
 }
 
-// aggAcc accumulates one aggregate function over a group.
+// aggAcc accumulates one aggregate function over a group. Float partials
+// use Kahan (Neumaier-compensated) summation, so serial folds, parallel
+// per-partition partials and the vectorized kernels all produce the same
+// correctly-rounded SUM/AVG — the determinism oracle asserts exact
+// equality across all legs on non-dyadic fixtures.
 type aggAcc struct {
 	count   int64
 	sumI    int64
 	sumF    float64
+	comp    float64 // Kahan compensation carried alongside sumF
 	isFloat bool
 	minV    Value
 	maxV    Value
@@ -374,20 +383,29 @@ type aggAcc struct {
 
 func newAggAcc(call *FuncCall) aggAcc { return aggAcc{kind: call.Name} }
 
+// kahanAdd folds x into the compensated float partial (Neumaier's
+// variant, which also handles |x| > |sum|).
+func (a *aggAcc) kahanAdd(x float64) {
+	t := a.sumF + x
+	if math.Abs(a.sumF) >= math.Abs(x) {
+		a.comp += (a.sumF - t) + x
+	} else {
+		a.comp += (x - t) + a.sumF
+	}
+	a.sumF = t
+}
+
 // merge folds another partial accumulator (same aggregate, different
 // partition) into a. Ties in MIN/MAX keep a's value, which — with
 // partitions merged in order — reproduces the serial first-wins choice.
-//
-// Exactness caveat: COUNT, MIN, MAX and integer SUM merge exactly, so
-// parallel results are byte-identical to serial. Float SUM/AVG associate
-// partial sums differently than the serial row-order fold and may differ
-// in the last ulp — SQL leaves float aggregation order unspecified, and
-// the determinism tests use dyadic float fixtures for which all
-// associations are exact.
+// COUNT, MIN, MAX and integer SUM merge exactly; float SUM/AVG merge the
+// compensated partials (partial sum folded through kahanAdd, compensation
+// terms added), which keeps the merged result equal to the serial fold.
 func (a *aggAcc) merge(b *aggAcc) {
 	a.count += b.count
 	a.sumI += b.sumI
-	a.sumF += b.sumF
+	a.kahanAdd(b.sumF)
+	a.comp += b.comp
 	a.isFloat = a.isFloat || b.isFloat
 	if b.minV != nil && (a.minV == nil || Compare(b.minV, a.minV) < 0) {
 		a.minV = b.minV
@@ -412,18 +430,25 @@ func (a *aggAcc) add(call *FuncCall, env *RowEnv) error {
 	if v == nil {
 		return nil // aggregates skip NULLs
 	}
+	return a.addValue(call.Name, v)
+}
+
+// addValue folds one non-NULL value — the single accumulation routine
+// shared by the row engine (add) and the vectorized generic loops, so
+// both legs have identical numeric and error behavior.
+func (a *aggAcc) addValue(name string, v Value) error {
 	a.count++
-	switch call.Name {
+	switch name {
 	case "SUM", "AVG":
 		switch x := v.(type) {
 		case int64:
 			a.sumI += x
-			a.sumF += float64(x)
+			a.kahanAdd(float64(x))
 		case float64:
 			a.isFloat = true
-			a.sumF += x
+			a.kahanAdd(x)
 		default:
-			return fmt.Errorf("sqldb: %s over non-numeric value %s", call.Name, FormatValue(v))
+			return fmt.Errorf("sqldb: %s over non-numeric value %s", name, FormatValue(v))
 		}
 	case "MIN":
 		if a.minV == nil || Compare(v, a.minV) < 0 {
@@ -446,14 +471,14 @@ func (a *aggAcc) result() Value {
 			return nil
 		}
 		if a.isFloat {
-			return a.sumF
+			return a.sumF + a.comp
 		}
 		return a.sumI
 	case "AVG":
 		if a.count == 0 {
 			return nil
 		}
-		return a.sumF / float64(a.count)
+		return (a.sumF + a.comp) / float64(a.count)
 	case "MIN":
 		return a.minV
 	case "MAX":

@@ -206,26 +206,29 @@ func TestWherePredicatesMatchOracle(t *testing.T) {
 }
 
 // TestPlannerEquivalenceOracle fuzzes the planner: random generated queries
-// executed once with index access enabled, once with it forced off, and
-// once with partition-parallel execution forced on must return identical
-// result sequences (joins, ranges, IN lists, ORDER BY/LIMIT/OFFSET,
-// DISTINCT, GROUP BY). Since all modes share the executor, the planner
-// preserves scan emission order (including sort-tie order), and the
-// parallel exchange merges partitions back into row-ID order, the
-// comparison is exact, not just set-based. (Float SUM/AVG is the one
-// operation whose parallel merge may differ from serial in the last ulp
-// — partial sums associate differently; the fixture's REAL values are
-// dyadic, for which every association is exact, and the grouped queries
-// aggregate with COUNT/MIN.)
+// executed once with index access enabled, once with it forced off, once
+// with partition-parallel execution forced on, and once per vectorized leg
+// (batch kernels on, serial and parallel) must return identical result
+// sequences (joins, ranges, IN lists, ORDER BY/LIMIT/OFFSET, DISTINCT,
+// GROUP BY). Since all modes share the executor, the planner preserves
+// scan emission order (including sort-tie order), and both exchanges merge
+// partitions back into row-ID order, the comparison is exact, not just
+// set-based. Float SUM/AVG is exact too: every leg accumulates partials
+// with compensated (Kahan) summation, so the fixture's non-dyadic REAL
+// values (multiples of 0.1) and the grouped SUM(f)/AVG(f) columns must
+// agree to the last bit regardless of how partial sums associate.
 func TestPlannerEquivalenceOracle(t *testing.T) {
 	rng := rand.New(rand.NewSource(771104))
 	db := NewDB()
-	// Partition the storage and drop the parallel threshold so the 250-row
-	// fixture takes the parallel paths; the hint stays at 1 (serial) except
-	// in the explicitly parallel leg.
+	// Partition the storage and drop the parallel and batch thresholds so
+	// the 250-row fixture takes the parallel and vectorized paths; the
+	// parallelism hint stays at 1 (serial) and batch execution stays off
+	// except in the explicitly parallel/vectorized legs.
 	db.SetPartitions(4)
 	db.SetParallelMinRows(1)
 	db.SetParallelism(1)
+	db.SetBatchMinRows(1)
+	db.SetBatchExecution(false)
 	mustExec(t, db, "CREATE TABLE big (id INTEGER PRIMARY KEY, n INTEGER, f REAL, s TEXT, u INTEGER)")
 	mustExec(t, db, "CREATE INDEX idx_big_n ON big (n)")
 	mustExec(t, db, "CREATE INDEX idx_big_f ON big (f) USING BTREE")
@@ -237,7 +240,11 @@ func TestPlannerEquivalenceOracle(t *testing.T) {
 			n = int64(rng.Intn(12))
 		}
 		if rng.Intn(6) > 0 {
-			f = float64(rng.Intn(40)) / 4
+			// Multiples of 0.1 are deliberately non-dyadic: naive float
+			// summation would expose association-order differences between
+			// the serial, parallel, and vectorized legs; Kahan partials
+			// keep them byte-identical.
+			f = float64(rng.Intn(40)) / 10
 		}
 		if rng.Intn(6) > 0 {
 			s = words[rng.Intn(len(words))]
@@ -262,10 +269,10 @@ func TestPlannerEquivalenceOracle(t *testing.T) {
 		case 0:
 			return fmt.Sprintf("n = %d", rng.Intn(12))
 		case 1:
-			return fmt.Sprintf("f %s %g", []string{"<", "<=", ">", ">="}[rng.Intn(4)], float64(rng.Intn(40))/4)
+			return fmt.Sprintf("f %s %g", []string{"<", "<=", ">", ">="}[rng.Intn(4)], float64(rng.Intn(40))/10)
 		case 2:
-			lo := float64(rng.Intn(30)) / 4
-			return fmt.Sprintf("f BETWEEN %g AND %g", lo, lo+float64(rng.Intn(12))/4)
+			lo := float64(rng.Intn(30)) / 10
+			return fmt.Sprintf("f BETWEEN %g AND %g", lo, lo+float64(rng.Intn(12))/10)
 		case 3:
 			return fmt.Sprintf("s %s '%s'", []string{"<", ">=", "="}[rng.Intn(3)], words[rng.Intn(len(words))])
 		case 4:
@@ -291,7 +298,7 @@ func TestPlannerEquivalenceOracle(t *testing.T) {
 		}
 		grouped := rng.Intn(6) == 0
 		if grouped {
-			sb.WriteString("n, COUNT(*), MIN(f) FROM big")
+			sb.WriteString("n, COUNT(*), MIN(f), SUM(f), AVG(f) FROM big")
 		} else {
 			sb.WriteString([]string{"*", "id, n, f", "big.*", "id, s AS name, f"}[rng.Intn(4)])
 			sb.WriteString(" FROM big")
@@ -389,6 +396,17 @@ func TestPlannerEquivalenceOracle(t *testing.T) {
 		parallel, errPar := db.Query(query)
 		parStreamed, errParCur := drainCursorFormatted(query)
 		db.SetParallelism(1)
+		// Vectorized legs: the batch kernels forced on, serial and
+		// parallel. Shapes the kernels don't cover fall back to the row
+		// cursor, so every query is answerable on all legs.
+		db.SetBatchExecution(true)
+		vec, errVec := db.Query(query)
+		vecStreamed, errVecCur := drainCursorFormatted(query)
+		db.SetParallelism(8)
+		vecPar, errVecPar := db.Query(query)
+		vecParStreamed, errVecParCur := drainCursorFormatted(query)
+		db.SetParallelism(1)
+		db.SetBatchExecution(false)
 		if (errIdx != nil) != (errNo != nil) {
 			t.Fatalf("query %q: error mismatch: with-index=%v no-index=%v", query, errIdx, errNo)
 		}
@@ -397,6 +415,11 @@ func TestPlannerEquivalenceOracle(t *testing.T) {
 		}
 		if (errIdx != nil) != (errPar != nil) || (errIdx != nil) != (errParCur != nil) {
 			t.Fatalf("query %q: error mismatch: serial=%v parallel=%v parallel-cursor=%v", query, errIdx, errPar, errParCur)
+		}
+		if (errIdx != nil) != (errVec != nil) || (errIdx != nil) != (errVecCur != nil) ||
+			(errIdx != nil) != (errVecPar != nil) || (errIdx != nil) != (errVecParCur != nil) {
+			t.Fatalf("query %q: error mismatch: serial=%v vec=%v vec-cursor=%v vec-par=%v vec-par-cursor=%v",
+				query, errIdx, errVec, errVecCur, errVecPar, errVecParCur)
 		}
 		if errIdx != nil {
 			continue
@@ -419,9 +442,29 @@ func TestPlannerEquivalenceOracle(t *testing.T) {
 		if parStreamed != format(withIdx) {
 			t.Fatalf("query %q:\nparallel cursor stream:\n%s\nserial:\n%s", query, parStreamed, format(withIdx))
 		}
+		// The vectorized legs must be indistinguishable from the row
+		// engine byte for byte — row order, NULL handling, and float
+		// SUM/AVG bits included.
+		if format(vec) != format(withIdx) {
+			t.Fatalf("query %q:\nvectorized (%d rows):\n%s\nrow engine (%d rows):\n%s",
+				query, vec.Len(), format(vec), withIdx.Len(), format(withIdx))
+		}
+		if vecStreamed != format(withIdx) {
+			t.Fatalf("query %q:\nvectorized cursor stream:\n%s\nrow engine:\n%s", query, vecStreamed, format(withIdx))
+		}
+		if format(vecPar) != format(withIdx) {
+			t.Fatalf("query %q:\nvectorized parallel (%d rows):\n%s\nrow engine (%d rows):\n%s",
+				query, vecPar.Len(), format(vecPar), withIdx.Len(), format(withIdx))
+		}
+		if vecParStreamed != format(withIdx) {
+			t.Fatalf("query %q:\nvectorized parallel cursor stream:\n%s\nrow engine:\n%s", query, vecParStreamed, format(withIdx))
+		}
 	}
 	if db.ParallelStats().ParallelScans == 0 || db.ParallelStats().ParallelAggregates == 0 {
 		t.Fatalf("fuzz never exercised the parallel paths: %+v", db.ParallelStats())
+	}
+	if bs := db.BatchStats(); bs.BatchScans == 0 || bs.BatchAggregates == 0 {
+		t.Fatalf("fuzz never exercised the vectorized paths: %+v", bs)
 	}
 }
 

@@ -360,6 +360,10 @@ type planCounters struct {
 	parScans  atomic.Uint64
 	parAggs   atomic.Uint64
 	parWrites atomic.Uint64
+
+	// Vectorized batch operator executions (see batch.go).
+	batchScans atomic.Uint64
+	batchAggs  atomic.Uint64
 }
 
 // PlanStats is a snapshot of the planner's execution counters: how often

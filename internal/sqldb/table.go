@@ -501,18 +501,25 @@ func dedupSortedInt64s(ids []int64) []int64 {
 	return out
 }
 
-// CreateIndex builds a secondary index over one column, populating it from
-// existing rows. Unique indexes fail if existing data violates uniqueness.
-func (t *Table) CreateIndex(name, column string, kind IndexKind, unique bool) (*Index, error) {
+// prepIndex validates a CREATE INDEX request and allocates the empty index.
+func (t *Table) prepIndex(name, column string, kind IndexKind, unique bool) (*Index, int, error) {
 	if _, dup := t.indexes[name]; dup {
-		return nil, fmt.Errorf("sqldb: index %q already exists on %s", name, t.Name)
+		return nil, -1, fmt.Errorf("sqldb: index %q already exists on %s", name, t.Name)
 	}
 	col := t.Schema.ColumnIndex(column)
 	if col < 0 {
-		return nil, fmt.Errorf("sqldb: no column %q in table %s", column, t.Name)
+		return nil, -1, fmt.Errorf("sqldb: no column %q in table %s", column, t.Name)
 	}
-	idx := newIndex(name, t.Schema.Columns[col].Name, col, kind, unique)
-	var err error
+	return newIndex(name, t.Schema.Columns[col].Name, col, kind, unique), col, nil
+}
+
+// CreateIndex builds a secondary index over one column, populating it from
+// existing rows. Unique indexes fail if existing data violates uniqueness.
+func (t *Table) CreateIndex(name, column string, kind IndexKind, unique bool) (*Index, error) {
+	idx, col, err := t.prepIndex(name, column, kind, unique)
+	if err != nil {
+		return nil, err
+	}
 	t.Scan(func(id int64, row []Value) bool {
 		key := row[col]
 		if unique && key != nil && idx.containsKey(key) {
@@ -524,6 +531,118 @@ func (t *Table) CreateIndex(name, column string, kind IndexKind, unique bool) (*
 	})
 	if err != nil {
 		return nil, err
+	}
+	t.indexes[name] = idx
+	return idx, nil
+}
+
+// indexEntry is one (key, row ID) pair of a per-partition sorted run.
+type indexEntry struct {
+	key Value
+	id  int64
+}
+
+// CreateIndexParallel builds a B-tree index from per-partition sorted runs
+// built concurrently (the partition worker pattern of parallel.go) and
+// k-way-merged into the tree. The caller must hold the database
+// exclusively — CREATE INDEX is a DDL write — so the workers read their
+// partitions without locking. The resulting tree is identical to a serial
+// build: B-tree entries order by (key, row ID) regardless of insertion
+// order. Unique violations reproduce the serial error exactly — the serial
+// scan fails on the first row (in global row-ID order) whose key was
+// already present, i.e. the duplicated key whose second-smallest row ID is
+// globally minimal, which the merge pass recomputes.
+func (t *Table) CreateIndexParallel(name, column string, unique bool) (*Index, error) {
+	idx, col, err := t.prepIndex(name, column, IndexBTree, unique)
+	if err != nil {
+		return nil, err
+	}
+	runs := make([][]indexEntry, len(t.parts))
+	nullRuns := make([][]int64, len(t.parts))
+	var wg sync.WaitGroup
+	for i, part := range t.parts {
+		wg.Add(1)
+		go func(i int, part *tablePart) {
+			defer wg.Done()
+			entries := make([]indexEntry, 0, len(part.ids))
+			var nulls []int64
+			for _, id := range part.ids {
+				row := part.rows[id]
+				if row == nil {
+					continue // tombstone
+				}
+				if key := row[col]; key != nil {
+					entries = append(entries, indexEntry{key: key, id: id})
+				} else {
+					nulls = append(nulls, id)
+				}
+			}
+			sort.Slice(entries, func(a, b int) bool {
+				if c := Compare(entries[a].key, entries[b].key); c != 0 {
+					return c < 0
+				}
+				return entries[a].id < entries[b].id
+			})
+			runs[i] = entries
+			nullRuns[i] = nulls
+		}(i, part)
+	}
+	wg.Wait()
+
+	// K-way merge of the sorted runs. For unique indexes, equal keys are
+	// adjacent in merge order; the second entry of an equal-key run is the
+	// row the serial scan would have failed on for that key, and the
+	// smallest such row ID across keys is where the serial scan fails
+	// first.
+	heads := make([]int, len(runs))
+	var (
+		prevKey   Value
+		runLen    int
+		dupKey    Value
+		dupSecond int64 = -1
+	)
+	for {
+		best := -1
+		for i, run := range runs {
+			if heads[i] >= len(run) {
+				continue
+			}
+			if best < 0 {
+				best = i
+				continue
+			}
+			e, be := run[heads[i]], runs[best][heads[best]]
+			if c := Compare(e.key, be.key); c < 0 || (c == 0 && e.id < be.id) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		e := runs[best][heads[best]]
+		heads[best]++
+		if unique {
+			if prevKey != nil && Compare(e.key, prevKey) == 0 {
+				runLen++
+				if runLen == 2 && (dupSecond < 0 || e.id < dupSecond) {
+					dupKey, dupSecond = e.key, e.id
+				}
+			} else {
+				prevKey, runLen = e.key, 1
+			}
+			if dupSecond >= 0 {
+				continue // violation found; finish scanning for the minimum
+			}
+		}
+		idx.insert(e.key, e.id)
+	}
+	if unique && dupSecond >= 0 {
+		return nil, &UniqueError{Table: t.Name, Column: column, Value: dupKey}
+	}
+	for _, nulls := range nullRuns {
+		for _, id := range nulls {
+			idx.insert(nil, id)
+		}
 	}
 	t.indexes[name] = idx
 	return idx, nil
