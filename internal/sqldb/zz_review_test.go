@@ -1,0 +1,22 @@
+package sqldb
+
+import "testing"
+
+func TestLikeOnIntColAfterCmpKernel(t *testing.T) {
+	db := NewDB()
+	if _, err := db.Exec("CREATE TABLE t (a INT)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		if _, err := db.Exec("INSERT INTO t (a) VALUES (?)", int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Row leg: should be a graceful "LIKE requires TEXT operands" error.
+	db.SetBatchExecution(false)
+	_, err := db.Query("SELECT a FROM t WHERE a > 3 AND a LIKE 'x%'")
+	t.Logf("row leg err: %v", err)
+	db.SetBatchExecution(true)
+	_, err = db.Query("SELECT a FROM t WHERE a > 3 AND a LIKE 'x%'")
+	t.Logf("batch leg err: %v", err)
+}
