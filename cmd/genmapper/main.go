@@ -34,6 +34,7 @@ func main() {
 		paraN    = flag.Int("parallelism", 0, "query execution parallelism: 0 = one worker per CPU (default), 1 = serial, N>1 = shard storage into N hash partitions and fan scans/aggregates out across them")
 		batchOn  = flag.Bool("batch", true, "vectorized (columnar batch) execution for eligible scans and aggregates")
 		batchMin = flag.Int64("batch-min-rows", 0, "minimum table rows before the planner picks the vectorized leg (0 = engine default)")
+		mvccOn   = flag.Bool("mvcc", false, "MVCC snapshot isolation: readers run against snapshot epochs and never block on writers")
 	)
 	flag.Parse()
 
@@ -71,6 +72,7 @@ func main() {
 	if *batchMin > 0 {
 		sys.SetBatchMinRows(*batchMin)
 	}
+	sys.SetMVCC(*mvccOn)
 	st, err := sys.Stats()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "genmapper:", err)

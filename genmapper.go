@@ -210,6 +210,16 @@ func (s *System) SetBatchMinRows(n int64) { s.db.SetBatchMinRows(n) }
 // SQLBatchStats returns the vectorized execution counters and knobs.
 func (s *System) SQLBatchStats() sqldb.BatchStats { return s.db.BatchStats() }
 
+// SetMVCC toggles the embedded engine's multi-version concurrency control:
+// when on, readers run against snapshot epochs with no database lock and
+// never block on writers. Off by default; toggling is a schema change
+// (open cursors invalidate), so set it at startup.
+func (s *System) SetMVCC(on bool) { s.db.SetMVCC(on) }
+
+// SQLMVCCStats returns the MVCC counters: current epoch, active snapshots,
+// commit/abort/conflict counts and vacuum progress.
+func (s *System) SQLMVCCStats() sqldb.MVCCStats { return s.db.MVCCStats() }
+
 // SQLPartitionStats returns per-table partition layouts and per-partition
 // row counts.
 func (s *System) SQLPartitionStats() []sqldb.TablePartitionStats { return s.db.PartitionStats() }

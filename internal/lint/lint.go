@@ -9,6 +9,7 @@ import (
 	"genmapper/internal/lint/cursorclose"
 	"genmapper/internal/lint/errdrop"
 	"genmapper/internal/lint/lockorder"
+	"genmapper/internal/lint/mvccepoch"
 	"genmapper/internal/lint/partlock"
 	"genmapper/internal/lint/walack"
 )
@@ -20,6 +21,7 @@ func All() []*analysis.Analyzer {
 		cursorclose.Analyzer,
 		errdrop.Analyzer,
 		lockorder.Analyzer,
+		mvccepoch.Analyzer,
 		partlock.Analyzer,
 		walack.Analyzer,
 	}

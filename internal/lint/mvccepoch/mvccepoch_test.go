@@ -1,0 +1,13 @@
+package mvccepoch_test
+
+import (
+	"testing"
+
+	"genmapper/internal/lint/analysistest"
+	"genmapper/internal/lint/mvccepoch"
+)
+
+func TestMVCCEpoch(t *testing.T) {
+	analysistest.Run(t, analysistest.Testdata(), mvccepoch.Analyzer,
+		"genmapper/internal/sqldb")
+}

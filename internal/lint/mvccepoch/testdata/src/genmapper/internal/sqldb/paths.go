@@ -1,0 +1,62 @@
+package sqldb
+
+// Advancing the epoch anywhere but publishCommit breaks the release
+// fence snapshot readers synchronize on.
+func (db *DB) bumpEpochDirect() {
+	db.epoch.Add(1) // want `DB\.epoch is mutated outside publishCommit`
+}
+
+// Reading the epoch is fine anywhere: snapshots and conflict horizons do.
+func (db *DB) snapshotEpoch() uint64 {
+	return db.epoch.Load()
+}
+
+// Installing a version with the writeCtx stamp is the blessed path.
+func (db *DB) installVersion(w *writeCtx, row []Value) *rowVersion {
+	ver := &rowVersion{row: row}
+	ver.beg.Store(w.stamp())
+	return ver
+}
+
+// Stamping beg with anything else forges a visibility epoch.
+func (db *DB) forgeCommitted(row []Value) *rowVersion {
+	ver := &rowVersion{row: row}
+	ver.beg.Store(db.epoch.Load()) // want `rowVersion\.beg is stamped outside the audited sites`
+	return ver
+}
+
+// Publishing after the append is the commit contract.
+func (db *DB) commitLogged(installed []*rowVersion) error {
+	if _, err := db.durable.logCommit(nil); err != nil {
+		return err
+	}
+	db.publishCommit(installed)
+	return nil
+}
+
+// Publishing before the append would let a snapshot reader observe a
+// commit a crash could erase.
+func (db *DB) commitEarly(installed []*rowVersion) error {
+	db.publishCommit(installed) // want `publishCommit before any WAL append`
+	_, err := db.durable.logCommit(nil)
+	return err
+}
+
+// Publishing with no append in sight is the same violation.
+func (db *DB) commitUnlogged(installed []*rowVersion) {
+	db.publishCommit(installed) // want `publishCommit before any WAL append`
+}
+
+// Buffering into the transaction log defers the append to Commit, which
+// re-checks the ordering there.
+func (tx *Tx) execBuffered(sql string, installed []*rowVersion) {
+	tx.logged = append(tx.logged, logStmt{sql: sql})
+	tx.db.publishCommit(installed)
+}
+
+// Replay publishes state that is already in the log; the directive
+// documents the one legitimate out-of-order site.
+func (db *DB) replay(installed []*rowVersion) {
+	//gmlint:ignore mvccepoch recovery publishes records already in the log; there is nothing to append
+	db.publishCommit(installed)
+}

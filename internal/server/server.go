@@ -410,6 +410,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"sql_plans":      s.sys.SQLPlanStats(),
 		"sql_parallel":   s.sys.SQLParallelStats(),
 		"sql_batch":      s.sys.SQLBatchStats(),
+		"sql_mvcc":       s.sys.SQLMVCCStats(),
 		"sql_partitions": s.sys.SQLPartitionStats(),
 		"wal":            s.sys.SQLWALStats(),
 	})

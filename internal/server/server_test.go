@@ -286,6 +286,18 @@ func TestAPIEndpoints(t *testing.T) {
 			t.Errorf("sql_batch missing %q: %v", k, batch)
 		}
 	}
+	mvcc, ok := stats["sql_mvcc"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats missing sql_mvcc block: %v", stats)
+	}
+	if _, ok := mvcc["enabled"].(bool); !ok {
+		t.Errorf("sql_mvcc missing %q: %v", "enabled", mvcc)
+	}
+	for _, k := range []string{"epoch", "active_snapshots", "commits", "aborts", "conflicts", "vacuum_runs", "versions_vacuumed"} {
+		if _, ok := mvcc[k].(float64); !ok {
+			t.Errorf("sql_mvcc missing %q: %v", k, mvcc)
+		}
+	}
 	parts, ok := stats["sql_partitions"].([]any)
 	if !ok || len(parts) == 0 {
 		t.Fatalf("stats missing sql_partitions: %v", stats)

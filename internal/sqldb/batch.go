@@ -146,6 +146,7 @@ func (n nullBits) get(i int) bool { return n[i>>6]&(1<<(uint(i)&63)) != 0 }
 // which have identical semantics for any value mix.
 type colvec struct {
 	ok    bool // extracted for the current batch contents
+	typ   Type // the type the extraction ran as
 	typed bool // the typed slice is complete and trustworthy
 	i64   []int64
 	f64   []float64
@@ -188,10 +189,13 @@ func (b *colbatch) add(id int64, row []Value) {
 }
 
 // col returns the extracted vector for column ci, extracting it on first
-// use within the current batch.
+// use within the current batch. An extraction is only reused when it ran
+// as the same type: two kernels can read one column as different types
+// (e.g. a comparison as INT, then LIKE as TEXT), and serving the INT
+// extraction to the TEXT kernel would index a stale (or empty) slice.
 func (b *colbatch) col(ci int, typ Type) *colvec {
 	v := &b.cols[ci]
-	if !v.ok {
+	if !v.ok || v.typ != typ {
 		b.extract(ci, typ)
 	}
 	return v
@@ -199,7 +203,7 @@ func (b *colbatch) col(ci int, typ Type) *colvec {
 
 func (b *colbatch) extract(ci int, typ Type) {
 	v := &b.cols[ci]
-	v.ok, v.typed = true, true
+	v.ok, v.typ, v.typed = true, typ, true
 	n := b.n
 	words := (n + 63) / 64
 	if cap(v.nulls) < words {
@@ -283,19 +287,23 @@ type batchSource interface {
 // serialBatchScan is the single-goroutine batch producer: it refills one
 // colbatch per call from the global sorted row-ID slice and runs the
 // filter kernels over it, so the per-row cost is a map load plus a typed
-// comparison instead of a full expression-tree walk. The caller holds
-// db.mu (shared) across each next() call — dbCursor takes it per step,
-// QueryEach for the whole drain — which is what makes the lock-free walk
-// over t.ids/t.part(id) safe: all storage mutations hold db.mu
-// exclusively.
+// comparison instead of a full expression-tree walk. In lock mode the
+// caller holds db.mu (shared) across each next() call — dbCursor takes it
+// per step, QueryEach for the whole drain — which is what makes the
+// lock-free row reads safe: all storage mutations hold db.mu exclusively.
+// Under MVCC no database lock is held; each row resolves through
+// Table.get, which takes the partition read lock around the map access
+// and picks the version visible at the execution's snapshot.
 type serialBatchScan struct {
 	t      *Table
+	vis    visibility
 	filter *boundFilter
 	b      *colbatch
 
 	out    parBatch // current filtered run (aliases b's compacted prefix)
 	outPos int
 
+	ids    []int64
 	pos    int
 	lastID int64
 	mut    uint64
@@ -307,8 +315,10 @@ func newSerialBatchScan(ex *selectExec, bs *boundScan) *serialBatchScan {
 	t := ex.p.rels[0].table
 	return &serialBatchScan{
 		t:      t,
+		vis:    ex.vis,
 		filter: bs.filter,
 		b:      newColbatch(len(t.Schema.Columns), ex.db.batchRows()),
+		ids:    t.ids.load(),
 		first:  true,
 	}
 }
@@ -360,25 +370,26 @@ func (s *serialBatchScan) next() ([]Value, error) {
 func (s *serialBatchScan) refill() error {
 	t := s.t
 	if s.first {
-		s.mut, s.first = t.mut, false
-	} else if t.mut != s.mut {
-		s.pos = sort.Search(len(t.ids), func(i int) bool { return t.ids[i] > s.lastID })
-		s.mut = t.mut
+		s.mut, s.first = t.mut.Load(), false
+	} else if m := t.mut.Load(); m != s.mut {
+		s.ids = t.ids.load()
+		s.pos = sort.Search(len(s.ids), func(i int) bool { return s.ids[i] > s.lastID })
+		s.mut = m
 	}
 	b := s.b
 	b.reset()
 	max := cap(b.ids)
-	for s.pos < len(t.ids) && b.n < max {
-		id := t.ids[s.pos]
+	for s.pos < len(s.ids) && b.n < max {
+		id := s.ids[s.pos]
 		s.pos++
-		row := t.part(id).rows[id]
+		row := t.get(id, s.vis)
 		if row == nil {
-			continue // tombstone left by Delete
+			continue // tombstone, or a version invisible at this snapshot
 		}
 		s.lastID = id
 		b.add(id, row)
 	}
-	if s.pos >= len(t.ids) {
+	if s.pos >= len(s.ids) {
 		s.done = true
 	}
 	ids, rows, err := filterBatch(s.filter, b)
@@ -421,7 +432,7 @@ func filterBatch(f *boundFilter, b *colbatch) ([]int64, [][]Value, error) {
 // like the row-path workers.
 func newBatchScanExchange(ex *selectExec, bs *boundScan) *parallelScan {
 	rel := ex.p.rels[0]
-	parts := rel.table.parts
+	parts := rel.table.partList()
 	ps := &parallelScan{done: make(chan struct{}), streams: make([]*parStream, len(parts))}
 	gen := ex.db.gen.Load()
 	width := len(rel.table.Schema.Columns)
@@ -432,7 +443,7 @@ func newBatchScanExchange(ex *selectExec, bs *boundScan) *parallelScan {
 		ps.wg.Add(1)
 		// Each worker gets its own boundFilter fork: the bound constant
 		// tree is shared read-only, the scratch vectors are private.
-		go ps.batchWorker(ex.db, part, gen, bs.filter.fork(), width, rowsPer, st.ch)
+		go ps.batchWorker(ex.db, ex.vis, part, gen, bs.filter.fork(), width, rowsPer, st.ch)
 	}
 	return ps
 }
@@ -443,7 +454,7 @@ func newBatchScanExchange(ex *selectExec, bs *boundScan) *parallelScan {
 // (row slices are immutable once published) and the surviving rows are
 // sent. Position re-sync through the partition mutation counter matches
 // the row-path worker.
-func (ps *parallelScan) batchWorker(db *DB, part *tablePart, gen uint64, filter *boundFilter, width, rowsPer int, ch chan<- parBatch) {
+func (ps *parallelScan) batchWorker(db *DB, vis visibility, part *tablePart, gen uint64, filter *boundFilter, width, rowsPer int, ch chan<- parBatch) {
 	defer ps.wg.Done()
 	defer close(ch)
 	// The batches rotate through a fixed ring instead of being copied per
@@ -472,23 +483,24 @@ func (ps *parallelScan) batchWorker(db *DB, part *tablePart, gen uint64, filter 
 			ps.send(ch, parBatch{err: ErrCursorInvalidated})
 			return
 		}
+		view := part.ids.load()
 		if first {
-			mut, first = part.mut, false
-		} else if part.mut != mut {
-			pos = sort.Search(len(part.ids), func(i int) bool { return part.ids[i] > lastID })
-			mut = part.mut
+			mut, first = part.mut.Load(), false
+		} else if m := part.mut.Load(); m != mut {
+			pos = sort.Search(len(view), func(i int) bool { return view[i] > lastID })
+			mut = m
 		}
-		for pos < len(part.ids) && b.n < rowsPer {
-			id := part.ids[pos]
+		for pos < len(view) && b.n < rowsPer {
+			id := view[pos]
 			pos++
-			row := part.rows[id]
+			row := part.rows[id].resolve(vis)
 			if row == nil {
-				continue // tombstone
+				continue // tombstone, or a version invisible at this snapshot
 			}
 			lastID = id
 			b.add(id, row)
 		}
-		exhausted := pos >= len(part.ids)
+		exhausted := pos >= len(view)
 		part.mu.RUnlock()
 
 		ids, rows, err := filterBatch(filter, b)

@@ -734,16 +734,18 @@ func (ex *selectExec) batchAggBinding() *boundAgg {
 // typed per-column loops into partial groups, which merge through
 // aggAcc.merge under the exact contract of parallelGroups — partition
 // order, first-seen output order re-derived from the smallest contributing
-// row ID. The caller holds db.mu for the whole operation (grouped
-// execution is a pipeline breaker), so partitions are read without
-// locking; with a parallelism hint above 1 the partitions run on worker
-// goroutines, otherwise sequentially — the merged result is identical
-// either way.
+// row ID. In lock mode the caller holds db.mu for the whole operation
+// (grouped execution is a pipeline breaker), so partitions are read
+// without locking; under MVCC each batch is materialized under the
+// partition read lock and the kernels run outside it. With a parallelism
+// hint above 1 the partitions run on worker goroutines, otherwise
+// sequentially — the merged result is identical either way.
 func (ex *selectExec) batchGroups(ba *boundAgg) (map[string]*groupState, []string, error) {
 	p := ex.p
 	t := p.rels[0].table
-	parts := t.parts
+	parts := t.partList()
 	rowsPer := ex.db.batchRows()
+	vis := ex.vis
 	type partGroups struct {
 		groups map[string]*groupState
 		order  []string
@@ -751,7 +753,7 @@ func (ex *selectExec) batchGroups(ba *boundAgg) (map[string]*groupState, []strin
 	results := make([]partGroups, len(parts))
 	errs := make([]error, len(parts))
 	run := func(i int, part *tablePart, bf *boundFilter) {
-		g, ord, err := batchGroupPartition(p, ba.shape, bf, t, part, rowsPer)
+		g, ord, err := batchGroupPartition(p, ba.shape, bf, t, part, rowsPer, vis)
 		results[i] = partGroups{groups: g, order: ord}
 		errs[i] = err
 	}
@@ -801,24 +803,31 @@ func (ex *selectExec) batchGroups(ba *boundAgg) (map[string]*groupState, []strin
 }
 
 // batchGroupPartition aggregates one partition in columnar batches.
-func batchGroupPartition(p *selectPlan, sh *batchShape, bf *boundFilter, t *Table, part *tablePart, rowsPer int) (map[string]*groupState, []string, error) {
+func batchGroupPartition(p *selectPlan, sh *batchShape, bf *boundFilter, t *Table, part *tablePart, rowsPer int, vis visibility) (map[string]*groupState, []string, error) {
 	b := newColbatch(len(t.Schema.Columns), rowsPer)
 	groups := make(map[string]*groupState)
 	var order []string
 	sel := make([]int32, 0, rowsPer)
 	gptr := make([]*groupState, 0, rowsPer)
 	var keyBuf []byte
+	view := part.ids.load()
 	pos := 0
-	for pos < len(part.ids) {
+	for pos < len(view) {
 		b.reset()
-		for pos < len(part.ids) && b.n < rowsPer {
-			id := part.ids[pos]
+		if vis.lockPart {
+			part.mu.RLock()
+		}
+		for pos < len(view) && b.n < rowsPer {
+			id := view[pos]
 			pos++
-			row := part.rows[id]
+			row := part.rows[id].resolve(vis)
 			if row == nil {
-				continue // tombstone
+				continue // tombstone, or a version invisible at this snapshot
 			}
 			b.add(id, row)
+		}
+		if vis.lockPart {
+			part.mu.RUnlock()
 		}
 		if b.n == 0 {
 			continue

@@ -23,12 +23,16 @@ import (
 // Next; a nil row with a nil error marks exhaustion. Close releases the
 // cursor's resources and is idempotent.
 //
-// Cursors do not pin the database: each Next acquires the read lock for
-// just that step, so writers make progress while a large result streams
-// out. Row reads are read-committed — concurrent INSERT/UPDATE/DELETE may
-// or may not be observed by the remaining rows — and any schema change
-// (DDL, snapshot restore, index-access toggle) invalidates the cursor:
-// Next then fails with ErrCursorInvalidated.
+// Cursors do not pin the database: in lock mode each Next acquires the
+// read lock for just that step, so writers make progress while a large
+// result streams out and row reads are read-committed — concurrent
+// INSERT/UPDATE/DELETE may or may not be observed by the remaining rows.
+// Under MVCC the cursor instead pins a snapshot epoch at open: Next takes
+// no database lock at all and every row reflects exactly that snapshot;
+// the snapshot is released at Close (or exhaustion), unblocking vacuum.
+// In both modes any schema change (DDL, snapshot restore, index-access or
+// MVCC-mode toggle) invalidates the cursor: Next then fails with
+// ErrCursorInvalidated.
 //
 // The slice returned by Next is reused between calls; copy the values you
 // need before calling Next again. A Cursor must not be used from multiple
@@ -60,12 +64,13 @@ func (db *DB) QueryCursor(sql string, args ...any) (Cursor, error) {
 	return db.stmts.get(db, sql).QueryCursor(args...)
 }
 
-// QueryEach executes a SELECT and streams its rows through fn while
-// holding the database read lock for the whole iteration: fn observes a
-// single consistent statement snapshot (like Query) but no result set is
-// materialized (like QueryCursor). The row slice passed to fn is reused
-// between calls; fn must copy anything it keeps, and must not write to
-// this database — the held read lock would deadlock the write. A non-nil
+// QueryEach executes a SELECT and streams its rows through fn under a
+// single consistent statement snapshot (like Query) without materializing
+// a result set (like QueryCursor). In lock mode the database read lock is
+// held for the whole iteration, so fn must not write to this database —
+// the held read lock would deadlock the write; under MVCC the iteration
+// holds a snapshot epoch instead of any lock. The row slice passed to fn
+// is reused between calls; fn must copy anything it keeps. A non-nil
 // error from fn stops the iteration and is returned.
 func (db *DB) QueryEach(sql string, fn func(row []Value) error, args ...any) error {
 	return db.stmts.get(db, sql).QueryEach(fn, args...)
@@ -79,8 +84,20 @@ func (s *Stmt) QueryEach(fn func(row []Value) error, args ...any) error {
 		return err
 	}
 	db := s.db
+	if db.mvcc.Load() {
+		snap := db.snaps.acquire(db)
+		defer db.snaps.release(snap)
+		return s.eachVis(fn, vals, visibility{snap: snap, lockPart: true})
+	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	return s.eachVis(fn, vals, visLatest)
+}
+
+// eachVis runs the QueryEach drain pinned to vis; the caller provides the
+// synchronization (read lock in lock mode, registered snapshot under MVCC).
+func (s *Stmt) eachVis(fn func(row []Value) error, vals []Value, vis visibility) error {
+	db := s.db
 	p, err := s.ensure(db)
 	if err != nil {
 		return err
@@ -91,7 +108,7 @@ func (s *Stmt) QueryEach(fn func(row []Value) error, args ...any) error {
 	if err := p.checkArgs(vals); err != nil {
 		return err
 	}
-	c := newSelectCursor(db, p.sel, vals, true)
+	c := newSelectCursor(db, p.sel, vals, true, vis)
 	// fn may abort the iteration mid-stream; close cancels a parallel
 	// exchange so its workers never outlive the call.
 	defer c.close()
@@ -105,8 +122,26 @@ func (s *Stmt) QueryCursor(args ...any) (Cursor, error) {
 		return nil, err
 	}
 	db := s.db
+	if db.mvcc.Load() {
+		snap := db.snaps.acquire(db)
+		c, err := s.cursorVis(vals, visibility{snap: snap, lockPart: true})
+		if err != nil {
+			db.snaps.release(snap)
+			return nil, err
+		}
+		c.ownSnap = true
+		return c, nil
+	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	return s.cursorVis(vals, visLatest)
+}
+
+// cursorVis builds the public cursor handle pinned to vis. The caller
+// provides the synchronization for the build itself (read lock in lock
+// mode; under MVCC planning is lock-free).
+func (s *Stmt) cursorVis(vals []Value, vis visibility) (*dbCursor, error) {
+	db := s.db
 	p, err := s.ensure(db)
 	if err != nil {
 		return nil, err
@@ -119,33 +154,59 @@ func (s *Stmt) QueryCursor(args ...any) (Cursor, error) {
 	}
 	return &dbCursor{
 		db:    db,
-		inner: newSelectCursor(db, p.sel, vals, true),
+		inner: newSelectCursor(db, p.sel, vals, true, vis),
 		cols:  p.sel.projNames,
 		gen:   db.gen.Load(),
+		mvcc:  vis.lockPart,
+		snap:  vis.snap,
 	}, nil
 }
 
 // QueryCursor runs a streaming SELECT inside the transaction, observing
-// its own (uncommitted) writes like Tx.Query does.
+// its own (uncommitted) writes like Tx.Query does. Under MVCC the cursor
+// reads at the transaction's snapshot (which the transaction owns — the
+// cursor does not release it) and sees the transaction's provisional
+// versions.
 func (tx *Tx) QueryCursor(sql string, args ...any) (Cursor, error) {
 	if tx.done {
 		return nil, fmt.Errorf("sqldb: transaction already finished")
+	}
+	if tx.mvcc {
+		vals, err := normalizeArgs(args)
+		if err != nil {
+			return nil, err
+		}
+		return tx.db.stmts.get(tx.db, sql).cursorVis(vals, visibility{snap: tx.snap, tx: tx.id, lockPart: true})
 	}
 	return tx.db.QueryCursor(sql, args...)
 }
 
 // dbCursor is the public cursor handle: it wraps the lock-free engine
-// cursor with per-step read locking and schema-generation validation.
+// cursor with schema-generation validation plus, in lock mode, per-step
+// read locking, or, under MVCC, the pinned snapshot's lifetime.
 type dbCursor struct {
 	db     *DB
 	inner  *selectCursor
 	cols   []string
 	gen    uint64
 	closed bool
+
+	mvcc    bool   // MVCC read: skip per-step locking
+	snap    uint64 // pinned snapshot epoch (MVCC)
+	ownSnap bool   // this cursor registered snap and must release it
 }
 
 // Columns returns the output column names.
 func (c *dbCursor) Columns() []string { return c.cols }
+
+// releaseSnap hands a cursor-owned snapshot back to the tracker so vacuum
+// can advance past it. Idempotent.
+func (c *dbCursor) releaseSnap() {
+	if c.ownSnap {
+		c.ownSnap = false
+		c.db.snaps.release(c.snap)
+	}
+}
 
 // Next returns the next row, or (nil, nil) at exhaustion.
 func (c *dbCursor) Next() ([]Value, error) {
@@ -153,6 +214,19 @@ func (c *dbCursor) Next() ([]Value, error) {
 		return nil, errCursorClosed
 	}
 	db := c.db
+	if c.mvcc {
+		if db.gen.Load() != c.gen {
+			c.releaseSnap()
+			return nil, ErrCursorInvalidated
+		}
+		row, err := c.inner.step()
+		if row == nil {
+			// Terminal (exhaustion or error): stop pinning the vacuum
+			// horizon even if the caller forgets to Close.
+			c.releaseSnap()
+		}
+		return row, err
+	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	if db.gen.Load() != c.gen {
@@ -161,8 +235,8 @@ func (c *dbCursor) Next() ([]Value, error) {
 	return c.inner.step()
 }
 
-// Close releases the cursor's buffered state and cancels any parallel
-// scan workers still running. Idempotent.
+// Close releases the cursor's buffered state, cancels any parallel scan
+// workers still running, and releases a cursor-owned snapshot. Idempotent.
 func (c *dbCursor) Close() error {
 	if c.closed {
 		return nil
@@ -170,6 +244,7 @@ func (c *dbCursor) Close() error {
 	c.closed = true
 	c.inner.close()
 	c.inner = nil // release snapshots, hash tables and buffers
+	c.releaseSnap()
 	return nil
 }
 
@@ -203,9 +278,9 @@ type selectCursor struct {
 	pos int
 }
 
-func newSelectCursor(db *DB, p *selectPlan, args []Value, reuseRow bool) *selectCursor {
+func newSelectCursor(db *DB, p *selectPlan, args []Value, reuseRow bool, vis visibility) *selectCursor {
 	return &selectCursor{
-		ex:       &selectExec{db: db, p: p, env: p.newEnv(args)},
+		ex:       &selectExec{db: db, p: p, env: p.newEnv(args), vis: vis},
 		reuseRow: reuseRow,
 	}
 }
@@ -665,36 +740,40 @@ func (ex *selectExec) buildProducer() (rowProducer, error) {
 }
 
 // scanProducer emits the base table's rows in ascending row-ID order. It
-// walks the table's live ID slice by position and re-synchronizes via
-// binary search whenever the table's mutation counter moves, so an open
-// cursor survives concurrent inserts, deletes and ID-slice compaction
-// without snapshotting anything.
+// walks a loaded view of the table's live ID slice by position and
+// re-loads (re-synchronizing via binary search) whenever the table's
+// mutation counter moves, so an open cursor survives concurrent inserts,
+// deletes and ID-slice compaction without snapshotting anything. Row
+// visibility comes from the execution's snapshot, so under MVCC a reload
+// never changes which rows the cursor observes.
 type scanProducer struct {
 	rel    relBinding
+	ids    []int64
 	pos    int
 	lastID int64
 	mut    uint64
 }
 
 func newScanProducer(rel relBinding) *scanProducer {
-	return &scanProducer{rel: rel, mut: rel.table.mut}
+	return &scanProducer{rel: rel, ids: rel.table.ids.load(), mut: rel.table.mut.Load()}
 }
 
 func (s *scanProducer) next(ex *selectExec) (bool, error) {
 	t := s.rel.table
-	if t.mut != s.mut {
-		// The ID slice may have been appended to, compacted in place or
-		// truncated since the last step; continue after the last row
-		// emitted. Row IDs are monotone, so this never re-emits a row.
-		s.pos = sort.Search(len(t.ids), func(i int) bool { return t.ids[i] > s.lastID })
-		s.mut = t.mut
+	if m := t.mut.Load(); m != s.mut {
+		// The ID slice may have been appended to, compacted or truncated
+		// since the last step; continue after the last row emitted. Row
+		// IDs are monotone, so this never re-emits a row.
+		s.ids = t.ids.load()
+		s.pos = sort.Search(len(s.ids), func(i int) bool { return s.ids[i] > s.lastID })
+		s.mut = m
 	}
-	for s.pos < len(t.ids) {
-		id := t.ids[s.pos]
+	for s.pos < len(s.ids) {
+		id := s.ids[s.pos]
 		s.pos++
-		row := t.Get(id)
+		row := t.get(id, ex.vis)
 		if row == nil {
-			continue // tombstone left by Delete
+			continue // tombstone, or a version invisible at this snapshot
 		}
 		s.lastID = id
 		ex.env.SetRow(s.rel.off, row)
@@ -716,7 +795,7 @@ func (p *idListProducer) next(ex *selectExec) (bool, error) {
 	for p.pos < len(p.ids) {
 		id := p.ids[p.pos]
 		p.pos++
-		row := p.rel.table.Get(id)
+		row := p.rel.table.get(id, ex.vis)
 		if row == nil {
 			continue
 		}
@@ -758,7 +837,8 @@ type orderedProducer struct {
 	nullPos   int
 
 	chunk     []int64
-	runStarts []int // chunk offsets where a new key run begins (desc only)
+	chunkKeys []Value // entry key per chunk ID (MVCC stale-entry check)
+	runStarts []int   // chunk offsets where a new key run begins (desc only)
 	chunkPos  int
 	chunkSize int
 	treeDone  bool
@@ -797,10 +877,29 @@ func newOrderedProducer(ex *selectExec, rel relBinding) (*orderedProducer, error
 
 func (p *orderedProducer) next(ex *selectExec) (bool, error) {
 	t := p.rel.table
-	emit := func(id int64) bool {
-		row := t.Get(id)
+	col := p.a.idx.Col
+	// Under MVCC, index entries are maintained lazily (vacuum removes
+	// postings whose key no longer appears in the row's version chain), so
+	// an entry's key can be stale for the version visible at this snapshot.
+	// Emitting such an entry would place the row at the wrong position of
+	// the key order (or emit it twice); require the visible row to still
+	// carry the entry's key. Lock mode maintains entries eagerly 1:1, so
+	// the check is skipped there.
+	checkKey := ex.vis.lockPart
+	emit := func(id int64, key Value, isNull bool) bool {
+		row := t.get(id, ex.vis)
 		if row == nil {
 			return false
+		}
+		if checkKey {
+			v := row[col]
+			if isNull {
+				if v != nil {
+					return false
+				}
+			} else if v == nil || Compare(v, key) != 0 {
+				return false
+			}
 		}
 		ex.env.SetRow(p.rel.off, row)
 		return true
@@ -815,7 +914,7 @@ func (p *orderedProducer) next(ex *selectExec) (bool, error) {
 			for p.nullPos < len(p.nullIDs) {
 				id := p.nullIDs[p.nullPos]
 				p.nullPos++
-				if emit(id) {
+				if emit(id, nil, true) {
 					return true, nil
 				}
 			}
@@ -824,8 +923,9 @@ func (p *orderedProducer) next(ex *selectExec) (bool, error) {
 			for {
 				for p.chunkPos < len(p.chunk) {
 					id := p.chunk[p.chunkPos]
+					key := p.chunkKeys[p.chunkPos]
 					p.chunkPos++
-					if emit(id) {
+					if emit(id, key, false) {
 						return true, nil
 					}
 				}
@@ -848,6 +948,7 @@ func (p *orderedProducer) next(ex *selectExec) (bool, error) {
 // chunk serves LIMIT consumers, full chunks amortize long traversals.
 func (p *orderedProducer) refill() {
 	p.chunk = p.chunk[:0]
+	p.chunkKeys = p.chunkKeys[:0]
 	p.chunkPos = 0
 	size := p.chunkSize
 	if next := size * 4; next < orderedChunkSize {
@@ -869,6 +970,7 @@ func (p *orderedProducer) refill() {
 				return false
 			}
 			p.chunk = append(p.chunk, id)
+			p.chunkKeys = append(p.chunkKeys, key)
 			lastKey = key
 			if len(p.chunk) >= size {
 				full = true
@@ -896,6 +998,7 @@ func (p *orderedProducer) refill() {
 			p.runStarts = append(p.runStarts, len(p.chunk))
 		}
 		p.chunk = append(p.chunk, id)
+		p.chunkKeys = append(p.chunkKeys, key)
 		lastKey = key
 		if len(p.chunk) >= size {
 			full = true
@@ -907,7 +1010,8 @@ func (p *orderedProducer) refill() {
 	}
 	// The tree yields ties in descending row-ID order, but the stable sort
 	// this traversal replaces keeps ties ascending; reverse each run of
-	// equal keys (runs are never split across chunks).
+	// equal keys (runs are never split across chunks). Keys within a run
+	// compare equal, so only the IDs need reversing.
 	for ri, start := range p.runStarts {
 		end := len(p.chunk)
 		if ri+1 < len(p.runStarts) {
@@ -945,7 +1049,7 @@ func (j *joinProducer) init(ex *selectExec) {
 		ex.db.plans.hashJoins.Add(1)
 		hash := make(map[hashKey][][]Value)
 		col := j.plan.rightCol
-		j.rel.table.Scan(func(_ int64, row []Value) bool {
+		j.rel.table.scanVis(ex.vis, func(_ int64, row []Value) bool {
 			k := row[col]
 			if k == nil {
 				return true
@@ -960,7 +1064,7 @@ func (j *joinProducer) init(ex *selectExec) {
 	default:
 		ex.db.plans.nestedJoins.Add(1)
 		ids := make([]int64, 0, j.rel.table.RowCount())
-		j.rel.table.Scan(func(id int64, _ []Value) bool {
+		j.rel.table.scanVis(ex.vis, func(id int64, _ []Value) bool {
 			ids = append(ids, id)
 			return true
 		})
@@ -999,8 +1103,10 @@ func (j *joinProducer) startLeft(ex *selectExec) error {
 }
 
 // nextCandidate returns the next candidate right row, or nil when the
-// current left tuple's candidates are exhausted.
-func (j *joinProducer) nextCandidate() []Value {
+// current left tuple's candidates are exhausted. Rows resolve at the
+// execution's snapshot; stale MVCC index entries resolve to a row whose
+// key no longer matches and are rejected by the ON re-check.
+func (j *joinProducer) nextCandidate(ex *selectExec) []Value {
 	if j.candRows != nil {
 		if j.pos < len(j.candRows) {
 			row := j.candRows[j.pos]
@@ -1012,7 +1118,7 @@ func (j *joinProducer) nextCandidate() []Value {
 	for j.pos < len(j.candIDs) {
 		id := j.candIDs[j.pos]
 		j.pos++
-		if row := j.rel.table.Get(id); row != nil {
+		if row := j.rel.table.get(id, ex.vis); row != nil {
 			return row
 		}
 	}
@@ -1032,7 +1138,7 @@ func (j *joinProducer) next(ex *selectExec) (bool, error) {
 			j.haveLeft = true
 		}
 		for {
-			row := j.nextCandidate()
+			row := j.nextCandidate(ex)
 			if row == nil {
 				break
 			}

@@ -1,6 +1,7 @@
 package sqldb
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -9,13 +10,20 @@ import (
 )
 
 // DB is an embedded relational database instance. It is safe for concurrent
-// use: readers take a shared lock, writers an exclusive one. Transactions
-// serialize all other writers for their duration and provide rollback via
-// an undo log (read-uncommitted isolation for concurrent readers).
+// use. Two execution modes share the same versioned storage (see mvcc.go):
+// in lock mode (the default) readers take a shared lock and writers an
+// exclusive one, with transactions providing read-uncommitted isolation;
+// with SetMVCC(true) readers run lock-free against a snapshot epoch and
+// transactions get snapshot isolation with first-committer-wins conflicts.
 type DB struct {
 	mu     sync.RWMutex
 	writer sync.Mutex // serializes writers and spans transactions
-	tables map[string]*Table
+
+	// tables is the copy-on-write catalog: the map value is immutable and
+	// republished whole by DDL (under writer + exclusive mu), so lock-free
+	// MVCC planning and execution can resolve tables with a single atomic
+	// load.
+	tables atomic.Pointer[map[string]*Table]
 
 	// gen is the schema generation, bumped by every DDL change (and its
 	// rollback). Prepared plans record the generation they were built under
@@ -24,8 +32,8 @@ type DB struct {
 	// parallel.go) can poll it between batches.
 	gen atomic.Uint64
 	// noIndex disables index access paths in the planner (see
-	// SetIndexAccess). Guarded by mu.
-	noIndex bool
+	// SetIndexAccess). Atomic: the MVCC planning path reads it lock-free.
+	noIndex atomic.Bool
 
 	// nparts is the hash-partition count for newly created tables (0 =
 	// default, one per CPU). Guarded by mu; SetPartitions re-shards
@@ -35,6 +43,21 @@ type DB struct {
 	par parallelSettings
 	// batch is the runtime vectorized-execution hint (see batch.go).
 	batch batchSettings
+
+	// MVCC state (see mvcc.go). epoch is the commit epoch: provisional
+	// versions become visible when publishCommit stamps them and advances
+	// it (always after the WAL append). txSeq hands out transaction IDs
+	// for provisional stamps; snaps tracks active snapshots for vacuum.
+	mvcc             atomic.Bool
+	epoch            atomic.Uint64
+	txSeq            atomic.Uint64
+	snaps            snapTracker
+	mvccCommits      atomic.Uint64
+	mvccAborts       atomic.Uint64
+	mvccConflicts    atomic.Uint64
+	vacuumRuns       atomic.Uint64
+	versionsVacuumed atomic.Uint64
+	lastVacuum       atomic.Uint64 // mvccCommits value at the last vacuum
 
 	// stmts caches prepared statements by SQL text so repeated Query/Exec
 	// calls parse and plan once.
@@ -57,6 +80,39 @@ func (db *DB) bumpSchemaGen() {
 	db.stmts.invalidateAll()
 }
 
+// tableMap returns the current catalog. The returned map is immutable;
+// catalog changes republish a fresh map through putTable/delTable.
+func (db *DB) tableMap() map[string]*Table { return *db.tables.Load() }
+
+// storeTables publishes m as the whole catalog (bootstrap and restore).
+// The caller must not mutate m afterwards.
+func (db *DB) storeTables(m map[string]*Table) { db.tables.Store(&m) }
+
+// putTable publishes the catalog with t added under key (copy-on-write;
+// caller holds writer + exclusive mu).
+func (db *DB) putTable(key string, t *Table) {
+	old := db.tableMap()
+	next := make(map[string]*Table, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[key] = t
+	db.tables.Store(&next)
+}
+
+// delTable publishes the catalog with key removed (copy-on-write; caller
+// holds writer + exclusive mu).
+func (db *DB) delTable(key string) {
+	old := db.tableMap()
+	next := make(map[string]*Table, len(old))
+	for k, v := range old {
+		if k != key {
+			next[k] = v
+		}
+	}
+	db.tables.Store(&next)
+}
+
 // Result reports the outcome of a write statement.
 type Result struct {
 	LastInsertID int64
@@ -65,22 +121,20 @@ type Result struct {
 
 // NewDB creates an empty database.
 func NewDB() *DB {
-	return &DB{
-		tables: make(map[string]*Table),
-		stmts:  newStmtCache(DefaultStmtCacheCapacity),
-	}
+	db := &DB{stmts: newStmtCache(DefaultStmtCacheCapacity)}
+	db.storeTables(make(map[string]*Table))
+	return db
 }
 
 func (db *DB) table(name string) *Table {
-	return db.tables[strings.ToLower(name)]
+	return db.tableMap()[strings.ToLower(name)]
 }
 
 // TableNames returns the names of all tables in sorted order.
 func (db *DB) TableNames() []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	names := make([]string, 0, len(db.tables))
-	for _, t := range db.tables {
+	m := db.tableMap()
+	names := make([]string, 0, len(m))
+	for _, t := range m {
 		names = append(names, t.Name)
 	}
 	sort.Strings(names)
@@ -89,8 +143,6 @@ func (db *DB) TableNames() []string {
 
 // TableInfo returns the schema of the named table, or nil when absent.
 func (db *DB) TableInfo(name string) *Schema {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	t := db.table(name)
 	if t == nil {
 		return nil
@@ -100,8 +152,6 @@ func (db *DB) TableInfo(name string) *Schema {
 
 // RowCount returns the number of rows in a table (0 when absent).
 func (db *DB) RowCount(name string) int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	t := db.table(name)
 	if t == nil {
 		return 0
@@ -141,12 +191,27 @@ func (p *prepared) validateExec(vals []Value, txnControlErr string) error {
 	return p.checkArgs(vals)
 }
 
+// newWriteCtx builds the write context for one auto-commit statement:
+// under MVCC the snapshot is captured while holding the writer lock, so
+// it is the latest epoch and auto-commit writes can never conflict.
+func (db *DB) newWriteCtx() *writeCtx {
+	w := &writeCtx{}
+	if db.mvcc.Load() {
+		w.mvcc = true
+		w.tx = db.txSeq.Add(1)
+		w.snap = db.epoch.Load()
+	}
+	return w
+}
+
 // execPrepared runs a non-SELECT prepared statement as one auto-commit
 // transaction. Caller holds writer and db.mu exclusively. On a durable
 // database the commit record is appended (in log order, inside the
 // exclusive section) and its LSN returned; the caller waits for
 // durability after releasing the locks so concurrent committers can share
-// one fsync.
+// one fsync. Under MVCC the statement's provisional versions are
+// published — made visible to snapshot readers — only after the append
+// succeeds.
 func (db *DB) execPrepared(s *Stmt, vals []Value) (Result, uint64, error) {
 	p, err := s.ensure(db)
 	if err != nil {
@@ -156,9 +221,11 @@ func (db *DB) execPrepared(s *Stmt, vals []Value) (Result, uint64, error) {
 		return Result{}, 0, err
 	}
 	undo := &undoLog{}
-	res, err := db.executeWrite(p, vals, undo)
+	w := db.newWriteCtx()
+	res, err := db.executeWrite(p, vals, undo, w)
 	if err != nil {
 		undo.rollback(db)
+		db.abortProvisional(w.installed)
 		return Result{}, 0, err
 	}
 	var lsn uint64
@@ -171,9 +238,12 @@ func (db *DB) execPrepared(s *Stmt, vals []Value) (Result, uint64, error) {
 			// The log is unavailable, so the write can never be made
 			// durable: undo it and fail the statement.
 			undo.rollback(db)
+			db.abortProvisional(w.installed)
 			return Result{}, 0, err
 		}
 	}
+	db.publishCommit(w.installed)
+	db.maybeVacuumLocked()
 	return res, lsn, nil
 }
 
@@ -222,7 +292,9 @@ func (u *undoLog) rollbackTo(db *DB, mark int) {
 // so the final rollback leaves the counters exactly where the transaction
 // found them: a rolled-back transaction consumes no IDs, which keeps a
 // live database byte-identical to one that recovers from the WAL (where
-// rolled-back transactions never appear at all).
+// rolled-back transactions never appear at all). The same entry serves
+// both modes: an MVCC insert's provisional version is simply removed
+// outright (fresh row IDs have single-version chains).
 type insertUndo struct {
 	table   string
 	rowID   int64
@@ -262,17 +334,59 @@ func (e updateUndo) undo(db *DB) {
 	}
 }
 
+// mvccUpdateUndo unlinks the provisional version an MVCC update chained
+// onto the row and removes exactly the index entries the update
+// introduced (unless another version of the chain still needs them).
+type mvccUpdateUndo struct {
+	table string
+	rowID int64
+	ver   *rowVersion
+	added []idxKeyAdd
+}
+
+func (e mvccUpdateUndo) undo(db *DB) {
+	t := db.table(e.table)
+	if t == nil {
+		return
+	}
+	t.unlinkVersion(e.rowID, e.ver)
+	if len(e.added) == 0 {
+		return
+	}
+	head := t.part(e.rowID).rows[e.rowID]
+	for _, a := range e.added {
+		if !chainHasKey(head, a.idx.Col, a.key) {
+			a.idx.delete(a.key, e.rowID)
+		}
+	}
+}
+
+// mvccDeleteUndo unlinks the provisional deletion tombstone and restores
+// the live-row count (index and ID-slice entries were never touched).
+type mvccDeleteUndo struct {
+	table string
+	rowID int64
+	ver   *rowVersion
+}
+
+func (e mvccDeleteUndo) undo(db *DB) {
+	if t := db.table(e.table); t != nil {
+		t.unlinkVersion(e.rowID, e.ver)
+		t.live.Add(1)
+	}
+}
+
 type createTableUndo struct{ name string }
 
 func (e createTableUndo) undo(db *DB) {
-	delete(db.tables, strings.ToLower(e.name))
+	db.delTable(strings.ToLower(e.name))
 	db.bumpSchemaGen()
 }
 
 type dropTableUndo struct{ table *Table }
 
 func (e dropTableUndo) undo(db *DB) {
-	db.tables[strings.ToLower(e.table.Name)] = e.table
+	db.putTable(strings.ToLower(e.table.Name), e.table)
 	db.bumpSchemaGen()
 }
 
@@ -283,7 +397,7 @@ type createIndexUndo struct {
 
 func (e createIndexUndo) undo(db *DB) {
 	if t := db.table(e.table); t != nil {
-		delete(t.indexes, e.name)
+		t.removeIndex(e.name)
 	}
 	db.bumpSchemaGen()
 }
@@ -295,7 +409,7 @@ type dropIndexUndo struct {
 
 func (e dropIndexUndo) undo(db *DB) {
 	if t := db.table(e.table); t != nil {
-		t.indexes[e.idx.Name] = e.idx
+		t.setIndex(e.idx.Name, e.idx)
 	}
 	db.bumpSchemaGen()
 }
@@ -303,18 +417,18 @@ func (e dropIndexUndo) undo(db *DB) {
 // ---------------------------------------------------------------------------
 // Write-statement execution. Caller holds db.mu exclusively.
 
-func (db *DB) executeWrite(p *prepared, args []Value, undo *undoLog) (Result, error) {
+func (db *DB) executeWrite(p *prepared, args []Value, undo *undoLog, w *writeCtx) (Result, error) {
 	// UPDATE and DELETE run on their cached plans (access path chosen and
 	// columns bound once at prepare time).
 	switch {
 	case p.upd != nil:
-		return db.executeUpdate(p.upd, args, undo)
+		return db.executeUpdate(p.upd, args, undo, w)
 	case p.del != nil:
-		return db.executeDelete(p.del, args, undo)
+		return db.executeDelete(p.del, args, undo, w)
 	}
 	switch s := p.write.(type) {
 	case *InsertStmt:
-		return db.executeInsert(s, args, undo)
+		return db.executeInsert(s, args, undo, w)
 	case *CreateTableStmt:
 		return db.executeCreateTable(s, undo)
 	case *CreateIndexStmt:
@@ -327,7 +441,7 @@ func (db *DB) executeWrite(p *prepared, args []Value, undo *undoLog) (Result, er
 	return Result{}, fmt.Errorf("sqldb: unsupported statement %T", p.write)
 }
 
-func (db *DB) executeInsert(st *InsertStmt, args []Value, undo *undoLog) (Result, error) {
+func (db *DB) executeInsert(st *InsertStmt, args []Value, undo *undoLog, w *writeCtx) (Result, error) {
 	t := db.table(st.Table)
 	if t == nil {
 		return Result{}, fmt.Errorf("sqldb: no such table %q", st.Table)
@@ -362,7 +476,7 @@ func (db *DB) executeInsert(st *InsertStmt, args []Value, undo *undoLog) (Result
 			full[colPos[i]] = v
 		}
 		prevRow, prevSeq := t.nextRow, t.nextSeq
-		id, err := t.Insert(full)
+		id, err := t.insertRow(w, full)
 		if err != nil {
 			return Result{}, err
 		}
@@ -371,7 +485,7 @@ func (db *DB) executeInsert(st *InsertStmt, args []Value, undo *undoLog) (Result
 		// LastInsertID reports the autoincrement value when present, else
 		// the row ID.
 		if pk := t.Schema.PrimaryKeyIndex(); pk >= 0 {
-			if n, ok := t.Get(id)[pk].(int64); ok {
+			if n, ok := t.get(id, w.vis())[pk].(int64); ok {
 				res.LastInsertID = n
 				continue
 			}
@@ -382,10 +496,14 @@ func (db *DB) executeInsert(st *InsertStmt, args []Value, undo *undoLog) (Result
 }
 
 // collectWriteMatches returns the IDs of rows satisfying the write plan's
-// WHERE clause (nil = all), via the plan's precomputed access path.
-func (db *DB) collectWriteMatches(wp *writePlan, args []Value) ([]int64, error) {
+// WHERE clause (nil = all), via the plan's precomputed access path. Rows
+// resolve at the writer's visibility (newest committed state plus its own
+// provisional versions); under MVCC, stale index entries awaiting vacuum
+// are filtered by re-evaluating the WHERE clause against the visible row.
+func (db *DB) collectWriteMatches(wp *writePlan, args []Value, w *writeCtx) ([]int64, error) {
 	t := wp.t
 	env := wp.newEnv(args)
+	vis := w.vis()
 	var ids []int64
 	check := func(id int64, row []Value) error {
 		if wp.where == nil {
@@ -418,7 +536,7 @@ func (db *DB) collectWriteMatches(wp *writePlan, args []Value) ([]int64, error) 
 			return nil, err
 		}
 		for _, id := range candidates {
-			row := t.Get(id)
+			row := t.get(id, vis)
 			if row == nil {
 				continue
 			}
@@ -433,11 +551,11 @@ func (db *DB) collectWriteMatches(wp *writePlan, args []Value) ([]int64, error) 
 	// the workers read their partitions without further locking.
 	if db.parallelEligible(t) {
 		db.plans.parWrites.Add(1)
-		return parallelCollectMatches(db, wp, args)
+		return parallelCollectMatches(db, wp, args, vis)
 	}
 	db.plans.fullScans.Add(1)
 	var scanErr error
-	t.Scan(func(id int64, row []Value) bool {
+	t.scanVis(vis, func(id int64, row []Value) bool {
 		if err := check(id, row); err != nil {
 			scanErr = err
 			return false
@@ -450,16 +568,17 @@ func (db *DB) collectWriteMatches(wp *writePlan, args []Value) ([]int64, error) 
 	return ids, nil
 }
 
-func (db *DB) executeUpdate(p *updatePlan, args []Value, undo *undoLog) (Result, error) {
+func (db *DB) executeUpdate(p *updatePlan, args []Value, undo *undoLog, w *writeCtx) (Result, error) {
 	t := p.t
-	ids, err := db.collectWriteMatches(&p.writePlan, args)
+	ids, err := db.collectWriteMatches(&p.writePlan, args, w)
 	if err != nil {
 		return Result{}, err
 	}
 	env := p.newEnv(args)
+	vis := w.vis()
 	var res Result
 	for _, id := range ids {
-		old := t.Get(id)
+		old := t.get(id, vis)
 		if old == nil {
 			continue
 		}
@@ -479,25 +598,48 @@ func (db *DB) executeUpdate(p *updatePlan, args []Value, undo *undoLog) (Result,
 		}
 		oldCopy := make([]Value, len(old))
 		copy(oldCopy, old)
-		if err := t.Update(id, coerced); err != nil {
+		ver, added, err := t.updateRow(w, id, coerced)
+		if err != nil {
+			if errors.Is(err, ErrWriteConflict) {
+				db.mvccConflicts.Add(1)
+			}
 			return Result{}, err
 		}
-		undo.add(updateUndo{table: t.Name, rowID: id, old: oldCopy})
+		if w.mvcc {
+			undo.add(mvccUpdateUndo{table: t.Name, rowID: id, ver: ver, added: added})
+		} else {
+			undo.add(updateUndo{table: t.Name, rowID: id, old: oldCopy})
+		}
 		res.RowsAffected++
 	}
 	return res, nil
 }
 
-func (db *DB) executeDelete(p *deletePlan, args []Value, undo *undoLog) (Result, error) {
+func (db *DB) executeDelete(p *deletePlan, args []Value, undo *undoLog, w *writeCtx) (Result, error) {
 	t := p.t
-	ids, err := db.collectWriteMatches(&p.writePlan, args)
+	ids, err := db.collectWriteMatches(&p.writePlan, args, w)
 	if err != nil {
 		return Result{}, err
 	}
+	vis := w.vis()
 	var res Result
 	for _, id := range ids {
-		row := t.Get(id)
+		row := t.get(id, vis)
 		if row == nil {
+			continue
+		}
+		if w.mvcc {
+			ver, err := t.deleteRow(w, id)
+			if err != nil {
+				if errors.Is(err, ErrWriteConflict) {
+					db.mvccConflicts.Add(1)
+				}
+				return Result{}, err
+			}
+			if ver != nil {
+				undo.add(mvccDeleteUndo{table: t.Name, rowID: id, ver: ver})
+				res.RowsAffected++
+			}
 			continue
 		}
 		rowCopy := make([]Value, len(row))
@@ -512,7 +654,7 @@ func (db *DB) executeDelete(p *deletePlan, args []Value, undo *undoLog) (Result,
 
 func (db *DB) executeCreateTable(st *CreateTableStmt, undo *undoLog) (Result, error) {
 	key := strings.ToLower(st.Name)
-	if _, exists := db.tables[key]; exists {
+	if _, exists := db.tableMap()[key]; exists {
 		if st.IfNotExists {
 			return Result{}, nil
 		}
@@ -522,7 +664,7 @@ func (db *DB) executeCreateTable(st *CreateTableStmt, undo *undoLog) (Result, er
 	if err != nil {
 		return Result{}, err
 	}
-	db.tables[key] = NewTablePartitions(st.Name, schema, db.partitionCount())
+	db.putTable(key, NewTablePartitions(st.Name, schema, db.partitionCount()))
 	db.bumpSchemaGen()
 	undo.add(createTableUndo{name: st.Name})
 	return Result{}, nil
@@ -533,7 +675,7 @@ func (db *DB) executeCreateIndex(st *CreateIndexStmt, undo *undoLog) (Result, er
 	if t == nil {
 		return Result{}, fmt.Errorf("sqldb: no such table %q", st.Table)
 	}
-	if _, exists := t.indexes[st.Name]; exists && st.IfNotExists {
+	if _, exists := t.indexMap()[st.Name]; exists && st.IfNotExists {
 		return Result{}, nil
 	}
 	// Large B-tree builds use the partition-parallel sorted-run path; the
@@ -555,14 +697,14 @@ func (db *DB) executeCreateIndex(st *CreateIndexStmt, undo *undoLog) (Result, er
 
 func (db *DB) executeDropTable(st *DropTableStmt, undo *undoLog) (Result, error) {
 	key := strings.ToLower(st.Name)
-	t, exists := db.tables[key]
+	t, exists := db.tableMap()[key]
 	if !exists {
 		if st.IfExists {
 			return Result{}, nil
 		}
 		return Result{}, fmt.Errorf("sqldb: no such table %q", st.Name)
 	}
-	delete(db.tables, key)
+	db.delTable(key)
 	db.bumpSchemaGen()
 	undo.add(dropTableUndo{table: t})
 	return Result{}, nil
@@ -575,10 +717,10 @@ func (db *DB) executeDropIndex(st *DropIndexStmt, undo *undoLog) (Result, error)
 			if t == nil {
 				return nil, nil
 			}
-			return t, t.indexes[st.Name]
+			return t, t.indexMap()[st.Name]
 		}
-		for _, t := range db.tables {
-			if idx, ok := t.indexes[st.Name]; ok {
+		for _, t := range db.tableMap() {
+			if idx, ok := t.indexMap()[st.Name]; ok {
 				return t, idx
 			}
 		}
@@ -591,7 +733,7 @@ func (db *DB) executeDropIndex(st *DropIndexStmt, undo *undoLog) (Result, error)
 		}
 		return Result{}, fmt.Errorf("sqldb: no such index %q", st.Name)
 	}
-	delete(t.indexes, idx.Name)
+	t.removeIndex(idx.Name)
 	db.bumpSchemaGen()
 	undo.add(dropIndexUndo{table: t.Name, idx: idx})
 	return Result{}, nil
@@ -600,8 +742,13 @@ func (db *DB) executeDropIndex(st *DropIndexStmt, undo *undoLog) (Result, error)
 // ---------------------------------------------------------------------------
 // Transactions
 
-// Tx is an exclusive transaction. While a Tx is open it blocks all other
-// writers; readers observe intermediate state (read uncommitted).
+// Tx is a transaction. In lock mode it is exclusive: while open it blocks
+// all other writers and readers observe intermediate state (read
+// uncommitted). Under MVCC it gets snapshot isolation: reads observe the
+// database as of Begin (plus its own writes), the writer lock is acquired
+// lazily at the first write statement, and writes to rows committed after
+// the snapshot fail with ErrWriteConflict (first committer wins) — roll
+// back and retry.
 type Tx struct {
 	db   *DB
 	undo *undoLog
@@ -610,10 +757,29 @@ type Tx struct {
 	// (durable databases only). Commit appends them as ONE record, so
 	// recovery replays the transaction atomically or not at all.
 	logged []logStmt
+
+	// MVCC state: the Begin snapshot, the provisional-version stamp, the
+	// versions installed so far, and whether the writer lock is held yet.
+	mvcc       bool
+	id         uint64
+	snap       uint64
+	installed  []*rowVersion
+	writerHeld bool
 }
 
-// Begin opens a transaction, blocking until any other writer finishes.
+// Begin opens a transaction. In lock mode it blocks until any other
+// writer finishes; under MVCC it only captures a snapshot (read-only
+// transactions never serialize).
 func (db *DB) Begin() *Tx {
+	if db.mvcc.Load() {
+		return &Tx{
+			db:   db,
+			undo: &undoLog{},
+			mvcc: true,
+			id:   db.txSeq.Add(1),
+			snap: db.snaps.acquire(db),
+		}
+	}
 	db.writer.Lock()
 	return &Tx{db: db, undo: &undoLog{}}
 }
@@ -630,6 +796,13 @@ func (tx *Tx) Exec(sql string, args ...any) (Result, error) {
 		return Result{}, err
 	}
 	db := tx.db
+	if tx.mvcc && !tx.writerHeld {
+		// First write statement: start serializing against other writers.
+		// The snapshot stays at Begin — commits that landed in between are
+		// exactly what conflictCheck detects.
+		db.writer.Lock()
+		tx.writerHeld = true
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	p, err := db.stmts.get(db, sql).ensure(db)
@@ -639,16 +812,19 @@ func (tx *Tx) Exec(sql string, args ...any) (Result, error) {
 	if err := p.validateExec(vals, errTxnControlTx); err != nil {
 		return Result{}, err
 	}
+	w := &writeCtx{mvcc: tx.mvcc, tx: tx.id, snap: tx.snap}
 	// Statements are atomic within the transaction: a failure unwinds the
 	// statement's own changes immediately (not at Rollback), so a caller
 	// that ignores the error and commits anyway commits exactly the
 	// successful statements — which is also exactly what the WAL records.
 	mark := len(tx.undo.entries)
-	res, err := db.executeWrite(p, vals, tx.undo)
+	res, err := db.executeWrite(p, vals, tx.undo, w)
 	if err != nil {
 		tx.undo.rollbackTo(db, mark)
+		db.abortProvisional(w.installed)
 		return Result{}, err
 	}
+	tx.installed = append(tx.installed, w.installed...)
 	// Statements that changed nothing (UPDATE matching no rows, CREATE
 	// TABLE IF NOT EXISTS hitting an existing table) leave no undo entries
 	// and need no log record: replaying them is a no-op by definition.
@@ -658,10 +834,21 @@ func (tx *Tx) Exec(sql string, args ...any) (Result, error) {
 	return res, nil
 }
 
-// Query runs a SELECT inside the transaction, observing its own writes.
+// Query runs a SELECT inside the transaction. In lock mode it observes
+// the latest state (including the transaction's own writes); under MVCC
+// it observes the Begin snapshot plus the transaction's own writes —
+// repeatable reads for everything the transaction did not touch.
 func (tx *Tx) Query(sql string, args ...any) (*ResultSet, error) {
 	if tx.done {
 		return nil, fmt.Errorf("sqldb: transaction already finished")
+	}
+	if tx.mvcc {
+		vals, err := normalizeArgs(args)
+		if err != nil {
+			return nil, err
+		}
+		vis := visibility{snap: tx.snap, tx: tx.id, lockPart: true}
+		return tx.db.stmts.get(tx.db, sql).queryVis(vals, vis)
 	}
 	return tx.db.Query(sql, args...)
 }
@@ -671,7 +858,10 @@ func (tx *Tx) Query(sql string, args ...any) (*ResultSet, error) {
 // holding the writer lock (log order == commit order) and then waits for
 // the record to reach stable storage per the fsync policy; the wait
 // happens after the lock is released, so concurrent committers are
-// acknowledged by a shared fsync (group commit).
+// acknowledged by a shared fsync (group commit). Under MVCC the
+// transaction's provisional versions are published — stamped with the
+// commit epoch, which is advanced last — strictly after the append, so
+// snapshot readers can never observe a commit the log does not contain.
 func (tx *Tx) Commit() error {
 	if tx.done {
 		return fmt.Errorf("sqldb: transaction already finished")
@@ -685,36 +875,54 @@ func (tx *Tx) Commit() error {
 			// durable, so it must not become visible either.
 			db.mu.Lock()
 			tx.undo.rollback(db)
+			db.abortProvisional(tx.installed)
 			db.mu.Unlock()
-			tx.done = true
-			tx.undo = nil
-			tx.logged = nil
-			db.writer.Unlock()
+			tx.finish()
 			return err
 		}
 	}
-	tx.done = true
-	tx.undo = nil
-	tx.logged = nil
-	db.writer.Unlock()
+	if tx.mvcc && len(tx.installed) > 0 {
+		db.mu.Lock()
+		db.publishCommit(tx.installed)
+		db.maybeVacuumLocked()
+		db.mu.Unlock()
+	}
+	tx.finish()
 	if d := db.durable; d != nil && lsn != 0 {
 		return d.wait(lsn)
 	}
 	return nil
 }
 
+// finish releases the transaction's locks and snapshot registration.
+func (tx *Tx) finish() {
+	tx.done = true
+	tx.undo = nil
+	tx.logged = nil
+	tx.installed = nil
+	if tx.mvcc {
+		if tx.writerHeld {
+			tx.db.writer.Unlock()
+			tx.writerHeld = false
+		}
+		tx.db.snaps.release(tx.snap)
+		return
+	}
+	tx.db.writer.Unlock()
+}
+
 // Rollback reverts every change made in the transaction. Nothing reaches
 // the WAL: a rolled-back transaction (including its DDL) is invisible to
-// recovery.
+// recovery, and under MVCC its provisional versions — never published —
+// are unlinked before the writer lock is released.
 func (tx *Tx) Rollback() error {
 	if tx.done {
 		return fmt.Errorf("sqldb: transaction already finished")
 	}
-	tx.done = true
-	tx.logged = nil
 	tx.db.mu.Lock()
 	tx.undo.rollback(tx.db)
+	tx.db.abortProvisional(tx.installed)
 	tx.db.mu.Unlock()
-	tx.db.writer.Unlock()
+	tx.finish()
 	return nil
 }

@@ -1,7 +1,8 @@
 // Package sqldb is the embedded relational engine: SQL parsing, planning,
 // indexed, partition-parallel and vectorized (columnar batch) execution,
-// transactions with undo-log rollback, streaming cursors, and WAL-backed
-// durability with group commit and checkpointing.
+// transactions with undo-log rollback, MVCC snapshot isolation with
+// lock-free readers, streaming cursors, and WAL-backed durability with
+// group commit and checkpointing.
 //
 // # Vectorized execution
 //
@@ -66,4 +67,18 @@
 //     early return (schema-generation bump, send failure, kernel error)
 //     must unlock first — a held partition lock wedges every writer
 //     touching that partition (checked by gmlint's partlock).
+//
+//  8. Version visibility flows through the epoch. Storage is version
+//     chains in both modes; a chain's head may carry a provisional
+//     version (beg = provisionalBit|txID), visible only to its writing
+//     transaction, above committed versions ordered newest-first by
+//     commit epoch. A reader resolves the newest version with
+//     beg <= its snapshot epoch; the snapshot is captured through
+//     snapTracker.acquire so vacuum can never reclaim below a live
+//     snapshot. Versions are installed with writeCtx.stamp() and become
+//     visible ONLY via publishCommit — which stamps the commit epoch
+//     and advances db.epoch last (the release fence), strictly after
+//     the commit's WAL append — or are unlinked by rollback. gmlint's
+//     mvccepoch checks the publication sites and the append-before-
+//     publish order.
 package sqldb

@@ -349,7 +349,7 @@ func OpenDurable(dir string, opts DurableOptions) (*DB, error) {
 
 	db := NewDB()
 	if tables != nil {
-		db.tables = tables
+		db.storeTables(tables)
 	}
 
 	// 3. Replay the tail beyond the checkpoint. Statements run through the
@@ -432,13 +432,18 @@ func loadNewestCheckpoint(fs wal.FS) (map[string]*Table, uint64, error) {
 }
 
 // applyRecord replays one commit record's statements as a single atomic
-// unit. A failure rolls the record back and aborts recovery.
+// unit. A failure rolls the record back and aborts recovery. Replay runs
+// in lock mode (a zero writeCtx) regardless of the database's MVCC
+// setting: recovery is single-threaded, the record's effects are already
+// committed in the log, and lock-mode writes install plain committed
+// versions with no epochs to publish.
 func (db *DB) applyRecord(stmts []logStmt) error {
 	db.writer.Lock()
 	defer db.writer.Unlock()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	undo := &undoLog{}
+	w := &writeCtx{}
 	for _, st := range stmts {
 		p, err := db.stmts.get(db, st.sql).ensure(db)
 		if err != nil {
@@ -450,7 +455,7 @@ func (db *DB) applyRecord(stmts []logStmt) error {
 			return fmt.Errorf("sqldb: SELECT in wal record")
 		}
 		//gmlint:ignore walack recovery replays records already in the log; re-appending them would double every commit
-		if _, err := db.executeWrite(p, st.args, undo); err != nil {
+		if _, err := db.executeWrite(p, st.args, undo, w); err != nil {
 			undo.rollback(db)
 			return err
 		}
@@ -608,14 +613,15 @@ func (db *DB) Close() error {
 func (db *DB) Dump(w io.Writer) error {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	names := make([]string, 0, len(db.tables))
-	for n := range db.tables {
+	tables := db.tableMap()
+	names := make([]string, 0, len(tables))
+	for n := range tables {
 		names = append(names, n)
 	}
 	sort.Strings(names)
 	bw := bufio.NewWriter(w)
 	for _, n := range names {
-		t := db.tables[n]
+		t := tables[n]
 		fmt.Fprintf(bw, "TABLE %s nextRow=%d nextSeq=%d\n", t.Name, t.nextRow, t.nextSeq)
 		for _, col := range t.Schema.Columns {
 			fmt.Fprintf(bw, "  COL %s %s pk=%v auto=%v notnull=%v\n",

@@ -3,6 +3,7 @@ package sqldb
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"genmapper/internal/wal"
@@ -339,6 +340,93 @@ func TestRandomizedRecoveryOracle(t *testing.T) {
 		}
 		if k < acked {
 			t.Fatalf("round %d op %d: recovered prefix %d < %d acked", round, op, k, acked)
+		}
+	}
+}
+
+// TestMVCCCrashSweepInFlightTx is the MVCC leg of the fault harness: the
+// workload runs under snapshot isolation (commit epochs published after
+// the WAL append), a vacuum pass runs mid-way, and at every crash point a
+// transaction with UNCOMMITTED provisional versions is left in flight
+// before the crash. Recovery must be byte-identical to a committed prefix
+// covering every acknowledged commit, and the in-flight transaction's
+// provisional rows must never resurrect (they are in no prefix, so a
+// resurrected row fails the prefix match — the marker check just names
+// the failure).
+func TestMVCCCrashSweepInFlightTx(t *testing.T) {
+	commits := crashWorkload()
+	dumps := prefixDumps(t, commits)
+
+	runPoint := func(fs *wal.FaultFS) int {
+		db, err := OpenDurable("", durableOpts(fs, wal.SyncAlways))
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		defer db.Close()
+		db.SetMVCC(true)
+		acked := 0
+		for i, c := range commits {
+			if err := c.apply(db); err != nil {
+				return acked
+			}
+			acked++
+			if i == len(commits)/2 {
+				db.Vacuum()
+			}
+		}
+		return acked
+	}
+
+	dry := wal.NewFaultFS()
+	if n := runPoint(dry); n != len(commits) {
+		t.Fatalf("dry run acked %d of %d", n, len(commits))
+	}
+	total := dry.OpCount()
+	for op := 1; op <= total; op += 2 {
+		fs := wal.NewFaultFS()
+		fs.SetPlan(wal.FaultPlan{AtOp: op, Kind: wal.FaultCrash})
+
+		db, err := OpenDurable("", durableOpts(fs, wal.SyncAlways))
+		if err != nil {
+			t.Fatalf("op %d: open: %v", op, err)
+		}
+		db.SetMVCC(true)
+		acked := 0
+		for i, c := range commits {
+			if err := c.apply(db); err != nil {
+				break
+			}
+			acked++
+			if i == len(commits)/2 {
+				db.Vacuum()
+			}
+		}
+		// Leave a writing transaction in flight: its provisional versions
+		// exist in memory (never logged, never published) when the crash
+		// is taken. kv may not exist yet at early crash points; then the
+		// in-flight write simply targets nothing.
+		tx := db.Begin()
+		tx.Exec("INSERT INTO kv (k, v) VALUES (?, ?)", "inflight", -1)
+		tx.Exec("UPDATE kv SET v = -2 WHERE k = ?", "key-1")
+		fs.SimulateCrash(nil)
+		tx.Rollback()
+		db.Close()
+
+		rec, err := OpenDurable("", durableOpts(fs, wal.SyncAlways))
+		if err != nil {
+			t.Fatalf("op %d: recovery failed: %v", op, err)
+		}
+		got := rec.DumpString()
+		rec.Close()
+		if strings.Contains(got, "inflight") {
+			t.Fatalf("op %d: in-flight transaction's provisional row resurrected:\n%s", op, got)
+		}
+		k := matchPrefix(dumps, got)
+		if k < 0 {
+			t.Fatalf("op %d: recovered MVCC state equals NO committed prefix\nacked=%d\n%s", op, acked, got)
+		}
+		if k < acked {
+			t.Fatalf("op %d: recovered prefix %d but %d commits acknowledged — durability violated", op, k, acked)
 		}
 	}
 }

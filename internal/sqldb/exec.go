@@ -34,6 +34,12 @@ type selectExec struct {
 	p   *selectPlan
 	env *RowEnv
 
+	// vis is the snapshot this execution reads at. Lock-mode executions
+	// run under db.mu and use visLatest; MVCC executions carry the
+	// statement's or transaction's snapshot epoch (vis.lockPart set, so
+	// row-map reads take the partition read lock).
+	vis visibility
+
 	// orderedHint is the number of output rows the consumer expects to
 	// need (LIMIT+OFFSET on the streaming path), used to size the first
 	// chunk of an ordered index traversal; 0 means unknown.
@@ -63,7 +69,14 @@ func (f *fixedCol) String() string                  { return fmt.Sprintf("col#%d
 // executeSelect materializes a SELECT by draining its cursor pipeline.
 // Caller holds db.mu (shared or exclusive).
 func (db *DB) executeSelect(p *selectPlan, args []Value) (*ResultSet, error) {
-	c := newSelectCursor(db, p, args, false)
+	return db.executeSelectVis(p, args, visLatest)
+}
+
+// executeSelectVis is executeSelect pinned to an explicit snapshot. MVCC
+// reads pass a registered snapshot epoch and hold no db.mu at all; the
+// partition read locks taken per row copy are the only synchronization.
+func (db *DB) executeSelectVis(p *selectPlan, args []Value, vis visibility) (*ResultSet, error) {
+	c := newSelectCursor(db, p, args, false, vis)
 	defer c.close()
 	rows, err := c.drain()
 	if err != nil {
@@ -545,8 +558,11 @@ func collectAccessIDs(a *accessPlan, penv *RowEnv) ([]int64, error) {
 			ids = append(ids, id)
 			return true
 		})
+		// Under MVCC a row's chain can hold entries under several keys of
+		// the same index (set semantics, vacuumed lazily), so one ID may
+		// appear under multiple in-range keys.
 		sortInt64s(ids)
-		return ids, nil
+		return dedupSortedInt64s(ids), nil
 	}
 	return nil, fmt.Errorf("sqldb: internal: access path has no candidate IDs")
 }

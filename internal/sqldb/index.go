@@ -1,5 +1,7 @@
 package sqldb
 
+import "sync"
+
 // IndexKind selects the physical structure backing an index.
 type IndexKind int
 
@@ -21,6 +23,13 @@ func (k IndexKind) String() string {
 
 // Index maps one column's values to row IDs. Hash indexes use a bucket map;
 // B-tree indexes keep entries ordered for range scans.
+//
+// Every structural operation synchronizes on the index's own RWMutex:
+// writers hold the database writer lock anyway, but MVCC snapshot readers
+// probe indexes with no database lock at all, so the per-index lock is
+// what keeps a lookup from racing an entry insert. Readers copy matches
+// out (Lookup) or finish the traversal (Range) before resolving row
+// visibility, so the lock is never held across row access.
 type Index struct {
 	Name   string
 	Column string
@@ -28,6 +37,7 @@ type Index struct {
 	Kind   IndexKind
 	Unique bool
 
+	mu   sync.RWMutex
 	hash map[hashKey][]int64
 	tree *btree
 	// nullRows tracks rows whose key is NULL; NULL keys are excluded from
@@ -42,6 +52,8 @@ func newIndex(name, column string, col int, kind IndexKind, unique bool) *Index 
 }
 
 func (idx *Index) reset() {
+	idx.mu.Lock()
+	defer idx.mu.Unlock()
 	idx.nullRows = make(map[int64]bool)
 	if idx.Kind == IndexHash {
 		idx.hash = make(map[hashKey][]int64)
@@ -53,6 +65,8 @@ func (idx *Index) reset() {
 }
 
 func (idx *Index) insert(key Value, row int64) {
+	idx.mu.Lock()
+	defer idx.mu.Unlock()
 	if key == nil {
 		idx.nullRows[row] = true
 		return
@@ -66,6 +80,8 @@ func (idx *Index) insert(key Value, row int64) {
 }
 
 func (idx *Index) delete(key Value, row int64) {
+	idx.mu.Lock()
+	defer idx.mu.Unlock()
 	if key == nil {
 		delete(idx.nullRows, row)
 		return
@@ -94,6 +110,8 @@ func (idx *Index) containsKey(key Value) bool {
 	if key == nil {
 		return false
 	}
+	idx.mu.RLock()
+	defer idx.mu.RUnlock()
 	if idx.Kind == IndexHash {
 		return len(idx.hash[makeHashKey(key)]) > 0
 	}
@@ -111,6 +129,8 @@ func (idx *Index) Lookup(key Value) []int64 {
 	if key == nil {
 		return nil
 	}
+	idx.mu.RLock()
+	defer idx.mu.RUnlock()
 	if idx.Kind == IndexHash {
 		rows := idx.hash[makeHashKey(key)]
 		out := make([]int64, len(rows))
@@ -131,6 +151,8 @@ func (idx *Index) Range(lo, hi Value, hasLo, hasHi, loIncl, hiIncl bool, fn func
 	if idx.Kind != IndexBTree {
 		return
 	}
+	idx.mu.RLock()
+	defer idx.mu.RUnlock()
 	idx.tree.AscendRange(lo, hi, hasLo, hasHi, loIncl, hiIncl, fn)
 }
 
@@ -140,12 +162,16 @@ func (idx *Index) RangeDesc(lo, hi Value, hasLo, hasHi, loIncl, hiIncl bool, fn 
 	if idx.Kind != IndexBTree {
 		return
 	}
+	idx.mu.RLock()
+	defer idx.mu.RUnlock()
 	idx.tree.DescendRange(lo, hi, hasLo, hasHi, loIncl, hiIncl, fn)
 }
 
 // NullRowIDs returns the IDs of rows whose key is NULL, in ascending order.
 // Index traversals skip NULL keys, so ordered scans serve them separately.
 func (idx *Index) NullRowIDs() []int64 {
+	idx.mu.RLock()
+	defer idx.mu.RUnlock()
 	if len(idx.nullRows) == 0 {
 		return nil
 	}
@@ -159,6 +185,8 @@ func (idx *Index) NullRowIDs() []int64 {
 
 // Len returns the number of non-NULL entries in the index.
 func (idx *Index) Len() int {
+	idx.mu.RLock()
+	defer idx.mu.RUnlock()
 	if idx.Kind == IndexHash {
 		n := 0
 		for _, rows := range idx.hash {

@@ -1,0 +1,478 @@
+package sqldb
+
+// Multi-version concurrency control (ROADMAP item 1). Storage keeps a
+// version chain per row (rowVersion); every read resolves the newest
+// version visible at its snapshot. Two runtime modes share that storage:
+//
+//   - Lock mode (the default, SetMVCC(false)): the original discipline.
+//     Readers hold db.mu shared, writers exclusive; writes install
+//     committed versions directly (beg = 0, "always visible") and chains
+//     never grow past one version.
+//
+//   - MVCC mode (SetMVCC(true)): readers take NO database lock at all.
+//     A statement (or transaction) captures a snapshot epoch at start and
+//     registers it with the snapshot tracker; every access path resolves
+//     row visibility against that epoch, synchronizing only on partition
+//     locks held long enough to copy version pointers out of the row map.
+//     Writers still serialize on db.writer, install *provisional* versions
+//     stamped with their transaction ID, and publish the commit epoch only
+//     AFTER the WAL append (publishCommit), so a crash can never leave an
+//     acknowledged-but-unlogged commit and a reader can never observe a
+//     mid-statement state. Rollback unlinks the provisional versions.
+//     First-committer-wins conflict detection raises ErrWriteConflict when
+//     a transaction writes a row whose newest committed version postdates
+//     the transaction's snapshot.
+//
+// Version reclamation: vacuum (vacuumLocked, triggered every
+// vacuumEvery MVCC commits and by the public Vacuum) trims every chain to
+// the newest version visible at the oldest active snapshot, removes the
+// index entries that kept superseded keys reachable, and physically drops
+// fully-dead tombstoned rows. Vacuum runs under db.writer + exclusive
+// db.mu, so it can never race a checkpoint (which also takes the writer)
+// or observe a provisional version.
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrWriteConflict is returned (wrapped) by write statements inside an
+// MVCC transaction when a row they target was committed by another
+// transaction after this transaction's snapshot was taken. The
+// transaction should be rolled back and retried.
+var ErrWriteConflict = errors.New("sqldb: write conflict (row committed after transaction snapshot); retry the transaction")
+
+// provisionalBit marks a version's beg stamp as "uncommitted": the low
+// bits then carry the writing transaction's ID instead of a commit epoch.
+// Commit epochs are small monotone counters, so the top bit is never set
+// on a committed stamp.
+const provisionalBit = uint64(1) << 63
+
+// snapLatest is the snapshot epoch that admits every committed version
+// (lock-mode visibility: read the newest committed state).
+const snapLatest = provisionalBit - 1
+
+// rowVersion is one version of one row. Versions form a singly linked
+// chain from newest to oldest; the row map holds the head. The row slice
+// is immutable once the version is published; beg and next are atomic so
+// lock-free readers can walk a chain while a commit publishes epochs or a
+// vacuum truncates tails below every active snapshot.
+type rowVersion struct {
+	row  []Value // nil = deletion tombstone
+	beg  atomic.Uint64
+	next atomic.Pointer[rowVersion]
+}
+
+// visibility selects which version of each row a read observes.
+type visibility struct {
+	// snap admits committed versions with beg <= snap. snapLatest reads
+	// the newest committed state.
+	snap uint64
+	// tx, when non-zero, additionally admits provisional versions written
+	// by this transaction (read-your-own-writes).
+	tx uint64
+	// lockPart marks the lock-free (MVCC) read path: row-map access must
+	// take the partition read lock because no database lock excludes
+	// writers. Lock-mode readers run under db.mu and skip it.
+	lockPart bool
+}
+
+// visLatest is lock-mode visibility: newest committed state, reads
+// synchronized by db.mu.
+var visLatest = visibility{snap: snapLatest}
+
+// visible returns the newest version of the chain visible under vis, or
+// nil when no version qualifies.
+func (v *rowVersion) visible(vis visibility) *rowVersion {
+	for ; v != nil; v = v.next.Load() {
+		b := v.beg.Load()
+		if b&provisionalBit != 0 {
+			if vis.tx != 0 && b&^provisionalBit == vis.tx {
+				return v
+			}
+			continue
+		}
+		if b <= vis.snap {
+			return v
+		}
+	}
+	return nil
+}
+
+// resolve returns the visible row contents under vis (nil for invisible
+// rows and deletion tombstones).
+func (v *rowVersion) resolve(vis visibility) []Value {
+	if w := v.visible(vis); w != nil {
+		return w.row
+	}
+	return nil
+}
+
+// chainHasKey reports whether any version of the chain (committed or
+// provisional) carries the given key in column col. The index keeps one
+// (key, row) entry while any version still references the key, so entry
+// insertion/removal consults the whole chain.
+func chainHasKey(v *rowVersion, col int, key Value) bool {
+	for ; v != nil; v = v.next.Load() {
+		if v.row == nil {
+			continue
+		}
+		k := v.row[col]
+		if key == nil {
+			if k == nil {
+				return true
+			}
+			continue
+		}
+		if k != nil && Compare(k, key) == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// writeCtx carries one write statement's MVCC context through the
+// executor into storage. The zero value is lock-mode: versions install
+// committed (beg 0) and no conflict detection runs.
+type writeCtx struct {
+	mvcc bool
+	tx   uint64 // provisional stamp for installed versions
+	snap uint64 // first-committer-wins conflict horizon
+	// installed accumulates the provisional versions this statement (or
+	// transaction) created, in install order; publishCommit stamps them
+	// with the commit epoch, rollback unlinks them via the undo log.
+	installed []*rowVersion
+}
+
+// vis is the visibility write statements read under: the newest committed
+// state plus the transaction's own provisional writes. Writers hold
+// db.writer (and exclusive db.mu), so no other provisional versions can
+// exist and partition locking is unnecessary.
+func (w *writeCtx) vis() visibility {
+	return visibility{snap: snapLatest, tx: w.tx}
+}
+
+// stamp returns the beg value for a freshly installed version.
+func (w *writeCtx) stamp() uint64 {
+	if w.mvcc {
+		return provisionalBit | w.tx
+	}
+	return 0 // lock mode: committed, visible to every snapshot
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot tracking
+
+// snapTracker is the multiset of active snapshot epochs: statements,
+// cursors and transactions register on start and release on finish, and
+// vacuum reclaims only below the oldest registered epoch.
+type snapTracker struct {
+	mu     sync.Mutex
+	active map[uint64]int
+}
+
+// acquire registers a snapshot at the database's current epoch and
+// returns it. The epoch is read under the tracker lock, so vacuum — which
+// computes its horizon under the same lock — can never miss a snapshot
+// that was captured before the horizon was fixed.
+func (s *snapTracker) acquire(db *DB) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := db.epoch.Load()
+	if s.active == nil {
+		s.active = make(map[uint64]int)
+	}
+	s.active[e]++
+	return e
+}
+
+// release drops one registration of epoch e.
+func (s *snapTracker) release(e uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n := s.active[e]; n <= 1 {
+		delete(s.active, e)
+	} else {
+		s.active[e] = n - 1
+	}
+}
+
+// oldest returns the oldest active snapshot epoch, or def when none is
+// registered.
+func (s *snapTracker) oldest(def uint64) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	min := def
+	for e := range s.active {
+		if e < min {
+			min = e
+		}
+	}
+	return min
+}
+
+// count returns how many snapshots are currently registered.
+func (s *snapTracker) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, c := range s.active {
+		n += c
+	}
+	return n
+}
+
+// ---------------------------------------------------------------------------
+// Mode, epoch publication, stats
+
+// SetMVCC switches between lock-mode and MVCC execution at runtime. The
+// switch waits out in-flight writers and transactions (db.writer) and
+// bumps the schema generation so open cursors — built under the other
+// locking discipline — invalidate instead of mixing disciplines.
+func (db *DB) SetMVCC(on bool) {
+	db.writer.Lock()
+	defer db.writer.Unlock()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.mvcc.Load() == on {
+		return
+	}
+	db.mvcc.Store(on)
+	db.bumpSchemaGen()
+}
+
+// MVCCEnabled reports whether snapshot-isolation execution is on.
+func (db *DB) MVCCEnabled() bool { return db.mvcc.Load() }
+
+// publishCommit makes a write statement's (or transaction's) installed
+// versions durable-visible: every provisional version is stamped with the
+// next commit epoch, and the global epoch is advanced LAST, so a reader
+// that captures the new epoch is guaranteed to observe every stamp
+// (release/acquire on db.epoch).
+//
+// Caller holds db.writer and exclusive db.mu, and MUST have appended the
+// commit's WAL record first: nothing may become visible to lock-free
+// readers before it is in the log (mvccepoch lint invariant).
+func (db *DB) publishCommit(installed []*rowVersion) {
+	if len(installed) == 0 {
+		return
+	}
+	e := db.epoch.Load() + 1
+	for _, v := range installed {
+		v.beg.Store(e)
+	}
+	db.epoch.Store(e)
+	db.mvccCommits.Add(1)
+}
+
+// abortProvisional is the bookkeeping counterpart of publishCommit for
+// rolled-back writes: the undo log has already unlinked the versions;
+// this only records the abort. Split out so the lint invariant "beg
+// stamps flow only through the commit/abort accessors" has a single
+// audited publication site.
+func (db *DB) abortProvisional(installed []*rowVersion) {
+	if len(installed) > 0 {
+		db.mvccAborts.Add(1)
+	}
+}
+
+// vacuumEvery is how many MVCC commits elapse between automatic vacuum
+// passes. Vacuum cost is proportional to the number of rows with version
+// history (each table's hist set), not table size, so a modest period
+// keeps chains short without taxing insert-only workloads.
+const vacuumEvery = 64
+
+// maybeVacuumLocked runs a vacuum pass once vacuumEvery MVCC commits
+// have accumulated since the last pass. Caller holds db.writer and
+// exclusive db.mu.
+func (db *DB) maybeVacuumLocked() {
+	c := db.mvccCommits.Load()
+	if c-db.lastVacuum.Load() >= vacuumEvery {
+		db.lastVacuum.Store(c)
+		db.vacuumLocked()
+	}
+}
+
+// Vacuum reclaims row versions no active snapshot can see and removes the
+// index entries and tombstoned rows they kept alive. It runs
+// automatically every vacuumEvery MVCC commits; explicit calls are useful
+// after bulk updates. Returns the number of versions reclaimed.
+func (db *DB) Vacuum() int {
+	db.writer.Lock()
+	defer db.writer.Unlock()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.vacuumLocked()
+}
+
+// vacuumLocked trims version chains below the oldest active snapshot.
+// Caller holds db.writer and exclusive db.mu (so no provisional versions
+// exist and no checkpoint is concurrently building a snapshot).
+func (db *DB) vacuumLocked() int {
+	horizon := db.snaps.oldest(db.epoch.Load())
+	reclaimed := 0
+	for _, t := range db.tableMap() {
+		reclaimed += t.vacuum(horizon)
+	}
+	db.vacuumRuns.Add(1)
+	db.versionsVacuumed.Add(uint64(reclaimed))
+	return reclaimed
+}
+
+// MVCCStats is a snapshot of the MVCC subsystem (served as sql_mvcc on
+// /api/stats).
+type MVCCStats struct {
+	Enabled          bool   `json:"enabled"`
+	Epoch            uint64 `json:"epoch"`
+	ActiveSnapshots  int    `json:"active_snapshots"`
+	Commits          uint64 `json:"commits"`
+	Aborts           uint64 `json:"aborts"`
+	Conflicts        uint64 `json:"conflicts"`
+	VacuumRuns       uint64 `json:"vacuum_runs"`
+	VersionsVacuumed uint64 `json:"versions_vacuumed"`
+}
+
+// MVCCStats returns the MVCC counters.
+func (db *DB) MVCCStats() MVCCStats {
+	return MVCCStats{
+		Enabled:          db.mvcc.Load(),
+		Epoch:            db.epoch.Load(),
+		ActiveSnapshots:  db.snaps.count(),
+		Commits:          db.mvccCommits.Load(),
+		Aborts:           db.mvccAborts.Load(),
+		Conflicts:        db.mvccConflicts.Load(),
+		VacuumRuns:       db.vacuumRuns.Load(),
+		VersionsVacuumed: db.versionsVacuumed.Load(),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Lock-free sorted ID slices
+
+// idSlice publishes a sorted row-ID slice so MVCC readers can iterate it
+// with no lock at all. The representation is a backing array plus an
+// atomic published length inside one immutable header, so the insert hot
+// path — a blind append of a monotone row ID — is a plain element store
+// followed by a length store (release) with no allocation; a reader loads
+// the header, then the length (acquire), and sees every element the
+// length covers. Appends are the only in-place mutation: any splice,
+// compaction or truncation publishes a freshly allocated header, because
+// shrinking a length and later appending would overwrite an element a
+// stale reader may still be iterating.
+type idSlice struct {
+	p atomic.Pointer[idArr]
+}
+
+// idArr is one published generation of an idSlice: buf never moves or
+// shrinks for the lifetime of the header, and buf[:n] is the readable
+// prefix.
+type idArr struct {
+	buf []int64
+	n   atomic.Int64
+}
+
+// load returns the current published slice (nil when empty). The returned
+// slice must be treated as immutable.
+func (s *idSlice) load() []int64 {
+	a := s.p.Load()
+	if a == nil {
+		return nil
+	}
+	return a.buf[:a.n.Load()]
+}
+
+// append adds id at the end (caller — the single writer — guarantees id
+// exceeds every present element). Steady state is allocation-free; the
+// backing array doubles when full.
+func (s *idSlice) append(id int64) {
+	a := s.p.Load()
+	if a == nil || int(a.n.Load()) == len(a.buf) {
+		var n int
+		if a != nil {
+			n = int(a.n.Load())
+		}
+		capacity := 2 * n
+		if capacity < 16 {
+			capacity = 16
+		}
+		grown := &idArr{buf: make([]int64, capacity)}
+		if a != nil {
+			copy(grown.buf, a.buf[:n])
+		}
+		grown.n.Store(int64(n))
+		s.p.Store(grown)
+		a = grown
+	}
+	n := a.n.Load()
+	a.buf[n] = id
+	a.n.Store(n + 1)
+}
+
+// store publishes ids as the new contents. The caller must pass a freshly
+// allocated slice it will never mutate afterwards.
+func (s *idSlice) store(ids []int64) {
+	a := &idArr{buf: ids}
+	a.n.Store(int64(len(ids)))
+	s.p.Store(a)
+}
+
+// remove splices id out (fresh allocation), reporting whether it was
+// present.
+func (s *idSlice) remove(id int64) bool {
+	ids := s.load()
+	pos := searchID(ids, id)
+	if pos >= len(ids) || ids[pos] != id {
+		return false
+	}
+	fresh := make([]int64, 0, len(ids)-1)
+	fresh = append(fresh, ids[:pos]...)
+	fresh = append(fresh, ids[pos+1:]...)
+	s.store(fresh)
+	return true
+}
+
+// insertSorted adds id at its sorted position, reporting whether it was
+// already present. A trailing insert reuses the append fast path;
+// interior inserts allocate fresh.
+func (s *idSlice) insertSorted(id int64) (present bool) {
+	ids := s.load()
+	pos := searchID(ids, id)
+	if pos < len(ids) && ids[pos] == id {
+		return true
+	}
+	if pos == len(ids) {
+		s.append(id)
+		return false
+	}
+	fresh := make([]int64, 0, len(ids)+1)
+	fresh = append(fresh, ids[:pos]...)
+	fresh = append(fresh, id)
+	fresh = append(fresh, ids[pos:]...)
+	s.store(fresh)
+	return false
+}
+
+// sortInPlace re-sorts the published contents (bulk-load finalization
+// only: the caller guarantees no concurrent readers exist yet).
+func (s *idSlice) sortInPlace() {
+	a := s.p.Load()
+	if a == nil {
+		return
+	}
+	sortInt64s(a.buf[:a.n.Load()])
+}
+
+// searchID returns the insertion position of id in the sorted slice.
+func searchID(ids []int64, id int64) int {
+	lo, hi := 0, len(ids)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ids[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

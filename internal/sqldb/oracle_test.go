@@ -407,6 +407,20 @@ func TestPlannerEquivalenceOracle(t *testing.T) {
 		vecParStreamed, errVecParCur := drainCursorFormatted(query)
 		db.SetParallelism(1)
 		db.SetBatchExecution(false)
+		// MVCC legs: snapshot-isolation reads over the same four engines
+		// (serial row, streaming cursor, parallel, vectorized parallel).
+		// With no concurrent writer the latest snapshot must reproduce the
+		// lock-mode transcripts byte for byte.
+		db.SetMVCC(true)
+		mvcc, errMvcc := db.Query(query)
+		mvccStreamed, errMvccCur := drainCursorFormatted(query)
+		db.SetParallelism(8)
+		mvccPar, errMvccPar := db.Query(query)
+		db.SetBatchExecution(true)
+		mvccVecPar, errMvccVecPar := db.Query(query)
+		db.SetBatchExecution(false)
+		db.SetParallelism(1)
+		db.SetMVCC(false)
 		if (errIdx != nil) != (errNo != nil) {
 			t.Fatalf("query %q: error mismatch: with-index=%v no-index=%v", query, errIdx, errNo)
 		}
@@ -420,6 +434,11 @@ func TestPlannerEquivalenceOracle(t *testing.T) {
 			(errIdx != nil) != (errVecPar != nil) || (errIdx != nil) != (errVecParCur != nil) {
 			t.Fatalf("query %q: error mismatch: serial=%v vec=%v vec-cursor=%v vec-par=%v vec-par-cursor=%v",
 				query, errIdx, errVec, errVecCur, errVecPar, errVecParCur)
+		}
+		if (errIdx != nil) != (errMvcc != nil) || (errIdx != nil) != (errMvccCur != nil) ||
+			(errIdx != nil) != (errMvccPar != nil) || (errIdx != nil) != (errMvccVecPar != nil) {
+			t.Fatalf("query %q: error mismatch: lock=%v mvcc=%v mvcc-cursor=%v mvcc-par=%v mvcc-vec-par=%v",
+				query, errIdx, errMvcc, errMvccCur, errMvccPar, errMvccVecPar)
 		}
 		if errIdx != nil {
 			continue
@@ -458,6 +477,23 @@ func TestPlannerEquivalenceOracle(t *testing.T) {
 		}
 		if vecParStreamed != format(withIdx) {
 			t.Fatalf("query %q:\nvectorized parallel cursor stream:\n%s\nrow engine:\n%s", query, vecParStreamed, format(withIdx))
+		}
+		// MVCC reads take the lock-free snapshot paths; the transcripts
+		// must still be byte-identical to lock mode on every leg.
+		if format(mvcc) != format(withIdx) {
+			t.Fatalf("query %q:\nmvcc (%d rows):\n%s\nlock mode (%d rows):\n%s",
+				query, mvcc.Len(), format(mvcc), withIdx.Len(), format(withIdx))
+		}
+		if mvccStreamed != format(withIdx) {
+			t.Fatalf("query %q:\nmvcc cursor stream:\n%s\nlock mode:\n%s", query, mvccStreamed, format(withIdx))
+		}
+		if format(mvccPar) != format(withIdx) {
+			t.Fatalf("query %q:\nmvcc parallel (%d rows):\n%s\nlock mode (%d rows):\n%s",
+				query, mvccPar.Len(), format(mvccPar), withIdx.Len(), format(withIdx))
+		}
+		if format(mvccVecPar) != format(withIdx) {
+			t.Fatalf("query %q:\nmvcc vectorized parallel (%d rows):\n%s\nlock mode (%d rows):\n%s",
+				query, mvccVecPar.Len(), format(mvccVecPar), withIdx.Len(), format(withIdx))
 		}
 	}
 	if db.ParallelStats().ParallelScans == 0 || db.ParallelStats().ParallelAggregates == 0 {

@@ -21,10 +21,13 @@ package sqldb
 // would otherwise deadlock the exchange (Go's RWMutex blocks new readers
 // while a writer waits). Workers instead synchronize on the per-partition
 // locks, which every storage mutation takes; they poll the schema
-// generation at each batch and stop when it moves. The aggregation and
-// write-collection workers run entirely under the caller's database lock
-// (shared resp. exclusive), so they read their partitions without any
-// locking at all.
+// generation at each batch and stop when it moves. In lock mode the
+// aggregation workers run entirely under the caller's database read lock,
+// so they read their partitions without further locking; under MVCC no
+// database lock is held, so they copy visible rows out in bounded chunks
+// under the partition read lock and evaluate outside it. The
+// write-collection workers are helpers of the writer-lock holder — the
+// only mutator — so they never lock partitions in either mode.
 
 import (
 	"sort"
@@ -144,11 +147,13 @@ type parallelScan struct {
 }
 
 // newParallelScan starts the exchange for the execution's base relation.
-// Caller holds db.mu (shared or exclusive); workers capture the partition
-// set and the schema generation before it is released.
+// In lock mode the caller holds db.mu (shared or exclusive); workers
+// capture the partition set and the schema generation before it is
+// released. Under MVCC no database lock is held and workers resolve rows
+// at the execution's snapshot.
 func newParallelScan(ex *selectExec) *parallelScan {
 	rel := ex.p.rels[0]
-	parts := rel.table.parts
+	parts := rel.table.partList()
 	ps := &parallelScan{done: make(chan struct{}), streams: make([]*parStream, len(parts))}
 	gen := ex.db.gen.Load()
 	args := ex.env.params
@@ -156,7 +161,7 @@ func newParallelScan(ex *selectExec) *parallelScan {
 		st := &parStream{ch: make(chan parBatch, parChanDepth), open: true}
 		ps.streams[i] = st
 		ps.wg.Add(1)
-		go ps.worker(ex.db, ex.p, args, rel.off, part, gen, st.ch)
+		go ps.worker(ex.db, ex.p, args, ex.vis, rel.off, part, gen, st.ch)
 	}
 	return ps
 }
@@ -177,11 +182,11 @@ func (ps *parallelScan) send(ch chan<- parBatch, b parBatch) bool {
 // slices). The position is re-synchronized through the partition mutation
 // counter exactly like the serial scanProducer, so concurrent inserts,
 // deletes and compaction never re-emit or skip a live row.
-func (ps *parallelScan) worker(db *DB, p *selectPlan, args []Value, off int, part *tablePart, gen uint64, ch chan<- parBatch) {
+func (ps *parallelScan) worker(db *DB, p *selectPlan, args []Value, vis visibility, off int, part *tablePart, gen uint64, ch chan<- parBatch) {
 	defer ps.wg.Done()
 	defer close(ch)
 	env := p.newEnv(args)
-	wex := &selectExec{db: db, p: p, env: env}
+	wex := &selectExec{db: db, p: p, env: env, vis: vis}
 	var (
 		pos    int
 		lastID int64
@@ -198,24 +203,25 @@ func (ps *parallelScan) worker(db *DB, p *selectPlan, args []Value, off int, par
 			ps.send(ch, parBatch{err: ErrCursorInvalidated})
 			return
 		}
+		view := part.ids.load()
 		if first {
-			mut, first = part.mut, false
-		} else if part.mut != mut {
-			pos = sort.Search(len(part.ids), func(i int) bool { return part.ids[i] > lastID })
-			mut = part.mut
+			mut, first = part.mut.Load(), false
+		} else if m := part.mut.Load(); m != mut {
+			pos = sort.Search(len(view), func(i int) bool { return view[i] > lastID })
+			mut = m
 		}
-		for pos < len(part.ids) && len(ids) < parBatchSize {
-			id := part.ids[pos]
+		for pos < len(view) && len(ids) < parBatchSize {
+			id := view[pos]
 			pos++
-			row := part.rows[id]
+			row := part.rows[id].resolve(vis)
 			if row == nil {
-				continue // tombstone
+				continue // tombstone, or a version invisible at this snapshot
 			}
 			lastID = id
 			ids = append(ids, id)
 			rows = append(rows, row)
 		}
-		exhausted := pos >= len(part.ids)
+		exhausted := pos >= len(view)
 		part.mu.RUnlock()
 
 		// Surviving rows are carved out of one slab per batch: the slab is
@@ -336,17 +342,21 @@ func (ex *selectExec) parallelAggEligible() bool {
 }
 
 // parallelGroups builds per-partition partial aggregates concurrently and
-// merges them at the barrier. The caller holds db.mu for the whole
-// operation (grouped execution is a pipeline breaker), so workers read
-// their partitions without locking. Partials are merged in partition
-// order — deterministic float accumulation — and the merged groups are
-// ordered by their smallest contributing row ID, which reconstructs the
-// serial engine's first-seen emission order exactly.
+// merges them at the barrier. In lock mode the caller holds db.mu for the
+// whole operation (grouped execution is a pipeline breaker), so workers
+// read their partitions without locking; under MVCC workers copy the
+// visible rows out in bounded chunks under the partition read lock and
+// aggregate outside it, so a writer is never blocked for the whole
+// partition. Partials are merged in partition order — deterministic float
+// accumulation — and the merged groups are ordered by their smallest
+// contributing row ID, which reconstructs the serial engine's first-seen
+// emission order exactly.
 func (ex *selectExec) parallelGroups() (map[string]*groupState, []string, error) {
 	p := ex.p
 	rel := p.rels[0]
-	parts := rel.table.parts
+	parts := rel.table.partList()
 	args := ex.env.params
+	vis := ex.vis
 	type partGroups struct {
 		groups map[string]*groupState
 		order  []string
@@ -359,27 +369,47 @@ func (ex *selectExec) parallelGroups() (map[string]*groupState, []string, error)
 		go func(i int, part *tablePart) {
 			defer wg.Done()
 			env := p.newEnv(args)
-			wex := &selectExec{db: ex.db, p: p, env: env}
+			wex := &selectExec{db: ex.db, p: p, env: env, vis: vis}
 			groups := make(map[string]*groupState)
 			var order []string
 			var kb strings.Builder
-			for _, id := range part.ids {
-				row := part.rows[id]
-				if row == nil {
-					continue // tombstone
+			view := part.ids.load()
+			chunkIDs := make([]int64, 0, parBatchSize)
+			chunkRows := make([][]Value, 0, parBatchSize)
+			for start := 0; start < len(view); start += parBatchSize {
+				end := start + parBatchSize
+				if end > len(view) {
+					end = len(view)
 				}
-				env.SetRow(rel.off, row)
-				pass, err := wex.evalWhere()
-				if err != nil {
-					errs[i] = err
-					return
+				chunkIDs, chunkRows = chunkIDs[:0], chunkRows[:0]
+				if vis.lockPart {
+					part.mu.RLock()
 				}
-				if !pass {
-					continue
+				for _, id := range view[start:end] {
+					row := part.rows[id].resolve(vis)
+					if row == nil {
+						continue // tombstone, or invisible at this snapshot
+					}
+					chunkIDs = append(chunkIDs, id)
+					chunkRows = append(chunkRows, row)
 				}
-				if err := wex.addGroupRow(groups, &order, &kb, id); err != nil {
-					errs[i] = err
-					return
+				if vis.lockPart {
+					part.mu.RUnlock()
+				}
+				for k, id := range chunkIDs {
+					env.SetRow(rel.off, chunkRows[k])
+					pass, err := wex.evalWhere()
+					if err != nil {
+						errs[i] = err
+						return
+					}
+					if !pass {
+						continue
+					}
+					if err := wex.addGroupRow(groups, &order, &kb, id); err != nil {
+						errs[i] = err
+						return
+					}
 				}
 			}
 			results[i] = partGroups{groups: groups, order: order}
@@ -421,11 +451,12 @@ func (ex *selectExec) parallelGroups() (map[string]*groupState, []string, error)
 
 // parallelCollectMatches evaluates a write plan's WHERE clause over all
 // partitions concurrently, returning the matching row IDs in ascending
-// order (identical to the serial scan). The caller holds the database
-// exclusively — the workers are helpers of the lock holder, so partition
-// reads need no further synchronization.
-func parallelCollectMatches(db *DB, wp *writePlan, args []Value) ([]int64, error) {
-	parts := wp.t.parts
+// order (identical to the serial scan). The caller holds the writer lock —
+// the workers are helpers of the only mutator, so partition reads need no
+// further synchronization in either mode; rows resolve at the write's
+// snapshot.
+func parallelCollectMatches(db *DB, wp *writePlan, args []Value, vis visibility) ([]int64, error) {
+	parts := wp.t.partList()
 	lists := make([][]int64, len(parts))
 	errs := make([]error, len(parts))
 	var wg sync.WaitGroup
@@ -435,8 +466,8 @@ func parallelCollectMatches(db *DB, wp *writePlan, args []Value) ([]int64, error
 			defer wg.Done()
 			env := wp.newEnv(args)
 			var ids []int64
-			for _, id := range part.ids {
-				row := part.rows[id]
+			for _, id := range part.ids.load() {
+				row := part.rows[id].resolve(vis)
 				if row == nil {
 					continue
 				}
@@ -534,18 +565,18 @@ type TablePartitionStats struct {
 }
 
 // PartitionStats returns per-partition live row counts for every table,
-// sorted by table name.
+// sorted by table name. Reads the copy-on-write catalog, so no database
+// lock is needed.
 func (db *DB) PartitionStats() []TablePartitionStats {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	names := make([]string, 0, len(db.tables))
-	for n := range db.tables {
+	tables := db.tableMap()
+	names := make([]string, 0, len(tables))
+	for n := range tables {
 		names = append(names, n)
 	}
 	sort.Strings(names)
 	out := make([]TablePartitionStats, 0, len(names))
 	for _, n := range names {
-		t := db.tables[n]
+		t := tables[n]
 		out = append(out, TablePartitionStats{
 			Table:      t.Name,
 			Partitions: t.PartitionCount(),
@@ -568,7 +599,7 @@ func (db *DB) SetPartitions(n int) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.nparts = n
-	for _, t := range db.tables {
+	for _, t := range db.tableMap() {
 		t.repartition(db.partitionCount())
 	}
 	db.bumpSchemaGen()

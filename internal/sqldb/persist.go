@@ -80,13 +80,14 @@ func (db *DB) Save(path string) error {
 
 func (db *DB) buildSnapshot() *snapshot {
 	snap := &snapshot{Version: snapshotVersion}
-	names := make([]string, 0, len(db.tables))
-	for n := range db.tables {
+	tables := db.tableMap()
+	names := make([]string, 0, len(tables))
+	for n := range tables {
 		names = append(names, n)
 	}
 	sort.Strings(names)
 	for _, n := range names {
-		t := db.tables[n]
+		t := tables[n]
 		ts := tableSnapshot{
 			Name:    t.Name,
 			Columns: t.Schema.Columns,
@@ -150,10 +151,10 @@ func (db *DB) Restore(path string) error {
 	}
 	db.writer.Lock()
 	db.mu.Lock()
-	db.tables = tables
+	db.storeTables(tables)
 	// Loaded tables carry the package default partition count; re-shard to
 	// this database's configured layout (no-op when they match).
-	for _, t := range db.tables {
+	for _, t := range tables {
 		t.repartition(db.partitionCount())
 	}
 	db.bumpSchemaGen()

@@ -224,7 +224,7 @@ func planWriteAccess(db *DB, tableName string, where Expr) (writePlan, error) {
 	return writePlan{
 		t:      t,
 		where:  where,
-		access: planTableAccess(t, where, resolve, db.noIndex),
+		access: planTableAccess(t, where, resolve, db.noIndex.Load()),
 		cols:   env.cols,
 	}, nil
 }
@@ -616,7 +616,7 @@ func projName(e Expr) string {
 func (pl *planner) planAccess() {
 	p := pl.plan
 	base := p.rels[0]
-	p.access = planTableAccess(base.table, p.st.Where, pl.baseResolver(), pl.db.noIndex)
+	p.access = planTableAccess(base.table, p.st.Where, pl.baseResolver(), pl.db.noIndex.Load())
 }
 
 // baseResolver maps a column reference to a base-relation column position,
@@ -649,7 +649,7 @@ func (pl *planner) baseResolver() func(*ColumnRef) int {
 // making the sort (and, with LIMIT, most of the scan) unnecessary.
 func (pl *planner) planOrder() {
 	p := pl.plan
-	if p.grouped || len(p.st.OrderBy) != 1 || len(p.orderExprs) != 1 || pl.db.noIndex {
+	if p.grouped || len(p.st.OrderBy) != 1 || len(p.orderExprs) != 1 || pl.db.noIndex.Load() {
 		return
 	}
 	base := p.rels[0]
@@ -706,7 +706,7 @@ func (pl *planner) planJoins() {
 		rightCol, leftExpr := pl.findEquiKey(i, j.On)
 		if rightCol >= 0 {
 			jp.rightCol, jp.keyExpr = rightCol, leftExpr
-			if idx := rel.table.IndexOn(rightCol); idx != nil && !pl.db.noIndex {
+			if idx := rel.table.IndexOn(rightCol); idx != nil && !pl.db.noIndex.Load() {
 				jp.strategy, jp.idx = joinIndexLoop, idx
 			} else {
 				jp.strategy = joinHashBuild

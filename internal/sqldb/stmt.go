@@ -93,7 +93,9 @@ func statementParamCount(st Statement) int {
 func (s *Stmt) SQL() string { return s.sql }
 
 // ensure returns the statement's compiled form for the current schema
-// generation, (re)parsing and (re)planning when needed. The caller must hold
+// generation, (re)parsing and (re)planning when needed. Planning reads
+// only the copy-on-write catalog and atomic planner knobs, so callers on
+// the MVCC path run it with no database lock; lock-mode callers hold
 // db.mu (shared or exclusive). Concurrent callers may both prepare; each
 // builds a private AST, so the losing Store is merely redundant work.
 func (s *Stmt) ensure(db *DB) (*prepared, error) {
@@ -132,13 +134,22 @@ func (s *Stmt) ensure(db *DB) (*prepared, error) {
 	return p, nil
 }
 
-// Query executes the prepared statement as a SELECT.
+// Query executes the prepared statement as a SELECT. In lock mode it
+// holds db.mu shared for the whole execution; under MVCC it takes no
+// database lock at all — it registers a snapshot epoch and resolves row
+// visibility against it, so a concurrent writer (even one holding the
+// writer lock across a long transaction) never stalls the read.
 func (s *Stmt) Query(args ...any) (*ResultSet, error) {
 	vals, err := normalizeArgs(args)
 	if err != nil {
 		return nil, err
 	}
 	db := s.db
+	if db.mvcc.Load() {
+		snap := db.snaps.acquire(db)
+		defer db.snaps.release(snap)
+		return s.queryVis(vals, visibility{snap: snap, lockPart: true})
+	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	p, err := s.ensure(db)
@@ -152,6 +163,25 @@ func (s *Stmt) Query(args ...any) (*ResultSet, error) {
 		return nil, err
 	}
 	return db.executeSelect(p.sel, vals)
+}
+
+// queryVis executes the statement as a SELECT at an explicit visibility,
+// without any database lock (MVCC path; planning reads only the
+// copy-on-write catalog and atomic knobs). The caller owns the snapshot
+// registration.
+func (s *Stmt) queryVis(vals []Value, vis visibility) (*ResultSet, error) {
+	db := s.db
+	p, err := s.ensure(db)
+	if err != nil {
+		return nil, err
+	}
+	if p.sel == nil {
+		return nil, fmt.Errorf("sqldb: Query requires a SELECT statement")
+	}
+	if err := p.checkArgs(vals); err != nil {
+		return nil, err
+	}
+	return db.executeSelectVis(p.sel, vals, vis)
 }
 
 // Exec executes the prepared statement as a write or DDL statement.
@@ -403,6 +433,6 @@ func (db *DB) PlanStats() PlanStats {
 func (db *DB) SetIndexAccess(enabled bool) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	db.noIndex = !enabled
+	db.noIndex.Store(!enabled)
 	db.bumpSchemaGen()
 }

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // defaultPartitions is the partition count used when the database has no
@@ -21,42 +22,47 @@ func defaultPartitions() int {
 // assigned by row ID (id mod partition count), so monotone ID allocation
 // round-robins inserts across partitions and keeps them balanced.
 //
-// The partition lock is the synchronization point between parallel scan
-// workers and writers: writers (who additionally hold the database's
-// exclusive lock) take it around every mutation, and parallel workers —
-// which deliberately do NOT touch the database lock, so they can never
-// deadlock against a consumer that holds it while draining the exchange —
-// take the read side around every batch they pull. Serial readers run
-// under the database lock and need no partition lock at all.
+// Each row maps to the head of its version chain (see mvcc.go). The
+// partition lock is the only synchronization point between lock-free MVCC
+// readers (and parallel scan workers) and writers: writers — who
+// additionally hold the database's exclusive lock — take it around every
+// row-map mutation, and readers take the read side just long enough to
+// copy the version-head pointer (or materialize a batch) out of the map;
+// version resolution itself happens on atomics, outside any lock. Serial
+// lock-mode readers run under the database lock and need no partition
+// lock at all.
 type tablePart struct {
 	mu   sync.RWMutex
-	rows map[int64][]Value
+	rows map[int64]*rowVersion
 
 	// ids keeps the partition's live row IDs ascending (tombstones allowed,
-	// same scheme as the table-level slice); mut counts structural changes
-	// so a parallel worker can re-synchronize its position after concurrent
-	// writes, exactly like scanProducer does against the table-level slice.
-	ids  []int64
+	// same scheme as the table-level slice), published lock-free so MVCC
+	// scans iterate without the partition lock; mut counts structural
+	// changes so a parallel worker can re-synchronize its position after
+	// concurrent writes, exactly like scanProducer does against the
+	// table-level slice.
+	ids  idSlice
 	dead int
-	mut  uint64
+	mut  atomic.Uint64
 }
 
 func newTablePart() *tablePart {
-	return &tablePart{rows: make(map[int64][]Value)}
+	return &tablePart{rows: make(map[int64]*rowVersion)}
 }
 
 // compact rewrites the partition's ID slice without tombstones. Caller
 // holds p.mu exclusively.
 func (p *tablePart) compact() {
-	live := p.ids[:0]
-	for _, id := range p.ids {
+	ids := p.ids.load()
+	live := make([]int64, 0, len(ids)-p.dead)
+	for _, id := range ids {
 		if _, ok := p.rows[id]; ok {
 			live = append(live, id)
 		}
 	}
-	p.ids = live
+	p.ids.store(live)
 	p.dead = 0
-	p.mut++
+	p.mut.Add(1)
 }
 
 // Table is the in-memory heap storage for one relation plus its indexes.
@@ -67,29 +73,40 @@ func (p *tablePart) compact() {
 // row map, its own sorted live-ID slice and its own lock, so parallel
 // operators can give every partition a dedicated worker. The table
 // additionally maintains a global sorted ID slice so serial scans keep
-// their O(n), merge-free shape.
+// their O(n), merge-free shape. Everything a lock-free MVCC reader
+// touches — the partition list, the index map, the ID slices, the row
+// count and the mutation counters — is published through atomics;
+// mutation happens only under the database writer lock.
 type Table struct {
 	Name    string
 	Schema  *Schema
-	parts   []*tablePart
-	live    int // live rows across all partitions
+	parts   atomic.Pointer[[]*tablePart]
+	live    atomic.Int64 // live rows across all partitions
 	nextRow int64
 	nextSeq int64 // AUTOINCREMENT counter
-	indexes map[string]*Index
+	idx     atomic.Pointer[map[string]*Index]
 
 	// ids keeps the live row IDs in ascending order so serial scans need no
 	// per-call sort or partition merge. Row IDs are allocated monotonically,
 	// so inserts append in O(1); deletes leave tombstones (IDs missing from
 	// the partition maps) that are compacted away once they outnumber the
 	// live rows.
-	ids  []int64
+	ids  idSlice
 	dead int
 
 	// mut counts structural changes to the row set (insert, delete,
 	// restore, truncate, repartition — anything that touches the ID
-	// slices, including in-place compaction). Open cursors compare it to
+	// slices, including compaction). Open cursors compare it to
 	// re-synchronize their scan position after concurrent writes.
-	mut uint64
+	mut atomic.Uint64
+
+	// hist is the set of row IDs carrying version history: a chain longer
+	// than one version or a deletion tombstone. Only MVCC writes grow it
+	// (lock-mode chains never exceed one version), and vacuum walks
+	// exactly this set, so reclamation cost follows the number of
+	// versioned rows, not table size — an insert-only workload vacuums in
+	// O(1). Guarded by the database writer lock.
+	hist map[int64]struct{}
 }
 
 // NewTable creates an empty table with the default partition count. A
@@ -104,42 +121,79 @@ func NewTablePartitions(name string, schema *Schema, n int) *Table {
 	if n <= 0 {
 		n = defaultPartitions()
 	}
-	t := &Table{
-		Name:    name,
-		Schema:  schema,
-		parts:   make([]*tablePart, n),
-		indexes: make(map[string]*Index),
+	t := &Table{Name: name, Schema: schema}
+	parts := make([]*tablePart, n)
+	for i := range parts {
+		parts[i] = newTablePart()
 	}
-	for i := range t.parts {
-		t.parts[i] = newTablePart()
-	}
+	t.parts.Store(&parts)
+	indexes := make(map[string]*Index)
 	if pk := schema.PrimaryKeyIndex(); pk >= 0 {
 		idx := newIndex(pkIndexName(name), schema.Columns[pk].Name, pk, IndexHash, true)
-		t.indexes[idx.Name] = idx
+		indexes[idx.Name] = idx
 	}
+	t.idx.Store(&indexes)
 	return t
 }
 
 func pkIndexName(table string) string { return "__pk_" + table }
 
+// partList returns the current partition set (published atomically so
+// lock-free readers and repartition never race on the slice header).
+func (t *Table) partList() []*tablePart { return *t.parts.Load() }
+
 // part returns the partition owning a row ID.
 func (t *Table) part(id int64) *tablePart {
-	return t.parts[uint64(id)%uint64(len(t.parts))]
+	ps := t.partList()
+	return ps[uint64(id)%uint64(len(ps))]
+}
+
+// indexMap returns the current name → index map. The map is copy-on-write:
+// treat it as immutable; mutate only through setIndex/removeIndex under
+// the database writer lock.
+func (t *Table) indexMap() map[string]*Index { return *t.idx.Load() }
+
+// setIndex publishes a new index under name (copy-on-write, caller holds
+// the database exclusively).
+func (t *Table) setIndex(name string, idx *Index) {
+	old := t.indexMap()
+	next := make(map[string]*Index, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[name] = idx
+	t.idx.Store(&next)
+}
+
+// removeIndex unpublishes the index under name (copy-on-write, caller
+// holds the database exclusively).
+func (t *Table) removeIndex(name string) {
+	old := t.indexMap()
+	next := make(map[string]*Index, len(old))
+	for k, v := range old {
+		if k != name {
+			next[k] = v
+		}
+	}
+	t.idx.Store(&next)
 }
 
 // PartitionCount returns the number of hash partitions.
-func (t *Table) PartitionCount() int { return len(t.parts) }
+func (t *Table) PartitionCount() int { return len(t.partList()) }
 
-// PartitionRows returns the live row count of each partition.
+// PartitionRows returns the stored row count of each partition (including
+// tombstoned version chains awaiting vacuum).
 func (t *Table) PartitionRows() []int {
-	out := make([]int, len(t.parts))
-	for i, p := range t.parts {
+	parts := t.partList()
+	out := make([]int, len(parts))
+	for i, p := range parts {
 		out[i] = len(p.rows)
 	}
 	return out
 }
 
-// repartition redistributes the rows over n hash partitions. The old
+// repartition redistributes the rows over n hash partitions, carrying
+// whole version chains so snapshot visibility is preserved. The old
 // partition objects are left untouched, so a parallel worker that still
 // holds a reference reads a frozen (pre-repartition) view until its next
 // schema-generation check stops it. Caller holds the database exclusively
@@ -148,36 +202,49 @@ func (t *Table) repartition(n int) {
 	if n <= 0 {
 		n = defaultPartitions()
 	}
-	if n == len(t.parts) {
+	old := t.partList()
+	if n == len(old) {
 		return
 	}
 	parts := make([]*tablePart, n)
 	for i := range parts {
 		parts[i] = newTablePart()
 	}
-	live := t.ids[:0]
-	for _, id := range t.ids {
-		row, ok := t.part(id).rows[id]
+	ids := t.ids.load()
+	live := make([]int64, 0, len(ids)-t.dead)
+	for _, id := range ids {
+		head, ok := t.part(id).rows[id]
 		if !ok {
 			continue // tombstone
 		}
 		p := parts[uint64(id)%uint64(len(parts))]
-		p.rows[id] = row
-		p.ids = append(p.ids, id) // global order ascending => per-part ascending
+		p.rows[id] = head
+		p.ids.append(id) // global order ascending => per-part ascending
 		live = append(live, id)
 	}
-	t.parts = parts
-	t.ids = live
+	t.parts.Store(&parts)
+	t.ids.store(live)
 	t.dead = 0
-	t.mut++
+	t.mut.Add(1)
 }
 
 // RowCount returns the number of live rows.
-func (t *Table) RowCount() int { return t.live }
+func (t *Table) RowCount() int { return int(t.live.Load()) }
 
-// Insert validates, coerces and stores a full-width row, returning its row
-// ID. AUTOINCREMENT columns receive the next sequence value when NULL.
+// Insert validates, coerces and stores a full-width row under lock-mode
+// rules, returning its row ID.
 func (t *Table) Insert(vals []Value) (int64, error) {
+	return t.insertRow(&writeCtx{}, vals)
+}
+
+// insertRow validates, coerces and stores a full-width row, returning its
+// row ID. AUTOINCREMENT columns receive the next sequence value when NULL.
+// Under MVCC the version installs provisional (invisible until
+// publishCommit); lock-mode versions install committed. Row IDs are
+// allocated monotonically, so both the global and the per-partition ID
+// slice take the same blind O(1) append — no sorted-position search on
+// the insert hot path.
+func (t *Table) insertRow(w *writeCtx, vals []Value) (int64, error) {
 	if len(vals) != len(t.Schema.Columns) {
 		return 0, fmt.Errorf("sqldb: table %s expects %d values, got %d", t.Name, len(t.Schema.Columns), len(vals))
 	}
@@ -209,8 +276,10 @@ func (t *Table) Insert(vals []Value) (int64, error) {
 		}
 		row[i] = cv
 	}
-	// Unique-index violation check before any mutation.
-	for _, idx := range t.indexes {
+	// Unique-index violation check before any mutation. Under MVCC the
+	// index may hold entries for superseded or uncommitted keys, so
+	// membership must resolve version visibility, not raw entry presence.
+	for _, idx := range t.indexMap() {
 		if !idx.Unique {
 			continue
 		}
@@ -218,25 +287,49 @@ func (t *Table) Insert(vals []Value) (int64, error) {
 		if key == nil {
 			continue // SQL: NULLs never collide
 		}
-		if idx.containsKey(key) {
+		if w.mvcc {
+			if t.keyInUse(idx, key, w.vis()) {
+				return 0, &UniqueError{Table: t.Name, Column: idx.Column, Value: key}
+			}
+		} else if idx.containsKey(key) {
 			return 0, &UniqueError{Table: t.Name, Column: idx.Column, Value: key}
 		}
 	}
 	t.nextRow++
 	id := t.nextRow
+	ver := &rowVersion{row: row}
+	ver.beg.Store(w.stamp())
 	p := t.part(id)
 	p.mu.Lock()
-	p.rows[id] = row
-	p.ids = append(p.ids, id) // nextRow is monotone, so append keeps order
-	p.mut++
+	p.rows[id] = ver
+	p.ids.append(id)
+	p.mut.Add(1)
 	p.mu.Unlock()
-	t.ids = append(t.ids, id)
-	t.live++
-	t.mut++
-	for _, idx := range t.indexes {
+	t.ids.append(id)
+	t.live.Add(1)
+	t.mut.Add(1)
+	for _, idx := range t.indexMap() {
 		idx.insert(row[idx.Col], id)
 	}
+	if w.mvcc {
+		w.installed = append(w.installed, ver)
+	}
 	return id, nil
+}
+
+// keyInUse reports whether any row whose version is visible under vis
+// carries the key in the index's column. This is the chain-aware
+// counterpart of Index.containsKey: stale index entries (superseded keys
+// awaiting vacuum) are filtered by resolving the candidate's visible
+// version and comparing its actual key.
+func (t *Table) keyInUse(idx *Index, key Value, vis visibility) bool {
+	for _, id := range idx.Lookup(key) {
+		row := t.get(id, vis)
+		if row != nil && row[idx.Col] != nil && Compare(row[idx.Col], key) == 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // UniqueError reports a uniqueness violation on insert or update.
@@ -250,72 +343,130 @@ func (e *UniqueError) Error() string {
 	return fmt.Sprintf("sqldb: UNIQUE constraint violated: %s.%s = %s", e.Table, e.Column, FormatValue(e.Value))
 }
 
-// Get returns the row stored under id, or nil when absent.
+// Get returns the newest committed row stored under id, or nil when
+// absent (lock-mode visibility).
 func (t *Table) Get(id int64) []Value {
-	return t.part(id).rows[id]
+	return t.get(id, visLatest)
 }
 
-// Delete removes the row with the given ID, maintaining all indexes.
-// It reports whether a row was removed.
+// get resolves the row version visible under vis, or nil when no version
+// qualifies. On the lock-free path (vis.lockPart) the version-head copy
+// is the only operation under the partition read lock.
+func (t *Table) get(id int64, vis visibility) []Value {
+	p := t.part(id)
+	if vis.lockPart {
+		p.mu.RLock()
+		head := p.rows[id]
+		p.mu.RUnlock()
+		return head.resolve(vis)
+	}
+	return p.rows[id].resolve(vis)
+}
+
+// Delete removes the row with the given ID under lock-mode rules (the
+// whole version chain is dropped and every chain key leaves the indexes),
+// maintaining compaction thresholds. It reports whether a row was removed.
 func (t *Table) Delete(id int64) bool {
 	p := t.part(id)
-	row, ok := p.rows[id]
-	if !ok {
-		return false
+	head := p.rows[id]
+	if head.resolve(visLatest) == nil {
+		return false // absent, or already tombstoned by an MVCC delete
 	}
-	for _, idx := range t.indexes {
-		idx.delete(row[idx.Col], id)
+	for _, idx := range t.indexMap() {
+		for v := head; v != nil; v = v.next.Load() {
+			if v.row != nil {
+				idx.delete(v.row[idx.Col], id)
+			}
+		}
 	}
 	p.mu.Lock()
 	delete(p.rows, id)
 	p.dead++
-	if p.dead > 16 && p.dead*2 > len(p.ids) {
+	if p.dead > 16 && p.dead*2 > len(p.ids.load()) {
 		p.compact()
 	}
+	p.mut.Add(1)
 	p.mu.Unlock()
-	t.live--
+	if t.hist != nil {
+		delete(t.hist, id)
+	}
+	t.live.Add(-1)
 	t.dead++
-	t.mut++
-	if t.dead > 64 && t.dead*2 > len(t.ids) {
+	t.mut.Add(1)
+	if t.dead > 64 && t.dead*2 > len(t.ids.load()) {
 		t.compactIDs()
 	}
 	return true
 }
 
+// deleteRow installs an MVCC deletion tombstone over the row's chain:
+// the row map entry, ID-slice entries and index entries all stay (old
+// snapshots still resolve the prior version) until vacuum reclaims them.
+// First-committer-wins: a newest committed version past the writer's
+// snapshot fails with ErrWriteConflict.
+func (t *Table) deleteRow(w *writeCtx, id int64) (*rowVersion, error) {
+	p := t.part(id)
+	head := p.rows[id]
+	if head.resolve(w.vis()) == nil {
+		return nil, nil // no visible row to delete
+	}
+	if err := w.conflictCheck(head); err != nil {
+		return nil, err
+	}
+	ver := &rowVersion{} // row == nil: tombstone
+	ver.beg.Store(w.stamp())
+	ver.next.Store(head)
+	p.mu.Lock()
+	p.rows[id] = ver
+	p.mu.Unlock()
+	t.live.Add(-1)
+	t.histAdd(id)
+	w.installed = append(w.installed, ver)
+	return ver, nil
+}
+
+// conflictCheck applies first-committer-wins: writing a row whose newest
+// version was committed after this transaction's snapshot is a conflict.
+// The writer lock serializes writers, so the only provisional versions in
+// existence are this transaction's own.
+func (w *writeCtx) conflictCheck(head *rowVersion) error {
+	if !w.mvcc || head == nil {
+		return nil
+	}
+	b := head.beg.Load()
+	if b&provisionalBit != 0 {
+		if b&^provisionalBit == w.tx {
+			return nil // chaining onto our own provisional version
+		}
+		return fmt.Errorf("row has a foreign provisional version: %w", ErrWriteConflict)
+	}
+	if b > w.snap {
+		return ErrWriteConflict
+	}
+	return nil
+}
+
+// histAdd records that a row now carries version history (caller holds
+// the database writer lock).
+func (t *Table) histAdd(id int64) {
+	if t.hist == nil {
+		t.hist = make(map[int64]struct{})
+	}
+	t.hist[id] = struct{}{}
+}
+
 // compactIDs rewrites the global ID slice without tombstones.
 func (t *Table) compactIDs() {
-	live := t.ids[:0]
-	for _, id := range t.ids {
+	ids := t.ids.load()
+	live := make([]int64, 0, len(ids)-t.dead)
+	for _, id := range ids {
 		if _, ok := t.part(id).rows[id]; ok {
 			live = append(live, id)
 		}
 	}
-	t.ids = live
+	t.ids.store(live)
 	t.dead = 0
-	t.mut++
-}
-
-// spliceID removes id from a sorted ID slice when present, reporting
-// whether it was found.
-func spliceID(ids []int64, id int64) ([]int64, bool) {
-	pos := sort.Search(len(ids), func(i int) bool { return ids[i] >= id })
-	if pos < len(ids) && ids[pos] == id {
-		return append(ids[:pos], ids[pos+1:]...), true
-	}
-	return ids, false
-}
-
-// insertID adds id to a sorted ID slice, reporting whether it was already
-// present (as a tombstone slot revived in place).
-func insertID(ids []int64, id int64) ([]int64, bool) {
-	pos := sort.Search(len(ids), func(i int) bool { return ids[i] >= id })
-	if pos < len(ids) && ids[pos] == id {
-		return ids, true
-	}
-	ids = append(ids, 0)
-	copy(ids[pos+1:], ids[pos:])
-	ids[pos] = id
-	return ids, false
+	t.mut.Add(1)
 }
 
 // undoInsert removes a row inserted by a now-rolled-back statement and
@@ -325,58 +476,105 @@ func insertID(ids []int64, id int64) ([]int64, bool) {
 // the last element, so this is O(1) in practice.
 func (t *Table) undoInsert(id int64) {
 	p := t.part(id)
-	row, ok := p.rows[id]
-	if !ok {
+	head := p.rows[id]
+	if head == nil {
 		return
 	}
-	for _, idx := range t.indexes {
-		idx.delete(row[idx.Col], id)
+	for _, idx := range t.indexMap() {
+		for v := head; v != nil; v = v.next.Load() {
+			if v.row != nil {
+				idx.delete(v.row[idx.Col], id)
+			}
+		}
 	}
 	p.mu.Lock()
 	delete(p.rows, id)
-	p.ids, _ = spliceID(p.ids, id)
-	p.mut++
+	p.ids.remove(id)
+	p.mut.Add(1)
 	p.mu.Unlock()
-	t.ids, _ = spliceID(t.ids, id)
-	t.live--
-	t.mut++
+	t.ids.remove(id)
+	t.live.Add(-1)
+	t.mut.Add(1)
 }
 
 // restore re-inserts a previously deleted row under its original ID,
-// maintaining indexes and the sorted ID slices. It backs transaction
-// rollback of deletes; the caller guarantees the ID is free.
+// maintaining indexes and the sorted ID slices. It backs lock-mode
+// transaction rollback of deletes; the caller guarantees the ID is free.
 func (t *Table) restore(id int64, row []Value) {
 	p := t.part(id)
 	if _, ok := p.rows[id]; ok {
 		return
 	}
+	ver := &rowVersion{row: row} // beg 0: committed, lock-mode rollback
 	p.mu.Lock()
-	p.rows[id] = row
-	var revived bool
-	if p.ids, revived = insertID(p.ids, id); revived {
-		p.dead--
+	p.rows[id] = ver
+	if p.ids.insertSorted(id) {
+		p.dead-- // tombstone revived in place
 	}
-	p.mut++
+	p.mut.Add(1)
 	p.mu.Unlock()
-	if t.ids, revived = insertID(t.ids, id); revived {
+	if t.ids.insertSorted(id) {
 		t.dead-- // tombstone revived in place
 	}
-	t.live++
-	for _, idx := range t.indexes {
+	t.live.Add(1)
+	for _, idx := range t.indexMap() {
 		idx.insert(row[idx.Col], id)
 	}
-	t.mut++
+	t.mut.Add(1)
 }
 
-// Update replaces the row with the given ID with new values (already
-// validated/coerced by the caller via coerceRow) and maintains indexes.
-func (t *Table) Update(id int64, newRow []Value) error {
+// unlinkVersion reverts a rolled-back MVCC write by restoring the
+// version's predecessor as the chain head. Index entries the write added
+// are removed by the caller (which recorded them), live-count adjustments
+// likewise.
+func (t *Table) unlinkVersion(id int64, ver *rowVersion) {
 	p := t.part(id)
-	old, ok := p.rows[id]
-	if !ok {
-		return fmt.Errorf("sqldb: row %d not found in %s", id, t.Name)
+	if p.rows[id] != ver {
+		return // already superseded or removed
 	}
-	for _, idx := range t.indexes {
+	p.mu.Lock()
+	if prev := ver.next.Load(); prev != nil {
+		p.rows[id] = prev
+	} else {
+		delete(p.rows, id)
+	}
+	p.mu.Unlock()
+}
+
+// idxKeyAdd records one index entry added by an MVCC update, so rollback
+// can remove exactly the entries the write introduced.
+type idxKeyAdd struct {
+	idx *Index
+	key Value
+}
+
+// Update replaces the row with the given ID under lock-mode rules (new
+// values already validated/coerced by the caller via coerceRow) and
+// maintains indexes eagerly.
+func (t *Table) Update(id int64, newRow []Value) error {
+	_, _, err := t.updateRow(&writeCtx{}, id, newRow)
+	return err
+}
+
+// updateRow replaces the row with the given ID. Lock mode swaps in a
+// fresh single-version head and maintains index entries eagerly (delete
+// old key, insert new), exactly the pre-MVCC behavior. MVCC chains a
+// provisional version onto the head, leaves superseded index entries for
+// vacuum, and inserts an entry for the new key only when no version of
+// the chain already holds it (the index keeps set semantics per (key,
+// row) so lookups never yield duplicates); the added entries are returned
+// for rollback.
+func (t *Table) updateRow(w *writeCtx, id int64, newRow []Value) (*rowVersion, []idxKeyAdd, error) {
+	p := t.part(id)
+	head := p.rows[id]
+	old := head.resolve(w.vis())
+	if old == nil {
+		return nil, nil, fmt.Errorf("sqldb: row %d not found in %s", id, t.Name)
+	}
+	if err := w.conflictCheck(head); err != nil {
+		return nil, nil, err
+	}
+	for _, idx := range t.indexMap() {
 		if !idx.Unique {
 			continue
 		}
@@ -387,39 +585,155 @@ func (t *Table) Update(id int64, newRow []Value) error {
 		if Equal(old[idx.Col], nk) {
 			continue // key unchanged
 		}
-		if idx.containsKey(nk) {
-			return &UniqueError{Table: t.Name, Column: idx.Column, Value: nk}
+		inUse := false
+		if w.mvcc {
+			inUse = t.keyInUse(idx, nk, w.vis())
+		} else {
+			inUse = idx.containsKey(nk)
+		}
+		if inUse {
+			return nil, nil, &UniqueError{Table: t.Name, Column: idx.Column, Value: nk}
 		}
 	}
-	for _, idx := range t.indexes {
-		if Compare(old[idx.Col], newRow[idx.Col]) != 0 {
-			idx.delete(old[idx.Col], id)
-			idx.insert(newRow[idx.Col], id)
+	if !w.mvcc {
+		for _, idx := range t.indexMap() {
+			if Compare(old[idx.Col], newRow[idx.Col]) != 0 {
+				idx.delete(old[idx.Col], id)
+				idx.insert(newRow[idx.Col], id)
+			}
+		}
+		ver := &rowVersion{row: newRow} // beg 0: committed
+		p.mu.Lock()
+		p.rows[id] = ver
+		p.mu.Unlock()
+		return nil, nil, nil
+	}
+	var added []idxKeyAdd
+	for _, idx := range t.indexMap() {
+		nk := newRow[idx.Col]
+		if Compare(old[idx.Col], nk) == 0 {
+			continue
+		}
+		if !chainHasKey(head, idx.Col, nk) {
+			idx.insert(nk, id)
+			added = append(added, idxKeyAdd{idx: idx, key: nk})
 		}
 	}
+	ver := &rowVersion{row: newRow}
+	ver.beg.Store(w.stamp())
+	ver.next.Store(head)
 	p.mu.Lock()
-	p.rows[id] = newRow
+	p.rows[id] = ver
 	p.mu.Unlock()
-	return nil
+	t.histAdd(id)
+	w.installed = append(w.installed, ver)
+	return ver, added, nil
 }
 
 // undoUpdate reverts the row with the given ID to its pre-update values
-// (transaction rollback). A no-op when the row no longer exists.
+// (lock-mode transaction rollback). A no-op when the row no longer exists.
 func (t *Table) undoUpdate(id int64, old []Value) {
 	p := t.part(id)
-	cur, ok := p.rows[id]
-	if !ok {
+	cur := p.rows[id].resolve(visLatest)
+	if cur == nil {
 		return
 	}
-	for _, idx := range t.indexes {
+	for _, idx := range t.indexMap() {
 		if Compare(cur[idx.Col], old[idx.Col]) != 0 {
 			idx.delete(cur[idx.Col], id)
 			idx.insert(old[idx.Col], id)
 		}
 	}
+	ver := &rowVersion{row: old} // beg 0: committed
 	p.mu.Lock()
-	p.rows[id] = old
+	p.rows[id] = ver
 	p.mu.Unlock()
+}
+
+// vacuum trims every versioned row's chain to the newest version visible
+// at horizon, removes the index entries only the dropped versions kept
+// reachable, and physically removes rows whose surviving head is a
+// committed tombstone. Caller holds the database writer lock and
+// exclusive db.mu (so no provisional versions exist); returns the number
+// of versions reclaimed.
+func (t *Table) vacuum(horizon uint64) int {
+	if len(t.hist) == 0 {
+		return 0
+	}
+	reclaimed := 0
+	var dropped []*rowVersion // reused scratch
+	for id := range t.hist {
+		p := t.part(id)
+		p.mu.Lock()
+		head := p.rows[id]
+		if head == nil {
+			p.mu.Unlock()
+			delete(t.hist, id)
+			continue
+		}
+		// Cut below the newest version any active or future snapshot can
+		// resolve: the first version with beg <= horizon.
+		var keep *rowVersion
+		for v := head; v != nil; v = v.next.Load() {
+			if v.beg.Load() <= horizon {
+				keep = v
+				break
+			}
+		}
+		dropped = dropped[:0]
+		if keep != nil {
+			for v := keep.next.Load(); v != nil; v = v.next.Load() {
+				dropped = append(dropped, v)
+			}
+			keep.next.Store(nil)
+		}
+		fullyDead := keep == head && head.row == nil
+		if fullyDead {
+			// The surviving head is a committed tombstone: nothing can ever
+			// resolve this row again — drop it physically.
+			dropped = append(dropped, head)
+			delete(p.rows, id)
+			p.dead++
+			if p.dead > 16 && p.dead*2 > len(p.ids.load()) {
+				p.compact()
+			}
+			p.mut.Add(1)
+		}
+		p.mu.Unlock()
+		// Index maintenance outside the partition lock (lock order: index
+		// locks are never nested inside partition locks). The chain is
+		// mutated only under the writer lock, which we hold.
+		if len(dropped) > 0 {
+			remaining := head
+			if fullyDead {
+				remaining = nil
+			}
+			for _, idx := range t.indexMap() {
+				for _, v := range dropped {
+					if v.row == nil {
+						continue
+					}
+					if key := v.row[idx.Col]; remaining == nil || !chainHasKey(remaining, idx.Col, key) {
+						idx.delete(key, id)
+					}
+				}
+			}
+		}
+		reclaimed += len(dropped)
+		if fullyDead {
+			delete(t.hist, id)
+			t.dead++
+			t.mut.Add(1)
+			if t.dead > 64 && t.dead*2 > len(t.ids.load()) {
+				t.compactIDs()
+			}
+			continue
+		}
+		if keep == head && head.row != nil {
+			delete(t.hist, id) // chain is single-version and live again
+		}
+	}
+	return reclaimed
 }
 
 // loadRow installs a row under an explicit ID without constraint checks;
@@ -427,11 +741,11 @@ func (t *Table) undoUpdate(id int64, old []Value) {
 // finishLoad) once all rows are in.
 func (t *Table) loadRow(id int64, row []Value) {
 	p := t.part(id)
-	p.rows[id] = row
-	p.ids = append(p.ids, id)
-	t.ids = append(t.ids, id)
-	t.live++
-	for _, idx := range t.indexes {
+	p.rows[id] = &rowVersion{row: row} // beg 0: committed
+	p.ids.append(id)
+	t.ids.append(id)
+	t.live.Add(1)
+	for _, idx := range t.indexMap() {
 		idx.insert(row[idx.Col], id)
 	}
 }
@@ -439,12 +753,12 @@ func (t *Table) loadRow(id int64, row []Value) {
 // finishLoad restores the sorted-ID invariant after a bulk loadRow pass
 // whose input order is not trusted.
 func (t *Table) finishLoad() {
-	sortInt64s(t.ids)
-	for _, p := range t.parts {
-		sortInt64s(p.ids)
-		p.mut++
+	t.ids.sortInPlace()
+	for _, p := range t.partList() {
+		p.ids.sortInPlace()
+		p.mut.Add(1)
 	}
-	t.mut++
+	t.mut.Add(1)
 }
 
 // coerceRow validates a candidate full row against schema constraints
@@ -468,16 +782,32 @@ func (t *Table) coerceRow(vals []Value) ([]Value, error) {
 	return row, nil
 }
 
-// Scan visits all rows in ascending row-ID order until fn returns false.
-// Row-ID order makes scans deterministic, which matters for reproducible
-// query output and for the test suite. The global ID slice is maintained
-// incrementally on insert/delete, so a scan is O(n) with no sorting and no
-// partition merge.
+// Scan visits the newest committed version of every row in ascending
+// row-ID order until fn returns false (lock-mode visibility; the caller
+// holds the database lock).
 func (t *Table) Scan(fn func(id int64, row []Value) bool) {
-	for _, id := range t.ids {
-		row, ok := t.part(id).rows[id]
-		if !ok {
-			continue // tombstone left by Delete
+	t.scanVis(visLatest, fn)
+}
+
+// scanVis visits every row version visible under vis in ascending row-ID
+// order until fn returns false. Row-ID order makes scans deterministic,
+// which matters for reproducible query output and for the test suite. The
+// global ID slice is maintained incrementally on insert/delete, so a scan
+// is O(n) with no sorting and no partition merge.
+func (t *Table) scanVis(vis visibility, fn func(id int64, row []Value) bool) {
+	for _, id := range t.ids.load() {
+		p := t.part(id)
+		var head *rowVersion
+		if vis.lockPart {
+			p.mu.RLock()
+			head = p.rows[id]
+			p.mu.RUnlock()
+		} else {
+			head = p.rows[id]
+		}
+		row := head.resolve(vis)
+		if row == nil {
+			continue // tombstone, or invisible at this snapshot
 		}
 		if !fn(id, row) {
 			return
@@ -503,7 +833,7 @@ func dedupSortedInt64s(ids []int64) []int64 {
 
 // prepIndex validates a CREATE INDEX request and allocates the empty index.
 func (t *Table) prepIndex(name, column string, kind IndexKind, unique bool) (*Index, int, error) {
-	if _, dup := t.indexes[name]; dup {
+	if _, dup := t.indexMap()[name]; dup {
 		return nil, -1, fmt.Errorf("sqldb: index %q already exists on %s", name, t.Name)
 	}
 	col := t.Schema.ColumnIndex(column)
@@ -514,7 +844,9 @@ func (t *Table) prepIndex(name, column string, kind IndexKind, unique bool) (*In
 }
 
 // CreateIndex builds a secondary index over one column, populating it from
-// existing rows. Unique indexes fail if existing data violates uniqueness.
+// the newest committed version of each row. Unique indexes fail if
+// existing data violates uniqueness. DDL is not versioned: snapshots
+// older than the index see the post-DDL entry set.
 func (t *Table) CreateIndex(name, column string, kind IndexKind, unique bool) (*Index, error) {
 	idx, col, err := t.prepIndex(name, column, kind, unique)
 	if err != nil {
@@ -532,7 +864,7 @@ func (t *Table) CreateIndex(name, column string, kind IndexKind, unique bool) (*
 	if err != nil {
 		return nil, err
 	}
-	t.indexes[name] = idx
+	t.setIndex(name, idx)
 	return idx, nil
 }
 
@@ -545,29 +877,33 @@ type indexEntry struct {
 // CreateIndexParallel builds a B-tree index from per-partition sorted runs
 // built concurrently (the partition worker pattern of parallel.go) and
 // k-way-merged into the tree. The caller must hold the database
-// exclusively — CREATE INDEX is a DDL write — so the workers read their
-// partitions without locking. The resulting tree is identical to a serial
-// build: B-tree entries order by (key, row ID) regardless of insertion
-// order. Unique violations reproduce the serial error exactly — the serial
-// scan fails on the first row (in global row-ID order) whose key was
-// already present, i.e. the duplicated key whose second-smallest row ID is
-// globally minimal, which the merge pass recomputes.
+// exclusively — CREATE INDEX is a DDL write, so no provisional versions
+// exist and the workers read their partitions without locking (concurrent
+// MVCC snapshot readers only ever read the same maps). The resulting tree
+// is identical to a serial build: B-tree entries order by (key, row ID)
+// regardless of insertion order. Unique violations reproduce the serial
+// error exactly — the serial scan fails on the first row (in global
+// row-ID order) whose key was already present, i.e. the duplicated key
+// whose second-smallest row ID is globally minimal, which the merge pass
+// recomputes.
 func (t *Table) CreateIndexParallel(name, column string, unique bool) (*Index, error) {
 	idx, col, err := t.prepIndex(name, column, IndexBTree, unique)
 	if err != nil {
 		return nil, err
 	}
-	runs := make([][]indexEntry, len(t.parts))
-	nullRuns := make([][]int64, len(t.parts))
+	parts := t.partList()
+	runs := make([][]indexEntry, len(parts))
+	nullRuns := make([][]int64, len(parts))
 	var wg sync.WaitGroup
-	for i, part := range t.parts {
+	for i, part := range parts {
 		wg.Add(1)
 		go func(i int, part *tablePart) {
 			defer wg.Done()
-			entries := make([]indexEntry, 0, len(part.ids))
+			ids := part.ids.load()
+			entries := make([]indexEntry, 0, len(ids))
 			var nulls []int64
-			for _, id := range part.ids {
-				row := part.rows[id]
+			for _, id := range ids {
+				row := part.rows[id].resolve(visLatest)
 				if row == nil {
 					continue // tombstone
 				}
@@ -644,16 +980,16 @@ func (t *Table) CreateIndexParallel(name, column string, unique bool) (*Index, e
 			idx.insert(nil, id)
 		}
 	}
-	t.indexes[name] = idx
+	t.setIndex(name, idx)
 	return idx, nil
 }
 
 // DropIndex removes a secondary index by name.
 func (t *Table) DropIndex(name string) error {
-	if _, ok := t.indexes[name]; !ok {
+	if _, ok := t.indexMap()[name]; !ok {
 		return fmt.Errorf("sqldb: no index %q on table %s", name, t.Name)
 	}
-	delete(t.indexes, name)
+	t.removeIndex(name)
 	return nil
 }
 
@@ -661,7 +997,7 @@ func (t *Table) DropIndex(name string) error {
 // preferring hash indexes for equality lookups. Returns nil when none exists.
 func (t *Table) IndexOn(col int) *Index {
 	var best *Index
-	for _, idx := range t.indexes {
+	for _, idx := range t.indexMap() {
 		if idx.Col != col {
 			continue
 		}
@@ -675,7 +1011,7 @@ func (t *Table) IndexOn(col int) *Index {
 
 // BTreeIndexOn returns a B-tree index on the column, for range scans.
 func (t *Table) BTreeIndexOn(col int) *Index {
-	for _, idx := range t.indexes {
+	for _, idx := range t.indexMap() {
 		if idx.Col == col && idx.Kind == IndexBTree {
 			return idx
 		}
@@ -685,14 +1021,15 @@ func (t *Table) BTreeIndexOn(col int) *Index {
 
 // Indexes returns the table's indexes in name order.
 func (t *Table) Indexes() []*Index {
-	names := make([]string, 0, len(t.indexes))
-	for n := range t.indexes {
+	m := t.indexMap()
+	names := make([]string, 0, len(m))
+	for n := range m {
 		names = append(names, n)
 	}
 	sort.Strings(names)
 	out := make([]*Index, len(names))
 	for i, n := range names {
-		out[i] = t.indexes[n]
+		out[i] = m[n]
 	}
 	return out
 }
@@ -700,19 +1037,20 @@ func (t *Table) Indexes() []*Index {
 // Truncate removes all rows but keeps schema, index definitions and the
 // partition layout.
 func (t *Table) Truncate() {
-	for _, p := range t.parts {
+	for _, p := range t.partList() {
 		p.mu.Lock()
-		p.rows = make(map[int64][]Value)
-		p.ids = nil
+		p.rows = make(map[int64]*rowVersion)
+		p.ids.store(nil)
 		p.dead = 0
-		p.mut++
+		p.mut.Add(1)
 		p.mu.Unlock()
 	}
-	t.ids = nil
+	t.ids.store(nil)
 	t.dead = 0
-	t.live = 0
-	t.mut++
-	for _, idx := range t.indexes {
+	t.live.Store(0)
+	t.hist = nil
+	t.mut.Add(1)
+	for _, idx := range t.indexMap() {
 		idx.reset()
 	}
 }
