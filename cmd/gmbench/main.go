@@ -42,7 +42,7 @@ var experiments = []experiment{
 	{"wal", "E13: durable write path — fsync policies and group commit", expWALDurability},
 	{"parallel", "E14: partition-parallel scan/aggregate/export vs serial at 1/2/4/8 partitions", expParallel},
 	{"vectorized", "E15: vectorized (columnar batch) vs row execution at 1/2/4/8 partitions", expVectorized},
-	{"concurrency", "E16: MVCC vs lock-mode mixed read/write throughput at 1/2/4/8 readers + writer-stall probe", expConcurrency},
+	{"concurrency", "E16: MVCC vs lock-mode read/write throughput, writer-stall probe, multi-writer latch scaling", expConcurrency},
 }
 
 func main() {

@@ -3,12 +3,19 @@
 //
 // The engine's deadlock-freedom argument is a total order per lock domain:
 //
-//	db domain:  DB.writer < DB.mu < tablePart.mu
+//	db domain:  DB.writer < DB.mu < tablePart.w < Table.histMu
+//	            < tablePart.mu < DB.commitMu
 //	wal domain: WAL.syncMu < WAL.mu
 //
 // and one cross-cutting rule: fsync-class operations (File.Sync,
 // WAL.Durable, the durability wait) never run while a db-domain lock is
 // held exclusively — that is what makes group commit group anything.
+//
+// tablePart.w (the per-partition write latch) is a multi-instance class:
+// a latched statement holds several at once, acquired in ascending
+// partition order by Table.acquireLatches — the only function allowed to
+// take it — so re-acquisition within the class is not a violation and is
+// exempted below; ordering against the other classes is still checked.
 //
 // The analysis is intraprocedural and walks each function body in source
 // order, maintaining the set of locks held: Lock/RLock on a classified
@@ -40,15 +47,19 @@ type lockClass struct {
 	domain string
 	rank   int    // acquisition order within the domain, ascending
 	label  string // how the lock is named in diagnostics and docs
+	multi  bool   // several instances held at once (ordered by the acquirer)
 }
 
 // classes maps "pkgpath.Type.field" keys to their documented order.
 var classes = map[string]lockClass{
-	"genmapper/internal/sqldb.DB.writer":    {"db", 0, "db.writer"},
-	"genmapper/internal/sqldb.DB.mu":        {"db", 1, "db.mu"},
-	"genmapper/internal/sqldb.tablePart.mu": {"db", 2, "tablePart.mu"},
-	"genmapper/internal/wal.WAL.syncMu":     {"wal", 0, "wal.syncMu"},
-	"genmapper/internal/wal.WAL.mu":         {"wal", 1, "wal.mu"},
+	"genmapper/internal/sqldb.DB.writer":    {domain: "db", rank: 0, label: "db.writer"},
+	"genmapper/internal/sqldb.DB.mu":        {domain: "db", rank: 1, label: "db.mu"},
+	"genmapper/internal/sqldb.tablePart.w":  {domain: "db", rank: 2, label: "tablePart.w", multi: true},
+	"genmapper/internal/sqldb.Table.histMu": {domain: "db", rank: 3, label: "Table.histMu"},
+	"genmapper/internal/sqldb.tablePart.mu": {domain: "db", rank: 4, label: "tablePart.mu"},
+	"genmapper/internal/sqldb.DB.commitMu":  {domain: "db", rank: 5, label: "db.commitMu"},
+	"genmapper/internal/wal.WAL.syncMu":     {domain: "wal", rank: 0, label: "wal.syncMu"},
+	"genmapper/internal/wal.WAL.mu":         {domain: "wal", rank: 1, label: "wal.mu"},
 }
 
 // blockingMethods are fsync-class calls: they block on disk or on another
@@ -132,7 +143,7 @@ func visitCall(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node, held m
 	switch method {
 	case "Lock", "RLock":
 		shared := method == "RLock"
-		if prev, again := held[key]; again {
+		if prev, again := held[key]; again && !class.multi {
 			pass.Reportf(call.Pos(), "%s acquired while already held (acquired at %s)", class.label, pass.Fset.Position(prev.pos))
 			return
 		}
@@ -185,5 +196,5 @@ func domainOrder(domain string) string {
 	if domain == "wal" {
 		return "syncMu < mu"
 	}
-	return "writer < mu < tablePart.mu"
+	return "writer < mu < tablePart.w < Table.histMu < tablePart.mu < commitMu"
 }

@@ -1,21 +1,31 @@
 // Stub of the lock surface of genmapper/internal/sqldb. The mutex fields
 // are unexported, so ordered and inverted acquisitions both live here.
-// Documented order: DB.writer < DB.mu < tablePart.mu.
+// Documented order:
+// DB.writer < DB.mu < tablePart.w < Table.histMu < tablePart.mu < DB.commitMu.
 package sqldb
 
 import "sync"
 
-type tablePart struct{ mu sync.RWMutex }
+type tablePart struct {
+	w  sync.Mutex
+	mu sync.RWMutex
+}
+
+type Table struct {
+	histMu sync.Mutex
+	parts  []*tablePart
+}
 
 type durability struct{}
 
 func (d *durability) wait(lsn uint64) error { return nil }
 
 type DB struct {
-	writer  sync.Mutex
-	mu      sync.RWMutex
-	parts   []*tablePart
-	durable *durability
+	writer   sync.Mutex
+	mu       sync.RWMutex
+	commitMu sync.Mutex
+	parts    []*tablePart
+	durable  *durability
 }
 
 func execOrdered(db *DB) {
@@ -84,4 +94,53 @@ func spawnWorker(db *DB, p *tablePart, done chan struct{}) {
 		p.mu.Unlock()
 		done <- struct{}{}
 	}()
+}
+
+// The latched-writer path: shared db.mu, several partition write latches
+// acquired in ascending order (a multi-instance class — the repeat Lock is
+// not a re-acquisition violation), partition data locks inside, and
+// commitMu last. This is the documented order end to end.
+func latchedCommit(db *DB, t *Table) {
+	db.mu.RLock()
+	for _, p := range t.parts {
+		p.w.Lock()
+	}
+	t.histMu.Lock()
+	p := t.parts[0]
+	p.mu.Lock()
+	p.mu.Unlock()
+	t.histMu.Unlock()
+	db.commitMu.Lock()
+	db.commitMu.Unlock()
+	for _, p := range t.parts {
+		p.w.Unlock()
+	}
+	db.mu.RUnlock()
+}
+
+// Taking a write latch after the partition data lock inverts the order:
+// another writer holding the latch may be waiting on this partition's mu.
+func latchAfterPart(p *tablePart) {
+	p.mu.Lock()
+	p.w.Lock() // want `lock order violation: tablePart\.w acquired while holding tablePart\.mu`
+	p.w.Unlock()
+	p.mu.Unlock()
+}
+
+// commitMu is the last lock in the order; acquiring anything under it
+// would let a committer block a latched writer mid-publication.
+func lockUnderCommitMu(db *DB, p *tablePart) {
+	db.commitMu.Lock()
+	p.mu.Lock() // want `lock order violation: tablePart\.mu acquired while holding db\.commitMu`
+	p.mu.Unlock()
+	db.commitMu.Unlock()
+}
+
+// The history map lock nests inside the latch but outside partition data
+// locks; taking it after p.mu is the inversion vacuum would deadlock on.
+func histAfterPart(t *Table, p *tablePart) {
+	p.mu.Lock()
+	t.histMu.Lock() // want `lock order violation: Table\.histMu acquired while holding tablePart\.mu`
+	t.histMu.Unlock()
+	p.mu.Unlock()
 }

@@ -2,7 +2,7 @@
 // epochs become visible to lock-free readers only through the audited
 // commit accessor, and only after the commit's WAL record is appended.
 //
-// Three rules, intraprocedural over internal/sqldb types:
+// Four rules, intraprocedural over internal/sqldb types:
 //
 //  1. DB.epoch may only be mutated inside publishCommit. The epoch is
 //     the release fence every snapshot reader synchronizes on; a store
@@ -16,6 +16,11 @@
 //     append (durability.logCommit, WAL.Append, or buffering into
 //     Tx.logged) in the same function. Publishing first would let a
 //     snapshot reader observe a commit a crash could erase.
+//  4. DB.publishCommit may only be called from the audited committer
+//     functions (publishCallers). Since per-partition latching, epoch
+//     advances are serialized by holding either the database exclusively
+//     or db.commitMu under shared db.mu; that argument is made per call
+//     site, so a new site must be added here deliberately.
 package mvccepoch
 
 import (
@@ -50,6 +55,17 @@ var begStampers = map[string]bool{
 var logCalls = map[string]bool{
 	"genmapper/internal/sqldb.durability.logCommit": true,
 	"genmapper/internal/wal.WAL.Append":             true,
+}
+
+// publishCallers are the audited commit paths: the only functions that
+// may call publishCommit. execPrepared and Tx.Commit hold the database
+// exclusively; commitConcurrent and execLatchedOnce hold db.mu shared
+// plus db.commitMu (the latched-writer serialization point).
+var publishCallers = map[string]bool{
+	"execPrepared":     true,
+	"Commit":           true,
+	"commitConcurrent": true,
+	"execLatchedOnce":  true,
 }
 
 // mutators are the sync/atomic methods that write.
@@ -108,6 +124,9 @@ func checkBody(pass *analysis.Pass, fnName string, body *ast.BlockStmt) {
 	for _, p := range publishes {
 		if firstLog == token.NoPos || p.Pos() < firstLog {
 			pass.Reportf(p.Pos(), "publishCommit before any WAL append in this function; commit epochs may only become visible after the commit record is logged")
+		}
+		if pass.Pkg.Path() == sqldbPath && !publishCallers[fnName] {
+			pass.Reportf(p.Pos(), "publishCommit called outside the audited committer functions; epoch advances must be serialized (exclusive db.mu, or db.commitMu under shared mu) — add the new site to mvccepoch's publishCallers with that argument")
 		}
 	}
 	for _, lit := range lits {

@@ -25,8 +25,9 @@ func (db *DB) forgeCommitted(row []Value) *rowVersion {
 	return ver
 }
 
-// Publishing after the append is the commit contract.
-func (db *DB) commitLogged(installed []*rowVersion) error {
+// Publishing after the append, from an audited committer, is the commit
+// contract.
+func (db *DB) execPrepared(installed []*rowVersion) error {
 	if _, err := db.durable.logCommit(nil); err != nil {
 		return err
 	}
@@ -36,22 +37,33 @@ func (db *DB) commitLogged(installed []*rowVersion) error {
 
 // Publishing before the append would let a snapshot reader observe a
 // commit a crash could erase.
-func (db *DB) commitEarly(installed []*rowVersion) error {
+func (db *DB) commitConcurrent(installed []*rowVersion) error {
 	db.publishCommit(installed) // want `publishCommit before any WAL append`
 	_, err := db.durable.logCommit(nil)
 	return err
 }
 
 // Publishing with no append in sight is the same violation.
-func (db *DB) commitUnlogged(installed []*rowVersion) {
+func (db *DB) execLatchedOnce(installed []*rowVersion) {
 	db.publishCommit(installed) // want `publishCommit before any WAL append`
 }
 
 // Buffering into the transaction log defers the append to Commit, which
 // re-checks the ordering there.
-func (tx *Tx) execBuffered(sql string, installed []*rowVersion) {
+func (tx *Tx) Commit(sql string, installed []*rowVersion) {
 	tx.logged = append(tx.logged, logStmt{sql: sql})
 	tx.db.publishCommit(installed)
+}
+
+// Publishing from an unaudited function is rejected even with the append
+// in order: every publication site must carry a serialization argument
+// (exclusive db.mu, or db.commitMu under shared mu).
+func (db *DB) publishRogue(installed []*rowVersion) error {
+	if _, err := db.durable.logCommit(nil); err != nil {
+		return err
+	}
+	db.publishCommit(installed) // want `publishCommit called outside the audited committer functions`
+	return nil
 }
 
 // Replay publishes state that is already in the log; the directive

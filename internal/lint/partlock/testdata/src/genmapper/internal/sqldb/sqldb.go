@@ -97,3 +97,83 @@ var errInvalidated = errDDL{}
 type errDDL struct{}
 
 func (errDDL) Error() string { return "invalidated" }
+
+// ---- latch-set obligations ----
+
+type latchSet struct{ parts []*tablePart }
+
+func (ls *latchSet) release() { ls.parts = nil }
+
+type Table struct{ parts []*tablePart }
+
+type DB struct{}
+
+type writeCtx struct{}
+
+type writePlan struct{ t *Table }
+
+type Value any
+
+func (t *Table) acquireLatches(db *DB, idxs []int) *latchSet {
+	return &latchSet{parts: t.parts}
+}
+
+// collectLatched itself is clean: the success return transfers the held
+// set to the caller, the error paths release first.
+func (db *DB) collectLatched(wp *writePlan, vals []Value, w *writeCtx) ([]int64, *latchSet, error) {
+	ls := wp.t.acquireLatches(db, nil)
+	if vals == nil {
+		ls.release()
+		return nil, nil, errInvalidated
+	}
+	return nil, ls, nil
+}
+
+// latchedClean mirrors the real latched executor: the producer's error
+// guard is exempt (on error nothing is held), every other path releases.
+func latchedClean(db *DB, wp *writePlan, vals []Value, w *writeCtx) error {
+	ids, ls, err := db.collectLatched(wp, vals, w)
+	if err != nil {
+		return err
+	}
+	if len(ids) == 0 {
+		ls.release()
+		return errInvalidated
+	}
+	ls.release()
+	return nil
+}
+
+// latchedDeferred: a deferred release discharges every path out.
+func latchedDeferred(db *DB, t *Table) int {
+	ls := t.acquireLatches(db, nil)
+	defer ls.release()
+	return len(ls.parts)
+}
+
+// latchedTransfer hands the held set to its caller, which is the
+// collectLatched contract, not a leak.
+func latchedTransfer(db *DB, t *Table) *latchSet {
+	ls := t.acquireLatches(db, nil)
+	return ls
+}
+
+// latchedLeakReturn forgets the release on the early-out path after the
+// error guard; only the guard itself is exempt.
+func latchedLeakReturn(db *DB, wp *writePlan, vals []Value, w *writeCtx) error {
+	ids, ls, err := db.collectLatched(wp, vals, w)
+	if err != nil {
+		return err
+	}
+	if len(ids) == 0 {
+		return errInvalidated // want `return while holding partition write latches`
+	}
+	ls.release()
+	return nil
+}
+
+// latchedLeakEnd never releases at all.
+func latchedLeakEnd(db *DB, t *Table, out *[]int) {
+	ls := t.acquireLatches(db, nil) // want `latch set acquired here is not released before function end`
+	*out = append(*out, len(ls.parts))
+}

@@ -293,7 +293,7 @@ func TestAPIEndpoints(t *testing.T) {
 	if _, ok := mvcc["enabled"].(bool); !ok {
 		t.Errorf("sql_mvcc missing %q: %v", "enabled", mvcc)
 	}
-	for _, k := range []string{"epoch", "active_snapshots", "commits", "aborts", "conflicts", "vacuum_runs", "versions_vacuumed"} {
+	for _, k := range []string{"epoch", "active_snapshots", "commits", "aborts", "conflicts", "vacuum_runs", "versions_vacuumed", "latch_waits", "background_vacuums", "snapshots_aborted"} {
 		if _, ok := mvcc[k].(float64); !ok {
 			t.Errorf("sql_mvcc missing %q: %v", k, mvcc)
 		}

@@ -84,14 +84,20 @@ func (s *Stmt) QueryEach(fn func(row []Value) error, args ...any) error {
 		return err
 	}
 	db := s.db
-	if db.mvcc.Load() {
-		snap := db.snaps.acquire(db)
-		defer db.snaps.release(snap)
-		return s.eachVis(fn, vals, visibility{snap: snap, lockPart: true})
+	if !db.mvcc.Load() {
+		db.mu.RLock()
+		if !db.mvcc.Load() {
+			// Shared lock pins the mode: raw lock-mode reads are safe.
+			defer db.mu.RUnlock()
+			return s.eachVis(fn, vals, visLatest)
+		}
+		// Mode flipped to MVCC between check and lock — latched writers
+		// may be running, so take the MVCC path (see Stmt.Query).
+		db.mu.RUnlock()
 	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return s.eachVis(fn, vals, visLatest)
+	snap := db.snaps.acquire(db)
+	defer db.snaps.release(snap)
+	return s.eachVis(fn, vals, visibility{snap: snap, lockPart: true})
 }
 
 // eachVis runs the QueryEach drain pinned to vis; the caller provides the
@@ -122,19 +128,27 @@ func (s *Stmt) QueryCursor(args ...any) (Cursor, error) {
 		return nil, err
 	}
 	db := s.db
-	if db.mvcc.Load() {
-		snap := db.snaps.acquire(db)
-		c, err := s.cursorVis(vals, visibility{snap: snap, lockPart: true})
-		if err != nil {
-			db.snaps.release(snap)
-			return nil, err
+	if !db.mvcc.Load() {
+		db.mu.RLock()
+		if !db.mvcc.Load() {
+			// Shared lock pins the mode: the lock-mode build is safe, and
+			// dbCursor.Next re-checks the schema generation under the lock
+			// on every step, so a later flip invalidates before any raw read.
+			defer db.mu.RUnlock()
+			return s.cursorVis(vals, visLatest)
 		}
-		c.ownSnap = true
-		return c, nil
+		// Mode flipped to MVCC between check and lock — latched writers
+		// may be running, so build an MVCC cursor (see Stmt.Query).
+		db.mu.RUnlock()
 	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return s.cursorVis(vals, visLatest)
+	snap := db.snaps.acquire(db)
+	c, err := s.cursorVis(vals, visibility{snap: snap, lockPart: true})
+	if err != nil {
+		db.snaps.release(snap)
+		return nil, err
+	}
+	c.ownSnap = true
+	return c, nil
 }
 
 // cursorVis builds the public cursor handle pinned to vis. The caller
@@ -218,6 +232,12 @@ func (c *dbCursor) Next() ([]Value, error) {
 		if db.gen.Load() != c.gen {
 			c.releaseSnap()
 			return nil, ErrCursorInvalidated
+		}
+		if db.snapRevoked(c.snap) {
+			// The retention budget revoked this cursor's snapshot: the
+			// versions it reads may be vacuumed at any moment.
+			c.releaseSnap()
+			return nil, ErrSnapshotTooOld
 		}
 		row, err := c.inner.step()
 		if row == nil {

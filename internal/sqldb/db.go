@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // DB is an embedded relational database instance. It is safe for concurrent
@@ -57,7 +58,33 @@ type DB struct {
 	mvccConflicts    atomic.Uint64
 	vacuumRuns       atomic.Uint64
 	versionsVacuumed atomic.Uint64
-	lastVacuum       atomic.Uint64 // mvccCommits value at the last vacuum
+	lastVacuum       atomic.Uint64 // mvccCommits value at the last background pass
+	latchWaits       atomic.Uint64
+	bgVacuums        atomic.Uint64
+	snapsAborted     atomic.Uint64
+	retention        atomic.Int64 // snapshot retention budget, ns (0 = unbounded)
+
+	// commitMu serializes latched (concurrent UPDATE/DELETE) commits at
+	// their narrowest point: the WAL append + publishCommit epoch advance.
+	// Latched committers hold db.mu SHARED plus their partition latches;
+	// exclusive-mu holders (the INSERT/DDL global path, vacuum,
+	// checkpoint, recovery) are excluded from them by mu itself and so
+	// never need commitMu. Last in the lock order.
+	commitMu sync.Mutex
+
+	// Background vacuum goroutine state (see mvcc.go). vacMu guards the
+	// handle and interval; the goroutine runs while MVCC is on.
+	vacMu       sync.Mutex
+	vac         *vacuumer
+	vacInterval time.Duration
+
+	// Mode-switch gate (see SetMVCC): Begins register with the gate so a
+	// mode flip drains in-flight transactions instead of stranding their
+	// provisional versions. All four fields are guarded by switchMu.
+	switchMu   sync.Mutex
+	switchCond *sync.Cond
+	switching  bool
+	activeTx   int
 
 	// stmts caches prepared statements by SQL text so repeated Query/Exec
 	// calls parse and plan once.
@@ -122,6 +149,7 @@ type Result struct {
 // NewDB creates an empty database.
 func NewDB() *DB {
 	db := &DB{stmts: newStmtCache(DefaultStmtCacheCapacity)}
+	db.switchCond = sync.NewCond(&db.switchMu)
 	db.storeTables(make(map[string]*Table))
 	return db
 }
@@ -243,7 +271,6 @@ func (db *DB) execPrepared(s *Stmt, vals []Value) (Result, uint64, error) {
 		}
 	}
 	db.publishCommit(w.installed)
-	db.maybeVacuumLocked()
 	return res, lsn, nil
 }
 
@@ -501,6 +528,14 @@ func (db *DB) executeInsert(st *InsertStmt, args []Value, undo *undoLog, w *writ
 // provisional versions); under MVCC, stale index entries awaiting vacuum
 // are filtered by re-evaluating the WHERE clause against the visible row.
 func (db *DB) collectWriteMatches(wp *writePlan, args []Value, w *writeCtx) ([]int64, error) {
+	return db.collectMatches(wp, args, w, true)
+}
+
+// collectMatches is collectWriteMatches with plan-counter accounting made
+// optional: the latched path's unlatched prescan (which only seeds the
+// latch set and is always re-run under latches) passes counted=false so
+// each statement still counts one access-path execution.
+func (db *DB) collectMatches(wp *writePlan, args []Value, w *writeCtx, counted bool) ([]int64, error) {
 	t := wp.t
 	env := wp.newEnv(args)
 	vis := w.vis()
@@ -523,13 +558,15 @@ func (db *DB) collectWriteMatches(wp *writePlan, args []Value, w *writeCtx) ([]i
 	}
 
 	if wp.access.kind != accessScan {
-		switch wp.access.kind {
-		case accessEq:
-			db.plans.indexEq.Add(1)
-		case accessIn:
-			db.plans.indexIn.Add(1)
-		case accessRange:
-			db.plans.indexRange.Add(1)
+		if counted {
+			switch wp.access.kind {
+			case accessEq:
+				db.plans.indexEq.Add(1)
+			case accessIn:
+				db.plans.indexIn.Add(1)
+			case accessRange:
+				db.plans.indexRange.Add(1)
+			}
 		}
 		candidates, err := collectAccessIDs(&wp.access, env)
 		if err != nil {
@@ -547,13 +584,19 @@ func (db *DB) collectWriteMatches(wp *writePlan, args []Value, w *writeCtx) ([]i
 		return ids, nil
 	}
 	// Full-scan candidate collection goes partition-parallel past the
-	// cardinality threshold: the caller holds the database exclusively, so
-	// the workers read their partitions without further locking.
-	if db.parallelEligible(t) {
-		db.plans.parWrites.Add(1)
+	// cardinality threshold: the global path holds the database
+	// exclusively, so the workers read their partitions without further
+	// locking. The latched path must stay serial — it holds db.mu only
+	// shared, and its visibility takes partition read locks per row.
+	if db.parallelEligible(t) && !w.latched {
+		if counted {
+			db.plans.parWrites.Add(1)
+		}
 		return parallelCollectMatches(db, wp, args, vis)
 	}
-	db.plans.fullScans.Add(1)
+	if counted {
+		db.plans.fullScans.Add(1)
+	}
 	var scanErr error
 	t.scanVis(vis, func(id int64, row []Value) bool {
 		if err := check(id, row); err != nil {
@@ -569,11 +612,19 @@ func (db *DB) collectWriteMatches(wp *writePlan, args []Value, w *writeCtx) ([]i
 }
 
 func (db *DB) executeUpdate(p *updatePlan, args []Value, undo *undoLog, w *writeCtx) (Result, error) {
-	t := p.t
 	ids, err := db.collectWriteMatches(&p.writePlan, args, w)
 	if err != nil {
 		return Result{}, err
 	}
+	return db.applyUpdate(p, args, undo, w, ids)
+}
+
+// applyUpdate installs the new versions for the already-collected
+// candidate IDs. Split from candidate collection so the latched path can
+// run its latch-validate loop between the two (every id's partition is
+// then latched, making the raw row-map reads in updateRow safe).
+func (db *DB) applyUpdate(p *updatePlan, args []Value, undo *undoLog, w *writeCtx, ids []int64) (Result, error) {
+	t := p.t
 	env := p.newEnv(args)
 	vis := w.vis()
 	var res Result
@@ -616,11 +667,16 @@ func (db *DB) executeUpdate(p *updatePlan, args []Value, undo *undoLog, w *write
 }
 
 func (db *DB) executeDelete(p *deletePlan, args []Value, undo *undoLog, w *writeCtx) (Result, error) {
-	t := p.t
 	ids, err := db.collectWriteMatches(&p.writePlan, args, w)
 	if err != nil {
 		return Result{}, err
 	}
+	return db.applyDelete(p, undo, w, ids)
+}
+
+// applyDelete is applyUpdate's counterpart for DELETE (see there).
+func (db *DB) applyDelete(p *deletePlan, undo *undoLog, w *writeCtx, ids []int64) (Result, error) {
+	t := p.t
 	vis := w.vis()
 	var res Result
 	for _, id := range ids {
@@ -769,8 +825,10 @@ type Tx struct {
 
 // Begin opens a transaction. In lock mode it blocks until any other
 // writer finishes; under MVCC it only captures a snapshot (read-only
-// transactions never serialize).
+// transactions never serialize). Begin registers with the mode-switch
+// gate, so it blocks while a SetMVCC drain is in progress.
 func (db *DB) Begin() *Tx {
+	db.txEnter()
 	if db.mvcc.Load() {
 		return &Tx{
 			db:   db,
@@ -796,12 +854,39 @@ func (tx *Tx) Exec(sql string, args ...any) (Result, error) {
 		return Result{}, err
 	}
 	db := tx.db
-	if tx.mvcc && !tx.writerHeld {
-		// First write statement: start serializing against other writers.
-		// The snapshot stays at Begin — commits that landed in between are
-		// exactly what conflictCheck detects.
-		db.writer.Lock()
-		tx.writerHeld = true
+	if tx.mvcc {
+		if db.snapRevoked(tx.snap) {
+			return Result{}, ErrSnapshotTooOld
+		}
+		// Preparation is lock-free under MVCC, so the statement kind is
+		// known before any lock is chosen. Eligible UPDATEs and DELETEs
+		// take the concurrent latched path: db.mu shared plus the write
+		// latches of the partitions they touch, so transactions on
+		// disjoint partitions no longer serialize on the global writer
+		// lock. Ineligible ones (see latchEligible) fall through.
+		s := db.stmts.get(db, sql)
+		p, err := s.ensure(db)
+		if err != nil {
+			return Result{}, err
+		}
+		if err := p.validateExec(vals, errTxnControlTx); err != nil {
+			return Result{}, err
+		}
+		if latchEligible(p) != nil {
+			res, handled, err := tx.execLatchedStmt(sql, s, vals)
+			if handled {
+				return res, err
+			}
+		}
+		if !tx.writerHeld {
+			// First INSERT or DDL: start serializing against the other
+			// global writers — row-ID/AUTOINCREMENT allocation must happen
+			// in WAL order (see mvcc.go). The snapshot stays at Begin —
+			// commits that landed in between are exactly what conflictCheck
+			// detects.
+			db.writer.Lock()
+			tx.writerHeld = true
+		}
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -843,6 +928,9 @@ func (tx *Tx) Query(sql string, args ...any) (*ResultSet, error) {
 		return nil, fmt.Errorf("sqldb: transaction already finished")
 	}
 	if tx.mvcc {
+		if tx.db.snapRevoked(tx.snap) {
+			return nil, ErrSnapshotTooOld
+		}
 		vals, err := normalizeArgs(args)
 		if err != nil {
 			return nil, err
@@ -867,6 +955,9 @@ func (tx *Tx) Commit() error {
 		return fmt.Errorf("sqldb: transaction already finished")
 	}
 	db := tx.db
+	if tx.mvcc && !tx.writerHeld {
+		return tx.commitConcurrent()
+	}
 	var lsn uint64
 	if d := db.durable; d != nil && len(tx.logged) > 0 {
 		var err error
@@ -884,7 +975,6 @@ func (tx *Tx) Commit() error {
 	if tx.mvcc && len(tx.installed) > 0 {
 		db.mu.Lock()
 		db.publishCommit(tx.installed)
-		db.maybeVacuumLocked()
 		db.mu.Unlock()
 	}
 	tx.finish()
@@ -894,7 +984,52 @@ func (tx *Tx) Commit() error {
 	return nil
 }
 
-// finish releases the transaction's locks and snapshot registration.
+// commitConcurrent commits an MVCC transaction that never took the
+// global writer lock (UPDATE/DELETE-only, the common OLTP shape): it
+// holds db.mu only SHARED and serializes with other such committers on
+// commitMu around the WAL append + epoch publication, so disjoint
+// committers queue on one short mutex instead of the whole database. A
+// snapshot revoked by the retention budget aborts here — its conflict
+// checks were still sound, but the retention contract is that over-budget
+// transactions do not commit.
+func (tx *Tx) commitConcurrent() error {
+	db := tx.db
+	if db.snapRevoked(tx.snap) {
+		db.mu.Lock()
+		tx.undo.rollback(db)
+		db.abortProvisional(tx.installed)
+		db.mu.Unlock()
+		tx.finish()
+		return ErrSnapshotTooOld
+	}
+	var lsn uint64
+	db.mu.RLock()
+	db.commitMu.Lock()
+	if d := db.durable; d != nil && len(tx.logged) > 0 {
+		var err error
+		if lsn, err = d.logCommit(tx.logged); err != nil {
+			db.commitMu.Unlock()
+			db.mu.RUnlock()
+			db.mu.Lock()
+			tx.undo.rollback(db)
+			db.abortProvisional(tx.installed)
+			db.mu.Unlock()
+			tx.finish()
+			return err
+		}
+	}
+	db.publishCommit(tx.installed)
+	db.commitMu.Unlock()
+	db.mu.RUnlock()
+	tx.finish()
+	if d := db.durable; d != nil && lsn != 0 {
+		return d.wait(lsn)
+	}
+	return nil
+}
+
+// finish releases the transaction's locks, snapshot registration, and
+// mode-switch gate entry.
 func (tx *Tx) finish() {
 	tx.done = true
 	tx.undo = nil
@@ -906,9 +1041,10 @@ func (tx *Tx) finish() {
 			tx.writerHeld = false
 		}
 		tx.db.snaps.release(tx.snap)
-		return
+	} else {
+		tx.db.writer.Unlock()
 	}
-	tx.db.writer.Unlock()
+	tx.db.txExit()
 }
 
 // Rollback reverts every change made in the transaction. Nothing reaches

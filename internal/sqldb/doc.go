@@ -25,15 +25,20 @@
 // compiler cannot check but gmlint (cmd/gmlint) does; code in this package
 // must preserve them:
 //
-//  1. Lock order. Locks are always acquired writer < mu < tablePart.mu,
-//     and the WAL's internally are syncMu < mu. Release before
-//     re-acquiring against the order (see wal.AdvanceTo for the dance).
+//  1. Lock order. Locks are always acquired writer < mu < tablePart.w <
+//     Table.histMu < tablePart.mu < commitMu, and the WAL's internally
+//     are syncMu < mu. tablePart.w latches are multi-instance: a latched
+//     statement acquires several, always in ascending partition order
+//     and only via Table.acquireLatches. Release before re-acquiring
+//     against the order (see wal.AdvanceTo for the dance).
 //
 //  2. No blocking under exclusive db locks. fsync-class calls
 //     (wal.Durable, File.Sync, durability.wait) and channel operations
-//     never run while writer, an exclusive mu, or a partition lock is
-//     held. Commits append to the log inside the exclusive section (log
-//     order = commit order) but wait for durability after unlocking —
+//     never run while writer, an exclusive mu, a write latch, commitMu,
+//     or a partition lock is held. Commits append to the log inside the
+//     exclusive section (log order = commit order) — for latched
+//     committers that section is commitMu under shared mu — but wait
+//     for durability after unlocking —
 //     that window is what lets concurrent committers share one fsync
 //     (group commit). Parallel-scan workers take only partition read
 //     locks, never mu, so a streaming consumer holding mu shared cannot
@@ -81,4 +86,19 @@
 //     the commit's WAL append — or are unlinked by rollback. gmlint's
 //     mvccepoch checks the publication sites and the append-before-
 //     publish order.
+//
+//  9. Latched writes own their partitions, not the database. An MVCC
+//     UPDATE/DELETE on the latched path holds db.mu only SHARED plus
+//     the tablePart.w latches of every partition it touches (acquired
+//     via the collectLatched prescan/validate loop), so it may mutate
+//     row maps (under tablePart.mu) and version chains only in latched
+//     partitions, and must keep the WAL append and publishCommit atomic
+//     under commitMu — WAL order must equal publication order or serial
+//     replay diverges from the concurrent execution. Whole-database
+//     operations (DDL, INSERT row-ID allocation, vacuum, checkpoint,
+//     Dump, Save, SetMVCC) take mu exclusively, which excludes every
+//     latched writer wholesale. Latch sets are released on every path
+//     or returned to the caller (checked by gmlint's partlock); a mode
+//     check made before taking shared mu must be re-validated under it,
+//     because SetMVCC flips the mode under exclusive mu.
 package sqldb

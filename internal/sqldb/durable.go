@@ -279,8 +279,9 @@ func decodeRecord(p []byte) ([]logStmt, error) {
 }
 
 // logCommit appends one commit record for stmts and returns its LSN.
-// Caller holds db.mu and db.writer; the append (and therefore log order)
-// happens inside the exclusive section, the fsync wait does not.
+// The caller holds its commit-serialization section — writer + exclusive
+// db.mu on the global path, db.commitMu (under shared mu) on the latched
+// path — so the append happens in commit order; the fsync wait does not.
 func (d *durability) logCommit(stmts []logStmt) (uint64, error) {
 	return d.w.Append(encodeRecord(stmts))
 }
@@ -501,13 +502,15 @@ func (db *DB) Checkpoint() error {
 	d.ckptMu.Lock()
 	defer d.ckptMu.Unlock()
 
-	// writer.Lock waits out open transactions, so the snapshot contains
-	// exactly the state described by log records <= lsn.
+	// writer.Lock waits out open global-path transactions; the EXCLUSIVE
+	// mu additionally waits out latched writers and concurrent committers
+	// (they hold mu shared), so the snapshot contains exactly the state
+	// described by log records <= lsn.
 	db.writer.Lock()
-	db.mu.RLock()
+	db.mu.Lock()
 	snap := db.buildSnapshot()
 	lsn := d.w.LastLSN()
-	db.mu.RUnlock()
+	db.mu.Unlock()
 	db.writer.Unlock()
 
 	return d.writeCheckpoint(snap, lsn)
@@ -586,10 +589,12 @@ func (db *DB) restoreCheckpoint(snap *snapshot, lsn uint64) error {
 	return d.writeCheckpoint(snap, lsn)
 }
 
-// Close stops the checkpointer and releases the WAL. It does not
-// checkpoint: recovery replays the log tail on the next open. Close on an
-// in-memory database is a no-op.
+// Close stops the background vacuum goroutine and the checkpointer and
+// releases the WAL. It does not checkpoint: recovery replays the log tail
+// on the next open. Close on an in-memory database only stops the vacuum
+// goroutine (a no-op when MVCC was never enabled).
 func (db *DB) Close() error {
+	db.stopVacuumer()
 	d := db.durable
 	if d == nil {
 		return nil
@@ -611,8 +616,11 @@ func (db *DB) Close() error {
 // identically for all future statements, which is exactly the equivalence
 // the crash-recovery oracle tests assert.
 func (db *DB) Dump(w io.Writer) error {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	// Exclusive mu: a shared lock would admit latched writers and
+	// concurrent committers mid-dump (writer alone no longer excludes
+	// them), and the dump reads nextRow/nextSeq and whole chains.
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	tables := db.tableMap()
 	names := make([]string, 0, len(tables))
 	for n := range tables {

@@ -14,34 +14,56 @@ package sqldb
 //     registers it with the snapshot tracker; every access path resolves
 //     row visibility against that epoch, synchronizing only on partition
 //     locks held long enough to copy version pointers out of the row map.
-//     Writers still serialize on db.writer, install *provisional* versions
-//     stamped with their transaction ID, and publish the commit epoch only
-//     AFTER the WAL append (publishCommit), so a crash can never leave an
+//     UPDATE and DELETE writers run concurrently: each holds db.mu SHARED
+//     plus the write latches (tablePart.w) of exactly the partitions it
+//     touches, acquired in ascending partition order (latch.go), so
+//     non-overlapping writers install provisional versions and run their
+//     first-committer-wins checks fully in parallel and serialize only at
+//     the WAL append + commit-epoch publication (db.commitMu). INSERT and
+//     DDL keep the global writer + exclusive-mu path: the logical WAL
+//     replays statements in commit order, so row-ID/AUTOINCREMENT
+//     allocation must happen in that same order to keep a live database
+//     byte-identical to a recovered one. Provisional versions are stamped
+//     with the writing transaction's ID and published only AFTER the WAL
+//     append (publishCommit), so a crash can never leave an
 //     acknowledged-but-unlogged commit and a reader can never observe a
 //     mid-statement state. Rollback unlinks the provisional versions.
 //     First-committer-wins conflict detection raises ErrWriteConflict when
 //     a transaction writes a row whose newest committed version postdates
-//     the transaction's snapshot.
+//     the transaction's snapshot — including, now that writers overlap, a
+//     row carrying another in-flight transaction's provisional version.
 //
-// Version reclamation: vacuum (vacuumLocked, triggered every
-// vacuumEvery MVCC commits and by the public Vacuum) trims every chain to
-// the newest version visible at the oldest active snapshot, removes the
-// index entries that kept superseded keys reachable, and physically drops
-// fully-dead tombstoned rows. Vacuum runs under db.writer + exclusive
-// db.mu, so it can never race a checkpoint (which also takes the writer)
-// or observe a provisional version.
+// Version reclamation: a background vacuum goroutine (vacuumLoop, started
+// by SetMVCC(true), stopped by SetMVCC(false) and DB.Close) wakes on a
+// ticker and trims every chain to the newest version visible at the
+// oldest active snapshot; the public Vacuum does the same on demand.
+// Vacuum runs under db.writer + exclusive db.mu, which excludes latched
+// writers (they hold db.mu shared), checkpoints, and commit publication.
+// A retention budget (SetSnapshotRetention) bounds how long a snapshot
+// may pin the horizon: older registrations are revoked, their owners'
+// next operation fails with ErrSnapshotTooOld, and the horizon advances.
 
 import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // ErrWriteConflict is returned (wrapped) by write statements inside an
 // MVCC transaction when a row they target was committed by another
-// transaction after this transaction's snapshot was taken. The
-// transaction should be rolled back and retried.
+// transaction after this transaction's snapshot was taken, or currently
+// carries another in-flight transaction's provisional version. The
+// transaction should be rolled back and retried. Auto-commit UPDATE and
+// DELETE statements retry transient conflicts internally but surface the
+// error when the row stays claimed by an open transaction.
 var ErrWriteConflict = errors.New("sqldb: write conflict (row committed after transaction snapshot); retry the transaction")
+
+// ErrSnapshotTooOld is returned by transactions and cursors whose
+// snapshot was revoked by the retention budget (SetSnapshotRetention):
+// the versions the snapshot pinned may since have been vacuumed. The
+// transaction must be rolled back and retried on a fresh snapshot.
+var ErrSnapshotTooOld = errors.New("sqldb: snapshot too old (exceeded the snapshot retention budget); retry on a fresh snapshot")
 
 // provisionalBit marks a version's beg stamp as "uncommitted": the low
 // bits then carry the writing transaction's ID instead of a commit epoch.
@@ -137,8 +159,14 @@ func chainHasKey(v *rowVersion, col int, key Value) bool {
 // committed (beg 0) and no conflict detection runs.
 type writeCtx struct {
 	mvcc bool
-	tx   uint64 // provisional stamp for installed versions
-	snap uint64 // first-committer-wins conflict horizon
+	// latched marks the concurrent write path: the statement holds db.mu
+	// SHARED plus the write latches of the partitions it touches, rather
+	// than the database exclusively. Reads must then take partition read
+	// locks (vis().lockPart) and candidate collection must stay serial —
+	// the parallel collector reads partitions raw.
+	latched bool
+	tx      uint64 // provisional stamp for installed versions
+	snap    uint64 // first-committer-wins conflict horizon
 	// installed accumulates the provisional versions this statement (or
 	// transaction) created, in install order; publishCommit stamps them
 	// with the commit epoch, rollback unlinks them via the undo log.
@@ -146,11 +174,13 @@ type writeCtx struct {
 }
 
 // vis is the visibility write statements read under: the newest committed
-// state plus the transaction's own provisional writes. Writers hold
-// db.writer (and exclusive db.mu), so no other provisional versions can
-// exist and partition locking is unnecessary.
+// state plus the transaction's own provisional writes. On the global path
+// the writer holds the database exclusively, so no partition locking is
+// needed; on the latched path only the touched partitions are held, so
+// reads that may probe other partitions (unique checks, candidate
+// collection) take partition read locks.
 func (w *writeCtx) vis() visibility {
-	return visibility{snap: snapLatest, tx: w.tx}
+	return visibility{snap: snapLatest, tx: w.tx, lockPart: w.latched}
 }
 
 // stamp returns the beg value for a freshly installed version.
@@ -164,12 +194,24 @@ func (w *writeCtx) stamp() uint64 {
 // ---------------------------------------------------------------------------
 // Snapshot tracking
 
+// snapEntry is the bookkeeping for one active snapshot epoch: how many
+// registrations share it and when the earliest of them was acquired (the
+// timestamp the retention budget is enforced against).
+type snapEntry struct {
+	n  int
+	at time.Time
+}
+
 // snapTracker is the multiset of active snapshot epochs: statements,
 // cursors and transactions register on start and release on finish, and
-// vacuum reclaims only below the oldest registered epoch.
+// vacuum reclaims only below the oldest registered epoch. The retention
+// budget revokes registrations that outstay their welcome: a revoked
+// epoch stops pinning the vacuum horizon, and its owners observe
+// ErrSnapshotTooOld on their next operation.
 type snapTracker struct {
-	mu     sync.Mutex
-	active map[uint64]int
+	mu      sync.Mutex
+	active  map[uint64]*snapEntry
+	revoked map[uint64]int // registrations revoked but not yet released
 }
 
 // acquire registers a snapshot at the database's current epoch and
@@ -181,25 +223,42 @@ func (s *snapTracker) acquire(db *DB) uint64 {
 	defer s.mu.Unlock()
 	e := db.epoch.Load()
 	if s.active == nil {
-		s.active = make(map[uint64]int)
+		s.active = make(map[uint64]*snapEntry)
 	}
-	s.active[e]++
+	ent := s.active[e]
+	if ent == nil {
+		ent = &snapEntry{at: time.Now()}
+		s.active[e] = ent
+	}
+	ent.n++
 	return e
 }
 
-// release drops one registration of epoch e.
+// release drops one registration of epoch e, consuming a revocation
+// instead when the registration was already aborted by the retention
+// budget (so a revoked-then-released snapshot does not leak bookkeeping).
 func (s *snapTracker) release(e uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if n := s.active[e]; n <= 1 {
-		delete(s.active, e)
-	} else {
-		s.active[e] = n - 1
+	if ent := s.active[e]; ent != nil {
+		if ent.n <= 1 {
+			delete(s.active, e)
+		} else {
+			ent.n--
+		}
+		return
+	}
+	if n := s.revoked[e]; n > 0 {
+		if n == 1 {
+			delete(s.revoked, e)
+		} else {
+			s.revoked[e] = n - 1
+		}
 	}
 }
 
 // oldest returns the oldest active snapshot epoch, or def when none is
-// registered.
+// registered. Revoked registrations no longer pin the horizon.
 func (s *snapTracker) oldest(def uint64) uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -217,29 +276,129 @@ func (s *snapTracker) count() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	n := 0
-	for _, c := range s.active {
-		n += c
+	for _, ent := range s.active {
+		n += ent.n
 	}
 	return n
+}
+
+// revokeOlder aborts every registration acquired before cutoff at an
+// epoch older than cur, returning how many were revoked. Snapshots AT the
+// current epoch pin nothing reclaimable (no commit has superseded them),
+// so they are left alone no matter their age.
+func (s *snapTracker) revokeOlder(cutoff time.Time, cur uint64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for e, ent := range s.active {
+		if e >= cur || !ent.at.Before(cutoff) {
+			continue
+		}
+		if s.revoked == nil {
+			s.revoked = make(map[uint64]int)
+		}
+		s.revoked[e] += ent.n
+		n += ent.n
+		delete(s.active, e)
+	}
+	return n
+}
+
+// isRevoked reports whether epoch e has outstanding revoked
+// registrations (the owner should fail with ErrSnapshotTooOld).
+func (s *snapTracker) isRevoked(e uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.revoked[e] > 0
+}
+
+// snapRevoked reports whether the snapshot was aborted by the retention
+// budget. The retention atomic gates the tracker lock so the check is a
+// single atomic load on databases that never set a budget (every cursor
+// step runs it).
+func (db *DB) snapRevoked(snap uint64) bool {
+	return db.retention.Load() != 0 && db.snaps.isRevoked(snap)
+}
+
+// SetSnapshotRetention bounds how long a snapshot (a transaction's or a
+// cursor's) may pin the vacuum horizon. Registrations older than the
+// budget are revoked by the background vacuum's next pass: their owners'
+// next operation fails with ErrSnapshotTooOld, and version chains above
+// the revoked horizon become reclaimable. A zero (or negative) budget —
+// the default — never revokes.
+func (db *DB) SetSnapshotRetention(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	db.retention.Store(int64(d))
 }
 
 // ---------------------------------------------------------------------------
 // Mode, epoch publication, stats
 
 // SetMVCC switches between lock-mode and MVCC execution at runtime. The
-// switch waits out in-flight writers and transactions (db.writer) and
-// bumps the schema generation so open cursors — built under the other
-// locking discipline — invalidate instead of mixing disciplines.
+// switch drains in-flight transactions first — new Begins block until the
+// switch completes, active transactions run to Commit/Rollback — so a
+// mode flip can never strand another discipline's provisional versions,
+// then bumps the schema generation so open cursors — built under the
+// other locking discipline — invalidate instead of mixing disciplines.
+// Enabling MVCC starts the background vacuum goroutine; disabling stops
+// it. Calling SetMVCC from a goroutine that itself holds an open
+// transaction deadlocks, exactly like any other whole-database operation.
 func (db *DB) SetMVCC(on bool) {
-	db.writer.Lock()
-	defer db.writer.Unlock()
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.switchMu.Lock()
+	for db.switching {
+		db.switchCond.Wait()
+	}
 	if db.mvcc.Load() == on {
+		db.switchMu.Unlock()
 		return
 	}
+	db.switching = true
+	for db.activeTx > 0 {
+		db.switchCond.Wait()
+	}
+	db.switchMu.Unlock()
+
+	db.writer.Lock()
+	db.mu.Lock()
 	db.mvcc.Store(on)
 	db.bumpSchemaGen()
+	db.mu.Unlock()
+	db.writer.Unlock()
+
+	if on {
+		db.startVacuumer()
+	} else {
+		db.stopVacuumer()
+	}
+
+	db.switchMu.Lock()
+	db.switching = false
+	db.switchCond.Broadcast()
+	db.switchMu.Unlock()
+}
+
+// txEnter registers a starting transaction with the mode-switch gate:
+// Begins block while a SetMVCC drain is in progress, so the mode a
+// transaction observes at Begin is the mode it finishes under.
+func (db *DB) txEnter() {
+	db.switchMu.Lock()
+	for db.switching {
+		db.switchCond.Wait()
+	}
+	db.activeTx++
+	db.switchMu.Unlock()
+}
+
+// txExit balances txEnter when the transaction finishes.
+func (db *DB) txExit() {
+	db.switchMu.Lock()
+	db.activeTx--
+	if db.activeTx == 0 {
+		db.switchCond.Broadcast()
+	}
+	db.switchMu.Unlock()
 }
 
 // MVCCEnabled reports whether snapshot-isolation execution is on.
@@ -251,9 +410,14 @@ func (db *DB) MVCCEnabled() bool { return db.mvcc.Load() }
 // that captures the new epoch is guaranteed to observe every stamp
 // (release/acquire on db.epoch).
 //
-// Caller holds db.writer and exclusive db.mu, and MUST have appended the
-// commit's WAL record first: nothing may become visible to lock-free
-// readers before it is in the log (mvccepoch lint invariant).
+// The caller MUST have appended the commit's WAL record first — nothing
+// may become visible to lock-free readers before it is in the log — and
+// must hold either the database exclusively (writer + exclusive db.mu:
+// the INSERT/DDL path and recovery) or db.mu shared + db.commitMu (the
+// latched UPDATE/DELETE path). Both serialize epoch advances: exclusive
+// mu excludes every latched committer, and latched committers exclude
+// each other on commitMu. gmlint's mvccepoch checks the publication
+// sites and the append/serialization-before-publish order.
 func (db *DB) publishCommit(installed []*rowVersion) {
 	if len(installed) == 0 {
 		return
@@ -277,28 +441,121 @@ func (db *DB) abortProvisional(installed []*rowVersion) {
 	}
 }
 
-// vacuumEvery is how many MVCC commits elapse between automatic vacuum
-// passes. Vacuum cost is proportional to the number of rows with version
-// history (each table's hist set), not table size, so a modest period
-// keeps chains short without taxing insert-only workloads.
-const vacuumEvery = 64
+// ---------------------------------------------------------------------------
+// Vacuum
 
-// maybeVacuumLocked runs a vacuum pass once vacuumEvery MVCC commits
-// have accumulated since the last pass. Caller holds db.writer and
-// exclusive db.mu.
-func (db *DB) maybeVacuumLocked() {
-	c := db.mvccCommits.Load()
-	if c-db.lastVacuum.Load() >= vacuumEvery {
-		db.lastVacuum.Store(c)
-		db.vacuumLocked()
+// DefaultVacuumInterval is the background vacuum goroutine's tick period.
+// Vacuum cost is proportional to the number of rows with version history
+// (each table's hist set), not table size, and a tick with no commits
+// since the last pass skips without taking any lock, so a short period
+// keeps chains short without taxing idle or insert-only databases.
+const DefaultVacuumInterval = 50 * time.Millisecond
+
+// vacuumer is the background vacuum goroutine's lifecycle handle,
+// mirroring the checkpointer's stop/done pattern.
+type vacuumer struct {
+	stop chan struct{}
+	done chan struct{}
+}
+
+// SetVacuumInterval tunes the background vacuum tick period (restarting
+// the goroutine when it is running). Non-positive restores the default.
+func (db *DB) SetVacuumInterval(d time.Duration) {
+	db.vacMu.Lock()
+	db.vacInterval = d
+	running := db.vac != nil
+	db.vacMu.Unlock()
+	if running {
+		db.stopVacuumer()
+		db.startVacuumer()
 	}
 }
 
+// startVacuumer launches the background vacuum goroutine (idempotent).
+func (db *DB) startVacuumer() {
+	db.vacMu.Lock()
+	defer db.vacMu.Unlock()
+	if db.vac != nil {
+		return
+	}
+	iv := db.vacInterval
+	if iv <= 0 {
+		iv = DefaultVacuumInterval
+	}
+	v := &vacuumer{stop: make(chan struct{}), done: make(chan struct{})}
+	db.vac = v
+	go db.vacuumLoop(v, iv)
+}
+
+// stopVacuumer stops the background vacuum goroutine and waits for it to
+// exit (idempotent; called by SetMVCC(false) and DB.Close). Never called
+// with database locks held — the in-flight tick may be waiting for them.
+func (db *DB) stopVacuumer() {
+	db.vacMu.Lock()
+	v := db.vac
+	db.vac = nil
+	db.vacMu.Unlock()
+	if v != nil {
+		close(v.stop)
+		<-v.done
+	}
+}
+
+// vacuumLoop is the background vacuum goroutine: every tick it enforces
+// the snapshot retention budget and reclaims versions below the oldest
+// live snapshot.
+func (db *DB) vacuumLoop(v *vacuumer, interval time.Duration) {
+	defer close(v.done)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-v.stop:
+			return
+		case <-t.C:
+			db.vacuumTick()
+		}
+	}
+}
+
+// vacuumTick runs one background pass: revoke over-budget snapshots,
+// then vacuum — but only when commits have landed since the last pass,
+// so an idle database pays one atomic load per tick and no locks.
+func (db *DB) vacuumTick() {
+	revoked := 0
+	if ret := time.Duration(db.retention.Load()); ret > 0 {
+		revoked = db.snaps.revokeOlder(time.Now().Add(-ret), db.epoch.Load())
+		if revoked > 0 {
+			db.snapsAborted.Add(uint64(revoked))
+		}
+	}
+	c := db.mvccCommits.Load()
+	if c == db.lastVacuum.Load() && revoked == 0 {
+		return
+	}
+	db.writer.Lock()
+	defer db.writer.Unlock()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if !db.mvcc.Load() {
+		return
+	}
+	db.lastVacuum.Store(c)
+	db.vacuumLocked()
+	db.bgVacuums.Add(1)
+}
+
 // Vacuum reclaims row versions no active snapshot can see and removes the
-// index entries and tombstoned rows they kept alive. It runs
-// automatically every vacuumEvery MVCC commits; explicit calls are useful
-// after bulk updates. Returns the number of versions reclaimed.
+// index entries and tombstoned rows they kept alive. The background
+// vacuum goroutine does this automatically while MVCC is on; explicit
+// calls are useful after bulk updates and in tests. On a lock-mode
+// database Vacuum is a documented no-op that runs (and counts) nothing:
+// lock-mode writes never grow version chains, so there is nothing to
+// reclaim. Returns the number of versions reclaimed.
 func (db *DB) Vacuum() int {
+	if !db.mvcc.Load() {
+		return 0
+	}
 	db.writer.Lock()
 	defer db.writer.Unlock()
 	db.mu.Lock()
@@ -307,8 +564,10 @@ func (db *DB) Vacuum() int {
 }
 
 // vacuumLocked trims version chains below the oldest active snapshot.
-// Caller holds db.writer and exclusive db.mu (so no provisional versions
-// exist and no checkpoint is concurrently building a snapshot).
+// Caller holds db.writer and exclusive db.mu, which excludes latched
+// writers, commit publication and checkpoints. In-flight transactions may
+// own provisional versions (they hold no locks between statements);
+// vacuum preserves them — a provisional stamp is above every horizon.
 func (db *DB) vacuumLocked() int {
 	horizon := db.snaps.oldest(db.epoch.Load())
 	reclaimed := 0
@@ -331,19 +590,32 @@ type MVCCStats struct {
 	Conflicts        uint64 `json:"conflicts"`
 	VacuumRuns       uint64 `json:"vacuum_runs"`
 	VersionsVacuumed uint64 `json:"versions_vacuumed"`
+	// LatchWaits counts contended partition write-latch acquisitions: a
+	// writer that found a latch held and had to wait. The concurrency
+	// dividend shows up as this staying near zero for disjoint writers.
+	LatchWaits uint64 `json:"latch_waits"`
+	// BackgroundVacuums counts passes run by the background goroutine
+	// (VacuumRuns additionally includes explicit Vacuum calls).
+	BackgroundVacuums uint64 `json:"background_vacuums"`
+	// SnapshotsAborted counts registrations revoked by the retention
+	// budget (their owners observe ErrSnapshotTooOld).
+	SnapshotsAborted uint64 `json:"snapshots_aborted"`
 }
 
 // MVCCStats returns the MVCC counters.
 func (db *DB) MVCCStats() MVCCStats {
 	return MVCCStats{
-		Enabled:          db.mvcc.Load(),
-		Epoch:            db.epoch.Load(),
-		ActiveSnapshots:  db.snaps.count(),
-		Commits:          db.mvccCommits.Load(),
-		Aborts:           db.mvccAborts.Load(),
-		Conflicts:        db.mvccConflicts.Load(),
-		VacuumRuns:       db.vacuumRuns.Load(),
-		VersionsVacuumed: db.versionsVacuumed.Load(),
+		Enabled:           db.mvcc.Load(),
+		Epoch:             db.epoch.Load(),
+		ActiveSnapshots:   db.snaps.count(),
+		Commits:           db.mvccCommits.Load(),
+		Aborts:            db.mvccAborts.Load(),
+		Conflicts:         db.mvccConflicts.Load(),
+		VacuumRuns:        db.vacuumRuns.Load(),
+		VersionsVacuumed:  db.versionsVacuumed.Load(),
+		LatchWaits:        db.latchWaits.Load(),
+		BackgroundVacuums: db.bgVacuums.Load(),
+		SnapshotsAborted:  db.snapsAborted.Load(),
 	}
 }
 
@@ -383,8 +655,9 @@ func (s *idSlice) load() []int64 {
 }
 
 // append adds id at the end (caller — the single writer — guarantees id
-// exceeds every present element). Steady state is allocation-free; the
-// backing array doubles when full.
+// exceeds every present element; ID-slice mutation happens only under the
+// exclusive database lock, see table.go). Steady state is
+// allocation-free; the backing array doubles when full.
 func (s *idSlice) append(id int64) {
 	a := s.p.Load()
 	if a == nil || int(a.n.Load()) == len(a.buf) {

@@ -65,7 +65,8 @@ func BenchmarkMVCCGroupBy(b *testing.B) {
 }
 
 // Writer path: provisional install, first-committer-wins check, epoch
-// publication, and the periodic vacuum amortized in.
+// publication, with the background vacuum goroutine running as it would
+// in production.
 func BenchmarkMVCCUpdateRow(b *testing.B) {
 	db := mvccBenchDB(b, 10000)
 	b.ReportAllocs()

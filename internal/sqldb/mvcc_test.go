@@ -21,6 +21,9 @@ func mvccDB(t *testing.T) *DB {
 	for i := 0; i < 100; i++ {
 		mustExec(t, db, "INSERT INTO t VALUES (?, ?, ?)", i, i%10, fmt.Sprintf("val%d", i))
 	}
+	// Pin the background vacuum far away: these tests assert the results
+	// of explicit Vacuum calls, which a background pass would race.
+	db.SetVacuumInterval(time.Hour)
 	db.SetMVCC(true)
 	return db
 }

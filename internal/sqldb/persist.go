@@ -46,9 +46,11 @@ func init() {
 // Save writes a consistent snapshot of the whole database to path. The file
 // is written atomically via a temporary file and rename.
 func (db *DB) Save(path string) error {
-	db.mu.RLock()
+	// Exclusive mu: latched writers and concurrent committers hold mu
+	// shared, and the snapshot must not see a half-applied statement.
+	db.mu.Lock()
 	snap := db.buildSnapshot()
-	db.mu.RUnlock()
+	db.mu.Unlock()
 
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)

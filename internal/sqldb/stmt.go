@@ -145,24 +145,35 @@ func (s *Stmt) Query(args ...any) (*ResultSet, error) {
 		return nil, err
 	}
 	db := s.db
-	if db.mvcc.Load() {
-		snap := db.snaps.acquire(db)
-		defer db.snaps.release(snap)
-		return s.queryVis(vals, visibility{snap: snap, lockPart: true})
+	if !db.mvcc.Load() {
+		db.mu.RLock()
+		if !db.mvcc.Load() {
+			// The shared lock pins the mode (SetMVCC stores it under
+			// exclusive db.mu), so the raw lock-mode reads are safe.
+			defer db.mu.RUnlock()
+			p, err := s.ensure(db)
+			if err != nil {
+				return nil, err
+			}
+			if p.sel == nil {
+				return nil, fmt.Errorf("sqldb: Query requires a SELECT statement")
+			}
+			if err := p.checkArgs(vals); err != nil {
+				return nil, err
+			}
+			return db.executeSelect(p.sel, vals)
+		}
+		// SetMVCC(true) completed between the check and the shared lock:
+		// latched writers (which hold db.mu shared, not exclusive) may
+		// already be installing versions, so fall through to the MVCC
+		// read path. The reverse race — a stale MVCC read while the mode
+		// flips off — is harmless: lockPart reads synchronize on the
+		// partition locks that every writer path takes around map writes.
+		db.mu.RUnlock()
 	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	p, err := s.ensure(db)
-	if err != nil {
-		return nil, err
-	}
-	if p.sel == nil {
-		return nil, fmt.Errorf("sqldb: Query requires a SELECT statement")
-	}
-	if err := p.checkArgs(vals); err != nil {
-		return nil, err
-	}
-	return db.executeSelect(p.sel, vals)
+	snap := db.snaps.acquire(db)
+	defer db.snaps.release(snap)
+	return s.queryVis(vals, visibility{snap: snap, lockPart: true})
 }
 
 // queryVis executes the statement as a SELECT at an explicit visibility,
@@ -208,6 +219,25 @@ func (s *Stmt) Exec(args ...any) (Result, error) {
 		}
 	}
 	db := s.db
+	// MVCC UPDATE/DELETE takes the latched concurrent path: db.mu shared
+	// plus the write latches of the partitions the statement touches, so
+	// disjoint writers commit in parallel (see latch.go). Everything else
+	// — INSERT (row-ID allocation must follow WAL order), DDL, lock mode —
+	// serializes on the global writer lock as before.
+	if db.mvcc.Load() {
+		res, lsn, handled, err := db.execLatched(s, vals)
+		if handled {
+			if err != nil {
+				return Result{}, err
+			}
+			if d := db.durable; d != nil && lsn != 0 {
+				if err := d.wait(lsn); err != nil {
+					return res, err
+				}
+			}
+			return res, nil
+		}
+	}
 	db.writer.Lock()
 	db.mu.Lock()
 	res, lsn, err := db.execPrepared(s, vals)

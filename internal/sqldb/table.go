@@ -25,15 +25,25 @@ func defaultPartitions() int {
 // Each row maps to the head of its version chain (see mvcc.go). The
 // partition lock is the only synchronization point between lock-free MVCC
 // readers (and parallel scan workers) and writers: writers — who
-// additionally hold the database's exclusive lock — take it around every
-// row-map mutation, and readers take the read side just long enough to
-// copy the version-head pointer (or materialize a batch) out of the map;
-// version resolution itself happens on atomics, outside any lock. Serial
-// lock-mode readers run under the database lock and need no partition
-// lock at all.
+// additionally hold either the database's exclusive lock or this
+// partition's write latch — take it around every row-map mutation, and
+// readers take the read side just long enough to copy the version-head
+// pointer (or materialize a batch) out of the map; version resolution
+// itself happens on atomics, outside any lock. Serial lock-mode readers
+// run under the database lock and need no partition lock at all.
 type tablePart struct {
 	mu   sync.RWMutex
 	rows map[int64]*rowVersion
+
+	// w is the partition write latch: a latched MVCC UPDATE/DELETE (see
+	// latch.go) holds the latches of exactly the partitions it touches —
+	// acquired in ascending partition order — instead of the global
+	// writer lock, so writers on disjoint partitions run concurrently.
+	// The latch spans the whole statement (conflict check through install
+	// or undo); p.mu is still taken around each individual map mutation
+	// to synchronize with lock-free readers. Lock order: db.mu (shared)
+	// < w < Table.histMu < p.mu. Acquired ONLY via Table.acquireLatches.
+	w sync.Mutex
 
 	// ids keeps the partition's live row IDs ascending (tombstones allowed,
 	// same scheme as the table-level slice), published lock-free so MVCC
@@ -105,8 +115,11 @@ type Table struct {
 	// (lock-mode chains never exceed one version), and vacuum walks
 	// exactly this set, so reclamation cost follows the number of
 	// versioned rows, not table size — an insert-only workload vacuums in
-	// O(1). Guarded by the database writer lock.
-	hist map[int64]struct{}
+	// O(1). Guarded by histMu: latched writers on different partitions
+	// append to it concurrently (vacuum additionally holds the database
+	// exclusively, which keeps its whole pass coherent).
+	histMu sync.Mutex
+	hist   map[int64]struct{}
 }
 
 // NewTable creates an empty table with the default partition count. A
@@ -387,9 +400,9 @@ func (t *Table) Delete(id int64) bool {
 	}
 	p.mut.Add(1)
 	p.mu.Unlock()
-	if t.hist != nil {
-		delete(t.hist, id)
-	}
+	t.histMu.Lock()
+	delete(t.hist, id)
+	t.histMu.Unlock()
 	t.live.Add(-1)
 	t.dead++
 	t.mut.Add(1)
@@ -406,7 +419,8 @@ func (t *Table) Delete(id int64) bool {
 // snapshot fails with ErrWriteConflict.
 func (t *Table) deleteRow(w *writeCtx, id int64) (*rowVersion, error) {
 	p := t.part(id)
-	head := p.rows[id]
+	head := p.rows[id] // raw read: see updateRow
+
 	if head.resolve(w.vis()) == nil {
 		return nil, nil // no visible row to delete
 	}
@@ -426,9 +440,11 @@ func (t *Table) deleteRow(w *writeCtx, id int64) (*rowVersion, error) {
 }
 
 // conflictCheck applies first-committer-wins: writing a row whose newest
-// version was committed after this transaction's snapshot is a conflict.
-// The writer lock serializes writers, so the only provisional versions in
-// existence are this transaction's own.
+// version was committed after this transaction's snapshot is a conflict,
+// and so is a row currently carrying another in-flight transaction's
+// provisional version (writers on the latched path overlap in time; the
+// partition latch makes the check-then-install atomic per partition, so
+// two writers racing for one row always see each other).
 func (w *writeCtx) conflictCheck(head *rowVersion) error {
 	if !w.mvcc || head == nil {
 		return nil
@@ -446,13 +462,15 @@ func (w *writeCtx) conflictCheck(head *rowVersion) error {
 	return nil
 }
 
-// histAdd records that a row now carries version history (caller holds
-// the database writer lock).
+// histAdd records that a row now carries version history. Called by MVCC
+// writers on both paths; histMu orders concurrent latched writers.
 func (t *Table) histAdd(id int64) {
+	t.histMu.Lock()
 	if t.hist == nil {
 		t.hist = make(map[int64]struct{})
 	}
 	t.hist[id] = struct{}{}
+	t.histMu.Unlock()
 }
 
 // compactIDs rewrites the global ID slice without tombstones.
@@ -526,13 +544,16 @@ func (t *Table) restore(id int64, row []Value) {
 // unlinkVersion reverts a rolled-back MVCC write by restoring the
 // version's predecessor as the chain head. Index entries the write added
 // are removed by the caller (which recorded them), live-count adjustments
-// likewise.
+// likewise. The head comparison happens under p.mu so a latched rollback
+// (which holds the partition latch but not the database exclusively)
+// cannot race the check against a concurrent reader's head copy.
 func (t *Table) unlinkVersion(id int64, ver *rowVersion) {
 	p := t.part(id)
+	p.mu.Lock()
 	if p.rows[id] != ver {
+		p.mu.Unlock()
 		return // already superseded or removed
 	}
-	p.mu.Lock()
 	if prev := ver.next.Load(); prev != nil {
 		p.rows[id] = prev
 	} else {
@@ -566,6 +587,9 @@ func (t *Table) Update(id int64, newRow []Value) error {
 // for rollback.
 func (t *Table) updateRow(w *writeCtx, id int64, newRow []Value) (*rowVersion, []idxKeyAdd, error) {
 	p := t.part(id)
+	// Raw head read: the caller holds either the database exclusively or
+	// this partition's write latch, so no other writer mutates this map;
+	// concurrent lock-free readers only read it.
 	head := p.rows[id]
 	old := head.resolve(w.vis())
 	if old == nil {
@@ -657,6 +681,8 @@ func (t *Table) undoUpdate(id int64, old []Value) {
 // exclusive db.mu (so no provisional versions exist); returns the number
 // of versions reclaimed.
 func (t *Table) vacuum(horizon uint64) int {
+	t.histMu.Lock()
+	defer t.histMu.Unlock()
 	if len(t.hist) == 0 {
 		return 0
 	}
@@ -1048,7 +1074,9 @@ func (t *Table) Truncate() {
 	t.ids.store(nil)
 	t.dead = 0
 	t.live.Store(0)
+	t.histMu.Lock()
 	t.hist = nil
+	t.histMu.Unlock()
 	t.mut.Add(1)
 	for _, idx := range t.indexMap() {
 		idx.reset()

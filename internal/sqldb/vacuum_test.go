@@ -1,0 +1,190 @@
+package sqldb
+
+// Background vacuum, snapshot retention, and snapshot-release regression
+// tests. The leak tests pin the snapshot tracker to zero after every
+// failure shape a statement or cursor can take — a leaked registration
+// silently pins the vacuum horizon forever.
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// waitFor polls cond until it holds or the deadline lapses.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// The background goroutine reclaims version chains on its own: no
+// explicit Vacuum call anywhere.
+func TestBackgroundVacuumReclaims(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+	for i := 0; i < 20; i++ {
+		mustExec(t, db, "INSERT INTO t VALUES (?, ?)", i, "v0")
+	}
+	db.SetVacuumInterval(2 * time.Millisecond)
+	db.SetMVCC(true)
+	for r := 0; r < 5; r++ {
+		for i := 0; i < 20; i++ {
+			mustExec(t, db, "UPDATE t SET v = ? WHERE id = ?", fmt.Sprintf("rev%d", r), i)
+		}
+	}
+	waitFor(t, "background vacuum to reclaim versions", func() bool {
+		st := db.MVCCStats()
+		return st.BackgroundVacuums > 0 && st.VersionsVacuumed > 0
+	})
+	// An idle database stops vacuuming: passes need commits to chase.
+	st := db.MVCCStats()
+	idle := st.BackgroundVacuums
+	time.Sleep(20 * time.Millisecond)
+	if got := db.MVCCStats().BackgroundVacuums; got > idle+1 {
+		t.Fatalf("background vacuum ran %d passes on an idle database", got-idle)
+	}
+	if got := countRows(t, db.Query, "SELECT COUNT(*) FROM t"); got != 20 {
+		t.Fatalf("COUNT(*) = %d after background vacuum, want 20", got)
+	}
+}
+
+// On a lock-mode database Vacuum is a documented no-op: nothing reclaimed
+// and no counter moves.
+func TestVacuumLockModeNoOp(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+	for i := 0; i < 10; i++ {
+		mustExec(t, db, "INSERT INTO t VALUES (?, ?)", i, "v")
+		mustExec(t, db, "UPDATE t SET v = 'w' WHERE id = ?", i)
+	}
+	if got := db.Vacuum(); got != 0 {
+		t.Fatalf("lock-mode Vacuum reclaimed %d versions, want 0", got)
+	}
+	if st := db.MVCCStats(); st.VacuumRuns != 0 {
+		t.Fatalf("lock-mode Vacuum bumped vacuum_runs to %d, want 0", st.VacuumRuns)
+	}
+}
+
+// A snapshot older than the retention budget is revoked by the background
+// pass: the owning cursor and transaction fail with ErrSnapshotTooOld,
+// the abort is counted, and the horizon advances past the revoked epoch.
+func TestSnapshotRetentionRevokes(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+	for i := 0; i < 10; i++ {
+		mustExec(t, db, "INSERT INTO t VALUES (?, ?)", i, "v0")
+	}
+	db.SetVacuumInterval(2 * time.Millisecond)
+	db.SetMVCC(true)
+	db.SetSnapshotRetention(10 * time.Millisecond)
+
+	// Cursor leg: pin a snapshot, let commits supersede it, outwait the
+	// budget.
+	cur, err := db.QueryCursor("SELECT id FROM t ORDER BY id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cur.Next(); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, "UPDATE t SET v = 'v1' WHERE id = 0")
+	waitFor(t, "cursor snapshot revocation", func() bool {
+		return db.MVCCStats().SnapshotsAborted > 0
+	})
+	if _, err := cur.Next(); !errors.Is(err, ErrSnapshotTooOld) {
+		t.Fatalf("cursor.Next after revocation = %v, want ErrSnapshotTooOld", err)
+	}
+	cur.Close()
+
+	// Transaction leg: same shape through Tx.Exec and Tx.Commit.
+	aborted := db.MVCCStats().SnapshotsAborted
+	tx := db.Begin()
+	mustExec(t, db, "UPDATE t SET v = 'v2' WHERE id = 1")
+	waitFor(t, "transaction snapshot revocation", func() bool {
+		return db.MVCCStats().SnapshotsAborted > aborted
+	})
+	if _, err := tx.Exec("UPDATE t SET v = 'late' WHERE id = 2"); !errors.Is(err, ErrSnapshotTooOld) {
+		t.Fatalf("tx.Exec after revocation = %v, want ErrSnapshotTooOld", err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if st := db.MVCCStats(); st.ActiveSnapshots != 0 {
+		t.Fatalf("revoked snapshots still registered: %+v", st)
+	}
+	// With the stale pins gone the background pass reclaims the
+	// superseded versions.
+	waitFor(t, "vacuum past the revoked horizon", func() bool {
+		return db.MVCCStats().VersionsVacuumed > 0
+	})
+}
+
+// Every failure shape a read can take must return the snapshot tracker to
+// zero, and vacuum must then reclaim at full horizon. Covers the acquire
+// sites audited in cursor.go and stmt.go.
+func TestSnapshotReleasedOnErrorPaths(t *testing.T) {
+	db := mvccDB(t)
+
+	// QueryEach aborted mid-stream by the callback.
+	sentinel := errors.New("stop")
+	n := 0
+	err := db.QueryEach("SELECT id FROM t", func(row []Value) error {
+		n++
+		if n == 3 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("QueryEach abort returned %v", err)
+	}
+	if st := db.MVCCStats(); st.ActiveSnapshots != 0 {
+		t.Fatalf("QueryEach abort leaked a snapshot: %+v", st)
+	}
+
+	// Statement that fails after the snapshot would be taken (unknown
+	// column is caught during cursor construction).
+	if _, err := db.QueryCursor("SELECT nope FROM t"); err == nil {
+		t.Fatal("QueryCursor on unknown column succeeded")
+	}
+	if _, err := db.Query("SELECT nope FROM t"); err == nil {
+		t.Fatal("Query on unknown column succeeded")
+	}
+	if st := db.MVCCStats(); st.ActiveSnapshots != 0 {
+		t.Fatalf("failed statements leaked a snapshot: %+v", st)
+	}
+
+	// Cursor invalidated by DDL mid-stream, then abandoned via Close.
+	cur, err := db.QueryCursor("SELECT id FROM t ORDER BY id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cur.Next(); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, "CREATE INDEX idx_tmp ON t (v)")
+	if _, err := cur.Next(); !errors.Is(err, ErrCursorInvalidated) {
+		t.Fatalf("Next after DDL = %v, want ErrCursorInvalidated", err)
+	}
+	if err := cur.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := db.MVCCStats(); st.ActiveSnapshots != 0 {
+		t.Fatalf("invalidated cursor leaked a snapshot: %+v", st)
+	}
+
+	// With the tracker empty, vacuum reclaims at the full horizon.
+	for i := 0; i < 3; i++ {
+		mustExec(t, db, "UPDATE t SET v = ? WHERE id = 5", fmt.Sprintf("r%d", i))
+	}
+	if got := db.Vacuum(); got == 0 {
+		t.Fatal("vacuum reclaimed nothing with no active snapshots")
+	}
+}
