@@ -18,6 +18,15 @@
 //
 // ns/op is machine-dependent — CI passes a wider -tolerance for it while
 // keeping the default (deterministic) allocs gate tight.
+//
+// The -plan mode gates plan *shape* instead of timing: it compiles the
+// representative statements of sqldb.PlanGoldenCases through EXPLAIN
+// (FORMAT JSON) and compares byte-for-byte against the goldens under
+// internal/sqldb/testdata/plans, catching planner regressions (an index
+// range silently becoming a full scan) that timing tolerance hides:
+//
+//	gmbenchdiff -plan
+//	gmbenchdiff -plan -plan-write   # re-baseline after an intentional change
 package main
 
 import (
@@ -27,6 +36,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"regexp"
 	"strconv"
 	"strings"
@@ -224,12 +234,19 @@ func main() {
 		allocTol  = flag.Float64("allocs-tolerance", 0.25, "allowed fractional allocs/op regression")
 		skip      = flag.String("skip", "", "regexp of benchmark names to ignore")
 		writeOut  = flag.String("write-json", "", "also write the parsed current results as JSON (CI artifact)")
+		plan      = flag.Bool("plan", false, "compare EXPLAIN plan shapes against committed goldens instead of timings")
+		planDir   = flag.String("plan-dir", filepath.Join("internal", "sqldb", "testdata", "plans"), "directory of plan-JSON goldens (-plan mode)")
+		planWrite = flag.Bool("plan-write", false, "rewrite the plan goldens from the current planner (-plan mode)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: gmbenchdiff [flags] BASELINE.json [BASELINE.json ...]\n")
+		fmt.Fprintf(os.Stderr, "       gmbenchdiff -plan [-plan-dir DIR] [-plan-write]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *plan {
+		os.Exit(runPlan(*planDir, *planWrite, os.Stdout, os.Stderr))
+	}
 	if flag.NArg() == 0 {
 		flag.Usage()
 		os.Exit(2)

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"genmapper/internal/sqldb"
+)
+
+// runPlan is the plan-shape gate: it rebuilds the deterministic plan
+// fixture, compiles every sqldb.PlanGoldenCases statement through EXPLAIN
+// (FORMAT JSON), and compares the documents byte-for-byte against the
+// committed goldens. Unlike the timing gate it has zero tolerance — plan
+// shape is machine-independent, so any drift is a planner change that
+// must either be reverted or re-baselined with -plan-write.
+func runPlan(dir string, write bool, stdout, stderr io.Writer) int {
+	db, err := sqldb.NewPlanFixtureDB()
+	if err != nil {
+		fmt.Fprintln(stderr, "gmbenchdiff: plan fixture:", err)
+		return 2
+	}
+	failed := 0
+	for _, tc := range sqldb.PlanGoldenCases {
+		got, err := db.Explain(tc.SQL, "json")
+		if err != nil {
+			fmt.Fprintf(stderr, "gmbenchdiff: %s: %v\n", tc.Name, err)
+			failed++
+			continue
+		}
+		got += "\n"
+		path := filepath.Join(dir, tc.Name+".json")
+		if write {
+			if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+				fmt.Fprintln(stderr, "gmbenchdiff:", err)
+				return 2
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "gmbenchdiff: %s: missing golden (re-baseline with -plan -plan-write): %v\n", tc.Name, err)
+			failed++
+			continue
+		}
+		if got != string(want) {
+			fmt.Fprintf(stderr, "gmbenchdiff: PLAN DRIFT %s (%s)\n%s", tc.Name, tc.SQL, firstDiff(string(want), got))
+			failed++
+			continue
+		}
+		fmt.Fprintf(stdout, "%-24s ok\n", tc.Name)
+	}
+	if write {
+		fmt.Fprintf(stdout, "wrote %d plan goldens to %s\n", len(sqldb.PlanGoldenCases), dir)
+		return 0
+	}
+	if failed > 0 {
+		fmt.Fprintf(stderr, "gmbenchdiff: %d of %d plan shapes drifted from %s\n", failed, len(sqldb.PlanGoldenCases), dir)
+		return 1
+	}
+	fmt.Fprintf(stdout, "%d plan shapes match %s\n", len(sqldb.PlanGoldenCases), dir)
+	return 0
+}
+
+// firstDiff renders the first differing line pair of two documents.
+func firstDiff(want, got string) string {
+	w, g := strings.Split(want, "\n"), strings.Split(got, "\n")
+	for i := 0; i < len(w) || i < len(g); i++ {
+		var wl, gl string
+		if i < len(w) {
+			wl = w[i]
+		}
+		if i < len(g) {
+			gl = g[i]
+		}
+		if wl != gl {
+			return fmt.Sprintf("  line %d:\n  - %s\n  + %s\n", i+1, wl, gl)
+		}
+	}
+	return ""
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"genmapper/internal/sqldb"
+)
+
+// TestPlanGateRoundTrip writes fresh goldens, verifies the gate passes
+// against them, then corrupts one to prove the gate goes red.
+func TestPlanGateRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	var out, errOut strings.Builder
+	if code := runPlan(dir, true, &out, &errOut); code != 0 {
+		t.Fatalf("plan-write exited %d: %s", code, errOut.String())
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := runPlan(dir, false, &out, &errOut); code != 0 {
+		t.Fatalf("gate against fresh goldens exited %d: %s", code, errOut.String())
+	}
+
+	// A planner regression — an indexed point lookup becoming a full scan —
+	// appears as a golden mismatch and must fail the gate.
+	path := filepath.Join(dir, sqldb.PlanGoldenCases[0].Name+".json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutated := strings.Replace(string(data), "index-eq", "full-scan", 1)
+	if mutated == string(data) {
+		t.Fatalf("expected %s golden to contain an index-eq access", path)
+	}
+	if err := os.WriteFile(path, []byte(mutated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := runPlan(dir, false, &out, &errOut); code != 1 {
+		t.Fatalf("gate against drifted golden exited %d, want 1; stderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "PLAN DRIFT") {
+		t.Fatalf("drift not reported: %s", errOut.String())
+	}
+}
+
+// TestPlanGateMatchesCommittedGoldens runs the gate against the goldens
+// committed in the repo, so a planner change cannot land without
+// re-baselining them.
+func TestPlanGateMatchesCommittedGoldens(t *testing.T) {
+	dir := filepath.Join("..", "..", "internal", "sqldb", "testdata", "plans")
+	if _, err := os.Stat(dir); err != nil {
+		t.Skipf("goldens not found at %s: %v", dir, err)
+	}
+	var out, errOut strings.Builder
+	if code := runPlan(dir, false, &out, &errOut); code != 0 {
+		t.Fatalf("committed goldens drifted (exit %d):\n%s", code, errOut.String())
+	}
+}

@@ -189,10 +189,19 @@ func metaCommand(db *sqldb.DB, dbPath, cmd string) bool {
 func execute(db *sqldb.DB, stmt string) {
 	stmt = strings.TrimSuffix(strings.TrimSpace(stmt), ";")
 	upper := strings.ToUpper(strings.TrimSpace(stmt))
-	if strings.HasPrefix(upper, "SELECT") {
+	if strings.HasPrefix(upper, "SELECT") || strings.HasPrefix(upper, "EXPLAIN") {
 		rs, err := db.Query(stmt)
 		if err != nil {
 			fmt.Println("error:", err)
+			return
+		}
+		if strings.HasPrefix(upper, "EXPLAIN") {
+			// Plan renderings are pre-formatted lines; skip the table frame.
+			for _, row := range rs.Rows {
+				if s, ok := row[0].(string); ok {
+					fmt.Println(s)
+				}
+			}
 			return
 		}
 		printResult(rs)

@@ -1,0 +1,113 @@
+package genmapper_test
+
+import (
+	"go/format"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// docFiles returns README.md plus every markdown file under docs/ —
+// the documentation surface the CI docs job keeps honest.
+func docFiles(t *testing.T) []string {
+	t.Helper()
+	files := []string{"README.md"}
+	entries, err := filepath.Glob(filepath.Join("docs", "*.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("docs/ contains no markdown files")
+	}
+	return append(files, entries...)
+}
+
+// stripFences blanks out fenced code blocks (preserving line count) so
+// link scanning never trips over code that happens to contain "](".
+func stripFences(doc string) string {
+	lines := strings.Split(doc, "\n")
+	in := false
+	for i, line := range lines {
+		fence := strings.HasPrefix(strings.TrimSpace(line), "```")
+		if fence {
+			in = !in
+			lines[i] = ""
+			continue
+		}
+		if in {
+			lines[i] = ""
+		}
+	}
+	return strings.Join(lines, "\n")
+}
+
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestDocsMarkdownLinks resolves every relative markdown link in README
+// and docs/ against the working tree, so a renamed or deleted file
+// cannot leave dangling references behind.
+func TestDocsMarkdownLinks(t *testing.T) {
+	for _, file := range docFiles(t) {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(stripFences(string(data)), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			resolved := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s links to %q, which does not resolve (%v)", file, m[1], err)
+			}
+		}
+	}
+}
+
+// goFences extracts the contents of ```go fenced blocks.
+func goFences(doc string) []string {
+	var out []string
+	var cur []string
+	in := false
+	for _, line := range strings.Split(doc, "\n") {
+		switch {
+		case !in && strings.TrimSpace(line) == "```go":
+			in = true
+			cur = nil
+		case in && strings.TrimSpace(line) == "```":
+			in = false
+			out = append(out, strings.Join(cur, "\n"))
+		case in:
+			cur = append(cur, line)
+		}
+	}
+	return out
+}
+
+// TestDocsGoFencesGofmt holds every Go snippet in README and docs/ to
+// the same standard as the code: it must parse as a Go fragment and
+// already be in canonical gofmt form.
+func TestDocsGoFencesGofmt(t *testing.T) {
+	for _, file := range docFiles(t) {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, fence := range goFences(string(data)) {
+			formatted, err := format.Source([]byte(fence))
+			if err != nil {
+				t.Errorf("%s go fence #%d does not parse as a Go fragment: %v\n%s", file, i+1, err, fence)
+				continue
+			}
+			if got := strings.TrimRight(string(formatted), "\n"); got != strings.TrimRight(fence, "\n") {
+				t.Errorf("%s go fence #%d is not gofmt-clean; want:\n%s\ngot:\n%s", file, i+1, got, fence)
+			}
+		}
+	}
+}

@@ -187,6 +187,13 @@ func (s *System) SQLStmtCacheStats() sqldb.StmtCacheStats { return s.db.StmtCach
 // each access path and join strategy executed.
 func (s *System) SQLPlanStats() sqldb.PlanStats { return s.db.PlanStats() }
 
+// SQLExplain compiles a SQL statement against the embedded engine and
+// returns its EXPLAIN document ("json" or "text"; empty means json)
+// without executing the statement. See docs/plan-json.md for the format.
+func (s *System) SQLExplain(sql, format string) (string, error) {
+	return s.db.Explain(sql, format)
+}
+
 // SetParallelism applies an execution-parallelism request to the embedded
 // engine (0 = one worker per CPU, 1 = serial): full-table scans,
 // aggregates and bulk write matching over partitioned storage fan out

@@ -44,6 +44,7 @@ func NewWithConfig(sys *genmapper.System, cfg Config) *Server {
 	s.mux.HandleFunc("/path", s.handlePath)
 	s.mux.HandleFunc("/api/sources", s.handleSources)
 	s.mux.HandleFunc("/api/stats", s.handleStats)
+	s.mux.HandleFunc("/api/explain", s.handleExplain)
 	if cfg.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -387,6 +388,30 @@ func (s *Server) handleSources(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	writeJSON(w, out)
+}
+
+// handleExplain serves GET /api/explain?sql=...&format=json|text: the
+// EXPLAIN document of the statement, never executing it. JSON documents
+// are passed through verbatim so the byte-stable plan_version contract
+// survives the HTTP surface; text renderings are wrapped in {"plan": ...}.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	sql := r.URL.Query().Get("sql")
+	if sql == "" {
+		http.Error(w, "missing sql parameter", http.StatusBadRequest)
+		return
+	}
+	format := r.URL.Query().Get("format")
+	out, err := s.sys.SQLExplain(sql, format)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if format == "text" {
+		writeJSON(w, map[string]any{"plan": out})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, out)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

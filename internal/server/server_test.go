@@ -308,6 +308,63 @@ func TestAPIEndpoints(t *testing.T) {
 	}
 }
 
+func TestExplainEndpoint(t *testing.T) {
+	ts := testServer(t)
+
+	// JSON (the default) passes the versioned document through verbatim.
+	resp, err := http.Get(ts.URL + "/api/explain?sql=" +
+		url.QueryEscape("SELECT accession FROM object WHERE object_id = 1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if doc["plan_version"] != float64(1) || doc["statement"] != "SELECT" {
+		t.Fatalf("explain doc = %v", doc)
+	}
+	access, ok := doc["access"].(map[string]any)
+	if !ok || access["path"] != "index-eq" {
+		t.Fatalf("explain access = %v", doc["access"])
+	}
+
+	// Text format wraps the rendering.
+	resp, err = http.Get(ts.URL + "/api/explain?format=text&sql=" +
+		url.QueryEscape("SELECT accession FROM object"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wrapped map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&wrapped); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !strings.HasPrefix(wrapped["plan"], "SELECT") {
+		t.Fatalf("text plan = %q", wrapped["plan"])
+	}
+
+	// Errors: missing sql, bad SQL, bad format.
+	for _, q := range []string{
+		"/api/explain",
+		"/api/explain?sql=" + url.QueryEscape("SELECT nope FROM nowhere"),
+		"/api/explain?format=yaml&sql=" + url.QueryEscape("SELECT accession FROM object"),
+	} {
+		resp, err := http.Get(ts.URL + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s status = %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
 func TestStatsCacheCountersMove(t *testing.T) {
 	ts := testServer(t)
 	cacheStats := func() map[string]float64 {

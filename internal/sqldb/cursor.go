@@ -108,6 +108,18 @@ func (s *Stmt) eachVis(fn func(row []Value) error, vals []Value, vis visibility)
 	if err != nil {
 		return err
 	}
+	if p.expl != nil {
+		rs, err := db.explainResult(p.expl)
+		if err != nil {
+			return err
+		}
+		for _, row := range rs.Rows {
+			if err := fn(row); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	if p.sel == nil {
 		return fmt.Errorf("sqldb: QueryEach requires a SELECT statement")
 	}
@@ -160,6 +172,15 @@ func (s *Stmt) cursorVis(vals []Value, vis visibility) (*dbCursor, error) {
 	if err != nil {
 		return nil, err
 	}
+	if p.expl != nil {
+		// EXPLAIN yields a small, already-materialized plan rendering; the
+		// cursor serves the static rows with no engine pipeline behind it.
+		rs, err := db.explainResult(p.expl)
+		if err != nil {
+			return nil, err
+		}
+		return &dbCursor{db: db, static: rs, cols: rs.Columns, gen: db.gen.Load(), mvcc: vis.lockPart, snap: vis.snap}, nil
+	}
 	if p.sel == nil {
 		return nil, fmt.Errorf("sqldb: QueryCursor requires a SELECT statement")
 	}
@@ -208,6 +229,11 @@ type dbCursor struct {
 	mvcc    bool   // MVCC read: skip per-step locking
 	snap    uint64 // pinned snapshot epoch (MVCC)
 	ownSnap bool   // this cursor registered snap and must release it
+
+	// static serves pre-materialized rows (EXPLAIN) with no engine cursor;
+	// inner is nil for the cursor's whole lifetime then.
+	static *ResultSet
+	spos   int
 }
 
 // Columns returns the output column names.
@@ -226,6 +252,15 @@ func (c *dbCursor) releaseSnap() {
 func (c *dbCursor) Next() ([]Value, error) {
 	if c.closed {
 		return nil, errCursorClosed
+	}
+	if c.static != nil {
+		if c.spos >= len(c.static.Rows) {
+			c.releaseSnap()
+			return nil, nil
+		}
+		row := c.static.Rows[c.spos]
+		c.spos++
+		return row, nil
 	}
 	db := c.db
 	if c.mvcc {
@@ -262,8 +297,10 @@ func (c *dbCursor) Close() error {
 		return nil
 	}
 	c.closed = true
-	c.inner.close()
-	c.inner = nil // release snapshots, hash tables and buffers
+	if c.inner != nil {
+		c.inner.close()
+		c.inner = nil // release snapshots, hash tables and buffers
+	}
 	c.releaseSnap()
 	return nil
 }
@@ -715,11 +752,13 @@ type rowProducer interface {
 	next(ex *selectExec) (bool, error)
 }
 
-// buildProducer assembles the access-path producer for the base relation
-// and stacks one join producer per JOIN clause on top.
+// buildProducer assembles the access-path producer for the driving
+// relation and stacks one join producer per JOIN clause on top. The driver
+// is rels[0] except for a swapped (RIGHT) join, whose producer drives from
+// the preserved right-hand relation and probes rels[0].
 func (ex *selectExec) buildProducer() (rowProducer, error) {
 	p := ex.p
-	base := p.rels[0]
+	base := p.rels[p.driver]
 	a := &p.access
 	c := &ex.db.plans
 
@@ -752,7 +791,11 @@ func (ex *selectExec) buildProducer() (rowProducer, error) {
 	}
 
 	for i := range p.joins {
-		jp := &joinProducer{child: prod, plan: &p.joins[i], rel: p.rels[i+1]}
+		rel := p.rels[i+1]
+		if p.joins[i].swapped {
+			rel = p.rels[0]
+		}
+		jp := &joinProducer{child: prod, plan: &p.joins[i], rel: rel}
 		jp.init(ex)
 		prod = jp
 	}
@@ -1043,10 +1086,12 @@ func (p *orderedProducer) refill() {
 	}
 }
 
-// joinProducer joins its child's tuples against one right-hand relation.
-// For each left tuple it iterates the candidate right rows of the planned
-// strategy, re-checking the full ON clause; an unmatched left tuple of a
-// LEFT JOIN is emitted once with the right columns NULL-padded.
+// joinProducer joins its child's tuples against one probe relation (the
+// syntactically-right relation, or — for a swapped RIGHT join — the left
+// one). For each driving tuple it iterates the candidate probe rows of the
+// planned strategy, re-checking the full ON clause (nil for CROSS joins:
+// every pair matches); an unmatched driving tuple of a LEFT JOIN is
+// emitted once with the probe columns NULL-padded.
 type joinProducer struct {
 	child rowProducer
 	plan  *joinPlan
@@ -1163,13 +1208,15 @@ func (j *joinProducer) next(ex *selectExec) (bool, error) {
 				break
 			}
 			ex.env.SetRow(j.rel.off, row)
-			v, err := j.plan.on.Eval(ex.env)
-			if err != nil {
-				return false, err
-			}
-			b, isNull := toBool(v)
-			if isNull || !b {
-				continue
+			if j.plan.on != nil {
+				v, err := j.plan.on.Eval(ex.env)
+				if err != nil {
+					return false, err
+				}
+				b, isNull := toBool(v)
+				if isNull || !b {
+					continue
+				}
 			}
 			j.matched = true
 			return true, nil

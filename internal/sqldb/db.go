@@ -212,6 +212,9 @@ func (p *prepared) validateExec(vals []Value, txnControlErr string) error {
 	if p.sel != nil {
 		return fmt.Errorf("sqldb: Exec cannot run SELECT; use Query")
 	}
+	if p.expl != nil {
+		return fmt.Errorf("sqldb: Exec cannot run EXPLAIN; use Query")
+	}
 	switch p.write.(type) {
 	case *BeginStmt, *CommitStmt, *RollbackStmt:
 		return fmt.Errorf("%s", txnControlErr)

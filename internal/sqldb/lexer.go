@@ -33,7 +33,8 @@ var sqlKeywords = map[string]bool{
 	"SELECT": true, "FROM": true, "WHERE": true, "INSERT": true, "INTO": true,
 	"VALUES": true, "UPDATE": true, "SET": true, "DELETE": true, "CREATE": true,
 	"TABLE": true, "INDEX": true, "UNIQUE": true, "ON": true, "DROP": true,
-	"JOIN": true, "LEFT": true, "INNER": true, "OUTER": true, "AND": true,
+	"JOIN": true, "LEFT": true, "RIGHT": true, "CROSS": true, "INNER": true,
+	"OUTER": true, "AND": true,
 	"OR": true, "NOT": true, "NULL": true, "IS": true, "IN": true, "LIKE": true,
 	"BETWEEN": true, "AS": true, "DISTINCT": true, "ORDER": true, "BY": true,
 	"GROUP": true, "HAVING": true, "LIMIT": true, "OFFSET": true, "ASC": true,
@@ -43,7 +44,7 @@ var sqlKeywords = map[string]bool{
 	"FALSE": true, "BEGIN": true, "COMMIT": true, "ROLLBACK": true,
 	"USING": true, "HASH": true, "BTREE": true, "IF": true, "EXISTS": true,
 	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
-	"TRANSACTION": true,
+	"TRANSACTION": true, "EXPLAIN": true, "FORMAT": true, "JSON": true,
 }
 
 // lexer turns SQL text into tokens.

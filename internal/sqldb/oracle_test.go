@@ -305,8 +305,18 @@ func TestPlannerEquivalenceOracle(t *testing.T) {
 		}
 		joined := !grouped && rng.Intn(3) == 0
 		if joined {
-			sb.WriteString([]string{" JOIN", " LEFT JOIN"}[rng.Intn(2)])
-			sb.WriteString(" side ON big.n = side.k")
+			switch rng.Intn(4) {
+			case 0:
+				sb.WriteString(" JOIN side ON big.n = side.k")
+			case 1:
+				sb.WriteString(" LEFT JOIN side ON big.n = side.k")
+			case 2:
+				// RIGHT drives from side and NULL-extends big: the projected
+				// big columns go through the Kleene filters as NULLs.
+				sb.WriteString(" RIGHT JOIN side ON big.n = side.k")
+			case 3:
+				sb.WriteString(" CROSS JOIN side")
+			}
 		}
 		if rng.Intn(5) > 0 {
 			sb.WriteString(" WHERE ")

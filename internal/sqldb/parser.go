@@ -48,13 +48,31 @@ func (t TableRef) Binding() string {
 // JoinKind distinguishes join types.
 type JoinKind int
 
-// Supported join types.
+// Supported join types. RIGHT joins are normalized to LEFT joins by an
+// input swap at plan time; CROSS joins have no ON clause.
 const (
 	JoinInner JoinKind = iota
 	JoinLeft
+	JoinRight
+	JoinCross
 )
 
-// JoinClause is one JOIN ... ON ... segment.
+// String renders the SQL spelling of the join type.
+func (k JoinKind) String() string {
+	switch k {
+	case JoinInner:
+		return "INNER"
+	case JoinLeft:
+		return "LEFT"
+	case JoinRight:
+		return "RIGHT"
+	case JoinCross:
+		return "CROSS"
+	}
+	return "JOIN"
+}
+
+// JoinClause is one JOIN ... ON ... segment. On is nil for CROSS joins.
 type JoinClause struct {
 	Kind  JoinKind
 	Table TableRef
@@ -123,6 +141,14 @@ type DropIndexStmt struct {
 	IfExists bool
 }
 
+// ExplainStmt wraps another statement for plan inspection:
+// EXPLAIN [ (FORMAT JSON|TEXT) ] <stmt>. Format is "json" or "text"
+// (the default).
+type ExplainStmt struct {
+	Format string
+	Stmt   Statement
+}
+
 // BeginStmt, CommitStmt and RollbackStmt control transactions.
 type BeginStmt struct{}
 
@@ -133,6 +159,7 @@ type CommitStmt struct{}
 type RollbackStmt struct{}
 
 func (*SelectStmt) stmt()      {}
+func (*ExplainStmt) stmt()     {}
 func (*InsertStmt) stmt()      {}
 func (*UpdateStmt) stmt()      {}
 func (*DeleteStmt) stmt()      {}
@@ -216,7 +243,7 @@ var softKeywords = map[string]bool{
 	"TEXT": true, "INTEGER": true, "INT": true, "REAL": true, "FLOAT": true,
 	"BOOLEAN": true, "BOOL": true, "VARCHAR": true, "HASH": true,
 	"BTREE": true, "KEY": true, "COUNT": true, "SUM": true, "AVG": true,
-	"MIN": true, "MAX": true,
+	"MIN": true, "MAX": true, "FORMAT": true, "JSON": true,
 }
 
 // expectIdent accepts an identifier or a soft keyword used as a name.
@@ -243,6 +270,8 @@ func (p *parser) parseStatement() (Statement, error) {
 	switch t.text {
 	case "SELECT":
 		return p.parseSelect()
+	case "EXPLAIN":
+		return p.parseExplain()
 	case "INSERT":
 		return p.parseInsert()
 	case "UPDATE":
@@ -265,6 +294,37 @@ func (p *parser) parseStatement() (Statement, error) {
 		return &RollbackStmt{}, nil
 	}
 	return nil, p.errf("unsupported statement %q", t.text)
+}
+
+// parseExplain parses EXPLAIN [ (FORMAT JSON|TEXT) ] <stmt>.
+func (p *parser) parseExplain() (*ExplainStmt, error) {
+	p.next() // EXPLAIN
+	st := &ExplainStmt{Format: "text"}
+	if p.accept(tokSymbol, "(") {
+		if _, err := p.expect(tokKeyword, "FORMAT"); err != nil {
+			return nil, err
+		}
+		switch {
+		case p.accept(tokKeyword, "JSON"):
+			st.Format = "json"
+		case p.accept(tokKeyword, "TEXT"):
+			st.Format = "text"
+		default:
+			return nil, p.errf("expected JSON or TEXT after FORMAT")
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+	}
+	if p.at(tokKeyword, "EXPLAIN") {
+		return nil, p.errf("EXPLAIN cannot be nested")
+	}
+	inner, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	st.Stmt = inner
+	return st, nil
 }
 
 func (p *parser) parseSelect() (*SelectStmt, error) {
@@ -311,6 +371,19 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 				return nil, err
 			}
 			kind, isJoin = JoinLeft, true
+		case p.at(tokKeyword, "RIGHT"):
+			p.next()
+			p.accept(tokKeyword, "OUTER")
+			if _, err := p.expect(tokKeyword, "JOIN"); err != nil {
+				return nil, err
+			}
+			kind, isJoin = JoinRight, true
+		case p.at(tokKeyword, "CROSS"):
+			p.next()
+			if _, err := p.expect(tokKeyword, "JOIN"); err != nil {
+				return nil, err
+			}
+			kind, isJoin = JoinCross, true
 		}
 		if !isJoin {
 			break
@@ -319,12 +392,15 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 		if err != nil {
 			return nil, err
 		}
-		if _, err := p.expect(tokKeyword, "ON"); err != nil {
-			return nil, err
-		}
-		on, err := p.parseExpr()
-		if err != nil {
-			return nil, err
+		var on Expr
+		if kind != JoinCross {
+			if _, err := p.expect(tokKeyword, "ON"); err != nil {
+				return nil, err
+			}
+			on, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
 		}
 		st.Joins = append(st.Joins, JoinClause{Kind: kind, Table: jt, On: on})
 	}

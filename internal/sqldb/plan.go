@@ -330,14 +330,21 @@ const (
 	joinIndexLoop
 )
 
-// joinPlan is the chosen strategy for one JOIN clause.
+// joinPlan is the chosen strategy for one JOIN clause. kind is normalized
+// at plan time: a RIGHT join becomes a LEFT join with swapped set (the
+// executor drives from the syntactically-right relation and probes — and
+// NULL-extends — the left one), and a CROSS join becomes an INNER join
+// with a nil ON clause (every pair matches).
 type joinPlan struct {
 	kind     JoinKind
-	on       Expr // full ON clause, re-checked per candidate
+	on       Expr // full ON clause, re-checked per candidate; nil for CROSS
 	strategy joinStrategy
-	rightCol int  // right relation's key column (joinHashBuild/joinIndexLoop)
-	keyExpr  Expr // left-side key expression (joinHashBuild/joinIndexLoop)
+	rightCol int  // probe relation's key column (joinHashBuild/joinIndexLoop)
+	keyExpr  Expr // driving-side key expression (joinHashBuild/joinIndexLoop)
 	idx      *Index
+	// swapped marks a RIGHT join executed as LEFT with exchanged inputs:
+	// the probe relation is rels[0] instead of rels[i+1].
+	swapped bool
 }
 
 // ---------------------------------------------------------------------------
@@ -350,6 +357,10 @@ type selectPlan struct {
 	st   *SelectStmt
 	cols []envCol
 	rels []relBinding
+
+	// driver is the relation the access path scans (0 except for a RIGHT
+	// join, which drives from the preserved right-hand relation).
+	driver int
 
 	access accessPlan
 	joins  []joinPlan
@@ -394,6 +405,9 @@ func planSelect(db *DB, st *SelectStmt) (*selectPlan, error) {
 	}
 	p := pl.plan
 	p.grouped = len(st.GroupBy) > 0 || len(p.aggCalls) > 0
+	if err := pl.setupDriver(); err != nil {
+		return nil, err
+	}
 	pl.planAccess()
 	pl.planOrder()
 	pl.planJoins()
@@ -611,19 +625,42 @@ func projName(e Expr) string {
 	return e.String()
 }
 
-// planAccess chooses the access path for the base relation from the WHERE
-// clause.
+// setupDriver picks the driving relation for the access path. It is the
+// base relation except for a RIGHT join, which is normalized to a LEFT
+// join by an input swap: the executor drives from the preserved right-hand
+// relation and probes (NULL-extending on miss) the left one. The swap only
+// has a sound access/NULL-extension story for a single join, so multi-join
+// statements reject RIGHT at plan time with a clear error.
+func (pl *planner) setupDriver() error {
+	p := pl.plan
+	for _, j := range p.st.Joins {
+		if j.Kind != JoinRight {
+			continue
+		}
+		if len(p.st.Joins) != 1 {
+			return fmt.Errorf("sqldb: RIGHT JOIN is only supported as the sole join of a statement (rewrite as LEFT JOIN)")
+		}
+		p.driver = 1
+	}
+	return nil
+}
+
+// planAccess chooses the access path for the driving relation from the
+// WHERE clause. Pushing WHERE conjuncts into the driver is sound even for
+// outer joins because the driver is the preserved side: every output row
+// carries a real driver row, and the full WHERE is re-checked per row, so
+// access planning can only err on the side of inclusion.
 func (pl *planner) planAccess() {
 	p := pl.plan
-	base := p.rels[0]
+	base := p.rels[p.driver]
 	p.access = planTableAccess(base.table, p.st.Where, pl.baseResolver(), pl.db.noIndex.Load())
 }
 
-// baseResolver maps a column reference to a base-relation column position,
-// or -1 when the reference belongs elsewhere or is ambiguous across joined
-// relations.
+// baseResolver maps a column reference to a driver-relation column
+// position, or -1 when the reference belongs elsewhere or is ambiguous
+// across joined relations.
 func (pl *planner) baseResolver() func(*ColumnRef) int {
-	base := pl.plan.rels[0]
+	base := pl.plan.rels[pl.plan.driver]
 	return func(col *ColumnRef) int {
 		if col.Qual != "" && strings.ToLower(col.Qual) != base.qual {
 			return -1
@@ -652,7 +689,7 @@ func (pl *planner) planOrder() {
 	if p.grouped || len(p.st.OrderBy) != 1 || len(p.orderExprs) != 1 || pl.db.noIndex.Load() {
 		return
 	}
-	base := p.rels[0]
+	base := p.rels[p.driver]
 	pos := -1
 	switch e := p.orderExprs[0].(type) {
 	case *ColumnRef:
@@ -696,17 +733,36 @@ func (pl *planner) planOrder() {
 }
 
 // planJoins picks a strategy per JOIN clause: index-nested-loop when the
-// right column is indexed, hash build otherwise, nested loop without an
-// equi-key.
+// probe column is indexed, hash build otherwise, nested loop without an
+// equi-key. A CROSS join normalizes to an INNER join with a nil ON clause
+// (pure nested loop, every pair matches); a RIGHT join normalizes to a
+// LEFT join over swapped inputs, probing rels[0] instead of rels[i+1].
+// The strategy choice depends only on the statement shape (never on
+// machine knobs), and index candidates are emitted in row-ID order, so
+// results are deterministic across index on/off.
 func (pl *planner) planJoins() {
 	p := pl.plan
 	for i, j := range p.st.Joins {
-		rel := p.rels[i+1]
 		jp := joinPlan{kind: j.Kind, on: j.On, strategy: joinNestedLoop, rightCol: -1}
-		rightCol, leftExpr := pl.findEquiKey(i, j.On)
-		if rightCol >= 0 {
-			jp.rightCol, jp.keyExpr = rightCol, leftExpr
-			if idx := rel.table.IndexOn(rightCol); idx != nil && !pl.db.noIndex.Load() {
+		probe := p.rels[i+1]
+		switch j.Kind {
+		case JoinCross:
+			jp.kind = JoinInner
+			p.joins = append(p.joins, jp)
+			continue
+		case JoinRight:
+			jp.kind, jp.swapped = JoinLeft, true
+			probe = p.rels[0]
+		}
+		driveOK := func(e Expr) bool { return pl.referencesOnlyBefore(e, probe.off) }
+		if jp.swapped {
+			drv := p.rels[p.driver]
+			driveOK = func(e Expr) bool { return pl.referencesWithin(e, drv.off, drv.off+drv.width) }
+		}
+		probeCol, keyExpr := pl.findEquiKey(j.On, probe, driveOK)
+		if probeCol >= 0 {
+			jp.rightCol, jp.keyExpr = probeCol, keyExpr
+			if idx := probe.table.IndexOn(probeCol); idx != nil && !pl.db.noIndex.Load() {
 				jp.strategy, jp.idx = joinIndexLoop, idx
 			} else {
 				jp.strategy = joinHashBuild
@@ -716,11 +772,11 @@ func (pl *planner) planJoins() {
 	}
 }
 
-// findEquiKey looks for `right.col = leftExpr` (either side order) among
-// the conjuncts of on. It returns the right column position and the left
-// key expression, or (-1, nil).
-func (pl *planner) findEquiKey(joinIdx int, on Expr) (int, Expr) {
-	rel := pl.plan.rels[joinIdx+1]
+// findEquiKey looks for `probe.col = keyExpr` (either side order) among
+// the conjuncts of on, where the key expression satisfies driveOK (it
+// references only relations already produced when the probe runs). It
+// returns the probe column position and the key expression, or (-1, nil).
+func (pl *planner) findEquiKey(on Expr, rel relBinding, driveOK func(Expr) bool) (int, Expr) {
 	resCol := -1
 	var resExpr Expr
 	visitConjuncts(on, func(e Expr) bool {
@@ -736,7 +792,7 @@ func (pl *planner) findEquiKey(joinIdx int, on Expr) (int, Expr) {
 			if !ok {
 				return false
 			}
-			// The column must belong to the right relation.
+			// The column must belong to the probe relation.
 			q := strings.ToLower(c.Qual)
 			if q != "" && q != rel.qual {
 				return false
@@ -747,14 +803,14 @@ func (pl *planner) findEquiKey(joinIdx int, on Expr) (int, Expr) {
 			}
 			if q == "" {
 				// Unqualified: require that the name resolves uniquely to
-				// the right relation.
+				// the probe relation.
 				p, err := pl.env.Resolve("", c.Name)
 				if err != nil || p < rel.off || p >= rel.off+rel.width {
 					return false
 				}
 			}
-			// The other side must reference only earlier relations.
-			if !pl.referencesOnlyBefore(other, rel.off) {
+			// The other side must be evaluable from the driving rows alone.
+			if !driveOK(other) {
 				return false
 			}
 			resCol, resExpr = ci, other
@@ -782,6 +838,26 @@ func (pl *planner) referencesOnlyBefore(e Expr, off int) bool {
 			}
 		case *fixedCol:
 			if c.pos >= off {
+				ok = false
+			}
+		}
+	})
+	return ok
+}
+
+// referencesWithin reports whether all column references in e resolve to
+// environment positions in [lo, hi).
+func (pl *planner) referencesWithin(e Expr, lo, hi int) bool {
+	ok := true
+	walkExpr(e, func(sub Expr) {
+		switch c := sub.(type) {
+		case *ColumnRef:
+			p, err := pl.env.Resolve(c.Qual, c.Name)
+			if err != nil || p < lo || p >= hi {
+				ok = false
+			}
+		case *fixedCol:
+			if c.pos < lo || c.pos >= hi {
 				ok = false
 			}
 		}

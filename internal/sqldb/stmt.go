@@ -31,10 +31,11 @@ type Stmt struct {
 // prepared is one immutable compiled form of a statement.
 type prepared struct {
 	gen     uint64
-	sel     *selectPlan // non-nil for SELECT
-	upd     *updatePlan // non-nil for UPDATE
-	del     *deletePlan // non-nil for DELETE
-	write   Statement   // parsed AST for every other statement
+	sel     *selectPlan  // non-nil for SELECT
+	upd     *updatePlan  // non-nil for UPDATE
+	del     *deletePlan  // non-nil for DELETE
+	expl    *explainPlan // non-nil for EXPLAIN
+	write   Statement    // parsed AST for every other statement
 	nParams int
 }
 
@@ -85,6 +86,10 @@ func statementParamCount(st Statement) int {
 		visit(s.Where)
 	case *DeleteStmt:
 		visit(s.Where)
+	case *ExplainStmt:
+		// EXPLAIN never evaluates parameters; unbound `?` positions render
+		// as "?" in the plan document.
+		return 0
 	}
 	return max
 }
@@ -127,6 +132,12 @@ func (s *Stmt) ensure(db *DB) (*prepared, error) {
 			return nil, err
 		}
 		p.del = plan
+	case *ExplainStmt:
+		ep, err := planExplain(db, stmt)
+		if err != nil {
+			return nil, err
+		}
+		p.expl = ep
 	default:
 		p.write = st
 	}
@@ -154,6 +165,9 @@ func (s *Stmt) Query(args ...any) (*ResultSet, error) {
 			p, err := s.ensure(db)
 			if err != nil {
 				return nil, err
+			}
+			if p.expl != nil {
+				return db.explainResult(p.expl)
 			}
 			if p.sel == nil {
 				return nil, fmt.Errorf("sqldb: Query requires a SELECT statement")
@@ -186,6 +200,9 @@ func (s *Stmt) queryVis(vals []Value, vis visibility) (*ResultSet, error) {
 	if err != nil {
 		return nil, err
 	}
+	if p.expl != nil {
+		return db.explainResult(p.expl)
+	}
 	if p.sel == nil {
 		return nil, fmt.Errorf("sqldb: Query requires a SELECT statement")
 	}
@@ -207,6 +224,8 @@ func (s *Stmt) Exec(args ...any) (Result, error) {
 	switch leadingKeyword(s.sql) {
 	case "SELECT":
 		return Result{}, fmt.Errorf("sqldb: Exec cannot run SELECT; use Query")
+	case "EXPLAIN":
+		return Result{}, fmt.Errorf("sqldb: Exec cannot run EXPLAIN; use Query")
 	case "BEGIN", "COMMIT", "ROLLBACK":
 		return Result{}, fmt.Errorf("%s", errTxnControlExec)
 	}
